@@ -1,0 +1,462 @@
+(* tgdtool — command-line front end for the tgd-ontology toolkit.
+
+   Subcommands:
+     classify    classify the tgds of a file into the paper's classes
+     chase       chase a database file with an ontology file
+                 (--explain FACT prints a derivation tree)
+     entails     decide Σ ⊨ σ by freezing + chase
+     rewrite     run Algorithm 1 (g2l) or Algorithm 2 (fg2g)
+     properties  bounded checks of the model-theoretic properties
+     synthesize  recover a TGD_{n,m} axiomatization from a model oracle file
+     count       print the Section 9.2 candidate-space bounds
+     diagnose    full class-lattice + property report for a tgd set
+     theory      chase a database with a mixed theory (tgds+egds+denials)
+     datalog     semi-naive saturation for full tgds
+     core        core (minimal retract) of an instance file
+     acyclic     GYO α-acyclicity of each rule body
+     refute      entailment with finite-countermodel search *)
+
+open Tgd_syntax
+open Tgd_core
+open Cmdliner (* last: Cmdliner.Term must shadow Tgd_syntax.Term *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_tgds_file path =
+  match Tgd_parse.Parse.tgds (read_file path) with
+  | Ok tgds -> tgds
+  | Error e -> Fmt.failwith "%s: %a" path Tgd_parse.Parse.pp_error e
+
+let parse_program_file ?schema path =
+  match Tgd_parse.Parse.program ?schema (read_file path) with
+  | Ok p -> p
+  | Error e -> Fmt.failwith "%s: %a" path Tgd_parse.Parse.pp_error e
+
+(* ---- common arguments ---- *)
+
+let ontology_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"ONTOLOGY" ~doc:"File containing tgds (Datalog± syntax).")
+
+let budget_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "rounds" ] ~docv:"N" ~doc:"Chase budget: maximum rounds.")
+
+let max_facts_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "max-facts" ] ~docv:"N" ~doc:"Chase budget: maximum facts.")
+
+let budget_of rounds max_facts =
+  Tgd_chase.Chase.{ max_rounds = rounds; max_facts }
+
+(* ---- classify ---- *)
+
+let classify_cmd =
+  let run path =
+    let tgds = parse_tgds_file path in
+    List.iter
+      (fun t ->
+        Fmt.pr "%a@.  classes: %a;  n = %d, m = %d@." Tgd.pp t
+          Fmt.(list ~sep:(any ", ") Tgd_class.pp_cls)
+          (Tgd_class.classify t) (Tgd.n_universal t) (Tgd.m_existential t))
+      tgds;
+    let n, m = Rewrite.class_bounds tgds in
+    Fmt.pr "@.Σ ∈ TGD_{%d,%d}; weakly acyclic: %b@." n m
+      (Tgd_chase.Weak_acyclicity.is_weakly_acyclic tgds)
+  in
+  Cmd.v (Cmd.info "classify" ~doc:"Classify tgds into full/linear/guarded/frontier-guarded.")
+    Term.(const run $ ontology_arg)
+
+(* ---- chase ---- *)
+
+let chase_cmd =
+  let db_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"DATABASE" ~doc:"File containing facts.")
+  in
+  let oblivious_arg =
+    Arg.(value & flag & info [ "oblivious" ] ~doc:"Use the oblivious chase.")
+  in
+  let explain_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "explain" ] ~docv:"FACT"
+          ~doc:"Print the derivation tree of a fact, e.g. \"T(a,c)\".")
+  in
+  let run path db_path rounds max_facts oblivious explain =
+    let sigma = parse_tgds_file path in
+    let schema = Rewrite.schema_of sigma in
+    let p = parse_program_file path in
+    let schema =
+      Schema.union schema (parse_program_file db_path).Tgd_parse.Parse.schema
+    in
+    ignore p;
+    let db =
+      Tgd_instance.Instance.of_facts schema
+        (parse_program_file ~schema db_path).Tgd_parse.Parse.facts
+    in
+    let budget = budget_of rounds max_facts in
+    match explain with
+    | None ->
+      let chase =
+        if oblivious then Tgd_chase.Chase.oblivious ?on_fire:None
+        else Tgd_chase.Chase.restricted ?on_fire:None
+      in
+      let r = chase ~budget sigma db in
+      Fmt.pr "%a@.%a@." Tgd_chase.Chase.pp_result r Tgd_instance.Instance.pp
+        r.Tgd_chase.Chase.instance
+    | Some fact_src ->
+      let fact =
+        match
+          (Tgd_parse.Parse.program_exn ~schema (fact_src ^ ".")).Tgd_parse.Parse.facts
+        with
+        | [ f ] -> f
+        | _ -> Fmt.failwith "--explain expects exactly one fact"
+      in
+      let r, log = Tgd_chase.Provenance.restricted ~budget sigma db in
+      ignore r;
+      (match Tgd_chase.Provenance.explain log fact with
+      | Some tree -> Fmt.pr "%a@." Tgd_chase.Provenance.pp_tree tree
+      | None ->
+        Fmt.pr "%a is not derivable@." Tgd_syntax.Fact.pp fact;
+        exit 1)
+  in
+  Cmd.v (Cmd.info "chase" ~doc:"Chase a database with a tgd ontology.")
+    Term.(
+      const run $ ontology_arg $ db_arg $ budget_arg $ max_facts_arg
+      $ oblivious_arg $ explain_arg)
+
+(* ---- entails ---- *)
+
+let entails_cmd =
+  let goal_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"TGD" ~doc:"Goal tgd, e.g. \"R(x,y) -> T(x).\"")
+  in
+  let run path goal rounds max_facts =
+    let sigma = parse_tgds_file path in
+    let goal = Tgd_parse.Parse.tgd_exn goal in
+    let answer =
+      Tgd_chase.Entailment.entails ~budget:(budget_of rounds max_facts) sigma goal
+    in
+    Fmt.pr "%a@." Tgd_chase.Entailment.pp_answer answer;
+    if answer = Tgd_chase.Entailment.Unknown then exit 2
+  in
+  Cmd.v (Cmd.info "entails" ~doc:"Decide Σ ⊨ σ via freezing and the chase.")
+    Term.(const run $ ontology_arg $ goal_arg $ budget_arg $ max_facts_arg)
+
+(* ---- rewrite ---- *)
+
+let rewrite_cmd =
+  let direction_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("g2l", `G2l); ("fg2g", `Fg2g) ])) None
+      & info [] ~docv:"DIRECTION" ~doc:"g2l (Algorithm 1) or fg2g (Algorithm 2).")
+  in
+  let file_arg =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"ONTOLOGY" ~doc:"Input set of tgds.")
+  in
+  let body_cap =
+    Arg.(value & opt int 2 & info [ "max-body-atoms" ] ~docv:"N" ~doc:"Candidate body atom cap.")
+  in
+  let head_cap =
+    Arg.(value & opt int 2 & info [ "max-head-atoms" ] ~docv:"N" ~doc:"Candidate head atom cap.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the rewriting to a file.")
+  in
+  let run direction path body head rounds max_facts out =
+    let sigma = parse_tgds_file path in
+    let config =
+      Rewrite.
+        { caps =
+            Candidates.
+              { max_body_atoms = body; max_head_atoms = head; keep_tautologies = false };
+          budget = budget_of rounds max_facts;
+          minimize = true
+        }
+    in
+    let report =
+      match direction with
+      | `G2l -> Rewrite.g_to_l ~config sigma
+      | `Fg2g -> Rewrite.fg_to_g ~config sigma
+    in
+    Fmt.pr "n = %d, m = %d; %d candidates enumerated, %d entailed@."
+      report.Rewrite.n report.Rewrite.m report.Rewrite.candidates_enumerated
+      report.Rewrite.candidates_entailed;
+    Fmt.pr "%a@." Rewrite.pp_outcome report.Rewrite.outcome;
+    match report.Rewrite.outcome with
+    | Rewrite.Rewritable sigma' ->
+      Option.iter
+        (fun path ->
+          Tgd_parse.Print.to_file path (Tgd_parse.Print.tgds sigma' ^ "\n");
+          Fmt.pr "written to %s@." path)
+        out
+    | Rewrite.Not_rewritable _ -> exit 1
+    | Rewrite.Unknown _ -> exit 2
+  in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:"Rewrite guarded tgds into linear (g2l) or frontier-guarded into guarded (fg2g).")
+    Term.(const run $ direction_arg $ file_arg $ body_cap $ head_cap $ budget_arg $ max_facts_arg $ out_arg)
+
+(* ---- properties ---- *)
+
+let properties_cmd =
+  let dom_arg =
+    Arg.(value & opt int 2 & info [ "dom" ] ~docv:"K" ~doc:"Domain bound for the checks.")
+  in
+  let run path dom =
+    let sigma = parse_tgds_file path in
+    let o = Ontology.axiomatic (Rewrite.schema_of sigma) sigma in
+    let show : 'a. 'a Properties.verdict -> string = function
+      | Properties.Holds -> "holds"
+      | Properties.Fails _ -> "FAILS"
+      | Properties.Inconclusive why -> "inconclusive: " ^ why
+    in
+    Fmt.pr "criticality (k ≤ %d):        %s@." dom (show (Properties.critical_up_to o dom));
+    Fmt.pr "closed under ⊗ (dom ≤ %d):    %s@." dom
+      (show (Properties.closed_under_products o ~dom_size:dom));
+    Fmt.pr "closed under ∩ (dom ≤ %d):    %s@." dom
+      (show (Properties.closed_under_intersections o ~dom_size:dom));
+    Fmt.pr "closed under ∪ (dom ≤ %d):    %s@." dom
+      (show (Properties.closed_under_unions o ~dom_size:dom));
+    Fmt.pr "domain independent:          %s@."
+      (show (Properties.domain_independent o ~dom_size:dom));
+    Fmt.pr "closed under non-obl. dupl.: %s@."
+      (show (Properties.closed_under_non_oblivious_dupext o ~dom_size:dom))
+  in
+  Cmd.v
+    (Cmd.info "properties"
+       ~doc:"Check the paper's model-theoretic properties on bounded universes.")
+    Term.(const run $ ontology_arg $ dom_arg)
+
+(* ---- synthesize ---- *)
+
+let synthesize_cmd =
+  let n_arg = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Universal variable bound.") in
+  let m_arg = Arg.(value & opt int 1 & info [ "m" ] ~doc:"Existential variable bound.") in
+  let dom_arg = Arg.(value & opt int 2 & info [ "dom" ] ~doc:"Verification domain bound.") in
+  let run path n m dom =
+    (* the file's tgds define the oracle; synthesis then recovers an
+       equivalent axiomatization from membership alone *)
+    let sigma = parse_tgds_file path in
+    let schema = Rewrite.schema_of sigma in
+    let o =
+      Ontology.oracle ~name:"file oracle" schema (fun i ->
+          Tgd_instance.Satisfaction.tgds i sigma)
+    in
+    let synth = Characterize.synthesize ~minimize:true o ~n ~m in
+    Fmt.pr "synthesized %d tgds:@." (List.length synth);
+    List.iter (fun t -> Fmt.pr "  %a@." Tgd.pp t) synth;
+    match Characterize.verify_axiomatization o synth ~dom_size:dom with
+    | None -> Fmt.pr "verified on all instances with ≤ %d elements@." dom
+    | Some cex ->
+      Fmt.pr "DISAGREES on %a@." Tgd_instance.Instance.pp cex;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "synthesize"
+       ~doc:"Recover a TGD_{n,m} axiomatization from the ontology's membership oracle (Theorem 4.1).")
+    Term.(const run $ ontology_arg $ n_arg $ m_arg $ dom_arg)
+
+(* ---- count ---- *)
+
+let count_cmd =
+  let n_arg = Arg.(value & opt int 2 & info [ "n" ] ~doc:"Universal variable bound.") in
+  let m_arg = Arg.(value & opt int 1 & info [ "m" ] ~doc:"Existential variable bound.") in
+  let run path n m =
+    let sigma = parse_tgds_file path in
+    let schema = Rewrite.schema_of sigma in
+    Fmt.pr "schema: %a (|S| = %d, ar(S) = %d)@." Schema.pp schema
+      (Schema.size schema) (Schema.max_arity schema);
+    Fmt.pr "linear bodies  ≤ %a@." Bigint.pp (Counting.linear_bodies_bound schema ~n);
+    Fmt.pr "guarded bodies ≤ %a@." Bigint.pp (Counting.guarded_bodies_bound schema ~n);
+    Fmt.pr "heads          ≤ %a@." Bigint.pp (Counting.heads_bound schema ~n ~m);
+    Fmt.pr "LTGD_{%d,%d} candidates ≤ %a@." n m Bigint.pp
+      (Counting.linear_candidates_bound schema ~n ~m);
+    Fmt.pr "GTGD_{%d,%d} candidates ≤ %a@." n m Bigint.pp
+      (Counting.guarded_candidates_bound schema ~n ~m);
+    Fmt.pr "per-tgd size   ≤ %a@." Bigint.pp (Counting.tgd_size_bound schema ~n ~m)
+  in
+  Cmd.v
+    (Cmd.info "count" ~doc:"Print the Section 9.2 candidate-space bounds for a schema.")
+    Term.(const run $ ontology_arg $ n_arg $ m_arg)
+
+(* ---- diagnose ---- *)
+
+let diagnose_cmd =
+  let dom_arg =
+    Arg.(value & opt int 2 & info [ "dom" ] ~docv:"K" ~doc:"Domain bound for the property profile.")
+  in
+  let run path dom =
+    let sigma = parse_tgds_file path in
+    let report = Expressibility.diagnose ~dom_size:dom sigma in
+    Fmt.pr "%a@." Expressibility.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Class-lattice membership (syntactic and semantic) and bounded property profile.")
+    Term.(const run $ ontology_arg $ dom_arg)
+
+(* ---- theory ---- *)
+
+let theory_cmd =
+  let db_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"DATABASE" ~doc:"File containing facts.")
+  in
+  let run path db_path rounds max_facts =
+    let prog = parse_program_file path in
+    let schema =
+      Schema.union prog.Tgd_parse.Parse.schema
+        (parse_program_file db_path).Tgd_parse.Parse.schema
+    in
+    let db =
+      Tgd_instance.Instance.of_facts schema
+        (parse_program_file ~schema db_path).Tgd_parse.Parse.facts
+    in
+    let theory =
+      Tgd_chase.Theory.
+        { tgds = prog.Tgd_parse.Parse.tgds;
+          egds = prog.Tgd_parse.Parse.egds;
+          denials = prog.Tgd_parse.Parse.denials
+        }
+    in
+    let r = Tgd_chase.Theory.chase ~budget:(budget_of rounds max_facts) theory db in
+    Fmt.pr "%a (%d tgd firings, %d merges)@." Tgd_chase.Theory.pp_outcome
+      r.Tgd_chase.Theory.outcome r.Tgd_chase.Theory.fired r.Tgd_chase.Theory.merges;
+    Fmt.pr "%a@." Tgd_instance.Instance.pp r.Tgd_chase.Theory.instance;
+    match r.Tgd_chase.Theory.outcome with
+    | Tgd_chase.Theory.Model -> ()
+    | Tgd_chase.Theory.Failed _ -> exit 1
+    | Tgd_chase.Theory.Out_of_budget -> exit 2
+  in
+  Cmd.v
+    (Cmd.info "theory"
+       ~doc:"Chase a database with a mixed theory of tgds, egds, and denial constraints.")
+    Term.(const run $ ontology_arg $ db_arg $ budget_arg $ max_facts_arg)
+
+(* ---- datalog ---- *)
+
+let datalog_cmd =
+  let db_arg =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"DATABASE" ~doc:"File containing facts.")
+  in
+  let run path db_path =
+    let sigma = parse_tgds_file path in
+    let schema =
+      Schema.union (Rewrite.schema_of sigma)
+        (parse_program_file db_path).Tgd_parse.Parse.schema
+    in
+    let db =
+      Tgd_instance.Instance.of_facts schema
+        (parse_program_file ~schema db_path).Tgd_parse.Parse.facts
+    in
+    let result, stats = Tgd_chase.Datalog.saturate_with_stats sigma db in
+    Fmt.pr "fixpoint in %d rounds, %d facts derived@." stats.Tgd_chase.Datalog.rounds
+      stats.Tgd_chase.Datalog.derived;
+    Fmt.pr "%a@." Tgd_instance.Instance.pp result
+  in
+  Cmd.v
+    (Cmd.info "datalog" ~doc:"Semi-naive saturation of a database under full tgds.")
+    Term.(const run $ ontology_arg $ db_arg)
+
+(* ---- core ---- *)
+
+let core_cmd =
+  let db_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"INSTANCE" ~doc:"File containing facts.")
+  in
+  let run db_path =
+    let p = parse_program_file db_path in
+    let i =
+      Tgd_instance.Instance.of_facts p.Tgd_parse.Parse.schema p.Tgd_parse.Parse.facts
+    in
+    let core = Tgd_instance.Retract.core i in
+    Fmt.pr "%d facts -> %d facts@." (Tgd_instance.Instance.fact_count i)
+      (Tgd_instance.Instance.fact_count core);
+    Fmt.pr "%a@." Tgd_instance.Instance.pp core
+  in
+  Cmd.v (Cmd.info "core" ~doc:"Compute the core (minimal retract) of an instance.")
+    Term.(const run $ db_arg)
+
+(* ---- acyclic ---- *)
+
+let acyclic_cmd =
+  let run path =
+    let tgds = parse_tgds_file path in
+    List.iter
+      (fun t ->
+        Fmt.pr "%a@.  body α-acyclic: %b@." Tgd.pp t
+          (Hypergraph.is_acyclic (Tgd.body t)))
+      tgds
+  in
+  Cmd.v
+    (Cmd.info "acyclic" ~doc:"GYO α-acyclicity of each rule body (guarded bodies always pass).")
+    Term.(const run $ ontology_arg)
+
+(* ---- refute ---- *)
+
+let refute_cmd =
+  let goal_arg =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"TGD" ~doc:"Goal tgd.")
+  in
+  let extra_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "extra" ] ~docv:"N"
+          ~doc:"Fresh elements allowed in countermodels.")
+  in
+  let run path goal rounds max_facts extra =
+    let sigma = parse_tgds_file path in
+    let goal = Tgd_parse.Parse.tgd_exn goal in
+    let answer =
+      Refutation.entails ~budget:(budget_of rounds max_facts) ~extra sigma goal
+    in
+    Fmt.pr "%a@." Tgd_chase.Entailment.pp_answer answer;
+    (match Refutation.countermodel ~extra sigma goal with
+    | Some cm -> Fmt.pr "countermodel: %a@." Tgd_instance.Instance.pp cm
+    | None -> ());
+    if answer = Tgd_chase.Entailment.Unknown then exit 2
+  in
+  Cmd.v
+    (Cmd.info "refute"
+       ~doc:"Decide Σ ⊨ σ with chase + finite-countermodel search.")
+    Term.(const run $ ontology_arg $ goal_arg $ budget_arg $ max_facts_arg $ extra_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "tgdtool" ~version:"1.0.0"
+       ~doc:"Model-theoretic characterizations of rule-based ontologies (PODS'21) — toolkit.")
+    [ classify_cmd; chase_cmd; entails_cmd; rewrite_cmd; properties_cmd;
+      synthesize_cmd; count_cmd; diagnose_cmd; theory_cmd; datalog_cmd;
+      core_cmd; acyclic_cmd; refute_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/data_exchange.ml: Fmt Instance Retract Schema Tgd_chase Tgd_instance Tgd_parse Tgd_syntax Theory

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Instance List Rewrite Tgd Tgd_chase Tgd_class Tgd_core Tgd_instance Tgd_parse Tgd_syntax Tgd_workload

@@ -1,0 +1,1 @@
+examples/rewriting_pipeline.ml: Candidates Fmt List Option Reduction Rewrite Schema Tgd Tgd_chase Tgd_core Tgd_instance Tgd_parse Tgd_syntax Tgd_workload

@@ -1,0 +1,1 @@
+examples/rewriting_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/separations.ml: Candidates Constant Duplicating Fmt Instance Locality Ontology Properties Rewrite Satisfaction Tgd Tgd_core Tgd_instance Tgd_syntax Tgd_workload

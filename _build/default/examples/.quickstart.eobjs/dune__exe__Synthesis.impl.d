@@ -1,0 +1,1 @@
+examples/synthesis.ml: Candidates Characterize Constant Expressibility Fact Fmt Instance List Ontology Properties Relation Rewrite Schema Tgd Tgd_core Tgd_instance Tgd_syntax

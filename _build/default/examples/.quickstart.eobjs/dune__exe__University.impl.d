@@ -1,0 +1,1 @@
+examples/university.ml: Atom Constant Fmt Instance List Option Rewrite Schema Term Tgd Tgd_chase Tgd_class Tgd_core Tgd_instance Tgd_parse Tgd_syntax Variable

@@ -1,0 +1,67 @@
+(* Data exchange with a mixed theory — tgds + egds + denial constraints.
+
+   The paper's concluding remarks point at ontologies specified by tgds,
+   egds, and denial constraints as the next frontier; this example runs the
+   operational side: a source-to-target exchange where target tgds invent
+   null witnesses, key egds merge them (or fail on hard conflicts), a denial
+   constraint rejects dirty data, and the final universal solution is
+   minimized to its core.
+
+   Run with:  dune exec examples/data_exchange.exe *)
+
+open Tgd_syntax
+open Tgd_instance
+open Tgd_chase
+
+let theory_src =
+  "% source-to-target tgds\n\
+   SrcEmp(e,d)          -> Emp(e), WorksIn(e,d), Dept(d).\n\
+   SrcMgr(d,m)          -> Mgr(d,m), Emp(m).\n\
+   % every department acquires a manager (null if unknown)\n\
+   Dept(d)              -> exists m. Mgr(d,m), Emp(m).\n\
+   % a department has at most one manager (key egd)\n\
+   Mgr(d,m), Mgr(d,m')  -> m = m'.\n\
+   % nobody manages a department they do not work in ... unless declared\n\
+   Mgr(d,m)             -> WorksIn(m,d).\n\
+   % denial: the audit department must not exist in the target\n\
+   Dept(d), Audit(d)    -> false.\n"
+
+let run name db_src =
+  Fmt.pr "@.== %s ==@." name;
+  let prog = Tgd_parse.Parse.program_exn theory_src in
+  let schema =
+    Schema.union prog.Tgd_parse.Parse.schema
+      (Tgd_parse.Parse.program_exn db_src).Tgd_parse.Parse.schema
+  in
+  let db =
+    Instance.of_facts schema
+      (Tgd_parse.Parse.program_exn ~schema db_src).Tgd_parse.Parse.facts
+  in
+  let theory =
+    Theory.
+      { tgds = prog.Tgd_parse.Parse.tgds;
+        egds = prog.Tgd_parse.Parse.egds;
+        denials = prog.Tgd_parse.Parse.denials
+      }
+  in
+  Fmt.pr "source: %a@." Instance.pp db;
+  let r = Theory.chase theory db in
+  Fmt.pr "chase: %a (%d tgd firings, %d null merges)@." Theory.pp_outcome
+    r.Theory.outcome r.Theory.fired r.Theory.merges;
+  match r.Theory.outcome with
+  | Theory.Model ->
+    let core = Retract.core_preserving (Instance.adom db) r.Theory.instance in
+    Fmt.pr "universal solution (core): %a@." Instance.pp core;
+    Fmt.pr "core is a model of the theory: %b@." (Theory.satisfies core theory)
+  | Theory.Failed _ | Theory.Out_of_budget -> ()
+
+let () =
+  (* clean exchange: the generated manager-null for "sales" merges with the
+     declared manager of "eng" only where keys force it *)
+  run "clean exchange" "SrcEmp(ann,eng). SrcMgr(eng,bob). SrcEmp(carl,sales).";
+
+  (* key conflict: two declared managers for the same department *)
+  run "key conflict (rigid clash)" "SrcMgr(eng,bob). SrcMgr(eng,eve).";
+
+  (* denial violation: audited department materializes in the target *)
+  run "denial violation" "SrcEmp(ann,shadow). Audit(shadow)."

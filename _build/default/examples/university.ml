@@ -1,0 +1,85 @@
+(* Ontology-mediated query answering over a higher-arity schema.
+
+   The paper's introduction motivates tgds over description logics by their
+   ability to "easily handle higher-arity relations that naturally occur in
+   relational databases".  This example runs certain-answer computation over
+   a ternary enrollment schema that no DL with unary/binary predicates can
+   model directly.
+
+   Run with:  dune exec examples/university.exe *)
+
+open Tgd_syntax
+open Tgd_instance
+open Tgd_core
+
+let ontology_src =
+  "% every enrollment is backed by a course offering in the same term\n\
+   Enrolled(s,course,term) -> exists p. Offering(course,term,p).\n\
+   % offerings are taught by faculty members\n\
+   Offering(course,term,p) -> Faculty(p).\n\
+   % enrolled students are students\n\
+   Enrolled(s,course,term) -> Student(s).\n\
+   % faculty advise the students enrolled in their offerings\n\
+   Enrolled(s,course,term), Offering(course,term,p) -> Advises(p,s).\n"
+
+let database_src =
+  "Enrolled(ann,db101,fall). Enrolled(bob,db101,fall).\n\
+   Enrolled(ann,logic,spring).\n\
+   Offering(db101,fall,codd).\n"
+
+let () =
+  let sigma = Tgd_parse.Parse.tgds_exn ontology_src in
+  let schema = Rewrite.schema_of sigma in
+  let db = Tgd_parse.Parse.instance_exn ~schema database_src in
+  Fmt.pr "@[<v>Ontology (max arity %d):@,%a@,@]@." (Schema.max_arity schema)
+    Fmt.(list ~sep:cut (box Tgd.pp))
+    sigma;
+  List.iter
+    (fun s ->
+      Fmt.pr "  classes: %a@."
+        Fmt.(list ~sep:(any ", ") Tgd_class.pp_cls)
+        (Tgd_class.classify s))
+    sigma;
+  Fmt.pr "@.Database: %a@." Instance.pp db;
+
+  (* certain answers: who advises whom? *)
+  let advises = Option.get (Schema.find schema "Advises") in
+  let q =
+    Tgd_chase.Cq.make
+      [ Variable.make "p"; Variable.make "s" ]
+      [ Atom.of_vars advises [ Variable.make "p"; Variable.make "s" ] ]
+  in
+  let answers, precision = Tgd_chase.Cq.certain_answers sigma db q in
+  Fmt.pr "@.Certain answers to Advises(p,s) [%s]:@."
+    (match precision with `Exact -> "exact" | `Lower_bound -> "lower bound");
+  List.iter
+    (fun tuple ->
+      Fmt.pr "  %a@." Fmt.(list ~sep:(any ", ") Constant.pp) tuple)
+    answers;
+
+  (* Boolean query: is ann certainly advised by some faculty member? *)
+  let faculty = Option.get (Schema.find schema "Faculty") in
+  let bq =
+    [ Atom.make advises [ Term.var (Variable.make "p"); Term.const (Constant.named "ann") ];
+      Atom.of_vars faculty [ Variable.make "p" ] ]
+  in
+  Fmt.pr "@.∃p. Advises(p,ann) ∧ Faculty(p) certain?  %a@."
+    Tgd_chase.Entailment.pp_answer
+    (Tgd_chase.Cq.certain_boolean sigma db bq);
+
+  (* the spring offering's professor is an unnamed null — certain answers
+     never leak it, but the Boolean query about ann's logic course holds *)
+  let bq_logic =
+    [ Atom.make advises [ Term.var (Variable.make "p"); Term.const (Constant.named "ann") ];
+      Atom.make (Option.get (Schema.find schema "Offering"))
+        [ Term.const (Constant.named "logic"); Term.const (Constant.named "spring");
+          Term.var (Variable.make "p") ]
+    ]
+  in
+  Fmt.pr "∃p. Advises(p,ann) ∧ Offering(logic,spring,p) certain?  %a@."
+    Tgd_chase.Entailment.pp_answer
+    (Tgd_chase.Cq.certain_boolean sigma db bq_logic);
+
+  (* the ontology is weakly acyclic, so all of the above is exact *)
+  Fmt.pr "@.Weakly acyclic (chase guaranteed to terminate): %b@."
+    (Tgd_chase.Weak_acyclicity.is_weakly_acyclic sigma)

@@ -1,0 +1,1 @@
+lib/chase/chase.ml: Binding Constant Fmt Hashtbl Instance List Seq Tgd Tgd_instance Tgd_syntax Trigger Variable

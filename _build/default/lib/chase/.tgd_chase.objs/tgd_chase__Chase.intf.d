@@ -1,0 +1,1 @@
+lib/chase/chase.mli: Fact Fmt Instance Tgd Tgd_instance Tgd_syntax Trigger

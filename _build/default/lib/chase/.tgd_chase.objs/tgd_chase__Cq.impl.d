@@ -1,0 +1,1 @@
+lib/chase/cq.ml: Atom Binding Chase Constant Entailment Hom Instance List Satisfaction Seq Tgd_instance Tgd_syntax Variable

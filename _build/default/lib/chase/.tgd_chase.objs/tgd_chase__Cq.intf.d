@@ -1,0 +1,1 @@
+lib/chase/cq.mli: Atom Chase Constant Entailment Instance Tgd Tgd_instance Tgd_syntax Variable

@@ -1,0 +1,1 @@
+lib/chase/datalog.ml: Atom Binding Constant Entailment Fact Hom Instance List Schema Seq Tgd Tgd_instance Tgd_syntax Variable

@@ -1,0 +1,1 @@
+lib/chase/datalog.mli: Instance Tgd Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+lib/chase/entailment.ml: Atom Binding Chase Constant Egd Fmt Hom Instance List Printf Schema Tgd Tgd_instance Tgd_syntax Variable

@@ -1,0 +1,1 @@
+lib/chase/entailment.mli: Atom Binding Chase Egd Fmt Instance Schema Tgd Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+lib/chase/provenance.ml: Binding Chase Fact Fmt Hashtbl Instance List Tgd Tgd_instance Tgd_syntax Trigger

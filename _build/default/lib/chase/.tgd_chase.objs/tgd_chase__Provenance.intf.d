@@ -1,0 +1,1 @@
+lib/chase/provenance.mli: Binding Chase Fact Fmt Instance Tgd Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+lib/chase/theory.ml: Binding Chase Constant Denial Dependency Egd Entailment Fmt Hom Instance List Satisfaction Seq Tgd Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+lib/chase/theory.mli: Atom Chase Constant Denial Dependency Egd Entailment Fmt Instance Tgd Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+lib/chase/trigger.ml: Binding Fmt Hom Seq Tgd Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+lib/chase/trigger.mli: Binding Fmt Instance Seq Tgd Tgd_instance Tgd_syntax

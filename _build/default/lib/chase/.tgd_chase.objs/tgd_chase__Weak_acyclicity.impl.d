@@ -1,0 +1,1 @@
+lib/chase/weak_acyclicity.ml: Array Atom Fmt Int List Relation Term Tgd Tgd_syntax Variable

@@ -1,0 +1,1 @@
+lib/chase/weak_acyclicity.mli: Fmt Relation Tgd Tgd_syntax

@@ -1,0 +1,107 @@
+open Tgd_syntax
+open Tgd_instance
+
+type budget = { max_rounds : int; max_facts : int }
+
+let default_budget = { max_rounds = 64; max_facts = 20_000 }
+
+type outcome =
+  | Terminated
+  | Budget_exhausted
+
+type result = {
+  instance : Instance.t;
+  outcome : outcome;
+  rounds : int;
+  fired : int;
+}
+
+let rec max_null_in_const acc = function
+  | Constant.Null i -> max acc i
+  | Constant.Pair (a, b) -> max_null_in_const (max_null_in_const acc a) b
+  | Constant.Named _ | Constant.Indexed _ -> acc
+
+let max_null inst =
+  Constant.Set.fold (fun c acc -> max_null_in_const acc c) (Instance.dom inst) 0
+
+let fire ?(on_fire = fun _ _ -> ()) null_counter inst tr =
+  let tgd = tr.Trigger.tgd in
+  let h =
+    Variable.Set.fold
+      (fun z acc ->
+        incr null_counter;
+        Binding.add z (Constant.null !null_counter) acc)
+      (Tgd.existential_vars tgd)
+      tr.Trigger.hom
+  in
+  match Binding.ground_atoms h (Tgd.head tgd) with
+  | Some facts ->
+    on_fire tr facts;
+    List.fold_left Instance.add_fact inst facts
+  | None -> assert false (* body ∪ existential vars cover the head *)
+
+let run ~recheck_active ~skip_fired ?(budget = default_budget) ?on_fire sigma
+    inst =
+  let null_counter = ref (max_null inst) in
+  let fired_keys : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let current = ref inst in
+  let rounds = ref 0 in
+  let fired = ref 0 in
+  let out_of_budget = ref false in
+  let progressed = ref true in
+  while !progressed && (not !out_of_budget) && !rounds < budget.max_rounds do
+    incr rounds;
+    progressed := false;
+    let snapshot = !current in
+    List.iter
+      (fun tgd ->
+        if not !out_of_budget then
+          Seq.iter
+            (fun tr ->
+              if not !out_of_budget then begin
+                let skip =
+                  (skip_fired && Hashtbl.mem fired_keys (Trigger.key tr))
+                  || (recheck_active && not (Trigger.is_active tr !current))
+                in
+                if not skip then begin
+                  if skip_fired then Hashtbl.add fired_keys (Trigger.key tr) ();
+                  current := fire ?on_fire null_counter !current tr;
+                  incr fired;
+                  progressed := true;
+                  if Instance.fact_count !current > budget.max_facts then
+                    out_of_budget := true
+                end
+              end)
+            (if recheck_active then Trigger.active tgd snapshot
+             else Trigger.all tgd snapshot))
+      sigma
+  done;
+  let outcome =
+    if !out_of_budget then Budget_exhausted
+    else if !progressed then
+      (* the loop stopped because of max_rounds while still making progress *)
+      if !rounds >= budget.max_rounds
+         && List.exists
+              (fun tgd -> not (Seq.is_empty (Trigger.active tgd !current)))
+              sigma
+      then Budget_exhausted
+      else Terminated
+    else Terminated
+  in
+  { instance = !current; outcome; rounds = !rounds; fired = !fired }
+
+let restricted ?budget ?on_fire sigma inst =
+  run ~recheck_active:true ~skip_fired:false ?budget ?on_fire sigma inst
+
+let oblivious ?budget ?on_fire sigma inst =
+  run ~recheck_active:false ~skip_fired:true ?budget ?on_fire sigma inst
+
+let is_model r = r.outcome = Terminated
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v>outcome: %s; rounds: %d; fired: %d; facts: %d@]"
+    (match r.outcome with
+    | Terminated -> "terminated"
+    | Budget_exhausted -> "budget-exhausted")
+    r.rounds r.fired
+    (Instance.fact_count r.instance)

@@ -1,0 +1,49 @@
+(** The chase procedure.
+
+    Both the {e restricted} chase (fire only active triggers) and the
+    {e oblivious} chase (fire every trigger once) are provided, under an
+    explicit budget.  Soundness note used by {!Entailment}: every finite
+    prefix of the (restricted or oblivious) chase of [D] with [Σ] maps
+    homomorphically, fixing [D]'s constants, into every model [M ⊨ Σ] with
+    [facts(D) ⊆ facts(M)] — so facts derived within the budget are certain,
+    while exhaustion of the budget leaves satisfaction open. *)
+
+open Tgd_syntax
+open Tgd_instance
+
+type budget = {
+  max_rounds : int;  (** breadth-first rounds of trigger firing *)
+  max_facts : int;   (** hard cap on the number of facts *)
+}
+
+val default_budget : budget
+(** [{ max_rounds = 64; max_facts = 20_000 }]. *)
+
+type outcome =
+  | Terminated       (** no active trigger remains: the result is a model *)
+  | Budget_exhausted (** the budget was hit; the result is a sound prefix *)
+
+type result = {
+  instance : Instance.t;
+  outcome : outcome;
+  rounds : int;  (** rounds actually performed *)
+  fired : int;   (** triggers fired *)
+}
+
+val restricted :
+  ?budget:budget -> ?on_fire:(Trigger.t -> Fact.t list -> unit) ->
+  Tgd.t list -> Instance.t -> result
+(** Breadth-first restricted chase.  When [outcome = Terminated] the
+    instance is a universal model of [(facts(D), Σ)].  [on_fire] observes
+    every fired trigger together with the grounded head facts (new or
+    not) — the hook behind {!Provenance}. *)
+
+val oblivious :
+  ?budget:budget -> ?on_fire:(Trigger.t -> Fact.t list -> unit) ->
+  Tgd.t list -> Instance.t -> result
+(** Oblivious (naive) chase: every trigger fires exactly once. *)
+
+val is_model : result -> bool
+(** [outcome = Terminated]. *)
+
+val pp_result : result Fmt.t

@@ -1,0 +1,76 @@
+open Tgd_syntax
+open Tgd_instance
+
+type query = { head_vars : Variable.t list; atoms : Atom.t list }
+
+let boolean atoms = { head_vars = []; atoms }
+
+let make head_vars atoms =
+  let vs =
+    List.fold_left
+      (fun acc a -> Variable.Set.union acc (Atom.vars a))
+      Variable.Set.empty atoms
+  in
+  if not (List.for_all (fun v -> Variable.Set.mem v vs) head_vars) then
+    invalid_arg "Cq.make: head variable not in query body";
+  { head_vars; atoms }
+
+let chase_db ?budget sigma db = Chase.restricted ?budget sigma db
+
+let certain_boolean ?budget sigma db atoms =
+  let result = chase_db ?budget sigma db in
+  if Satisfaction.boolean_cq result.Chase.instance atoms then Entailment.Proved
+  else if Chase.is_model result then Entailment.Disproved
+  else Entailment.Unknown
+
+let certain_answers ?budget sigma db q =
+  let result = chase_db ?budget sigma db in
+  let universal = result.Chase.instance in
+  let db_consts = Instance.adom db in
+  let answers =
+    Hom.all_homs q.atoms universal
+    |> Seq.filter_map (fun h ->
+           let tuple =
+             List.map
+               (fun v ->
+                 match Binding.find v h with
+                 | Some c -> c
+                 | None -> assert false)
+               q.head_vars
+           in
+           (* certain answers range over database constants only *)
+           if List.for_all (fun c -> Constant.Set.mem c db_consts) tuple then
+             Some tuple
+           else None)
+    |> List.of_seq
+    |> List.sort_uniq (List.compare Constant.compare)
+  in
+  let precision = if Chase.is_model result then `Exact else `Lower_bound in
+  (answers, precision)
+
+let contained q1 q2 =
+  if List.length q1.head_vars <> List.length q2.head_vars then
+    invalid_arg "Cq.contained: head arities differ";
+  let schema =
+    Tgd_syntax.Schema.make
+      (List.map Atom.rel (q1.atoms @ q2.atoms))
+  in
+  let frozen, db = Entailment.freeze_instance schema q1.atoms in
+  (* pin q2's head variables to q1's frozen head images; a repeated head
+     variable in q2 facing distinct images is an immediate non-containment *)
+  let partial =
+    List.fold_left2
+      (fun acc v2 v1 ->
+        match acc, Binding.find v1 frozen with
+        | Some b, Some c -> Binding.extend v2 c b
+        | _, None -> acc
+        | None, _ -> None)
+      (Some Binding.empty) q2.head_vars q1.head_vars
+  in
+  match partial with
+  | None -> false
+  | Some partial -> Hom.exists_hom ~partial q2.atoms db
+
+let equivalent_queries q1 q2 = contained q1 q2 && contained q2 q1
+
+let body_acyclic q = Tgd_syntax.Hypergraph.is_acyclic q.atoms

@@ -1,0 +1,41 @@
+(** Certain answers to (Boolean and non-Boolean) conjunctive queries under a
+    tgd ontology — ontology-mediated query answering, the data-intensive task
+    motivating tgd-ontologies in the paper's introduction. *)
+
+open Tgd_syntax
+open Tgd_instance
+
+type query = { head_vars : Variable.t list; atoms : Atom.t list }
+
+val boolean : Atom.t list -> query
+val make : Variable.t list -> Atom.t list -> query
+(** Raises [Invalid_argument] when a head variable does not occur in the
+    atoms. *)
+
+val certain_boolean :
+  ?budget:Chase.budget -> Tgd.t list -> Instance.t -> Atom.t list ->
+  Entailment.answer
+(** Is the BCQ certain, i.e. true in every model of [Σ] containing the
+    database? *)
+
+val certain_answers :
+  ?budget:Chase.budget -> Tgd.t list -> Instance.t -> query ->
+  Constant.t list list * [ `Exact | `Lower_bound ]
+(** Tuples of database constants that are certain answers.  [`Lower_bound]
+    when the chase budget was exhausted (every returned tuple is certain, but
+    more may exist — for monotone queries the missing answers can only be
+    over nulls, so over database constants exhaustion matters only for
+    certainty of absence). *)
+
+val contained : query -> query -> bool
+(** [contained q1 q2] — is [q1 ⊆ q2] (the answers of [q1] always among the
+    answers of [q2])?  Decided by the Chandra–Merlin homomorphism theorem:
+    evaluate [q2] on the canonical (frozen) database of [q1] with the head
+    variables pinned.  Raises [Invalid_argument] when the head arities
+    differ. *)
+
+val equivalent_queries : query -> query -> bool
+
+val body_acyclic : query -> bool
+(** α-acyclicity of the query's hypergraph (GYO) — acyclic CQs evaluate in
+    polynomial time and are the shape of guarded tgd bodies. *)

@@ -1,0 +1,93 @@
+open Tgd_syntax
+open Tgd_instance
+
+type stats = { rounds : int; derived : int }
+
+let check_full sigma =
+  if
+    List.exists
+      (fun t -> not (Variable.Set.is_empty (Tgd.existential_vars t)))
+      sigma
+  then invalid_arg "Datalog.saturate: rules must be existential-free"
+
+(* All body homs where atom [pivot] matches a fact of [delta] and the other
+   atoms match [full]. *)
+let pivot_homs full delta body pivot =
+  let rec split i acc = function
+    | [] -> assert false
+    | a :: rest ->
+      if i = pivot then (a, List.rev_append acc rest)
+      else split (i + 1) (a :: acc) rest
+  in
+  let pivot_atom, others = split 0 [] body in
+  Fact.Set.to_seq (Instance.facts_of delta (Atom.rel pivot_atom))
+  |> Seq.concat_map (fun f ->
+         match Hom.match_atom Binding.empty pivot_atom f with
+         | Some partial -> Hom.all_homs ~partial others full
+         | None -> Seq.empty)
+
+let derive full delta rule =
+  match Tgd.body rule with
+  | [] ->
+    (* a bodiless full tgd would have no variables at all, which Tgd.make
+       rejects — unreachable, but harmless *)
+    Seq.empty
+  | body ->
+    Seq.init (List.length body) (fun i -> i)
+    |> Seq.concat_map (fun pivot -> pivot_homs full delta body pivot)
+    |> Seq.concat_map (fun h ->
+           match Binding.ground_atoms h (Tgd.head rule) with
+           | Some facts -> List.to_seq facts
+           | None -> Seq.empty)
+
+let saturate_with_stats ?(max_facts = 1_000_000) sigma inst =
+  check_full sigma;
+  let schema =
+    List.fold_left
+      (fun acc t ->
+        Schema.union acc
+          (Schema.make (List.map Atom.rel (Tgd.body t @ Tgd.head t))))
+      (Instance.schema inst) sigma
+  in
+  let full = ref (Instance.of_facts ~dom:(Constant.Set.elements (Instance.dom inst)) schema (Instance.fact_list inst)) in
+  (* the first delta is the instance itself: every rule must see it *)
+  let delta = ref !full in
+  let rounds = ref 0 in
+  let derived = ref 0 in
+  while not (Instance.is_empty !delta) do
+    incr rounds;
+    let fresh = ref (Instance.empty schema) in
+    List.iter
+      (fun rule ->
+        Seq.iter
+          (fun fact ->
+            if not (Instance.mem !full fact) && not (Instance.mem !fresh fact)
+            then begin
+              fresh := Instance.add_fact !fresh fact;
+              incr derived;
+              if !derived + Instance.fact_count !full > max_facts then
+                failwith "Datalog.saturate: max_facts exceeded"
+            end)
+          (derive !full !delta rule))
+      sigma;
+    full := Instance.union !full !fresh;
+    delta := !fresh
+  done;
+  (!full, { rounds = !rounds; derived = !derived })
+
+let saturate ?max_facts sigma inst = fst (saturate_with_stats ?max_facts sigma inst)
+
+let entails sigma goal =
+  check_full sigma;
+  check_full [ goal ];
+  let schema =
+    Schema.make
+      (List.concat_map
+         (fun t -> List.map Atom.rel (Tgd.body t @ Tgd.head t))
+         (goal :: sigma))
+  in
+  let frozen, db = Entailment.freeze_instance schema (Tgd.body goal) in
+  let saturated = saturate sigma db in
+  match Binding.ground_atoms frozen (Tgd.head goal) with
+  | Some facts -> List.for_all (Instance.mem saturated) facts
+  | None -> false

@@ -1,0 +1,31 @@
+(** Semi-naive Datalog evaluation for full tgds.
+
+    Full tgds are exactly Datalog rules (no existentials, possibly
+    multi-atom heads), and for them the generic restricted chase is
+    needlessly slow: it re-derives everything every round.  This engine
+    implements classic semi-naive evaluation — each round only joins rule
+    bodies in which at least one atom matches a {e delta} fact derived in
+    the previous round.
+
+    Used as the fast path for entailment between full tgds and exposed as an
+    ablation against {!Chase} (bench [ablate-datalog]). *)
+
+open Tgd_syntax
+open Tgd_instance
+
+val saturate : ?max_facts:int -> Tgd.t list -> Instance.t -> Instance.t
+(** Least fixpoint of the rules over the instance.  Raises
+    [Invalid_argument] if some tgd has existential variables, and [Failure]
+    if the fixpoint exceeds [max_facts] (default 1_000_000 — on a finite
+    instance the fixpoint is finite, so this only guards against
+    misconfiguration). *)
+
+type stats = { rounds : int; derived : int }
+
+val saturate_with_stats :
+  ?max_facts:int -> Tgd.t list -> Instance.t -> Instance.t * stats
+
+val entails : Tgd.t list -> Tgd.t -> bool
+(** Decision procedure for entailment between full tgds: freeze the goal
+    body, saturate, check the goal head.  Total and exact (both sides
+    existential-free). *)

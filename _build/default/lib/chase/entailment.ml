@@ -1,0 +1,81 @@
+open Tgd_syntax
+open Tgd_instance
+
+type answer =
+  | Proved
+  | Disproved
+  | Unknown
+
+let answer_to_string = function
+  | Proved -> "proved"
+  | Disproved -> "disproved"
+  | Unknown -> "unknown"
+
+let pp_answer ppf a = Fmt.string ppf (answer_to_string a)
+
+let frozen_counter = ref 0
+
+let freeze atoms =
+  let vars =
+    List.fold_left
+      (fun acc a -> Variable.Set.union acc (Atom.vars a))
+      Variable.Set.empty atoms
+  in
+  Variable.Set.fold
+    (fun v acc ->
+      incr frozen_counter;
+      Binding.add v
+        (Constant.named (Printf.sprintf "~%s.%d" (Variable.name v) !frozen_counter))
+        acc)
+    vars Binding.empty
+
+let freeze_instance schema atoms =
+  let b = freeze atoms in
+  let facts =
+    List.map
+      (fun a ->
+        match Binding.ground_atom b a with
+        | Some f -> f
+        | None -> assert false)
+      atoms
+  in
+  (b, Instance.of_facts schema facts)
+
+let schema_of_tgds sigma extra =
+  let rels =
+    List.concat_map
+      (fun s ->
+        List.map Atom.rel (Tgd.body s) @ List.map Atom.rel (Tgd.head s))
+      (extra :: sigma)
+  in
+  Schema.make rels
+
+let entails ?budget sigma s =
+  let schema = schema_of_tgds sigma s in
+  let frozen, db = freeze_instance schema (Tgd.body s) in
+  let result = Chase.restricted ?budget sigma db in
+  let partial = Binding.restrict (Tgd.frontier s) frozen in
+  if Hom.exists_hom ~partial (Tgd.head s) result.Chase.instance then Proved
+  else if Chase.is_model result then Disproved
+  else Unknown
+
+let combine answers =
+  List.fold_left
+    (fun acc a ->
+      match acc, a with
+      | Disproved, _ | _, Disproved -> Disproved
+      | Unknown, _ | _, Unknown -> Unknown
+      | Proved, Proved -> Proved)
+    Proved answers
+
+let entails_set ?budget sigma sigma' =
+  combine (List.map (entails ?budget sigma) sigma')
+
+let equivalent ?budget sigma sigma' =
+  combine [ entails_set ?budget sigma sigma'; entails_set ?budget sigma' sigma ]
+
+let entails_egd _sigma e =
+  if Egd.is_trivial e then Proved else Disproved
+
+let entailed_subset ?budget sigma candidates =
+  List.partition (fun s -> entails ?budget sigma s = Proved) candidates

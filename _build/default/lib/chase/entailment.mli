@@ -1,0 +1,46 @@
+(** Logical entailment between sets of tgds, via freezing and the chase
+    (Section 9.2: "[Σ ⊨ σ] iff [Σ] and the database [D_φ], obtained by
+    freezing [φ(x̄,ȳ)], entail the Boolean conjunctive query [q_φ] obtained
+    from [∃z̄ ψ(x̄,z̄)] after freezing [x̄]" — citing Maier–Mendelzon–Sagiv).
+
+    Entailment of arbitrary tgds is undecidable, so answers are three-valued:
+    [Proved] and [Disproved] are definite; [Unknown] reports that the chase
+    budget was exhausted before a verdict.  On weakly acyclic sets (in
+    particular on full tgds) the restricted chase terminates and the answer
+    is always definite given a sufficient budget. *)
+
+open Tgd_syntax
+open Tgd_instance
+
+type answer =
+  | Proved
+  | Disproved
+  | Unknown
+
+val pp_answer : answer Fmt.t
+val answer_to_string : answer -> string
+
+val freeze : Atom.t list -> Binding.t
+(** Assign a distinct frozen constant to every variable of the atoms. *)
+
+val freeze_instance : Schema.t -> Atom.t list -> Binding.t * Instance.t
+(** The database [D_φ] together with the freezing assignment. *)
+
+val entails : ?budget:Chase.budget -> Tgd.t list -> Tgd.t -> answer
+(** [entails sigma s] — does [Σ ⊨ σ]? *)
+
+val entails_set : ?budget:Chase.budget -> Tgd.t list -> Tgd.t list -> answer
+(** Conjunction over the right-hand set: [Proved] if all are proved,
+    [Disproved] if some is disproved, otherwise [Unknown]. *)
+
+val equivalent : ?budget:Chase.budget -> Tgd.t list -> Tgd.t list -> answer
+(** Logical equivalence [Σ ≡ Σ'] (mutual entailment). *)
+
+val entails_egd : Tgd.t list -> Egd.t -> answer
+(** A set of tgds entails an egd iff the egd is trivial on the frozen body —
+    tgds cannot force equalities.  Definite. *)
+
+val entailed_subset :
+  ?budget:Chase.budget -> Tgd.t list -> Tgd.t list -> Tgd.t list * Tgd.t list
+(** [entailed_subset sigma candidates] partitions the candidates into those
+    provably entailed by [sigma] and the rest (disproved or unknown). *)

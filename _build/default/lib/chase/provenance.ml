@@ -1,0 +1,52 @@
+open Tgd_syntax
+open Tgd_instance
+
+type source =
+  | Input
+  | Derived of { rule : Tgd.t; trigger : Binding.t; premises : Fact.t list }
+
+type t = (Fact.t, source) Hashtbl.t
+
+let restricted ?budget sigma inst =
+  let log : t = Hashtbl.create 256 in
+  Fact.Set.iter (fun f -> Hashtbl.replace log f Input) (Instance.facts inst);
+  let on_fire tr facts =
+    let rule = tr.Trigger.tgd in
+    let premises =
+      match Binding.ground_atoms tr.Trigger.hom (Tgd.body rule) with
+      | Some fs -> fs
+      | None -> [] (* body homs always ground the body *)
+    in
+    List.iter
+      (fun f ->
+        if not (Hashtbl.mem log f) then
+          Hashtbl.replace log f
+            (Derived { rule; trigger = tr.Trigger.hom; premises }))
+      facts
+  in
+  let result = Chase.restricted ?budget ~on_fire sigma inst in
+  (result, log)
+
+let source_of log f = Hashtbl.find_opt log f
+
+type tree = { fact : Fact.t; source : source; children : tree list }
+
+let rec explain log f =
+  match Hashtbl.find_opt log f with
+  | None -> None
+  | Some Input -> Some { fact = f; source = Input; children = [] }
+  | Some (Derived d as source) ->
+    let children = List.filter_map (explain log) d.premises in
+    Some { fact = f; source; children }
+
+let rec pp_tree ppf t =
+  (match t.source with
+  | Input -> Fmt.pf ppf "@[<v>%a  (input)" Fact.pp t.fact
+  | Derived d -> Fmt.pf ppf "@[<v>%a  (by %a)" Fact.pp t.fact Tgd.pp d.rule);
+  List.iter (fun child -> Fmt.pf ppf "@,  %a" pp_tree child) t.children;
+  Fmt.pf ppf "@]"
+
+let rec depth t =
+  match t.children with
+  | [] -> 0
+  | children -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children

@@ -1,0 +1,34 @@
+(** Provenance-tracking chase: why is each fact in the result?
+
+    Wraps {!Chase.restricted} with the [on_fire] hook and records, for every
+    derived fact, the tgd and trigger homomorphism that first produced it.
+    [explain] reconstructs the full derivation tree down to the input
+    facts — the "why" provenance of the chase, surfaced by
+    [tgdtool chase --explain]. *)
+
+open Tgd_syntax
+open Tgd_instance
+
+type source =
+  | Input
+  | Derived of { rule : Tgd.t; trigger : Binding.t; premises : Fact.t list }
+      (** [premises] are the grounded body facts of the firing trigger. *)
+
+type t
+
+val restricted :
+  ?budget:Chase.budget -> Tgd.t list -> Instance.t -> Chase.result * t
+
+val source_of : t -> Fact.t -> source option
+(** [None] for facts that are in neither the input nor the result. *)
+
+type tree = { fact : Fact.t; source : source; children : tree list }
+
+val explain : t -> Fact.t -> tree option
+(** The full derivation tree (premises recursively explained).  Input facts
+    are leaves. *)
+
+val pp_tree : tree Fmt.t
+
+val depth : tree -> int
+(** 0 for input facts. *)

@@ -1,0 +1,167 @@
+open Tgd_syntax
+open Tgd_instance
+
+type t = {
+  tgds : Tgd.t list;
+  egds : Egd.t list;
+  denials : Denial.t list;
+}
+
+let of_tgds tgds = { tgds; egds = []; denials = [] }
+
+let of_dependencies deps =
+  { tgds = Dependency.tgds deps; egds = Dependency.egds deps; denials = [] }
+
+let satisfies i th =
+  Satisfaction.tgds i th.tgds
+  && List.for_all (Satisfaction.egd i) th.egds
+  && List.for_all (Satisfaction.denial i) th.denials
+
+type failure =
+  | Egd_clash of Egd.t * Constant.t * Constant.t
+  | Denial_violation of Denial.t
+
+type outcome =
+  | Model
+  | Failed of failure
+  | Out_of_budget
+
+type result = {
+  instance : Instance.t;
+  outcome : outcome;
+  merges : int;
+  fired : int;
+}
+
+let pp_outcome ppf = function
+  | Model -> Fmt.string ppf "model"
+  | Failed (Egd_clash (e, a, b)) ->
+    Fmt.pf ppf "failed: egd %a equates rigid %a and %a" Egd.pp e Constant.pp a
+      Constant.pp b
+  | Failed (Denial_violation d) -> Fmt.pf ppf "failed: denial %a" Denial.pp d
+  | Out_of_budget -> Fmt.string ppf "out of budget"
+
+(* Find an egd violation: a body hom with distinct values for lhs/rhs. *)
+let egd_violation inst e =
+  Hom.all_homs (Egd.body e) inst
+  |> Seq.filter_map (fun h ->
+         match Binding.find (Egd.lhs e) h, Binding.find (Egd.rhs e) h with
+         | Some a, Some b when not (Constant.equal a b) -> Some (a, b)
+         | _ -> None)
+  |> fun seq -> (match seq () with Seq.Nil -> None | Seq.Cons (v, _) -> Some v)
+
+exception Clash of Egd.t * Constant.t * Constant.t
+
+(* Merge [a] and [b]: the null is renamed to the other constant; two nulls
+   keep the smaller one; two rigid constants clash. *)
+let merge inst e a b =
+  let keep, drop =
+    match Constant.is_null a, Constant.is_null b with
+    | true, false -> (b, a)
+    | false, true -> (a, b)
+    | true, true -> if Constant.compare a b <= 0 then (a, b) else (b, a)
+    | false, false -> raise (Clash (e, a, b))
+  in
+  Instance.map_constants
+    (fun c -> if Constant.equal c drop then keep else c)
+    inst
+
+let saturate_egds inst egds merges =
+  let changed = ref true in
+  let current = ref inst in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun e ->
+        match egd_violation !current e with
+        | Some (a, b) ->
+          current := merge !current e a b;
+          incr merges;
+          changed := true
+        | None -> ())
+      egds
+  done;
+  !current
+
+let violated_denial inst denials =
+  List.find_opt (fun d -> not (Satisfaction.denial inst d)) denials
+
+let rec chase ?(budget = Chase.default_budget) th inst =
+  let merges = ref 0 in
+  let fired = ref 0 in
+  let exception Done of outcome * Instance.t in
+  try
+    let current = ref inst in
+    let rounds = ref 0 in
+    let continue = ref true in
+    while !continue do
+      (* 1. equality saturation *)
+      (current :=
+         match saturate_egds !current th.egds merges with
+         | i -> i
+         | exception Clash (e, a, b) ->
+           raise (Done (Failed (Egd_clash (e, a, b)), !current)));
+      (* 2. denial check *)
+      (match violated_denial !current th.denials with
+      | Some d -> raise (Done (Failed (Denial_violation d), !current))
+      | None -> ());
+      (* 3. one round of restricted tgd chase *)
+      let step =
+        Chase.restricted
+          ~budget:Chase.{ budget with max_rounds = 1 }
+          th.tgds !current
+      in
+      fired := !fired + step.Chase.fired;
+      incr rounds;
+      if step.Chase.fired = 0 then begin
+        continue := false;
+        current := step.Chase.instance
+      end
+      else begin
+        current := step.Chase.instance;
+        if
+          !rounds >= budget.Chase.max_rounds
+          || Instance.fact_count !current > budget.Chase.max_facts
+        then raise (Done (Out_of_budget, !current))
+      end
+    done;
+    (* post-condition: tgds are saturated; egds/denials may have been
+       re-broken by the last tgd round — re-run the checks once *)
+    (current :=
+       match saturate_egds !current th.egds merges with
+       | i -> i
+       | exception Clash (e, a, b) ->
+         raise (Done (Failed (Egd_clash (e, a, b)), !current)));
+    (match violated_denial !current th.denials with
+    | Some d -> raise (Done (Failed (Denial_violation d), !current))
+    | None -> ());
+    if satisfies !current th then
+      { instance = !current; outcome = Model; merges = !merges; fired = !fired }
+    else
+      (* egd merging re-enabled a tgd trigger: iterate once more by
+         recursing with the merged instance *)
+      let again =
+        chase
+          ~budget:
+            Chase.
+              { budget with max_rounds = max 1 (budget.max_rounds - !rounds) }
+          th !current
+      in
+      { again with
+        merges = again.merges + !merges;
+        fired = again.fired + !fired
+      }
+  with Done (outcome, instance) ->
+    { instance; outcome; merges = !merges; fired = !fired }
+
+
+let certain_boolean ?budget th inst atoms =
+  let r = chase ?budget th inst in
+  match r.outcome with
+  | Failed _ -> Entailment.Proved (* ex falso: inconsistent input *)
+  | Model ->
+    if Satisfaction.boolean_cq r.instance atoms then Entailment.Proved
+    else Entailment.Disproved
+  | Out_of_budget ->
+    if Satisfaction.boolean_cq r.instance atoms then Entailment.Proved
+    else Entailment.Unknown

@@ -1,0 +1,59 @@
+(** Mixed theories — tgds, egds, and denial constraints — and their chase.
+
+    Section 10 of the paper names ontologies specified by tgds, egds, and
+    denial constraints as the natural next target of the characterization
+    program; this module supplies the operational substrate: satisfaction,
+    and a chase that interleaves tgd firing with egd-driven equality merging
+    and denial checking.
+
+    Equality merging follows the standard data-exchange convention: labelled
+    nulls are soft and may be merged into anything; all other constants are
+    rigid, and an egd that equates two distinct rigid constants makes the
+    chase {e fail} (the theory has no model containing the input facts with
+    those constants kept distinct). *)
+
+open Tgd_syntax
+open Tgd_instance
+
+type t = {
+  tgds : Tgd.t list;
+  egds : Egd.t list;
+  denials : Denial.t list;
+}
+
+val of_tgds : Tgd.t list -> t
+val of_dependencies : Dependency.t list -> t
+(** Denial-free theory from a mixed tgd/egd list (Step 2's [Σ^{∃,=}]). *)
+
+val satisfies : Instance.t -> t -> bool
+
+type failure =
+  | Egd_clash of Egd.t * Constant.t * Constant.t
+      (** the egd forced two distinct rigid constants to be equal *)
+  | Denial_violation of Denial.t
+
+type outcome =
+  | Model          (** chase terminated on a model of the theory *)
+  | Failed of failure
+  | Out_of_budget
+
+type result = {
+  instance : Instance.t;
+  outcome : outcome;
+  merges : int;  (** null-merging steps performed *)
+  fired : int;   (** tgd triggers fired *)
+}
+
+val chase : ?budget:Chase.budget -> t -> Instance.t -> result
+(** Interleaved chase: saturate egds (merging nulls, failing on rigid
+    clashes), check denials, fire one restricted-chase round of tgds,
+    repeat.  On [Model] the result instance satisfies the whole theory and
+    embeds the input up to the performed null merges. *)
+
+val certain_boolean :
+  ?budget:Chase.budget -> t -> Instance.t -> Atom.t list ->
+  Entailment.answer
+(** Certain answers under a mixed theory.  An inconsistent (failed) theory
+    entails everything, per the standard certain-answer semantics. *)
+
+val pp_outcome : outcome Fmt.t

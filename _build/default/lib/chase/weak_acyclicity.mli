@@ -1,0 +1,23 @@
+(** Weak acyclicity of a set of tgds (Fagin–Kolaitis–Miller–Popa).
+
+    Weak acyclicity guarantees termination of the restricted chase in
+    polynomially many rounds; {!Entailment} uses it to promote
+    budget-exhausted answers to definite ones where possible. *)
+
+open Tgd_syntax
+
+type position = Relation.t * int
+(** [(R, i)] — the [i]-th position (0-based) of relation [R]. *)
+
+type edge = { source : position; target : position; special : bool }
+
+val dependency_graph : Tgd.t list -> edge list
+(** Regular edges propagate a universal variable from a body position to a
+    head position; special edges go from the body positions of each
+    head-occurring universal variable to the positions of the existential
+    variables of the same tgd. *)
+
+val is_weakly_acyclic : Tgd.t list -> bool
+(** No cycle goes through a special edge. *)
+
+val pp_position : position Fmt.t

@@ -1,0 +1,1 @@
+lib/core/bigint.ml: Array Buffer Fmt Int List Printf String

@@ -1,0 +1,1 @@
+lib/core/bigint.mli: Fmt

@@ -1,0 +1,1 @@
+lib/core/candidates.ml: Atom Canonical Combinat List Relation Schema Seq Term Tgd Tgd_chase Tgd_class Tgd_syntax Variable

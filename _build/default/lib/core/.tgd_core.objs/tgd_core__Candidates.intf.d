@@ -1,0 +1,1 @@
+lib/core/candidates.mli: Atom Schema Seq Tgd Tgd_syntax Variable

@@ -1,0 +1,1 @@
+lib/core/characterize.mli: Candidates Dependency Edd Expressibility Instance Ontology Rewrite Schema Seq Tgd Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+lib/core/counting.ml: Bigint List Relation Schema Tgd_syntax

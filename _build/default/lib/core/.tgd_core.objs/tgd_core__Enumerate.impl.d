@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Bigint Combinat Constant Fact Instance List Relation Satisfaction Schema Seq Tgd_instance Tgd_syntax

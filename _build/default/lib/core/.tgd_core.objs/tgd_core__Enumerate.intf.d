@@ -1,0 +1,1 @@
+lib/core/enumerate.mli: Bigint Constant Fact Instance Schema Seq Tgd Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+lib/core/expressibility.ml: Fmt List Ontology Properties Rewrite Tgd Tgd_chase Tgd_class Tgd_syntax

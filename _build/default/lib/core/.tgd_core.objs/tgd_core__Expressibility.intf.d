@@ -1,0 +1,1 @@
+lib/core/expressibility.mli: Fmt Rewrite Tgd Tgd_class Tgd_syntax

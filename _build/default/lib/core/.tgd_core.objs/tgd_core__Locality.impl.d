@@ -1,0 +1,1 @@
+lib/core/locality.ml: Combinat Constant Enumerate Fact Hom Instance List Neighborhood Ontology Seq Tgd_chase Tgd_instance Tgd_syntax

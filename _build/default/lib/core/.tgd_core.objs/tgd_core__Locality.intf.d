@@ -1,0 +1,1 @@
+lib/core/locality.mli: Constant Instance Ontology Seq Tgd_chase Tgd_instance Tgd_syntax

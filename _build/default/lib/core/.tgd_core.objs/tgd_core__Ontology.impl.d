@@ -1,0 +1,1 @@
+lib/core/ontology.ml: Atom Combinat Constant Enumerate Fmt Hom Instance List Satisfaction Schema Seq Tgd Tgd_chase Tgd_instance Tgd_syntax

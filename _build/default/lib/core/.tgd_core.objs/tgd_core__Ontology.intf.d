@@ -1,0 +1,1 @@
+lib/core/ontology.mli: Fmt Instance Schema Seq Tgd Tgd_chase Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+lib/core/properties.ml: Combinat Constant Critical Duplicating Enumerate Fmt Instance List Ontology Product Seq Tgd_instance Tgd_syntax

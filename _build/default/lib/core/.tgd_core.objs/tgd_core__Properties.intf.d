@@ -1,0 +1,1 @@
+lib/core/properties.mli: Constant Fmt Instance Ontology Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Atom List Relation Rewrite Schema Tgd Tgd_class Tgd_syntax Variable

@@ -1,0 +1,1 @@
+lib/core/reduction.mli: Atom Relation Schema Tgd Tgd_syntax

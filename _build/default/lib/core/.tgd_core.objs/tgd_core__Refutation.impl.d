@@ -1,0 +1,1 @@
+lib/core/refutation.ml: Binding Combinat Constant Enumerate Hom Instance List Rewrite Satisfaction Seq Tgd Tgd_chase Tgd_instance Tgd_syntax

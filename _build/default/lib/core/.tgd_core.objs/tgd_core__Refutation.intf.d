@@ -1,0 +1,1 @@
+lib/core/refutation.mli: Instance Tgd Tgd_chase Tgd_instance Tgd_syntax

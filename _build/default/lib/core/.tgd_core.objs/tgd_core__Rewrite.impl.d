@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Atom Candidates Enumerate Fmt Int List Printf Satisfaction Schema Seq Tgd Tgd_chase Tgd_class Tgd_instance Tgd_syntax

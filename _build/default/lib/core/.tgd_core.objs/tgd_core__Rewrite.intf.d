@@ -1,0 +1,1 @@
+lib/core/rewrite.mli: Candidates Fmt Instance Schema Seq Tgd Tgd_chase Tgd_instance Tgd_syntax

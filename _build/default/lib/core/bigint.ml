@@ -1,0 +1,108 @@
+(* Little-endian magnitude arrays in base 10^9.  The canonical form has no
+   trailing zero limb; zero is the empty array. *)
+
+let base = 1_000_000_000
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int i =
+  if i < 0 then invalid_arg "Bigint.of_int: negative";
+  let rec go i acc = if i = 0 then acc else go (i / base) ((i mod base) :: acc) in
+  normalize (Array.of_list (List.rev (go i [])))
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let out = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    out.(i) <- s mod base;
+    carry := s / base
+  done;
+  normalize out
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let cur = out.(i + j) + (a.(i) * b.(j)) + !carry in
+        out.(i + j) <- cur mod base;
+        carry := cur / base
+      done;
+      let k = ref (i + lb) in
+      while !carry > 0 do
+        let cur = out.(!k) + !carry in
+        out.(!k) <- cur mod base;
+        carry := cur / base;
+        incr k
+      done
+    done;
+    normalize out
+  end
+
+let rec pow x e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  if e = 0 then one
+  else
+    let half = pow x (e / 2) in
+    let sq = mul half half in
+    if e mod 2 = 0 then sq else mul sq x
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else
+        let c = Int.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i - 1)
+    in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+
+let to_int_opt a =
+  let rec go i acc =
+    if i < 0 then Some acc
+    else if acc > (max_int - a.(i)) / base then None
+    else go (i - 1) ((acc * base) + a.(i))
+  in
+  if Array.length a > 3 then None else go (Array.length a - 1) 0
+
+let to_float a =
+  Array.to_list a
+  |> List.rev
+  |> List.fold_left (fun acc limb -> (acc *. float_of_int base) +. float_of_int limb) 0.
+
+let to_string a =
+  if Array.length a = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    Buffer.add_string buf (string_of_int a.(Array.length a - 1));
+    for i = Array.length a - 2 downto 0 do
+      Buffer.add_string buf (Printf.sprintf "%09d" a.(i))
+    done;
+    Buffer.contents buf
+  end
+
+let pp ppf a = Fmt.string ppf (to_string a)
+let digits a = String.length (to_string a)

@@ -1,0 +1,138 @@
+open Tgd_syntax
+open Tgd_instance
+
+type caps = {
+  max_body_atoms : int;
+  max_conjunct_atoms : int;
+  max_disjuncts : int;
+  dom_bound : int;
+}
+
+let default_caps =
+  { max_body_atoms = 2; max_conjunct_atoms = 1; max_disjuncts = 2; dom_bound = 2 }
+
+let uvar i = Variable.indexed "x" i
+let evar i = Variable.indexed "z" i
+
+let atoms_over schema vars =
+  if vars = [] then
+    List.filter_map
+      (fun r -> if Relation.arity r = 0 then Some (Atom.make r []) else None)
+      (Schema.relations schema)
+  else
+    List.concat_map
+      (fun r ->
+        Combinat.tuples (List.map Term.var vars) (Relation.arity r)
+        |> Seq.map (fun args -> Atom.make r args)
+        |> List.of_seq)
+      (Schema.relations schema)
+
+let used_vars atoms =
+  List.fold_left
+    (fun acc a -> Variable.Set.union acc (Atom.vars a))
+    Variable.Set.empty atoms
+
+let edds_e_nm ?(caps = default_caps) schema ~n ~m =
+  let body_pool = atoms_over schema (List.init n uvar) in
+  Combinat.subsets_up_to caps.max_body_atoms body_pool
+  |> Seq.concat_map (fun body ->
+         let bvars = Variable.Set.elements (used_vars body) in
+         let eq_pool =
+           List.concat_map
+             (fun y ->
+               List.filter_map
+                 (fun z ->
+                   if Variable.compare y z < 0 then Some (Edd.Eq (y, z))
+                   else None)
+                 bvars)
+             bvars
+         in
+         let exists_pool =
+           Combinat.subsets_up_to caps.max_conjunct_atoms
+             (atoms_over schema (bvars @ List.init m evar))
+           |> Seq.filter (fun atoms -> atoms <> [])
+           |> Seq.map (fun atoms -> Edd.Exists atoms)
+           |> List.of_seq
+         in
+         Combinat.subsets_up_to caps.max_disjuncts (eq_pool @ exists_pool)
+         |> Seq.filter (fun ds -> ds <> [])
+         |> Seq.filter_map (fun disjuncts ->
+                match Edd.make ~body ~disjuncts with
+                | d -> Some d
+                | exception Invalid_argument _ -> None))
+
+let holds_in_all_members caps o sat =
+  Seq.for_all sat (Ontology.models_up_to o caps.dom_bound)
+
+let sigma_vee ?(caps = default_caps) o ~n ~m =
+  edds_e_nm ~caps (Ontology.schema o) ~n ~m
+  |> Seq.filter (fun d -> holds_in_all_members caps o (fun i -> Satisfaction.edd i d))
+  |> List.of_seq
+
+let sigma_exists_eq sigma_vee =
+  List.filter_map
+    (fun d ->
+      match Edd.as_tgd d with
+      | Some s -> Some (Dependency.tgd s)
+      | None -> (
+        match Edd.as_egd d with
+        | Some e -> Some (Dependency.egd e)
+        | None -> None))
+    sigma_vee
+
+let sigma_exists deps = Dependency.tgds deps
+
+let synthesize ?(caps = default_caps) ?(candidate_caps = Candidates.default_caps)
+    ?(minimize = false) o ~n ~m =
+  let candidate_caps = { candidate_caps with keep_tautologies = false } in
+  let sigma =
+    Candidates.generic ~caps:candidate_caps (Ontology.schema o) ~n ~m
+    |> Seq.filter (fun s ->
+           holds_in_all_members caps o (fun i -> Satisfaction.tgd i s))
+    |> List.of_seq
+  in
+  if minimize then Rewrite.minimize sigma else sigma
+
+let verify_axiomatization o sigma ~dom_size =
+  Enumerate.instances_up_to (Ontology.schema o) dom_size
+  |> Seq.filter (fun i -> Ontology.mem o i <> Satisfaction.tgds i sigma)
+  |> fun seq ->
+  match seq () with Seq.Nil -> None | Seq.Cons (i, _) -> Some i
+
+type ftgd_profile = {
+  one_critical : bool;
+  domain_independent : bool;
+  modular : bool;
+  intersection_closed : bool;
+  non_oblivious_closed : bool;
+}
+
+let ftgd_profile ?(dom_size = 2) ?modularity_n o =
+  let modularity_n = Option.value modularity_n ~default:dom_size in
+  let holds = Properties.verdict_holds in
+  { one_critical = holds (Properties.critical_up_to o 1);
+    domain_independent = holds (Properties.domain_independent o ~dom_size);
+    modular = holds (Properties.modular o ~n:modularity_n ~dom_size);
+    intersection_closed =
+      holds (Properties.closed_under_intersections o ~dom_size);
+    non_oblivious_closed =
+      holds (Properties.closed_under_non_oblivious_dupext o ~dom_size)
+  }
+
+let ftgd_profile_holds p =
+  p.one_critical && p.domain_independent && p.modular && p.intersection_closed
+  && p.non_oblivious_closed
+
+type classification = {
+  axioms : Tgd.t list option;
+  diagnosis : Expressibility.report option;
+}
+
+let classify_oracle ?(caps = default_caps) ?candidate_caps ?config o ~n ~m =
+  let sigma = synthesize ~caps ?candidate_caps ~minimize:true o ~n ~m in
+  match verify_axiomatization o sigma ~dom_size:caps.dom_bound with
+  | Some _ -> { axioms = None; diagnosis = None }
+  | None ->
+    { axioms = Some sigma;
+      diagnosis = Some (Expressibility.diagnose ?config ~dom_size:caps.dom_bound sigma)
+    }

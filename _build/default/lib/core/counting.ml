@@ -1,0 +1,40 @@
+open Tgd_syntax
+
+let b = Bigint.of_int
+
+let linear_bodies_bound schema ~n =
+  Bigint.mul (b (Schema.size schema)) (Bigint.pow (b n) (Schema.max_arity schema))
+
+let exponent schema k =
+  match
+    Bigint.to_int_opt
+      (Bigint.mul (b (Schema.size schema))
+         (Bigint.pow (b k) (Schema.max_arity schema)))
+  with
+  | Some e -> e
+  | None -> invalid_arg "Counting: exponent does not fit in an int"
+
+let guarded_bodies_bound schema ~n =
+  Bigint.pow Bigint.two (exponent schema n)
+
+let heads_bound schema ~n ~m =
+  Bigint.pow Bigint.two (exponent schema (n + m))
+
+let linear_candidates_bound schema ~n ~m =
+  Bigint.mul (linear_bodies_bound schema ~n) (heads_bound schema ~n ~m)
+
+let guarded_candidates_bound schema ~n ~m =
+  Bigint.mul (guarded_bodies_bound schema ~n) (heads_bound schema ~n ~m)
+
+let tgd_size_bound schema ~n ~m =
+  Bigint.mul
+    (b (Schema.max_arity schema * Schema.size schema))
+    (Bigint.pow (b (n + m)) (Schema.max_arity schema))
+
+let exact_atom_count schema ~vars =
+  List.fold_left
+    (fun acc r ->
+      acc
+      + int_of_float (float_of_int vars ** float_of_int (Relation.arity r)))
+    0
+    (Schema.relations schema)

@@ -1,0 +1,30 @@
+(** The counting bounds of Section 9.2, exactly as printed in the paper.
+
+    For Algorithm 1, the number of linear tgds over S with at most [n]
+    universally and [m] existentially quantified variables is bounded by
+    [|S|·n^{ar(S)} · 2^(|S| · (n+m)^ar(S))] (bodies × heads), each of size
+    [O(ar(S)·|S|·(n+m)^{ar(S)})]; for Algorithm 2 the body factor becomes
+    [2^(|S| · n^ar(S))].  Benchmark E8 compares these against the measured
+    sizes of {!Candidates} enumerations. *)
+
+open Tgd_syntax
+
+val linear_bodies_bound : Schema.t -> n:int -> Bigint.t
+(** [|S| · n^{ar(S)}]. *)
+
+val guarded_bodies_bound : Schema.t -> n:int -> Bigint.t
+(** [2^(|S| · n^ar(S))]. *)
+
+val heads_bound : Schema.t -> n:int -> m:int -> Bigint.t
+(** [2^(|S| · (n+m)^ar(S))]. *)
+
+val linear_candidates_bound : Schema.t -> n:int -> m:int -> Bigint.t
+val guarded_candidates_bound : Schema.t -> n:int -> m:int -> Bigint.t
+
+val tgd_size_bound : Schema.t -> n:int -> m:int -> Bigint.t
+(** [ar(S) · |S| · (n+m)^{ar(S)}] — the paper's bound on the size of each
+    candidate. *)
+
+val exact_atom_count : Schema.t -> vars:int -> int
+(** [Σ_{R∈S} vars^{ar(R)}] — the exact number of distinct atoms over a fixed
+    variable alphabet, refining the paper's [|S|·k^{ar(S)}] upper bound. *)

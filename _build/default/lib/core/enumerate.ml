@@ -1,0 +1,44 @@
+open Tgd_syntax
+open Tgd_instance
+
+let canonical_domain k = List.init k Constant.indexed
+
+let all_facts schema domain =
+  List.concat_map
+    (fun r ->
+      Combinat.tuples domain (Relation.arity r)
+      |> Seq.map (fun tuple -> Fact.make r tuple)
+      |> List.of_seq)
+    (Schema.relations schema)
+
+let count schema k =
+  let exponent =
+    List.fold_left
+      (fun acc r ->
+        acc
+        + int_of_float (float_of_int k ** float_of_int (Relation.arity r)))
+      0
+      (Schema.relations schema)
+  in
+  Bigint.pow Bigint.two exponent
+
+let instances schema ~dom_size =
+  let domain = canonical_domain dom_size in
+  let facts = all_facts schema domain in
+  Combinat.subsets facts
+  |> Seq.map (fun fs -> Instance.of_facts ~dom:domain schema fs)
+
+let instances_up_to schema k =
+  Seq.concat_map
+    (fun dom_size -> instances schema ~dom_size)
+    (Seq.init (k + 1) (fun i -> i))
+
+let models sigma schema ~dom_size =
+  Seq.filter (fun i -> Satisfaction.tgds i sigma) (instances schema ~dom_size)
+
+let models_up_to sigma schema k =
+  Seq.filter (fun i -> Satisfaction.tgds i sigma) (instances_up_to schema k)
+
+let subinstances_le i ~max_adom =
+  Combinat.subsets_up_to max_adom (Constant.Set.elements (Instance.adom i))
+  |> Seq.map (fun d -> Instance.induced i (Constant.set_of_list d))

@@ -1,0 +1,36 @@
+(** Exhaustive enumeration of instances over bounded domains.
+
+    The paper's properties quantify over all S-instances; closure under
+    isomorphism lets a bounded check fix the canonical domain
+    [{c_0, …, c_{k-1}}] and enumerate every instance over it — the number is
+    [2^{Σ_R k^{ar(R)}}], so this is for small schemas and tiny [k], which is
+    exactly the regime of the paper's counterexamples and separations. *)
+
+open Tgd_syntax
+open Tgd_instance
+
+val canonical_domain : int -> Constant.t list
+(** [{c_0, …, c_{k-1}}] as {!Constant.Indexed} constants. *)
+
+val all_facts : Schema.t -> Constant.t list -> Fact.t list
+(** Every fact over the given domain — the facts of the critical instance. *)
+
+val count : Schema.t -> int -> Bigint.t
+(** Number of instances over a fixed [k]-element domain. *)
+
+val instances : Schema.t -> dom_size:int -> Instance.t Seq.t
+(** All instances whose domain is exactly [canonical_domain dom_size] (their
+    active domains range over all subsets). *)
+
+val instances_up_to : Schema.t -> int -> Instance.t Seq.t
+(** All instances with canonical domains of size [0..k].  Note that every
+    isomorphism class of instances with at most [k] domain elements has a
+    representative here. *)
+
+val models : Tgd.t list -> Schema.t -> dom_size:int -> Instance.t Seq.t
+val models_up_to : Tgd.t list -> Schema.t -> int -> Instance.t Seq.t
+
+val subinstances_le : Instance.t -> max_adom:int -> Instance.t Seq.t
+(** All induced subinstances [K ≤ I] with [|adom(K)| ≤ max_adom], one per
+    active-domain-determined fact set (enumerated over subsets of
+    [adom(I)]), including the empty instance. *)

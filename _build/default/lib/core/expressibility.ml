@@ -1,0 +1,94 @@
+open Tgd_syntax
+
+type class_status = {
+  cls : Tgd_class.cls;
+  syntactic : bool;
+  semantic : Rewrite.outcome option;
+}
+
+type profile = {
+  critical : bool;
+  product_closed : bool;
+  intersection_closed : bool;
+  union_closed : bool;
+  domain_independent : bool;
+}
+
+type report = {
+  sigma : Tgd.t list;
+  n : int;
+  m : int;
+  weakly_acyclic : bool;
+  classes : class_status list;
+  profile : profile;
+  dom_size : int;
+}
+
+let holds = Properties.verdict_holds
+
+let diagnose ?config ?(dom_size = 2) sigma =
+  let n, m = Rewrite.class_bounds sigma in
+  let is_guarded = Tgd_class.all_in_class Tgd_class.Guarded sigma in
+  let is_fg = Tgd_class.all_in_class Tgd_class.Frontier_guarded sigma in
+  let attempt f = Some (f ?config sigma).Rewrite.outcome in
+  let classes =
+    [ { cls = Tgd_class.Linear;
+        syntactic = Tgd_class.all_in_class Tgd_class.Linear sigma;
+        semantic = (if is_guarded then attempt Rewrite.g_to_l else None)
+      };
+      { cls = Tgd_class.Guarded;
+        syntactic = is_guarded;
+        semantic = (if is_fg then attempt Rewrite.fg_to_g else None)
+      };
+      { cls = Tgd_class.Frontier_guarded;
+        syntactic = is_fg;
+        semantic = attempt Rewrite.to_frontier_guarded
+      };
+      { cls = Tgd_class.Full;
+        syntactic = Tgd_class.all_in_class Tgd_class.Full sigma;
+        semantic = attempt Rewrite.to_full
+      }
+    ]
+  in
+  let o = Ontology.axiomatic (Rewrite.schema_of sigma) sigma in
+  let profile =
+    { critical = holds (Properties.critical_up_to o dom_size);
+      product_closed = holds (Properties.closed_under_products o ~dom_size);
+      intersection_closed =
+        holds (Properties.closed_under_intersections o ~dom_size);
+      union_closed = holds (Properties.closed_under_unions o ~dom_size);
+      domain_independent = holds (Properties.domain_independent o ~dom_size)
+    }
+  in
+  { sigma;
+    n;
+    m;
+    weakly_acyclic = Tgd_chase.Weak_acyclicity.is_weakly_acyclic sigma;
+    classes;
+    profile;
+    dom_size
+  }
+
+let pp_semantic ppf = function
+  | None -> Fmt.string ppf "not attempted"
+  | Some (Rewrite.Rewritable s) ->
+    Fmt.pf ppf "expressible (%d tgds)" (List.length s)
+  | Some (Rewrite.Not_rewritable { complete = true; _ }) ->
+    Fmt.string ppf "NOT expressible (definitive)"
+  | Some (Rewrite.Not_rewritable { complete = false; _ }) ->
+    Fmt.string ppf "no rewriting within caps"
+  | Some (Rewrite.Unknown why) -> Fmt.pf ppf "unknown (%s)" why
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>Σ ∈ TGD_{%d,%d}; weakly acyclic: %b@," r.n r.m
+    r.weakly_acyclic;
+  List.iter
+    (fun cs ->
+      Fmt.pf ppf "%-18s syntactic: %-5b semantic: %a@,"
+        (Tgd_class.cls_name cs.cls) cs.syntactic pp_semantic cs.semantic)
+    r.classes;
+  Fmt.pf ppf
+    "profile (dom ≤ %d): critical %b; ⊗-closed %b; ∩-closed %b; ∪-closed %b; dom-indep %b@]"
+    r.dom_size r.profile.critical r.profile.product_closed
+    r.profile.intersection_closed r.profile.union_closed
+    r.profile.domain_independent

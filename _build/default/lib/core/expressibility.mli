@@ -1,0 +1,45 @@
+(** One-stop diagnosis of a finite set of tgds against the paper's
+    class lattice [LTGD ⊊ GTGD ⊊ FGTGD ≠ FTGD].
+
+    For an input Σ, the report records (i) which classes Σ {e syntactically}
+    belongs to, (ii) which weaker classes it is {e semantically} expressible
+    in, as decided by the rewriting engines, and (iii) the bounded
+    model-theoretic property profile of Mod(Σ) — the observable face of the
+    paper's characterizations.  Backs [tgdtool diagnose]. *)
+
+open Tgd_syntax
+
+type class_status = {
+  cls : Tgd_class.cls;
+  syntactic : bool;           (** every member of Σ is in the class *)
+  semantic : Rewrite.outcome option;
+      (** result of rewriting Σ into the class; [None] when not attempted
+          (the rewriting engine requires inputs from the next class up,
+          e.g. G-to-L needs guarded input) *)
+}
+
+type profile = {
+  critical : bool;
+  product_closed : bool;
+  intersection_closed : bool;
+  union_closed : bool;
+  domain_independent : bool;
+}
+
+type report = {
+  sigma : Tgd.t list;
+  n : int;
+  m : int;
+  weakly_acyclic : bool;
+  classes : class_status list;
+  profile : profile;       (** bounded checks, dom ≤ [dom_size] *)
+  dom_size : int;
+}
+
+val diagnose :
+  ?config:Rewrite.config -> ?dom_size:int -> Tgd.t list -> report
+(** [dom_size] defaults to 2.  Rewriting attempts follow the lattice:
+    FG-to-G whenever Σ is frontier-guarded, G-to-L whenever Σ is guarded,
+    to-full and to-frontier-guarded always. *)
+
+val pp_report : report Fmt.t

@@ -1,0 +1,136 @@
+open Tgd_syntax
+open Tgd_instance
+
+type variant =
+  | Plain
+  | Linear
+  | Guarded
+  | Frontier_guarded
+
+let variant_name = function
+  | Plain -> "plain"
+  | Linear -> "linear"
+  | Guarded -> "guarded"
+  | Frontier_guarded -> "frontier-guarded"
+
+type strategy = {
+  use_chase : Tgd_chase.Chase.budget option;
+  enumerate_extra : int option;
+}
+
+let default_strategy =
+  { use_chase = Some Tgd_chase.Chase.default_budget; enumerate_extra = Some 1 }
+
+type configuration = { fixed : Constant.Set.t; sub : Instance.t }
+
+let of_sub k = { fixed = Instance.adom k; sub = k }
+
+let plain_configurations ~n i =
+  Enumerate.subinstances_le i ~max_adom:n |> Seq.map of_sub
+
+let linear_configurations ~n i =
+  let schema = Instance.schema i in
+  let empty = Instance.empty schema in
+  Seq.cons (of_sub empty)
+    (Fact.Set.to_seq (Instance.facts i)
+    |> Seq.filter (fun f -> Constant.Set.cardinal (Fact.constants f) <= n)
+    |> Seq.map (fun f -> of_sub (Instance.of_facts schema [ f ])))
+
+let guarded_configurations ~n i =
+  let schema = Instance.schema i in
+  let empty = Instance.empty schema in
+  Seq.cons (of_sub empty)
+    (Fact.Set.to_seq (Instance.facts i)
+    |> Seq.filter (fun f -> Constant.Set.cardinal (Fact.constants f) <= n)
+    |> Seq.map (fun f -> of_sub (Instance.induced i (Fact.constants f))))
+
+let frontier_guarded_configurations ~n i =
+  let adom_elems = Constant.Set.elements (Instance.adom i) in
+  Combinat.subsets_up_to n adom_elems
+  |> Seq.concat_map (fun f_list ->
+         let f = Constant.set_of_list f_list in
+         Enumerate.subinstances_le i ~max_adom:n
+         |> Seq.filter (fun k ->
+                Instance.is_empty k
+                || Fact.Set.exists
+                     (fun fact -> Constant.Set.subset f (Fact.constants fact))
+                     (Instance.facts k))
+         |> Seq.map (fun k -> { fixed = f; sub = k }))
+
+let configurations variant ~n i =
+  match variant with
+  | Plain -> plain_configurations ~n i
+  | Linear -> linear_configurations ~n i
+  | Guarded -> guarded_configurations ~n i
+  | Frontier_guarded -> frontier_guarded_configurations ~n i
+
+let witness_ok ~m ~fixed ~witness ~target =
+  Neighborhood.of_set fixed witness m
+  |> Seq.for_all (fun j' -> Hom.embeds_fixing fixed j' target)
+
+type embeddability =
+  | Embeddable
+  | No_witness of configuration
+
+let witnesses strategy o conf =
+  let chase_seq =
+    match strategy.use_chase with
+    | Some budget -> (
+      fun () ->
+        match Ontology.chase_witness ~budget o conf.sub with
+        | Some j -> Seq.Cons (j, Seq.empty)
+        | None -> Seq.Nil)
+    | None -> Seq.empty
+  in
+  let enum_seq =
+    match strategy.enumerate_extra with
+    | Some max_extra -> Ontology.member_extending ~max_extra o conf.sub
+    | None -> Seq.empty
+  in
+  Seq.append chase_seq enum_seq
+
+let locally_embeddable ?(strategy = default_strategy) variant ~n ~m o i =
+  let failing =
+    configurations variant ~n i
+    |> Seq.filter (fun conf ->
+           not
+             (Seq.exists
+                (fun j ->
+                  witness_ok ~m ~fixed:conf.fixed ~witness:j ~target:i)
+                (witnesses strategy o conf)))
+  in
+  match failing () with
+  | Seq.Nil -> Embeddable
+  | Seq.Cons (conf, _) -> No_witness conf
+
+type locality_verdict =
+  | Local_on_tests
+  | Not_local of Instance.t
+
+let check_local_on ?strategy variant ~n ~m o tests =
+  let counterexample =
+    List.to_seq tests
+    |> Seq.filter (fun i ->
+           (not (Ontology.mem o i))
+           &&
+           match locally_embeddable ?strategy variant ~n ~m o i with
+           | Embeddable -> true
+           | No_witness _ -> false)
+  in
+  match counterexample () with
+  | Seq.Nil -> Local_on_tests
+  | Seq.Cons (i, _) -> Not_local i
+
+let check_local_up_to ?strategy variant ~n ~m o k =
+  let counterexample =
+    Enumerate.instances_up_to (Ontology.schema o) k
+    |> Seq.filter (fun i ->
+           (not (Ontology.mem o i))
+           &&
+           match locally_embeddable ?strategy variant ~n ~m o i with
+           | Embeddable -> true
+           | No_witness _ -> false)
+  in
+  match counterexample () with
+  | Seq.Nil -> Local_on_tests
+  | Seq.Cons (i, _) -> Not_local i

@@ -1,0 +1,81 @@
+open Tgd_syntax
+open Tgd_instance
+
+type 'a verdict =
+  | Holds
+  | Fails of 'a
+  | Inconclusive of string
+
+let verdict_holds = function Holds -> true | Fails _ | Inconclusive _ -> false
+
+let pp_verdict pp_cex ppf = function
+  | Holds -> Fmt.string ppf "holds"
+  | Fails cex -> Fmt.pf ppf "fails on %a" pp_cex cex
+  | Inconclusive why -> Fmt.pf ppf "inconclusive (%s)" why
+
+let first_failure seq =
+  match seq () with
+  | Seq.Nil -> Holds
+  | Seq.Cons (cex, _) -> Fails cex
+
+let critical_up_to o k =
+  first_failure
+    (Seq.init k (fun i -> i + 1)
+    |> Seq.filter (fun k' ->
+           not (Ontology.mem o (Critical.make (Ontology.schema o) k'))))
+
+let bounded_pairs max_pairs members =
+  (* all ordered pairs, diagonal included, lazily, capped *)
+  let members = List.of_seq members in
+  List.to_seq members
+  |> Seq.concat_map (fun i -> List.to_seq members |> Seq.map (fun j -> (i, j)))
+  |> Seq.take max_pairs
+
+let closure_check ?(max_pairs = 10_000) o ~dom_size combine =
+  first_failure
+    (bounded_pairs max_pairs (Ontology.models_up_to o dom_size)
+    |> Seq.filter (fun (i, j) -> not (Ontology.mem o (combine i j))))
+
+let closed_under_products ?max_pairs o ~dom_size =
+  closure_check ?max_pairs o ~dom_size Product.direct
+
+let closed_under_intersections ?max_pairs o ~dom_size =
+  closure_check ?max_pairs o ~dom_size Instance.intersection
+
+let closed_under_unions ?max_pairs o ~dom_size =
+  closure_check ?max_pairs o ~dom_size Instance.union
+
+let closed_under_disjoint_unions ?max_pairs o ~dom_size =
+  closure_check ?max_pairs o ~dom_size (fun i j ->
+      fst (Instance.disjoint_union i j))
+
+let domain_independent o ~dom_size =
+  first_failure
+    (Enumerate.instances_up_to (Ontology.schema o) dom_size
+    |> Seq.filter (fun i ->
+           Ontology.mem o i <> Ontology.mem o (Instance.active_part i)))
+
+let modular o ~n ~dom_size =
+  let has_small_witness i =
+    Combinat.subsets_up_to n (Constant.Set.elements (Instance.dom i))
+    |> Seq.exists (fun d ->
+           not (Ontology.mem o (Instance.induced i (Constant.set_of_list d))))
+  in
+  first_failure
+    (Ontology.non_members_up_to o dom_size
+    |> Seq.filter (fun i -> not (has_small_witness i)))
+
+let dupext_check extend o ~dom_size =
+  first_failure
+    (Ontology.models_up_to o dom_size
+    |> Seq.concat_map (fun i ->
+           Constant.Set.to_seq (Instance.dom i) |> Seq.map (fun c -> (i, c)))
+    |> Seq.filter (fun (i, c) ->
+           let d = Duplicating.fresh_for i in
+           not (Ontology.mem o (extend i c d))))
+
+let closed_under_oblivious_dupext o ~dom_size =
+  dupext_check Duplicating.oblivious o ~dom_size
+
+let closed_under_non_oblivious_dupext o ~dom_size =
+  dupext_check Duplicating.non_oblivious o ~dom_size

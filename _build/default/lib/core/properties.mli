@@ -1,0 +1,63 @@
+(** The model-theoretic properties of Sections 3 and 5, as bounded-universe
+    checkers.
+
+    Each check quantifies over instances with at most [dom_size] canonical
+    domain elements (every isomorphism type of that size is covered, and
+    ontologies are isomorphism-closed, so a returned counterexample is a
+    genuine one, while [Holds] means "holds on the examined sub-universe"). *)
+
+open Tgd_syntax
+open Tgd_instance
+
+type 'a verdict =
+  | Holds
+  | Fails of 'a
+  | Inconclusive of string
+
+val verdict_holds : 'a verdict -> bool
+val pp_verdict : 'a Fmt.t -> 'a verdict Fmt.t
+
+val critical_up_to : Ontology.t -> int -> int verdict
+(** Definition 3.1 — is the ontology [k']-critical for every [k' = 1..k]?
+    The counterexample is the failing cardinality. *)
+
+val closed_under_products :
+  ?max_pairs:int -> Ontology.t -> dom_size:int ->
+  (Instance.t * Instance.t) verdict
+(** Definition 3.3, over pairs of members with canonical domains of size
+    [≤ dom_size] (at most [max_pairs] pairs, default 10_000). *)
+
+val closed_under_intersections :
+  ?max_pairs:int -> Ontology.t -> dom_size:int ->
+  (Instance.t * Instance.t) verdict
+(** Definition 5.5. *)
+
+val closed_under_unions :
+  ?max_pairs:int -> Ontology.t -> dom_size:int ->
+  (Instance.t * Instance.t) verdict
+(** Closure under (non-disjoint) unions — the property of linear tgds used
+    in the proof of the Linearization Lemma and in the Theorem 9.1
+    lower-bound argument. *)
+
+val closed_under_disjoint_unions :
+  ?max_pairs:int -> Ontology.t -> dom_size:int ->
+  (Instance.t * Instance.t) verdict
+(** Closure under disjoint unions (domains renamed apart) — the property of
+    guarded tgds used by the Theorem 9.2 lower-bound argument: the
+    frontier-guarded [Σ_F = R(x), P(y) → T(x)] fails it. *)
+
+val domain_independent : Ontology.t -> dom_size:int -> Instance.t verdict
+(** Definition 3.7: membership depends on the facts only.  Checks each
+    instance against its active part. *)
+
+val modular : Ontology.t -> n:int -> dom_size:int -> Instance.t verdict
+(** Definition 5.4: every non-member has a non-member subinstance with at
+    most [n] domain elements. *)
+
+val closed_under_oblivious_dupext :
+  Ontology.t -> dom_size:int -> (Instance.t * Constant.t) verdict
+(** The Makowsky–Vardi closure property that Example 5.2 refutes. *)
+
+val closed_under_non_oblivious_dupext :
+  Ontology.t -> dom_size:int -> (Instance.t * Constant.t) verdict
+(** Definition 5.3 — the corrected property of Theorem 5.6. *)

@@ -1,0 +1,86 @@
+open Tgd_syntax
+
+type artifacts = {
+  sigma' : Tgd.t list;
+  schema' : Schema.t;
+  witness_rewriting : Tgd.t list;
+  aux : Relation.t;
+  fresh_r : Relation.t;
+  fresh_s : Relation.t;
+  fresh_t : Relation.t;
+}
+
+let fresh_relation schema base arity =
+  let rec go name =
+    match Schema.find schema name with
+    | None -> Relation.make name arity
+    | Some _ -> go (name ^ "_")
+  in
+  go base
+
+let query_atom q =
+  Atom.of_vars q (List.init (Relation.arity q) (Variable.indexed "x"))
+
+let build ~rs_body_shares_variable guard_of sigma ~query =
+  let schema = Rewrite.schema_of sigma in
+  if not (Schema.mem schema query) then
+    invalid_arg "Reduction: query relation does not occur in the input";
+  let aux = fresh_relation schema "Aux" 0 in
+  let fresh_r = fresh_relation schema "Rf" 1 in
+  let fresh_s = fresh_relation schema "Sf" 1 in
+  let fresh_t = fresh_relation schema "Tf" 1 in
+  let schema' = Schema.extend schema [ aux; fresh_r; fresh_s; fresh_t ] in
+  let aux_atom = Atom.make aux [] in
+  let sigma'_1 =
+    List.map
+      (fun s ->
+        let guard_body =
+          match guard_of s with
+          | Some g -> [ g; aux_atom ]
+          | None -> [ aux_atom ]
+        in
+        Tgd.make ~body:guard_body ~head:(Tgd.head s))
+      sigma
+  in
+  let x = Variable.make "x" in
+  let y = Variable.make "y" in
+  let sigma_q = Tgd.make ~body:[ query_atom query ] ~head:[ aux_atom ] in
+  let sigma_raux =
+    Tgd.make
+      ~body:[ Atom.of_vars fresh_r [ x ]; aux_atom ]
+      ~head:[ Atom.of_vars fresh_t [ x ] ]
+  in
+  let sigma_rs =
+    let s_var = if rs_body_shares_variable then x else y in
+    Tgd.make
+      ~body:[ Atom.of_vars fresh_r [ x ]; Atom.of_vars fresh_s [ s_var ] ]
+      ~head:[ Atom.of_vars fresh_t [ x ] ]
+  in
+  (* Σ ⊆ Σ' is required by the Appendix F equivalence proof (its "observe
+     that I ⊨ Σ" step): the σ_Aux rules alone admit models that violate Σ
+     wherever Aux is absent.  With Σ kept, every model of Σ' satisfies Σ,
+     hence (when Σ ⊨ ∃x̄Q(x̄)) contains Aux, which collapses each σ to its
+     linear companion G → ψ. *)
+  let sigma' = sigma @ sigma'_1 @ [ sigma_q; sigma_raux; sigma_rs ] in
+  let witness_rewriting =
+    sigma_q
+    :: Tgd.make ~body:[ Atom.of_vars fresh_r [ x ] ]
+         ~head:[ Atom.of_vars fresh_t [ x ] ]
+    :: List.filter_map
+         (fun s ->
+           match guard_of s with
+           | Some g -> Some (Tgd.make ~body:[ g ] ~head:(Tgd.head s))
+           | None -> Some s (* bodiless tgds are already linear *))
+         sigma
+  in
+  { sigma'; schema'; witness_rewriting; aux; fresh_r; fresh_s; fresh_t }
+
+let g_to_l_hardness sigma ~query =
+  if not (Tgd_class.all_in_class Tgd_class.Guarded sigma) then
+    invalid_arg "Reduction.g_to_l_hardness: input must be guarded";
+  build ~rs_body_shares_variable:true Tgd_class.guard sigma ~query
+
+let fg_to_g_hardness sigma ~query =
+  if not (Tgd_class.all_in_class Tgd_class.Frontier_guarded sigma) then
+    invalid_arg "Reduction.fg_to_g_hardness: input must be frontier-guarded";
+  build ~rs_body_shares_variable:false Tgd_class.frontier_guard sigma ~query

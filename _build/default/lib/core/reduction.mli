@@ -1,0 +1,49 @@
+(** The Appendix F lower-bound reductions.
+
+    Theorem 9.1's 2EXPTIME-hardness reduces atomic query answering under
+    guarded tgds to Rewrite(GTGD, LTGD): from [Σ ∈ GTGD] over S and an
+    atomic query [∃x̄ Q(x̄)], build [Σ' = Σ'_1 ∪ Σ'_2] with
+
+    - [σ_Aux = G(x̄,ȳ), Aux → ∃z̄ ψ(x̄,z̄)] for every [σ ∈ Σ] with guard [G],
+    - [σ_Q = Q(x̄) → Aux],
+    - [σ_RAux = R(x), Aux → T(x)],
+    - [σ_RS = R(x), S(x) → T(x)]       (for Theorem 9.2: [R(x), S(y) → T(x)]),
+
+    over [S ∪ {Aux/0, R/1, S/1, T/1}]; then [Σ ⊨ ∃x̄ Q(x̄)] iff [Σ'] is
+    rewritable into the weaker class.  The module also builds the witnessing
+    rewriting [Σ_L] (resp. [Σ_G]) used in the (1) ⇒ (2) direction of the
+    proof.
+
+    Deviation from the printed construction: we put [Σ ⊆ Σ'].  The
+    Appendix F proof of [Σ' ⊨ Σ_L] asserts "observe also that [I ⊨ Σ]" for
+    models [I] of [Σ'], which only holds when [Σ] itself is kept in [Σ'];
+    without it, an instance matching a body of [Σ] but containing no [Aux]
+    satisfies all the [σ_Aux] yet violates [Σ], and [Σ'] is then {e never}
+    equivalent to [Σ_L] (test [reduction/no equivalence...] exercises
+    this).  Keeping [Σ] preserves guardedness, polynomiality, and both
+    directions of the correctness argument. *)
+
+open Tgd_syntax
+
+type artifacts = {
+  sigma' : Tgd.t list;       (** the constructed input to Rewrite *)
+  schema' : Schema.t;
+  witness_rewriting : Tgd.t list;
+      (** the set [Σ_L] (resp. [Σ_G]) that is equivalent to [Σ'] whenever
+          [Σ ⊨ ∃x̄ Q(x̄)] *)
+  aux : Relation.t;
+  fresh_r : Relation.t;
+  fresh_s : Relation.t;
+  fresh_t : Relation.t;
+}
+
+val g_to_l_hardness : Tgd.t list -> query:Relation.t -> artifacts
+(** Raises [Invalid_argument] when the input is not guarded or the query
+    relation does not occur in it. *)
+
+val fg_to_g_hardness : Tgd.t list -> query:Relation.t -> artifacts
+(** Same construction with the frontier-guard and the disconnected
+    [σ_RS]. *)
+
+val query_atom : Relation.t -> Atom.t
+(** [Q(x̄)] with pairwise distinct variables. *)

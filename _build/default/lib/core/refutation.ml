@@ -1,0 +1,57 @@
+open Tgd_syntax
+open Tgd_instance
+module Entailment = Tgd_chase.Entailment
+
+let schema_of sigma goal = Rewrite.schema_of (goal :: sigma)
+
+let fresh_constants base k =
+  let rec go n acc i =
+    if n = 0 then List.rev acc
+    else
+      let c = Constant.indexed i in
+      if Constant.Set.mem c base then go n acc (i + 1)
+      else go (n - 1) (c :: acc) (i + 1)
+  in
+  go k [] 9000
+
+let countermodel ?(extra = 1) sigma goal =
+  let schema = schema_of sigma goal in
+  let frozen, db = Entailment.freeze_instance schema (Tgd.body goal) in
+  let head_partial = Binding.restrict (Tgd.frontier goal) frozen in
+  let head_fails i = not (Hom.exists_hom ~partial:head_partial (Tgd.head goal) i) in
+  let base = Instance.dom db in
+  let search_with_domain domain =
+    let all = Enumerate.all_facts schema domain in
+    let optional = List.filter (fun f -> not (Instance.mem db f)) all in
+    Combinat.subsets optional
+    |> Seq.map (fun fs -> List.fold_left Instance.add_fact db fs)
+    |> Seq.filter (fun i -> head_fails i && Satisfaction.tgds i sigma)
+  in
+  let candidates =
+    Seq.init (extra + 1) (fun k -> k)
+    |> Seq.concat_map (fun k ->
+           let domain =
+             Constant.Set.elements base @ fresh_constants base k
+           in
+           if domain = [] then Seq.empty else search_with_domain domain)
+  in
+  match candidates () with
+  | Seq.Nil -> None
+  | Seq.Cons (i, _) -> Some i
+
+let entails ?budget ?extra sigma goal =
+  match Entailment.entails ?budget sigma goal with
+  | Entailment.Unknown -> (
+    match countermodel ?extra sigma goal with
+    | Some _ -> Entailment.Disproved
+    | None -> Entailment.Unknown)
+  | definite -> definite
+
+let entails_set ?budget ?extra sigma goals =
+  List.fold_left
+    (fun acc goal ->
+      match acc, entails ?budget ?extra sigma goal with
+      | Entailment.Disproved, _ | _, Entailment.Disproved -> Entailment.Disproved
+      | Entailment.Unknown, _ | _, Entailment.Unknown -> Entailment.Unknown
+      | Entailment.Proved, Entailment.Proved -> Entailment.Proved)
+    Entailment.Proved goals

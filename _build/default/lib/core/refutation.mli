@@ -1,0 +1,33 @@
+(** Finite-countermodel search — the complement of the chase.
+
+    Chase-based entailment ({!Tgd_chase.Entailment}) can prove [Σ ⊨ σ] and
+    can disprove it only when the chase terminates.  This module attacks the
+    other side: it searches for a {e finite} countermodel — a model of [Σ]
+    containing the frozen body of [σ] whose frozen head fails — over domains
+    of bounded size.  Any hit definitively disproves entailment (the paper's
+    remark in Section 10 that its results relativize to finite instances is
+    what makes finite refutation meaningful here).
+
+    The combination {!entails} is strictly more complete than either
+    procedure alone: chase-provable ⇒ [Proved], finite-refutable ⇒
+    [Disproved], otherwise [Unknown]. *)
+
+open Tgd_syntax
+open Tgd_instance
+
+val countermodel :
+  ?extra:int -> Tgd.t list -> Tgd.t -> Instance.t option
+(** [countermodel sigma goal] searches instances over the frozen body's
+    constants plus at most [extra] (default 1) fresh elements: a model of
+    [sigma] containing the frozen body on which the frozen head fails.
+    Exhaustive within the bound — exponential in the number of possible
+    facts, so keep schemas and [extra] small. *)
+
+val entails :
+  ?budget:Tgd_chase.Chase.budget -> ?extra:int -> Tgd.t list -> Tgd.t ->
+  Tgd_chase.Entailment.answer
+(** Chase first; on [Unknown], try {!countermodel}. *)
+
+val entails_set :
+  ?budget:Tgd_chase.Chase.budget -> ?extra:int -> Tgd.t list -> Tgd.t list ->
+  Tgd_chase.Entailment.answer

@@ -1,0 +1,149 @@
+open Tgd_syntax
+open Tgd_instance
+module Entailment = Tgd_chase.Entailment
+
+type config = {
+  caps : Candidates.caps;
+  budget : Tgd_chase.Chase.budget;
+  minimize : bool;
+}
+
+let default_config =
+  { caps = Candidates.default_caps;
+    budget = Tgd_chase.Chase.default_budget;
+    minimize = true
+  }
+
+type outcome =
+  | Rewritable of Tgd.t list
+  | Not_rewritable of { complete : bool; unknown_candidates : int }
+  | Unknown of string
+
+let pp_outcome ppf = function
+  | Rewritable sigma' ->
+    Fmt.pf ppf "@[<v>rewritable:@,%a@]"
+      Fmt.(list ~sep:cut (box Tgd.pp))
+      sigma'
+  | Not_rewritable { complete; unknown_candidates } ->
+    Fmt.pf ppf "not rewritable (%s%s)"
+      (if complete then "definitive" else "within caps")
+      (if unknown_candidates = 0 then ""
+       else Printf.sprintf ", %d undecided candidates" unknown_candidates)
+  | Unknown why -> Fmt.pf ppf "unknown: %s" why
+
+type report = {
+  outcome : outcome;
+  n : int;
+  m : int;
+  candidates_enumerated : int;
+  candidates_entailed : int;
+}
+
+let schema_of sigma =
+  Schema.make
+    (List.concat_map
+       (fun s -> List.map Atom.rel (Tgd.body s @ Tgd.head s))
+       sigma)
+
+let class_bounds sigma =
+  List.fold_left
+    (fun (n, m) s -> (max n (Tgd.n_universal s), max m (Tgd.m_existential s)))
+    (0, 0) sigma
+
+(* Greedy minimization: drop a member when the remainder still entails it.
+   Larger members are tried first so the surviving set is small. *)
+let minimize_set budget sigma' =
+  let by_size =
+    List.sort (fun a b -> Int.compare (Tgd.size b) (Tgd.size a)) sigma'
+  in
+  List.fold_left
+    (fun kept s ->
+      let rest = List.filter (fun t -> not (Tgd.equal t s)) kept in
+      match Entailment.entails ~budget rest s with
+      | Entailment.Proved -> rest
+      | Entailment.Disproved | Entailment.Unknown -> kept)
+    by_size by_size
+
+let rewrite_into ?(config = default_config) enumerate ~complete sigma =
+  let schema = schema_of sigma in
+  let n, m = class_bounds sigma in
+  let enumerated = ref 0 in
+  let unknown = ref 0 in
+  let entailed =
+    enumerate config.caps schema ~n ~m
+    |> Seq.filter (fun candidate ->
+           incr enumerated;
+           match Entailment.entails ~budget:config.budget sigma candidate with
+           | Entailment.Proved -> true
+           | Entailment.Unknown ->
+             incr unknown;
+             false
+           | Entailment.Disproved -> false)
+    |> List.of_seq
+  in
+  let backward = Entailment.entails_set ~budget:config.budget entailed sigma in
+  let outcome =
+    match backward with
+    | Entailment.Proved ->
+      let sigma' =
+        if config.minimize then minimize_set config.budget entailed
+        else entailed
+      in
+      Rewritable sigma'
+    | Entailment.Disproved ->
+      Not_rewritable
+        { complete = complete config.caps schema ~n ~m && !unknown = 0;
+          unknown_candidates = !unknown
+        }
+    | Entailment.Unknown ->
+      Unknown "chase budget exhausted while checking Σ' ⊨ Σ"
+  in
+  { outcome;
+    n;
+    m;
+    candidates_enumerated = !enumerated;
+    candidates_entailed = List.length entailed
+  }
+
+let g_to_l ?config sigma =
+  if not (Tgd_class.all_in_class Tgd_class.Guarded sigma) then
+    invalid_arg "Rewrite.g_to_l: input must be a set of guarded tgds";
+  rewrite_into ?config
+    (fun caps schema ~n ~m -> Candidates.linear ~caps schema ~n ~m)
+    ~complete:(fun caps schema ~n ~m ->
+      Candidates.linear_complete caps schema ~n ~m)
+    sigma
+
+let fg_to_g ?config sigma =
+  if not (Tgd_class.all_in_class Tgd_class.Frontier_guarded sigma) then
+    invalid_arg "Rewrite.fg_to_g: input must be frontier-guarded tgds";
+  rewrite_into ?config
+    (fun caps schema ~n ~m -> Candidates.guarded ~caps schema ~n ~m)
+    ~complete:(fun caps schema ~n ~m ->
+      Candidates.guarded_complete caps schema ~n ~m)
+    sigma
+
+let verify_equivalence_bounded sigma sigma' ~dom_size =
+  let schema = Schema.union (schema_of sigma) (schema_of sigma') in
+  Enumerate.instances_up_to schema dom_size
+  |> Seq.filter (fun i ->
+         Satisfaction.tgds i sigma <> Satisfaction.tgds i sigma')
+  |> fun seq ->
+  match seq () with Seq.Nil -> None | Seq.Cons (i, _) -> Some i
+
+let to_frontier_guarded ?config sigma =
+  rewrite_into ?config
+    (fun caps schema ~n ~m -> Candidates.frontier_guarded ~caps schema ~n ~m)
+    ~complete:(fun caps schema ~n ~m ->
+      Candidates.generic_complete caps schema ~n ~m)
+    sigma
+
+let to_full ?config sigma =
+  rewrite_into ?config
+    (fun caps schema ~n ~m:_ -> Candidates.full ~caps schema ~n)
+    ~complete:(fun caps schema ~n ~m:_ ->
+      Candidates.generic_complete caps schema ~n ~m:0)
+    sigma
+
+let minimize ?(budget = Tgd_chase.Chase.default_budget) sigma =
+  minimize_set budget sigma

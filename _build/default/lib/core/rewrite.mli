@@ -1,0 +1,80 @@
+(** The rewriting procedures of Section 9: Algorithm 1 (G-to-L) and
+    Algorithm 2 (FG-to-G).
+
+    Both follow the paper verbatim: collect every candidate tgd of the
+    target class with at most [n] universal and [m] existential variables
+    (the bounds carried by the input set — justified by the Linearization
+    and Guardedization Lemmas) that is entailed by the input, then test
+    whether the collected set entails the input back.
+
+    Two sources of approximation are surfaced honestly in the result:
+    entailment is chase-based and three-valued, and the candidate space may
+    be capped (see {!Candidates.caps}).  A [Not_rewritable] verdict is
+    definitive exactly when [complete] is true and no candidate or backward
+    check came back unknown — on the paper's own examples both hold. *)
+
+open Tgd_syntax
+open Tgd_instance
+
+type config = {
+  caps : Candidates.caps;
+  budget : Tgd_chase.Chase.budget;
+  minimize : bool;  (** greedily drop redundant members of [Σ'] *)
+}
+
+val default_config : config
+
+type outcome =
+  | Rewritable of Tgd.t list
+  | Not_rewritable of { complete : bool; unknown_candidates : int }
+  | Unknown of string
+
+val pp_outcome : outcome Fmt.t
+
+type report = {
+  outcome : outcome;
+  n : int;
+  m : int;
+  candidates_enumerated : int;
+  candidates_entailed : int;
+}
+
+val schema_of : Tgd.t list -> Schema.t
+val class_bounds : Tgd.t list -> int * int
+(** [(n, m)]: maximum universal / existential variable counts over the set. *)
+
+val g_to_l : ?config:config -> Tgd.t list -> report
+(** Algorithm 1.  Raises [Invalid_argument] when the input is not a set of
+    guarded tgds. *)
+
+val fg_to_g : ?config:config -> Tgd.t list -> report
+(** Algorithm 2.  Raises [Invalid_argument] when the input is not a set of
+    frontier-guarded tgds. *)
+
+val rewrite_into :
+  ?config:config -> (Candidates.caps -> Schema.t -> n:int -> m:int -> Tgd.t Seq.t) ->
+  complete:(Candidates.caps -> Schema.t -> n:int -> m:int -> bool) ->
+  Tgd.t list -> report
+(** The generic engine behind both algorithms; exposed for ablations and for
+    rewriting into other classes. *)
+
+val verify_equivalence_bounded :
+  Tgd.t list -> Tgd.t list -> dom_size:int -> Instance.t option
+(** Exhaustive model-agreement check on all instances with canonical domains
+    of size [≤ dom_size]; [Some] is a countermodel distinguishing the two
+    sets. *)
+
+val to_frontier_guarded : ?config:config -> Tgd.t list -> report
+(** Rewrite an arbitrary finite set of tgds into frontier-guarded ones when
+    possible — the Zhang-et-al. direction the paper's related work cites;
+    built on the same generic engine with {!Candidates.frontier_guarded}
+    candidates. *)
+
+val to_full : ?config:config -> Tgd.t list -> report
+(** Rewrite into existential-free (full) tgds when possible
+    (cf. Corollary 5.1: the target class is [TGD_{n,0}]). *)
+
+val minimize : ?budget:Tgd_chase.Chase.budget -> Tgd.t list -> Tgd.t list
+(** Greedy redundancy elimination: repeatedly drop a tgd entailed by the
+    remainder (largest first).  The result is logically equivalent to the
+    input. *)

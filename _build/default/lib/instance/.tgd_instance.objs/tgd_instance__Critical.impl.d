@@ -1,0 +1,1 @@
+lib/instance/critical.ml: Combinat Constant Fact Instance List Relation Schema Seq Tgd_syntax

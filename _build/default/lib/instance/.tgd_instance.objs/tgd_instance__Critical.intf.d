@@ -1,0 +1,1 @@
+lib/instance/critical.mli: Constant Fact Instance Schema Tgd_syntax

@@ -1,0 +1,1 @@
+lib/instance/diagram.ml: Array Atom Combinat Constant Edd Fact Instance List Printf Relation Satisfaction Schema Seq Term Tgd_syntax Variable

@@ -1,0 +1,1 @@
+lib/instance/diagram.mli: Atom Constant Edd Instance Schema Tgd_syntax Variable

@@ -1,0 +1,1 @@
+lib/instance/duplicating.ml: Array Combinat Constant Fact Instance List Seq Tgd_syntax

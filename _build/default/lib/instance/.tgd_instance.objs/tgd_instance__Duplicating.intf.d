@@ -1,0 +1,1 @@
+lib/instance/duplicating.mli: Constant Instance Tgd_syntax

@@ -1,0 +1,1 @@
+lib/instance/hom.ml: Array Atom Binding Constant Fact Hashtbl Instance List Printf Relation Schema Seq Term Tgd_syntax Variable

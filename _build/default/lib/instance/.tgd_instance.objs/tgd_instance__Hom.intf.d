@@ -1,0 +1,1 @@
+lib/instance/hom.mli: Atom Binding Constant Fact Instance Seq Tgd_syntax

@@ -1,0 +1,1 @@
+lib/instance/instance.ml: Constant Fact Fmt List Printf Relation Schema Tgd_syntax

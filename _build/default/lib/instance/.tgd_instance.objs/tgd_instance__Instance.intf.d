@@ -1,0 +1,1 @@
+lib/instance/instance.mli: Constant Fact Fmt Relation Schema Tgd_syntax

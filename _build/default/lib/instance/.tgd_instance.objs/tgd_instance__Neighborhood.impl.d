@@ -1,0 +1,1 @@
+lib/instance/neighborhood.ml: Combinat Constant Instance Seq Tgd_syntax

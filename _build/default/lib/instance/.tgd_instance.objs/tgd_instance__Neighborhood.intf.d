@@ -1,0 +1,1 @@
+lib/instance/neighborhood.mli: Constant Instance Seq Tgd_syntax

@@ -1,0 +1,1 @@
+lib/instance/product.ml: Array Constant Fact Instance List Schema Tgd_syntax

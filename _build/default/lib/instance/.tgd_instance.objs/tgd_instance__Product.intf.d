@@ -1,0 +1,1 @@
+lib/instance/product.mli: Instance

@@ -1,0 +1,1 @@
+lib/instance/retract.ml: Constant Hom Instance Seq Tgd_syntax

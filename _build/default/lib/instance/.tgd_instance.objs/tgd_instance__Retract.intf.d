@@ -1,0 +1,1 @@
+lib/instance/retract.mli: Constant Instance Tgd_syntax

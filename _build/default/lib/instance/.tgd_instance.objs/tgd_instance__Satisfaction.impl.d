@@ -1,0 +1,1 @@
+lib/instance/satisfaction.ml: Binding Constant Denial Dependency Edd Egd Hom List Seq Tgd Tgd_syntax

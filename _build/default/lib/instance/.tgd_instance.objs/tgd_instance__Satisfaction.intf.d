@@ -1,0 +1,1 @@
+lib/instance/satisfaction.mli: Atom Binding Denial Dependency Edd Egd Instance Tgd Tgd_syntax

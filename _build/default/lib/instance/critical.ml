@@ -1,0 +1,41 @@
+open Tgd_syntax
+
+let over schema domain =
+  let domain = List.sort_uniq Constant.compare domain in
+  if domain = [] then invalid_arg "Critical.over: empty domain";
+  let base =
+    List.fold_left Instance.add_dom (Instance.empty schema) domain
+  in
+  List.fold_left
+    (fun acc r ->
+      Seq.fold_left
+        (fun acc tuple -> Instance.add_fact acc (Fact.make r tuple))
+        acc
+        (Combinat.tuples domain (Relation.arity r)))
+    base (Schema.relations schema)
+
+let make schema k =
+  if k <= 0 then invalid_arg "Critical.make: k must be positive";
+  over schema (List.init k Constant.indexed)
+
+let is_critical i =
+  let d = Constant.Set.elements (Instance.dom i) in
+  d <> []
+  && List.for_all
+       (fun r ->
+         Seq.for_all
+           (fun tuple -> Instance.mem i (Fact.make r tuple))
+           (Combinat.tuples d (Relation.arity r)))
+       (Schema.relations (Instance.schema i))
+
+let containing schema facts =
+  let dom =
+    List.fold_left
+      (fun acc f -> Constant.Set.union acc (Fact.constants f))
+      Constant.Set.empty facts
+  in
+  let dom =
+    if Constant.Set.is_empty dom then Constant.Set.singleton (Constant.indexed 0)
+    else dom
+  in
+  over schema (Constant.Set.elements dom)

@@ -1,0 +1,20 @@
+(** Critical instances (Section 3.1). *)
+
+open Tgd_syntax
+
+val make : Schema.t -> int -> Instance.t
+(** [make s k] is the canonical [k]-critical S-instance: domain
+    [{c_0, …, c_{k-1}}] (as {!Constant.Indexed}) and
+    [R^I = dom(I)^{ar(R)}] for every [R ∈ S].
+    Raises [Invalid_argument] when [k ≤ 0]. *)
+
+val over : Schema.t -> Constant.t list -> Instance.t
+(** Critical instance over the given (non-empty, duplicate-free) domain. *)
+
+val is_critical : Instance.t -> bool
+(** Does the instance contain {e all} tuples over its domain, for every
+    relation of its schema, with a non-empty domain? *)
+
+val containing : Schema.t -> Fact.t list -> Instance.t
+(** The smallest critical instance whose facts include the given ones — the
+    [k]-critical [J ⊇ h(φ(x̄))] used in Step 3 of Theorem 4.1. *)

@@ -1,0 +1,60 @@
+open Tgd_syntax
+
+let check i c d =
+  if not (Constant.Set.mem c (Instance.dom i)) then
+    invalid_arg "Duplicating: witness constant not in the domain";
+  if Constant.Set.mem d (Instance.dom i) then
+    invalid_arg "Duplicating: fresh constant already in the domain"
+
+let oblivious i c d =
+  check i c d;
+  let h x = if Constant.equal x c then d else x in
+  let copy = Instance.map_constants h i in
+  Instance.add_dom (Instance.union i copy) d
+
+(* All variants of a tuple where an arbitrary subset of the [c]-positions is
+   renamed to [d]. *)
+let tuple_variants c d tuple =
+  let positions =
+    Array.to_list tuple
+    |> List.mapi (fun idx x -> (idx, x))
+    |> List.filter_map (fun (idx, x) ->
+           if Constant.equal x c then Some idx else None)
+  in
+  Combinat.subsets positions
+  |> Seq.map (fun chosen ->
+         let t = Array.copy tuple in
+         List.iter (fun idx -> t.(idx) <- d) chosen;
+         t)
+
+let non_oblivious i c d =
+  check i c d;
+  let base =
+    Constant.Set.fold
+      (fun x acc -> Instance.add_dom acc x)
+      (Instance.dom i)
+      (Instance.add_dom (Instance.empty (Instance.schema i)) d)
+  in
+  Fact.Set.fold
+    (fun f acc ->
+      Seq.fold_left
+        (fun acc t -> Instance.add_fact acc (Fact.make_arr (Fact.rel f) t))
+        acc
+        (tuple_variants c d (Fact.tuple_arr f)))
+    (Instance.facts i) base
+
+let is_non_oblivious_of j i =
+  let extra = Constant.Set.diff (Instance.dom j) (Instance.dom i) in
+  match Constant.Set.elements extra with
+  | [ d ] ->
+    Constant.Set.exists
+      (fun c -> Instance.equal (non_oblivious i c d) j)
+      (Instance.dom i)
+  | _ -> false
+
+let fresh_for i =
+  let rec go k =
+    let c = Constant.indexed k in
+    if Constant.Set.mem c (Instance.dom i) then go (k + 1) else c
+  in
+  go 1000

@@ -1,0 +1,30 @@
+(** Duplicating extensions (Section 5.1).
+
+    Two notions are implemented: the original (oblivious) one of Makowsky and
+    Vardi [14], which Example 5.2 of the paper refutes as a closure property
+    of tgds, and the corrected {e non-oblivious} duplicating extension of
+    Definition 5.3 that distinguishes the different occurrences of the
+    duplicated constant. *)
+
+open Tgd_syntax
+
+val oblivious : Instance.t -> Constant.t -> Constant.t -> Instance.t
+(** [oblivious i c d] is the Makowsky–Vardi duplicating extension of [I]
+    witnessed by [c ∈ dom(I)] and fresh [d ∉ dom(I)]:
+    [facts(J) = facts(I) ∪ h(facts(I))] with [h] the identity except
+    [h(c) = d].  Raises [Invalid_argument] when [c ∉ dom(I)] or
+    [d ∈ dom(I)]. *)
+
+val non_oblivious : Instance.t -> Constant.t -> Constant.t -> Instance.t
+(** [non_oblivious i c d] is the non-oblivious duplicating extension
+    (Definition 5.3): [R(t̄) ∈ J] iff [h(R(t̄)) ∈ I] for
+    [t̄ ∈ (dom(I) ∪ {d})^{ar(R)}], [h] the identity except [h(d) = c].
+    Equivalently, every fact of [I] is replicated with every subset of its
+    [c]-occurrences renamed to [d]. *)
+
+val is_non_oblivious_of : Instance.t -> Instance.t -> bool
+(** [is_non_oblivious_of j i] — is [J] a non-oblivious duplicating extension
+    of [I] for some witnesses [c, d]? *)
+
+val fresh_for : Instance.t -> Constant.t
+(** A constant outside [dom(I)]. *)

@@ -1,0 +1,143 @@
+open Tgd_syntax
+
+let match_atom binding atom fact =
+  let args = Atom.args_arr atom in
+  let tup = Fact.tuple_arr fact in
+  let n = Array.length args in
+  let rec go i b =
+    if i = n then Some b
+    else
+      match args.(i) with
+      | Term.Const c ->
+        if Constant.equal c tup.(i) then go (i + 1) b else None
+      | Term.Var v -> (
+        match Binding.extend v tup.(i) b with
+        | Some b' -> go (i + 1) b'
+        | None -> None)
+  in
+  go 0 binding
+
+(* Greedy atom ordering: prefer atoms with many already-bound variables and
+   few candidate facts; dramatically narrows the backtracking tree. *)
+let order_atoms partial atoms inst =
+  let arr = Array.of_list atoms in
+  let used = Array.make (Array.length arr) false in
+  let bound = ref (Binding.domain partial) in
+  let out = ref [] in
+  for _ = 1 to Array.length arr do
+    let score a =
+      let vs = Atom.vars a in
+      let bound_vars = Variable.Set.cardinal (Variable.Set.inter vs !bound) in
+      let candidates = Fact.Set.cardinal (Instance.facts_of inst (Atom.rel a)) in
+      (bound_vars, -candidates)
+    in
+    let best = ref (-1) in
+    Array.iteri
+      (fun idx a ->
+        if not used.(idx) then
+          if !best < 0 || score a > score arr.(!best) then best := idx)
+      arr;
+    if !best >= 0 then begin
+      used.(!best) <- true;
+      out := arr.(!best) :: !out;
+      bound := Variable.Set.union !bound (Atom.vars arr.(!best))
+    end
+  done;
+  List.rev !out
+
+let rec solve inst binding = function
+  | [] -> Seq.return binding
+  | atom :: rest ->
+    Fact.Set.to_seq (Instance.facts_of inst (Atom.rel atom))
+    |> Seq.filter_map (fun f -> match_atom binding atom f)
+    |> Seq.concat_map (fun b -> solve inst b rest)
+
+let all_homs ?(partial = Binding.empty) atoms inst =
+  solve inst partial (order_atoms partial atoms inst)
+
+let find_hom ?partial atoms inst =
+  match (all_homs ?partial atoms inst) () with
+  | Seq.Nil -> None
+  | Seq.Cons (b, _) -> Some b
+
+let exists_hom ?partial atoms inst = find_hom ?partial atoms inst <> None
+
+(* Instance homomorphisms: encode adom(from) constants as variables and reuse
+   the query engine. *)
+
+let var_of_const =
+  let tbl : (Constant.t, Variable.t) Hashtbl.t = Hashtbl.create 64 in
+  fun c ->
+    match Hashtbl.find_opt tbl c with
+    | Some v -> v
+    | None ->
+      let v = Variable.make (Printf.sprintf "!c%d" (Hashtbl.length tbl)) in
+      Hashtbl.add tbl c v;
+      v
+
+let encode_instance fixed from =
+  let atom_of_fact f =
+    Atom.make_arr (Fact.rel f)
+      (Array.map
+         (fun c ->
+           match Constant.Map.find_opt c fixed with
+           | Some d -> Term.const d
+           | None -> Term.var (var_of_const c))
+         (Fact.tuple_arr f))
+  in
+  List.map atom_of_fact (Instance.fact_list from)
+
+let decode fixed from binding =
+  Constant.Set.fold
+    (fun c acc ->
+      match Constant.Map.find_opt c fixed with
+      | Some d -> Constant.Map.add c d acc
+      | None -> (
+        match Binding.find (var_of_const c) binding with
+        | Some d -> Constant.Map.add c d acc
+        | None -> acc))
+    (Instance.adom from) Constant.Map.empty
+
+let map_injective m =
+  let seen = Hashtbl.create 16 in
+  Constant.Map.for_all
+    (fun _ d ->
+      if Hashtbl.mem seen d then false
+      else (
+        Hashtbl.add seen d ();
+        true))
+    m
+
+let instance_homs ?(fixed = Constant.Map.empty) ?(injective = false) from into =
+  let atoms = encode_instance fixed from in
+  all_homs atoms into
+  |> Seq.map (decode fixed from)
+  |> Seq.filter (fun m -> (not injective) || map_injective m)
+
+let find_instance_hom ?fixed ?injective from into =
+  match (instance_homs ?fixed ?injective from into) () with
+  | Seq.Nil -> None
+  | Seq.Cons (m, _) -> Some m
+
+let embeds_fixing f j' i =
+  let fixed =
+    Constant.Set.fold
+      (fun c acc -> Constant.Map.add c c acc)
+      (Constant.Set.inter f (Instance.adom j'))
+      Constant.Map.empty
+  in
+  find_instance_hom ~fixed j' i <> None
+
+let isomorphic i j =
+  Constant.Set.cardinal (Instance.dom i) = Constant.Set.cardinal (Instance.dom j)
+  && Instance.fact_count i = Instance.fact_count j
+  && List.sort_uniq Relation.compare
+       (Schema.relations (Instance.schema i)
+       @ Schema.relations (Instance.schema j))
+     |> List.for_all (fun r ->
+            Fact.Set.cardinal (Instance.facts_of i r)
+            = Fact.Set.cardinal (Instance.facts_of j r))
+  && find_instance_hom ~injective:true i j <> None
+
+let hom_equivalent i j =
+  find_instance_hom i j <> None && find_instance_hom j i <> None

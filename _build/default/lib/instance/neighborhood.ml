@@ -1,0 +1,23 @@
+open Tgd_syntax
+
+let of_set f j m =
+  let rest =
+    Constant.Set.elements (Constant.Set.diff (Instance.adom j) f)
+  in
+  Combinat.subsets_up_to m rest
+  |> Seq.filter_map (fun extra ->
+         let d = Constant.Set.union f (Constant.set_of_list extra) in
+         let j' = Instance.induced j d in
+         if Constant.Set.subset f (Instance.adom j') then Some j' else None)
+
+let of_instance k j m = of_set (Instance.adom k) j m
+
+let size_bound f j m =
+  let n = Constant.Set.cardinal (Constant.Set.diff (Instance.adom j) f) in
+  let rec choose n k =
+    if k = 0 then 1
+    else if k > n then 0
+    else choose (n - 1) (k - 1) * n / k
+  in
+  let rec sum e acc = if e > m then acc else sum (e + 1) (acc + choose n e) in
+  sum 0 0

@@ -1,0 +1,27 @@
+(** m-neighbourhoods (Section 3.3).
+
+    The [m]-neighbourhood of a set of constants [F] in an instance [J] is the
+    set of subinstances [J' ≤ J] with [F ⊆ adom(J')] and
+    [|adom(J')| ≤ |F| + m].  The [m]-neighbourhood of an instance [K ⊆ J] is
+    the [m]-neighbourhood of [adom(K)] in [J].
+
+    Members are enumerated up to fact-equivalence: every member is produced
+    as the subinstance of [J] induced by [F ∪ E] for a set [E] of at most [m]
+    further active-domain elements.  Since the local-embeddability conditions
+    only inspect facts and active domains, this enumeration is complete. *)
+
+open Tgd_syntax
+
+val of_set : Constant.Set.t -> Instance.t -> int -> Instance.t Seq.t
+(** [of_set f j m] — the [m]-neighbourhood of [F] in [J].  Members whose
+    active domain fails to include all of [F] are skipped, per the
+    definition. *)
+
+val of_instance : Instance.t -> Instance.t -> int -> Instance.t Seq.t
+(** [of_instance k j m] — the [m]-neighbourhood of [K] in [J]
+    ([= of_set (adom k) j m]). *)
+
+val size_bound : Constant.Set.t -> Instance.t -> int -> int
+(** Number of candidate extension sets [E] that will be tried —
+    [Σ_{e ≤ m} (|adom(J) \ F| choose e)]; callers can use it to refuse
+    infeasible checks. *)

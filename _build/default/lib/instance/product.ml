@@ -1,0 +1,40 @@
+open Tgd_syntax
+
+let direct i j =
+  if not (Schema.equal (Instance.schema i) (Instance.schema j)) then
+    invalid_arg "Product.direct: instances over different schemas";
+  let schema = Instance.schema i in
+  let base = Instance.empty schema in
+  let with_dom =
+    Constant.Set.fold
+      (fun a acc ->
+        Constant.Set.fold
+          (fun b acc -> Instance.add_dom acc (Constant.pair a b))
+          (Instance.dom j) acc)
+      (Instance.dom i) base
+  in
+  List.fold_left
+    (fun acc r ->
+      let tuples_i = Instance.tuples_of i r in
+      let tuples_j = Instance.tuples_of j r in
+      List.fold_left
+        (fun acc ta ->
+          List.fold_left
+            (fun acc tb ->
+              let tuple = Array.map2 Constant.pair ta tb in
+              Instance.add_fact acc (Fact.make_arr r tuple))
+            acc tuples_j)
+        acc tuples_i)
+    with_dom (Schema.relations schema)
+
+let power i k =
+  if k < 1 then invalid_arg "Product.power: k must be positive";
+  let rec go acc k = if k = 0 then acc else go (direct acc i) (k - 1) in
+  go i (k - 1)
+
+let n_ary = function
+  | [] -> invalid_arg "Product.n_ary: empty list"
+  | i :: rest -> List.fold_left direct i rest
+
+let project_first i = Instance.map_constants Constant.first i
+let project_second i = Instance.map_constants Constant.second i

@@ -1,0 +1,19 @@
+(** Direct products of instances (Section 3.2). *)
+val direct : Instance.t -> Instance.t -> Instance.t
+(** [direct i j] is [I ⊗ J]: domain [dom(I) × dom(J)] (as {!Constant.Pair}
+    constants) and
+    [R^{I⊗J} = {((a_1,b_1), …) | ā ∈ R^I, b̄ ∈ R^J}].
+    Raises [Invalid_argument] when the schemas differ. *)
+
+val power : Instance.t -> int -> Instance.t
+(** [power i k] is [I ⊗ ⋯ ⊗ I] ([k] factors, left-associated).
+    Raises [Invalid_argument] when [k < 1]. *)
+
+val n_ary : Instance.t list -> Instance.t
+(** Left-associated product of a non-empty list (used for
+    [J = I_1 ⊗ ⋯ ⊗ I_k] in Step 2 of Theorem 4.1). *)
+
+val project_first : Instance.t -> Instance.t
+(** Image of a product instance under [h_I((a,b)) = a] (Lemma 3.4). *)
+
+val project_second : Instance.t -> Instance.t

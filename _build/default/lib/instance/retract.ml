@@ -1,0 +1,34 @@
+open Tgd_syntax
+
+let image_of_endo i h =
+  let apply c =
+    match Constant.Map.find_opt c h with Some d -> d | None -> c
+  in
+  Instance.shrink_dom_to_adom (Instance.map_constants apply i)
+
+let shrink_with ~fixed i =
+  Hom.instance_homs ~fixed i i
+  |> Seq.filter_map (fun h ->
+         let image = image_of_endo i h in
+         if Instance.fact_count image < Instance.fact_count i then Some image
+         else None)
+  |> fun seq -> (match seq () with Seq.Nil -> None | Seq.Cons (j, _) -> Some j)
+
+let shrink_step i = shrink_with ~fixed:Constant.Map.empty i
+
+let core_preserving rigid i =
+  let fixed =
+    Constant.Set.fold
+      (fun c acc -> Constant.Map.add c c acc)
+      (Constant.Set.inter rigid (Instance.adom i))
+      Constant.Map.empty
+  in
+  let rec go i =
+    match shrink_with ~fixed i with
+    | Some j -> go j
+    | None -> i
+  in
+  go (Instance.shrink_dom_to_adom i)
+
+let core i = core_preserving Constant.Set.empty i
+let is_core i = shrink_step i = None

@@ -1,0 +1,25 @@
+(** Cores of instances.
+
+    The {e core} of a finite instance is its smallest retract — the unique
+    (up to isomorphism) minimal subinstance it maps into homomorphically.
+    Cores are the canonical representatives of homomorphic-equivalence
+    classes and the minimal universal models of data exchange; the chase
+    result of {!Tgd_chase.Chase} can be minimized with {!core} to obtain the
+    core universal model. *)
+
+open Tgd_syntax
+
+val shrink_step : Instance.t -> Instance.t option
+(** One retraction step: [Some h(I)] for an endomorphism [h] with strictly
+    fewer facts in the image, [None] if every endomorphism is surjective. *)
+
+val core : Instance.t -> Instance.t
+(** The core (domain shrunk to the active domain of the retract).
+    Exponential-time in the worst case, as unavoidable. *)
+
+val is_core : Instance.t -> bool
+
+val core_preserving : Constant.Set.t -> Instance.t -> Instance.t
+(** Core relative to a set of rigid constants that the retraction must fix
+    pointwise — e.g. the database constants when minimizing a chase result
+    (nulls may collapse, database constants may not). *)

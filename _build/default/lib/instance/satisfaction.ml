@@ -1,0 +1,55 @@
+open Tgd_syntax
+
+let head_holds i head body_binding =
+  (* Restrict to head-relevant bindings: frontier variables keep their
+     values; existential variables are searched. *)
+  Hom.exists_hom ~partial:body_binding head i
+
+let violating_hom i s =
+  let body = Tgd.body s in
+  let head = Tgd.head s in
+  Hom.all_homs body i
+  |> Seq.filter (fun h ->
+         not
+           (head_holds i head
+              (Binding.restrict (Tgd.frontier s) h)))
+  |> fun seq -> (match seq () with Seq.Nil -> None | Seq.Cons (h, _) -> Some h)
+
+let tgd i s = violating_hom i s = None
+let tgds i sigma = List.for_all (tgd i) sigma
+
+let egd i e =
+  Hom.all_homs (Egd.body e) i
+  |> Seq.for_all (fun h ->
+         match Binding.find (Egd.lhs e) h, Binding.find (Egd.rhs e) h with
+         | Some a, Some b -> Constant.equal a b
+         | _ -> false)
+
+let disjunct_holds i body_vars h = function
+  | Edd.Eq (y, z) -> (
+    match Binding.find y h, Binding.find z h with
+    | Some a, Some b -> Constant.equal a b
+    | _ -> false)
+  | Edd.Exists atoms ->
+    (* Variables of the conjunct in the body keep their values; the rest are
+       existential. *)
+    let partial =
+      Binding.restrict body_vars h
+    in
+    Hom.exists_hom ~partial atoms i
+
+let edd i d =
+  let body_vars = Edd.body_vars d in
+  Hom.all_homs (Edd.body d) i
+  |> Seq.for_all (fun h ->
+         List.exists (disjunct_holds i body_vars h) (Edd.disjuncts d))
+
+let dependency i = function
+  | Dependency.Tgd s -> tgd i s
+  | Dependency.Egd e -> egd i e
+
+let dependencies i deps = List.for_all (dependency i) deps
+
+let boolean_cq i atoms = Hom.exists_hom atoms i
+
+let denial i d = not (Hom.exists_hom (Denial.body d) i)

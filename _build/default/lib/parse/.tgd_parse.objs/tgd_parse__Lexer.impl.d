@@ -1,0 +1,1 @@
+lib/parse/lexer.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/parse/lexer.mli: Fmt

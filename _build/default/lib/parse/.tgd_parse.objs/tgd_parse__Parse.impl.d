@@ -1,0 +1,1 @@
+lib/parse/parse.ml: Atom Constant Denial Egd Fact Fmt Hashtbl Instance Lexer List Printf Relation Result Schema Term Tgd Tgd_instance Tgd_syntax Variable

@@ -1,0 +1,1 @@
+lib/parse/parse.mli: Denial Egd Fact Fmt Instance Schema Tgd Tgd_instance Tgd_syntax

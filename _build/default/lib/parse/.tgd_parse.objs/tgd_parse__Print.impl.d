@@ -1,0 +1,1 @@
+lib/parse/print.ml: Atom Constant Denial Egd Fact Fmt List Parse Printf Relation String Tgd Tgd_syntax

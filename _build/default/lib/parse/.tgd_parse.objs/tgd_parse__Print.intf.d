@@ -1,0 +1,1 @@
+lib/parse/print.mli: Denial Egd Fact Parse Tgd Tgd_syntax

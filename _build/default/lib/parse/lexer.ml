@@ -1,0 +1,86 @@
+type token =
+  | Ident of string
+  | Arrow
+  | Comma
+  | Lparen
+  | Rparen
+  | Dot
+  | Exists
+  | Equals
+  | False
+  | Eof
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let col = ref 1 in
+  let pos = ref 0 in
+  let out = ref [] in
+  let emit token l c = out := { token; line = l; col = c } :: !out in
+  let advance () =
+    if !pos < n then begin
+      if src.[!pos] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr pos
+    end
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    let l = !line and co = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '%' || c = '#' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if c = '-' then begin
+      advance ();
+      if !pos < n && src.[!pos] = '>' then begin
+        advance ();
+        emit Arrow l co
+      end
+      else raise (Lex_error ("expected '>' after '-'", l, co))
+    end
+    else if c = ',' then (advance (); emit Comma l co)
+    else if c = '(' then (advance (); emit Lparen l co)
+    else if c = ')' then (advance (); emit Rparen l co)
+    else if c = '.' then (advance (); emit Dot l co)
+    else if c = '=' then (advance (); emit Equals l co)
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        advance ()
+      done;
+      let word = String.sub src start (!pos - start) in
+      if String.equal word "exists" then emit Exists l co
+      else if String.equal word "false" then emit False l co
+      else emit (Ident word) l co
+    end
+    else raise (Lex_error (Printf.sprintf "unexpected character %C" c, l, co))
+  done;
+  emit Eof !line !col;
+  List.rev !out
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %S" s
+  | Arrow -> Fmt.string ppf "'->'"
+  | Comma -> Fmt.string ppf "','"
+  | Lparen -> Fmt.string ppf "'('"
+  | Rparen -> Fmt.string ppf "')'"
+  | Dot -> Fmt.string ppf "'.'"
+  | Exists -> Fmt.string ppf "'exists'"
+  | Equals -> Fmt.string ppf "'='"
+  | False -> Fmt.string ppf "'false'"
+  | Eof -> Fmt.string ppf "end of input"

@@ -1,0 +1,25 @@
+(** Tokenizer for the Datalog± surface syntax. *)
+
+type token =
+  | Ident of string
+  | Arrow          (** [->] *)
+  | Comma
+  | Lparen
+  | Rparen
+  | Dot
+  | Exists
+  | Equals         (** [=] *)
+  | False          (** the keyword [false] (denial-constraint head) *)
+  | Eof
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+(** message, line, column (1-based). *)
+
+val tokenize : string -> located list
+(** Comments run from [%] or [#] to end of line.  Identifiers are
+    [A-Za-z0-9_'] sequences starting with a letter or underscore; the
+    keywords [exists] and [false] lex as {!Exists} and {!False}. *)
+
+val pp_token : token Fmt.t

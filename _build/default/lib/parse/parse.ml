@@ -1,0 +1,288 @@
+open Tgd_syntax
+open Tgd_instance
+
+type error = { message : string; line : int; col : int }
+
+let pp_error ppf e = Fmt.pf ppf "%d:%d: %s" e.line e.col e.message
+
+type program = {
+  schema : Schema.t;
+  tgds : Tgd.t list;
+  egds : Egd.t list;
+  denials : Denial.t list;
+  facts : Fact.t list;
+}
+
+exception Parse_error of error
+
+let fail_at (tok : Lexer.located) message =
+  raise (Parse_error { message; line = tok.line; col = tok.col })
+
+(* ---- raw syntax tree ---- *)
+
+type raw_atom = { name : string; args : string list; at : Lexer.located }
+
+type raw_head_item =
+  | Raw_atom of raw_atom
+  | Raw_eq of string * string * Lexer.located
+  | Raw_false of Lexer.located
+
+type raw_statement =
+  | Raw_fact of raw_atom list
+  | Raw_rule of { body : raw_atom list; head : raw_head_item list }
+
+type state = { mutable toks : Lexer.located list }
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> assert false (* tokenize always ends with Eof *)
+
+let next st =
+  let t = peek st in
+  (match st.toks with
+  | _ :: rest when t.token <> Lexer.Eof -> st.toks <- rest
+  | _ -> ());
+  t
+
+let expect st tok what =
+  let t = next st in
+  if t.token <> tok then
+    fail_at t (Fmt.str "expected %s, found %a" what Lexer.pp_token t.token)
+
+let parse_ident st what =
+  let t = next st in
+  match t.token with
+  | Lexer.Ident s -> (s, t)
+  | other -> fail_at t (Fmt.str "expected %s, found %a" what Lexer.pp_token other)
+
+(* the relation name has been consumed; parse an optional argument list *)
+let parse_atom_args st name at =
+  match (peek st).token with
+  | Lexer.Lparen ->
+    ignore (next st);
+    if (peek st).token = Lexer.Rparen then begin
+      ignore (next st);
+      { name; args = []; at }
+    end
+    else begin
+      let rec args acc =
+        let arg, _ = parse_ident st "a term" in
+        let t = next st in
+        match t.token with
+        | Lexer.Comma -> args (arg :: acc)
+        | Lexer.Rparen -> List.rev (arg :: acc)
+        | _ -> fail_at t "expected ',' or ')' in the argument list"
+      in
+      { name; args = args []; at }
+    end
+  | _ -> { name; args = []; at }
+
+let parse_atom st =
+  let name, at = parse_ident st "a relation name" in
+  parse_atom_args st name at
+
+let rec parse_atom_list st acc =
+  let a = parse_atom st in
+  match (peek st).token with
+  | Lexer.Comma ->
+    ignore (next st);
+    parse_atom_list st (a :: acc)
+  | _ -> List.rev (a :: acc)
+
+let parse_head_item st =
+  match (peek st).token with
+  | Lexer.False ->
+    let t = next st in
+    Raw_false t
+  | _ ->
+    let name, at = parse_ident st "a relation name or variable" in
+    (match (peek st).token with
+    | Lexer.Equals ->
+      ignore (next st);
+      let rhs, _ = parse_ident st "the right-hand side of the equality" in
+      Raw_eq (name, rhs, at)
+    | _ -> Raw_atom (parse_atom_args st name at))
+
+let rec parse_head_items st acc =
+  let item = parse_head_item st in
+  match (peek st).token with
+  | Lexer.Comma ->
+    ignore (next st);
+    parse_head_items st (item :: acc)
+  | _ -> List.rev (item :: acc)
+
+let parse_head st =
+  (* optional 'exists v1,...,vk .' prefix; the variables are implicit in the
+     head anyway, so we parse and discard them after a sanity check *)
+  (match (peek st).token with
+  | Lexer.Exists ->
+    ignore (next st);
+    let rec vars () =
+      let _ = parse_ident st "an existential variable" in
+      match (peek st).token with
+      | Lexer.Comma ->
+        ignore (next st);
+        vars ()
+      | _ -> ()
+    in
+    vars ();
+    expect st Lexer.Dot "'.' after the existential variables"
+  | _ -> ());
+  parse_head_items st []
+
+let parse_statement st =
+  match (peek st).token with
+  | Lexer.Arrow ->
+    ignore (next st);
+    let head = parse_head st in
+    expect st Lexer.Dot "'.' at the end of the rule";
+    Raw_rule { body = []; head }
+  | _ ->
+    let atoms = parse_atom_list st [] in
+    let t = next st in
+    (match t.token with
+    | Lexer.Dot -> Raw_fact atoms
+    | Lexer.Arrow ->
+      let head = parse_head st in
+      expect st Lexer.Dot "'.' at the end of the rule";
+      Raw_rule { body = atoms; head }
+    | _ -> fail_at t "expected '.' or '->'")
+
+let parse_statements st =
+  let rec go acc =
+    if (peek st).token = Lexer.Eof then List.rev acc
+    else go (parse_statement st :: acc)
+  in
+  go []
+
+(* ---- schema inference and elaboration ---- *)
+
+let infer_schema given statements =
+  let tbl : (string, int * Lexer.located) Hashtbl.t = Hashtbl.create 16 in
+  let note (a : raw_atom) =
+    let arity = List.length a.args in
+    match Hashtbl.find_opt tbl a.name with
+    | Some (arity', _) when arity' <> arity ->
+      fail_at a.at
+        (Printf.sprintf "relation %s used with arities %d and %d" a.name
+           arity' arity)
+    | Some _ -> ()
+    | None -> (
+      match given with
+      | Some s -> (
+        match Schema.arity_of s a.name with
+        | Some declared when declared <> arity ->
+          fail_at a.at
+            (Printf.sprintf "relation %s has declared arity %d, used with %d"
+               a.name declared arity)
+        | Some _ -> Hashtbl.add tbl a.name (arity, a.at)
+        | None ->
+          fail_at a.at
+            (Printf.sprintf "relation %s is not in the given schema" a.name))
+      | None -> Hashtbl.add tbl a.name (arity, a.at))
+  in
+  let note_head = function
+    | Raw_atom a -> note a
+    | Raw_eq _ | Raw_false _ -> ()
+  in
+  List.iter
+    (function
+      | Raw_fact atoms -> List.iter note atoms
+      | Raw_rule { body; head } ->
+        List.iter note body;
+        List.iter note_head head)
+    statements;
+  match given with
+  | Some s -> s
+  | None ->
+    Schema.make
+      (Hashtbl.fold
+         (fun name (arity, _) acc -> Relation.make name arity :: acc)
+         tbl [])
+
+let relation_of schema (a : raw_atom) =
+  match Schema.find schema a.name with
+  | Some r -> r
+  | None -> fail_at a.at (Printf.sprintf "unknown relation %s" a.name)
+
+let to_var_atom schema (a : raw_atom) =
+  Atom.make (relation_of schema a)
+    (List.map (fun v -> Term.var (Variable.make v)) a.args)
+
+let guarded_make at f = try f () with Invalid_argument msg -> fail_at at msg
+
+let elaborate_rule schema body head =
+  let body_atoms = List.map (to_var_atom schema) body in
+  let at_of = function
+    | Raw_atom a -> a.at
+    | Raw_eq (_, _, at) -> at
+    | Raw_false at -> at
+  in
+  match head with
+  | [ Raw_false at ] ->
+    `Denial (guarded_make at (fun () -> Denial.make body_atoms))
+  | [ Raw_eq (y, z, at) ] ->
+    `Egd
+      (guarded_make at (fun () ->
+           Egd.make ~body:body_atoms (Variable.make y) (Variable.make z)))
+  | items ->
+    let atoms =
+      List.map
+        (fun item ->
+          match item with
+          | Raw_atom a -> to_var_atom schema a
+          | Raw_eq (_, _, at) ->
+            fail_at at "an equality must be the only head of its rule"
+          | Raw_false at ->
+            fail_at at "'false' must be the only head of its rule")
+        items
+    in
+    let at = match items with it :: _ -> at_of it | [] -> assert false in
+    `Tgd (guarded_make at (fun () -> Tgd.make ~body:body_atoms ~head:atoms))
+
+let elaborate_fact schema (a : raw_atom) =
+  Fact.make (relation_of schema a) (List.map Constant.named a.args)
+
+let program ?schema src =
+  match
+    let st = { toks = Lexer.tokenize src } in
+    let statements = parse_statements st in
+    let schema = infer_schema schema statements in
+    List.fold_left
+      (fun p stmt ->
+        match stmt with
+        | Raw_fact atoms ->
+          { p with facts = p.facts @ List.map (elaborate_fact schema) atoms }
+        | Raw_rule { body; head } -> (
+          match elaborate_rule schema body head with
+          | `Tgd t -> { p with tgds = p.tgds @ [ t ] }
+          | `Egd e -> { p with egds = p.egds @ [ e ] }
+          | `Denial d -> { p with denials = p.denials @ [ d ] }))
+      { schema; tgds = []; egds = []; denials = []; facts = [] }
+      statements
+  with
+  | p -> Ok p
+  | exception Parse_error e -> Error e
+  | exception Lexer.Lex_error (message, line, col) ->
+    Error { message; line; col }
+
+let tgds src = Result.map (fun p -> p.tgds) (program src)
+
+let instance ?schema src =
+  Result.map
+    (fun p -> Instance.of_facts p.schema p.facts)
+    (program ?schema src)
+
+let or_fail what = function
+  | Ok v -> v
+  | Error e -> failwith (Fmt.str "%s: %a" what pp_error e)
+
+let tgd_exn src =
+  match or_fail "parse" (tgds src) with
+  | [ t ] -> t
+  | l -> failwith (Printf.sprintf "expected exactly one tgd, got %d" (List.length l))
+
+let tgds_exn src = or_fail "parse" (tgds src)
+let instance_exn ?schema src = or_fail "parse" (instance ?schema src)
+let program_exn ?schema src = or_fail "parse" (program ?schema src)

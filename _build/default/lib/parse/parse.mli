@@ -1,0 +1,50 @@
+(** Parser for a small Datalog± surface syntax.
+
+    A program is a sequence of statements terminated by ['.']:
+
+    {v
+    % guarded tgds (identifiers in rules are variables)
+    R(x,y), P(x) -> T(x).
+    R(x,y) -> exists z. R(y,z).
+    -> exists z. Start(z).        % bodiless tgd
+    E(x,y), E(x,z) -> y = z.      % egd
+    R(x), Forbidden(x) -> false.  % denial constraint
+    Aux.                          % 0-ary atoms may omit parentheses
+    R(a,b). P(a).                 % statements without '->' are facts
+    v}
+
+    Identifiers occurring in rules denote variables; identifiers occurring in
+    fact statements denote constants.  Schemas are inferred (arity conflicts
+    are reported as errors) unless one is supplied. *)
+
+open Tgd_syntax
+open Tgd_instance
+
+type error = { message : string; line : int; col : int }
+
+val pp_error : error Fmt.t
+
+type program = {
+  schema : Schema.t;
+  tgds : Tgd.t list;
+  egds : Egd.t list;
+  denials : Denial.t list;
+  facts : Fact.t list;
+}
+
+val program : ?schema:Schema.t -> string -> (program, error) result
+val tgds : string -> (Tgd.t list, error) result
+(** Convenience projection; errors if the source parses but is not a pure
+    tgd program would be surprising, so egds/denials are simply ignored
+    here — use {!program} for mixed theories. *)
+
+val instance : ?schema:Schema.t -> string -> (Instance.t, error) result
+(** Facts only; the instance's schema is the inferred (or given) one. *)
+
+val tgd_exn : string -> Tgd.t
+(** Parse exactly one tgd; raises [Failure] with a readable message
+    otherwise.  Convenience for tests, examples and benches. *)
+
+val tgds_exn : string -> Tgd.t list
+val instance_exn : ?schema:Schema.t -> string -> Instance.t
+val program_exn : ?schema:Schema.t -> string -> program

@@ -1,0 +1,38 @@
+open Tgd_syntax
+
+let tgd t = Fmt.str "%a." Tgd.pp t
+let egd e = Fmt.str "%a." Egd.pp e
+let denial d = Fmt.str "%a -> false." Fmt.(list ~sep:(any ", ") Atom.pp) (Denial.body d)
+
+let constant_ident c =
+  match c with
+  | Constant.Named s
+    when String.length s > 0
+         && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+    -> s
+  | _ ->
+    invalid_arg
+      (Fmt.str "Print.fact: constant %a has no surface notation" Constant.pp c)
+
+let fact f =
+  if Fact.tuple f = [] then Printf.sprintf "%s." (Relation.name (Fact.rel f))
+  else
+    Printf.sprintf "%s(%s)."
+      (Relation.name (Fact.rel f))
+      (String.concat "," (List.map constant_ident (Fact.tuple f)))
+
+let tgds l = String.concat "\n" (List.map tgd l)
+
+let program (p : Parse.program) =
+  let sections =
+    List.map tgd p.Parse.tgds
+    @ List.map egd p.Parse.egds
+    @ List.map denial p.Parse.denials
+    @ List.map fact p.Parse.facts
+  in
+  String.concat "\n" sections ^ if sections = [] then "" else "\n"
+
+let to_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

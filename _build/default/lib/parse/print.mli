@@ -1,0 +1,25 @@
+(** Serialization back to the surface syntax.
+
+    Everything printed by this module re-parses to the same program (up to
+    variable renaming); used by [tgdtool rewrite -o] and the golden tests. *)
+
+open Tgd_syntax
+
+val tgd : Tgd.t -> string
+(** One statement, ['.']-terminated. *)
+
+val egd : Egd.t -> string
+val denial : Denial.t -> string
+val fact : Fact.t -> string
+(** Raises [Invalid_argument] on facts whose constants do not render as
+    identifiers (pairs, nulls): the surface syntax has no notation for
+    them. *)
+
+val tgds : Tgd.t list -> string
+(** One statement per line. *)
+
+val program : Parse.program -> string
+(** Sections ordered: tgds, egds, denials, facts. *)
+
+val to_file : string -> string -> unit
+(** [to_file path contents]. *)

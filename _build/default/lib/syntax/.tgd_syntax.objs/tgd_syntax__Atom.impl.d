@@ -1,0 +1,1 @@
+lib/syntax/atom.ml: Array Constant Fmt Hashtbl List Printf Relation Set Term Variable

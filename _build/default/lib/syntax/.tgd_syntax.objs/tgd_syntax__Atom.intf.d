@@ -1,0 +1,1 @@
+lib/syntax/atom.mli: Constant Fmt Relation Set Term Variable

@@ -1,0 +1,1 @@
+lib/syntax/binding.ml: Array Atom Constant Fact Fmt List Term Variable

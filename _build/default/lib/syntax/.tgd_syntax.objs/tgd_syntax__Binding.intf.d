@@ -1,0 +1,1 @@
+lib/syntax/binding.mli: Atom Constant Fact Fmt Variable

@@ -1,0 +1,1 @@
+lib/syntax/canonical.ml: Atom Combinat Hashtbl List Seq Term Tgd Variable

@@ -1,0 +1,1 @@
+lib/syntax/canonical.mli: Tgd

@@ -1,0 +1,1 @@
+lib/syntax/combinat.ml: List Seq

@@ -1,0 +1,1 @@
+lib/syntax/constant.ml: Fmt Hashtbl Int Map Set String

@@ -1,0 +1,1 @@
+lib/syntax/constant.mli: Fmt Map Set

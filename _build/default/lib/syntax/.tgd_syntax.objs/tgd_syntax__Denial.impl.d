@@ -1,0 +1,1 @@
+lib/syntax/denial.ml: Atom Constant Fmt List Variable

@@ -1,0 +1,1 @@
+lib/syntax/denial.mli: Atom Fmt Variable

@@ -1,0 +1,1 @@
+lib/syntax/dependency.ml: Egd Fmt List Tgd

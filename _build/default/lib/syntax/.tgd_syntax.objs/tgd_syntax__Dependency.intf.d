@@ -1,0 +1,1 @@
+lib/syntax/dependency.mli: Egd Fmt Tgd

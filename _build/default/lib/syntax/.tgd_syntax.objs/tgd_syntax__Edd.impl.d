@@ -1,0 +1,1 @@
+lib/syntax/edd.ml: Atom Constant Egd Fmt List Tgd Variable

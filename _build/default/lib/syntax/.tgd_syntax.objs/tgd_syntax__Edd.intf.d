@@ -1,0 +1,1 @@
+lib/syntax/edd.mli: Atom Egd Fmt Tgd Variable

@@ -1,0 +1,1 @@
+lib/syntax/egd.ml: Atom Constant Fmt List Variable

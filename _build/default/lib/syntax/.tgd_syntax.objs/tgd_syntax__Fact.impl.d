@@ -1,0 +1,1 @@
+lib/syntax/fact.ml: Array Atom Constant Fmt Printf Relation Set Term

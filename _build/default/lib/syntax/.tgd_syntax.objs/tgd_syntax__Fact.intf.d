@@ -1,0 +1,1 @@
+lib/syntax/fact.mli: Atom Constant Fmt Relation Set

@@ -1,0 +1,1 @@
+lib/syntax/hypergraph.ml: Atom List Variable

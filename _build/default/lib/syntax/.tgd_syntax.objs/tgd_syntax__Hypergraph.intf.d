@@ -1,0 +1,1 @@
+lib/syntax/hypergraph.mli: Atom Variable

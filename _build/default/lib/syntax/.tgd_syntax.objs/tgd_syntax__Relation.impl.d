@@ -1,0 +1,1 @@
+lib/syntax/relation.ml: Fmt Int Map Set String

@@ -1,0 +1,1 @@
+lib/syntax/relation.mli: Fmt Map Set

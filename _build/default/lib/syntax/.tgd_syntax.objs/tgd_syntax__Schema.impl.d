@@ -1,0 +1,1 @@
+lib/syntax/schema.ml: Fmt Hashtbl List Option Printf Relation String

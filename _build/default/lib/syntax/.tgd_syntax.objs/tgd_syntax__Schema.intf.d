@@ -1,0 +1,1 @@
+lib/syntax/schema.mli: Fmt Relation

@@ -1,0 +1,1 @@
+lib/syntax/term.ml: Constant Fmt Variable

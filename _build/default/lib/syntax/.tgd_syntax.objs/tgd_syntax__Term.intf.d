@@ -1,0 +1,1 @@
+lib/syntax/term.mli: Constant Fmt Variable

@@ -1,0 +1,1 @@
+lib/syntax/tgd.ml: Atom Constant Fmt List Set Variable

@@ -1,0 +1,1 @@
+lib/syntax/tgd.mli: Atom Fmt Set Variable

@@ -1,0 +1,1 @@
+lib/syntax/tgd_class.ml: Atom Fmt List Tgd Variable

@@ -1,0 +1,1 @@
+lib/syntax/tgd_class.mli: Atom Fmt Tgd

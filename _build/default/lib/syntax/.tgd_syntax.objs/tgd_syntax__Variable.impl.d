@@ -1,0 +1,1 @@
+lib/syntax/variable.ml: Fmt Hashtbl Map Printf Set String

@@ -1,0 +1,1 @@
+lib/syntax/variable.mli: Fmt Map Set

@@ -1,0 +1,92 @@
+type t = { rel : Relation.t; args : Term.t array }
+
+let make_arr rel args =
+  if Array.length args <> Relation.arity rel then
+    invalid_arg
+      (Printf.sprintf "Atom.make: %s expects %d arguments, got %d"
+         (Relation.name rel) (Relation.arity rel) (Array.length args));
+  { rel; args }
+
+let make rel args = make_arr rel (Array.of_list args)
+let of_vars rel vs = make rel (List.map Term.var vs)
+let rel a = a.rel
+let args a = Array.to_list a.args
+let args_arr a = a.args
+let arity a = Relation.arity a.rel
+
+let vars a =
+  Array.fold_left
+    (fun acc t ->
+      match t with Term.Var v -> Variable.Set.add v acc | Term.Const _ -> acc)
+    Variable.Set.empty a.args
+
+let var_list a =
+  let seen = Hashtbl.create 8 in
+  Array.fold_left
+    (fun acc t ->
+      match t with
+      | Term.Var v when not (Hashtbl.mem seen v) ->
+        Hashtbl.add seen v ();
+        v :: acc
+      | Term.Var _ | Term.Const _ -> acc)
+    [] a.args
+  |> List.rev
+
+let constants a =
+  Array.fold_left
+    (fun acc t ->
+      match t with Term.Const c -> Constant.Set.add c acc | Term.Var _ -> acc)
+    Constant.Set.empty a.args
+
+let is_ground a = Array.for_all Term.is_const a.args
+
+let apply f a =
+  { a with
+    args =
+      Array.map
+        (fun t -> match t with Term.Var v -> f v | Term.Const _ -> t)
+        a.args
+  }
+
+let substitute sigma a =
+  apply
+    (fun v ->
+      match Variable.Map.find_opt v sigma with
+      | Some t -> t
+      | None -> Term.Var v)
+    a
+
+let rename rho a =
+  apply
+    (fun v ->
+      match Variable.Map.find_opt v rho with
+      | Some w -> Term.Var w
+      | None -> Term.Var v)
+    a
+
+let compare a b =
+  let c = Relation.compare a.rel b.rel in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= Array.length a.args then 0
+      else
+        let c = Term.compare a.args.(i) b.args.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let pp ppf a =
+  Fmt.pf ppf "%s(%a)" (Relation.name a.rel)
+    Fmt.(array ~sep:(any ",") Term.pp)
+    a.args
+
+let to_string a = Fmt.str "%a" pp a
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

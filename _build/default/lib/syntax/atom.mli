@@ -1,0 +1,40 @@
+(** Atoms [R(t_1, …, t_k)] over a schema. *)
+
+type t = private { rel : Relation.t; args : Term.t array }
+
+val make : Relation.t -> Term.t list -> t
+(** Raises [Invalid_argument] when the number of arguments differs from the
+    arity of the relation. *)
+
+val make_arr : Relation.t -> Term.t array -> t
+
+val of_vars : Relation.t -> Variable.t list -> t
+(** Atom whose arguments are all variables. *)
+
+val rel : t -> Relation.t
+val args : t -> Term.t list
+val args_arr : t -> Term.t array
+val arity : t -> int
+
+val vars : t -> Variable.Set.t
+val var_list : t -> Variable.t list
+(** Variables in order of first occurrence (left to right). *)
+
+val constants : t -> Constant.Set.t
+val is_ground : t -> bool
+
+val apply : (Variable.t -> Term.t) -> t -> t
+(** [apply f a] replaces each variable [v] by [f v]. *)
+
+val substitute : Term.t Variable.Map.t -> t -> t
+(** Like {!apply}, leaving unmapped variables in place. *)
+
+val rename : Variable.t Variable.Map.t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : Set.S with type elt = t

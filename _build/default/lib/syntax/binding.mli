@@ -1,0 +1,43 @@
+(** Variable assignments [h : vars → C].
+
+    These are the functions written [h : x̄ ∪ ȳ → dom(I)] throughout the
+    paper — partial maps from variables to constants, extended during
+    homomorphism search. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : Variable.t -> Constant.t -> t
+val of_list : (Variable.t * Constant.t) list -> t
+val to_list : t -> (Variable.t * Constant.t) list
+val find : Variable.t -> t -> Constant.t option
+val mem : Variable.t -> t -> bool
+val add : Variable.t -> Constant.t -> t -> t
+
+val extend : Variable.t -> Constant.t -> t -> t option
+(** [extend v c h] is [Some (add v c h)] when [v] is unbound or already bound
+    to [c], and [None] on a conflicting binding. *)
+
+val domain : t -> Variable.Set.t
+val range : t -> Constant.Set.t
+val cardinal : t -> int
+
+val restrict : Variable.Set.t -> t -> t
+
+val merge : t -> t -> t option
+(** [merge h g] combines two assignments, [None] on conflict. *)
+
+val apply_atom : t -> Atom.t -> Atom.t
+(** Replace bound variables by their constants (partial grounding). *)
+
+val ground_atom : t -> Atom.t -> Fact.t option
+(** [Some] fact when every variable of the atom is bound. *)
+
+val ground_atoms : t -> Atom.t list -> Fact.t list option
+
+val is_injective : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t

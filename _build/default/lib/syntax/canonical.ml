@@ -1,0 +1,45 @@
+(* Canonicalization minimizes over atom orderings: for each permutation of
+   the body and of the head, variables are renamed to x0, x1, … in order of
+   first occurrence (body first, then head), and the smallest resulting tgd
+   under [Tgd.compare] wins.  Atom lists in a [Tgd.t] are kept sorted by
+   [Tgd.make], so equal results denote renaming-equivalent inputs. *)
+
+let rename_by_occurrence body head =
+  let counter = ref 0 in
+  let map = Hashtbl.create 16 in
+  let rename_var v =
+    match Hashtbl.find_opt map v with
+    | Some w -> w
+    | None ->
+      let w = Variable.indexed "x" !counter in
+      incr counter;
+      Hashtbl.add map v w;
+      w
+  in
+  let rename_atom a = Atom.apply (fun v -> Term.var (rename_var v)) a in
+  let body' = List.map rename_atom body in
+  let head' = List.map rename_atom head in
+  Tgd.make ~body:body' ~head:head'
+
+let tgd s =
+  let body_perms = Combinat.permutations (Tgd.body s) in
+  let head_perms = List.of_seq (Combinat.permutations (Tgd.head s)) in
+  let best = ref None in
+  Seq.iter
+    (fun bp ->
+      List.iter
+        (fun hp ->
+          let candidate = rename_by_occurrence bp hp in
+          match !best with
+          | None -> best := Some candidate
+          | Some b -> if Tgd.compare candidate b < 0 then best := Some candidate)
+        head_perms)
+    body_perms;
+  match !best with
+  | Some b -> b
+  | None -> assert false (* a tgd has a non-empty head, so ≥1 permutation *)
+
+let equal_up_to_renaming s t = Tgd.equal (tgd s) (tgd t)
+
+let dedup l =
+  List.map tgd l |> List.sort_uniq Tgd.compare

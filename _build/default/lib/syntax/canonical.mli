@@ -1,0 +1,21 @@
+(** Canonical forms of tgds modulo variable renaming and atom reordering.
+
+    Two tgds are {e syntactically equivalent} when one is obtained from the
+    other by a bijective renaming of variables (and reordering of the
+    conjunctions).  The candidate enumerators of Algorithms 1 and 2 use the
+    canonical form to deduplicate the search space — this is what makes the
+    set [E_{n,m}] "finite up to logical equivalence" effectively enumerable.
+
+    The canonical form minimizes the printed tgd over all permutations of
+    body and head atoms, renaming variables in order of first occurrence;
+    this is exact (not a heuristic) and exponential only in the atom count,
+    which the paper bounds by small constants for the classes at hand. *)
+
+val tgd : Tgd.t -> Tgd.t
+(** The canonical representative of the renaming-equivalence class. *)
+
+val equal_up_to_renaming : Tgd.t -> Tgd.t -> bool
+
+val dedup : Tgd.t list -> Tgd.t list
+(** Deduplicate a list modulo renaming; keeps canonical representatives,
+    sorted. *)

@@ -1,0 +1,34 @@
+(** Small combinatorial enumeration helpers shared by the canonicalizer, the
+    candidate enumerators of Algorithms 1 and 2, and the bounded-universe
+    model enumerator.  All functions are lazy ({!Seq.t}) so callers can stop
+    early or interleave with filtering. *)
+
+val permutations : 'a list -> 'a list Seq.t
+(** All permutations; [n!] elements. *)
+
+val subsets : 'a list -> 'a list Seq.t
+(** All subsets (as sublists preserving order); [2^n] elements. *)
+
+val subsets_up_to : int -> 'a list -> 'a list Seq.t
+(** Subsets of cardinality at most [k]. *)
+
+val subsets_of_size : int -> 'a list -> 'a list Seq.t
+
+val tuples : 'a list -> int -> 'a list Seq.t
+(** All [k]-tuples over the alphabet; [n^k] elements.  [tuples _ 0] is the
+    singleton sequence containing [[]]. *)
+
+val nonempty_sublists : 'a list -> 'a list Seq.t
+
+val growth_strings : int -> int -> int list Seq.t
+(** [growth_strings len max_blocks] enumerates restricted growth strings of
+    length [len] with at most [max_blocks] distinct values: sequences
+    [a_0 … a_{len-1}] with [a_0 = 0] and [a_i ≤ 1 + max(a_0 … a_{i-1})].
+    These canonically represent the ways to fill [len] argument positions
+    with at most [max_blocks] distinct variables. *)
+
+val cartesian : 'a Seq.t list -> 'a list Seq.t
+(** Cartesian product of a list of sequences. *)
+
+val take : int -> 'a Seq.t -> 'a list
+val seq_length : 'a Seq.t -> int

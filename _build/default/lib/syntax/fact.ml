@@ -1,0 +1,64 @@
+type t = { rel : Relation.t; tuple : Constant.t array }
+
+let make_arr rel tuple =
+  if Array.length tuple <> Relation.arity rel then
+    invalid_arg
+      (Printf.sprintf "Fact.make: %s expects %d constants, got %d"
+         (Relation.name rel) (Relation.arity rel) (Array.length tuple));
+  { rel; tuple }
+
+let make rel cs = make_arr rel (Array.of_list cs)
+let rel f = f.rel
+let tuple f = Array.to_list f.tuple
+let tuple_arr f = f.tuple
+
+let constants f =
+  Array.fold_left (fun acc c -> Constant.Set.add c acc) Constant.Set.empty
+    f.tuple
+
+let map h f = { f with tuple = Array.map h f.tuple }
+let to_atom f = Atom.make_arr f.rel (Array.map Term.const f.tuple)
+
+let of_atom a =
+  if Atom.is_ground a then
+    Some
+      (make_arr (Atom.rel a)
+         (Array.map
+            (fun t ->
+              match t with
+              | Term.Const c -> c
+              | Term.Var _ -> assert false)
+            (Atom.args_arr a)))
+  else None
+
+let compare f g =
+  let c = Relation.compare f.rel g.rel in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= Array.length f.tuple then 0
+      else
+        let c = Constant.compare f.tuple.(i) g.tuple.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal f g = compare f g = 0
+
+let pp ppf f =
+  Fmt.pf ppf "%s(%a)" (Relation.name f.rel)
+    Fmt.(array ~sep:(any ",") Constant.pp)
+    f.tuple
+
+let to_string f = Fmt.str "%a" pp f
+
+module Set = struct
+  include Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp) (elements s)
+end

@@ -1,0 +1,31 @@
+(** Facts — ground atoms [R(c̄)] (Section 2). *)
+
+type t = private { rel : Relation.t; tuple : Constant.t array }
+
+val make : Relation.t -> Constant.t list -> t
+val make_arr : Relation.t -> Constant.t array -> t
+
+val rel : t -> Relation.t
+val tuple : t -> Constant.t list
+val tuple_arr : t -> Constant.t array
+
+val constants : t -> Constant.Set.t
+val map : (Constant.t -> Constant.t) -> t -> t
+(** [map h f] is [R(h(c_1), …, h(c_k))] — the image of the fact under a
+    function on constants, as in [h(facts(I))] of the paper. *)
+
+val to_atom : t -> Atom.t
+val of_atom : Atom.t -> t option
+(** [None] when the atom is not ground. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : t Fmt.t
+end

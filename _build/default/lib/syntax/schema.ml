@@ -1,0 +1,33 @@
+type t = Relation.t list (* sorted, duplicate-free, names pairwise distinct *)
+
+let check_no_clash rels =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let name = Relation.name r in
+      match Hashtbl.find_opt tbl name with
+      | Some a when a <> Relation.arity r ->
+        invalid_arg
+          (Printf.sprintf "Schema: relation %s declared with arities %d and %d"
+             name a (Relation.arity r))
+      | Some _ -> ()
+      | None -> Hashtbl.add tbl name (Relation.arity r))
+    rels
+
+let make rels =
+  check_no_clash rels;
+  List.sort_uniq Relation.compare rels
+
+let of_pairs pairs = make (List.map (fun (n, a) -> Relation.make n a) pairs)
+let relations s = s
+let mem s r = List.exists (Relation.equal r) s
+let find s name = List.find_opt (fun r -> String.equal (Relation.name r) name) s
+let arity_of s name = Option.map Relation.arity (find s name)
+let size = List.length
+let max_arity s = List.fold_left (fun acc r -> max acc (Relation.arity r)) 0 s
+let union s1 s2 = make (s1 @ s2)
+let extend s rels = make (s @ rels)
+let subset s1 s2 = List.for_all (fun r -> mem s2 r) s1
+let pp ppf s = Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") Relation.pp) s
+let to_string s = Fmt.str "%a" pp s
+let equal s1 s2 = subset s1 s2 && subset s2 s1

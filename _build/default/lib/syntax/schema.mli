@@ -1,0 +1,34 @@
+(** Relational schemas — finite sets of relation symbols (Section 2). *)
+
+type t
+
+val make : Relation.t list -> t
+(** [make rels] is the schema with relations [rels].  Raises
+    [Invalid_argument] if two relations share a name with different arities
+    (a schema is a set of symbols, each with one arity). *)
+
+val of_pairs : (string * int) list -> t
+(** [of_pairs [("R", 2); ...]] — convenience constructor. *)
+
+val relations : t -> Relation.t list
+(** In increasing symbol order; duplicate-free. *)
+
+val mem : t -> Relation.t -> bool
+val find : t -> string -> Relation.t option
+val arity_of : t -> string -> int option
+
+val size : t -> int
+(** [size s] is [|S|], the number of relation symbols. *)
+
+val max_arity : t -> int
+(** [max_arity s] is [ar(S) = max_{R ∈ S} ar(R)]; [0] on the empty schema. *)
+
+val union : t -> t -> t
+(** Raises [Invalid_argument] on an arity clash. *)
+
+val extend : t -> Relation.t list -> t
+val subset : t -> t -> bool
+
+val pp : t Fmt.t
+val to_string : t -> string
+val equal : t -> t -> bool

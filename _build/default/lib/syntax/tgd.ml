@@ -1,0 +1,75 @@
+type t = { body : Atom.t list; head : Atom.t list }
+
+let vars_of_atoms atoms =
+  List.fold_left
+    (fun acc a -> Variable.Set.union acc (Atom.vars a))
+    Variable.Set.empty atoms
+
+let make ~body ~head =
+  if head = [] then invalid_arg "Tgd.make: empty head";
+  let ground_free atoms =
+    List.for_all (fun a -> Constant.Set.is_empty (Atom.constants a)) atoms
+  in
+  if not (ground_free body && ground_free head) then
+    invalid_arg "Tgd.make: tgds are constant-free";
+  let all = Variable.Set.union (vars_of_atoms body) (vars_of_atoms head) in
+  if Variable.Set.is_empty all then
+    invalid_arg "Tgd.make: a tgd has at least one variable";
+  { body = List.sort_uniq Atom.compare body;
+    head = List.sort_uniq Atom.compare head
+  }
+
+let body s = s.body
+let head s = s.head
+let universal_vars s = vars_of_atoms s.body
+
+let existential_vars s =
+  Variable.Set.diff (vars_of_atoms s.head) (universal_vars s)
+
+let frontier s =
+  Variable.Set.inter (universal_vars s) (vars_of_atoms s.head)
+
+let all_vars s = Variable.Set.union (universal_vars s) (vars_of_atoms s.head)
+let n_universal s = Variable.Set.cardinal (universal_vars s)
+let m_existential s = Variable.Set.cardinal (existential_vars s)
+let in_class_nm ~n ~m s = n_universal s <= n && m_existential s <= m
+
+let rename rho s =
+  { body = List.map (Atom.rename rho) s.body |> List.sort_uniq Atom.compare;
+    head = List.map (Atom.rename rho) s.head |> List.sort_uniq Atom.compare
+  }
+
+let refresh s =
+  let rho =
+    Variable.Set.fold
+      (fun v acc ->
+        Variable.Map.add v (Variable.fresh ~prefix:(Variable.name v) ()) acc)
+      (all_vars s) Variable.Map.empty
+  in
+  rename rho s
+
+let size s = List.length s.body + List.length s.head
+
+let compare s t =
+  let c = List.compare Atom.compare s.body t.body in
+  if c <> 0 then c else List.compare Atom.compare s.head t.head
+
+let equal s t = compare s t = 0
+
+let pp ppf s =
+  let pp_atoms = Fmt.(list ~sep:(any ", ") Atom.pp) in
+  let ex = existential_vars s in
+  if Variable.Set.is_empty ex then
+    Fmt.pf ppf "%a -> %a" pp_atoms s.body pp_atoms s.head
+  else
+    Fmt.pf ppf "%a -> exists %a. %a" pp_atoms s.body
+      Fmt.(list ~sep:(any ",") Variable.pp)
+      (Variable.Set.elements ex) pp_atoms s.head
+
+let to_string s = Fmt.str "%a" pp s
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

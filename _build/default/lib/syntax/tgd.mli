@@ -1,0 +1,55 @@
+(** Tuple-generating dependencies (Section 2).
+
+    A tgd is a constant-free sentence
+    [∀x̄∀ȳ (φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄))] with a possibly empty body [φ] and a
+    non-empty head [ψ].  Quantification is implicit in the representation:
+    every body variable is universally quantified, every head variable not
+    occurring in the body is existentially quantified. *)
+
+type t = private { body : Atom.t list; head : Atom.t list }
+
+val make : body:Atom.t list -> head:Atom.t list -> t
+(** Raises [Invalid_argument] when the head is empty, when any atom carries a
+    constant (tgds are constant-free), or when the tgd has no variable at
+    all. *)
+
+val body : t -> Atom.t list
+val head : t -> Atom.t list
+
+val universal_vars : t -> Variable.Set.t
+(** [x̄ ∪ ȳ] — the variables of the body. *)
+
+val existential_vars : t -> Variable.Set.t
+(** [z̄] — head variables not occurring in the body. *)
+
+val frontier : t -> Variable.Set.t
+(** [fr(σ)] — universally quantified variables occurring in the head
+    (Section 2, "Classes of Tuple-Generating Dependencies"). *)
+
+val all_vars : t -> Variable.Set.t
+
+val n_universal : t -> int
+(** Number of universally quantified variables; the [n] of [TGD_{n,m}]. *)
+
+val m_existential : t -> int
+(** Number of existentially quantified variables; the [m] of [TGD_{n,m}]. *)
+
+val in_class_nm : n:int -> m:int -> t -> bool
+(** Membership in [TGD_{n,m}]: at most [n] universal and [m] existential
+    variables. *)
+
+val rename : Variable.t Variable.Map.t -> t -> t
+
+val refresh : t -> t
+(** Rename every variable to a globally fresh one (for name-apartness). *)
+
+val size : t -> int
+(** Number of atoms, body + head. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,53 @@
+type cls =
+  | Full
+  | Linear
+  | Guarded
+  | Frontier_guarded
+
+let is_full s = Variable.Set.is_empty (Tgd.existential_vars s)
+let is_linear s = List.length (Tgd.body s) <= 1
+
+let covering_atom vars body =
+  List.find_opt (fun a -> Variable.Set.subset vars (Atom.vars a)) body
+
+let is_guarded s =
+  match Tgd.body s with
+  | [] -> true
+  | body -> covering_atom (Tgd.universal_vars s) body <> None
+
+let is_frontier_guarded s =
+  match Tgd.body s with
+  | [] -> true
+  | body -> covering_atom (Tgd.frontier s) body <> None
+
+let in_class c s =
+  match c with
+  | Full -> is_full s
+  | Linear -> is_linear s
+  | Guarded -> is_guarded s
+  | Frontier_guarded -> is_frontier_guarded s
+
+let all_in_class c sigma = List.for_all (in_class c) sigma
+
+let guard s =
+  match Tgd.body s with
+  | [] -> None
+  | body -> covering_atom (Tgd.universal_vars s) body
+
+let frontier_guard s =
+  match Tgd.body s with
+  | [] -> None
+  | body -> covering_atom (Tgd.frontier s) body
+
+let classify s =
+  List.filter
+    (fun c -> in_class c s)
+    [ Linear; Guarded; Frontier_guarded; Full ]
+
+let cls_name = function
+  | Full -> "full"
+  | Linear -> "linear"
+  | Guarded -> "guarded"
+  | Frontier_guarded -> "frontier-guarded"
+
+let pp_cls ppf c = Fmt.string ppf (cls_name c)

@@ -1,0 +1,23 @@
+type t = string
+
+let make name =
+  if String.length name = 0 then invalid_arg "Variable.make: empty name";
+  name
+
+let name v = v
+let compare = String.compare
+let equal = String.equal
+let hash = Hashtbl.hash
+let pp = Fmt.string
+let to_string v = v
+
+let fresh_counter = ref 0
+
+let fresh ?(prefix = "v") () =
+  incr fresh_counter;
+  Printf.sprintf "%s#%d" prefix !fresh_counter
+
+let indexed p i = p ^ string_of_int i
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

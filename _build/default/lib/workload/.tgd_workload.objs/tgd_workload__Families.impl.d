@@ -1,0 +1,1 @@
+lib/workload/families.ml: Array Atom Constant Critical Fact Instance List Printf Relation Schema Tgd Tgd_core Tgd_instance Tgd_syntax Variable

@@ -1,0 +1,1 @@
+lib/workload/families.mli: Schema Tgd Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Atom Instance List Printf Random Relation Schema Term Tgd Tgd_class Tgd_core Tgd_instance Tgd_syntax Variable

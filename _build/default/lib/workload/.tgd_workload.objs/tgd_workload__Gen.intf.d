@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Instance Random Schema Tgd Tgd_class Tgd_instance Tgd_syntax

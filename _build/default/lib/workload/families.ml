@@ -1,0 +1,184 @@
+open Tgd_syntax
+open Tgd_instance
+
+let x = Variable.make "x"
+let y = Variable.make "y"
+let z = Variable.make "z"
+
+let e i = Relation.make (Printf.sprintf "E%d" i) 2
+
+let chain_schema k = Schema.make (List.init (k + 1) e)
+
+let linear_chain k =
+  List.init k (fun i ->
+      Tgd.make ~body:[ Atom.of_vars (e i) [ x; y ] ]
+        ~head:[ Atom.of_vars (e (i + 1)) [ x; y ] ])
+
+let existential_chain k =
+  List.init k (fun i ->
+      Tgd.make ~body:[ Atom.of_vars (e i) [ x; y ] ]
+        ~head:[ Atom.of_vars (e (i + 1)) [ y; z ] ])
+
+let transitive_closure =
+  let edge = Relation.make "E" 2 in
+  [ Tgd.make
+      ~body:[ Atom.of_vars edge [ x; y ]; Atom.of_vars edge [ y; z ] ]
+      ~head:[ Atom.of_vars edge [ x; z ] ]
+  ]
+
+let indexed name i arity = Relation.make (Printf.sprintf "%s%d" name i) arity
+
+let guarded_rewritable k =
+  List.concat
+    (List.init k (fun i ->
+         let r = indexed "R" i 2 in
+         let p = indexed "P" i 1 in
+         let t = indexed "T" i 1 in
+         [ Tgd.make ~body:[ Atom.of_vars r [ x; y ] ] ~head:[ Atom.of_vars p [ x ] ];
+           Tgd.make
+             ~body:[ Atom.of_vars r [ x; y ]; Atom.of_vars p [ x ] ]
+             ~head:[ Atom.of_vars t [ x ] ]
+         ]))
+
+let guarded_rewritable_expected k =
+  List.concat
+    (List.init k (fun i ->
+         let r = indexed "R" i 2 in
+         let p = indexed "P" i 1 in
+         let t = indexed "T" i 1 in
+         [ Tgd.make ~body:[ Atom.of_vars r [ x; y ] ] ~head:[ Atom.of_vars p [ x ] ];
+           Tgd.make ~body:[ Atom.of_vars r [ x; y ] ] ~head:[ Atom.of_vars t [ x ] ]
+         ]))
+
+let guarded_unrewritable k =
+  List.init k (fun i ->
+      let r = indexed "R" i 1 in
+      let p = indexed "P" i 1 in
+      let t = indexed "T" i 1 in
+      Tgd.make
+        ~body:[ Atom.of_vars r [ x ]; Atom.of_vars p [ x ] ]
+        ~head:[ Atom.of_vars t [ x ] ])
+
+let fg_rewritable k =
+  List.concat
+    (List.init k (fun i ->
+         let r = indexed "R" i 2 in
+         let s = indexed "S" i 2 in
+         let t = indexed "T" i 2 in
+         [ (* frontier {x,y} is guarded by R, but z makes the body unguarded *)
+           Tgd.make
+             ~body:[ Atom.of_vars r [ x; y ]; Atom.of_vars s [ y; z ] ]
+             ~head:[ Atom.of_vars t [ x; y ] ];
+           Tgd.make ~body:[ Atom.of_vars r [ x; y ] ]
+             ~head:[ Atom.of_vars s [ y; y ] ]
+         ]))
+
+let fg_unrewritable k =
+  List.init k (fun i ->
+      let r = indexed "R" i 1 in
+      let p = indexed "P" i 1 in
+      let t = indexed "T" i 1 in
+      Tgd.make
+        ~body:[ Atom.of_vars r [ x ]; Atom.of_vars p [ y ] ]
+        ~head:[ Atom.of_vars t [ x ] ])
+
+let dl_lite_roles k =
+  List.concat
+    (List.init k (fun i ->
+         let a = indexed "A" i 1 in
+         let a' = indexed "A" (i + 1) 1 in
+         let r = indexed "R" i 2 in
+         [ Tgd.make ~body:[ Atom.of_vars a [ x ] ]
+             ~head:[ Atom.of_vars r [ x; y ] ];
+           Tgd.make ~body:[ Atom.of_vars r [ x; y ] ] ~head:[ Atom.of_vars a' [ y ] ]
+         ]))
+
+let c = Constant.named "c"
+let d = Constant.named "d"
+
+let separation_linear_vs_guarded =
+  let r = Relation.make "R" 1 in
+  let p = Relation.make "P" 1 in
+  let t = Relation.make "T" 1 in
+  let schema = Schema.make [ r; p; t ] in
+  let sigma =
+    [ Tgd.make
+        ~body:[ Atom.of_vars r [ x ]; Atom.of_vars p [ x ] ]
+        ~head:[ Atom.of_vars t [ x ] ]
+    ]
+  in
+  let i = Instance.of_facts schema [ Fact.make r [ c ]; Fact.make p [ c ] ] in
+  (sigma, i)
+
+let separation_guarded_vs_fg =
+  let r = Relation.make "R" 1 in
+  let p = Relation.make "P" 1 in
+  let t = Relation.make "T" 1 in
+  let schema = Schema.make [ r; p; t ] in
+  let sigma =
+    [ Tgd.make
+        ~body:[ Atom.of_vars r [ x ]; Atom.of_vars p [ y ] ]
+        ~head:[ Atom.of_vars t [ x ] ]
+    ]
+  in
+  let i = Instance.of_facts schema [ Fact.make r [ c ]; Fact.make p [ d ] ] in
+  (sigma, i)
+
+let example_5_2 =
+  let r = Relation.make "R" 2 in
+  let s = Relation.make "S" 2 in
+  let t = Relation.make "T" 2 in
+  let schema = Schema.make [ r; s; t ] in
+  let sigma =
+    [ Tgd.make
+        ~body:[ Atom.of_vars r [ x; y ]; Atom.of_vars s [ y; z ] ]
+        ~head:[ Atom.of_vars t [ x; z ] ]
+    ]
+  in
+  let a = Constant.named "a" and b = Constant.named "b" in
+  let i =
+    Instance.of_facts schema
+      [ Fact.make r [ a; b ]; Fact.make s [ b; a ]; Fact.make t [ a; a ] ]
+  in
+  (sigma, i)
+
+let e2_schema = Schema.make [ Relation.make "E" 2 ]
+
+let clique k = Tgd_core.Enumerate.canonical_domain k |> Critical.over e2_schema
+
+let cycle k =
+  let e = Relation.make "E" 2 in
+  let cs = Array.of_list (Tgd_core.Enumerate.canonical_domain k) in
+  Instance.of_facts e2_schema
+    (List.init k (fun i -> Fact.make e [ cs.(i); cs.((i + 1) mod k) ]))
+
+let grid w h =
+  let e = Relation.make "E" 2 in
+  let node i j = Constant.indexed ((i * h) + j) in
+  let right =
+    List.concat_map
+      (fun i -> List.init h (fun j -> (i, j)))
+      (List.init (max 0 (w - 1)) (fun i -> i))
+    |> List.map (fun (i, j) -> Fact.make e [ node i j; node (i + 1) j ])
+  in
+  let down =
+    List.concat_map
+      (fun i -> List.init (max 0 (h - 1)) (fun j -> (i, j)))
+      (List.init w (fun i -> i))
+    |> List.map (fun (i, j) -> Fact.make e [ node i j; node i (j + 1) ])
+  in
+  Instance.of_facts e2_schema (right @ down)
+
+let guarded_rewritable_wide k =
+  List.concat
+    (List.init k (fun i ->
+         let r = indexed "R" i 3 in
+         let p = indexed "P" i 1 in
+         let t = indexed "T" i 1 in
+         [ Tgd.make
+             ~body:[ Atom.of_vars r [ x; y; z ] ]
+             ~head:[ Atom.of_vars p [ x ] ];
+           Tgd.make
+             ~body:[ Atom.of_vars r [ x; y; z ]; Atom.of_vars p [ x ] ]
+             ~head:[ Atom.of_vars t [ x ] ]
+         ]))

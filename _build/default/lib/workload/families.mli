@@ -1,0 +1,75 @@
+(** Deterministic scalable workload families used by the benchmark harness
+    and the examples.
+
+    Each family is indexed by a size parameter and has a known ground truth
+    (rewritable or not, chase-terminating or not), so benches can verify
+    results while measuring. *)
+
+open Tgd_syntax
+
+val chain_schema : int -> Schema.t
+(** Binary relations [E0 … E_{k}]. *)
+
+val linear_chain : int -> Tgd.t list
+(** [E_i(x,y) → E_{i+1}(x,y)] for [i < k] — linear, full, weakly acyclic. *)
+
+val existential_chain : int -> Tgd.t list
+(** [E_i(x,y) → ∃z. E_{i+1}(y,z)] — linear with existentials; the chase
+    terminates on it (each rule fires forward along the chain). *)
+
+val transitive_closure : Tgd.t list
+(** [E(x,y), E(y,z) → E(x,z)] — full but neither guarded nor
+    frontier-guarded; the classic plain tgd. *)
+
+val guarded_rewritable : int -> Tgd.t list
+(** [k] independent copies of [{R_i(x,y) → P_i(x);  R_i(x,y), P_i(x) → T_i(x)}]
+    — guarded, and equivalent to the linear set
+    [{R_i(x,y) → P_i(x); R_i(x,y) → T_i(x)}]. *)
+
+val guarded_rewritable_expected : int -> Tgd.t list
+(** The expected linear rewriting of {!guarded_rewritable}. *)
+
+val guarded_unrewritable : int -> Tgd.t list
+(** [k] copies of the Section 9.1 separation set [{R_i(x), P_i(x) → T_i(x)}]
+    — guarded, not expressible by linear tgds. *)
+
+val fg_rewritable : int -> Tgd.t list
+(** [k] copies of
+    [{R_i(x,y), S_i(y,z) → T_i(x,y);  R_i(x,y) → S_i(y,y)}] —
+    frontier-guarded but not guarded (the first rule's [z] escapes every
+    guard), and equivalent to the linear — hence guarded — set
+    [{R_i(x,y) → S_i(y,y); R_i(x,y) → T_i(x,y)}]. *)
+
+val fg_unrewritable : int -> Tgd.t list
+(** [k] copies of the Section 9.1 separation set [{R_i(x), P_i(y) → T_i(x)}]
+    — frontier-guarded, not expressible by guarded tgds. *)
+
+val dl_lite_roles : int -> Tgd.t list
+(** A DL-Lite-style ontology: [A_i(x) → ∃y. R_i(x,y)],
+    [R_i(x,y) → A_{i+1}(y)] — the description-logic shape the introduction
+    contrasts with higher-arity tgds. *)
+
+val separation_linear_vs_guarded : Tgd.t list * Tgd_instance.Instance.t
+(** The exact [Σ_G = {R(x), P(x) → T(x)}] and
+    [I = {R(c), P(c)}]-with-[T] instance of Section 9.1. *)
+
+val separation_guarded_vs_fg : Tgd.t list * Tgd_instance.Instance.t
+(** [Σ_F = {R(x), P(y) → T(x)}] and [I = {R(c), P(d)}]. *)
+
+val example_5_2 : Tgd.t list * Tgd_instance.Instance.t
+(** The Makowsky–Vardi counterexample: [σ = R(x,y), S(y,z) → T(x,z)] and
+    [I = {R(a,b), S(b,a), T(a,a)}]. *)
+
+val clique : int -> Tgd_instance.Instance.t
+(** Complete digraph (with loops) on [k] canonical constants over [{E/2}] —
+    the k-critical instance of that schema. *)
+
+val grid : int -> int -> Tgd_instance.Instance.t
+(** [grid w h]: directed grid over [{E/2}] with right- and down-edges. *)
+
+val cycle : int -> Tgd_instance.Instance.t
+(** Directed [k]-cycle over [{E/2}]. *)
+
+val guarded_rewritable_wide : int -> Tgd.t list
+(** Like {!guarded_rewritable} but each copy uses a ternary guard
+    [R_i(x,y,z)] — stresses candidate enumeration at arity 3. *)

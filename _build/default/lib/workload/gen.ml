@@ -1,0 +1,88 @@
+open Tgd_syntax
+open Tgd_instance
+
+let rng seed = Random.State.make [| seed |]
+
+let random_schema st ~relations ~max_arity =
+  Schema.make
+    (List.init relations (fun i ->
+         Relation.make
+           (Printf.sprintf "G%d" i)
+           (1 + Random.State.int st max_arity)))
+
+let random_instance st schema ~dom_size ~density =
+  let domain = Tgd_core.Enumerate.canonical_domain dom_size in
+  let facts =
+    Tgd_core.Enumerate.all_facts schema domain
+    |> List.filter (fun _ -> Random.State.float st 1.0 < density)
+  in
+  Instance.of_facts ~dom:domain schema facts
+
+let pick st l = List.nth l (Random.State.int st (List.length l))
+
+let uvar i = Variable.indexed "x" i
+let evar i = Variable.indexed "z" i
+
+let random_atom st schema vars =
+  let r = pick st (Schema.relations schema) in
+  Atom.make r
+    (List.init (Relation.arity r) (fun _ -> Term.var (pick st vars)))
+
+(* Retry helper: random shapes occasionally violate tgd well-formedness
+   (e.g. a 0-variable draw); sampling again keeps generators total. *)
+let rec retry f = match f () with s -> s | exception Invalid_argument _ -> retry f
+
+let vars_of atoms =
+  Variable.Set.elements
+    (List.fold_left
+       (fun acc a -> Variable.Set.union acc (Atom.vars a))
+       Variable.Set.empty atoms)
+
+let random_full_tgd st schema ~n ~body_atoms ~head_atoms =
+  retry (fun () ->
+      let pool = List.init (max 1 n) uvar in
+      let body = List.init (max 1 body_atoms) (fun _ -> random_atom st schema pool) in
+      let bvars = vars_of body in
+      let head = List.init (max 1 head_atoms) (fun _ -> random_atom st schema bvars) in
+      Tgd.make ~body ~head)
+
+let random_linear_tgd st schema ~n ~m =
+  retry (fun () ->
+      let pool = List.init (max 1 n) uvar in
+      let body = [ random_atom st schema pool ] in
+      let hpool = vars_of body @ List.init m evar in
+      let head = [ random_atom st schema (if hpool = [] then pool else hpool) ] in
+      Tgd.make ~body ~head)
+
+let random_guarded_tgd st schema ~n ~m ~body_atoms =
+  retry (fun () ->
+      let pool = List.init (max 1 n) uvar in
+      let guard = random_atom st schema pool in
+      let gvars = vars_of [ guard ] in
+      let side =
+        List.init (max 0 (body_atoms - 1)) (fun _ -> random_atom st schema gvars)
+      in
+      let hpool = gvars @ List.init m evar in
+      let head = [ random_atom st schema hpool ] in
+      Tgd.make ~body:(guard :: side) ~head)
+
+let random_tgd st schema ~n ~m ~body_atoms ~head_atoms =
+  retry (fun () ->
+      let pool = List.init (max 1 n) uvar in
+      let body = List.init (max 1 body_atoms) (fun _ -> random_atom st schema pool) in
+      let hpool = vars_of body @ List.init m evar in
+      let head =
+        List.init (max 1 head_atoms) (fun _ -> random_atom st schema hpool)
+      in
+      Tgd.make ~body ~head)
+
+let random_sigma st schema cls ~size =
+  List.init size (fun _ ->
+      match cls with
+      | Tgd_class.Full -> random_full_tgd st schema ~n:3 ~body_atoms:2 ~head_atoms:1
+      | Tgd_class.Linear -> random_linear_tgd st schema ~n:2 ~m:1
+      | Tgd_class.Guarded -> random_guarded_tgd st schema ~n:2 ~m:1 ~body_atoms:2
+      | Tgd_class.Frontier_guarded ->
+        (* guarded tgds are frontier-guarded; a dedicated sampler would bias
+           towards non-guarded shapes, which random_tgd below also hits *)
+        random_guarded_tgd st schema ~n:2 ~m:1 ~body_atoms:2)

@@ -1,0 +1,37 @@
+(** Seeded random generators for instances and dependencies.
+
+    All functions take an explicit [Random.State.t] so that tests and benches
+    are reproducible. *)
+
+open Tgd_syntax
+open Tgd_instance
+
+val rng : int -> Random.State.t
+(** Seeded state. *)
+
+val random_schema :
+  Random.State.t -> relations:int -> max_arity:int -> Schema.t
+(** Relations [G0, G1, …] with arities drawn in [1..max_arity]. *)
+
+val random_instance :
+  Random.State.t -> Schema.t -> dom_size:int -> density:float -> Instance.t
+(** Each possible fact over the canonical domain is included independently
+    with probability [density]. *)
+
+val random_full_tgd :
+  Random.State.t -> Schema.t -> n:int -> body_atoms:int -> head_atoms:int ->
+  Tgd.t
+(** A full tgd over at most [n] universal variables whose head variables all
+    occur in the body (retries internally until valid). *)
+
+val random_linear_tgd : Random.State.t -> Schema.t -> n:int -> m:int -> Tgd.t
+val random_guarded_tgd :
+  Random.State.t -> Schema.t -> n:int -> m:int -> body_atoms:int -> Tgd.t
+val random_tgd :
+  Random.State.t -> Schema.t -> n:int -> m:int -> body_atoms:int ->
+  head_atoms:int -> Tgd.t
+
+val random_sigma :
+  Random.State.t -> Schema.t -> Tgd_class.cls -> size:int -> Tgd.t list
+(** A set of [size] random members of the class (with default shape
+    parameters). *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Atom Constant Fact Instance Schema Tgd Tgd_chase Tgd_instance Tgd_parse Tgd_syntax Variable

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint Helpers List Tgd_core

@@ -1,0 +1,1 @@
+test/test_candidates.ml: Atom Candidates Canonical Helpers List Seq Tgd Tgd_class Tgd_core Tgd_syntax

@@ -1,0 +1,1 @@
+test/test_canonical.ml: Canonical Helpers List Tgd Tgd_class Tgd_syntax

@@ -1,0 +1,1 @@
+test/test_chase.ml: Chase Constant Fact Helpers Hom Instance Option Satisfaction Schema Tgd_chase Tgd_core Tgd_instance Tgd_syntax Tgd_workload Weak_acyclicity

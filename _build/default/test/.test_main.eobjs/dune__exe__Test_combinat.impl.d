@@ -1,0 +1,1 @@
+test/test_combinat.ml: Alcotest Combinat Helpers List Seq Tgd_syntax

@@ -1,0 +1,1 @@
+test/test_counting.ml: Alcotest Bigint Candidates Counting Helpers List Printf Seq Tgd Tgd_core Tgd_syntax

@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Atom Chase Cq Entailment Helpers List Relation Term Tgd_chase Tgd_syntax

@@ -1,0 +1,1 @@
+test/test_critical.ml: Alcotest Critical Fact Helpers Instance List Relation Satisfaction Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Chase Datalog Entailment Fact Helpers Instance List Printf Relation Satisfaction String Tgd Tgd_chase Tgd_instance Tgd_syntax Tgd_workload

@@ -1,0 +1,1 @@
+test/test_diagram.ml: Alcotest Atom Constant Diagram Edd Helpers Instance List Relation Satisfaction Term Tgd_instance Tgd_syntax Variable

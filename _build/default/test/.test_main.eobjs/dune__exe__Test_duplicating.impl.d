@@ -1,0 +1,1 @@
+test/test_duplicating.ml: Alcotest Combinat Constant Duplicating Fact Helpers Instance List Relation Satisfaction Schema Seq Tgd_instance Tgd_parse Tgd_syntax Tgd_workload

@@ -1,0 +1,1 @@
+test/test_entailment.ml: Atom Binding Chase Constant Egd Entailment Helpers List Relation Tgd_chase Tgd_syntax Tgd_workload

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Bigint Combinat Critical Enumerate Helpers Instance List Seq Tgd_core Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+test/test_expressibility.ml: Candidates Expressibility Fmt Helpers List Rewrite String Tgd_class Tgd_core Tgd_syntax Tgd_workload

@@ -1,0 +1,1 @@
+test/test_hom.ml: Alcotest Atom Binding Combinat Constant Helpers Hom Instance Relation Term Tgd_instance Tgd_syntax

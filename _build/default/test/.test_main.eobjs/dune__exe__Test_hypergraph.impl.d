@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Atom Helpers Hypergraph List Relation Tgd Tgd_syntax Tgd_workload

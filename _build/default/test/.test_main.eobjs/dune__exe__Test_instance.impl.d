@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Constant Fact Helpers Instance Relation Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+test/test_locality.ml: Alcotest Constant Enumerate Fact Helpers Instance List Locality Ontology Option Seq Tgd_core Tgd_instance Tgd_syntax Tgd_workload

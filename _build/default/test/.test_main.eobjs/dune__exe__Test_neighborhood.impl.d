@@ -1,0 +1,1 @@
+test/test_neighborhood.ml: Combinat Constant Helpers Instance List Neighborhood Seq Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+test/test_ontology.ml: Alcotest Combinat Helpers Instance List Ontology Tgd Tgd_chase Tgd_core Tgd_instance Tgd_syntax

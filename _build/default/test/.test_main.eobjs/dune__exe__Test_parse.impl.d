@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Atom Canonical Constant Denial Egd Helpers Instance List Schema String Tgd Tgd_instance Tgd_parse Tgd_syntax

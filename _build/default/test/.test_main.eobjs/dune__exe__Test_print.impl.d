@@ -1,0 +1,1 @@
+test/test_print.ml: Alcotest Canonical Constant Fact Filename Helpers In_channel List Relation Sys Tgd_parse Tgd_syntax

@@ -1,0 +1,1 @@
+test/test_product.ml: Alcotest Constant Critical Fact Helpers Instance Product Relation Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Constant Fact Fmt Helpers Instance List Ontology Properties Relation Tgd_core Tgd_instance Tgd_syntax Tgd_workload

@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest Chase Fact Fmt Helpers Instance List Provenance Relation String Tgd_chase Tgd_instance Tgd_syntax

@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Atom Fact Helpers List Option Reduction Relation Rewrite Schema Tgd_chase Tgd_class Tgd_core Tgd_instance Tgd_syntax Tgd_workload Variable

@@ -1,0 +1,1 @@
+test/test_refutation.ml: Alcotest Helpers Refutation Satisfaction Tgd_chase Tgd_core Tgd_instance

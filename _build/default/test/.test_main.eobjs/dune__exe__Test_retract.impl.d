@@ -1,0 +1,1 @@
+test/test_retract.ml: Alcotest Constant Fact Helpers Hom Instance List Relation Retract Satisfaction Tgd_chase Tgd_core Tgd_instance Tgd_parse Tgd_syntax

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Candidates Helpers List Rewrite Schema Tgd Tgd_chase Tgd_class Tgd_core Tgd_syntax Tgd_workload

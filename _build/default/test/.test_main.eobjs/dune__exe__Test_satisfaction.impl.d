@@ -1,0 +1,1 @@
+test/test_satisfaction.ml: Alcotest Atom Binding Dependency Edd Egd Helpers Instance Relation Satisfaction Tgd_instance Tgd_syntax

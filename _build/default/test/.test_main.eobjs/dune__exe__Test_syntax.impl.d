@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Atom Binding Canonical Constant Edd Egd Fact Helpers List Relation Schema Term Tgd Tgd_class Tgd_syntax Variable

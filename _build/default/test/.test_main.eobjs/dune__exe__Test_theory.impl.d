@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Atom Constant Denial Dependency Egd Entailment Fact Helpers Instance List Relation Term Tgd_chase Tgd_instance Tgd_syntax Theory

@@ -1,0 +1,1 @@
+test/test_weak_acyclicity.ml: Chase Helpers List Tgd_chase Tgd_core Tgd_workload Weak_acyclicity

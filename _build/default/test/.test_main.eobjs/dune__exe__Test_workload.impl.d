@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Families Gen Helpers Instance List Satisfaction Schema Tgd_chase Tgd_class Tgd_core Tgd_instance Tgd_parse Tgd_syntax Tgd_workload

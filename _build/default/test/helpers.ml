@@ -1,0 +1,31 @@
+(* Shared helpers for the test suite. *)
+
+open Tgd_syntax
+open Tgd_instance
+
+let tgd = Tgd_parse.Parse.tgd_exn
+let tgds = Tgd_parse.Parse.tgds_exn
+let inst ?schema src = Tgd_parse.Parse.instance_exn ?schema src
+
+let schema pairs = Schema.of_pairs pairs
+
+let tgd_testable = Alcotest.testable Tgd.pp Tgd.equal
+let instance_testable = Alcotest.testable Instance.pp Instance.equal
+let fact_testable = Alcotest.testable Fact.pp Fact.equal
+let atom_testable = Alcotest.testable Atom.pp Atom.equal
+
+let check_tgd = Alcotest.check tgd_testable
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+(* Three-valued entailment assertions. *)
+let check_answer name expected actual =
+  Alcotest.check
+    (Alcotest.testable Tgd_chase.Entailment.pp_answer ( = ))
+    name expected actual
+
+let c s = Constant.named s
+let v s = Variable.make s

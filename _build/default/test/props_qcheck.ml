@@ -1,0 +1,298 @@
+(* Property-based tests (qcheck) on the paper's invariants. *)
+
+open Tgd_syntax
+open Tgd_instance
+open Tgd_workload
+
+let s2 = Schema.of_pairs [ ("E", 2); ("P", 1) ]
+
+(* qcheck generators are functions of Random.State.t, which is exactly what
+   Tgd_workload.Gen takes. *)
+
+let gen_instance : Instance.t QCheck.Gen.t =
+ fun st ->
+  Gen.random_instance st s2
+    ~dom_size:(1 + Random.State.int st 3)
+    ~density:(Random.State.float st 0.8)
+
+let gen_full_tgd : Tgd.t QCheck.Gen.t =
+ fun st -> Gen.random_full_tgd st s2 ~n:3 ~body_atoms:2 ~head_atoms:1
+
+let gen_linear_tgd : Tgd.t QCheck.Gen.t =
+ fun st -> Gen.random_linear_tgd st s2 ~n:2 ~m:1
+
+let gen_any_tgd : Tgd.t QCheck.Gen.t =
+ fun st ->
+  if Random.State.bool st then gen_full_tgd st else gen_linear_tgd st
+
+let arb_instance = QCheck.make ~print:Instance.to_string gen_instance
+let arb_full_tgd = QCheck.make ~print:Tgd.to_string gen_full_tgd
+let arb_any_tgd = QCheck.make ~print:Tgd.to_string gen_any_tgd
+
+let arb_pair_full =
+  QCheck.make
+    ~print:(fun (a, b) -> Tgd.to_string a ^ " ;; " ^ Tgd.to_string b)
+    (QCheck.Gen.pair gen_full_tgd gen_full_tgd)
+
+let chase_model sigma i =
+  let r = Tgd_chase.Chase.restricted sigma i in
+  r.Tgd_chase.Chase.instance
+
+(* Lemma 3.2: critical instances model every tgd *)
+let prop_critical_models_tgds =
+  QCheck.Test.make ~name:"Lemma 3.2: critical ⊨ σ (random σ)" ~count:200
+    arb_any_tgd (fun t ->
+      List.for_all
+        (fun k -> Satisfaction.tgd (Critical.make s2 k) t)
+        [ 1; 2; 3 ])
+
+(* Lemma 3.4: models of full tgds are closed under ⊗ (full tgds so the
+   chase provides genuine models) *)
+let prop_product_closure =
+  QCheck.Test.make ~name:"Lemma 3.4: I,J ⊨ Σ ⟹ I⊗J ⊨ Σ" ~count:100
+    (QCheck.pair arb_pair_full (QCheck.pair arb_instance arb_instance))
+    (fun ((t1, t2), (i, j)) ->
+      let sigma = [ t1; t2 ] in
+      let mi = chase_model sigma i and mj = chase_model sigma j in
+      QCheck.assume (Satisfaction.tgds mi sigma && Satisfaction.tgds mj sigma);
+      Satisfaction.tgds (Product.direct mi mj) sigma)
+
+(* hom search soundness: a returned map really is a homomorphism *)
+let prop_hom_soundness =
+  QCheck.Test.make ~name:"hom search soundness" ~count:200
+    (QCheck.pair arb_instance arb_instance) (fun (i, j) ->
+      match Hom.find_instance_hom i j with
+      | None -> true
+      | Some h ->
+        let apply x =
+          match Constant.Map.find_opt x h with Some y -> y | None -> x
+        in
+        Instance.subset (Instance.map_constants apply i) j)
+
+(* canonicalization is invariant under renaming *)
+let prop_canonical_renaming =
+  QCheck.Test.make ~name:"canonical form invariant under renaming" ~count:200
+    arb_any_tgd (fun t ->
+      let rho =
+        Variable.Set.fold
+          (fun v acc -> Variable.Map.add v (Variable.make (Variable.name v ^ "_r")) acc)
+          (Tgd.all_vars t) Variable.Map.empty
+      in
+      Canonical.equal_up_to_renaming t (Tgd.rename rho t))
+
+(* product projections are homomorphisms *)
+let prop_product_projections =
+  QCheck.Test.make ~name:"π1(I⊗J) ⊆ I and π2(I⊗J) ⊆ J" ~count:100
+    (QCheck.pair arb_instance arb_instance) (fun (i, j) ->
+      let p = Product.direct i j in
+      Instance.subset (Product.project_first p) i
+      && Instance.subset (Product.project_second p) j)
+
+(* chase soundness: result contains the input and satisfies Σ *)
+let prop_chase_soundness =
+  QCheck.Test.make ~name:"chase: D ⊆ chase(D,Σ) ⊨ Σ (full tgds)" ~count:100
+    (QCheck.pair arb_pair_full arb_instance) (fun ((t1, t2), i) ->
+      let sigma = [ t1; t2 ] in
+      let r = Tgd_chase.Chase.restricted sigma i in
+      Tgd_chase.Chase.is_model r
+      && Instance.subset i r.Tgd_chase.Chase.instance
+      && Satisfaction.tgds r.Tgd_chase.Chase.instance sigma)
+
+(* entailment soundness, verified exhaustively on the bounded universe *)
+let prop_entailment_sound =
+  QCheck.Test.make ~name:"Σ ⊨ σ proved ⟹ models(Σ) ⊆ models(σ) (dom ≤ 2)"
+    ~count:60
+    (QCheck.pair arb_pair_full arb_full_tgd)
+    (fun ((t1, t2), goal) ->
+      let sigma = [ t1; t2 ] in
+      match Tgd_chase.Entailment.entails sigma goal with
+      | Tgd_chase.Entailment.Proved ->
+        Tgd_core.Enumerate.models_up_to sigma s2 2
+        |> Seq.for_all (fun i -> Satisfaction.tgd i goal)
+      | Tgd_chase.Entailment.Disproved | Tgd_chase.Entailment.Unknown -> true)
+
+(* entailment completeness on the bounded universe: a disproved entailment
+   has a (possibly large) countermodel; we check the contrapositive on the
+   bounded fragment: if all bounded models agree, the chase countermodel
+   must disagree only beyond the bound — rarely triggered, so we instead
+   check Disproved ⟹ the chase produced a genuine countermodel *)
+let prop_disproved_has_countermodel =
+  QCheck.Test.make ~name:"Σ ⊭ σ disproved ⟹ countermodel exists" ~count:60
+    (QCheck.pair arb_pair_full arb_full_tgd)
+    (fun ((t1, t2), goal) ->
+      let sigma = [ t1; t2 ] in
+      match Tgd_chase.Entailment.entails sigma goal with
+      | Tgd_chase.Entailment.Disproved ->
+        (* rebuild the countermodel: chase of the frozen body *)
+        let _, db =
+          Tgd_chase.Entailment.freeze_instance
+            (Tgd_core.Rewrite.schema_of (goal :: sigma))
+            (Tgd.body goal)
+        in
+        let m = chase_model sigma db in
+        Satisfaction.tgds m sigma && not (Satisfaction.tgd m goal)
+      | Tgd_chase.Entailment.Proved | Tgd_chase.Entailment.Unknown -> true)
+
+(* Theorem 5.6 (1)⇒(2) item 3: full-tgd models closed under non-oblivious
+   duplication *)
+let prop_non_oblivious_dupext =
+  QCheck.Test.make ~name:"full tgds closed under non-oblivious duplication"
+    ~count:100
+    (QCheck.pair arb_pair_full arb_instance)
+    (fun ((t1, t2), i) ->
+      let sigma = [ t1; t2 ] in
+      let m = chase_model sigma i in
+      QCheck.assume (not (Constant.Set.is_empty (Instance.dom m)));
+      let cs = Constant.Set.elements (Instance.dom m) in
+      let cpick = List.nth cs 0 in
+      let d = Duplicating.fresh_for m in
+      Satisfaction.tgds (Duplicating.non_oblivious m cpick d) sigma)
+
+(* parser round trip *)
+let prop_parse_round_trip =
+  QCheck.Test.make ~name:"parse ∘ print = id (mod renaming)" ~count:200
+    arb_any_tgd (fun t ->
+      let t' = Tgd_parse.Parse.tgd_exn (Tgd.to_string t ^ ".") in
+      Canonical.equal_up_to_renaming t t')
+
+(* neighbourhood members respect the cardinality contract *)
+let prop_neighbourhood_bound =
+  QCheck.Test.make ~name:"m-neighbourhood: |adom| ≤ |F| + m" ~count:100
+    (QCheck.pair arb_instance QCheck.(int_bound 2))
+    (fun (j, m) ->
+      let adom = Constant.Set.elements (Instance.adom j) in
+      let f =
+        Constant.set_of_list (List.filteri (fun k _ -> k < 1) adom)
+      in
+      Neighborhood.of_set f j m
+      |> Seq.for_all (fun j' ->
+             Constant.Set.cardinal (Instance.adom j')
+             <= Constant.Set.cardinal f + m
+             && Instance.subset j' j))
+
+(* bigint ring laws against native ints *)
+let prop_bigint_matches_native =
+  QCheck.Test.make ~name:"bigint matches native arithmetic" ~count:300
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b) ->
+      let open Tgd_core.Bigint in
+      to_string (add (of_int a) (of_int b)) = string_of_int (a + b)
+      && to_string (mul (of_int a) (of_int b)) = string_of_int (a * b)
+      && compare (of_int a) (of_int b) = Int.compare a b)
+
+let prop_bigint_distributive =
+  QCheck.Test.make ~name:"bigint distributivity at scale" ~count:100
+    QCheck.(triple (int_bound 1000) (int_bound 1000) (int_bound 1000))
+    (fun (a, b, e) ->
+      let open Tgd_core.Bigint in
+      let x = pow (of_int (a + 2)) (20 + (e mod 10)) in
+      let y = of_int b and z = of_int a in
+      equal (mul x (add y z)) (add (mul x y) (mul x z)))
+
+(* isomorphic instances agree on tgd satisfaction *)
+let prop_iso_invariance =
+  QCheck.Test.make ~name:"satisfaction is isomorphism-invariant" ~count:100
+    (QCheck.pair arb_any_tgd arb_instance) (fun (t, i) ->
+      let rho x =
+        match x with
+        | Constant.Indexed k -> Constant.named (Printf.sprintf "iso%d" k)
+        | other -> other
+      in
+      let j = Instance.map_constants rho i in
+      Satisfaction.tgd i t = Satisfaction.tgd j t)
+
+(* hypergraph: adding an atom covering all variables makes any body acyclic *)
+let prop_guard_acyclic =
+  QCheck.Test.make ~name:"a covering guard makes any conjunction acyclic" ~count:100
+    (QCheck.make ~print:Tgd.to_string (fun st ->
+         Gen.random_tgd st s2 ~n:4 ~m:0 ~body_atoms:3 ~head_atoms:1))
+    (fun t ->
+      let body = Tgd.body t in
+      let guard_rel = Relation.make "Guard" 4 in
+      let vars = Variable.Set.elements (Tgd.universal_vars t) in
+      let padded =
+        List.init 4 (fun i ->
+            List.nth vars (if vars = [] then 0 else i mod List.length vars))
+      in
+      QCheck.assume (vars <> []);
+      Hypergraph.is_acyclic (Atom.of_vars guard_rel padded :: body))
+
+(* retract: the core is a hom-equivalent subinstance and itself a core *)
+let prop_core_invariants =
+  QCheck.Test.make ~name:"core: hom-equivalent retract, idempotent" ~count:60
+    arb_instance (fun i ->
+      let core = Retract.core i in
+      Instance.subset core i
+      && Hom.hom_equivalent i core
+      && Retract.is_core core)
+
+(* theory chase: on egd-free theories it agrees with the plain chase *)
+let prop_theory_chase_agrees =
+  QCheck.Test.make ~name:"theory chase = chase on egd-free theories" ~count:60
+    (QCheck.pair arb_pair_full arb_instance)
+    (fun ((t1, t2), i) ->
+      let sigma = [ t1; t2 ] in
+      let th = Tgd_chase.Theory.of_tgds sigma in
+      let r1 = Tgd_chase.Theory.chase th i in
+      let r2 = Tgd_chase.Chase.restricted sigma i in
+      match r1.Tgd_chase.Theory.outcome with
+      | Tgd_chase.Theory.Model ->
+        Tgd_chase.Chase.is_model r2
+        && Instance.equal_facts r1.Tgd_chase.Theory.instance
+             r2.Tgd_chase.Chase.instance
+      | _ -> false)
+
+(* theory chase soundness: on Model the result satisfies the theory *)
+let prop_theory_chase_sound =
+  QCheck.Test.make ~name:"theory chase soundness (with key egd)" ~count:60
+    (QCheck.pair arb_full_tgd arb_instance)
+    (fun (t, i) ->
+      let e = Relation.make "E" 2 in
+      let key =
+        Egd.make
+          ~body:
+            [ Atom.of_vars e [ Variable.make "x"; Variable.make "y" ];
+              Atom.of_vars e [ Variable.make "x"; Variable.make "y'" ] ]
+          (Variable.make "y") (Variable.make "y'")
+      in
+      let th = Tgd_chase.Theory.{ tgds = [ t ]; egds = [ key ]; denials = [] } in
+      let r = Tgd_chase.Theory.chase th i in
+      match r.Tgd_chase.Theory.outcome with
+      | Tgd_chase.Theory.Model -> Tgd_chase.Theory.satisfies r.Tgd_chase.Theory.instance th
+      | Tgd_chase.Theory.Failed _ -> true (* rigid clash on random data is fine *)
+      | Tgd_chase.Theory.Out_of_budget -> true)
+
+(* refutation never contradicts the chase *)
+let prop_refutation_consistent =
+  QCheck.Test.make ~name:"refutation agrees with definite chase answers" ~count:40
+    (QCheck.pair arb_pair_full arb_full_tgd)
+    (fun ((t1, t2), goal) ->
+      let sigma = [ t1; t2 ] in
+      let chase_ans = Tgd_chase.Entailment.entails sigma goal in
+      let combined = Tgd_core.Refutation.entails sigma goal in
+      match chase_ans with
+      | Tgd_chase.Entailment.Unknown -> true
+      | definite -> combined = definite)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_critical_models_tgds;
+      prop_product_closure;
+      prop_hom_soundness;
+      prop_canonical_renaming;
+      prop_product_projections;
+      prop_chase_soundness;
+      prop_entailment_sound;
+      prop_disproved_has_countermodel;
+      prop_non_oblivious_dupext;
+      prop_parse_round_trip;
+      prop_neighbourhood_bound;
+      prop_guard_acyclic;
+      prop_core_invariants;
+      prop_theory_chase_agrees;
+      prop_theory_chase_sound;
+      prop_refutation_consistent;
+      prop_bigint_matches_native;
+      prop_bigint_distributive;
+      prop_iso_invariance
+    ]

@@ -1,0 +1,74 @@
+open Tgd_core
+open Helpers
+
+let check_big name expected actual =
+  Alcotest.check Alcotest.string name expected (Bigint.to_string actual)
+
+let test_basic () =
+  check_big "zero" "0" Bigint.zero;
+  check_big "of_int" "123456789012" (Bigint.of_int 123456789012);
+  Alcotest.check_raises "negative" (Invalid_argument "Bigint.of_int: negative")
+    (fun () -> ignore (Bigint.of_int (-1)))
+
+let test_add () =
+  check_big "small" "5" (Bigint.add (Bigint.of_int 2) (Bigint.of_int 3));
+  check_big "carry across limbs" "2000000000"
+    (Bigint.add (Bigint.of_int 1_000_000_000) (Bigint.of_int 1_000_000_000));
+  check_big "zero identity" "42" (Bigint.add Bigint.zero (Bigint.of_int 42))
+
+let test_mul () =
+  check_big "small" "6" (Bigint.mul Bigint.two (Bigint.of_int 3));
+  check_big "zero" "0" (Bigint.mul Bigint.zero (Bigint.of_int 99));
+  check_big "big" "1000000000000000000"
+    (Bigint.mul (Bigint.of_int 1_000_000_000) (Bigint.of_int 1_000_000_000));
+  (* (10^9+7)^2 = 10^18 + 14*10^9 + 49 *)
+  check_big "cross-limb" "1000000014000000049"
+    (Bigint.mul (Bigint.of_int 1_000_000_007) (Bigint.of_int 1_000_000_007))
+
+let test_pow () =
+  check_big "2^10" "1024" (Bigint.pow Bigint.two 10);
+  check_big "2^0" "1" (Bigint.pow Bigint.two 0);
+  check_big "2^100" "1267650600228229401496703205376" (Bigint.pow Bigint.two 100);
+  check_big "10^30" "1000000000000000000000000000000"
+    (Bigint.pow (Bigint.of_int 10) 30)
+
+let test_compare () =
+  check_bool "lt" true (Bigint.compare (Bigint.of_int 5) (Bigint.of_int 9) < 0);
+  check_bool "eq" true (Bigint.equal (Bigint.pow Bigint.two 64) (Bigint.pow Bigint.two 64));
+  check_bool "multi-limb gt" true
+    (Bigint.compare (Bigint.pow Bigint.two 70) (Bigint.pow Bigint.two 69) > 0)
+
+let test_to_int_opt () =
+  Alcotest.check Alcotest.(option int) "fits" (Some 123) (Bigint.to_int_opt (Bigint.of_int 123));
+  Alcotest.check Alcotest.(option int) "overflows" None
+    (Bigint.to_int_opt (Bigint.pow Bigint.two 80))
+
+let test_to_float () =
+  let f = Bigint.to_float (Bigint.pow Bigint.two 20) in
+  check_bool "2^20" true (abs_float (f -. 1048576.0) < 0.5)
+
+let test_digits () =
+  check_int "digits of 2^10" 4 (Bigint.digits (Bigint.pow Bigint.two 10));
+  check_int "digits of 0" 1 (Bigint.digits Bigint.zero)
+
+let test_add_mul_consistency () =
+  (* x * 3 = x + x + x on assorted values *)
+  List.iter
+    (fun n ->
+      let x = Bigint.of_int n in
+      Alcotest.check Alcotest.string "x*3 = x+x+x"
+        (Bigint.to_string (Bigint.mul x (Bigint.of_int 3)))
+        (Bigint.to_string (Bigint.add x (Bigint.add x x))))
+    [ 0; 1; 999_999_999; 1_000_000_000; 123_456_789_123_456 ]
+
+let suite =
+  [ case "basics" test_basic;
+    case "add" test_add;
+    case "mul" test_mul;
+    case "pow" test_pow;
+    case "compare" test_compare;
+    case "to_int_opt" test_to_int_opt;
+    case "to_float" test_to_float;
+    case "digits" test_digits;
+    case "add/mul consistency" test_add_mul_consistency
+  ]

@@ -1,0 +1,60 @@
+open Tgd_syntax
+open Helpers
+
+let test_renaming_equivalence () =
+  let a = tgd "R(x,y) -> exists z. R(y,z)." in
+  let b = tgd "R(u,v) -> exists w. R(v,w)." in
+  check_bool "renamed equal" true (Canonical.equal_up_to_renaming a b);
+  check_tgd "same canonical form" (Canonical.tgd a) (Canonical.tgd b)
+
+let test_atom_order_irrelevant () =
+  let a = tgd "R(x,y), P(x) -> T(x)." in
+  let b = tgd "P(u), R(u,v) -> T(u)." in
+  check_bool "reordered equal" true (Canonical.equal_up_to_renaming a b)
+
+let test_distinct_tgds_stay_distinct () =
+  let a = tgd "R(x,y) -> T(x)." in
+  let b = tgd "R(x,y) -> T(y)." in
+  check_bool "projection position matters" false (Canonical.equal_up_to_renaming a b);
+  let c = tgd "R(x,x) -> T(x)." in
+  check_bool "variable identification matters" false
+    (Canonical.equal_up_to_renaming a c)
+
+let test_canonical_idempotent () =
+  let samples =
+    [ tgd "R(x,y), S(y,z) -> exists u,w. T(x,u), T(u,w).";
+      tgd "R(a,b) -> R(b,a)."; tgd "-> exists z. Start(z)." ]
+  in
+  List.iter
+    (fun s ->
+      check_tgd "idempotent" (Canonical.tgd s) (Canonical.tgd (Canonical.tgd s)))
+    samples
+
+let test_canonical_preserves_semantics () =
+  let s = tgd "S(y,z), R(x,y) -> exists u. T(x,u)." in
+  let cs = Canonical.tgd s in
+  check_int "same n" (Tgd.n_universal s) (Tgd.n_universal cs);
+  check_int "same m" (Tgd.m_existential s) (Tgd.m_existential cs);
+  check_int "same body size" (List.length (Tgd.body s)) (List.length (Tgd.body cs));
+  check_bool "same classes" true (Tgd_class.classify s = Tgd_class.classify cs)
+
+let test_dedup () =
+  let l =
+    [ tgd "R(x,y) -> T(x)."; tgd "R(u,v) -> T(u)."; tgd "R(x,y) -> T(y)." ]
+  in
+  check_int "dedup" 2 (List.length (Canonical.dedup l))
+
+let test_existential_renaming () =
+  let a = tgd "R(x) -> exists z1,z2. S(x,z1), S(z1,z2)." in
+  let b = tgd "R(q) -> exists w2,w1. S(q,w2), S(w2,w1)." in
+  check_bool "existential renaming" true (Canonical.equal_up_to_renaming a b)
+
+let suite =
+  [ case "renaming equivalence" test_renaming_equivalence;
+    case "atom order irrelevant" test_atom_order_irrelevant;
+    case "distinct tgds stay distinct" test_distinct_tgds_stay_distinct;
+    case "canonical idempotent" test_canonical_idempotent;
+    case "canonical preserves structure" test_canonical_preserves_semantics;
+    case "dedup" test_dedup;
+    case "existential renaming" test_existential_renaming
+  ]

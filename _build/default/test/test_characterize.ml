@@ -1,0 +1,201 @@
+open Tgd_syntax
+open Tgd_core
+open Helpers
+
+let s_e = schema [ ("E", 2) ]
+let s_p = schema [ ("P", 1); ("Q", 1) ]
+
+let caps =
+  Characterize.
+    { max_body_atoms = 1; max_conjunct_atoms = 1; max_disjuncts = 2; dom_bound = 2 }
+
+let candidate_caps =
+  Candidates.{ max_body_atoms = 2; max_head_atoms = 2; keep_tautologies = false }
+
+let test_edd_enumeration () =
+  let edds = List.of_seq (Characterize.edds_e_nm ~caps s_p ~n:1 ~m:0) in
+  check_bool "non-empty" true (edds <> []);
+  List.iter
+    (fun d ->
+      check_bool "within E_{1,0}" true (Edd.in_e_nm ~n:1 ~m:0 d))
+    edds
+
+let test_sigma_vee_soundness () =
+  (* every edd in Σ^∨ holds in every bounded member, by construction; spot
+     check against a fresh enumeration *)
+  let o = Ontology.axiomatic s_p [ tgd "P(x) -> Q(x)." ] in
+  let vee = Characterize.sigma_vee ~caps o ~n:1 ~m:0 in
+  check_bool "contains the axiom as an edd" true
+    (List.exists
+       (fun d ->
+         match Edd.as_tgd d with
+         | Some t -> Canonical.equal_up_to_renaming t (tgd "P(x) -> Q(x).")
+         | None -> false)
+       vee);
+  Ontology.models_up_to o 2
+  |> Seq.iter (fun i ->
+         List.iter
+           (fun d -> check_bool "member satisfies Σ^∨" true (Tgd_instance.Satisfaction.edd i d))
+           vee)
+
+let test_steps_2_3 () =
+  let o = Ontology.axiomatic s_p [ tgd "P(x) -> Q(x)." ] in
+  let vee = Characterize.sigma_vee ~caps o ~n:1 ~m:0 in
+  let deps = Characterize.sigma_exists_eq vee in
+  let sigma = Characterize.sigma_exists deps in
+  check_bool "Σ^∃ ⊆ Σ^{∃,=} as tgds" true
+    (List.length sigma <= List.length deps);
+  (* the synthesized tgds axiomatize O on the bounded universe *)
+  check_bool "axiomatizes" true
+    (Characterize.verify_axiomatization o sigma ~dom_size:2 = None)
+
+let test_synthesize_recovers_axioms () =
+  (* Theorem 4.1 in action: from the membership oracle of Mod(Σ) alone,
+     synthesis recovers an equivalent axiomatization *)
+  let cases =
+    [ (s_p, [ tgd "P(x) -> Q(x)." ], 1, 0);
+      (s_e, [ tgd "E(x,y) -> E(y,x)." ], 2, 0);
+      (s_e, [ tgd "E(x,y) -> exists z. E(y,z)." ], 2, 1) ]
+  in
+  List.iter
+    (fun (s, sigma, n, m) ->
+      let o =
+        Ontology.oracle ~name:"oracle-of-models" s (fun i ->
+            Tgd_instance.Satisfaction.tgds i sigma)
+      in
+      let synth = Characterize.synthesize ~candidate_caps o ~n ~m in
+      check_bool "non-empty synthesis" true (synth <> []);
+      match Characterize.verify_axiomatization o synth ~dom_size:2 with
+      | None -> ()
+      | Some cex ->
+        Alcotest.failf "synthesis disagrees on %a" Tgd_instance.Instance.pp cex)
+    cases
+
+let test_synthesize_detects_non_tgd_ontology () =
+  (* "E non-empty" is not closed under subinstance-like behaviour of tgds…
+     concretely: no set of tgds over E can axiomatize it (the empty instance
+     is a model of any tgd set satisfied by some instance with no
+     E-implications).  Synthesis must fail verification. *)
+  let o = Ontology.oracle ~name:"nonempty" s_e (fun i -> not (Tgd_instance.Instance.is_empty i)) in
+  let synth = Characterize.synthesize ~candidate_caps o ~n:2 ~m:1 in
+  check_bool "cannot axiomatize non-tgd ontology" true
+    (Characterize.verify_axiomatization o synth ~dom_size:2 <> None)
+
+let test_egds_in_sigma_vee () =
+  (* an oracle ontology requiring E to be a partial function admits a key
+     egd in Σ^∨ *)
+  let functional i =
+    Tgd_instance.Satisfaction.egd i
+      (Egd.make
+         ~body:
+           [ Atom.of_vars (Relation.make "E" 2) [ v "x"; v "y" ];
+             Atom.of_vars (Relation.make "E" 2) [ v "x"; v "z" ] ]
+         (v "y") (v "z"))
+  in
+  let o = Ontology.oracle ~name:"functional" s_e functional in
+  let caps2 = Characterize.{ caps with max_body_atoms = 2; dom_bound = 2 } in
+  let vee = Characterize.sigma_vee ~caps:caps2 o ~n:3 ~m:0 in
+  let deps = Characterize.sigma_exists_eq vee in
+  check_bool "some egd found" true (Dependency.egds deps <> [])
+
+let test_pipeline_agrees_with_synthesis () =
+  (* Σ^∃ from the explicit edd pipeline axiomatizes the same bounded models
+     as the direct candidate synthesis *)
+  let o = Ontology.axiomatic s_p [ tgd "P(x) -> Q(x)." ] in
+  let pipeline =
+    Characterize.sigma_exists
+      (Characterize.sigma_exists_eq (Characterize.sigma_vee ~caps o ~n:1 ~m:0))
+  in
+  let direct = Characterize.synthesize ~candidate_caps o ~n:1 ~m:0 in
+  check_bool "pipeline verified" true
+    (Characterize.verify_axiomatization o pipeline ~dom_size:2 = None);
+  check_bool "mutually equivalent" true
+    (Tgd_core.Rewrite.verify_equivalence_bounded pipeline direct ~dom_size:2
+    = None)
+
+let test_ftgd_profile () =
+  (* Theorem 5.6 profile holds for Example 5.2's full tgd... *)
+  let sigma52, _ = Tgd_workload.Families.example_5_2 in
+  let o52 = Ontology.axiomatic (Rewrite.schema_of sigma52) sigma52 in
+  let p = Characterize.ftgd_profile ~dom_size:2 ~modularity_n:3 o52 in
+  check_bool "FTGD profile holds" true (Characterize.ftgd_profile_holds p);
+  (* ...and fails ∩-closure for a disjunctive oracle *)
+  let disj =
+    Ontology.oracle s_e (fun i ->
+        Tgd_instance.Instance.mem i
+          (Tgd_syntax.Fact.make (Relation.make "E" 2)
+             [ Tgd_syntax.Constant.indexed 0; Tgd_syntax.Constant.indexed 0 ])
+        || Tgd_instance.Instance.mem i
+             (Tgd_syntax.Fact.make (Relation.make "E" 2)
+                [ Tgd_syntax.Constant.indexed 1; Tgd_syntax.Constant.indexed 1 ]))
+  in
+  let p = Characterize.ftgd_profile ~dom_size:2 disj in
+  check_bool "disjunctive not ∩-closed" false p.Characterize.intersection_closed
+
+let test_theory_ontology_not_critical () =
+  (* egd-constrained ontologies fail criticality: the critical instance
+     violates every non-trivial egd — the reason Step 3 may discard egds *)
+  let e = Relation.make "E" 2 in
+  let key =
+    Egd.make
+      ~body:
+        [ Atom.of_vars e [ v "x"; v "y" ]; Atom.of_vars e [ v "x"; v "z" ] ]
+      (v "y") (v "z")
+  in
+  let th = Tgd_chase.Theory.{ tgds = []; egds = [ key ]; denials = [] } in
+  let o = Ontology.of_theory s_e th in
+  check_bool "1-critical still fine" true
+    (Properties.verdict_holds (Properties.critical_up_to o 1));
+  (match Properties.critical_up_to o 2 with
+  | Properties.Fails 2 -> ()
+  | _ -> Alcotest.fail "the 2-critical instance must violate the key egd");
+  (* but it IS closed under products (egds are Horn) *)
+  check_bool "⊗-closed" true
+    (Properties.verdict_holds (Properties.closed_under_products o ~dom_size:2))
+
+let test_classify_oracle () =
+  (* black box in, precise class out: the symmetric-closure oracle is a
+     full+guarded (indeed linear? no — E(x,y)→E(y,x) is linear!) ontology *)
+  let oracle i =
+    Tgd_instance.Satisfaction.tgds i (tgds "E(x,y) -> E(y,x).")
+  in
+  let o = Ontology.oracle ~name:"sym" s_e oracle in
+  let caps2 = Characterize.{ caps with dom_bound = 2 } in
+  let config =
+    Rewrite.
+      { default_config with
+        caps =
+          Candidates.
+            { max_body_atoms = 2; max_head_atoms = 1; keep_tautologies = false }
+      }
+  in
+  let result = Characterize.classify_oracle ~caps:caps2 ~config o ~n:2 ~m:0 in
+  (match result.Characterize.axioms with
+  | Some sigma -> check_bool "axioms found" true (sigma <> [])
+  | None -> Alcotest.fail "symmetric oracle must be axiomatizable");
+  (match result.Characterize.diagnosis with
+  | Some report ->
+    let full_status =
+      List.find
+        (fun cs -> cs.Expressibility.cls = Tgd_class.Full)
+        report.Expressibility.classes
+    in
+    check_bool "recovered axioms are full" true full_status.Expressibility.syntactic
+  | None -> Alcotest.fail "diagnosis expected");
+  (* a non-tgd oracle classifies to None *)
+  let bad = Ontology.oracle ~name:"≤2 facts" s_e (fun i -> Tgd_instance.Instance.fact_count i <= 2) in
+  let result = Characterize.classify_oracle ~caps:caps2 ~config bad ~n:2 ~m:1 in
+  check_bool "non-tgd oracle rejected" true (result.Characterize.axioms = None)
+
+let suite =
+  [ case "E_{n,m} enumeration" test_edd_enumeration;
+    case "Σ^∨ soundness (Step 1)" test_sigma_vee_soundness;
+    case "Steps 2–3" test_steps_2_3;
+    slow_case "synthesis recovers axioms (Theorem 4.1)" test_synthesize_recovers_axioms;
+    case "synthesis fails on non-tgd ontology" test_synthesize_detects_non_tgd_ontology;
+    slow_case "egds appear in Σ^∨" test_egds_in_sigma_vee;
+    case "pipeline ≡ direct synthesis" test_pipeline_agrees_with_synthesis;
+    slow_case "classify black-box oracle" test_classify_oracle;
+    case "Theorem 5.6 profile" test_ftgd_profile;
+    case "theory ontologies fail criticality" test_theory_ontology_not_critical
+  ]

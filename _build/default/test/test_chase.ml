@@ -1,0 +1,126 @@
+open Tgd_syntax
+open Tgd_instance
+open Tgd_chase
+open Helpers
+
+let s = schema [ ("E", 2); ("P", 1); ("T", 1) ]
+
+let test_full_tgd_chase () =
+  let sigma = [ tgd "E(x,y), E(y,z) -> E(x,z)." ] in
+  let i = inst ~schema:s "E(a,b). E(b,c). E(c,d)." in
+  let r = Chase.restricted sigma i in
+  check_bool "terminated" true (Chase.is_model r);
+  (* transitive closure of a 4-chain: 3+2+1 = 6 edges *)
+  check_int "closure size" 6 (Instance.fact_count r.Chase.instance);
+  check_bool "result models Σ" true (Satisfaction.tgds r.Chase.instance sigma);
+  check_bool "contains input" true (Instance.subset i r.Chase.instance)
+
+let test_existential_chase_terminates () =
+  let sigma = [ tgd "P(x) -> exists z. E(x,z)." ] in
+  let i = inst ~schema:s "P(a). P(b)." in
+  let r = Chase.restricted sigma i in
+  check_bool "terminated" true (Chase.is_model r);
+  check_int "two new edges" 4 (Instance.fact_count r.Chase.instance);
+  (* new values are labelled nulls *)
+  let nulls =
+    Constant.Set.filter Constant.is_null (Instance.adom r.Chase.instance)
+  in
+  check_int "two nulls" 2 (Constant.Set.cardinal nulls)
+
+let test_restricted_reuses_witnesses () =
+  (* E(a,b) already provides the witness: no firing needed *)
+  let sigma = [ tgd "P(x) -> exists z. E(x,z)." ] in
+  let i = inst ~schema:s "P(a). E(a,b)." in
+  let r = Chase.restricted sigma i in
+  check_int "no new facts" 2 (Instance.fact_count r.Chase.instance);
+  check_int "nothing fired" 0 r.Chase.fired
+
+let test_oblivious_fires_anyway () =
+  let sigma = [ tgd "P(x) -> exists z. E(x,z)." ] in
+  let i = inst ~schema:s "P(a). E(a,b)." in
+  let r = Chase.oblivious sigma i in
+  check_int "fires despite witness" 1 r.Chase.fired;
+  check_int "adds a fact" 3 (Instance.fact_count r.Chase.instance)
+
+let test_nonterminating_hits_budget () =
+  let sigma = [ tgd "E(x,y) -> exists z. E(y,z)." ] in
+  let i = inst ~schema:s "E(a,b)." in
+  let budget = Chase.{ max_rounds = 10; max_facts = 1000 } in
+  let r = Chase.restricted ~budget sigma i in
+  check_bool "not terminated" false (Chase.is_model r);
+  check_bool "grew" true (Instance.fact_count r.Chase.instance > 5)
+
+let test_budget_max_facts () =
+  let sigma = [ tgd "P(x) -> exists z,w. E(x,z), E(x,w)." ] in
+  let i = inst ~schema:s "P(a). P(b). P(c)." in
+  let budget = Chase.{ max_rounds = 100; max_facts = 4 } in
+  let r = Chase.restricted ~budget sigma i in
+  check_bool "budget exhausted" true (r.Chase.outcome = Chase.Budget_exhausted)
+
+let test_sound_prefix () =
+  (* every chase prefix maps into every model extending the input *)
+  let sigma = [ tgd "E(x,y) -> exists z. E(y,z)." ] in
+  let i = inst ~schema:s "E(a,b)." in
+  let budget = Chase.{ max_rounds = 5; max_facts = 1000 } in
+  let r = Chase.restricted ~budget sigma i in
+  let model = inst ~schema:s "E(a,b). E(b,b)." in
+  check_bool "model sanity" true (Satisfaction.tgds model sigma);
+  check_bool "prefix folds into model fixing input" true
+    (Hom.embeds_fixing (Instance.adom i) r.Chase.instance model)
+
+let test_empty_sigma () =
+  let i = inst ~schema:s "E(a,b)." in
+  let r = Chase.restricted [] i in
+  check_bool "identity" true (Instance.equal r.Chase.instance i);
+  check_int "zero rounds fire" 0 r.Chase.fired
+
+let test_bodiless_tgd_chase () =
+  let sigma = [ tgd "-> exists z. P(z)." ] in
+  let r = Chase.restricted sigma (Instance.empty s) in
+  check_bool "terminated" true (Chase.is_model r);
+  check_int "one fact" 1 (Instance.fact_count r.Chase.instance)
+
+let test_multiple_tgds_interaction () =
+  let sigma = [ tgd "P(x) -> exists z. E(x,z)."; tgd "E(x,y) -> T(y)." ] in
+  let i = inst ~schema:s "P(a)." in
+  let r = Chase.restricted sigma i in
+  check_bool "terminated" true (Chase.is_model r);
+  check_int "three facts" 3 (Instance.fact_count r.Chase.instance);
+  check_bool "models all" true (Satisfaction.tgds r.Chase.instance sigma)
+
+let test_recursive_existential_diverges () =
+  (* adding T(x) → P(x) closes a loop through the existential: the chase
+     cannot terminate (the set is not weakly acyclic) *)
+  let sigma =
+    [ tgd "P(x) -> exists z. E(x,z)."; tgd "E(x,y) -> T(y).";
+      tgd "T(x) -> P(x)." ]
+  in
+  check_bool "not weakly acyclic" false (Weak_acyclicity.is_weakly_acyclic sigma);
+  let i = inst ~schema:s "P(a)." in
+  let r = Chase.restricted ~budget:Chase.{ max_rounds = 6; max_facts = 500 } sigma i in
+  check_bool "budget exhausted" true (r.Chase.outcome = Chase.Budget_exhausted)
+
+let test_dl_lite_family_chase () =
+  let sigma = Tgd_workload.Families.dl_lite_roles 3 in
+  let schema_dl = Tgd_core.Rewrite.schema_of sigma in
+  let a0 = Schema.find schema_dl "A0" |> Option.get in
+  let i = Instance.of_facts schema_dl [ Fact.make a0 [ c "u" ] ] in
+  let r = Chase.restricted sigma i in
+  check_bool "terminated" true (Chase.is_model r);
+  (* chain of length 3: A0, R0, A1, R1, A2, R2, A3 = 7 facts *)
+  check_int "facts" 7 (Instance.fact_count r.Chase.instance)
+
+let suite =
+  [ case "full tgd chase (transitive closure)" test_full_tgd_chase;
+    case "existential chase terminates" test_existential_chase_terminates;
+    case "restricted reuses witnesses" test_restricted_reuses_witnesses;
+    case "oblivious fires anyway" test_oblivious_fires_anyway;
+    case "non-terminating hits budget" test_nonterminating_hits_budget;
+    case "max_facts budget" test_budget_max_facts;
+    case "sound prefix (universality)" test_sound_prefix;
+    case "empty Σ" test_empty_sigma;
+    case "bodiless tgd" test_bodiless_tgd_chase;
+    case "tgd interaction" test_multiple_tgds_interaction;
+    case "recursive existential diverges" test_recursive_existential_diverges;
+    case "DL-Lite family" test_dl_lite_family_chase
+  ]

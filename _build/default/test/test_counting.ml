@@ -1,0 +1,86 @@
+open Tgd_syntax
+open Tgd_core
+open Helpers
+
+let s_rpt = schema [ ("R", 1); ("P", 1); ("T", 1) ]
+let s_e = schema [ ("E", 2) ]
+
+let big = Bigint.to_string
+
+let test_linear_bodies_bound () =
+  (* |S| · n^ar(S): 3 · 1 = 3 for the unary schema at n = 1 *)
+  Alcotest.check Alcotest.string "unary" "3" (big (Counting.linear_bodies_bound s_rpt ~n:1));
+  Alcotest.check Alcotest.string "binary" "4" (big (Counting.linear_bodies_bound s_e ~n:2))
+
+let test_heads_bound () =
+  (* 2^(|S|·(n+m)^ar): unary schema, n=1, m=0: 2^3 = 8 *)
+  Alcotest.check Alcotest.string "unary heads" "8" (big (Counting.heads_bound s_rpt ~n:1 ~m:0));
+  Alcotest.check Alcotest.string "binary heads" "16" (big (Counting.heads_bound s_e ~n:1 ~m:1))
+
+let test_bounds_dominate_enumeration () =
+  (* the paper's counting formulas really are upper bounds on the
+     (canonically deduplicated) enumeration *)
+  let caps = Candidates.{ max_body_atoms = 10; max_head_atoms = 10; keep_tautologies = true } in
+  let check_schema schema n m =
+    (* the paper's bodies × heads product counts tgds with a body atom; our
+       enumerator additionally emits bodiless tgds [→ ∃z̄ψ], which the
+       printed formula does not cover — exclude them from the comparison *)
+    let enumerated =
+      Candidates.count
+        (Seq.filter
+           (fun t -> Tgd.body t <> [])
+           (Candidates.linear ~caps schema ~n ~m))
+    in
+    let bound = Counting.linear_candidates_bound schema ~n ~m in
+    check_bool
+      (Printf.sprintf "enum %d ≤ bound %s" enumerated (big bound))
+      true
+      (Bigint.compare (Bigint.of_int enumerated) bound <= 0)
+  in
+  check_schema s_rpt 1 0;
+  check_schema s_rpt 1 1;
+  check_schema s_e 1 1;
+  check_schema s_e 2 0
+
+let test_guarded_bound_dominates () =
+  let caps = Candidates.{ max_body_atoms = 10; max_head_atoms = 10; keep_tautologies = true } in
+  let enumerated = Candidates.count (Candidates.guarded ~caps s_rpt ~n:1 ~m:0) in
+  let bound = Counting.guarded_candidates_bound s_rpt ~n:1 ~m:0 in
+  check_bool "guarded ≤ bound" true
+    (Bigint.compare (Bigint.of_int enumerated) bound <= 0)
+
+let test_exact_atom_count () =
+  check_int "unary" 3 (Counting.exact_atom_count s_rpt ~vars:1);
+  check_int "binary 2 vars" 4 (Counting.exact_atom_count s_e ~vars:2);
+  let mixed = schema [ ("R", 2); ("P", 1) ] in
+  check_int "mixed" (4 + 2) (Counting.exact_atom_count mixed ~vars:2)
+
+let test_growth_shape () =
+  (* double exponential in arity: bounds for ar = 1, 2, 3 explode *)
+  let bounds =
+    List.map
+      (fun ar ->
+        Counting.guarded_candidates_bound (schema [ ("R", ar) ]) ~n:3 ~m:1)
+      [ 1; 2; 3 ]
+  in
+  match bounds with
+  | [ b1; b2; b3 ] ->
+    check_bool "monotone" true (Bigint.compare b1 b2 < 0 && Bigint.compare b2 b3 < 0);
+    check_bool "digits explode" true
+      (Bigint.digits b3 > 3 * Bigint.digits b2)
+  | _ -> assert false
+
+let test_tgd_size_bound () =
+  (* ar(S) · |S| · (n+m)^ar(S) *)
+  Alcotest.check Alcotest.string "size bound" "18"
+    (big (Counting.tgd_size_bound s_e ~n:2 ~m:1))
+
+let suite =
+  [ case "linear bodies bound" test_linear_bodies_bound;
+    case "heads bound" test_heads_bound;
+    case "bound dominates enumeration (linear)" test_bounds_dominate_enumeration;
+    case "bound dominates enumeration (guarded)" test_guarded_bound_dominates;
+    case "exact atom count" test_exact_atom_count;
+    case "double-exponential growth shape" test_growth_shape;
+    case "tgd size bound" test_tgd_size_bound
+  ]

@@ -1,0 +1,120 @@
+open Tgd_syntax
+open Tgd_chase
+open Helpers
+
+let s = schema [ ("Emp", 2); ("Dept", 1); ("WorksIn", 2); ("HasMgr", 2) ]
+
+(* a small OMQA setup: every employee works in some department; every
+   department has a manager who is an employee of it *)
+let sigma =
+  tgds
+    "Emp(x,d) -> WorksIn(x,d), Dept(d).\n\
+     Dept(d) -> exists m. HasMgr(d,m), WorksIn(m,d)."
+
+let db = inst ~schema:s "Emp(ann,cs). Emp(bob,math)."
+
+let test_boolean_certain () =
+  check_answer "∃ manager of cs" Entailment.Proved
+    (Cq.certain_boolean sigma db
+       [ Atom.make (Relation.make "HasMgr" 2)
+           [ Term.const (c "cs"); Term.var (v "m") ] ]);
+  check_answer "nobody manages ann's dept by name" Entailment.Disproved
+    (Cq.certain_boolean sigma db
+       [ Atom.make (Relation.make "HasMgr" 2)
+           [ Term.const (c "cs"); Term.const (c "bob") ] ])
+
+let test_certain_answers () =
+  let q =
+    Cq.make [ v "x"; v "d" ]
+      [ Atom.of_vars (Relation.make "WorksIn" 2) [ v "x"; v "d" ] ]
+  in
+  let answers, precision = Cq.certain_answers sigma db q in
+  check_bool "exact" true (precision = `Exact);
+  (* only database constants: ann/cs, bob/math (managers are nulls) *)
+  check_int "two answers" 2 (List.length answers);
+  check_bool "ann works in cs" true
+    (List.mem [ c "ann"; c "cs" ] answers)
+
+let test_query_head_validation () =
+  Alcotest.check_raises "head var must occur"
+    (Invalid_argument "Cq.make: head variable not in query body") (fun () ->
+      ignore (Cq.make [ v "q" ] [ Atom.of_vars (Relation.make "Dept" 1) [ v "d" ] ]))
+
+let test_lower_bound_precision () =
+  let looping = [ tgd "E(x,y) -> exists z. E(y,z)." ] in
+  let se = schema [ ("E", 2) ] in
+  let dbe = inst ~schema:se "E(a,b)." in
+  let q = Cq.make [ v "x" ] [ Atom.of_vars (Relation.make "E" 2) [ v "x"; v "y" ] ] in
+  let answers, precision =
+    Cq.certain_answers ~budget:Chase.{ max_rounds = 4; max_facts = 50 } looping dbe q
+  in
+  check_bool "lower bound flagged" true (precision = `Lower_bound);
+  check_bool "a is certain" true (List.mem [ c "a" ] answers)
+
+let e2 = Relation.make "E" 2
+
+let q head atoms = Cq.make head atoms
+
+let test_containment () =
+  (* path-2 ⊆ path-1 (projection): answers x with an outgoing 2-path are
+     answers with an outgoing edge *)
+  let p1 = q [ v "x" ] [ Atom.of_vars e2 [ v "x"; v "y" ] ] in
+  let p2 =
+    q [ v "x" ]
+      [ Atom.of_vars e2 [ v "x"; v "y" ]; Atom.of_vars e2 [ v "y"; v "z" ] ]
+  in
+  check_bool "p2 ⊆ p1" true (Cq.contained p2 p1);
+  check_bool "p1 ⊄ p2" false (Cq.contained p1 p2);
+  check_bool "reflexive" true (Cq.contained p1 p1);
+  (* loop query ⊆ edge query *)
+  let loop = q [ v "x" ] [ Atom.of_vars e2 [ v "x"; v "x" ] ] in
+  check_bool "loop ⊆ edge" true (Cq.contained loop p1);
+  check_bool "edge ⊄ loop" false (Cq.contained p1 loop)
+
+let test_equivalence_modulo_redundancy () =
+  (* adding a redundant (foldable) atom keeps the query equivalent *)
+  let q1 = q [ v "x" ] [ Atom.of_vars e2 [ v "x"; v "y" ] ] in
+  let q2 =
+    q [ v "x" ]
+      [ Atom.of_vars e2 [ v "x"; v "y" ]; Atom.of_vars e2 [ v "x"; v "w" ] ]
+  in
+  check_bool "equivalent" true (Cq.equivalent_queries q1 q2)
+
+let test_containment_head_arity () =
+  let q1 = q [ v "x" ] [ Atom.of_vars e2 [ v "x"; v "y" ] ] in
+  let q0 = Cq.boolean [ Atom.of_vars e2 [ v "x"; v "y" ] ] in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Cq.contained: head arities differ") (fun () ->
+      ignore (Cq.contained q1 q0))
+
+let test_repeated_head_vars () =
+  (* the diagonal query is contained in the general one, but not vice
+     versa: pinning the repeated head variable (x,x) onto the two distinct
+     frozen images of (u,w) must fail *)
+  let diag = q [ v "x"; v "x" ] [ Atom.of_vars e2 [ v "x"; v "x" ] ] in
+  let general = q [ v "u"; v "w" ] [ Atom.of_vars e2 [ v "u"; v "w" ] ] in
+  check_bool "diag ⊆ general" true (Cq.contained diag general);
+  check_bool "general ⊄ diag" false (Cq.contained general diag)
+
+let test_body_acyclic () =
+  check_bool "path acyclic" true
+    (Cq.body_acyclic
+       (Cq.boolean
+          [ Atom.of_vars e2 [ v "x"; v "y" ]; Atom.of_vars e2 [ v "y"; v "z" ] ]));
+  check_bool "triangle cyclic" false
+    (Cq.body_acyclic
+       (Cq.boolean
+          [ Atom.of_vars e2 [ v "x"; v "y" ]; Atom.of_vars e2 [ v "y"; v "z" ];
+            Atom.of_vars e2 [ v "z"; v "x" ] ]))
+
+let suite =
+  [ case "boolean certain answers" test_boolean_certain;
+    case "certain answers over db constants" test_certain_answers;
+    case "query validation" test_query_head_validation;
+    case "budget-limited precision" test_lower_bound_precision;
+    case "containment (homomorphism theorem)" test_containment;
+    case "equivalence modulo redundancy" test_equivalence_modulo_redundancy;
+    case "containment arity check" test_containment_head_arity;
+    case "repeated head variables" test_repeated_head_vars;
+    case "body acyclicity" test_body_acyclic
+  ]

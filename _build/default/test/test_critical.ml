@@ -1,0 +1,69 @@
+open Tgd_syntax
+open Tgd_instance
+open Helpers
+
+let s = schema [ ("R", 2); ("P", 1) ]
+
+let test_make () =
+  let k3 = Critical.make s 3 in
+  check_int "dom" 3 (Instance.dom_size k3);
+  check_int "facts" (9 + 3) (Instance.fact_count k3);
+  check_bool "is critical" true (Critical.is_critical k3);
+  Alcotest.check_raises "k positive"
+    (Invalid_argument "Critical.make: k must be positive") (fun () ->
+      ignore (Critical.make s 0))
+
+let test_paper_example () =
+  (* the 2-critical {R}-instance of Section 3.1 *)
+  let sr = schema [ ("R", 2) ] in
+  let k2 = Critical.over sr [ c "c"; c "d" ] in
+  check_int "four facts" 4 (Instance.fact_count k2);
+  List.iter
+    (fun (x, y) ->
+      check_bool "has fact" true
+        (Instance.mem k2 (Fact.make (Relation.make "R" 2) [ x; y ])))
+    [ (c "c", c "c"); (c "c", c "d"); (c "d", c "c"); (c "d", c "d") ]
+
+let test_is_critical_negative () =
+  check_bool "missing tuple" false
+    (Critical.is_critical (inst ~schema:s "R(a,b). R(b,a). P(a). P(b)."));
+  check_bool "empty not critical" false
+    (Critical.is_critical (Instance.empty s))
+
+let test_containing () =
+  let facts = [ Fact.make (Relation.make "R" 2) [ c "a"; c "b" ] ] in
+  let k = Critical.containing s facts in
+  check_bool "contains facts" true
+    (Instance.subset (Instance.of_facts s facts) k);
+  check_bool "critical" true (Critical.is_critical k);
+  check_int "minimal domain" 2 (Instance.dom_size k)
+
+let test_critical_models_everything () =
+  (* Lemma 3.2 on specific tgds, including existential heads *)
+  let sigma =
+    [ tgd "R(x,y) -> exists z. R(y,z)."; tgd "R(x,y), P(x) -> P(y).";
+      tgd "P(x) -> R(x,x)."; tgd "-> exists z. P(z)." ]
+  in
+  List.iter
+    (fun k ->
+      let inst = Critical.make s k in
+      List.iter
+        (fun t -> check_bool "critical models tgd" true (Satisfaction.tgd inst t))
+        sigma)
+    [ 1; 2; 3 ]
+
+let test_zero_ary_relation () =
+  let s0 = schema [ ("Aux", 0); ("P", 1) ] in
+  let k = Critical.make s0 2 in
+  check_bool "0-ary fact present" true
+    (Instance.mem k (Fact.make (Relation.make "Aux" 0) []));
+  check_bool "critical" true (Critical.is_critical k)
+
+let suite =
+  [ case "make" test_make;
+    case "paper example (2-critical)" test_paper_example;
+    case "negative cases" test_is_critical_negative;
+    case "containing" test_containing;
+    case "critical models every tgd (Lemma 3.2)" test_critical_models_everything;
+    case "0-ary relations" test_zero_ary_relation
+  ]

@@ -1,0 +1,80 @@
+open Tgd_syntax
+open Tgd_instance
+open Helpers
+
+let s = schema [ ("E", 2) ]
+let i = inst ~schema:s "E(a,b). E(b,a)."
+let k = Instance.induced i (Constant.set_of_list [ c "a"; c "b" ])
+
+let exact = Tgd_instance.Diagram.{ max_atoms = None }
+
+let test_atomic_formulas () =
+  (* atoms over {a,b} and 1 star variable: 3^2 = 9 *)
+  check_int "A_{K,1}" 9
+    (List.length
+       (Diagram.atomic_formulas s (Constant.set_of_list [ c "a"; c "b" ]) 1));
+  check_int "A_{K,0}" 4
+    (List.length
+       (Diagram.atomic_formulas s (Constant.set_of_list [ c "a"; c "b" ]) 0))
+
+let test_lemma_4_3 () =
+  (* Lemma 4.3: I ⊨ ∃x̄ Φ^I_{K,ℓ}(x̄) for K ≤ I *)
+  check_bool "Lemma 4.3 (m=0)" true (Diagram.lemma_4_3_holds ~filter:exact ~k ~i ~m:0 ());
+  check_bool "Lemma 4.3 (m=1)" true (Diagram.lemma_4_3_holds ~filter:exact ~k ~i ~m:1 ());
+  let k_small = Instance.induced i (Constant.Set.singleton (c "a")) in
+  check_bool "Lemma 4.3 on empty K" true
+    (Diagram.lemma_4_3_holds ~filter:exact ~k:k_small ~i ~m:1 ())
+
+let test_violated_conjuncts () =
+  (* E(a,a) fails in I; E(a,b) holds *)
+  let violated =
+    Diagram.violated_conjuncts ~filter:exact i
+      (Constant.set_of_list [ c "a"; c "b" ])
+      0
+  in
+  let contains_atoms atoms =
+    List.exists
+      (fun gamma -> List.for_all (fun x -> List.exists (Atom.equal x) gamma) atoms
+                    && List.length gamma = List.length atoms)
+      violated
+  in
+  let e = Relation.make "E" 2 in
+  let ea_a = Atom.make e [ Term.const (c "a"); Term.const (c "a") ] in
+  let ea_b = Atom.make e [ Term.const (c "a"); Term.const (c "b") ] in
+  check_bool "E(a,a) violated" true (contains_atoms [ ea_a ]);
+  check_bool "E(a,b) not violated alone" false (contains_atoms [ ea_b ])
+
+let test_claim_4_6_edd_shape () =
+  match Diagram.claim_4_6_edd ~filter:exact ~k ~i ~m:0 () with
+  | None -> Alcotest.fail "expected an edd"
+  | Some d ->
+    (* body = facts(K) renamed; here K = I so 2 body atoms *)
+    check_int "body size" 2 (List.length (Edd.body d));
+    check_int "n = |dom K|" 2 (Edd.n_universal d);
+    check_bool "within E_{2,0}" true (Edd.in_e_nm ~n:2 ~m:0 d);
+    (* δ ≡ ¬∃x̄Φ and Lemma 4.3 gives I ⊨ ∃x̄Φ, so I ⊭ δ *)
+    check_bool "I violates its own diagram edd" false (Satisfaction.edd i d)
+
+let test_diagram_distinguishes () =
+  (* J = single loop E(c,c): satisfies the edd (cannot embed the 2-cycle
+     with a≠b) *)
+  match Diagram.claim_4_6_edd ~filter:exact ~k ~i ~m:0 () with
+  | None -> Alcotest.fail "expected an edd"
+  | Some d ->
+    let j_loop = inst ~schema:s "E(q,q)." in
+    check_bool "loop satisfies δ (collapses a=b)" true (Satisfaction.edd j_loop d);
+    let j_iso = inst ~schema:s "E(u,w). E(w,u)." in
+    check_bool "isomorphic copy falsifies δ" false (Satisfaction.edd j_iso d)
+
+let test_star_vars_distinct_from_const_vars () =
+  check_bool "star var" true
+    (Variable.name (Diagram.star_var 1) <> Variable.name (Diagram.const_var (c "a")))
+
+let suite =
+  [ case "atomic formulas count" test_atomic_formulas;
+    case "Lemma 4.3" test_lemma_4_3;
+    case "violated conjuncts" test_violated_conjuncts;
+    case "Claim 4.6 edd shape" test_claim_4_6_edd_shape;
+    case "diagram edd distinguishes" test_diagram_distinguishes;
+    case "variable pools distinct" test_star_vars_distinct_from_const_vars
+  ]

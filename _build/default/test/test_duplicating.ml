@@ -1,0 +1,86 @@
+open Tgd_syntax
+open Tgd_instance
+open Helpers
+
+(* Example 5.2 data *)
+let sigma52, i52 = Tgd_workload.Families.example_5_2
+let a = c "a"
+let cc = c "c"
+
+let test_oblivious_shape () =
+  (* J = I ∪ h(I) with h(a) = c: the paper's oblivious extension *)
+  let j = Duplicating.oblivious i52 a cc in
+  check_int "dom" 3 (Instance.dom_size j);
+  List.iter
+    (fun f -> check_bool ("has " ^ f) true (Instance.mem j (List.hd (Tgd_parse.Parse.instance_exn ~schema:(Instance.schema i52) (f ^ ".") |> Instance.fact_list))))
+    [ "R(a,b)"; "S(b,a)"; "T(a,a)"; "R(c,b)"; "S(b,c)"; "T(c,c)" ];
+  (* crucially, T(a,c) and T(c,a) are NOT there *)
+  check_bool "no T(a,c)" false
+    (Instance.mem j (Fact.make (Relation.make "T" 2) [ a; cc ]));
+  check_int "fact count" 6 (Instance.fact_count j)
+
+let test_example_5_2_refutes_mv_lemma_7 () =
+  (* I ⊨ σ but the oblivious duplicating extension J ⊭ σ *)
+  check_bool "I models σ" true (Satisfaction.tgds i52 sigma52);
+  let j = Duplicating.oblivious i52 a cc in
+  check_bool "oblivious J violates σ" false (Satisfaction.tgds j sigma52)
+
+let test_non_oblivious_shape () =
+  let j = Duplicating.non_oblivious i52 a cc in
+  (* the paper's "valid duplicating extension": adds R(c,b), S(b,c),
+     T(a,c), T(c,a), T(c,c) *)
+  List.iter
+    (fun (r, t) ->
+      check_bool "expected fact" true (Instance.mem j (Fact.make (Relation.make r 2) t)))
+    [ ("R", [ a; c "b" ]); ("S", [ c "b"; a ]); ("T", [ a; a ]);
+      ("R", [ cc; c "b" ]); ("S", [ c "b"; cc ]); ("T", [ a; cc ]);
+      ("T", [ cc; a ]); ("T", [ cc; cc ]) ]
+
+let test_non_oblivious_preserves_tgds () =
+  let j = Duplicating.non_oblivious i52 a cc in
+  check_bool "non-oblivious J models σ" true (Satisfaction.tgds j sigma52)
+
+let test_recognition () =
+  let j = Duplicating.non_oblivious i52 a cc in
+  check_bool "recognized" true (Duplicating.is_non_oblivious_of j i52);
+  let j_bad = Duplicating.oblivious i52 a cc in
+  check_bool "oblivious not recognized as non-oblivious" false
+    (Duplicating.is_non_oblivious_of j_bad i52);
+  check_bool "unrelated instance" false (Duplicating.is_non_oblivious_of i52 i52)
+
+let test_defining_condition () =
+  (* R(t̄) ∈ J iff h(R(t̄)) ∈ I for every tuple over dom(I) ∪ {d} *)
+  let j = Duplicating.non_oblivious i52 a cc in
+  let h x = if Constant.equal x cc then a else x in
+  let domain = Constant.Set.elements (Instance.dom j) in
+  List.iter
+    (fun r ->
+      Combinat.tuples domain (Relation.arity r)
+      |> Seq.iter (fun tuple ->
+             let f = Fact.make r tuple in
+             check_bool "defining condition" (Instance.mem i52 (Fact.map h f))
+               (Instance.mem j f)))
+    (Schema.relations (Instance.schema i52))
+
+let test_validation () =
+  Alcotest.check_raises "c must be in dom"
+    (Invalid_argument "Duplicating: witness constant not in the domain")
+    (fun () -> ignore (Duplicating.oblivious i52 (c "zz") cc));
+  Alcotest.check_raises "d must be fresh"
+    (Invalid_argument "Duplicating: fresh constant already in the domain")
+    (fun () -> ignore (Duplicating.oblivious i52 a (c "b")))
+
+let test_fresh_for () =
+  let d = Duplicating.fresh_for i52 in
+  check_bool "fresh" false (Constant.Set.mem d (Instance.dom i52))
+
+let suite =
+  [ case "oblivious shape (paper Example 5.2 J)" test_oblivious_shape;
+    case "Example 5.2 refutes MV Lemma 7" test_example_5_2_refutes_mv_lemma_7;
+    case "non-oblivious shape" test_non_oblivious_shape;
+    case "non-oblivious preserves full tgds" test_non_oblivious_preserves_tgds;
+    case "recognition" test_recognition;
+    case "defining condition" test_defining_condition;
+    case "validation" test_validation;
+    case "fresh_for" test_fresh_for
+  ]

@@ -1,0 +1,118 @@
+open Tgd_syntax
+open Tgd_chase
+open Helpers
+
+let test_basic_entailment () =
+  let sigma = [ tgd "E(x,y) -> F(x,y)."; tgd "F(x,y) -> G(x,y)." ] in
+  check_answer "transitive" Entailment.Proved
+    (Entailment.entails sigma (tgd "E(x,y) -> G(x,y)."));
+  check_answer "converse fails" Entailment.Disproved
+    (Entailment.entails sigma (tgd "G(x,y) -> E(x,y)."));
+  check_answer "self" Entailment.Proved
+    (Entailment.entails sigma (tgd "E(x,y) -> F(x,y)."))
+
+let test_tautologies () =
+  check_answer "identity tautology" Entailment.Proved
+    (Entailment.entails [] (tgd "E(x,y) -> E(x,y)."));
+  check_answer "projection tautology" Entailment.Proved
+    (Entailment.entails [] (tgd "E(x,y), E(y,x) -> E(x,y)."));
+  check_answer "existential weakening" Entailment.Proved
+    (Entailment.entails [] (tgd "E(x,y) -> exists z. E(x,z)."));
+  check_answer "not a tautology" Entailment.Disproved
+    (Entailment.entails [] (tgd "E(x,y) -> E(y,x)."))
+
+let test_existential_entailment () =
+  let sigma = [ tgd "P(x) -> exists z. E(x,z), P(z)." ] in
+  (* one chase round only produces E(fx,n1), P(n1); the two-step pattern is
+     not yet visible and the chase is not finished, so the answer is open *)
+  check_answer "unfold twice" Entailment.Unknown
+    (Entailment.entails
+       ~budget:Chase.{ max_rounds = 1; max_facts = 100 }
+       sigma
+       (tgd "P(x) -> exists z,w. E(x,z), E(z,w)."))
+
+let test_existential_entailment_proved () =
+  let sigma = [ tgd "P(x) -> exists z. E(x,z), P(z)." ] in
+  check_answer "unfold twice (enough budget)" Entailment.Proved
+    (Entailment.entails
+       ~budget:Chase.{ max_rounds = 3; max_facts = 100 }
+       sigma
+       (tgd "P(x) -> exists z,w. E(x,z), E(z,w)."))
+
+let test_frontier_matters () =
+  let sigma = [ tgd "E(x,y) -> exists z. E(x,z)." ] in
+  (* σ gives SOME successor but not the named one *)
+  check_answer "cannot pin witness" Entailment.Disproved
+    (Entailment.entails sigma (tgd "E(x,y) -> E(x,y), E(y,y)."))
+
+let test_guarded_saturation_example () =
+  let sigma = Tgd_workload.Families.guarded_rewritable 1 in
+  check_answer "R → T" Entailment.Proved
+    (Entailment.entails sigma (tgd "R0(x,y) -> T0(x)."));
+  check_answer "R → P" Entailment.Proved
+    (Entailment.entails sigma (tgd "R0(x,y) -> P0(x)."));
+  check_answer "P alone insufficient" Entailment.Disproved
+    (Entailment.entails sigma (tgd "P0(x) -> T0(x)."))
+
+let test_entails_set_and_equiv () =
+  let sigma = Tgd_workload.Families.guarded_rewritable 1 in
+  let sigma' = Tgd_workload.Families.guarded_rewritable_expected 1 in
+  check_answer "Σ ⊨ Σ'" Entailment.Proved (Entailment.entails_set sigma sigma');
+  check_answer "Σ' ⊨ Σ" Entailment.Proved (Entailment.entails_set sigma' sigma);
+  check_answer "equivalent" Entailment.Proved (Entailment.equivalent sigma sigma');
+  let weaker = [ tgd "R0(x,y) -> P0(x)." ] in
+  check_answer "strictly weaker" Entailment.Disproved
+    (Entailment.equivalent sigma weaker)
+
+let test_unknown_on_nonterminating () =
+  let sigma = [ tgd "E(x,y) -> exists z. E(y,z)." ] in
+  (* the goal is genuinely not entailed, but the chase cannot terminate to
+     prove it — three-valued honesty *)
+  check_answer "unknown" Entailment.Unknown
+    (Entailment.entails
+       ~budget:Chase.{ max_rounds = 8; max_facts = 200 }
+       sigma
+       (tgd "E(x,y) -> F(x,y)."))
+
+let test_egd_entailment () =
+  let e = Relation.make "E" 2 in
+  let trivial = Egd.make ~body:[ Atom.of_vars e [ v "x"; v "x" ] ] (v "x") (v "x") in
+  let nontrivial = Egd.make ~body:[ Atom.of_vars e [ v "x"; v "y" ] ] (v "x") (v "y") in
+  check_answer "trivial" Entailment.Proved (Entailment.entails_egd [] trivial);
+  check_answer "tgds never force equality" Entailment.Disproved
+    (Entailment.entails_egd [ tgd "E(x,y) -> E(y,x)." ] nontrivial)
+
+let test_entailed_subset () =
+  let sigma = [ tgd "E(x,y) -> F(x,y)." ] in
+  let yes, no =
+    Entailment.entailed_subset sigma
+      [ tgd "E(x,y) -> F(x,y)."; tgd "E(x,y) -> exists z. F(x,z).";
+        tgd "F(x,y) -> E(x,y)." ]
+  in
+  check_int "entailed" 2 (List.length yes);
+  check_int "rest" 1 (List.length no)
+
+let test_freeze () =
+  let atoms = [ Atom.of_vars (Relation.make "E" 2) [ v "x"; v "y" ] ] in
+  let b = Entailment.freeze atoms in
+  check_int "binds both" 2 (Binding.cardinal b);
+  check_bool "injective" true (Binding.is_injective b);
+  (* a second freeze is name-apart *)
+  let b2 = Entailment.freeze atoms in
+  check_bool "name-apart"
+    true
+    (Constant.Set.is_empty (Constant.Set.inter (Binding.range b) (Binding.range b2)))
+
+let suite =
+  [ case "basic entailment" test_basic_entailment;
+    case "tautologies" test_tautologies;
+    case "insufficient budget is unknown" test_existential_entailment;
+    case "sufficient budget proves" test_existential_entailment_proved;
+    case "frontier matters" test_frontier_matters;
+    case "guarded example" test_guarded_saturation_example;
+    case "set entailment / equivalence" test_entails_set_and_equiv;
+    case "unknown on non-terminating chase" test_unknown_on_nonterminating;
+    case "egd entailment" test_egd_entailment;
+    case "entailed subset" test_entailed_subset;
+    case "freezing" test_freeze
+  ]

@@ -1,0 +1,67 @@
+open Tgd_syntax
+open Tgd_instance
+open Tgd_core
+open Helpers
+
+let s1 = schema [ ("P", 1) ]
+let s2 = schema [ ("E", 2) ]
+
+let test_counts () =
+  (* one unary relation, k elements: 2^k instances *)
+  check_int "P/1 over 2" 4 (Combinat.seq_length (Enumerate.instances s1 ~dom_size:2));
+  check_int "E/2 over 2" 16 (Combinat.seq_length (Enumerate.instances s2 ~dom_size:2));
+  Alcotest.check Alcotest.string "count formula" "16"
+    (Bigint.to_string (Enumerate.count s2 2));
+  (* up-to: 1 + 2 + 16 for E/2 (k = 0, 1, 2) *)
+  check_int "up to 2" (1 + 2 + 16)
+    (Combinat.seq_length (Enumerate.instances_up_to s2 2))
+
+let test_every_instance_distinct () =
+  let l = List.of_seq (Enumerate.instances s2 ~dom_size:2) in
+  check_int "no duplicates" (List.length l)
+    (List.length (List.sort_uniq Instance.compare l))
+
+let test_dom_is_fixed () =
+  Enumerate.instances s2 ~dom_size:2
+  |> Seq.iter (fun i -> check_int "dom fixed" 2 (Instance.dom_size i))
+
+let test_models_filter () =
+  let sigma = [ tgd "E(x,y) -> E(y,x)." ] in
+  let all = Combinat.seq_length (Enumerate.instances s2 ~dom_size:2) in
+  let models = Combinat.seq_length (Enumerate.models sigma s2 ~dom_size:2) in
+  (* symmetric subsets of a 2x2 matrix: diagonal free (2 bits), off-diagonal
+     pair tied (1 bit) → 8 *)
+  check_int "symmetric count" 8 models;
+  check_bool "strictly fewer" true (models < all)
+
+let test_critical_is_enumerated () =
+  let has_critical =
+    Enumerate.instances s2 ~dom_size:2
+    |> Seq.exists (fun i -> Critical.is_critical i)
+  in
+  check_bool "critical member" true has_critical
+
+let test_subinstances_le () =
+  let i = inst ~schema:s2 "E(a,b). E(b,c)." in
+  let subs = List.of_seq (Enumerate.subinstances_le i ~max_adom:2) in
+  (* subsets of {a,b,c} of size ≤ 2: ∅,{a},{b},{c},{a,b},{a,c},{b,c} = 7 *)
+  check_int "seven" 7 (List.length subs);
+  List.iter
+    (fun k ->
+      check_bool "each ≤ I" true
+        (Instance.is_induced_subinstance k i))
+    subs
+
+let test_all_facts () =
+  check_int "all facts" 4
+    (List.length (Enumerate.all_facts s2 (Enumerate.canonical_domain 2)))
+
+let suite =
+  [ case "cardinalities" test_counts;
+    case "instances distinct" test_every_instance_distinct;
+    case "domains fixed" test_dom_is_fixed;
+    case "model filtering" test_models_filter;
+    case "critical enumerated" test_critical_is_enumerated;
+    case "subinstances (≤)" test_subinstances_le;
+    case "all facts" test_all_facts
+  ]

@@ -1,0 +1,96 @@
+open Tgd_syntax
+open Tgd_core
+open Helpers
+
+let small_config =
+  Rewrite.
+    { default_config with
+      caps =
+        Candidates.
+          { max_body_atoms = 2; max_head_atoms = 1; keep_tautologies = false }
+    }
+
+let find_class report cls =
+  List.find
+    (fun cs -> cs.Expressibility.cls = cls)
+    report.Expressibility.classes
+
+let semantic_expressible cs =
+  match cs.Expressibility.semantic with
+  | Some (Rewrite.Rewritable _) -> true
+  | _ -> false
+
+let semantic_definitive_no cs =
+  match cs.Expressibility.semantic with
+  | Some (Rewrite.Not_rewritable { complete; _ }) -> complete
+  | _ -> false
+
+let test_guarded_rewritable_diagnosis () =
+  let report =
+    Expressibility.diagnose ~config:small_config
+      (Tgd_workload.Families.guarded_rewritable 1)
+  in
+  check_int "n" 2 report.Expressibility.n;
+  check_int "m" 0 report.Expressibility.m;
+  check_bool "wa" true report.Expressibility.weakly_acyclic;
+  let lin = find_class report Tgd_class.Linear in
+  check_bool "not syntactically linear" false lin.Expressibility.syntactic;
+  check_bool "semantically linear" true (semantic_expressible lin);
+  let full = find_class report Tgd_class.Full in
+  check_bool "syntactically full" true full.Expressibility.syntactic;
+  check_bool "property profile all-true" true
+    (report.Expressibility.profile.Expressibility.critical
+    && report.Expressibility.profile.Expressibility.product_closed)
+
+let test_separation_diagnosis () =
+  let sigma, _ = Tgd_workload.Families.separation_linear_vs_guarded in
+  (* the unary schema is tiny: heads up to 3 atoms make G-to-L exhaustive,
+     so the negative linear verdict is definitive *)
+  let config =
+    Rewrite.
+      { default_config with
+        caps =
+          Candidates.
+            { max_body_atoms = 4; max_head_atoms = 3; keep_tautologies = false }
+      }
+  in
+  let report = Expressibility.diagnose ~config sigma in
+  let lin = find_class report Tgd_class.Linear in
+  check_bool "definitively not linear" true (semantic_definitive_no lin);
+  let g = find_class report Tgd_class.Guarded in
+  check_bool "guarded syntactically" true g.Expressibility.syntactic;
+  check_bool "guarded semantically" true (semantic_expressible g);
+  (* the profile shows the union-closure failure that blocks linearity *)
+  check_bool "not ∪-closed" false
+    report.Expressibility.profile.Expressibility.union_closed
+
+let test_plain_tgd_diagnosis () =
+  (* transitive closure: no rewriting attempted for linear/guarded (not in
+     the prerequisite class), full is syntactic *)
+  let report =
+    Expressibility.diagnose ~config:small_config
+      Tgd_workload.Families.transitive_closure
+  in
+  let lin = find_class report Tgd_class.Linear in
+  check_bool "g2l not attempted" true (lin.Expressibility.semantic = None);
+  let fg = find_class report Tgd_class.Frontier_guarded in
+  check_bool "not syntactically fg" false fg.Expressibility.syntactic;
+  let full = find_class report Tgd_class.Full in
+  check_bool "full syntactic" true full.Expressibility.syntactic;
+  check_bool "full expressible (itself)" true (semantic_expressible full)
+
+let test_report_prints () =
+  let report =
+    Expressibility.diagnose ~config:small_config
+      [ tgd "E(x,y) -> exists z. E(y,z)." ]
+  in
+  let rendered = Fmt.str "%a" Expressibility.pp_report report in
+  check_bool "mentions the class lattice" true
+    (String.length rendered > 50)
+
+let suite =
+  [ case "guarded_rewritable" test_guarded_rewritable_diagnosis;
+    case "separation set" test_separation_diagnosis;
+    case "plain tgd (TC)" test_plain_tgd_diagnosis;
+    case "report printing" test_report_prints
+  ]

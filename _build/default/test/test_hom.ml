@@ -1,0 +1,111 @@
+open Tgd_syntax
+open Tgd_instance
+open Helpers
+
+let s2 = schema [ ("E", 2) ]
+let path = inst ~schema:s2 "E(a,b). E(b,c)."
+let cycle = inst ~schema:s2 "E(a,b). E(b,a)."
+let loop = inst ~schema:s2 "E(a,a)."
+let e = Relation.make "E" 2
+
+let test_query_homs () =
+  let atoms = [ Atom.of_vars e [ v "x"; v "y" ]; Atom.of_vars e [ v "y"; v "z" ] ] in
+  check_int "paths of length 2 in path" 1
+    (Combinat.seq_length (Hom.all_homs atoms path));
+  check_int "paths of length 2 in cycle" 2
+    (Combinat.seq_length (Hom.all_homs atoms cycle));
+  check_int "in loop" 1 (Combinat.seq_length (Hom.all_homs atoms loop));
+  check_bool "triangle in path" false
+    (Hom.exists_hom
+       [ Atom.of_vars e [ v "x"; v "y" ]; Atom.of_vars e [ v "y"; v "z" ];
+         Atom.of_vars e [ v "z"; v "x" ] ]
+       path)
+
+let test_partial_hom () =
+  let atoms = [ Atom.of_vars e [ v "x"; v "y" ] ] in
+  let partial = Binding.singleton (v "x") (c "b") in
+  match Hom.find_hom ~partial atoms path with
+  | Some h ->
+    check_bool "x pinned" true (Binding.find (v "x") h = Some (c "b"));
+    check_bool "y forced" true (Binding.find (v "y") h = Some (c "c"))
+  | None -> Alcotest.fail "expected a hom with x=b"
+
+let test_constants_in_atoms () =
+  let a = Atom.make e [ Term.const (c "a"); Term.var (v "y") ] in
+  check_int "constant anchors" 1 (Combinat.seq_length (Hom.all_homs [ a ] path));
+  let bad = Atom.make e [ Term.const (c "c"); Term.var (v "y") ] in
+  check_bool "no fact from c" false (Hom.exists_hom [ bad ] path)
+
+let test_empty_query () =
+  check_int "empty query has the empty hom" 1
+    (Combinat.seq_length (Hom.all_homs [] path))
+
+let test_instance_homs () =
+  (* path folds onto loop *)
+  check_bool "path -> loop" true (Hom.find_instance_hom path loop <> None);
+  check_bool "loop -> path" false (Hom.find_instance_hom loop path <> None);
+  check_bool "path -> cycle" true (Hom.find_instance_hom path cycle <> None);
+  (* no injective hom path -> loop *)
+  check_bool "no injective path -> loop" true
+    (Hom.find_instance_hom ~injective:true path loop = None)
+
+let test_fixed_instance_hom () =
+  let fixed = Constant.Map.singleton (c "a") (c "a") in
+  check_bool "fix a: path -> cycle" true
+    (Hom.find_instance_hom ~fixed path cycle <> None);
+  (* fixing c to c is impossible since c is not in cycle *)
+  let fixed_bad = Constant.Map.singleton (c "c") (c "c") in
+  check_bool "fix c fails" true (Hom.find_instance_hom ~fixed:fixed_bad path cycle = None)
+
+let test_embeds_fixing () =
+  check_bool "embed fixing {a}" true
+    (Hom.embeds_fixing (Constant.Set.singleton (c "a")) path cycle);
+  check_bool "embed fixing {a,b,c} fails" false
+    (Hom.embeds_fixing (Constant.set_of_list [ c "a"; c "b"; c "c" ]) path cycle)
+
+let test_isomorphism () =
+  let cycle' = inst ~schema:s2 "E(u,w). E(w,u)." in
+  check_bool "iso cycles" true (Hom.isomorphic cycle cycle');
+  check_bool "path not iso cycle" false (Hom.isomorphic path cycle);
+  check_bool "not iso loop" false (Hom.isomorphic cycle loop);
+  (* domain size matters even with equal facts *)
+  check_bool "extra dom element breaks iso" false
+    (Hom.isomorphic cycle (Instance.add_dom cycle' (c "spare")));
+  check_bool "iso is reflexive" true (Hom.isomorphic path path)
+
+let test_hom_equivalence () =
+  (* a path of length 2 and a single edge are NOT hom-equivalent (the
+     2-path pattern has no match in ... wait, E(a,b) receives the 2-path
+     via collapsing) *)
+  let edge = inst ~schema:s2 "E(a,b)." in
+  check_bool "edge -> path" true (Hom.find_instance_hom edge path <> None);
+  check_bool "path -/-> edge" true (Hom.find_instance_hom path edge = None);
+  check_bool "not equivalent" false (Hom.hom_equivalent path edge);
+  check_bool "cycle ~ cycle" true (Hom.hom_equivalent cycle cycle)
+
+let test_composition_property () =
+  (* h : path -> cycle, g : cycle -> loop, then g∘h : path -> loop *)
+  match Hom.find_instance_hom path cycle, Hom.find_instance_hom cycle loop with
+  | Some h, Some g ->
+    let compose x =
+      match Constant.Map.find_opt x h with
+      | Some y -> (
+        match Constant.Map.find_opt y g with Some z -> z | None -> y)
+      | None -> x
+    in
+    let image = Instance.map_constants compose path in
+    check_bool "composite is a hom" true (Instance.subset image loop)
+  | _ -> Alcotest.fail "expected homs to exist"
+
+let suite =
+  [ case "query homs" test_query_homs;
+    case "partial homs" test_partial_hom;
+    case "constants in atoms" test_constants_in_atoms;
+    case "empty query" test_empty_query;
+    case "instance homs" test_instance_homs;
+    case "fixed instance homs" test_fixed_instance_hom;
+    case "embeds_fixing" test_embeds_fixing;
+    case "isomorphism" test_isomorphism;
+    case "hom equivalence" test_hom_equivalence;
+    case "hom composition" test_composition_property
+  ]

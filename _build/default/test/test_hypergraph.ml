@@ -1,0 +1,66 @@
+open Tgd_syntax
+open Helpers
+
+let e = Relation.make "E" 2
+let t3 = Relation.make "T" 3
+let atom r vs = Atom.of_vars r (List.map v vs)
+
+let test_basic_shapes () =
+  check_bool "empty" true (Hypergraph.is_acyclic []);
+  check_bool "single atom" true (Hypergraph.is_acyclic [ atom e [ "x"; "y" ] ]);
+  check_bool "path" true
+    (Hypergraph.is_acyclic [ atom e [ "x"; "y" ]; atom e [ "y"; "z" ] ]);
+  check_bool "star" true
+    (Hypergraph.is_acyclic
+       [ atom e [ "c"; "x" ]; atom e [ "c"; "y" ]; atom e [ "c"; "z" ] ]);
+  check_bool "triangle" false
+    (Hypergraph.is_acyclic
+       [ atom e [ "x"; "y" ]; atom e [ "y"; "z" ]; atom e [ "z"; "x" ] ])
+
+let test_guard_makes_acyclic () =
+  (* a triangle plus a covering guard atom is acyclic (α-acyclicity is not
+     hereditary — the classic subtlety) *)
+  check_bool "guarded triangle" true
+    (Hypergraph.is_acyclic
+       [ atom t3 [ "x"; "y"; "z" ]; atom e [ "x"; "y" ]; atom e [ "y"; "z" ];
+         atom e [ "z"; "x" ] ])
+
+let test_guarded_tgd_bodies_acyclic () =
+  (* guarded tgd bodies are always α-acyclic: the guard is a universal ear *)
+  let st = Tgd_workload.Gen.rng 23 in
+  let schema = Tgd_workload.Gen.random_schema st ~relations:3 ~max_arity:3 in
+  for _ = 1 to 30 do
+    let g = Tgd_workload.Gen.random_guarded_tgd st schema ~n:3 ~m:1 ~body_atoms:3 in
+    check_bool "guarded body acyclic" true (Hypergraph.is_acyclic (Tgd.body g))
+  done
+
+let test_residual () =
+  let triangle =
+    [ atom e [ "x"; "y" ]; atom e [ "y"; "z" ]; atom e [ "z"; "x" ] ]
+  in
+  check_int "cyclic core has 3 edges" 3
+    (List.length (Hypergraph.gyo_residual triangle));
+  check_int "acyclic residual empty" 0
+    (List.length (Hypergraph.gyo_residual [ atom e [ "x"; "y" ] ]))
+
+let test_duplicates_and_subsumption () =
+  check_bool "duplicate atoms" true
+    (Hypergraph.is_acyclic [ atom e [ "x"; "y" ]; atom e [ "x"; "y" ] ]);
+  check_bool "subsumed edge" true
+    (Hypergraph.is_acyclic
+       [ atom t3 [ "x"; "y"; "z" ]; atom e [ "x"; "y" ] ])
+
+let test_cycle_of_length_4 () =
+  check_bool "4-cycle" false
+    (Hypergraph.is_acyclic
+       [ atom e [ "a"; "b" ]; atom e [ "b"; "c" ]; atom e [ "c"; "d" ];
+         atom e [ "d"; "a" ] ])
+
+let suite =
+  [ case "basic shapes" test_basic_shapes;
+    case "guard restores acyclicity" test_guard_makes_acyclic;
+    case "guarded bodies acyclic (random)" test_guarded_tgd_bodies_acyclic;
+    case "residual" test_residual;
+    case "duplicates and subsumption" test_duplicates_and_subsumption;
+    case "4-cycle" test_cycle_of_length_4
+  ]

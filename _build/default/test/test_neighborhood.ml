@@ -1,0 +1,73 @@
+open Tgd_syntax
+open Tgd_instance
+open Helpers
+
+let s = schema [ ("E", 2) ]
+let j = inst ~schema:s "E(a,b). E(b,c). E(c,d)."
+
+let test_zero_neighbourhood () =
+  let k = inst ~schema:s "E(a,b)." in
+  let nbhd = List.of_seq (Neighborhood.of_instance k j 0) in
+  check_int "only the induced core" 1 (List.length nbhd);
+  let j0 = List.hd nbhd in
+  check_bool "contains K" true (Instance.subset k j0);
+  check_int "adom bounded" 2 (Constant.Set.cardinal (Instance.adom j0))
+
+let test_one_neighbourhood () =
+  let k = inst ~schema:s "E(b,c)." in
+  let nbhd = List.of_seq (Neighborhood.of_instance k j 1) in
+  (* extensions by ∅, {a}, {d}: three induced subinstances *)
+  check_int "three members" 3 (List.length nbhd);
+  List.iter
+    (fun j' ->
+      check_bool "K ⊆ J'" true (Instance.subset k j');
+      check_bool "adom ≤ |F| + 1" true
+        (Constant.Set.cardinal (Instance.adom j') <= 3);
+      check_bool "J' ≤ J" true (Instance.is_induced_subinstance (Instance.active_part j') (Instance.active_part j) || Instance.subset j' j))
+    nbhd
+
+let test_neighbourhood_is_induced () =
+  let k = inst ~schema:s "E(b,c)." in
+  Neighborhood.of_instance k j 2
+  |> Seq.iter (fun j' ->
+         (* each member carries every J-fact over its active domain *)
+         let over_adom =
+           Instance.induced j (Instance.adom j')
+         in
+         check_bool "induced member" true (Instance.equal_facts j' over_adom))
+
+let test_skips_members_losing_f () =
+  (* F = {a, d}: no fact of J mentions both, so members exist only where
+     both stay active; extensions that keep only one of them are skipped *)
+  let f = Constant.set_of_list [ c "a"; c "d" ] in
+  Neighborhood.of_set f j 0
+  |> Seq.iter (fun j' ->
+         check_bool "F ⊆ adom" true (Constant.Set.subset f (Instance.adom j')))
+
+let test_empty_f () =
+  let f = Constant.Set.empty in
+  let members = List.of_seq (Neighborhood.of_set f j 1) in
+  (* ∅ and the four singletons; singleton adoms with no facts collapse to ∅ *)
+  check_bool "has empty member" true
+    (List.exists Instance.is_empty members)
+
+let test_size_bound () =
+  let f = Constant.set_of_list [ c "b" ] in
+  (* |adom \ F| = 3, m = 1: 1 + 3 = 4 candidate extension sets *)
+  check_int "size bound" 4 (Neighborhood.size_bound f j 1);
+  check_int "m = 0" 1 (Neighborhood.size_bound f j 0)
+
+let test_monotone_in_m () =
+  let k = inst ~schema:s "E(b,c)." in
+  let count m = Combinat.seq_length (Neighborhood.of_instance k j m) in
+  check_bool "monotone" true (count 0 <= count 1 && count 1 <= count 2)
+
+let suite =
+  [ case "0-neighbourhood" test_zero_neighbourhood;
+    case "1-neighbourhood" test_one_neighbourhood;
+    case "members are induced" test_neighbourhood_is_induced;
+    case "members keep F active" test_skips_members_losing_f;
+    case "empty F" test_empty_f;
+    case "size bound" test_size_bound;
+    case "monotone in m" test_monotone_in_m
+  ]

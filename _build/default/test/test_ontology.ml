@@ -1,0 +1,82 @@
+open Tgd_syntax
+open Tgd_instance
+open Tgd_core
+open Helpers
+
+let s = schema [ ("E", 2) ]
+let sym = [ tgd "E(x,y) -> E(y,x)." ]
+let o = Ontology.axiomatic ~name:"symmetric" s sym
+
+let test_axiomatic_mem () =
+  check_bool "symmetric in" true (Ontology.mem o (inst ~schema:s "E(a,b). E(b,a)."));
+  check_bool "asymmetric out" false (Ontology.mem o (inst ~schema:s "E(a,b)."));
+  check_bool "empty in" true (Ontology.mem o (Instance.empty s));
+  Alcotest.check Alcotest.(option (list (Alcotest.testable Tgd.pp Tgd.equal)))
+    "axioms" (Some sym) (Ontology.axioms o)
+
+let test_axiomatic_validation () =
+  Alcotest.check_raises "foreign relation"
+    (Invalid_argument "Ontology.axiomatic: tgd uses a relation outside the schema")
+    (fun () -> ignore (Ontology.axiomatic s [ tgd "F(x) -> E(x,x)." ]))
+
+let test_extensional_mem () =
+  let witness = inst ~schema:s "E(a,b). E(b,a)." in
+  let oe = Ontology.extensional s [ witness ] in
+  check_bool "isomorphic copy in" true
+    (Ontology.mem oe (inst ~schema:s "E(u,w). E(w,u)."));
+  check_bool "other shape out" false (Ontology.mem oe (inst ~schema:s "E(a,a)."))
+
+let test_oracle_mem () =
+  let oo = Ontology.oracle s (fun i -> Instance.fact_count i mod 2 = 0) in
+  check_bool "even" true (Ontology.mem oo (inst ~schema:s "E(a,b). E(b,a)."));
+  check_bool "odd" false (Ontology.mem oo (inst ~schema:s "E(a,b)."))
+
+let test_models_up_to () =
+  check_int "symmetric models ≤ 2" (1 + 2 + 8)
+    (Combinat.seq_length (Ontology.models_up_to o 2));
+  check_int "non-members ≤ 2" (19 - 11)
+    (Combinat.seq_length (Ontology.non_members_up_to o 2))
+
+let test_chase_witness () =
+  let k = inst ~schema:s "E(a,b)." in
+  (match Ontology.chase_witness o k with
+  | Some j ->
+    check_bool "member" true (Ontology.mem o j);
+    check_bool "contains K" true (Instance.subset k j)
+  | None -> Alcotest.fail "chase should terminate on full tgds");
+  (* non-terminating axioms within a tiny budget *)
+  let o_inf =
+    Ontology.axiomatic s [ tgd "E(x,y) -> exists z. E(y,z)." ]
+  in
+  check_bool "budget-limited witness" true
+    (Ontology.chase_witness
+       ~budget:Tgd_chase.Chase.{ max_rounds = 3; max_facts = 10 }
+       o_inf k
+    = None)
+
+let test_member_extending () =
+  let k = inst ~schema:s "E(a,b)." in
+  let members = List.of_seq (Ontology.member_extending ~max_extra:0 o k) in
+  check_bool "some member extends K" true (members <> []);
+  List.iter
+    (fun j ->
+      check_bool "contains K" true (Instance.subset k j);
+      check_bool "is member" true (Ontology.mem o j))
+    members
+
+let test_restrict_mem () =
+  let o' = Ontology.restrict_mem o (fun i -> Instance.fact_count i <= 2) in
+  check_bool "still symmetric" true (Ontology.mem o' (inst ~schema:s "E(a,b). E(b,a)."));
+  check_bool "too big" false
+    (Ontology.mem o' (inst ~schema:s "E(a,b). E(b,a). E(c,c)."))
+
+let suite =
+  [ case "axiomatic membership" test_axiomatic_mem;
+    case "axiomatic validation" test_axiomatic_validation;
+    case "extensional membership" test_extensional_mem;
+    case "oracle membership" test_oracle_mem;
+    case "models_up_to" test_models_up_to;
+    case "chase witness" test_chase_witness;
+    case "member_extending" test_member_extending;
+    case "restrict_mem" test_restrict_mem
+  ]

@@ -1,0 +1,165 @@
+open Tgd_syntax
+open Tgd_instance
+open Helpers
+
+let test_parse_tgd () =
+  let t = tgd "R(x,y), S(y,z) -> exists u. T(x,u)." in
+  check_int "body" 2 (List.length (Tgd.body t));
+  check_int "head" 1 (List.length (Tgd.head t));
+  check_int "m" 1 (Tgd.m_existential t)
+
+let test_implicit_existentials () =
+  (* head-only variables are existential even without 'exists' *)
+  let a = tgd "R(x,y) -> T(y,u)." in
+  let b = tgd "R(x,y) -> exists u. T(y,u)." in
+  check_bool "same tgd" true (Canonical.equal_up_to_renaming a b)
+
+let test_bodiless () =
+  let t = tgd "-> exists z. Start(z)." in
+  check_int "no body" 0 (List.length (Tgd.body t))
+
+let test_zero_ary () =
+  let t = tgd "Q(x) -> Aux." in
+  (match Tgd.head t with
+  | [ a ] -> check_int "0-ary head" 0 (Atom.arity a)
+  | _ -> Alcotest.fail "one head atom expected");
+  let t2 = tgd "Q(x) -> Aux()." in
+  check_bool "parens optional" true (Tgd.equal t t2)
+
+let test_facts_and_rules_mixed () =
+  match Tgd_parse.Parse.program "R(a,b). R(x,y) -> T(x). T(c)." with
+  | Ok p ->
+    check_int "tgds" 1 (List.length p.Tgd_parse.Parse.tgds);
+    check_int "facts" 2 (List.length p.Tgd_parse.Parse.facts);
+    check_int "schema" 2 (Schema.size p.Tgd_parse.Parse.schema)
+  | Error e -> Alcotest.failf "parse error %a" Tgd_parse.Parse.pp_error e
+
+let test_comments_and_whitespace () =
+  let t =
+    tgds "% a comment\n  R(x,y) -> T(x). # another\n\n T(x) -> U(x)."
+  in
+  check_int "two rules" 2 (List.length t)
+
+let test_round_trip () =
+  List.iter
+    (fun src ->
+      let t = tgd src in
+      let t' = tgd (Tgd.to_string t ^ ".") in
+      check_bool ("round trip: " ^ src) true (Canonical.equal_up_to_renaming t t'))
+    [ "R(x,y), S(y,z) -> exists u,w. T(x,u), T(u,w).";
+      "R(x,x) -> T(x).";
+      "-> exists z. Start(z).";
+      "P(x) -> Q(x), R(x,x)." ]
+
+let test_errors_positioned () =
+  (match Tgd_parse.Parse.tgds "R(x,y -> T(x)." with
+  | Error e -> check_bool "line 1" true (e.Tgd_parse.Parse.line = 1)
+  | Ok _ -> Alcotest.fail "should not parse");
+  (match Tgd_parse.Parse.tgds "R(x,y).\nR(x y) -> T(x)." with
+  | Error e -> check_int "line 2" 2 e.Tgd_parse.Parse.line
+  | Ok _ -> Alcotest.fail "should not parse")
+
+let test_arity_conflicts () =
+  match Tgd_parse.Parse.tgds "R(x,y) -> T(x). R(x) -> T(x)." with
+  | Error e ->
+    check_bool "mentions arities" true
+      (let msg = e.Tgd_parse.Parse.message in
+       String.length msg > 0)
+  | Ok _ -> Alcotest.fail "arity conflict must be rejected"
+
+let test_given_schema_enforced () =
+  let s = schema [ ("R", 2) ] in
+  (match Tgd_parse.Parse.program ~schema:s "R(a,b)." with
+  | Ok p -> check_int "ok" 1 (List.length p.Tgd_parse.Parse.facts)
+  | Error _ -> Alcotest.fail "should parse");
+  match Tgd_parse.Parse.program ~schema:s "T(a)." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown relation must be rejected"
+
+let test_instance_parsing () =
+  let i = inst "R(a,b). R(b,c). P(a)." in
+  check_int "facts" 3 (Instance.fact_count i);
+  check_bool "constants are named" true
+    (Constant.Set.mem (c "a") (Instance.adom i))
+
+let test_lexer_tokens () =
+  let toks = Tgd_parse.Lexer.tokenize "R(x) -> T(x)." in
+  (* R ( x ) -> T ( x ) . EOF *)
+  check_int "token count" 11 (List.length toks)
+
+let test_lexer_errors () =
+  (match Tgd_parse.Lexer.tokenize "R(x) @ T" with
+  | exception Tgd_parse.Lexer.Lex_error (_, 1, 6) -> ()
+  | exception Tgd_parse.Lexer.Lex_error (_, l, col) ->
+    Alcotest.failf "wrong position %d:%d" l col
+  | _ -> Alcotest.fail "expected lex error");
+  match Tgd_parse.Lexer.tokenize "R -" with
+  | exception Tgd_parse.Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "dangling '-' must fail"
+
+let test_parse_egd () =
+  let p = Tgd_parse.Parse.program_exn "E(x,y), E(x,z) -> y = z." in
+  check_int "one egd" 1 (List.length p.Tgd_parse.Parse.egds);
+  check_int "no tgds" 0 (List.length p.Tgd_parse.Parse.tgds);
+  let e = List.hd p.Tgd_parse.Parse.egds in
+  check_int "two body atoms" 2 (List.length (Egd.body e))
+
+let test_parse_denial () =
+  let p = Tgd_parse.Parse.program_exn "R(x), Forbidden(x) -> false." in
+  check_int "one denial" 1 (List.length p.Tgd_parse.Parse.denials);
+  check_int "two body atoms" 2
+    (List.length (Denial.body (List.hd p.Tgd_parse.Parse.denials)))
+
+let test_parse_mixed_theory () =
+  let p =
+    Tgd_parse.Parse.program_exn
+      "% a full theory\n\
+       Emp(x,d) -> Dept(d).\n\
+       Emp(x,d), Emp(x,e) -> d = e.\n\
+       Dept(d), Banned(d) -> false.\n\
+       Emp(ann,cs)."
+  in
+  check_int "tgds" 1 (List.length p.Tgd_parse.Parse.tgds);
+  check_int "egds" 1 (List.length p.Tgd_parse.Parse.egds);
+  check_int "denials" 1 (List.length p.Tgd_parse.Parse.denials);
+  check_int "facts" 1 (List.length p.Tgd_parse.Parse.facts)
+
+let test_equality_must_be_alone () =
+  (match Tgd_parse.Parse.program "E(x,y) -> T(x), x = y." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mixed equality head must be rejected");
+  match Tgd_parse.Parse.program "E(x,y) -> false, T(x)." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mixed false head must be rejected"
+
+let test_egd_body_vars_checked () =
+  match Tgd_parse.Parse.program "E(x,y) -> x = z." with
+  | Error e -> check_bool "reports" true (String.length e.Tgd_parse.Parse.message > 0)
+  | Ok _ -> Alcotest.fail "egd over non-body variable must be rejected"
+
+let test_tgd_exn_arity () =
+  match Tgd_parse.Parse.tgd_exn "R(x) -> T(x). T(x) -> U(x)." with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "tgd_exn requires exactly one tgd"
+
+let suite =
+  [ case "parse tgd" test_parse_tgd;
+    case "implicit existentials" test_implicit_existentials;
+    case "bodiless" test_bodiless;
+    case "0-ary atoms" test_zero_ary;
+    case "facts and rules mixed" test_facts_and_rules_mixed;
+    case "comments and whitespace" test_comments_and_whitespace;
+    case "print/parse round trip" test_round_trip;
+    case "error positions" test_errors_positioned;
+    case "arity conflicts" test_arity_conflicts;
+    case "given schema enforced" test_given_schema_enforced;
+    case "instance parsing" test_instance_parsing;
+    case "lexer token stream" test_lexer_tokens;
+    case "lexer errors" test_lexer_errors;
+    case "parse egd" test_parse_egd;
+    case "parse denial" test_parse_denial;
+    case "parse mixed theory" test_parse_mixed_theory;
+    case "equality/false must be alone" test_equality_must_be_alone;
+    case "egd variable scoping" test_egd_body_vars_checked;
+    case "tgd_exn arity" test_tgd_exn_arity
+  ]

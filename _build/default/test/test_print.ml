@@ -1,0 +1,54 @@
+open Tgd_syntax
+open Helpers
+
+let test_tgd_round_trip () =
+  List.iter
+    (fun src ->
+      let t = tgd src in
+      let t' = Tgd_parse.Parse.tgd_exn (Tgd_parse.Print.tgd t) in
+      check_bool src true (Canonical.equal_up_to_renaming t t'))
+    [ "R(x,y), S(y,z) -> exists u. T(x,u).";
+      "-> exists z. Start(z).";
+      "Q(x) -> Aux." ]
+
+let test_program_round_trip () =
+  let src =
+    "Emp(x,d) -> Dept(d).\n\
+     Emp(x,d), Emp(x,e) -> d = e.\n\
+     Dept(d), Banned(d) -> false.\n\
+     Emp(ann,cs). Dept(cs)."
+  in
+  let p = Tgd_parse.Parse.program_exn src in
+  let p' = Tgd_parse.Parse.program_exn (Tgd_parse.Print.program p) in
+  check_int "tgds" (List.length p.Tgd_parse.Parse.tgds)
+    (List.length p'.Tgd_parse.Parse.tgds);
+  check_int "egds" (List.length p.Tgd_parse.Parse.egds)
+    (List.length p'.Tgd_parse.Parse.egds);
+  check_int "denials" (List.length p.Tgd_parse.Parse.denials)
+    (List.length p'.Tgd_parse.Parse.denials);
+  check_int "facts" (List.length p.Tgd_parse.Parse.facts)
+    (List.length p'.Tgd_parse.Parse.facts);
+  (* facts literally equal *)
+  List.iter2
+    (fun a b -> Alcotest.check fact_testable "fact" a b)
+    p.Tgd_parse.Parse.facts p'.Tgd_parse.Parse.facts
+
+let test_unprintable_constants () =
+  let f = Fact.make (Relation.make "R" 1) [ Constant.null 3 ] in
+  match Tgd_parse.Print.fact f with
+  | exception Invalid_argument _ -> ()
+  | s -> Alcotest.failf "nulls must not print, got %s" s
+
+let test_to_file () =
+  let path = Filename.temp_file "tgd" ".dlp" in
+  Tgd_parse.Print.to_file path "R(a,b).\n";
+  let p = Tgd_parse.Parse.program_exn (In_channel.with_open_bin path In_channel.input_all) in
+  Sys.remove path;
+  check_int "one fact" 1 (List.length p.Tgd_parse.Parse.facts)
+
+let suite =
+  [ case "tgd round trip" test_tgd_round_trip;
+    case "program round trip" test_program_round_trip;
+    case "unprintable constants rejected" test_unprintable_constants;
+    case "to_file" test_to_file
+  ]

@@ -1,0 +1,83 @@
+open Tgd_syntax
+open Tgd_instance
+open Helpers
+
+let s2 = schema [ ("E", 2); ("P", 1) ]
+let i1 = inst ~schema:s2 "E(a,b). P(a)."
+let i2 = inst ~schema:s2 "E(u,w). E(w,u). P(u). P(w)."
+
+let test_shape () =
+  let p = Product.direct i1 i2 in
+  check_int "dom size" (Instance.dom_size i1 * Instance.dom_size i2)
+    (Instance.dom_size p);
+  (* |E^P| = |E^I|·|E^J|, |P^P| = |P^I|·|P^J| *)
+  check_int "E facts" 2
+    (Fact.Set.cardinal (Instance.facts_of p (Relation.make "E" 2)));
+  check_int "P facts" 2
+    (Fact.Set.cardinal (Instance.facts_of p (Relation.make "P" 1)))
+
+let test_membership_characterization () =
+  (* ((a,b)) ∈ R^{I⊗J} iff a ∈ R^I and b ∈ R^J — check every pair *)
+  let p = Product.direct i1 i2 in
+  let e = Relation.make "E" 2 in
+  Constant.Set.iter
+    (fun x ->
+      Constant.Set.iter
+        (fun y ->
+          Constant.Set.iter
+            (fun x' ->
+              Constant.Set.iter
+                (fun y' ->
+                  let in_product =
+                    Instance.mem p
+                      (Fact.make e [ Constant.pair x x'; Constant.pair y y' ])
+                  in
+                  let expected =
+                    Instance.mem i1 (Fact.make e [ x; y ])
+                    && Instance.mem i2 (Fact.make e [ x'; y' ])
+                  in
+                  check_bool "product membership" expected in_product)
+                (Instance.dom i2))
+            (Instance.dom i2))
+        (Instance.dom i1))
+    (Instance.dom i1)
+
+let test_projections_are_homs () =
+  let p = Product.direct i1 i2 in
+  check_bool "π1 hom" true (Instance.subset (Product.project_first p) i1);
+  check_bool "π2 hom" true (Instance.subset (Product.project_second p) i2)
+
+let test_schema_mismatch () =
+  let other = inst ~schema:(schema [ ("E", 2) ]) "E(a,b)." in
+  Alcotest.check_raises "different schemas"
+    (Invalid_argument "Product.direct: instances over different schemas")
+    (fun () -> ignore (Product.direct i1 other))
+
+let test_power () =
+  let p2 = Product.power i2 2 in
+  check_int "square dom" 4 (Instance.dom_size p2);
+  check_int "square E" 4 (Fact.Set.cardinal (Instance.facts_of p2 (Relation.make "E" 2)));
+  check_bool "power 1 is identity" true (Instance.equal (Product.power i1 1) i1);
+  Alcotest.check_raises "k ≥ 1"
+    (Invalid_argument "Product.power: k must be positive") (fun () ->
+      ignore (Product.power i1 0))
+
+let test_n_ary () =
+  let p = Product.n_ary [ i1; i2; i1 ] in
+  check_int "n-ary dom" (2 * 2 * 2) (Instance.dom_size p)
+
+let test_critical_product () =
+  (* product of critical instances is critical *)
+  let k2 = Critical.make s2 2 and k3 = Critical.make s2 3 in
+  check_bool "critical ⊗ critical critical" true
+    (Critical.is_critical (Product.direct k2 k3))
+
+let suite =
+  [ case "shape" test_shape;
+    case "membership characterization" test_membership_characterization;
+    case "projections are homs" test_projections_are_homs;
+    case "schema mismatch" test_schema_mismatch;
+    case "power" test_power;
+    case "n-ary" test_n_ary;
+    case "critical ⊗ critical" test_critical_product
+  ]

@@ -1,0 +1,153 @@
+(* Replays of the paper's proof structures on concrete data — these tests
+   exercise the internals that the theorem-level tests use as black boxes. *)
+
+open Tgd_syntax
+open Tgd_instance
+open Tgd_core
+open Helpers
+
+let s_e = schema [ ("E", 2) ]
+let succ = [ tgd "E(x,y) -> exists z. E(y,z)." ]
+let o_succ = Ontology.axiomatic s_e succ
+
+(* ---- Lemma 3.6 / Figure 2: the (n,m)-local embeddability machinery ---- *)
+
+let test_lemma_3_6_positive_replay () =
+  (* the 3-cycle is a model; local embeddability must confirm it with
+     witnesses whose neighbourhoods all fold back *)
+  let i = inst ~schema:s_e "E(a,b). E(b,c). E(c,a)." in
+  check_bool "I ⊨ Σ" true (Satisfaction.tgds i succ);
+  match Locality.locally_embeddable Locality.Plain ~n:2 ~m:1 o_succ i with
+  | Locality.Embeddable -> ()
+  | Locality.No_witness conf ->
+    Alcotest.failf "no witness for %a" Instance.pp conf.Locality.sub
+
+let test_lemma_3_6_contrapositive_replay () =
+  (* a dead-end path is not a model, so by Lemma 3.6 it cannot be locally
+     embeddable; the failing configuration must involve the dead end *)
+  let i = inst ~schema:s_e "E(a,b). E(b,c)." in
+  check_bool "I ⊭ Σ" false (Satisfaction.tgds i succ);
+  match Locality.locally_embeddable Locality.Plain ~n:2 ~m:1 o_succ i with
+  | Locality.Embeddable -> Alcotest.fail "Lemma 3.6 violated"
+  | Locality.No_witness conf ->
+    check_bool "dead end in the failing configuration" true
+      (Constant.Set.mem (c "c") (Instance.adom conf.Locality.sub)
+      || Instance.is_empty conf.Locality.sub)
+
+let test_figure_2_witness_structure () =
+  (* replay the λ = μ_L ∘ g construction: take the body image K of a trigger
+     in the 3-cycle, produce a witness J_K ∈ O extending K, extend to g with
+     g(ψ) ⊆ J_K, cut out L, fold it back into I with μ_L, and check that
+     λ = μ_L ∘ g extends h and lands in I *)
+  let i = inst ~schema:s_e "E(a,b). E(b,c). E(c,a)." in
+  let sigma_tgd = List.hd succ in
+  let h = Binding.of_list [ (v "x", c "a"); (v "y", c "b") ] in
+  (* K := induced subinstance on the constants of h(φ) *)
+  let k = Instance.induced i (Binding.range h) in
+  check_bool "K ≤ I" true (Instance.is_induced_subinstance k i);
+  check_bool "|adom K| ≤ n" true (Constant.Set.cardinal (Instance.adom k) <= 2);
+  (* witness: a member of O containing K with foldable neighbourhoods *)
+  let witness =
+    Ontology.member_extending ~max_extra:1 o_succ k
+    |> Seq.filter (fun j ->
+           Locality.witness_ok ~m:1 ~fixed:(Instance.adom k) ~witness:j
+             ~target:i)
+    |> fun seq ->
+    match seq () with
+    | Seq.Nil -> Alcotest.fail "no witness J_K"
+    | Seq.Cons (j, _) -> j
+  in
+  check_bool "K ⊆ J_K" true (Instance.subset k witness);
+  check_bool "J_K ∈ O" true (Ontology.mem o_succ witness);
+  (* g: extend h to satisfy the head inside J_K *)
+  let g =
+    match
+      Tgd_instance.Hom.find_hom
+        ~partial:(Binding.restrict (Tgd.frontier sigma_tgd) h)
+        (Tgd.head sigma_tgd) witness
+    with
+    | Some g -> g
+    | None -> Alcotest.fail "J_K must satisfy the trigger"
+  in
+  (* L: the induced subinstance on h(φ) ∪ g(ψ) *)
+  let l =
+    Instance.induced witness
+      (Constant.Set.union (Binding.range h) (Binding.range g))
+  in
+  (* L is in the m-neighbourhood of K in J_K *)
+  check_bool "L in the 1-neighbourhood" true
+    (Neighborhood.of_instance k witness 1
+    |> Seq.exists (fun j' -> Instance.equal_facts j' l));
+  (* μ_L: fold L into I fixing adom K; λ = μ_L ∘ g lands the head in I *)
+  (match
+     Tgd_instance.Hom.find_instance_hom
+       ~fixed:
+         (Constant.Set.fold
+            (fun x acc -> Constant.Map.add x x acc)
+            (Instance.adom k) Constant.Map.empty)
+       l i
+   with
+  | None -> Alcotest.fail "μ_L must exist"
+  | Some mu ->
+    let lambda var =
+      match Binding.find var g with
+      | Some x -> (
+        match Constant.Map.find_opt x mu with Some y -> y | None -> x)
+      | None -> Alcotest.fail "g must bind all head variables"
+    in
+    List.iter
+      (fun atom ->
+        let fact =
+          Fact.make (Atom.rel atom)
+            (List.map
+               (fun t ->
+                 match t with
+                 | Term.Var var -> lambda var
+                 | Term.Const x -> x)
+               (Atom.args atom))
+        in
+        check_bool "λ(ψ) ⊆ facts(I)" true (Instance.mem i fact))
+      (Tgd.head sigma_tgd))
+
+(* ---- Claim 4.8: products refute disjunctions disjunct-by-disjunct ---- *)
+
+let test_claim_4_8_replay () =
+  let e = Relation.make "E" 2 in
+  (* δ = ∀x,y (E(x,y) → x = y ∨ E(y,x)) *)
+  let delta =
+    Edd.make
+      ~body:[ Atom.of_vars e [ v "x"; v "y" ] ]
+      ~disjuncts:
+        [ Edd.Eq (v "x", v "y"); Edd.Exists [ Atom.of_vars e [ v "y"; v "x" ] ] ]
+  in
+  (* I_1 refutes the equality disjunct, I_2 the relational one *)
+  let i1 = inst ~schema:s_e "E(a,b). E(b,a)." in
+  let i2 = inst ~schema:s_e "E(q,q). E(q,d)." in
+  check_bool "I_1 ⊨ δ" true (Satisfaction.edd i1 delta);
+  check_bool "I_2 ⊨ δ... no: E(q,d) breaks it" false (Satisfaction.edd i2 delta);
+  (* the claim's shape: take I_1 violating σ_1 = (φ → x=y) and I_2 violating
+     σ_2 = (φ → E(y,x)); their product violates the whole disjunction *)
+  let i1 = inst ~schema:s_e "E(a,b)." (* a ≠ b: σ_1 fails *) in
+  let i2 = inst ~schema:s_e "E(q,d)." (* no E(d,q): σ_2 fails *) in
+  let j = Product.direct i1 i2 in
+  check_bool "J ⊭ δ (Claim 4.8)" false (Satisfaction.edd j delta)
+
+(* ---- Step 3: criticality kills egds ---- *)
+
+let test_step_3_replay () =
+  (* an egd δ ∈ Σ^{∃,=} with a violating assignment h lifts to a k-critical
+     instance that still violates δ — so δ cannot be satisfied by every
+     member of a critical ontology *)
+  let e = Relation.make "E" 2 in
+  let delta = Egd.make ~body:[ Atom.of_vars e [ v "x"; v "y" ] ] (v "x") (v "y") in
+  let k_critical = Critical.make s_e 2 in
+  check_bool "critical instance violates the egd" false
+    (Satisfaction.egd k_critical delta)
+
+let suite =
+  [ case "Lemma 3.6: embeddable model (3-cycle)" test_lemma_3_6_positive_replay;
+    case "Lemma 3.6: contrapositive (dead end)" test_lemma_3_6_contrapositive_replay;
+    case "Figure 2: λ = μ_L ∘ g construction" test_figure_2_witness_structure;
+    case "Claim 4.8: product refutes the disjunction" test_claim_4_8_replay;
+    case "Step 3: criticality kills egds" test_step_3_replay
+  ]

@@ -1,0 +1,144 @@
+open Tgd_syntax
+open Tgd_instance
+open Tgd_core
+open Helpers
+
+let s = schema [ ("E", 2) ]
+let s_rpt = schema [ ("R", 1); ("P", 1); ("T", 1) ]
+
+let holds = Properties.verdict_holds
+
+let sym_o = Ontology.axiomatic s [ tgd "E(x,y) -> E(y,x)." ]
+let tc_o = Ontology.axiomatic s [ tgd "E(x,y), E(y,z) -> E(x,z)." ]
+let sep_o =
+  let sigma, _ = Tgd_workload.Families.separation_linear_vs_guarded in
+  Ontology.axiomatic s_rpt sigma
+
+(* an ontology that is NOT tgd-definable: "E is nonempty" *)
+let nonempty_o =
+  Ontology.oracle ~name:"nonempty" s (fun i -> not (Instance.is_empty i))
+
+(* "at most one fact": not closed under products/unions, not critical *)
+let at_most_one_o =
+  Ontology.oracle ~name:"≤1 fact" s (fun i -> Instance.fact_count i <= 1)
+
+let test_criticality_positive () =
+  (* Lemma 3.2: every tgd-ontology is critical *)
+  List.iter
+    (fun o -> check_bool "critical" true (holds (Properties.critical_up_to o 3)))
+    [ sym_o; tc_o; sep_o ]
+
+let test_criticality_negative () =
+  match Properties.critical_up_to at_most_one_o 3 with
+  | Properties.Fails k -> check_bool "small witness" true (k >= 1 && k <= 3)
+  | _ -> Alcotest.fail "≤1-fact ontology is not critical"
+
+let test_product_closure_positive () =
+  (* Lemma 3.4 *)
+  List.iter
+    (fun o ->
+      check_bool "⊗-closed" true
+        (holds (Properties.closed_under_products o ~dom_size:2)))
+    [ sym_o; tc_o ]
+
+let test_product_closure_negative () =
+  (* "non-empty" happens to be ⊗-closed over a single relation *)
+  check_bool "nonempty is ⊗-closed" true
+    (holds (Properties.closed_under_products nonempty_o ~dom_size:2));
+  (* fact counts multiply under ⊗, so "at most 2 facts" is not closed:
+     2 · 2 = 4 *)
+  let at_most_two_o = Ontology.oracle s (fun i -> Instance.fact_count i <= 2) in
+  check_bool "≤2-facts fails" false
+    (holds (Properties.closed_under_products at_most_two_o ~dom_size:2))
+
+let test_intersection_closure () =
+  (* full tgds are ∩-closed (Theorem 5.6 direction (1) ⇒ (2)) *)
+  check_bool "tc ∩-closed" true
+    (holds (Properties.closed_under_intersections tc_o ~dom_size:2));
+  (* a disjunction-like oracle is not ∩-closed: E(0,0) or E(1,1) present *)
+  let disj_o =
+    Ontology.oracle s (fun i ->
+        Instance.mem i (Fact.make (Relation.make "E" 2) [ Constant.indexed 0; Constant.indexed 0 ])
+        || Instance.mem i (Fact.make (Relation.make "E" 2) [ Constant.indexed 1; Constant.indexed 1 ]))
+  in
+  check_bool "disjunctive fails ∩" false
+    (holds (Properties.closed_under_intersections disj_o ~dom_size:2))
+
+let test_union_closure () =
+  (* linear tgds are ∪-closed (used in the Linearization Lemma) *)
+  let lin_o = Ontology.axiomatic s [ tgd "E(x,y) -> exists z. E(y,z)." ] in
+  check_bool "linear ∪-closed" true
+    (holds (Properties.closed_under_unions lin_o ~dom_size:2));
+  (* the Section 9.1 separation set is NOT ∪-closed (witnesses R(c) and
+     P(c) separately fine, union violates) *)
+  check_bool "separation set not ∪-closed" false
+    (holds (Properties.closed_under_unions sep_o ~dom_size:1))
+
+let test_disjoint_union_closure () =
+  (* guarded tgds are closed under disjoint unions (the Theorem 9.2
+     argument): every body sits inside one component via its guard *)
+  check_bool "guarded Σ_G closed" true
+    (holds (Properties.closed_under_disjoint_unions sep_o ~dom_size:1));
+  (* the frontier-guarded Σ_F is not: R(c) ⊎ P(d) violates it *)
+  let sigma_f, _ = Tgd_workload.Families.separation_guarded_vs_fg in
+  let o_f = Ontology.axiomatic s_rpt sigma_f in
+  check_bool "fg Σ_F fails" false
+    (holds (Properties.closed_under_disjoint_unions o_f ~dom_size:1));
+  (* the two notions genuinely differ: the guarded Σ_G survives disjoint
+     unions (above) but not ordinary ones — R(c) ∪ P(c) shares the constant
+     and triggers the rule *)
+  check_bool "Σ_G not plain-∪-closed" false
+    (holds (Properties.closed_under_unions sep_o ~dom_size:1))
+
+let test_domain_independence () =
+  (* Lemma 3.8 consequence: tgd-ontologies are domain independent *)
+  check_bool "tgds dom-independent" true
+    (holds (Properties.domain_independent tc_o ~dom_size:2));
+  (* a domain-size oracle is not *)
+  let size_o = Ontology.oracle s (fun i -> Instance.dom_size i <= 1) in
+  check_bool "size oracle fails" false
+    (holds (Properties.domain_independent size_o ~dom_size:2))
+
+let test_modularity () =
+  (* tc is defined by a 3-variable full tgd: 3-modular *)
+  check_bool "tc 3-modular" true (holds (Properties.modular tc_o ~n:3 ~dom_size:3));
+  (* but not 1-modular: a violation needs at least 2 elements ... the
+     violation E(a,b),E(b,c) without E(a,c) needs 3 *)
+  check_bool "tc not 2-modular" false
+    (holds (Properties.modular tc_o ~n:2 ~dom_size:3));
+  (* "dom size ≠ 2" is not 1-modular: the non-members have exactly two
+     domain elements, but every ≤1-element subinstance is a member *)
+  let ne2_o = Ontology.oracle s (fun i -> Instance.dom_size i <> 2) in
+  check_bool "dom≠2 not 1-modular" false
+    (holds (Properties.modular ne2_o ~n:1 ~dom_size:2))
+
+let test_dupext_closures () =
+  let sigma52, _ = Tgd_workload.Families.example_5_2 in
+  let s52 = schema [ ("R", 2); ("S", 2); ("T", 2) ] in
+  let o52 = Ontology.axiomatic s52 sigma52 in
+  (* Example 5.2: full tgds are NOT closed under oblivious duplication *)
+  check_bool "oblivious fails (MV Lemma 7 refuted)" false
+    (holds (Properties.closed_under_oblivious_dupext o52 ~dom_size:2));
+  (* but they are closed under the corrected notion *)
+  check_bool "non-oblivious holds" true
+    (holds (Properties.closed_under_non_oblivious_dupext o52 ~dom_size:2))
+
+let test_verdict_printing () =
+  Alcotest.check Alcotest.string "holds" "holds"
+    (Fmt.str "%a" (Properties.pp_verdict Fmt.int) Properties.Holds);
+  Alcotest.check Alcotest.string "fails" "fails on 3"
+    (Fmt.str "%a" (Properties.pp_verdict Fmt.int) (Properties.Fails 3))
+
+let suite =
+  [ case "criticality holds for tgd-ontologies (Lemma 3.2)" test_criticality_positive;
+    case "criticality can fail" test_criticality_negative;
+    case "⊗-closure holds (Lemma 3.4)" test_product_closure_positive;
+    case "⊗-closure can fail" test_product_closure_negative;
+    case "∩-closure (Theorem 5.6)" test_intersection_closure;
+    case "∪-closure (linear tgds)" test_union_closure;
+    case "⊎-closure (guarded vs fg, Thm 9.2)" test_disjoint_union_closure;
+    case "domain independence (Lemma 3.8)" test_domain_independence;
+    case "modularity" test_modularity;
+    case "duplicating-extension closures (Example 5.2)" test_dupext_closures;
+    case "verdict printing" test_verdict_printing
+  ]

@@ -1,0 +1,86 @@
+open Tgd_syntax
+open Tgd_instance
+open Tgd_chase
+open Helpers
+
+let s = schema [ ("E", 2); ("T", 2); ("P", 1) ]
+let tc = tgds "E(x,y) -> T(x,y).\nT(x,y), E(y,z) -> T(x,z)."
+let db = inst ~schema:s "E(a,b). E(b,c)."
+
+let t_fact x y = Fact.make (Relation.make "T" 2) [ c x; c y ]
+let e_fact x y = Fact.make (Relation.make "E" 2) [ c x; c y ]
+
+let test_sources () =
+  let result, log = Provenance.restricted tc db in
+  check_bool "terminated" true (Chase.is_model result);
+  (* inputs are inputs *)
+  (match Provenance.source_of log (e_fact "a" "b") with
+  | Some Provenance.Input -> ()
+  | _ -> Alcotest.fail "E(a,b) is an input");
+  (* derived facts carry their rule and premises *)
+  (match Provenance.source_of log (t_fact "a" "c") with
+  | Some (Provenance.Derived { premises; _ }) ->
+    check_int "two premises" 2 (List.length premises);
+    check_bool "premise T(a,b)" true
+      (List.exists (Fact.equal (t_fact "a" "b")) premises);
+    check_bool "premise E(b,c)" true
+      (List.exists (Fact.equal (e_fact "b" "c")) premises)
+  | _ -> Alcotest.fail "T(a,c) must be derived");
+  (* unknown facts yield None *)
+  check_bool "unknown fact" true (Provenance.source_of log (t_fact "c" "a") = None)
+
+let test_explain_tree () =
+  let _, log = Provenance.restricted tc db in
+  match Provenance.explain log (t_fact "a" "c") with
+  | None -> Alcotest.fail "T(a,c) must be explainable"
+  | Some tree ->
+    (* T(a,c) ← {T(a,b) ← E(a,b), E(b,c)} : depth 2 *)
+    check_int "depth" 2 (Provenance.depth tree);
+    check_int "two children" 2 (List.length tree.Provenance.children);
+    (* every leaf of the tree is an input fact *)
+    let rec leaves t =
+      match t.Provenance.children with
+      | [] -> [ t ]
+      | cs -> List.concat_map leaves cs
+    in
+    List.iter
+      (fun leaf ->
+        check_bool "leaf is input" true (leaf.Provenance.source = Provenance.Input))
+      (leaves tree);
+    (* rendering mentions the root fact *)
+    let rendered = Fmt.str "%a" Provenance.pp_tree tree in
+    let contains haystack needle =
+      let nl = String.length needle and hl = String.length haystack in
+      let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+      go 0
+    in
+    check_bool "mentions T(a,c)" true (contains rendered "T(a,c)")
+
+let test_existential_provenance () =
+  let sigma = tgds "P(x) -> exists z. E(x,z)." in
+  let dbp = inst ~schema:s "P(a)." in
+  let result, log = Provenance.restricted sigma dbp in
+  let derived =
+    Fact.Set.filter
+      (fun f -> Fact.rel f = Relation.make "E" 2)
+      (Instance.facts result.Chase.instance)
+  in
+  check_int "one invented edge" 1 (Fact.Set.cardinal derived);
+  match Provenance.source_of log (Fact.Set.choose derived) with
+  | Some (Provenance.Derived { premises; _ }) ->
+    check_int "premise P(a)" 1 (List.length premises)
+  | _ -> Alcotest.fail "invented fact must be derived"
+
+let test_provenance_agrees_with_chase () =
+  let result, log = Provenance.restricted tc db in
+  Fact.Set.iter
+    (fun f -> check_bool "every result fact has a source" true
+        (Provenance.source_of log f <> None))
+    (Instance.facts result.Chase.instance)
+
+let suite =
+  [ case "sources" test_sources;
+    case "explain tree" test_explain_tree;
+    case "existential provenance" test_existential_provenance;
+    case "all result facts have sources" test_provenance_agrees_with_chase
+  ]

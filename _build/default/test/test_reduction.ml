@@ -1,0 +1,116 @@
+open Tgd_syntax
+open Tgd_core
+open Helpers
+
+(* A tiny guarded ontology where the atomic query IS entailed:
+   A(x) → B(x), B(x) → Q(x), with a bodiless A-generator so that
+   Σ ⊨ ∃x Q(x). *)
+let sigma_yes =
+  tgds "-> exists z. A(z).\nA(x) -> B(x).\nB(x) -> Q(x)."
+
+(* and one where it is not *)
+let sigma_no = tgds "A(x) -> B(x)."
+
+let q schema_sigma = Option.get (Schema.find (Rewrite.schema_of schema_sigma) "Q")
+
+let test_construction_shape () =
+  let sigma = sigma_yes in
+  let art = Reduction.g_to_l_hardness sigma ~query:(q sigma) in
+  (* Σ' = Σ ∪ {σ_Aux | σ ∈ Σ} ∪ {σ_Q, σ_RAux, σ_RS} *)
+  check_int "size" ((2 * List.length sigma) + 3) (List.length art.Reduction.sigma');
+  check_bool "all guarded" true
+    (Tgd_class.all_in_class Tgd_class.Guarded art.Reduction.sigma');
+  (* fresh predicates are fresh *)
+  check_bool "aux fresh" true
+    (Schema.find (Rewrite.schema_of sigma) (Relation.name art.Reduction.aux) = None);
+  check_int "aux arity" 0 (Relation.arity art.Reduction.aux)
+
+let test_fg_construction_shape () =
+  let sigma, _ = Tgd_workload.Families.separation_guarded_vs_fg in
+  (* use T as the query relation *)
+  let query = Option.get (Schema.find (Rewrite.schema_of sigma) "T") in
+  let art = Reduction.fg_to_g_hardness sigma ~query in
+  check_bool "all frontier-guarded" true
+    (Tgd_class.all_in_class Tgd_class.Frontier_guarded art.Reduction.sigma');
+  (* the σ_RS of the FG reduction is itself frontier-guarded but NOT
+     guarded: R(x), S(y) → T(x) *)
+  check_bool "σ_RS not guarded" true
+    (List.exists
+       (fun t -> not (Tgd_class.is_guarded t))
+       art.Reduction.sigma')
+
+let test_witness_rewriting_when_query_entailed () =
+  (* Σ ⊨ ∃x Q(x) ⟹ Σ' ≡ Σ_L (the paper's (1) ⇒ (2) direction) *)
+  let sigma = sigma_yes in
+  let art = Reduction.g_to_l_hardness sigma ~query:(q sigma) in
+  check_bool "witness is linear" true
+    (Tgd_class.all_in_class Tgd_class.Linear art.Reduction.witness_rewriting);
+  check_answer "Σ' ≡ Σ_L" Tgd_chase.Entailment.Proved
+    (Tgd_chase.Entailment.equivalent art.Reduction.sigma'
+       art.Reduction.witness_rewriting);
+  check_bool "bounded models agree" true
+    (Rewrite.verify_equivalence_bounded art.Reduction.sigma'
+       art.Reduction.witness_rewriting ~dom_size:2
+    = None)
+
+let test_not_equivalent_when_query_not_entailed () =
+  (* Σ ⊭ ∃x Q(x) ⟹ Σ' is NOT closed under union, hence not equivalent to
+     the witness linear set *)
+  let sigma = sigma_no in
+  let query = Option.get (Schema.find (Rewrite.schema_of sigma_yes) "Q") in
+  (* extend Σ's schema with Q by mentioning it in a harmless rule *)
+  let sigma = sigma @ [ tgd "Q(x) -> Q(x)." ] in
+  let art = Reduction.g_to_l_hardness sigma ~query in
+  check_answer "not equivalent" Tgd_chase.Entailment.Disproved
+    (Tgd_chase.Entailment.equivalent art.Reduction.sigma'
+       art.Reduction.witness_rewriting)
+
+let test_union_argument () =
+  (* the (2) ⇒ (1) proof: with Σ ⊭ q there are models J, J' of Σ' whose
+     union violates Σ' — replay the construction *)
+  let sigma = sigma_no @ [ tgd "Q(x) -> Q(x)." ] in
+  let query = Option.get (Schema.find (Rewrite.schema_of sigma) "Q") in
+  let art = Reduction.g_to_l_hardness sigma ~query in
+  let schema' = art.Reduction.schema' in
+  let i = Tgd_instance.Instance.empty schema' in
+  (* I ⊨ Σ and I ⊭ ∃x Q(x); J adds R(c), J' adds S(c) *)
+  let j =
+    Tgd_instance.Instance.add_fact i (Fact.make art.Reduction.fresh_r [ c "w" ])
+  in
+  let j' =
+    Tgd_instance.Instance.add_fact i (Fact.make art.Reduction.fresh_s [ c "w" ])
+  in
+  check_bool "J ⊨ Σ'" true (Tgd_instance.Satisfaction.tgds j art.Reduction.sigma');
+  check_bool "J' ⊨ Σ'" true (Tgd_instance.Satisfaction.tgds j' art.Reduction.sigma');
+  check_bool "J ∪ J' ⊭ Σ'" false
+    (Tgd_instance.Satisfaction.tgds
+       (Tgd_instance.Instance.union j j')
+       art.Reduction.sigma')
+
+let test_validation () =
+  Alcotest.check_raises "query must occur"
+    (Invalid_argument "Reduction: query relation does not occur in the input")
+    (fun () ->
+      ignore
+        (Reduction.g_to_l_hardness sigma_no ~query:(Relation.make "Nope" 1)));
+  Alcotest.check_raises "guarded input"
+    (Invalid_argument "Reduction.g_to_l_hardness: input must be guarded")
+    (fun () ->
+      ignore
+        (Reduction.g_to_l_hardness
+           [ tgd "E(x,y), E(y,z) -> E(x,z)." ]
+           ~query:(Relation.make "E" 2)))
+
+let test_query_atom () =
+  let a = Reduction.query_atom (Relation.make "Q" 3) in
+  check_int "distinct vars" 3 (Variable.Set.cardinal (Atom.vars a))
+
+let suite =
+  [ case "G-to-L construction shape" test_construction_shape;
+    case "FG-to-G construction shape" test_fg_construction_shape;
+    case "witness rewriting when entailed" test_witness_rewriting_when_query_entailed;
+    case "no equivalence when not entailed" test_not_equivalent_when_query_not_entailed;
+    case "union argument (Appendix F)" test_union_argument;
+    case "validation" test_validation;
+    case "query atom" test_query_atom
+  ]

@@ -1,0 +1,72 @@
+open Tgd_instance
+open Tgd_core
+open Helpers
+
+let looping = [ tgd "E(x,y) -> exists z. E(y,z)." ]
+let tiny = Tgd_chase.Chase.{ max_rounds = 4; max_facts = 50 }
+
+let test_upgrades_unknown () =
+  let goal = tgd "E(x,y) -> F(x,y)." in
+  (* the chase alone cannot settle this *)
+  check_answer "chase says unknown" Tgd_chase.Entailment.Unknown
+    (Tgd_chase.Entailment.entails ~budget:tiny looping goal);
+  (* finite refutation settles it *)
+  check_answer "refutation disproves" Tgd_chase.Entailment.Disproved
+    (Refutation.entails ~budget:tiny looping goal)
+
+let test_countermodel_is_genuine () =
+  let goal = tgd "E(x,y) -> F(x,y)." in
+  match Refutation.countermodel looping goal with
+  | None -> Alcotest.fail "expected a countermodel"
+  | Some i ->
+    check_bool "models Σ" true (Satisfaction.tgds i looping);
+    check_bool "violates goal" false (Satisfaction.tgd i goal)
+
+let test_no_false_refutation () =
+  (* an actually-entailed goal must never be "refuted" *)
+  let sigma = [ tgd "E(x,y) -> F(x,y)."; tgd "F(x,y) -> G(x,y)." ] in
+  check_answer "still proved" Tgd_chase.Entailment.Proved
+    (Refutation.entails sigma (tgd "E(x,y) -> G(x,y)."));
+  (* confirming absence is exponential in the fact space, so bound the
+     extra elements: the 3-relation schema over the 2 frozen constants is
+     already 2^11 candidate instances *)
+  check_bool "no countermodel exists" true
+    (Refutation.countermodel ~extra:0 sigma (tgd "E(x,y) -> G(x,y).") = None)
+
+let test_unknown_persists_when_bound_too_small () =
+  (* every node has a successor, and any loop or 2-cycle marks its nodes
+     with W.  The goal E(x,y) → W(y) fails only in models where the frozen
+     target's successor chain escapes without cycling through it — which
+     needs one fresh element beyond the frozen body. *)
+  let sigma =
+    tgds
+      "E(x,y) -> exists z. E(y,z).\nE(x,y), E(y,x) -> W(x).\nE(x,x) -> W(x)."
+  in
+  let goal = tgd "E(x,y) -> W(y)." in
+  check_answer "chase alone cannot settle" Tgd_chase.Entailment.Unknown
+    (Tgd_chase.Entailment.entails ~budget:tiny sigma goal);
+  check_answer "refutable with 1 extra" Tgd_chase.Entailment.Disproved
+    (Refutation.entails ~budget:tiny ~extra:1 sigma goal);
+  check_answer "not refutable with 0 extra" Tgd_chase.Entailment.Unknown
+    (Refutation.entails ~budget:tiny ~extra:0 sigma goal)
+
+let test_bodiless_goal () =
+  let sigma = [ tgd "P(x) -> Q(x)." ] in
+  let goal = tgd "-> exists z. P(z)." in
+  (* the empty instance is a model of Σ violating the goal *)
+  check_answer "refuted" Tgd_chase.Entailment.Disproved
+    (Refutation.entails sigma goal)
+
+let test_entails_set () =
+  check_answer "mixed set disproved" Tgd_chase.Entailment.Disproved
+    (Refutation.entails_set ~budget:tiny looping
+       [ tgd "E(x,y) -> exists z. E(y,z)."; tgd "E(x,y) -> F(x,y)." ])
+
+let suite =
+  [ case "upgrades chase unknowns" test_upgrades_unknown;
+    case "countermodels are genuine" test_countermodel_is_genuine;
+    case "no false refutations" test_no_false_refutation;
+    case "bound sensitivity" test_unknown_persists_when_bound_too_small;
+    case "bodiless goals" test_bodiless_goal;
+    case "set version" test_entails_set
+  ]

@@ -1,0 +1,96 @@
+open Tgd_syntax
+open Tgd_instance
+open Helpers
+
+let s = schema [ ("E", 2) ]
+let e = Relation.make "E" 2
+
+let test_core_of_core () =
+  let cycle = inst ~schema:s "E(a,b). E(b,a)." in
+  check_bool "2-cycle is a core" true (Retract.is_core cycle);
+  check_bool "core is identity on cores" true
+    (Instance.equal_facts (Retract.core cycle) cycle)
+
+let test_loop_absorbs () =
+  (* anything with a loop retracts onto the loop *)
+  let i = inst ~schema:s "E(a,a). E(a,b). E(b,c). E(c,a)." in
+  let core = Retract.core i in
+  check_int "single loop" 1 (Instance.fact_count core);
+  check_bool "loop fact" true
+    (Fact.Set.exists
+       (fun f -> match Fact.tuple f with [ x; y ] -> Constant.equal x y | _ -> false)
+       (Instance.facts core))
+
+let test_path_is_core () =
+  let path = inst ~schema:s "E(a,b). E(b,c)." in
+  check_bool "odd: 2-path is a core" true (Retract.is_core path)
+
+let test_core_hom_equivalent () =
+  let samples =
+    [ inst ~schema:s "E(a,a). E(b,b). E(a,b).";
+      inst ~schema:s "E(a,b). E(c,b). E(c,d).";
+      inst ~schema:s "E(a,b). E(b,a). E(c,d). E(d,c)." ]
+  in
+  List.iter
+    (fun i ->
+      let core = Retract.core i in
+      check_bool "core ⊆ I" true (Instance.subset core i);
+      check_bool "hom-equivalent" true (Hom.hom_equivalent i core);
+      check_bool "result is a core" true (Retract.is_core core))
+    samples
+
+let test_two_cycles_collapse () =
+  (* two disjoint 2-cycles retract onto one *)
+  let i = inst ~schema:s "E(a,b). E(b,a). E(c,d). E(d,c)." in
+  let core = Retract.core i in
+  check_int "one 2-cycle" 2 (Instance.fact_count core)
+
+let test_core_preserving () =
+  (* chase-style minimization: database constants are rigid.  The null-like
+     witness collapses onto b only if b can replace it; fixing everything
+     named keeps the fact. *)
+  let i = inst ~schema:s "E(a,b). E(a,q)." in
+  let rigid = Constant.set_of_list [ c "a"; c "b" ] in
+  let core = Retract.core_preserving rigid i in
+  check_int "q folded into b" 1 (Instance.fact_count core);
+  check_bool "kept the rigid fact" true
+    (Instance.mem core (Fact.make e [ c "a"; c "b" ]));
+  (* with q also rigid nothing shrinks *)
+  let all_rigid = Constant.set_of_list [ c "a"; c "b"; c "q" ] in
+  check_int "all rigid" 2
+    (Instance.fact_count (Retract.core_preserving all_rigid i))
+
+let test_shrink_step () =
+  let i = inst ~schema:s "E(a,a). E(b,b)." in
+  (match Retract.shrink_step i with
+  | Some j -> check_int "one loop left" 1 (Instance.fact_count j)
+  | None -> Alcotest.fail "two loops must shrink");
+  check_bool "single loop cannot shrink" true
+    (Retract.shrink_step (inst ~schema:s "E(a,a).") = None)
+
+let test_chase_core_minimal_universal () =
+  (* the oblivious chase produces a redundant null witness; its rigid-
+     preserving core is the minimal universal model *)
+  let sigma = tgds "Dept(d) -> exists m. Mgr(d,m).\nMgr(d,m) -> Person(m)." in
+  let sch = Tgd_core.Rewrite.schema_of sigma in
+  let db = Tgd_parse.Parse.instance_exn ~schema:sch "Dept(cs). Mgr(cs,codd). Person(codd)." in
+  let r = Tgd_chase.Chase.oblivious sigma db in
+  check_bool "chase terminated" true (Tgd_chase.Chase.is_model r);
+  check_bool "oblivious added a redundant null" true
+    (Instance.fact_count r.Tgd_chase.Chase.instance > Instance.fact_count db);
+  let core = Retract.core_preserving (Instance.adom db) r.Tgd_chase.Chase.instance in
+  check_bool "core is a model" true (Satisfaction.tgds core sigma);
+  check_bool "core contains db" true (Instance.subset db core);
+  check_bool "core dropped the redundant null" true
+    (Instance.equal_facts core db)
+
+let suite =
+  [ case "core of a core" test_core_of_core;
+    case "loop absorbs everything" test_loop_absorbs;
+    case "2-path is a core" test_path_is_core;
+    case "core is a hom-equivalent retract" test_core_hom_equivalent;
+    case "disjoint cycles collapse" test_two_cycles_collapse;
+    case "core preserving rigid constants" test_core_preserving;
+    case "shrink step" test_shrink_step;
+    case "core universal model" test_chase_core_minimal_universal
+  ]

@@ -1,0 +1,106 @@
+open Tgd_syntax
+open Tgd_instance
+open Helpers
+
+let s = schema [ ("E", 2); ("P", 1) ]
+
+let test_tgd_satisfaction () =
+  let symm = tgd "E(x,y) -> E(y,x)." in
+  check_bool "cycle symmetric... no" false
+    (Satisfaction.tgd (inst ~schema:s "E(a,b). E(b,c).") symm);
+  check_bool "symmetric pair" true
+    (Satisfaction.tgd (inst ~schema:s "E(a,b). E(b,a).") symm);
+  check_bool "empty instance satisfies" true
+    (Satisfaction.tgd (Instance.empty s) symm)
+
+let test_existential_head () =
+  let succ = tgd "E(x,y) -> exists z. E(y,z)." in
+  check_bool "loop satisfies" true (Satisfaction.tgd (inst ~schema:s "E(a,a).") succ);
+  check_bool "dead end violates" false
+    (Satisfaction.tgd (inst ~schema:s "E(a,b).") succ);
+  check_bool "cycle satisfies" true
+    (Satisfaction.tgd (inst ~schema:s "E(a,b). E(b,a).") succ)
+
+let test_bodiless () =
+  let start = tgd "-> exists z. P(z)." in
+  check_bool "empty violates bodiless" false
+    (Satisfaction.tgd (Instance.empty s) start);
+  check_bool "P(a) satisfies" true (Satisfaction.tgd (inst ~schema:s "P(a).") start)
+
+let test_multi_atom_head () =
+  let both = tgd "P(x) -> exists z. E(x,z), E(z,x)." in
+  check_bool "needs both directions" false
+    (Satisfaction.tgd (inst ~schema:s "P(a). E(a,b).") both);
+  check_bool "same witness required" true
+    (Satisfaction.tgd (inst ~schema:s "P(a). E(a,b). E(b,a).") both);
+  (* witnesses via different z must NOT count: E(a,b), E(c,a) has no single z *)
+  check_bool "split witnesses rejected" false
+    (Satisfaction.tgd (inst ~schema:s "P(a). E(a,b). E(c,a).") both)
+
+let test_violating_hom () =
+  let symm = tgd "E(x,y) -> E(y,x)." in
+  match Satisfaction.violating_hom (inst ~schema:s "E(a,b).") symm with
+  | Some h ->
+    check_bool "x -> a" true (Binding.find (v "x") h = Some (c "a"));
+    check_bool "y -> b" true (Binding.find (v "y") h = Some (c "b"))
+  | None -> Alcotest.fail "expected a violation"
+
+let test_egd_satisfaction () =
+  let e = Relation.make "E" 2 in
+  let key = Egd.make ~body:[ Atom.of_vars e [ v "x"; v "y" ]; Atom.of_vars e [ v "x"; v "z" ] ] (v "y") (v "z") in
+  check_bool "functional ok" true (Satisfaction.egd (inst ~schema:s "E(a,b). E(c,b).") key);
+  check_bool "violated" false
+    (Satisfaction.egd (inst ~schema:s "E(a,b). E(a,q).") key)
+
+let test_edd_satisfaction () =
+  let e = Relation.make "E" 2 in
+  let d =
+    Edd.make
+      ~body:[ Atom.of_vars e [ v "x"; v "y" ] ]
+      ~disjuncts:
+        [ Edd.Eq (v "x", v "y"); Edd.Exists [ Atom.of_vars e [ v "y"; v "z" ] ] ]
+  in
+  (* every edge either a loop or extends *)
+  check_bool "loop ok" true (Satisfaction.edd (inst ~schema:s "E(a,a).") d);
+  check_bool "path interior ok" true
+    (Satisfaction.edd (inst ~schema:s "E(a,b). E(b,b).") d);
+  check_bool "dead end violates" false (Satisfaction.edd (inst ~schema:s "E(a,b).") d)
+
+let test_dependencies_mixed () =
+  let e = Relation.make "E" 2 in
+  let deps =
+    [ Dependency.tgd (tgd "E(x,y) -> E(y,x).");
+      Dependency.egd (Egd.make ~body:[ Atom.of_vars e [ v "x"; v "y" ] ] (v "x") (v "y"))
+    ]
+  in
+  check_bool "loops only" true (Satisfaction.dependencies (inst ~schema:s "E(a,a).") deps);
+  check_bool "edge fails egd" false
+    (Satisfaction.dependencies (inst ~schema:s "E(a,b). E(b,a).") deps)
+
+let test_boolean_cq () =
+  let i = inst ~schema:s "E(a,b). E(b,c). P(a)." in
+  let e = Relation.make "E" 2 in
+  let p = Relation.make "P" 1 in
+  check_bool "∃x,y. E(x,y) ∧ P(x)" true
+    (Satisfaction.boolean_cq i [ Atom.of_vars e [ v "x"; v "y" ]; Atom.of_vars p [ v "x" ] ]);
+  check_bool "∃x,y. E(x,y) ∧ P(y)" false
+    (Satisfaction.boolean_cq i [ Atom.of_vars e [ v "x"; v "y" ]; Atom.of_vars p [ v "y" ] ])
+
+let test_frontier_binding_only () =
+  (* body variables not in the head must not constrain the head search *)
+  let t = tgd "E(x,y), E(y,w) -> exists z. E(x,z)." in
+  check_bool "frontier only" true
+    (Satisfaction.tgd (inst ~schema:s "E(a,b). E(b,c).") t)
+
+let suite =
+  [ case "tgd satisfaction" test_tgd_satisfaction;
+    case "existential heads" test_existential_head;
+    case "bodiless tgds" test_bodiless;
+    case "multi-atom heads share witnesses" test_multi_atom_head;
+    case "violating hom" test_violating_hom;
+    case "egd satisfaction" test_egd_satisfaction;
+    case "edd satisfaction" test_edd_satisfaction;
+    case "mixed dependencies" test_dependencies_mixed;
+    case "boolean cqs" test_boolean_cq;
+    case "frontier-only binding" test_frontier_binding_only
+  ]

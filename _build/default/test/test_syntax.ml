@@ -1,0 +1,278 @@
+open Tgd_syntax
+open Helpers
+
+(* ---- variables and constants ---- *)
+
+let test_variable_basics () =
+  check_bool "equal" true (Variable.equal (v "x") (v "x"));
+  check_bool "distinct" false (Variable.equal (v "x") (v "y"));
+  Alcotest.check_raises "empty name" (Invalid_argument "Variable.make: empty name")
+    (fun () -> ignore (Variable.make ""));
+  let f1 = Variable.fresh () and f2 = Variable.fresh () in
+  check_bool "fresh distinct" false (Variable.equal f1 f2);
+  Alcotest.check Alcotest.string "indexed" "x3" (Variable.name (Variable.indexed "x" 3))
+
+let test_constant_order () =
+  let a = c "a" and b = c "b" in
+  check_bool "named eq" true (Constant.equal a (c "a"));
+  check_bool "pair eq" true
+    (Constant.equal (Constant.pair a b) (Constant.pair (c "a") (c "b")));
+  check_bool "pair neq" false
+    (Constant.equal (Constant.pair a b) (Constant.pair b a));
+  check_bool "null is null" true (Constant.is_null (Constant.null 3));
+  check_bool "pair with null is null" true
+    (Constant.is_null (Constant.pair a (Constant.null 1)));
+  check_bool "named not null" false (Constant.is_null a);
+  Alcotest.check Alcotest.string "projections" "a"
+    (Constant.to_string (Constant.first (Constant.pair a b)));
+  Alcotest.check_raises "first of non-pair"
+    (Invalid_argument "Constant.first: not a pair") (fun () ->
+      ignore (Constant.first a))
+
+let test_constant_total_order () =
+  (* compare is a total order: antisymmetric and transitive on a sample *)
+  let cs =
+    [ c "a"; c "b"; Constant.indexed 0; Constant.indexed 5;
+      Constant.pair (c "a") (c "b"); Constant.null 1; Constant.null 2 ]
+  in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          let xy = Constant.compare x y and yx = Constant.compare y x in
+          check_bool "antisymmetry" true (compare xy 0 = compare 0 yx))
+        cs)
+    cs
+
+(* ---- relations and schemas ---- *)
+
+let test_relation () =
+  let r = Relation.make "R" 2 in
+  Alcotest.check Alcotest.string "name" "R" (Relation.name r);
+  check_int "arity" 2 (Relation.arity r);
+  check_bool "same name different arity differ" false
+    (Relation.equal r (Relation.make "R" 3));
+  Alcotest.check_raises "negative arity"
+    (Invalid_argument "Relation.make: negative arity") (fun () ->
+      ignore (Relation.make "R" (-1)))
+
+let test_schema () =
+  let s = schema [ ("R", 2); ("P", 1); ("T", 1) ] in
+  check_int "size" 3 (Schema.size s);
+  check_int "max arity" 2 (Schema.max_arity s);
+  check_bool "mem" true (Schema.mem s (Relation.make "P" 1));
+  check_bool "find" true (Schema.find s "R" <> None);
+  Alcotest.check Alcotest.(option int) "arity_of" (Some 2) (Schema.arity_of s "R");
+  check_bool "subset" true
+    (Schema.subset (schema [ ("P", 1) ]) s);
+  check_bool "not subset" false
+    (Schema.subset s (schema [ ("P", 1) ]));
+  Alcotest.check_raises "arity clash"
+    (Invalid_argument "Schema: relation R declared with arities 2 and 3")
+    (fun () -> ignore (schema [ ("R", 2); ("R", 3) ]))
+
+let test_schema_union_dedup () =
+  let s1 = schema [ ("R", 2) ] and s2 = schema [ ("R", 2); ("P", 1) ] in
+  check_int "union dedups" 2 (Schema.size (Schema.union s1 s2));
+  check_bool "union equal" true (Schema.equal (Schema.union s1 s2) s2)
+
+(* ---- atoms and facts ---- *)
+
+let test_atom () =
+  let r = Relation.make "R" 2 in
+  let a = Atom.of_vars r [ v "x"; v "y" ] in
+  check_int "arity" 2 (Atom.arity a);
+  check_int "vars" 2 (Variable.Set.cardinal (Atom.vars a));
+  Alcotest.check (Alcotest.list Alcotest.string) "var order"
+    [ "y"; "x" ]
+    (List.map Variable.name (Atom.var_list (Atom.of_vars r [ v "y"; v "x" ])));
+  check_bool "not ground" false (Atom.is_ground a);
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Atom.make: R expects 2 arguments, got 1") (fun () ->
+      ignore (Atom.of_vars r [ v "x" ]))
+
+let test_atom_substitute () =
+  let r = Relation.make "R" 2 in
+  let a = Atom.of_vars r [ v "x"; v "y" ] in
+  let sigma = Variable.Map.singleton (v "x") (Term.const (c "a")) in
+  let a' = Atom.substitute sigma a in
+  Alcotest.check Alcotest.string "partial grounding" "R(a,y)" (Atom.to_string a');
+  let rho = Variable.Map.singleton (v "y") (v "w") in
+  Alcotest.check Alcotest.string "rename" "R(x,w)"
+    (Atom.to_string (Atom.rename rho a))
+
+let test_fact () =
+  let r = Relation.make "R" 2 in
+  let f = Fact.make r [ c "a"; c "b" ] in
+  check_int "constants" 2 (Constant.Set.cardinal (Fact.constants f));
+  let g = Fact.map (fun x -> if Constant.equal x (c "a") then c "z" else x) f in
+  Alcotest.check Alcotest.string "map" "R(z,b)" (Fact.to_string g);
+  Alcotest.check (Alcotest.option fact_testable) "atom round trip" (Some f)
+    (Fact.of_atom (Fact.to_atom f));
+  Alcotest.check (Alcotest.option fact_testable) "non-ground atom" None
+    (Fact.of_atom (Atom.of_vars r [ v "x"; v "y" ]))
+
+(* ---- bindings ---- *)
+
+let test_binding () =
+  let b = Binding.of_list [ (v "x", c "a"); (v "y", c "b") ] in
+  check_int "cardinal" 2 (Binding.cardinal b);
+  check_bool "extend consistent" true (Binding.extend (v "x") (c "a") b <> None);
+  check_bool "extend conflict" true (Binding.extend (v "x") (c "b") b = None);
+  check_bool "injective" true (Binding.is_injective b);
+  check_bool "non-injective" false
+    (Binding.is_injective (Binding.of_list [ (v "x", c "a"); (v "y", c "a") ]));
+  let merged = Binding.merge b (Binding.singleton (v "z") (c "d")) in
+  check_bool "merge ok" true (merged <> None);
+  check_bool "merge conflict" true
+    (Binding.merge b (Binding.singleton (v "x") (c "q")) = None)
+
+let test_binding_grounding () =
+  let r = Relation.make "R" 2 in
+  let b = Binding.of_list [ (v "x", c "a") ] in
+  let a = Atom.of_vars r [ v "x"; v "y" ] in
+  check_bool "partial ground fails" true (Binding.ground_atom b a = None);
+  let b' = Binding.add (v "y") (c "b") b in
+  Alcotest.check (Alcotest.option fact_testable) "full ground"
+    (Some (Fact.make r [ c "a"; c "b" ]))
+    (Binding.ground_atom b' a);
+  check_bool "restrict" true
+    (Binding.find (v "y") (Binding.restrict (Variable.Set.singleton (v "x")) b')
+    = None)
+
+(* ---- tgds ---- *)
+
+let test_tgd_structure () =
+  let s = tgd "R(x,y), S(y,z) -> exists u. T(x,u)." in
+  check_int "n universal" 3 (Tgd.n_universal s);
+  check_int "m existential" 1 (Tgd.m_existential s);
+  check_int "frontier" 1 (Variable.Set.cardinal (Tgd.frontier s));
+  check_bool "in TGD_{3,1}" true (Tgd.in_class_nm ~n:3 ~m:1 s);
+  check_bool "not in TGD_{2,1}" false (Tgd.in_class_nm ~n:2 ~m:1 s);
+  check_bool "not in TGD_{3,0}" false (Tgd.in_class_nm ~n:3 ~m:0 s)
+
+let test_tgd_validation () =
+  let r = Relation.make "R" 1 in
+  Alcotest.check_raises "empty head" (Invalid_argument "Tgd.make: empty head")
+    (fun () -> ignore (Tgd.make ~body:[ Atom.of_vars r [ v "x" ] ] ~head:[]));
+  Alcotest.check_raises "no variables"
+    (Invalid_argument "Tgd.make: a tgd has at least one variable") (fun () ->
+      let aux = Relation.make "Aux" 0 in
+      ignore (Tgd.make ~body:[] ~head:[ Atom.make aux [] ]));
+  Alcotest.check_raises "constants rejected"
+    (Invalid_argument "Tgd.make: tgds are constant-free") (fun () ->
+      ignore
+        (Tgd.make ~body:[ Atom.make r [ Term.const (c "a") ] ]
+           ~head:[ Atom.of_vars r [ v "x" ] ]))
+
+let test_tgd_bodiless () =
+  let s = tgd "-> exists z. Start(z)." in
+  check_int "n" 0 (Tgd.n_universal s);
+  check_int "m" 1 (Tgd.m_existential s);
+  check_bool "frontier empty" true (Variable.Set.is_empty (Tgd.frontier s))
+
+let test_tgd_refresh () =
+  let s = tgd "R(x,y) -> exists z. R(y,z)." in
+  let s' = Tgd.refresh s in
+  check_bool "refreshed differs syntactically" false (Tgd.equal s s');
+  check_bool "refresh preserves class" true
+    (Canonical.equal_up_to_renaming s s')
+
+(* ---- classes ---- *)
+
+let test_classes () =
+  let lin = tgd "R(x,y) -> exists z. R(y,z)." in
+  check_bool "linear" true (Tgd_class.is_linear lin);
+  check_bool "linear is guarded" true (Tgd_class.is_guarded lin);
+  check_bool "linear is fg" true (Tgd_class.is_frontier_guarded lin);
+  check_bool "linear not full" false (Tgd_class.is_full lin);
+  let guarded = tgd "R(x,y), P(x) -> T(x)." in
+  check_bool "guarded" true (Tgd_class.is_guarded guarded);
+  check_bool "guarded not linear" false (Tgd_class.is_linear guarded);
+  let fg = tgd "R(x,y), S(y,z) -> T(x,y)." in
+  check_bool "fg" true (Tgd_class.is_frontier_guarded fg);
+  check_bool "fg not guarded" false (Tgd_class.is_guarded fg);
+  let plain = tgd "E(x,y), E(y,z) -> E(x,z)." in
+  check_bool "tc not fg" false (Tgd_class.is_frontier_guarded plain);
+  check_bool "tc full" true (Tgd_class.is_full plain)
+
+let test_class_inclusions () =
+  (* LTGD ⊊ GTGD ⊊ FGTGD on a sample of tgds *)
+  let sample =
+    [ tgd "R(x,y) -> T(x)."; tgd "R(x,y), P(x) -> T(x).";
+      tgd "R(x,y), S(y,z) -> T(x)."; tgd "R(x) -> exists z. R(z).";
+      tgd "E(x,y), E(y,z) -> E(x,z)." ]
+  in
+  List.iter
+    (fun s ->
+      if Tgd_class.is_linear s then
+        check_bool "L ⊆ G" true (Tgd_class.is_guarded s);
+      if Tgd_class.is_guarded s then
+        check_bool "G ⊆ FG" true (Tgd_class.is_frontier_guarded s))
+    sample
+
+let test_guard_extraction () =
+  let s = tgd "R(x,y), P(x) -> T(x)." in
+  (match Tgd_class.guard s with
+  | Some g -> Alcotest.check Alcotest.string "guard" "R(x,y)" (Atom.to_string g)
+  | None -> Alcotest.fail "expected a guard");
+  let fg = tgd "R(x,y), S(y,z) -> T(x,y)." in
+  check_bool "no full guard" true (Tgd_class.guard fg = None);
+  check_bool "frontier guard exists" true (Tgd_class.frontier_guard fg <> None)
+
+(* ---- egds / edds / dependencies ---- *)
+
+let test_egd () =
+  let r = Relation.make "R" 2 in
+  let e = Egd.make ~body:[ Atom.of_vars r [ v "x"; v "y" ] ] (v "x") (v "y") in
+  check_int "egd n" 2 (Egd.n_universal e);
+  check_bool "nontrivial" false (Egd.is_trivial e);
+  Alcotest.check_raises "vars must occur"
+    (Invalid_argument "Egd.make: equated variables must occur in the body")
+    (fun () ->
+      ignore (Egd.make ~body:[ Atom.of_vars r [ v "x"; v "y" ] ] (v "x") (v "z")))
+
+let test_edd () =
+  let r = Relation.make "R" 2 in
+  let body = [ Atom.of_vars r [ v "x"; v "y" ] ] in
+  let d =
+    Edd.make ~body
+      ~disjuncts:
+        [ Edd.Eq (v "x", v "y");
+          Edd.Exists [ Atom.of_vars r [ v "y"; v "z" ] ] ]
+  in
+  check_int "edd n" 2 (Edd.n_universal d);
+  check_int "edd m" 1 (Edd.m_existential d);
+  check_bool "in E_{2,1}" true (Edd.in_e_nm ~n:2 ~m:1 d);
+  check_bool "not single tgd" true (Edd.as_tgd d = None);
+  check_int "disjunct deps" 2 (List.length (Edd.disjunct_dependencies d))
+
+let test_edd_tgd_round_trip () =
+  let s = tgd "R(x,y) -> exists z. R(y,z)." in
+  match Edd.as_tgd (Edd.of_tgd s) with
+  | Some s' -> check_tgd "round trip" s s'
+  | None -> Alcotest.fail "edd of tgd should convert back"
+
+let suite =
+  [ case "variable basics" test_variable_basics;
+    case "constant order" test_constant_order;
+    case "constant total order" test_constant_total_order;
+    case "relation" test_relation;
+    case "schema" test_schema;
+    case "schema union dedup" test_schema_union_dedup;
+    case "atom" test_atom;
+    case "atom substitute/rename" test_atom_substitute;
+    case "fact" test_fact;
+    case "binding" test_binding;
+    case "binding grounding" test_binding_grounding;
+    case "tgd structure" test_tgd_structure;
+    case "tgd validation" test_tgd_validation;
+    case "bodiless tgd" test_tgd_bodiless;
+    case "tgd refresh" test_tgd_refresh;
+    case "classes" test_classes;
+    case "class inclusions" test_class_inclusions;
+    case "guard extraction" test_guard_extraction;
+    case "egd" test_egd;
+    case "edd" test_edd;
+    case "edd/tgd round trip" test_edd_tgd_round_trip
+  ]

@@ -1,0 +1,153 @@
+open Tgd_syntax
+open Tgd_instance
+open Tgd_chase
+open Helpers
+
+let s = schema [ ("Emp", 2); ("Mgr", 2); ("Dept", 1); ("Boss", 1) ]
+
+let key_egd =
+  (* Emp(x,d), Emp(x,d') → d = d' : an employee has one department *)
+  Egd.make
+    ~body:
+      [ Atom.of_vars (Relation.make "Emp" 2) [ v "x"; v "d" ];
+        Atom.of_vars (Relation.make "Emp" 2) [ v "x"; v "d'" ] ]
+    (v "d") (v "d'")
+
+let theory_of ?(egds = []) ?(denials = []) tgds = Theory.{ tgds; egds; denials }
+
+let test_satisfies () =
+  let th = theory_of ~egds:[ key_egd ] [ tgd "Emp(x,d) -> Dept(d)." ] in
+  check_bool "model" true
+    (Theory.satisfies (inst ~schema:s "Emp(a,cs). Dept(cs).") th);
+  check_bool "tgd violated" false
+    (Theory.satisfies (inst ~schema:s "Emp(a,cs).") th);
+  check_bool "egd violated" false
+    (Theory.satisfies (inst ~schema:s "Emp(a,cs). Emp(a,math). Dept(cs). Dept(math).") th)
+
+let test_chase_merges_nulls () =
+  (* every dept has a manager (null); the key egd for Mgr merges the nulls
+     produced for the same department *)
+  let mgr_key =
+    Egd.make
+      ~body:
+        [ Atom.of_vars (Relation.make "Mgr" 2) [ v "d"; v "m" ];
+          Atom.of_vars (Relation.make "Mgr" 2) [ v "d"; v "m'" ] ]
+      (v "m") (v "m'")
+  in
+  let th =
+    theory_of ~egds:[ mgr_key ]
+      [ tgd "Dept(d) -> exists m. Mgr(d,m)."; tgd "Emp(x,d) -> Dept(d)." ]
+  in
+  (* two tgds firing Mgr for the same dept via different routes *)
+  let db = inst ~schema:s "Emp(a,cs). Dept(cs)." in
+  let r = Theory.chase th db in
+  check_bool "model" true (r.Theory.outcome = Theory.Model);
+  check_bool "satisfies theory" true (Theory.satisfies r.Theory.instance th);
+  (* exactly one manager fact for cs *)
+  check_int "one Mgr fact" 1
+    (Fact.Set.cardinal (Instance.facts_of r.Theory.instance (Relation.make "Mgr" 2)))
+
+let test_chase_rigid_clash () =
+  let th = theory_of ~egds:[ key_egd ] [] in
+  let db = inst ~schema:s "Emp(a,cs). Emp(a,math)." in
+  let r = Theory.chase th db in
+  (match r.Theory.outcome with
+  | Theory.Failed (Theory.Egd_clash (_, x, y)) ->
+    check_bool "clash on cs/math" true
+      (List.sort Constant.compare [ x; y ]
+      = List.sort Constant.compare [ c "cs"; c "math" ])
+  | _ -> Alcotest.fail "expected a rigid clash")
+
+let test_chase_null_merge_then_tgd () =
+  (* merging can re-enable tgd triggers: chase iterates to a model *)
+  let th =
+    theory_of ~egds:[ key_egd ]
+      [ tgd "Emp(x,d) -> exists e. Emp(e,d), Mgr(d,e)." ]
+  in
+  let db = inst ~schema:s "Emp(a,cs)." in
+  let r = Theory.chase th db in
+  check_bool "model" true (r.Theory.outcome = Theory.Model);
+  check_bool "satisfies" true (Theory.satisfies r.Theory.instance th)
+
+let test_denial () =
+  let d =
+    Denial.make
+      [ Atom.of_vars (Relation.make "Emp" 2) [ v "x"; v "x" ] ]
+  in
+  let th = theory_of ~denials:[ d ] [] in
+  let ok = Theory.chase th (inst ~schema:s "Emp(a,cs).") in
+  check_bool "consistent" true (ok.Theory.outcome = Theory.Model);
+  let bad = Theory.chase th (inst ~schema:s "Emp(a,a).") in
+  (match bad.Theory.outcome with
+  | Theory.Failed (Theory.Denial_violation _) -> ()
+  | _ -> Alcotest.fail "expected denial violation")
+
+let test_denial_triggered_by_tgds () =
+  (* the violation appears only after a tgd fires *)
+  let d = Denial.make [ Atom.of_vars (Relation.make "Dept" 1) [ v "x" ] ] in
+  let th = theory_of ~denials:[ d ] [ tgd "Emp(x,d) -> Dept(d)." ] in
+  let r = Theory.chase th (inst ~schema:s "Emp(a,cs).") in
+  match r.Theory.outcome with
+  | Theory.Failed (Theory.Denial_violation _) -> ()
+  | _ -> Alcotest.fail "denial must fire after the tgd round"
+
+let test_certain_boolean_mixed () =
+  let th =
+    theory_of ~egds:[ key_egd ]
+      [ tgd "Emp(x,d) -> Dept(d)." ]
+  in
+  let db = inst ~schema:s "Emp(a,cs)." in
+  let dept_cs = [ Atom.make (Relation.make "Dept" 1) [ Term.const (c "cs") ] ] in
+  check_answer "Dept(cs) certain" Entailment.Proved
+    (Theory.certain_boolean th db dept_cs);
+  (* inconsistency entails everything *)
+  let db_bad = inst ~schema:s "Emp(a,cs). Emp(a,math)." in
+  check_answer "ex falso" Entailment.Proved
+    (Theory.certain_boolean th db_bad
+       [ Atom.make (Relation.make "Dept" 1) [ Term.const (c "nowhere") ] ])
+
+let test_of_dependencies () =
+  let deps = [ Dependency.tgd (tgd "Emp(x,d) -> Dept(d)."); Dependency.egd key_egd ] in
+  let th = Theory.of_dependencies deps in
+  check_int "tgds" 1 (List.length th.Theory.tgds);
+  check_int "egds" 1 (List.length th.Theory.egds);
+  check_int "denials" 0 (List.length th.Theory.denials)
+
+let test_egd_merge_prefers_rigid () =
+  (* chase null merged into the rigid constant, not vice versa *)
+  let mgr_key =
+    Egd.make
+      ~body:
+        [ Atom.of_vars (Relation.make "Mgr" 2) [ v "d"; v "m" ];
+          Atom.of_vars (Relation.make "Mgr" 2) [ v "d"; v "m'" ] ]
+      (v "m") (v "m'")
+  in
+  let th =
+    theory_of ~egds:[ mgr_key ]
+      [ tgd "Dept(d) -> exists m. Mgr(d,m), Boss(m).";
+        tgd "Dept(d) -> exists m. Mgr(d,m), Emp(m,d)." ]
+  in
+  let db = inst ~schema:s "Dept(cs). Mgr(cs,carol)." in
+  let r = Theory.chase th db in
+  check_bool "model" true (r.Theory.outcome = Theory.Model);
+  check_bool "merges happened" true (r.Theory.merges >= 2);
+  check_bool "carol survives and absorbed the nulls" true
+    (Instance.mem r.Theory.instance (Fact.make (Relation.make "Boss" 1) [ c "carol" ])
+    && Instance.mem r.Theory.instance
+         (Fact.make (Relation.make "Emp" 2) [ c "carol"; c "cs" ]));
+  check_bool "no null remains" true
+    (Constant.Set.for_all
+       (fun x -> not (Constant.is_null x))
+       (Instance.adom r.Theory.instance))
+
+let suite =
+  [ case "satisfies" test_satisfies;
+    case "chase merges nulls" test_chase_merges_nulls;
+    case "rigid clash fails" test_chase_rigid_clash;
+    case "merge re-enables tgds" test_chase_null_merge_then_tgd;
+    case "denial constraints" test_denial;
+    case "denial after tgd round" test_denial_triggered_by_tgds;
+    case "certain answers (mixed, ex falso)" test_certain_boolean_mixed;
+    case "of_dependencies" test_of_dependencies;
+    case "merge prefers rigid constants" test_egd_merge_prefers_rigid
+  ]

@@ -1,0 +1,128 @@
+open Tgd_syntax
+open Tgd_instance
+open Tgd_workload
+open Helpers
+
+let test_rng_reproducible () =
+  let mk seed =
+    Gen.random_instance (Gen.rng seed)
+      (schema [ ("E", 2) ])
+      ~dom_size:4 ~density:0.5
+  in
+  check_bool "same seed same instance" true (Instance.equal (mk 42) (mk 42))
+
+let test_random_schema () =
+  let s = Gen.random_schema (Gen.rng 1) ~relations:4 ~max_arity:3 in
+  check_int "relations" 4 (Schema.size s);
+  check_bool "arity range" true (Schema.max_arity s >= 1 && Schema.max_arity s <= 3)
+
+let test_random_instance_density () =
+  let s = schema [ ("E", 2) ] in
+  let empty = Gen.random_instance (Gen.rng 1) s ~dom_size:4 ~density:0.0 in
+  check_int "density 0" 0 (Instance.fact_count empty);
+  let full = Gen.random_instance (Gen.rng 1) s ~dom_size:4 ~density:1.0 in
+  check_int "density 1" 16 (Instance.fact_count full)
+
+let test_random_tgd_classes () =
+  let st = Gen.rng 5 in
+  let s = Gen.random_schema st ~relations:3 ~max_arity:2 in
+  for _ = 1 to 25 do
+    check_bool "full" true (Tgd_class.is_full (Gen.random_full_tgd st s ~n:3 ~body_atoms:2 ~head_atoms:2));
+    check_bool "linear" true (Tgd_class.is_linear (Gen.random_linear_tgd st s ~n:2 ~m:1));
+    check_bool "guarded" true (Tgd_class.is_guarded (Gen.random_guarded_tgd st s ~n:2 ~m:1 ~body_atoms:2))
+  done
+
+let test_random_sigma () =
+  let st = Gen.rng 9 in
+  let s = Gen.random_schema st ~relations:3 ~max_arity:2 in
+  let sigma = Gen.random_sigma st s Tgd_class.Linear ~size:5 in
+  check_int "size" 5 (List.length sigma);
+  check_bool "all linear" true (Tgd_class.all_in_class Tgd_class.Linear sigma)
+
+let test_families_classes () =
+  check_bool "linear chain is linear" true
+    (Tgd_class.all_in_class Tgd_class.Linear (Families.linear_chain 3));
+  check_bool "existential chain is linear" true
+    (Tgd_class.all_in_class Tgd_class.Linear (Families.existential_chain 3));
+  check_bool "tc not frontier-guarded" false
+    (Tgd_class.all_in_class Tgd_class.Frontier_guarded Families.transitive_closure);
+  check_bool "guarded_rewritable guarded" true
+    (Tgd_class.all_in_class Tgd_class.Guarded (Families.guarded_rewritable 2));
+  check_bool "guarded_unrewritable guarded" true
+    (Tgd_class.all_in_class Tgd_class.Guarded (Families.guarded_unrewritable 2));
+  check_bool "fg_rewritable fg" true
+    (Tgd_class.all_in_class Tgd_class.Frontier_guarded (Families.fg_rewritable 2));
+  check_bool "fg_rewritable not all guarded" false
+    (Tgd_class.all_in_class Tgd_class.Guarded (Families.fg_rewritable 2));
+  check_bool "fg_unrewritable fg" true
+    (Tgd_class.all_in_class Tgd_class.Frontier_guarded (Families.fg_unrewritable 2));
+  check_bool "dl-lite linear" true
+    (Tgd_class.all_in_class Tgd_class.Linear (Families.dl_lite_roles 2))
+
+let test_families_sizes () =
+  check_int "chain" 4 (List.length (Families.linear_chain 4));
+  check_int "guarded_rewritable" 6 (List.length (Families.guarded_rewritable 3));
+  check_int "dl-lite" 6 (List.length (Families.dl_lite_roles 3))
+
+let test_structured_instances () =
+  check_bool "clique is critical" true (Tgd_instance.Critical.is_critical (Families.clique 3));
+  check_int "cycle facts" 5 (Instance.fact_count (Families.cycle 5));
+  (* grid w×h: (w-1)h + w(h-1) edges *)
+  check_int "grid 3x3 edges" 12 (Instance.fact_count (Families.grid 3 3));
+  check_int "grid 1x4 edges" 3 (Instance.fact_count (Families.grid 1 4));
+  check_int "grid adom" 9
+    (Tgd_syntax.Constant.Set.cardinal (Instance.adom (Families.grid 3 3)));
+  (* cycles model the successor tgd *)
+  check_bool "cycle models succ" true
+    (Satisfaction.tgds (Families.cycle 4)
+       (Tgd_parse.Parse.tgds_exn "E(x,y) -> exists z. E(y,z)."))
+
+let test_wide_family () =
+  let sigma = Families.guarded_rewritable_wide 1 in
+  check_bool "guarded" true (Tgd_class.all_in_class Tgd_class.Guarded sigma);
+  check_int "arity 3" 3
+    (Tgd_syntax.Schema.max_arity (Tgd_core.Rewrite.schema_of sigma));
+  (* still linear-rewritable *)
+  match
+    (Tgd_core.Rewrite.g_to_l
+       ~config:
+         Tgd_core.Rewrite.
+           { default_config with
+             caps =
+               Tgd_core.Candidates.
+                 { max_body_atoms = 2; max_head_atoms = 1; keep_tautologies = false }
+           }
+       sigma)
+      .Tgd_core.Rewrite.outcome
+  with
+  | Tgd_core.Rewrite.Rewritable _ -> ()
+  | _ -> Alcotest.fail "wide family must be rewritable"
+
+let test_family_equivalences () =
+  (* the documented ground truth of the rewritable family *)
+  check_answer "guarded_rewritable ≡ expected" Tgd_chase.Entailment.Proved
+    (Tgd_chase.Entailment.equivalent
+       (Families.guarded_rewritable 2)
+       (Families.guarded_rewritable_expected 2))
+
+let test_separations_are_as_documented () =
+  let sigma_g, i_g = Families.separation_linear_vs_guarded in
+  check_bool "I_G violates" false (Satisfaction.tgds i_g sigma_g);
+  let sigma_f, i_f = Families.separation_guarded_vs_fg in
+  check_bool "I_F violates" false (Satisfaction.tgds i_f sigma_f);
+  let sigma52, i52 = Families.example_5_2 in
+  check_bool "Example 5.2 I models σ" true (Satisfaction.tgds i52 sigma52)
+
+let suite =
+  [ case "rng reproducible" test_rng_reproducible;
+    case "random schema" test_random_schema;
+    case "density extremes" test_random_instance_density;
+    case "random tgd classes" test_random_tgd_classes;
+    case "random sigma" test_random_sigma;
+    case "family classes" test_families_classes;
+    case "family sizes" test_families_sizes;
+    case "structured instances" test_structured_instances;
+    case "wide family" test_wide_family;
+    case "family equivalences" test_family_equivalences;
+    case "separations as documented" test_separations_are_as_documented
+  ]
