@@ -58,6 +58,19 @@ let max_facts_arg =
 let budget_of rounds max_facts =
   Tgd_chase.Chase.{ max_rounds = rounds; max_facts }
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print engine counters (index probes, triggers, memo hit rate).")
+
+let naive_arg =
+  Arg.(
+    value & flag
+    & info [ "naive-chase" ]
+        ~doc:"Use the snapshot-rescan reference chase instead of the \
+              semi-naive engine.")
+
 (* ---- classify ---- *)
 
 let classify_cmd =
@@ -94,7 +107,7 @@ let chase_cmd =
       & info [ "explain" ] ~docv:"FACT"
           ~doc:"Print the derivation tree of a fact, e.g. \"T(a,c)\".")
   in
-  let run path db_path rounds max_facts oblivious explain =
+  let run path db_path rounds max_facts oblivious explain stats naive =
     let sigma = parse_tgds_file path in
     let schema = Rewrite.schema_of sigma in
     let p = parse_program_file path in
@@ -113,9 +126,11 @@ let chase_cmd =
         if oblivious then Tgd_chase.Chase.oblivious ?on_fire:None
         else Tgd_chase.Chase.restricted ?on_fire:None
       in
-      let r = chase ~budget sigma db in
+      let r = chase ~naive ~budget sigma db in
       Fmt.pr "%a@.%a@." Tgd_chase.Chase.pp_result r Tgd_instance.Instance.pp
-        r.Tgd_chase.Chase.instance
+        r.Tgd_chase.Chase.instance;
+      if stats then
+        Fmt.pr "%a@." Tgd_engine.Stats.pp r.Tgd_chase.Chase.stats
     | Some fact_src ->
       let fact =
         match
@@ -135,7 +150,7 @@ let chase_cmd =
   Cmd.v (Cmd.info "chase" ~doc:"Chase a database with a tgd ontology.")
     Term.(
       const run $ ontology_arg $ db_arg $ budget_arg $ max_facts_arg
-      $ oblivious_arg $ explain_arg)
+      $ oblivious_arg $ explain_arg $ stats_arg $ naive_arg)
 
 (* ---- entails ---- *)
 
@@ -183,7 +198,7 @@ let rewrite_cmd =
       value & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the rewriting to a file.")
   in
-  let run direction path body head rounds max_facts out =
+  let run direction path body head rounds max_facts out stats naive =
     let sigma = parse_tgds_file path in
     let config =
       Rewrite.
@@ -191,7 +206,9 @@ let rewrite_cmd =
             Candidates.
               { max_body_atoms = body; max_head_atoms = head; keep_tautologies = false };
           budget = budget_of rounds max_facts;
-          minimize = true
+          minimize = true;
+          naive;
+          memo = not naive
         }
     in
     let report =
@@ -203,6 +220,7 @@ let rewrite_cmd =
       report.Rewrite.n report.Rewrite.m report.Rewrite.candidates_enumerated
       report.Rewrite.candidates_entailed;
     Fmt.pr "%a@." Rewrite.pp_outcome report.Rewrite.outcome;
+    if stats then Fmt.pr "%a@." Tgd_engine.Stats.pp report.Rewrite.stats;
     match report.Rewrite.outcome with
     | Rewrite.Rewritable sigma' ->
       Option.iter
@@ -216,7 +234,9 @@ let rewrite_cmd =
   Cmd.v
     (Cmd.info "rewrite"
        ~doc:"Rewrite guarded tgds into linear (g2l) or frontier-guarded into guarded (fg2g).")
-    Term.(const run $ direction_arg $ file_arg $ body_cap $ head_cap $ budget_arg $ max_facts_arg $ out_arg)
+    Term.(
+      const run $ direction_arg $ file_arg $ body_cap $ head_cap $ budget_arg
+      $ max_facts_arg $ out_arg $ stats_arg $ naive_arg)
 
 (* ---- properties ---- *)
 

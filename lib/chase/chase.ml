@@ -1,5 +1,6 @@
 open Tgd_syntax
 open Tgd_instance
+open Tgd_engine
 
 type budget = { max_rounds : int; max_facts : int }
 
@@ -14,6 +15,7 @@ type result = {
   outcome : outcome;
   rounds : int;
   fired : int;
+  stats : Stats.t;
 }
 
 let rec max_null_in_const acc = function
@@ -40,8 +42,11 @@ let fire ?(on_fire = fun _ _ -> ()) null_counter inst tr =
     List.fold_left Instance.add_fact inst facts
   | None -> assert false (* body ∪ existential vars cover the head *)
 
-let run ~recheck_active ~skip_fired ?(budget = default_budget) ?on_fire sigma
-    inst =
+(* The original snapshot-rescan loop, kept as a reference implementation
+   behind [~naive:true] and exercised by the differential tests. *)
+let run_naive ~recheck_active ~skip_fired ?(budget = default_budget) ?on_fire
+    sigma inst =
+  let stats = Stats.create () in
   let null_counter = ref (max_null inst) in
   let fired_keys : (string, unit) Hashtbl.t = Hashtbl.create 256 in
   let current = ref inst in
@@ -52,30 +57,53 @@ let run ~recheck_active ~skip_fired ?(budget = default_budget) ?on_fire sigma
   while !progressed && (not !out_of_budget) && !rounds < budget.max_rounds do
     incr rounds;
     progressed := false;
+    let before = Instance.fact_count !current in
     let snapshot = !current in
+    let t0 = Sys.time () in
     List.iter
       (fun tgd ->
-        if not !out_of_budget then
+        if not !out_of_budget then begin
+          (* the rescan examines (at least) every fact of every body
+             relation again this round — the work the engine's delta
+             restriction avoids; count it as scans for comparability with
+             the engine's probes *)
+          List.iter
+            (fun atom ->
+              stats.Stats.scans <-
+                stats.Stats.scans
+                + Fact.Set.cardinal
+                    (Instance.facts_of snapshot (Atom.rel atom)))
+            (Tgd.body tgd);
           Seq.iter
             (fun tr ->
               if not !out_of_budget then begin
                 let skip =
                   (skip_fired && Hashtbl.mem fired_keys (Trigger.key tr))
-                  || (recheck_active && not (Trigger.is_active tr !current))
+                  || recheck_active
+                     && begin
+                          stats.Stats.scans <- stats.Stats.scans + 1;
+                          not (Trigger.is_active tr !current)
+                        end
                 in
                 if not skip then begin
                   if skip_fired then Hashtbl.add fired_keys (Trigger.key tr) ();
                   current := fire ?on_fire null_counter !current tr;
                   incr fired;
+                  stats.Stats.fired <- stats.Stats.fired + 1;
                   progressed := true;
                   if Instance.fact_count !current > budget.max_facts then
                     out_of_budget := true
                 end
               end)
             (if recheck_active then Trigger.active tgd snapshot
-             else Trigger.all tgd snapshot))
-      sigma
+             else Trigger.all tgd snapshot)
+        end)
+      sigma;
+    stats.Stats.fire_time <- stats.Stats.fire_time +. (Sys.time () -. t0);
+    stats.Stats.delta_facts <-
+      stats.Stats.delta_facts + (Instance.fact_count !current - before)
   done;
+  stats.Stats.rounds <- !rounds;
   let outcome =
     if !out_of_budget then Budget_exhausted
     else if !progressed then
@@ -88,13 +116,40 @@ let run ~recheck_active ~skip_fired ?(budget = default_budget) ?on_fire sigma
       else Terminated
     else Terminated
   in
-  { instance = !current; outcome; rounds = !rounds; fired = !fired }
+  Stats.add ~into:Stats.global stats;
+  { instance = !current; outcome; rounds = !rounds; fired = !fired; stats }
 
-let restricted ?budget ?on_fire sigma inst =
-  run ~recheck_active:true ~skip_fired:false ?budget ?on_fire sigma inst
+let run_engine ~mode ?(budget = default_budget) ?on_fire sigma inst =
+  let on_fire =
+    Option.map
+      (fun f tgd hom facts -> f { Trigger.tgd; hom } facts)
+      on_fire
+  in
+  let r =
+    Seminaive.run ~mode ~max_rounds:budget.max_rounds
+      ~max_facts:budget.max_facts ?on_fire sigma inst
+  in
+  { instance = r.Seminaive.instance;
+    outcome =
+      (match r.Seminaive.outcome with
+      | Seminaive.Terminated -> Terminated
+      | Seminaive.Budget_exhausted -> Budget_exhausted);
+    rounds = r.Seminaive.rounds;
+    fired = r.Seminaive.fired;
+    stats = r.Seminaive.stats
+  }
 
-let oblivious ?budget ?on_fire sigma inst =
-  run ~recheck_active:false ~skip_fired:true ?budget ?on_fire sigma inst
+let restricted ?(naive = false) ?budget ?on_fire sigma inst =
+  if naive then
+    run_naive ~recheck_active:true ~skip_fired:false ?budget ?on_fire sigma
+      inst
+  else run_engine ~mode:Seminaive.Restricted ?budget ?on_fire sigma inst
+
+let oblivious ?(naive = false) ?budget ?on_fire sigma inst =
+  if naive then
+    run_naive ~recheck_active:false ~skip_fired:true ?budget ?on_fire sigma
+      inst
+  else run_engine ~mode:Seminaive.Oblivious ?budget ?on_fire sigma inst
 
 let is_model r = r.outcome = Terminated
 

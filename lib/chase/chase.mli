@@ -6,10 +6,16 @@
     prefix of the (restricted or oblivious) chase of [D] with [Σ] maps
     homomorphically, fixing [D]'s constants, into every model [M ⊨ Σ] with
     [facts(D) ⊆ facts(M)] — so facts derived within the budget are certain,
-    while exhaustion of the budget leaves satisfaction open. *)
+    while exhaustion of the budget leaves satisfaction open.
+
+    By default both chases run on the indexed semi-naive engine
+    ({!Tgd_engine.Seminaive}); [~naive:true] selects the original
+    snapshot-rescan loop, kept as a reference implementation for
+    differential testing and benchmarking. *)
 
 open Tgd_syntax
 open Tgd_instance
+open Tgd_engine
 
 type budget = {
   max_rounds : int;  (** breadth-first rounds of trigger firing *)
@@ -26,11 +32,13 @@ type outcome =
 type result = {
   instance : Instance.t;
   outcome : outcome;
-  rounds : int;  (** rounds actually performed *)
-  fired : int;   (** triggers fired *)
+  rounds : int;    (** rounds actually performed *)
+  fired : int;     (** triggers fired *)
+  stats : Stats.t; (** engine counters for this run (also in Stats.global) *)
 }
 
 val restricted :
+  ?naive:bool ->
   ?budget:budget -> ?on_fire:(Trigger.t -> Fact.t list -> unit) ->
   Tgd.t list -> Instance.t -> result
 (** Breadth-first restricted chase.  When [outcome = Terminated] the
@@ -39,6 +47,7 @@ val restricted :
     not) — the hook behind {!Provenance}. *)
 
 val oblivious :
+  ?naive:bool ->
   ?budget:budget -> ?on_fire:(Trigger.t -> Fact.t list -> unit) ->
   Tgd.t list -> Instance.t -> result
 (** Oblivious (naive) chase: every trigger fires exactly once. *)

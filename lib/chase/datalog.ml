@@ -1,5 +1,6 @@
 open Tgd_syntax
 open Tgd_instance
+open Tgd_engine
 
 type stats = { rounds : int; derived : int }
 
@@ -10,36 +11,6 @@ let check_full sigma =
       sigma
   then invalid_arg "Datalog.saturate: rules must be existential-free"
 
-(* All body homs where atom [pivot] matches a fact of [delta] and the other
-   atoms match [full]. *)
-let pivot_homs full delta body pivot =
-  let rec split i acc = function
-    | [] -> assert false
-    | a :: rest ->
-      if i = pivot then (a, List.rev_append acc rest)
-      else split (i + 1) (a :: acc) rest
-  in
-  let pivot_atom, others = split 0 [] body in
-  Fact.Set.to_seq (Instance.facts_of delta (Atom.rel pivot_atom))
-  |> Seq.concat_map (fun f ->
-         match Hom.match_atom Binding.empty pivot_atom f with
-         | Some partial -> Hom.all_homs ~partial others full
-         | None -> Seq.empty)
-
-let derive full delta rule =
-  match Tgd.body rule with
-  | [] ->
-    (* a bodiless full tgd would have no variables at all, which Tgd.make
-       rejects — unreachable, but harmless *)
-    Seq.empty
-  | body ->
-    Seq.init (List.length body) (fun i -> i)
-    |> Seq.concat_map (fun pivot -> pivot_homs full delta body pivot)
-    |> Seq.concat_map (fun h ->
-           match Binding.ground_atoms h (Tgd.head rule) with
-           | Some facts -> List.to_seq facts
-           | None -> Seq.empty)
-
 let saturate_with_stats ?(max_facts = 1_000_000) sigma inst =
   check_full sigma;
   let schema =
@@ -49,31 +20,19 @@ let saturate_with_stats ?(max_facts = 1_000_000) sigma inst =
           (Schema.make (List.map Atom.rel (Tgd.body t @ Tgd.head t))))
       (Instance.schema inst) sigma
   in
-  let full = ref (Instance.of_facts ~dom:(Constant.Set.elements (Instance.dom inst)) schema (Instance.fact_list inst)) in
-  (* the first delta is the instance itself: every rule must see it *)
-  let delta = ref !full in
-  let rounds = ref 0 in
-  let derived = ref 0 in
-  while not (Instance.is_empty !delta) do
-    incr rounds;
-    let fresh = ref (Instance.empty schema) in
-    List.iter
-      (fun rule ->
-        Seq.iter
-          (fun fact ->
-            if not (Instance.mem !full fact) && not (Instance.mem !fresh fact)
-            then begin
-              fresh := Instance.add_fact !fresh fact;
-              incr derived;
-              if !derived + Instance.fact_count !full > max_facts then
-                failwith "Datalog.saturate: max_facts exceeded"
-            end)
-          (derive !full !delta rule))
-      sigma;
-    full := Instance.union !full !fresh;
-    delta := !fresh
-  done;
-  (!full, { rounds = !rounds; derived = !derived })
+  let db =
+    Instance.of_facts
+      ~dom:(Constant.Set.elements (Instance.dom inst))
+      schema (Instance.fact_list inst)
+  in
+  let r = Seminaive.run ~mode:Seminaive.Restricted ~max_rounds:max_int ~max_facts sigma db in
+  (match r.Seminaive.outcome with
+  | Seminaive.Budget_exhausted -> failwith "Datalog.saturate: max_facts exceeded"
+  | Seminaive.Terminated -> ());
+  let derived =
+    Instance.fact_count r.Seminaive.instance - Instance.fact_count db
+  in
+  (r.Seminaive.instance, { rounds = r.Seminaive.rounds; derived })
 
 let saturate ?max_facts sigma inst = fst (saturate_with_stats ?max_facts sigma inst)
 

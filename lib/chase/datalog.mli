@@ -1,11 +1,11 @@
 (** Semi-naive Datalog evaluation for full tgds.
 
     Full tgds are exactly Datalog rules (no existentials, possibly
-    multi-atom heads), and for them the generic restricted chase is
-    needlessly slow: it re-derives everything every round.  This engine
-    implements classic semi-naive evaluation — each round only joins rule
-    bodies in which at least one atom matches a {e delta} fact derived in
-    the previous round.
+    multi-atom heads).  Saturation delegates to the indexed semi-naive
+    engine ({!Tgd_engine.Seminaive}): each round only joins rule bodies in
+    which at least one atom matches a {e delta} fact derived in the previous
+    round, with the remaining atoms resolved against (relation, position,
+    constant) hash indexes.
 
     Used as the fast path for entailment between full tgds and exposed as an
     ablation against {!Chase} (bench [ablate-datalog]). *)

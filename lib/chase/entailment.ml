@@ -1,5 +1,6 @@
 open Tgd_syntax
 open Tgd_instance
+open Tgd_engine
 
 type answer =
   | Proved
@@ -50,14 +51,83 @@ let schema_of_tgds sigma extra =
   in
   Schema.make rels
 
-let entails ?budget sigma s =
-  let schema = schema_of_tgds sigma s in
-  let frozen, db = freeze_instance schema (Tgd.body s) in
-  let result = Chase.restricted ?budget sigma db in
+let schema_of_body sigma atoms =
+  let rels =
+    List.map Atom.rel atoms
+    @ List.concat_map
+        (fun s ->
+          List.map Atom.rel (Tgd.body s) @ List.map Atom.rel (Tgd.head s))
+        sigma
+  in
+  Schema.make rels
+
+(* --------------------------------------------------------------------- *)
+(* Memoized entailment                                                    *)
+(*                                                                        *)
+(* Two levels.  The answer cache is keyed on the canonical (Σ, σ, budget) *)
+(* triple, so renaming-equivalent queries are answered once.  Below it,   *)
+(* the chase cache is keyed on (Σ, canonical body, budget): candidate     *)
+(* tgds sharing a body — the common shape in the Algorithm 1/2 candidate  *)
+(* sweeps, where one body is paired with many heads — share a single      *)
+(* chase, and only the final head-homomorphism check runs per candidate.  *)
+(* --------------------------------------------------------------------- *)
+
+let memo_answers : answer Memo.t = Memo.create ~name:"entails" ()
+
+let memo_chases : (Binding.t * Chase.result) Memo.t =
+  Memo.create ~name:"chase" ()
+
+let clear_memos () =
+  Memo.clear memo_answers;
+  Memo.clear memo_chases
+
+let memo_sizes () = (Memo.size memo_answers, Memo.size memo_chases)
+
+let budget_key (b : Chase.budget) =
+  Fmt.str "%d/%d" b.Chase.max_rounds b.Chase.max_facts
+
+(* The frozen binding for [s]'s own variables, given the freezing of the
+   canonical body and the renaming into canonical variables. *)
+let unrename_frozen renaming frozen_canonical =
+  Variable.Map.fold
+    (fun v cv acc ->
+      match Binding.find cv frozen_canonical with
+      | Some c -> Binding.add v c acc
+      | None -> acc)
+    renaming Binding.empty
+
+let answer_of ~frozen ~s (result : Chase.result) =
   let partial = Binding.restrict (Tgd.frontier s) frozen in
   if Hom.exists_hom ~partial (Tgd.head s) result.Chase.instance then Proved
   else if Chase.is_model result then Disproved
   else Unknown
+
+let entails_plain ~naive ~budget sigma s =
+  let schema = schema_of_tgds sigma s in
+  let frozen, db = freeze_instance schema (Tgd.body s) in
+  let result = Chase.restricted ~naive ~budget sigma db in
+  answer_of ~frozen ~s result
+
+let entails_memo ~naive ~budget sigma s =
+  let skey = Memo.sigma_key sigma in
+  let bkey = budget_key budget in
+  let akey = Fmt.str "%s |- %s @ %s" skey (Memo.tgd_key s) bkey in
+  Memo.find_or_add memo_answers akey (fun () ->
+      let canonical_body, renaming = Memo.body_canonical (Tgd.body s) in
+      let ckey = Fmt.str "%s |> %s @ %s" skey (Memo.body_key (Tgd.body s)) bkey in
+      let frozen_canonical, result =
+        Memo.find_or_add memo_chases ckey (fun () ->
+            let schema = schema_of_body sigma canonical_body in
+            let frozen, db = freeze_instance schema canonical_body in
+            (frozen, Chase.restricted ~naive ~budget sigma db))
+      in
+      let frozen = unrename_frozen renaming frozen_canonical in
+      answer_of ~frozen ~s result)
+
+let entails ?(naive = false) ?(memo = true) ?(budget = Chase.default_budget)
+    sigma s =
+  if memo then entails_memo ~naive ~budget sigma s
+  else entails_plain ~naive ~budget sigma s
 
 let combine answers =
   List.fold_left
@@ -68,14 +138,19 @@ let combine answers =
       | Proved, Proved -> Proved)
     Proved answers
 
-let entails_set ?budget sigma sigma' =
-  combine (List.map (entails ?budget sigma) sigma')
+let entails_set ?naive ?memo ?budget sigma sigma' =
+  combine (List.map (entails ?naive ?memo ?budget sigma) sigma')
 
-let equivalent ?budget sigma sigma' =
-  combine [ entails_set ?budget sigma sigma'; entails_set ?budget sigma' sigma ]
+let equivalent ?naive ?memo ?budget sigma sigma' =
+  combine
+    [ entails_set ?naive ?memo ?budget sigma sigma';
+      entails_set ?naive ?memo ?budget sigma' sigma
+    ]
 
 let entails_egd _sigma e =
   if Egd.is_trivial e then Proved else Disproved
 
-let entailed_subset ?budget sigma candidates =
-  List.partition (fun s -> entails ?budget sigma s = Proved) candidates
+let entailed_subset ?naive ?memo ?budget sigma candidates =
+  List.partition
+    (fun s -> entails ?naive ?memo ?budget sigma s = Proved)
+    candidates

@@ -26,14 +26,37 @@ val freeze : Atom.t list -> Binding.t
 val freeze_instance : Schema.t -> Atom.t list -> Binding.t * Instance.t
 (** The database [D_φ] together with the freezing assignment. *)
 
-val entails : ?budget:Chase.budget -> Tgd.t list -> Tgd.t -> answer
-(** [entails sigma s] — does [Σ ⊨ σ]? *)
+val entails :
+  ?naive:bool -> ?memo:bool -> ?budget:Chase.budget ->
+  Tgd.t list -> Tgd.t -> answer
+(** [entails sigma s] — does [Σ ⊨ σ]?
 
-val entails_set : ?budget:Chase.budget -> Tgd.t list -> Tgd.t list -> answer
+    With [~memo:true] (the default) answers are cached at two levels, both
+    keyed up to variable renaming via {!Tgd_engine.Memo}: an answer cache on
+    the canonical [(Σ, σ, budget)] triple, and below it a chase cache on
+    [(Σ, canonical body of σ, budget)] — so candidate tgds sharing a body
+    (the common shape in Algorithm 1/2 candidate sweeps) share one chase and
+    only the final head-homomorphism check runs per candidate.  Hits and
+    misses are counted in {!Tgd_engine.Stats.global}.
+
+    [~naive:true] routes the underlying chases through the snapshot-rescan
+    reference loop instead of the semi-naive engine. *)
+
+val clear_memos : unit -> unit
+(** Drop both entailment caches (e.g. between benchmark runs). *)
+
+val memo_sizes : unit -> int * int
+(** [(answer entries, cached chases)]. *)
+
+val entails_set :
+  ?naive:bool -> ?memo:bool -> ?budget:Chase.budget ->
+  Tgd.t list -> Tgd.t list -> answer
 (** Conjunction over the right-hand set: [Proved] if all are proved,
     [Disproved] if some is disproved, otherwise [Unknown]. *)
 
-val equivalent : ?budget:Chase.budget -> Tgd.t list -> Tgd.t list -> answer
+val equivalent :
+  ?naive:bool -> ?memo:bool -> ?budget:Chase.budget ->
+  Tgd.t list -> Tgd.t list -> answer
 (** Logical equivalence [Σ ≡ Σ'] (mutual entailment). *)
 
 val entails_egd : Tgd.t list -> Egd.t -> answer
@@ -41,6 +64,7 @@ val entails_egd : Tgd.t list -> Egd.t -> answer
     tgds cannot force equalities.  Definite. *)
 
 val entailed_subset :
-  ?budget:Chase.budget -> Tgd.t list -> Tgd.t list -> Tgd.t list * Tgd.t list
+  ?naive:bool -> ?memo:bool -> ?budget:Chase.budget ->
+  Tgd.t list -> Tgd.t list -> Tgd.t list * Tgd.t list
 (** [entailed_subset sigma candidates] partitions the candidates into those
     provably entailed by [sigma] and the rest (disproved or unknown). *)

@@ -65,8 +65,10 @@ let used_vars atoms =
     Variable.Set.empty atoms
   |> Variable.Set.elements
 
+(* Σ = [] makes the chase trivial, so memoizing would only pollute the
+   entailment caches (and their hit-rate stats) with throwaway entries. *)
 let is_tautology s =
-  match Tgd_chase.Entailment.entails [] s with
+  match Tgd_chase.Entailment.entails ~memo:false [] s with
   | Tgd_chase.Entailment.Proved -> true
   | Tgd_chase.Entailment.Disproved | Tgd_chase.Entailment.Unknown -> false
 

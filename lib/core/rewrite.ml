@@ -1,17 +1,22 @@
 open Tgd_syntax
 open Tgd_instance
 module Entailment = Tgd_chase.Entailment
+module Stats = Tgd_engine.Stats
 
 type config = {
   caps : Candidates.caps;
   budget : Tgd_chase.Chase.budget;
   minimize : bool;
+  naive : bool;
+  memo : bool;
 }
 
 let default_config =
   { caps = Candidates.default_caps;
     budget = Tgd_chase.Chase.default_budget;
-    minimize = true
+    minimize = true;
+    naive = false;
+    memo = true
   }
 
 type outcome =
@@ -37,6 +42,7 @@ type report = {
   m : int;
   candidates_enumerated : int;
   candidates_entailed : int;
+  stats : Stats.t;
 }
 
 let schema_of sigma =
@@ -52,19 +58,21 @@ let class_bounds sigma =
 
 (* Greedy minimization: drop a member when the remainder still entails it.
    Larger members are tried first so the surviving set is small. *)
-let minimize_set budget sigma' =
+let minimize_set ?naive ?memo budget sigma' =
   let by_size =
     List.sort (fun a b -> Int.compare (Tgd.size b) (Tgd.size a)) sigma'
   in
   List.fold_left
     (fun kept s ->
       let rest = List.filter (fun t -> not (Tgd.equal t s)) kept in
-      match Entailment.entails ~budget rest s with
+      match Entailment.entails ?naive ?memo ~budget rest s with
       | Entailment.Proved -> rest
       | Entailment.Disproved | Entailment.Unknown -> kept)
     by_size by_size
 
 let rewrite_into ?(config = default_config) enumerate ~complete sigma =
+  let naive = config.naive and memo = config.memo in
+  let before = Stats.copy Stats.global in
   let schema = schema_of sigma in
   let n, m = class_bounds sigma in
   let enumerated = ref 0 in
@@ -73,7 +81,10 @@ let rewrite_into ?(config = default_config) enumerate ~complete sigma =
     enumerate config.caps schema ~n ~m
     |> Seq.filter (fun candidate ->
            incr enumerated;
-           match Entailment.entails ~budget:config.budget sigma candidate with
+           match
+             Entailment.entails ~naive ~memo ~budget:config.budget sigma
+               candidate
+           with
            | Entailment.Proved -> true
            | Entailment.Unknown ->
              incr unknown;
@@ -81,12 +92,14 @@ let rewrite_into ?(config = default_config) enumerate ~complete sigma =
            | Entailment.Disproved -> false)
     |> List.of_seq
   in
-  let backward = Entailment.entails_set ~budget:config.budget entailed sigma in
+  let backward =
+    Entailment.entails_set ~naive ~memo ~budget:config.budget entailed sigma
+  in
   let outcome =
     match backward with
     | Entailment.Proved ->
       let sigma' =
-        if config.minimize then minimize_set config.budget entailed
+        if config.minimize then minimize_set ~naive ~memo config.budget entailed
         else entailed
       in
       Rewritable sigma'
@@ -102,7 +115,8 @@ let rewrite_into ?(config = default_config) enumerate ~complete sigma =
     n;
     m;
     candidates_enumerated = !enumerated;
-    candidates_entailed = List.length entailed
+    candidates_entailed = List.length entailed;
+    stats = Stats.diff (Stats.copy Stats.global) before
   }
 
 let g_to_l ?config sigma =

@@ -20,6 +20,8 @@ type config = {
   caps : Candidates.caps;
   budget : Tgd_chase.Chase.budget;
   minimize : bool;  (** greedily drop redundant members of [Σ'] *)
+  naive : bool;     (** route chases through the snapshot-rescan loop *)
+  memo : bool;      (** cache entailment answers and chases (default) *)
 }
 
 val default_config : config
@@ -37,6 +39,10 @@ type report = {
   m : int;
   candidates_enumerated : int;
   candidates_entailed : int;
+  stats : Tgd_engine.Stats.t;
+      (** engine work attributed to this rewrite: index probes, triggers
+          scanned/fired, memo hit rate (diff of {!Tgd_engine.Stats.global}
+          around the run) *)
 }
 
 val schema_of : Tgd.t list -> Schema.t

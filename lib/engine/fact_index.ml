@@ -1,0 +1,70 @@
+open Tgd_syntax
+
+type entry = { fact : Fact.t; round : int }
+
+(* Buckets keep entries newest-first internally and expose them oldest-first
+   (insertion order) through [to_seq]. *)
+type bucket = { mutable entries : entry list; mutable size : int }
+
+type t = {
+  by_key : (Relation.t * int * Constant.t, bucket) Hashtbl.t;
+  by_rel : (Relation.t, bucket) Hashtbl.t;
+  stamps : (Fact.t, int) Hashtbl.t;
+  stats : Stats.t;
+}
+
+let create ?(stats = Stats.create ()) () =
+  { by_key = Hashtbl.create 256;
+    by_rel = Hashtbl.create 16;
+    stamps = Hashtbl.create 256;
+    stats
+  }
+
+let mem idx f = Hashtbl.mem idx.stamps f
+let round_of idx f = Hashtbl.find_opt idx.stamps f
+let fact_count idx = Hashtbl.length idx.stamps
+
+let push tbl key e =
+  match Hashtbl.find_opt tbl key with
+  | Some b ->
+    b.entries <- e :: b.entries;
+    b.size <- b.size + 1
+  | None -> Hashtbl.replace tbl key { entries = [ e ]; size = 1 }
+
+let add idx ~round f =
+  if mem idx f then false
+  else begin
+    Hashtbl.replace idx.stamps f round;
+    let e = { fact = f; round } in
+    let rel = Fact.rel f in
+    push idx.by_rel rel e;
+    Array.iteri (fun pos c -> push idx.by_key (rel, pos, c) e) (Fact.tuple_arr f);
+    true
+  end
+
+let bucket_seq ?(up_to = max_int) bucket =
+  (* entries are newest-first; restore insertion order *)
+  List.rev bucket.entries |> List.to_seq
+  |> Seq.filter_map (fun e -> if e.round <= up_to then Some e.fact else None)
+
+let lookup idx ?up_to rel ~pos c =
+  idx.stats.Stats.probes <- idx.stats.Stats.probes + 1;
+  match Hashtbl.find_opt idx.by_key (rel, pos, c) with
+  | Some b -> bucket_seq ?up_to b
+  | None -> Seq.empty
+
+let all idx ?up_to rel =
+  idx.stats.Stats.probes <- idx.stats.Stats.probes + 1;
+  match Hashtbl.find_opt idx.by_rel rel with
+  | Some b -> bucket_seq ?up_to b
+  | None -> Seq.empty
+
+let bucket_size idx rel ~pos c =
+  match Hashtbl.find_opt idx.by_key (rel, pos, c) with
+  | Some b -> b.size
+  | None -> 0
+
+let rel_size idx rel =
+  match Hashtbl.find_opt idx.by_rel rel with
+  | Some b -> b.size
+  | None -> 0

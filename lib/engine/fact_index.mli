@@ -1,0 +1,43 @@
+(** Per-relation hash indexes over facts, keyed on
+    (relation, position, constant), with insertion-round stamps.
+
+    The index is the engine's single source of truth during saturation: a
+    fact inserted in round [r] carries the stamp [r], and every lookup can
+    be bounded by [?up_to] — so the same structure serves
+
+    - snapshot semantics (round [r] matches only facts with stamp [< r]),
+    - delta extraction (facts with stamp exactly [r-1]), and
+    - activity checks against the live instance (no bound).
+
+    Buckets preserve insertion order (oldest first), keeping the engine
+    deterministic.  Lookups bump [probes] on the {!Stats.t} the index was
+    created with. *)
+
+open Tgd_syntax
+
+type t
+
+val create : ?stats:Stats.t -> unit -> t
+(** Fresh empty index.  [stats] defaults to a private throw-away record. *)
+
+val add : t -> round:int -> Fact.t -> bool
+(** Insert with stamp [round]; [false] when the fact is already present (the
+    index is unchanged — first stamp wins). *)
+
+val mem : t -> Fact.t -> bool
+val round_of : t -> Fact.t -> int option
+val fact_count : t -> int
+
+val lookup : t -> ?up_to:int -> Relation.t -> pos:int -> Constant.t -> Fact.t Seq.t
+(** Facts [R(…,c,…)] with [c] at position [pos] and stamp [≤ up_to]
+    (default: no bound).  Counts as one probe. *)
+
+val all : t -> ?up_to:int -> Relation.t -> Fact.t Seq.t
+(** Every fact of the relation with stamp [≤ up_to].  Counts as one probe. *)
+
+val bucket_size : t -> Relation.t -> pos:int -> Constant.t -> int
+(** Size of the (relation, position, constant) bucket — the selectivity
+    estimate used to order joins.  Free: not counted as a probe. *)
+
+val rel_size : t -> Relation.t -> int
+(** Number of facts of the relation.  Not counted as a probe. *)

@@ -1,0 +1,145 @@
+open Tgd_syntax
+
+type 'a t = {
+  table : (string, 'a) Hashtbl.t;
+  memo_name : string;
+  stats : Stats.t;
+}
+
+let create ?(name = "memo") () =
+  { table = Hashtbl.create 256; memo_name = name; stats = Stats.create () }
+
+let name m = m.memo_name
+
+let hit m =
+  m.stats.Stats.memo_hits <- m.stats.Stats.memo_hits + 1;
+  Stats.global.Stats.memo_hits <- Stats.global.Stats.memo_hits + 1
+
+let miss m =
+  m.stats.Stats.memo_misses <- m.stats.Stats.memo_misses + 1;
+  Stats.global.Stats.memo_misses <- Stats.global.Stats.memo_misses + 1
+
+let find_or_add m key compute =
+  match Hashtbl.find_opt m.table key with
+  | Some v ->
+    hit m;
+    v
+  | None ->
+    miss m;
+    let v = compute () in
+    Hashtbl.replace m.table key v;
+    v
+
+let find m key =
+  match Hashtbl.find_opt m.table key with
+  | Some v ->
+    hit m;
+    Some v
+  | None ->
+    miss m;
+    None
+
+let clear m = Hashtbl.reset m.table
+let size m = Hashtbl.length m.table
+let stats m = m.stats
+
+(* ------------------------------------------------------------------ *)
+(* Key builders                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let exact_limit = 5
+
+(* Variables renamed in order of first occurrence across the atom list. *)
+let first_occurrence_renaming atoms =
+  let counter = ref 0 in
+  List.fold_left
+    (fun map atom ->
+      List.fold_left
+        (fun map v ->
+          if Variable.Map.mem v map then map
+          else begin
+            let v' = Variable.indexed "b" !counter in
+            incr counter;
+            Variable.Map.add v v' map
+          end)
+        map (Atom.var_list atom))
+    Variable.Map.empty atoms
+
+let render_conjunction atoms =
+  let renaming = first_occurrence_renaming atoms in
+  atoms
+  |> List.map (fun a -> Atom.to_string (Atom.rename renaming a))
+  |> String.concat " /\\ "
+
+let sorted_fallback atoms =
+  atoms |> List.map Atom.to_string |> List.sort String.compare
+  |> String.concat " /\\ "
+
+let body_canonical atoms =
+  match atoms with
+  | [] -> ([], Variable.Map.empty)
+  | _ when List.length atoms <= exact_limit ->
+    let best =
+      Combinat.permutations atoms
+      |> Seq.fold_left
+           (fun acc perm ->
+             let s = render_conjunction perm in
+             match acc with
+             | Some (best, _) when String.compare best s <= 0 -> acc
+             | _ -> Some (s, perm))
+           None
+    in
+    let _, perm = Option.get best in
+    let renaming = first_occurrence_renaming perm in
+    (List.map (Atom.rename renaming) perm, renaming)
+  | _ ->
+    let sorted =
+      List.sort (fun a b -> String.compare (Atom.to_string a) (Atom.to_string b))
+        atoms
+    in
+    let identity =
+      List.fold_left
+        (fun map atom ->
+          List.fold_left
+            (fun map v -> Variable.Map.add v v map)
+            map (Atom.var_list atom))
+        Variable.Map.empty sorted
+    in
+    (sorted, identity)
+
+let body_key atoms =
+  match atoms with
+  | [] -> ""
+  | _ when List.length atoms <= exact_limit ->
+    Combinat.permutations atoms
+    |> Seq.fold_left
+         (fun acc perm ->
+           let s = render_conjunction perm in
+           match acc with
+           | Some best when String.compare best s <= 0 -> acc
+           | _ -> Some s)
+         None
+    |> Option.get
+  | _ -> sorted_fallback atoms
+
+let tgd_keys : (Tgd.t, string) Hashtbl.t = Hashtbl.create 256
+
+let tgd_key tgd =
+  match Hashtbl.find_opt tgd_keys tgd with
+  | Some k -> k
+  | None ->
+    let n = List.length (Tgd.body tgd) + List.length (Tgd.head tgd) in
+    let k =
+      if n <= exact_limit then Tgd.to_string (Canonical.tgd tgd)
+      else
+        Fmt.str "%s => %s"
+          (sorted_fallback (Tgd.body tgd))
+          (sorted_fallback (Tgd.head tgd))
+    in
+    Hashtbl.replace tgd_keys tgd k;
+    k
+
+let sigma_key sigma =
+  sigma |> List.map tgd_key
+  |> List.sort_uniq String.compare
+  |> String.concat " ;; "

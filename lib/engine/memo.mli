@@ -1,0 +1,62 @@
+(** Entailment caches keyed on canonicalized syntax.
+
+    A memo table maps string keys to previously computed answers; the keys
+    are built so that renaming-equivalent inputs collide:
+
+    - {!tgd_key} is the printed {!Canonical.tgd} form (so [σ] and any
+      variable-renamed copy share one entry);
+    - {!sigma_key} sorts the member keys, making the theory key independent
+      of the order tgds are listed in;
+    - {!body_key} canonicalizes a conjunction of atoms on its own — the
+      chase-level cache uses it so that candidate tgds sharing a body also
+      share one chase.
+
+    Canonicalization minimizes over atom permutations and is therefore
+    factorial in the atom count; above {!val:exact_limit} atoms the keys fall
+    back to a deterministic sorted printed form.  The fallback is sound — it
+    only distinguishes some inputs that the exact form would identify,
+    reducing the hit rate, never the correctness.
+
+    Hits and misses are counted on the table's own {!Stats.t} {e and} on
+    {!Stats.global}. *)
+
+open Tgd_syntax
+
+type 'a t
+
+val create : ?name:string -> unit -> 'a t
+val name : 'a t -> string
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find_or_add memo key compute] returns the cached answer for [key],
+    computing and storing it on first use. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup without computing; counts a hit or a miss. *)
+
+val clear : 'a t -> unit
+val size : 'a t -> int
+val stats : 'a t -> Stats.t
+
+val exact_limit : int
+(** Maximum atom count (body + head for tgds) for exact canonical keys. *)
+
+val tgd_key : Tgd.t -> string
+(** Stable under variable renaming and atom reordering (below
+    {!exact_limit}); results are cached per tgd. *)
+
+val sigma_key : Tgd.t list -> string
+(** Stable under renaming, reordering and duplication of the theory's
+    members. *)
+
+val body_key : Atom.t list -> string
+(** Canonical key for a conjunction of atoms, stable under variable renaming
+    and atom reordering (below {!exact_limit}). *)
+
+val body_canonical : Atom.t list -> Atom.t list * Variable.t Variable.Map.t
+(** The canonical conjunction together with the renaming from the original
+    variables to the canonical ones, so a cached artifact built from the
+    canonical atoms (e.g. a frozen chase) can be translated back to any
+    conjunction sharing the same {!body_key}.  Above {!exact_limit} the
+    atoms are returned sorted by printed form under the identity renaming —
+    consistent with {!body_key}'s fallback. *)

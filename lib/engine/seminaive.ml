@@ -1,0 +1,274 @@
+open Tgd_syntax
+open Tgd_instance
+
+type mode =
+  | Restricted
+  | Oblivious
+
+type outcome =
+  | Terminated
+  | Budget_exhausted
+
+type result = {
+  instance : Instance.t;
+  outcome : outcome;
+  rounds : int;
+  fired : int;
+  stats : Stats.t;
+}
+
+let rec max_null_in_const acc = function
+  | Constant.Null i -> max acc i
+  | Constant.Pair (a, b) -> max_null_in_const (max_null_in_const acc a) b
+  | Constant.Named _ | Constant.Indexed _ -> acc
+
+let max_null inst =
+  Constant.Set.fold (fun c acc -> max_null_in_const acc c) (Instance.dom inst) 0
+
+(* ------------------------------------------------------------------ *)
+(* Index-backed conjunctive matching                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A goal is an atom together with the round bound its matches must respect
+   (snapshot semantics / delta stratification). *)
+type goal = { atom : Atom.t; up_to : int }
+
+(* The tightest probe available for [atom] under [binding]: the bound
+   position with the smallest bucket, if any position is bound. *)
+let best_probe idx binding atom =
+  let args = Atom.args_arr atom in
+  let best = ref None in
+  Array.iteri
+    (fun pos t ->
+      let const =
+        match t with
+        | Term.Const c -> Some c
+        | Term.Var v -> Binding.find v binding
+      in
+      match const with
+      | None -> ()
+      | Some c ->
+        let size = Fact_index.bucket_size idx (Atom.rel atom) ~pos c in
+        (match !best with
+        | Some (_, _, s) when s <= size -> ()
+        | _ -> best := Some (pos, c, size)))
+    args;
+  !best
+
+let estimate idx binding atom =
+  match best_probe idx binding atom with
+  | Some (_, _, size) -> size
+  | None -> Fact_index.rel_size idx (Atom.rel atom)
+
+let candidates idx binding g =
+  match best_probe idx binding g.atom with
+  | Some (pos, c, _) -> Fact_index.lookup idx ~up_to:g.up_to (Atom.rel g.atom) ~pos c
+  | None -> Fact_index.all idx ~up_to:g.up_to (Atom.rel g.atom)
+
+(* Pull the cheapest goal to the front (stable for ties). *)
+let pick_best idx binding goals =
+  match goals with
+  | [] | [ _ ] -> goals
+  | _ ->
+    let scored = List.map (fun g -> (estimate idx binding g.atom, g)) goals in
+    let best =
+      List.fold_left (fun acc (s, _) -> min acc s) max_int scored
+    in
+    let chosen = ref None in
+    let rest =
+      List.filter_map
+        (fun (s, g) ->
+          if s = best && !chosen = None then begin
+            chosen := Some g;
+            None
+          end
+          else Some g)
+        scored
+    in
+    (match !chosen with Some g -> g :: rest | None -> goals)
+
+let rec solve idx binding goals : Binding.t Seq.t =
+  match pick_best idx binding goals with
+  | [] -> Seq.return binding
+  | g :: rest ->
+    candidates idx binding g
+    |> Seq.filter_map (fun f -> Hom.match_atom binding g.atom f)
+    |> Seq.concat_map (fun b -> solve idx b rest)
+
+let goals_up_to up_to atoms = List.map (fun atom -> { atom; up_to }) atoms
+
+let exists_extension idx partial atoms =
+  not (Seq.is_empty (solve idx partial (goals_up_to max_int atoms)))
+
+(* Active in the restricted-chase sense: no extension of the frontier
+   binding maps the head into the current instance. *)
+let is_active stats idx tgd hom =
+  stats.Stats.scans <- stats.Stats.scans + 1;
+  let partial = Binding.restrict (Tgd.frontier tgd) hom in
+  not (exists_extension idx partial (Tgd.head tgd))
+
+(* Same stable identification as [Trigger.key]. *)
+let trigger_key tgd hom =
+  Fmt.str "%a|%a" Tgd.pp tgd Binding.pp
+    (Binding.restrict (Tgd.universal_vars tgd) hom)
+
+(* ------------------------------------------------------------------ *)
+(* Trigger enumeration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Round 1: every body homomorphism into the input facts (stamp 0). *)
+let initial_triggers stats idx sigma =
+  List.concat_map
+    (fun tgd ->
+      solve idx Binding.empty (goals_up_to 0 (Tgd.body tgd))
+      |> Seq.map (fun h ->
+             stats.Stats.scans <- stats.Stats.scans + 1;
+             (tgd, h))
+      |> List.of_seq)
+    sigma
+
+(* Round r > 1: stratified pivoting through the delta.  For pivot position
+   [j], atoms before [j] match rounds ≤ r-2, the pivot matches a delta fact
+   (stamp r-1), atoms after [j] match rounds ≤ r-1; the pivot cases
+   partition the triggers that touch the delta. *)
+let delta_triggers stats idx sigma ~round ~delta_by_rel =
+  let old_limit = round - 2 and recent_limit = round - 1 in
+  List.concat_map
+    (fun tgd ->
+      let body = Array.of_list (Tgd.body tgd) in
+      List.init (Array.length body) (fun j ->
+          let pivot = body.(j) in
+          match Hashtbl.find_opt delta_by_rel (Atom.rel pivot) with
+          | None -> []
+          | Some delta_facts ->
+            List.concat_map
+              (fun f ->
+                match Hom.match_atom Binding.empty pivot f with
+                | None -> []
+                | Some partial ->
+                  let goals =
+                    List.concat
+                      (List.init (Array.length body) (fun i ->
+                           if i = j then []
+                           else
+                             [ { atom = body.(i);
+                                 up_to =
+                                   (if i < j then old_limit else recent_limit)
+                               } ]))
+                  in
+                  solve idx partial goals
+                  |> Seq.map (fun h ->
+                         stats.Stats.scans <- stats.Stats.scans + 1;
+                         (tgd, h))
+                  |> List.of_seq)
+              delta_facts)
+      |> List.concat)
+    sigma
+
+(* Does any active trigger remain?  Used only when the round budget runs out
+   (mirrors the naive loop's final [Trigger.active] sweep). *)
+let some_active_trigger stats idx sigma =
+  List.exists
+    (fun tgd ->
+      solve idx Binding.empty (goals_up_to max_int (Tgd.body tgd))
+      |> Seq.exists (fun h -> is_active stats idx tgd h))
+    sigma
+
+(* ------------------------------------------------------------------ *)
+(* Saturation loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run ~mode ?(max_rounds = 64) ?(max_facts = 20_000) ?(on_fire = fun _ _ _ -> ())
+    sigma inst =
+  let stats = Stats.create () in
+  let idx = Fact_index.create ~stats () in
+  let initial_facts = Instance.fact_list inst in
+  List.iter (fun f -> ignore (Fact_index.add idx ~round:0 f)) initial_facts;
+  let current = ref inst in
+  let null_counter = ref (max_null inst) in
+  let fired_keys : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let delta = ref initial_facts in
+  let round = ref 0 in
+  let fired = ref 0 in
+  let out_of_budget = ref false in
+  let first = ref true in
+  while (!first || !delta <> []) && (not !out_of_budget) && !round < max_rounds do
+    first := false;
+    incr round;
+    let t0 = Sys.time () in
+    let triggers =
+      if !round = 1 then initial_triggers stats idx sigma
+      else begin
+        let delta_by_rel : (Relation.t, Fact.t list) Hashtbl.t =
+          Hashtbl.create 16
+        in
+        List.iter
+          (fun f ->
+            let r = Fact.rel f in
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt delta_by_rel r)
+            in
+            Hashtbl.replace delta_by_rel r (prev @ [ f ]))
+          !delta;
+        delta_triggers stats idx sigma ~round:!round ~delta_by_rel
+      end
+    in
+    let t1 = Sys.time () in
+    stats.Stats.match_time <- stats.Stats.match_time +. (t1 -. t0);
+    let next_delta = ref [] in
+    (try
+       List.iter
+         (fun (tgd, hom) ->
+           let fire_it =
+             match mode with
+             | Oblivious ->
+               let key = trigger_key tgd hom in
+               if Hashtbl.mem fired_keys key then false
+               else begin
+                 Hashtbl.add fired_keys key ();
+                 true
+               end
+             | Restricted -> is_active stats idx tgd hom
+           in
+           if fire_it then begin
+             let h =
+               Variable.Set.fold
+                 (fun z acc ->
+                   incr null_counter;
+                   Binding.add z (Constant.null !null_counter) acc)
+                 (Tgd.existential_vars tgd)
+                 hom
+             in
+             match Binding.ground_atoms h (Tgd.head tgd) with
+             | None -> assert false (* body ∪ existential vars cover the head *)
+             | Some facts ->
+               on_fire tgd hom facts;
+               incr fired;
+               stats.Stats.fired <- stats.Stats.fired + 1;
+               List.iter
+                 (fun f ->
+                   if Fact_index.add idx ~round:!round f then begin
+                     current := Instance.add_fact !current f;
+                     next_delta := f :: !next_delta
+                   end)
+                 facts;
+               if Instance.fact_count !current > max_facts then begin
+                 out_of_budget := true;
+                 raise Exit
+               end
+           end)
+         triggers
+     with Exit -> ());
+    stats.Stats.fire_time <- stats.Stats.fire_time +. (Sys.time () -. t1);
+    delta := List.rev !next_delta;
+    stats.Stats.delta_facts <- stats.Stats.delta_facts + List.length !delta
+  done;
+  stats.Stats.rounds <- !round;
+  let outcome =
+    if !out_of_budget then Budget_exhausted
+    else if !delta = [] then Terminated
+    else if some_active_trigger stats idx sigma then Budget_exhausted
+    else Terminated
+  in
+  Stats.add ~into:Stats.global stats;
+  { instance = !current; outcome; rounds = !round; fired = !fired; stats }

@@ -1,0 +1,55 @@
+(** Indexed semi-naive saturation.
+
+    A delta-driven replacement for the snapshot-rescan chase loop: round 1
+    enumerates every body homomorphism against the input facts; round [r > 1]
+    only enumerates triggers whose body touches at least one fact derived in
+    round [r-1], by pivoting each body atom through the delta and matching
+    the remaining atoms against stamped index lookups (atoms left of the
+    pivot see only rounds [≤ r-2], atoms right of it rounds [≤ r-1] — the
+    classic stratification, so no trigger is enumerated twice).
+
+    The restricted / oblivious semantics of [Chase] are preserved exactly:
+
+    - [Restricted] rechecks trigger activity against the {e live} instance
+      immediately before firing (activity is antitone in the instance, so
+      skipping re-enumeration of old triggers loses nothing);
+    - [Oblivious] fires every trigger exactly once, identified by the same
+      (tgd, universal-variable binding) key as [Trigger.key].
+
+    Joins are ordered dynamically by index selectivity: at each step the
+    engine matches the pending atom whose tightest (relation, position,
+    constant) bucket is smallest. *)
+
+open Tgd_syntax
+open Tgd_instance
+
+type mode =
+  | Restricted
+  | Oblivious
+
+type outcome =
+  | Terminated
+  | Budget_exhausted
+
+type result = {
+  instance : Instance.t;
+  outcome : outcome;
+  rounds : int;
+  fired : int;
+  stats : Stats.t;
+}
+
+val run :
+  mode:mode ->
+  ?max_rounds:int ->
+  ?max_facts:int ->
+  ?on_fire:(Tgd.t -> Binding.t -> Fact.t list -> unit) ->
+  Tgd.t list ->
+  Instance.t ->
+  result
+(** [run ~mode sigma inst] saturates [inst] under [sigma].  Defaults match
+    [Chase.default_budget]: [max_rounds = 64], [max_facts = 20_000].
+    [on_fire] observes every fired trigger — the tgd, its body homomorphism
+    ({e before} null invention, as in [Chase]), and the grounded head facts
+    (new or not).  The result's [stats] are also folded into
+    {!Stats.global}. *)

@@ -1,0 +1,75 @@
+type t = {
+  mutable probes : int;
+  mutable scans : int;
+  mutable fired : int;
+  mutable rounds : int;
+  mutable delta_facts : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  mutable match_time : float;
+  mutable fire_time : float;
+}
+
+let create () =
+  { probes = 0;
+    scans = 0;
+    fired = 0;
+    rounds = 0;
+    delta_facts = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    match_time = 0.;
+    fire_time = 0.
+  }
+
+let reset s =
+  s.probes <- 0;
+  s.scans <- 0;
+  s.fired <- 0;
+  s.rounds <- 0;
+  s.delta_facts <- 0;
+  s.memo_hits <- 0;
+  s.memo_misses <- 0;
+  s.match_time <- 0.;
+  s.fire_time <- 0.
+
+let copy s = { s with probes = s.probes }
+
+let add ~into s =
+  into.probes <- into.probes + s.probes;
+  into.scans <- into.scans + s.scans;
+  into.fired <- into.fired + s.fired;
+  into.rounds <- into.rounds + s.rounds;
+  into.delta_facts <- into.delta_facts + s.delta_facts;
+  into.memo_hits <- into.memo_hits + s.memo_hits;
+  into.memo_misses <- into.memo_misses + s.memo_misses;
+  into.match_time <- into.match_time +. s.match_time;
+  into.fire_time <- into.fire_time +. s.fire_time
+
+let diff a b =
+  { probes = a.probes - b.probes;
+    scans = a.scans - b.scans;
+    fired = a.fired - b.fired;
+    rounds = a.rounds - b.rounds;
+    delta_facts = a.delta_facts - b.delta_facts;
+    memo_hits = a.memo_hits - b.memo_hits;
+    memo_misses = a.memo_misses - b.memo_misses;
+    match_time = a.match_time -. b.match_time;
+    fire_time = a.fire_time -. b.fire_time
+  }
+
+let global = create ()
+
+let hit_rate s =
+  let total = s.memo_hits + s.memo_misses in
+  if total = 0 then 0. else float_of_int s.memo_hits /. float_of_int total
+
+let total_time s = s.match_time +. s.fire_time
+
+let pp ppf s =
+  Fmt.pf ppf
+    "@[<v>probes: %d; scans: %d; fired: %d; rounds: %d; delta facts: %d@,\
+     memo: %d hits / %d misses (%.0f%% hit rate)@,\
+     time: %.4fs match + %.4fs fire@]"
+    s.probes s.scans s.fired s.rounds s.delta_facts s.memo_hits s.memo_misses
+    (100. *. hit_rate s) s.match_time s.fire_time

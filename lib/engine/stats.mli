@@ -1,0 +1,48 @@
+(** Engine counters.
+
+    One mutable record accumulates the work performed by the saturation
+    engine ({!Fact_index} probes, triggers scanned and fired, delta sizes,
+    wall time split into the matching and firing phases) and by the
+    entailment memo ({!Memo} hits and misses).  Every engine run writes its
+    own fresh record — surfaced through [Chase.result] — and additionally
+    folds its counters into {!global}, so callers that orchestrate many runs
+    (the rewriting algorithms, [tgdtool --stats], the bench harness) can
+    diff {!global} around a region of interest.
+
+    On the naive chase path no index exists; there [scans] counts the facts
+    of each rule's body relations re-examined every round (a lower bound on
+    the snapshot-rescan enumeration work the semi-naive engine avoids) plus
+    activity rechecks, and [probes] stays 0. *)
+
+type t = {
+  mutable probes : int;      (** index bucket lookups *)
+  mutable scans : int;       (** triggers enumerated + activity checks *)
+  mutable fired : int;       (** triggers fired *)
+  mutable rounds : int;      (** saturation rounds performed *)
+  mutable delta_facts : int; (** total size of all deltas (new facts) *)
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  mutable match_time : float; (** seconds spent enumerating triggers *)
+  mutable fire_time : float;  (** seconds spent checking/firing/inserting *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val add : into:t -> t -> unit
+(** Pointwise accumulation. *)
+
+val diff : t -> t -> t
+(** [diff after before] — pointwise subtraction; use with {!copy} of
+    {!global} to attribute counters to a region of code. *)
+
+val global : t
+(** Process-wide accumulator.  Every engine run and memo access adds to it. *)
+
+val hit_rate : t -> float
+(** [memo_hits / (memo_hits + memo_misses)]; 0 when no lookup happened. *)
+
+val total_time : t -> float
+
+val pp : t Fmt.t
