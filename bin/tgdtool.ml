@@ -71,6 +71,14 @@ let naive_arg =
         ~doc:"Use the snapshot-rescan reference chase instead of the \
               semi-naive engine.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for parallel screening/matching; 1 (the \
+              default) stays on the sequential path.  Results are \
+              independent of N.")
+
 (* ---- classify ---- *)
 
 let classify_cmd =
@@ -107,7 +115,7 @@ let chase_cmd =
       & info [ "explain" ] ~docv:"FACT"
           ~doc:"Print the derivation tree of a fact, e.g. \"T(a,c)\".")
   in
-  let run path db_path rounds max_facts oblivious explain stats naive =
+  let run path db_path rounds max_facts oblivious explain stats naive jobs =
     let sigma = parse_tgds_file path in
     let schema = Rewrite.schema_of sigma in
     let p = parse_program_file path in
@@ -126,7 +134,7 @@ let chase_cmd =
         if oblivious then Tgd_chase.Chase.oblivious ?on_fire:None
         else Tgd_chase.Chase.restricted ?on_fire:None
       in
-      let r = chase ~naive ~budget sigma db in
+      let r = chase ~naive ~budget ~jobs sigma db in
       Fmt.pr "%a@.%a@." Tgd_chase.Chase.pp_result r Tgd_instance.Instance.pp
         r.Tgd_chase.Chase.instance;
       if stats then
@@ -150,7 +158,7 @@ let chase_cmd =
   Cmd.v (Cmd.info "chase" ~doc:"Chase a database with a tgd ontology.")
     Term.(
       const run $ ontology_arg $ db_arg $ budget_arg $ max_facts_arg
-      $ oblivious_arg $ explain_arg $ stats_arg $ naive_arg)
+      $ oblivious_arg $ explain_arg $ stats_arg $ naive_arg $ jobs_arg)
 
 (* ---- entails ---- *)
 
@@ -198,7 +206,7 @@ let rewrite_cmd =
       value & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the rewriting to a file.")
   in
-  let run direction path body head rounds max_facts out stats naive =
+  let run direction path body head rounds max_facts out stats naive jobs =
     let sigma = parse_tgds_file path in
     let config =
       Rewrite.
@@ -208,7 +216,8 @@ let rewrite_cmd =
           budget = budget_of rounds max_facts;
           minimize = true;
           naive;
-          memo = not naive
+          memo = not naive;
+          jobs
         }
     in
     let report =
@@ -236,7 +245,7 @@ let rewrite_cmd =
        ~doc:"Rewrite guarded tgds into linear (g2l) or frontier-guarded into guarded (fg2g).")
     Term.(
       const run $ direction_arg $ file_arg $ body_cap $ head_cap $ budget_arg
-      $ max_facts_arg $ out_arg $ stats_arg $ naive_arg)
+      $ max_facts_arg $ out_arg $ stats_arg $ naive_arg $ jobs_arg)
 
 (* ---- properties ---- *)
 

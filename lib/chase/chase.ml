@@ -43,7 +43,13 @@ let fire ?(on_fire = fun _ _ -> ()) null_counter inst tr =
   | None -> assert false (* body ∪ existential vars cover the head *)
 
 (* The original snapshot-rescan loop, kept as a reference implementation
-   behind [~naive:true] and exercised by the differential tests. *)
+   behind [~naive:true] and exercised by the differential tests.
+
+   Scan accounting: one scan per trigger enumerated during matching — the
+   same unit the engine books, so naive/engine scan totals are directly
+   comparable.  The rescan cost shows up as the naive loop re-enumerating
+   {e every} body homomorphism of the snapshot each round, where the engine
+   only enumerates triggers touching the previous delta. *)
 let run_naive ~recheck_active ~skip_fired ?(budget = default_budget) ?on_fire
     sigma inst =
   let stats = Stats.create () in
@@ -59,31 +65,17 @@ let run_naive ~recheck_active ~skip_fired ?(budget = default_budget) ?on_fire
     progressed := false;
     let before = Instance.fact_count !current in
     let snapshot = !current in
-    let t0 = Sys.time () in
+    let t0 = Unix.gettimeofday () in
     List.iter
       (fun tgd ->
-        if not !out_of_budget then begin
-          (* the rescan examines (at least) every fact of every body
-             relation again this round — the work the engine's delta
-             restriction avoids; count it as scans for comparability with
-             the engine's probes *)
-          List.iter
-            (fun atom ->
-              stats.Stats.scans <-
-                stats.Stats.scans
-                + Fact.Set.cardinal
-                    (Instance.facts_of snapshot (Atom.rel atom)))
-            (Tgd.body tgd);
+        if not !out_of_budget then
           Seq.iter
             (fun tr ->
               if not !out_of_budget then begin
+                stats.Stats.scans <- stats.Stats.scans + 1;
                 let skip =
                   (skip_fired && Hashtbl.mem fired_keys (Trigger.key tr))
-                  || recheck_active
-                     && begin
-                          stats.Stats.scans <- stats.Stats.scans + 1;
-                          not (Trigger.is_active tr !current)
-                        end
+                  || (recheck_active && not (Trigger.is_active tr !current))
                 in
                 if not skip then begin
                   if skip_fired then Hashtbl.add fired_keys (Trigger.key tr) ();
@@ -95,11 +87,13 @@ let run_naive ~recheck_active ~skip_fired ?(budget = default_budget) ?on_fire
                     out_of_budget := true
                 end
               end)
-            (if recheck_active then Trigger.active tgd snapshot
-             else Trigger.all tgd snapshot)
-        end)
+            (* activity is antitone in the instance, so filtering the full
+               snapshot enumeration against the live instance fires exactly
+               the triggers the old double check (active in snapshot, then
+               in current) did, in the same order *)
+            (Trigger.all tgd snapshot))
       sigma;
-    stats.Stats.fire_time <- stats.Stats.fire_time +. (Sys.time () -. t0);
+    stats.Stats.fire_time <- stats.Stats.fire_time +. (Unix.gettimeofday () -. t0);
     stats.Stats.delta_facts <-
       stats.Stats.delta_facts + (Instance.fact_count !current - before)
   done;
@@ -116,18 +110,22 @@ let run_naive ~recheck_active ~skip_fired ?(budget = default_budget) ?on_fire
       else Terminated
     else Terminated
   in
-  Stats.add ~into:Stats.global stats;
+  Stats.add ~into:(Stats.global ()) stats;
   { instance = !current; outcome; rounds = !rounds; fired = !fired; stats }
 
-let run_engine ~mode ?(budget = default_budget) ?on_fire sigma inst =
+let run_engine ~mode ?(budget = default_budget) ?on_fire ~jobs sigma inst =
   let on_fire =
     Option.map
       (fun f tgd hom facts -> f { Trigger.tgd; hom } facts)
       on_fire
   in
-  let r =
+  let go pool =
     Seminaive.run ~mode ~max_rounds:budget.max_rounds
-      ~max_facts:budget.max_facts ?on_fire sigma inst
+      ~max_facts:budget.max_facts ?on_fire ?pool sigma inst
+  in
+  let r =
+    if jobs <= 1 then go None
+    else Pool.with_pool ~jobs (fun p -> go (Some p))
   in
   { instance = r.Seminaive.instance;
     outcome =
@@ -139,17 +137,48 @@ let run_engine ~mode ?(budget = default_budget) ?on_fire sigma inst =
     stats = r.Seminaive.stats
   }
 
-let restricted ?(naive = false) ?budget ?on_fire sigma inst =
-  if naive then
-    run_naive ~recheck_active:true ~skip_fired:false ?budget ?on_fire sigma
-      inst
-  else run_engine ~mode:Seminaive.Restricted ?budget ?on_fire sigma inst
+(* ------------------------------------------------------------------ *)
+(* Chase-result cache                                                  *)
+(* ------------------------------------------------------------------ *)
 
-let oblivious ?(naive = false) ?budget ?on_fire sigma inst =
-  if naive then
-    run_naive ~recheck_active:false ~skip_fired:true ?budget ?on_fire sigma
-      inst
-  else run_engine ~mode:Seminaive.Oblivious ?budget ?on_fire sigma inst
+(* Keyed on everything the result depends on: chase kind, implementation,
+   budget, the canonical theory key, and the (sorted, printed) input facts.
+   Only consulted when the caller opts in with [~memo:true] and passes no
+   [on_fire] observer (a cached replay could not invoke it). *)
+let result_memo : result Memo.t = Memo.create ~name:"chase-results" ()
+
+let clear_memo () = Memo.clear result_memo
+
+let chase_key ~kind ~naive ~budget sigma inst =
+  Fmt.str "%s|naive=%b|r%d/f%d|%s|%s" kind naive budget.max_rounds
+    budget.max_facts (Memo.sigma_key sigma)
+    (Instance.fact_list inst |> List.map Fact.to_string
+    |> List.sort String.compare |> String.concat ",")
+
+let cached ~kind ~naive ~budget ~memo ~has_on_fire sigma inst run =
+  if memo && not has_on_fire then
+    Memo.find_or_add result_memo (chase_key ~kind ~naive ~budget sigma inst) run
+  else run ()
+
+let restricted ?(naive = false) ?(budget = default_budget) ?on_fire
+    ?(jobs = 1) ?(memo = false) sigma inst =
+  cached ~kind:"restricted" ~naive ~budget ~memo
+    ~has_on_fire:(Option.is_some on_fire) sigma inst (fun () ->
+      if naive then
+        run_naive ~recheck_active:true ~skip_fired:false ~budget ?on_fire sigma
+          inst
+      else
+        run_engine ~mode:Seminaive.Restricted ~budget ?on_fire ~jobs sigma inst)
+
+let oblivious ?(naive = false) ?(budget = default_budget) ?on_fire ?(jobs = 1)
+    ?(memo = false) sigma inst =
+  cached ~kind:"oblivious" ~naive ~budget ~memo
+    ~has_on_fire:(Option.is_some on_fire) sigma inst (fun () ->
+      if naive then
+        run_naive ~recheck_active:false ~skip_fired:true ~budget ?on_fire sigma
+          inst
+      else
+        run_engine ~mode:Seminaive.Oblivious ~budget ?on_fire ~jobs sigma inst)
 
 let is_model r = r.outcome = Terminated
 

@@ -40,17 +40,31 @@ type result = {
 val restricted :
   ?naive:bool ->
   ?budget:budget -> ?on_fire:(Trigger.t -> Fact.t list -> unit) ->
+  ?jobs:int -> ?memo:bool ->
   Tgd.t list -> Instance.t -> result
 (** Breadth-first restricted chase.  When [outcome = Terminated] the
     instance is a universal model of [(facts(D), Σ)].  [on_fire] observes
     every fired trigger together with the grounded head facts (new or
-    not) — the hook behind {!Provenance}. *)
+    not) — the hook behind {!Provenance}.
+
+    [jobs > 1] runs each round's match phase on a domain pool
+    ({!Tgd_engine.Pool}); results are merged deterministically, so the
+    outcome is identical to [jobs = 1], which bypasses the pool entirely
+    (ignored on the naive path).  [memo:true] consults a process-wide
+    result cache keyed on (kind, implementation, budget, canonical theory,
+    input facts) — only when no [on_fire] observer is passed, since a
+    cached replay could not invoke it. *)
 
 val oblivious :
   ?naive:bool ->
   ?budget:budget -> ?on_fire:(Trigger.t -> Fact.t list -> unit) ->
+  ?jobs:int -> ?memo:bool ->
   Tgd.t list -> Instance.t -> result
-(** Oblivious (naive) chase: every trigger fires exactly once. *)
+(** Oblivious (naive) chase: every trigger fires exactly once.  [jobs] and
+    [memo] as in {!restricted}. *)
+
+val clear_memo : unit -> unit
+(** Drop every entry of the [~memo:true] result cache. *)
 
 val is_model : result -> bool
 (** [outcome = Terminated]. *)

@@ -14,7 +14,10 @@ let answer_to_string = function
 
 let pp_answer ppf a = Fmt.string ppf (answer_to_string a)
 
-let frozen_counter = ref 0
+(* Atomic: freezing happens concurrently on pool workers during parallel
+   candidate screening.  The names only need to be collision-free, not
+   sequential. *)
+let frozen_counter = Atomic.make 0
 
 let freeze atoms =
   let vars =
@@ -24,9 +27,9 @@ let freeze atoms =
   in
   Variable.Set.fold
     (fun v acc ->
-      incr frozen_counter;
+      let n = 1 + Atomic.fetch_and_add frozen_counter 1 in
       Binding.add v
-        (Constant.named (Printf.sprintf "~%s.%d" (Variable.name v) !frozen_counter))
+        (Constant.named (Printf.sprintf "~%s.%d" (Variable.name v) n))
         acc)
     vars Binding.empty
 

@@ -64,10 +64,20 @@ let edds_e_nm ?(caps = default_caps) schema ~n ~m =
 let holds_in_all_members caps o sat =
   Seq.for_all sat (Ontology.models_up_to o caps.dom_bound)
 
-let sigma_vee ?(caps = default_caps) o ~n ~m =
+(* Keep the candidates that pass [valid], sequentially or — [jobs > 1] —
+   on a domain pool, one candidate per task.  The pool preserves input
+   order, so both paths return the same list. *)
+let filter_valid ~jobs valid candidates =
+  let keep c = if valid c then Some c else None in
+  if jobs <= 1 then candidates |> Seq.filter_map keep |> List.of_seq
+  else
+    Tgd_engine.Pool.with_pool ~jobs (fun pool ->
+        Tgd_engine.Pool.parallel_filter_map pool keep candidates)
+
+let sigma_vee ?(caps = default_caps) ?(jobs = 1) o ~n ~m =
   edds_e_nm ~caps (Ontology.schema o) ~n ~m
-  |> Seq.filter (fun d -> holds_in_all_members caps o (fun i -> Satisfaction.edd i d))
-  |> List.of_seq
+  |> filter_valid ~jobs (fun d ->
+         holds_in_all_members caps o (fun i -> Satisfaction.edd i d))
 
 let sigma_exists_eq sigma_vee =
   List.filter_map
@@ -83,13 +93,12 @@ let sigma_exists_eq sigma_vee =
 let sigma_exists deps = Dependency.tgds deps
 
 let synthesize ?(caps = default_caps) ?(candidate_caps = Candidates.default_caps)
-    ?(minimize = false) o ~n ~m =
+    ?(minimize = false) ?(jobs = 1) o ~n ~m =
   let candidate_caps = { candidate_caps with keep_tautologies = false } in
   let sigma =
     Candidates.generic ~caps:candidate_caps (Ontology.schema o) ~n ~m
-    |> Seq.filter (fun s ->
+    |> filter_valid ~jobs (fun s ->
            holds_in_all_members caps o (fun i -> Satisfaction.tgd i s))
-    |> List.of_seq
   in
   if minimize then Rewrite.minimize sigma else sigma
 

@@ -31,8 +31,11 @@ val edds_e_nm : ?caps:caps -> Schema.t -> n:int -> m:int -> Edd.t Seq.t
     variables, disjuncts that are equalities between body variables or
     existential conjunctions with at most [m] existential variables. *)
 
-val sigma_vee : ?caps:caps -> Ontology.t -> n:int -> m:int -> Edd.t list
-(** Step 1. *)
+val sigma_vee :
+  ?caps:caps -> ?jobs:int -> Ontology.t -> n:int -> m:int -> Edd.t list
+(** Step 1.  [jobs > 1] validates candidate edds against the bounded
+    members on a domain pool; the result list is identical to the
+    sequential one (order preserved). *)
 
 val sigma_exists_eq : Edd.t list -> Dependency.t list
 (** Step 2: the tgds and egds among [Σ^∨]. *)
@@ -42,7 +45,7 @@ val sigma_exists : Dependency.t list -> Tgd.t list
 
 val synthesize :
   ?caps:caps -> ?candidate_caps:Candidates.caps -> ?minimize:bool ->
-  Ontology.t -> n:int -> m:int -> Tgd.t list
+  ?jobs:int -> Ontology.t -> n:int -> m:int -> Tgd.t list
 (** Direct route to [Σ^∃]: enumerate [TGD_{n,m}] candidates and keep those
     satisfied by every bounded member of the ontology.  Equivalent to
     [sigma_exists (sigma_exists_eq (sigma_vee …))] but far cheaper (no

@@ -89,48 +89,54 @@ let witnesses strategy o conf =
   in
   Seq.append chase_seq enum_seq
 
-let locally_embeddable ?(strategy = default_strategy) variant ~n ~m o i =
-  let failing =
-    configurations variant ~n i
-    |> Seq.filter (fun conf ->
-           not
-             (Seq.exists
-                (fun j ->
-                  witness_ok ~m ~fixed:conf.fixed ~witness:j ~target:i)
-                (witnesses strategy o conf)))
+(* First element satisfying [pred], sequentially (lazy — later elements are
+   never produced) or on a domain pool ([jobs > 1] — the sequence is forced,
+   but a hit lets later chunks exit early). *)
+let find_first ~jobs pred seq =
+  let hit x = if pred x then Some x else None in
+  if jobs <= 1 then Seq.find_map hit seq
+  else
+    Tgd_engine.Pool.with_pool ~jobs (fun pool ->
+        Tgd_engine.Pool.parallel_find_map pool hit seq)
+
+let locally_embeddable ?(strategy = default_strategy) ?(jobs = 1) variant ~n ~m
+    o i =
+  let fails conf =
+    not
+      (Seq.exists
+         (fun j -> witness_ok ~m ~fixed:conf.fixed ~witness:j ~target:i)
+         (witnesses strategy o conf))
   in
-  match failing () with
-  | Seq.Nil -> Embeddable
-  | Seq.Cons (conf, _) -> No_witness conf
+  match find_first ~jobs fails (configurations variant ~n i) with
+  | None -> Embeddable
+  | Some conf -> No_witness conf
 
 type locality_verdict =
   | Local_on_tests
   | Not_local of Instance.t
 
-let check_local_on ?strategy variant ~n ~m o tests =
-  let counterexample =
-    List.to_seq tests
-    |> Seq.filter (fun i ->
-           (not (Ontology.mem o i))
-           &&
-           match locally_embeddable ?strategy variant ~n ~m o i with
-           | Embeddable -> true
-           | No_witness _ -> false)
-  in
-  match counterexample () with
-  | Seq.Nil -> Local_on_tests
-  | Seq.Cons (i, _) -> Not_local i
+(* Non-membership plus embeddability makes [i] a locality counterexample.
+   The inner embeddability check stays sequential when [jobs > 1]: the
+   parallelism is one instance per pool task. *)
+let is_counterexample ?strategy variant ~n ~m o i =
+  (not (Ontology.mem o i))
+  &&
+  match locally_embeddable ?strategy variant ~n ~m o i with
+  | Embeddable -> true
+  | No_witness _ -> false
 
-let check_local_up_to ?strategy variant ~n ~m o k =
-  let counterexample =
-    Enumerate.instances_up_to (Ontology.schema o) k
-    |> Seq.filter (fun i ->
-           (not (Ontology.mem o i))
-           &&
-           match locally_embeddable ?strategy variant ~n ~m o i with
-           | Embeddable -> true
-           | No_witness _ -> false)
-  in
-  match counterexample () with
-  | Seq.Nil -> Local_on_tests
-  | Seq.Cons (i, _) -> Not_local i
+let check_local_on ?strategy ?(jobs = 1) variant ~n ~m o tests =
+  match
+    find_first ~jobs (is_counterexample ?strategy variant ~n ~m o)
+      (List.to_seq tests)
+  with
+  | None -> Local_on_tests
+  | Some i -> Not_local i
+
+let check_local_up_to ?strategy ?(jobs = 1) variant ~n ~m o k =
+  match
+    find_first ~jobs (is_counterexample ?strategy variant ~n ~m o)
+      (Enumerate.instances_up_to (Ontology.schema o) k)
+  with
+  | None -> Local_on_tests
+  | Some i -> Not_local i

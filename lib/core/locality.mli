@@ -56,8 +56,13 @@ type embeddability =
       (** some configuration got no witness within the strategy *)
 
 val locally_embeddable :
-  ?strategy:strategy -> variant -> n:int -> m:int -> Ontology.t ->
+  ?strategy:strategy -> ?jobs:int -> variant -> n:int -> m:int -> Ontology.t ->
   Instance.t -> embeddability
+(** [jobs > 1] checks configurations on a domain pool; the result is the
+    same configuration the sequential scan would report (first in
+    enumeration order), but the configuration sequence is forced up front,
+    so prefer [jobs = 1] (the default, pool-free) when the enumeration is
+    the expensive part. *)
 
 type locality_verdict =
   | Local_on_tests
@@ -68,10 +73,16 @@ type locality_verdict =
           is not (n,m)-local in the given variant *)
 
 val check_local_on :
-  ?strategy:strategy -> variant -> n:int -> m:int -> Ontology.t ->
+  ?strategy:strategy -> ?jobs:int -> variant -> n:int -> m:int -> Ontology.t ->
   Instance.t list -> locality_verdict
+(** [jobs > 1] screens test instances on a domain pool, one instance per
+    task (the per-instance embeddability check stays sequential); the
+    verdict — and which counterexample is reported — is identical to the
+    sequential scan's. *)
 
 val check_local_up_to :
-  ?strategy:strategy -> variant -> n:int -> m:int -> Ontology.t -> int ->
-  locality_verdict
-(** All instances with canonical domains of size [≤ k] as tests. *)
+  ?strategy:strategy -> ?jobs:int -> variant -> n:int -> m:int -> Ontology.t ->
+  int -> locality_verdict
+(** All instances with canonical domains of size [≤ k] as tests.  [jobs] as
+    in {!check_local_on}, but note [jobs > 1] forces the whole instance
+    enumeration up front. *)

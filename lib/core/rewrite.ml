@@ -2,6 +2,7 @@ open Tgd_syntax
 open Tgd_instance
 module Entailment = Tgd_chase.Entailment
 module Stats = Tgd_engine.Stats
+module Pool = Tgd_engine.Pool
 
 type config = {
   caps : Candidates.caps;
@@ -9,6 +10,7 @@ type config = {
   minimize : bool;
   naive : bool;
   memo : bool;
+  jobs : int;
 }
 
 let default_config =
@@ -16,7 +18,8 @@ let default_config =
     budget = Tgd_chase.Chase.default_budget;
     minimize = true;
     naive = false;
-    memo = true
+    memo = true;
+    jobs = 1
   }
 
 type outcome =
@@ -72,25 +75,40 @@ let minimize_set ?naive ?memo budget sigma' =
 
 let rewrite_into ?(config = default_config) enumerate ~complete sigma =
   let naive = config.naive and memo = config.memo in
-  let before = Stats.copy Stats.global in
+  let before = Stats.copy (Stats.global ()) in
   let schema = schema_of sigma in
   let n, m = class_bounds sigma in
-  let enumerated = ref 0 in
+  (* Forward screening: each candidate's Σ ⊨ σ check is independent, so
+     with [jobs > 1] the candidates are screened on a domain pool.  The
+     pool preserves input order and merges worker counters back here, so
+     the entailed list (and hence the outcome) is the same as the
+     sequential path's; only memo hit/miss splits may differ when workers
+     race to compute one entry.  The backward Σ' ⊨ Σ check and greedy
+     minimization stay sequential — both consume the previous answer
+     before choosing the next query, so there is nothing to fan out. *)
+  let screen candidate =
+    Entailment.entails ~naive ~memo ~budget:config.budget sigma candidate
+  in
+  let screened =
+    let candidates = enumerate config.caps schema ~n ~m in
+    if config.jobs <= 1 then
+      candidates |> Seq.map (fun c -> (c, screen c)) |> List.of_seq
+    else
+      Pool.with_pool ~jobs:config.jobs (fun pool ->
+          Pool.parallel_map pool (fun c -> (c, screen c)) candidates)
+  in
+  let enumerated = List.length screened in
   let unknown = ref 0 in
   let entailed =
-    enumerate config.caps schema ~n ~m
-    |> Seq.filter (fun candidate ->
-           incr enumerated;
-           match
-             Entailment.entails ~naive ~memo ~budget:config.budget sigma
-               candidate
-           with
-           | Entailment.Proved -> true
-           | Entailment.Unknown ->
-             incr unknown;
-             false
-           | Entailment.Disproved -> false)
-    |> List.of_seq
+    List.filter_map
+      (fun (candidate, answer) ->
+        match answer with
+        | Entailment.Proved -> Some candidate
+        | Entailment.Unknown ->
+          incr unknown;
+          None
+        | Entailment.Disproved -> None)
+      screened
   in
   let backward =
     Entailment.entails_set ~naive ~memo ~budget:config.budget entailed sigma
@@ -114,9 +132,9 @@ let rewrite_into ?(config = default_config) enumerate ~complete sigma =
   { outcome;
     n;
     m;
-    candidates_enumerated = !enumerated;
+    candidates_enumerated = enumerated;
     candidates_entailed = List.length entailed;
-    stats = Stats.diff (Stats.copy Stats.global) before
+    stats = Stats.diff (Stats.copy (Stats.global ())) before
   }
 
 let g_to_l ?config sigma =

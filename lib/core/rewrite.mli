@@ -22,6 +22,11 @@ type config = {
   minimize : bool;  (** greedily drop redundant members of [Σ'] *)
   naive : bool;     (** route chases through the snapshot-rescan loop *)
   memo : bool;      (** cache entailment answers and chases (default) *)
+  jobs : int;
+      (** worker domains screening candidates in parallel; [1] (the
+          default) bypasses the pool entirely.  Outcomes are independent
+          of [jobs]: screening preserves candidate order, and the backward
+          [Σ' ⊨ Σ] check and minimization are always sequential. *)
 }
 
 val default_config : config

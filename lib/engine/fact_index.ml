@@ -2,9 +2,11 @@ open Tgd_syntax
 
 type entry = { fact : Fact.t; round : int }
 
-(* Buckets keep entries newest-first internally and expose them oldest-first
-   (insertion order) through [to_seq]. *)
-type bucket = { mutable entries : entry list; mutable size : int }
+(* Buckets are growable arrays in insertion order.  Rounds are
+   non-decreasing along a bucket (the engine inserts round r facts only
+   during round r), so an [up_to] bound selects a prefix found by binary
+   search — bounded lookups never touch newer entries. *)
+type bucket = { mutable arr : entry array; mutable size : int }
 
 type t = {
   by_key : (Relation.t * int * Constant.t, bucket) Hashtbl.t;
@@ -20,16 +22,26 @@ let create ?(stats = Stats.create ()) () =
     stats
   }
 
+let with_stats idx stats = { idx with stats }
+
 let mem idx f = Hashtbl.mem idx.stamps f
 let round_of idx f = Hashtbl.find_opt idx.stamps f
 let fact_count idx = Hashtbl.length idx.stamps
 
+let bucket_push b e =
+  let cap = Array.length b.arr in
+  if b.size = cap then begin
+    let arr = Array.make (2 * cap) b.arr.(0) in
+    Array.blit b.arr 0 arr 0 b.size;
+    b.arr <- arr
+  end;
+  b.arr.(b.size) <- e;
+  b.size <- b.size + 1
+
 let push tbl key e =
   match Hashtbl.find_opt tbl key with
-  | Some b ->
-    b.entries <- e :: b.entries;
-    b.size <- b.size + 1
-  | None -> Hashtbl.replace tbl key { entries = [ e ]; size = 1 }
+  | Some b -> bucket_push b e
+  | None -> Hashtbl.replace tbl key { arr = Array.make 4 e; size = 1 }
 
 let add idx ~round f =
   if mem idx f then false
@@ -42,10 +54,25 @@ let add idx ~round f =
     true
   end
 
-let bucket_seq ?(up_to = max_int) bucket =
-  (* entries are newest-first; restore insertion order *)
-  List.rev bucket.entries |> List.to_seq
-  |> Seq.filter_map (fun e -> if e.round <= up_to then Some e.fact else None)
+(* Number of leading entries with round <= up_to (rounds are monotone). *)
+let prefix_le bucket up_to =
+  if bucket.size = 0 || bucket.arr.(0).round > up_to then 0
+  else if bucket.arr.(bucket.size - 1).round <= up_to then bucket.size
+  else begin
+    (* arr.(lo).round <= up_to < arr.(hi).round *)
+    let lo = ref 0 and hi = ref (bucket.size - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if bucket.arr.(mid).round <= up_to then lo := mid else hi := mid
+    done;
+    !lo + 1
+  end
+
+let bucket_seq ?up_to bucket =
+  let limit =
+    match up_to with None -> bucket.size | Some u -> prefix_le bucket u
+  in
+  Seq.init limit (fun i -> bucket.arr.(i).fact)
 
 let lookup idx ?up_to rel ~pos c =
   idx.stats.Stats.probes <- idx.stats.Stats.probes + 1;
@@ -58,6 +85,12 @@ let all idx ?up_to rel =
   match Hashtbl.find_opt idx.by_rel rel with
   | Some b -> bucket_seq ?up_to b
   | None -> Seq.empty
+
+let mem_up_to idx ?(up_to = max_int) f =
+  idx.stats.Stats.probes <- idx.stats.Stats.probes + 1;
+  match Hashtbl.find_opt idx.stamps f with
+  | Some r -> r <= up_to
+  | None -> false
 
 let bucket_size idx rel ~pos c =
   match Hashtbl.find_opt idx.by_key (rel, pos, c) with

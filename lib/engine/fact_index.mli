@@ -20,6 +20,11 @@ type t
 val create : ?stats:Stats.t -> unit -> t
 (** Fresh empty index.  [stats] defaults to a private throw-away record. *)
 
+val with_stats : t -> Stats.t -> t
+(** A view of the same index whose lookups bump a different {!Stats.t} —
+    used to give each parallel match task its own counter record while
+    sharing the underlying tables (read-only during matching). *)
+
 val add : t -> round:int -> Fact.t -> bool
 (** Insert with stamp [round]; [false] when the fact is already present (the
     index is unchanged — first stamp wins). *)
@@ -34,6 +39,12 @@ val lookup : t -> ?up_to:int -> Relation.t -> pos:int -> Constant.t -> Fact.t Se
 
 val all : t -> ?up_to:int -> Relation.t -> Fact.t Seq.t
 (** Every fact of the relation with stamp [≤ up_to].  Counts as one probe. *)
+
+val mem_up_to : t -> ?up_to:int -> Fact.t -> bool
+(** O(1) membership for a ground fact with stamp [≤ up_to] (default: no
+    bound) — the cheapest possible probe for a fully bound atom, used so
+    activity checks never fall back to relation scans.  Counts as one
+    probe. *)
 
 val bucket_size : t -> Relation.t -> pos:int -> Constant.t -> int
 (** Size of the (relation, position, constant) bucket — the selectivity

@@ -1,47 +1,116 @@
 open Tgd_syntax
 
-type 'a t = {
+(* Tables are sharded by key hash, each shard behind its own mutex, so
+   concurrent Σ ⊨ σ checks running on {!Pool} workers share one cache
+   without a global lock.  Computation happens OUTSIDE the shard lock: two
+   domains racing on the same fresh key may both compute (the second insert
+   is dropped), which wastes a little work but can never deadlock — a
+   compute that recursively consults another memo never holds a lock. *)
+
+let shard_count = 16
+
+type 'a shard = {
   table : (string, 'a) Hashtbl.t;
+  lock : Mutex.t;
+  shard_stats : Stats.t;
+}
+
+type 'a t = {
+  shards : 'a shard array;
   memo_name : string;
-  stats : Stats.t;
 }
 
 let create ?(name = "memo") () =
-  { table = Hashtbl.create 256; memo_name = name; stats = Stats.create () }
+  { shards =
+      Array.init shard_count (fun _ ->
+          { table = Hashtbl.create 64;
+            lock = Mutex.create ();
+            shard_stats = Stats.create ()
+          });
+    memo_name = name
+  }
 
 let name m = m.memo_name
 
-let hit m =
-  m.stats.Stats.memo_hits <- m.stats.Stats.memo_hits + 1;
-  Stats.global.Stats.memo_hits <- Stats.global.Stats.memo_hits + 1
+let shard_of m key = m.shards.(Hashtbl.hash key land (shard_count - 1))
 
-let miss m =
-  m.stats.Stats.memo_misses <- m.stats.Stats.memo_misses + 1;
-  Stats.global.Stats.memo_misses <- Stats.global.Stats.memo_misses + 1
+(* Shard counters are only touched under the shard lock; the domain-local
+   global accumulator needs no lock. *)
+let hit sh =
+  sh.shard_stats.Stats.memo_hits <- sh.shard_stats.Stats.memo_hits + 1;
+  let g = Stats.global () in
+  g.Stats.memo_hits <- g.Stats.memo_hits + 1
+
+let miss sh =
+  sh.shard_stats.Stats.memo_misses <- sh.shard_stats.Stats.memo_misses + 1;
+  let g = Stats.global () in
+  g.Stats.memo_misses <- g.Stats.memo_misses + 1
 
 let find_or_add m key compute =
-  match Hashtbl.find_opt m.table key with
+  let sh = shard_of m key in
+  Mutex.lock sh.lock;
+  match Hashtbl.find_opt sh.table key with
   | Some v ->
-    hit m;
+    hit sh;
+    Mutex.unlock sh.lock;
     v
   | None ->
-    miss m;
+    miss sh;
+    Mutex.unlock sh.lock;
     let v = compute () in
-    Hashtbl.replace m.table key v;
+    Mutex.lock sh.lock;
+    let v =
+      match Hashtbl.find_opt sh.table key with
+      | Some winner -> winner (* a concurrent compute beat us; use its value *)
+      | None ->
+        Hashtbl.replace sh.table key v;
+        v
+    in
+    Mutex.unlock sh.lock;
     v
 
 let find m key =
-  match Hashtbl.find_opt m.table key with
-  | Some v ->
-    hit m;
-    Some v
-  | None ->
-    miss m;
-    None
+  let sh = shard_of m key in
+  Mutex.lock sh.lock;
+  let r =
+    match Hashtbl.find_opt sh.table key with
+    | Some v ->
+      hit sh;
+      Some v
+    | None ->
+      miss sh;
+      None
+  in
+  Mutex.unlock sh.lock;
+  r
 
-let clear m = Hashtbl.reset m.table
-let size m = Hashtbl.length m.table
-let stats m = m.stats
+let clear m =
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.lock;
+      Hashtbl.reset sh.table;
+      Mutex.unlock sh.lock)
+    m.shards
+
+let size m =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.lock;
+      let n = Hashtbl.length sh.table in
+      Mutex.unlock sh.lock;
+      acc + n)
+    0 m.shards
+
+let stats m =
+  let total = Stats.create () in
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.lock;
+      let copy = Stats.copy sh.shard_stats in
+      Mutex.unlock sh.lock;
+      Stats.add ~into:total copy)
+    m.shards;
+  total
 
 (* ------------------------------------------------------------------ *)
 (* Key builders                                                        *)
@@ -122,9 +191,13 @@ let body_key atoms =
     |> Option.get
   | _ -> sorted_fallback atoms
 
-let tgd_keys : (Tgd.t, string) Hashtbl.t = Hashtbl.create 256
+(* Per-domain key cache: no locks, and physical-equality-friendly reuse
+   within a domain covers the common sweep shapes. *)
+let tgd_keys_key : (Tgd.t, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
 let tgd_key tgd =
+  let tgd_keys = Domain.DLS.get tgd_keys_key in
   match Hashtbl.find_opt tgd_keys tgd with
   | Some k -> k
   | None ->

@@ -18,7 +18,13 @@
     reducing the hit rate, never the correctness.
 
     Hits and misses are counted on the table's own {!Stats.t} {e and} on
-    {!Stats.global}. *)
+    the calling domain's {!Stats.global} accumulator.
+
+    Tables are sharded {!shard_count} ways by key hash, each shard behind
+    its own mutex, so concurrent lookups from {!Pool} workers share one
+    cache safely.  [compute] callbacks run outside any lock: two domains
+    racing on the same fresh key may both compute (one insert is dropped),
+    trading a little duplicated work for deadlock freedom. *)
 
 open Tgd_syntax
 
@@ -26,6 +32,9 @@ type 'a t
 
 val create : ?name:string -> unit -> 'a t
 val name : 'a t -> string
+
+val shard_count : int
+(** Number of lock-protected shards per table. *)
 
 val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
 (** [find_or_add memo key compute] returns the cached answer for [key],
@@ -36,7 +45,9 @@ val find : 'a t -> string -> 'a option
 
 val clear : 'a t -> unit
 val size : 'a t -> int
+
 val stats : 'a t -> Stats.t
+(** Snapshot of the table's hit/miss counters, merged across shards. *)
 
 val exact_limit : int
 (** Maximum atom count (body + head for tgds) for exact canonical keys. *)

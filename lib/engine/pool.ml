@@ -1,0 +1,184 @@
+(* A chunk-claiming domain pool built on Domain + Mutex/Condition only.
+
+   Workers block on [nonempty] and claim chunk tasks from a shared queue —
+   dynamic claiming is what balances load when per-item cost varies by
+   orders of magnitude (a candidate whose chase terminates in one round vs
+   one that exhausts the budget).  Each chunk task snapshots the worker
+   domain's [Stats.global] before running and folds the delta into the
+   batch accumulator, which the submitting domain merges into its own
+   global when the batch joins — so counter attribution is exact and
+   race-free without a single atomic counter in the hot path. *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : task Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.closing do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  if Queue.is_empty pool.queue && pool.closing then Mutex.unlock pool.mutex
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker_loop pool
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    { jobs;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = []
+    }
+  in
+  pool.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs pool = pool.jobs
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.closing <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* Batches                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type batch = {
+  bmutex : Mutex.t;
+  finished : Condition.t;
+  mutable remaining : int;  (* chunk tasks not yet completed *)
+  mutable failure : exn option;
+  acc : Stats.t;            (* worker Stats.global deltas, merged on join *)
+}
+
+let default_chunk ~jobs n = max 1 (min 32 (n / (8 * jobs)))
+
+let submit pool tasks =
+  Mutex.lock pool.mutex;
+  List.iter (fun t -> Queue.push t pool.queue) tasks;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex
+
+let join_batch batch =
+  Mutex.lock batch.bmutex;
+  while batch.remaining > 0 do
+    Condition.wait batch.finished batch.bmutex
+  done;
+  Mutex.unlock batch.bmutex;
+  (* fold the workers' counters into the submitting domain's accumulator *)
+  Stats.add ~into:(Stats.global ()) batch.acc;
+  match batch.failure with Some e -> raise e | None -> ()
+
+(* Wrap [body], which processes one chunk, with stats harvesting and batch
+   completion signalling. *)
+let chunk_task batch body () =
+  let before = Stats.copy (Stats.global ()) in
+  let outcome = try Ok (body ()) with e -> Error e in
+  let delta = Stats.diff (Stats.copy (Stats.global ())) before in
+  Mutex.lock batch.bmutex;
+  Stats.add ~into:batch.acc delta;
+  (match outcome with
+  | Ok () -> ()
+  | Error e -> if batch.failure = None then batch.failure <- Some e);
+  batch.remaining <- batch.remaining - 1;
+  if batch.remaining = 0 then Condition.broadcast batch.finished;
+  Mutex.unlock batch.bmutex
+
+let run_chunked pool ?chunk ~n body =
+  let chunk =
+    match chunk with
+    | Some c when c >= 1 -> c
+    | Some _ -> invalid_arg "Pool: chunk must be >= 1"
+    | None -> default_chunk ~jobs:pool.jobs n
+  in
+  let nchunks = (n + chunk - 1) / chunk in
+  let batch =
+    { bmutex = Mutex.create ();
+      finished = Condition.create ();
+      remaining = nchunks;
+      failure = None;
+      acc = Stats.create ()
+    }
+  in
+  let tasks =
+    List.init nchunks (fun ci ->
+        let lo = ci * chunk in
+        let hi = min n (lo + chunk) in
+        chunk_task batch (fun () -> body ~lo ~hi))
+  in
+  submit pool tasks;
+  join_batch batch
+
+let parallel_filter_map pool ?chunk f seq =
+  let items = Array.of_seq seq in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let slots = Array.make n None in
+    run_chunked pool ?chunk ~n (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          slots.(i) <- f items.(i)
+        done);
+    (* slots writes happen-before the join via the batch mutex *)
+    Array.to_seq slots |> Seq.filter_map Fun.id |> List.of_seq
+  end
+
+let parallel_map pool ?chunk f seq =
+  parallel_filter_map pool ?chunk (fun x -> Some (f x)) seq
+
+let parallel_find_map pool ?chunk f seq =
+  let items = Array.of_seq seq in
+  let n = Array.length items in
+  if n = 0 then None
+  else begin
+    let slots = Array.make n None in
+    (* Smallest item index with a hit so far.  An item may be skipped only
+       when a strictly earlier hit already exists — that hit dominates
+       whatever the item could produce, so the returned hit is always the
+       first in input order, independent of scheduling. *)
+    let best = Atomic.make max_int in
+    let rec lower_best i =
+      let cur = Atomic.get best in
+      if i < cur && not (Atomic.compare_and_set best cur i) then lower_best i
+    in
+    run_chunked pool ?chunk ~n (fun ~lo ~hi ->
+        let i = ref lo in
+        let stop = ref false in
+        while (not !stop) && !i < hi do
+          if Atomic.get best < !i then stop := true
+          else begin
+            (match f items.(!i) with
+            | Some _ as hit ->
+              slots.(!i) <- hit;
+              lower_best !i;
+              stop := true
+            | None -> ());
+            incr i
+          end
+        done);
+    match Atomic.get best with
+    | i when i = max_int -> None
+    | i -> slots.(i)
+  end

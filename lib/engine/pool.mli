@@ -1,0 +1,59 @@
+(** A domain pool for embarrassingly parallel screening loops.
+
+    Built on plain [Domain] + [Mutex]/[Condition] (no dependencies beyond
+    the OCaml 5 stdlib).  [create ~jobs] spawns [jobs] worker domains that
+    block on a shared queue; each batch operation chops its input into
+    chunks, and idle workers claim the next chunk dynamically — the load
+    balancing that matters when per-item cost varies by orders of magnitude
+    (e.g. candidate tgds whose chases terminate in one round vs exhaust the
+    budget).
+
+    {b Determinism.}  All batch operations preserve input order: the result
+    of [parallel_filter_map] is the same list the sequential
+    [Seq.filter_map] would produce, and [parallel_find_map] returns the
+    first hit in input order regardless of scheduling (a later hit never
+    suppresses an earlier item — see the domination argument in the
+    implementation).
+
+    {b Stats.}  {!Stats.global} is domain-local, so work done by a worker
+    lands in that worker's accumulator.  Around every chunk the pool
+    records the worker's delta and, when the batch joins, folds the sum
+    into the {e submitting} domain's accumulator — callers that diff
+    [Stats.global ()] around a parallel region therefore see exactly the
+    counters the sequential run would have produced (modulo
+    memo-hit/miss divergence when concurrent lookups race to compute the
+    same entry).
+
+    {b Exceptions.}  If a chunk raises, the batch still drains, and the
+    first recorded exception is re-raised in the submitting domain.
+
+    Items are processed on worker domains: the closures passed in must not
+    touch non-atomic shared mutable state (the engine's own shared
+    structures — {!Memo} shards, {!Stats} — are already safe). *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [jobs] worker domains ([jobs >= 1]).  The submitting domain does
+    not execute chunks itself, so total parallelism is [jobs]. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Drain outstanding tasks, stop and join all workers.  Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and always [shutdown] (also on exceptions). *)
+
+val parallel_filter_map : t -> ?chunk:int -> ('a -> 'b option) -> 'a Seq.t -> 'b list
+(** Order-preserving parallel [Seq.filter_map .. |> List.of_seq].  The
+    input sequence is forced on the submitting domain; [chunk] items are
+    processed per queue claim (default: a size balancing queue traffic
+    against load balance). *)
+
+val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a Seq.t -> 'b list
+(** Order-preserving parallel [List.map]. *)
+
+val parallel_find_map : t -> ?chunk:int -> ('a -> 'b option) -> 'a Seq.t -> 'b option
+(** First hit in input order, with early exit: once a hit at index [i] is
+    known, items after [i] are skipped without calling [f]. *)

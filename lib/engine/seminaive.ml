@@ -90,10 +90,19 @@ let pick_best idx binding goals =
 let rec solve idx binding goals : Binding.t Seq.t =
   match pick_best idx binding goals with
   | [] -> Seq.return binding
-  | g :: rest ->
-    candidates idx binding g
-    |> Seq.filter_map (fun f -> Hom.match_atom binding g.atom f)
-    |> Seq.concat_map (fun b -> solve idx b rest)
+  | g :: rest -> (
+    (* A goal whose atom is fully bound needs only an O(1) membership test
+       — never a bucket (let alone full-relation) scan.  This is the
+       dominant cost of activity checks, whose head atoms are usually
+       ground under the frontier binding. *)
+    match Binding.ground_atom binding g.atom with
+    | Some f ->
+      if Fact_index.mem_up_to idx ~up_to:g.up_to f then solve idx binding rest
+      else Seq.empty
+    | None ->
+      candidates idx binding g
+      |> Seq.filter_map (fun f -> Hom.match_atom binding g.atom f)
+      |> Seq.concat_map (fun b -> solve idx b rest))
 
 let goals_up_to up_to atoms = List.map (fun atom -> { atom; up_to }) atoms
 
@@ -101,9 +110,10 @@ let exists_extension idx partial atoms =
   not (Seq.is_empty (solve idx partial (goals_up_to max_int atoms)))
 
 (* Active in the restricted-chase sense: no extension of the frontier
-   binding maps the head into the current instance. *)
-let is_active stats idx tgd hom =
-  stats.Stats.scans <- stats.Stats.scans + 1;
+   binding maps the head into the current instance.  Pays index probes but
+   books no scan: only enumerated triggers count as scans, so the engine's
+   scan totals are comparable with the naive loop's. *)
+let is_active idx tgd hom =
   let partial = Binding.restrict (Tgd.frontier tgd) hom in
   not (exists_extension idx partial (Tgd.head tgd))
 
@@ -116,10 +126,18 @@ let trigger_key tgd hom =
 (* Trigger enumeration                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* The match phase of a round decomposes into independent tasks — one per
+   tgd in round 1, one per (tgd, pivot position) afterwards.  Each task is
+   a function of the stats record its probes/scans should land in and an
+   index view wired to it; executing the tasks in order and concatenating
+   reproduces the sequential trigger list exactly, which is what lets the
+   pool run them on worker domains without changing any observable. *)
+type match_task = Stats.t -> Fact_index.t -> (Tgd.t * Binding.t) list
+
 (* Round 1: every body homomorphism into the input facts (stamp 0). *)
-let initial_triggers stats idx sigma =
-  List.concat_map
-    (fun tgd ->
+let initial_tasks sigma : match_task list =
+  List.map
+    (fun tgd stats idx ->
       solve idx Binding.empty (goals_up_to 0 (Tgd.body tgd))
       |> Seq.map (fun h ->
              stats.Stats.scans <- stats.Stats.scans + 1;
@@ -131,38 +149,41 @@ let initial_triggers stats idx sigma =
    [j], atoms before [j] match rounds ≤ r-2, the pivot matches a delta fact
    (stamp r-1), atoms after [j] match rounds ≤ r-1; the pivot cases
    partition the triggers that touch the delta. *)
-let delta_triggers stats idx sigma ~round ~delta_by_rel =
+let delta_tasks sigma ~round ~delta_by_rel : match_task list =
   let old_limit = round - 2 and recent_limit = round - 1 in
   List.concat_map
     (fun tgd ->
       let body = Array.of_list (Tgd.body tgd) in
-      List.init (Array.length body) (fun j ->
-          let pivot = body.(j) in
-          match Hashtbl.find_opt delta_by_rel (Atom.rel pivot) with
-          | None -> []
-          | Some delta_facts ->
-            List.concat_map
-              (fun f ->
-                match Hom.match_atom Binding.empty pivot f with
-                | None -> []
-                | Some partial ->
-                  let goals =
-                    List.concat
-                      (List.init (Array.length body) (fun i ->
-                           if i = j then []
-                           else
-                             [ { atom = body.(i);
-                                 up_to =
-                                   (if i < j then old_limit else recent_limit)
-                               } ]))
-                  in
-                  solve idx partial goals
-                  |> Seq.map (fun h ->
-                         stats.Stats.scans <- stats.Stats.scans + 1;
-                         (tgd, h))
-                  |> List.of_seq)
-              delta_facts)
-      |> List.concat)
+      List.filter_map Fun.id
+        (List.init (Array.length body) (fun j ->
+             let pivot = body.(j) in
+             match Hashtbl.find_opt delta_by_rel (Atom.rel pivot) with
+             | None -> None
+             | Some delta_facts ->
+               Some
+                 (fun stats idx ->
+                   List.concat_map
+                     (fun f ->
+                       match Hom.match_atom Binding.empty pivot f with
+                       | None -> []
+                       | Some partial ->
+                         let goals =
+                           List.concat
+                             (List.init (Array.length body) (fun i ->
+                                  if i = j then []
+                                  else
+                                    [ { atom = body.(i);
+                                        up_to =
+                                          (if i < j then old_limit
+                                           else recent_limit)
+                                      } ]))
+                         in
+                         solve idx partial goals
+                         |> Seq.map (fun h ->
+                                stats.Stats.scans <- stats.Stats.scans + 1;
+                                (tgd, h))
+                         |> List.of_seq)
+                     delta_facts))))
     sigma
 
 (* Does any active trigger remain?  Used only when the round budget runs out
@@ -171,17 +192,37 @@ let some_active_trigger stats idx sigma =
   List.exists
     (fun tgd ->
       solve idx Binding.empty (goals_up_to max_int (Tgd.body tgd))
-      |> Seq.exists (fun h -> is_active stats idx tgd h))
+      |> Seq.exists (fun h ->
+             stats.Stats.scans <- stats.Stats.scans + 1;
+             is_active idx tgd h))
     sigma
 
 (* ------------------------------------------------------------------ *)
 (* Saturation loop                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run ~mode ?(max_rounds = 64) ?(max_facts = 20_000) ?(on_fire = fun _ _ _ -> ())
-    sigma inst =
+let run ~mode ?(max_rounds = 64) ?(max_facts = 20_000)
+    ?(on_fire = fun _ _ _ -> ()) ?pool sigma inst =
   let stats = Stats.create () in
   let idx = Fact_index.create ~stats () in
+  (* Run one match task against a private stats record and an index view
+     wired to it, so tasks running on pool workers never share a mutable
+     counter; merging the records in task order afterwards reproduces the
+     sequential totals. *)
+  let exec_task task =
+    let ts = Stats.create () in
+    let view = Fact_index.with_stats idx ts in
+    (task ts view, ts)
+  in
+  let run_tasks tasks =
+    let results =
+      match pool with
+      | None -> List.map exec_task tasks
+      | Some p -> Pool.parallel_map p exec_task (List.to_seq tasks)
+    in
+    List.iter (fun (_, ts) -> Stats.add ~into:stats ts) results;
+    List.concat_map fst results
+  in
   let initial_facts = Instance.fact_list inst in
   List.iter (fun f -> ignore (Fact_index.add idx ~round:0 f)) initial_facts;
   let current = ref inst in
@@ -195,9 +236,9 @@ let run ~mode ?(max_rounds = 64) ?(max_facts = 20_000) ?(on_fire = fun _ _ _ -> 
   while (!first || !delta <> []) && (not !out_of_budget) && !round < max_rounds do
     first := false;
     incr round;
-    let t0 = Sys.time () in
+    let t0 = Unix.gettimeofday () in
     let triggers =
-      if !round = 1 then initial_triggers stats idx sigma
+      if !round = 1 then run_tasks (initial_tasks sigma)
       else begin
         let delta_by_rel : (Relation.t, Fact.t list) Hashtbl.t =
           Hashtbl.create 16
@@ -210,10 +251,10 @@ let run ~mode ?(max_rounds = 64) ?(max_facts = 20_000) ?(on_fire = fun _ _ _ -> 
             in
             Hashtbl.replace delta_by_rel r (prev @ [ f ]))
           !delta;
-        delta_triggers stats idx sigma ~round:!round ~delta_by_rel
+        run_tasks (delta_tasks sigma ~round:!round ~delta_by_rel)
       end
     in
-    let t1 = Sys.time () in
+    let t1 = Unix.gettimeofday () in
     stats.Stats.match_time <- stats.Stats.match_time +. (t1 -. t0);
     let next_delta = ref [] in
     (try
@@ -228,7 +269,7 @@ let run ~mode ?(max_rounds = 64) ?(max_facts = 20_000) ?(on_fire = fun _ _ _ -> 
                  Hashtbl.add fired_keys key ();
                  true
                end
-             | Restricted -> is_active stats idx tgd hom
+             | Restricted -> is_active idx tgd hom
            in
            if fire_it then begin
              let h =
@@ -259,7 +300,7 @@ let run ~mode ?(max_rounds = 64) ?(max_facts = 20_000) ?(on_fire = fun _ _ _ -> 
            end)
          triggers
      with Exit -> ());
-    stats.Stats.fire_time <- stats.Stats.fire_time +. (Sys.time () -. t1);
+    stats.Stats.fire_time <- stats.Stats.fire_time +. (Unix.gettimeofday () -. t1);
     delta := List.rev !next_delta;
     stats.Stats.delta_facts <- stats.Stats.delta_facts + List.length !delta
   done;
@@ -270,5 +311,5 @@ let run ~mode ?(max_rounds = 64) ?(max_facts = 20_000) ?(on_fire = fun _ _ _ -> 
     else if some_active_trigger stats idx sigma then Budget_exhausted
     else Terminated
   in
-  Stats.add ~into:Stats.global stats;
+  Stats.add ~into:(Stats.global ()) stats;
   { instance = !current; outcome; rounds = !round; fired = !fired; stats }

@@ -44,6 +44,7 @@ val run :
   ?max_rounds:int ->
   ?max_facts:int ->
   ?on_fire:(Tgd.t -> Binding.t -> Fact.t list -> unit) ->
+  ?pool:Pool.t ->
   Tgd.t list ->
   Instance.t ->
   result
@@ -51,5 +52,9 @@ val run :
     [Chase.default_budget]: [max_rounds = 64], [max_facts = 20_000].
     [on_fire] observes every fired trigger — the tgd, its body homomorphism
     ({e before} null invention, as in [Chase]), and the grounded head facts
-    (new or not).  The result's [stats] are also folded into
-    {!Stats.global}. *)
+    (new or not).  When [pool] is given, each round's match phase runs its
+    per-(tgd, pivot) tasks on the pool's worker domains; results and all
+    counters are merged in task order, so the outcome, trigger order, and
+    stats totals are identical to the sequential run.  The fire phase is
+    always sequential.  The result's [stats] are also folded into the
+    calling domain's {!Stats.global} accumulator. *)

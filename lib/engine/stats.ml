@@ -58,7 +58,13 @@ let diff a b =
     fire_time = a.fire_time -. b.fire_time
   }
 
-let global = create ()
+(* One accumulator per domain: engine runs and memo accesses on a worker
+   domain land in that domain's record, race-free by construction.  The
+   {!Pool} merges worker deltas back into the submitting domain around each
+   parallel batch, so single-domain callers see the same totals as before. *)
+let global_key = Domain.DLS.new_key create
+
+let global () = Domain.DLS.get global_key
 
 let hit_rate s =
   let total = s.memo_hits + s.memo_misses in

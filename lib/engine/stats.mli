@@ -9,14 +9,17 @@
     (the rewriting algorithms, [tgdtool --stats], the bench harness) can
     diff {!global} around a region of interest.
 
-    On the naive chase path no index exists; there [scans] counts the facts
-    of each rule's body relations re-examined every round (a lower bound on
-    the snapshot-rescan enumeration work the semi-naive engine avoids) plus
-    activity rechecks, and [probes] stays 0. *)
+    [scans] counts each trigger enumerated during matching exactly once, on
+    both paths: the naive loop re-enumerates every trigger of the full
+    snapshot each round, while the semi-naive engine only enumerates
+    triggers touching the delta — making the two counts directly
+    comparable.  Activity checks are not scans; they pay for themselves in
+    index [probes] (and on the naive path, which has no index, they are
+    part of the rescan already counted). *)
 
 type t = {
-  mutable probes : int;      (** index bucket lookups *)
-  mutable scans : int;       (** triggers enumerated + activity checks *)
+  mutable probes : int;      (** index bucket lookups (incl. ground hits) *)
+  mutable scans : int;       (** triggers enumerated during matching *)
   mutable fired : int;       (** triggers fired *)
   mutable rounds : int;      (** saturation rounds performed *)
   mutable delta_facts : int; (** total size of all deltas (new facts) *)
@@ -37,8 +40,13 @@ val diff : t -> t -> t
 (** [diff after before] — pointwise subtraction; use with {!copy} of
     {!global} to attribute counters to a region of code. *)
 
-val global : t
-(** Process-wide accumulator.  Every engine run and memo access adds to it. *)
+val global : unit -> t
+(** The calling domain's accumulator (domain-local storage).  Every engine
+    run and memo access adds to the accumulator of the domain it runs on, so
+    counters are race-free under {!Pool} parallelism; the pool folds each
+    worker's delta back into the submitting domain when a parallel batch
+    joins.  Single-domain programs observe exactly the old process-wide
+    semantics. *)
 
 val hit_rate : t -> float
 (** [memo_hits / (memo_hits + memo_misses)]; 0 when no lookup happened. *)

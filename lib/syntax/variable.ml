@@ -11,11 +11,11 @@ let hash = Hashtbl.hash
 let pp = Fmt.string
 let to_string v = v
 
-let fresh_counter = ref 0
+(* Atomic so refreshing tgds is safe from concurrent domains. *)
+let fresh_counter = Atomic.make 0
 
 let fresh ?(prefix = "v") () =
-  incr fresh_counter;
-  Printf.sprintf "%s#%d" prefix !fresh_counter
+  Printf.sprintf "%s#%d" prefix (1 + Atomic.fetch_and_add fresh_counter 1)
 
 let indexed p i = p ^ string_of_int i
 

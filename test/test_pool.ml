@@ -1,0 +1,156 @@
+(* The domain pool (Tgd_engine.Pool): order preservation, first-hit
+   semantics, deterministic stats merging, and independence of the
+   Section 9 rewriting algorithms from the [jobs] setting. *)
+
+open Tgd_syntax
+open Tgd_instance
+open Tgd_engine
+open Tgd_core
+open Helpers
+
+(* -- pool primitives ---------------------------------------------------- *)
+
+let test_map_order () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let input = List.init 257 Fun.id in
+      let f x = (x * x) + 1 in
+      check_bool "parallel_map = List.map" true
+        (Pool.parallel_map pool f (List.to_seq input) = List.map f input);
+      (* chunk size 1 maximizes interleaving across workers *)
+      check_bool "chunk:1" true
+        (Pool.parallel_map pool ~chunk:1 f (List.to_seq input)
+        = List.map f input);
+      check_bool "empty input" true
+        (Pool.parallel_map pool f Seq.empty = []))
+
+let test_filter_map_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let input = List.init 100 Fun.id in
+      let f x = if x mod 3 = 0 then Some (x, 2 * x) else None in
+      check_bool "parallel_filter_map = Seq.filter_map" true
+        (Pool.parallel_filter_map pool ~chunk:7 f (List.to_seq input)
+        = (List.to_seq input |> Seq.filter_map f |> List.of_seq)))
+
+let test_find_map_first_hit () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let input = Seq.init 100 Fun.id in
+      (* many hits; the first in input order must win no matter which
+         worker reaches its chunk first *)
+      let f x = if x mod 7 = 3 then Some x else None in
+      (match Pool.parallel_find_map pool ~chunk:1 f input with
+      | Some 3 -> ()
+      | Some x -> Alcotest.failf "expected first hit 3, got %d" x
+      | None -> Alcotest.fail "expected a hit");
+      check_bool "no hit" true
+        (Pool.parallel_find_map pool (fun _ -> None) input = None);
+      check_bool "empty input" true
+        (Pool.parallel_find_map pool f Seq.empty = None))
+
+let test_exception_propagation () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      match
+        Pool.parallel_map pool
+          (fun x -> if x = 13 then failwith "boom" else x)
+          (Seq.init 40 Fun.id)
+      with
+      | _ -> Alcotest.fail "worker exception must re-raise in the submitter"
+      | exception Failure msg -> check_bool "message" true (msg = "boom"))
+
+(* -- stats merging ------------------------------------------------------ *)
+
+let chain_schema = schema [ ("E", 2); ("P", 1) ]
+
+let chain_inst =
+  inst ~schema:chain_schema
+    "E(a1,a2). E(a2,a3). E(a3,a4). E(a4,a5). E(a5,a6). P(a1)."
+
+let chain_sigma =
+  tgds "E(x,y), E(y,z) -> E(x,z).\nP(x), E(x,y) -> P(y)."
+
+(* The parallel match phase hands each task a private Stats.t and merges
+   them in task order, so a chase's own counters — not just its facts —
+   must be independent of [jobs]. *)
+let test_chase_stats_jobs_independent () =
+  let run jobs = Tgd_chase.Chase.restricted ~jobs chain_sigma chain_inst in
+  let s = run 1 and p = run 2 in
+  check_bool "same saturation" true
+    (Instance.equal s.Tgd_chase.Chase.instance p.Tgd_chase.Chase.instance);
+  let ss = s.Tgd_chase.Chase.stats and ps = p.Tgd_chase.Chase.stats in
+  check_int "fired" ss.Stats.fired ps.Stats.fired;
+  check_int "delta_facts" ss.Stats.delta_facts ps.Stats.delta_facts;
+  check_int "scans" ss.Stats.scans ps.Stats.scans;
+  check_int "probes" ss.Stats.probes ps.Stats.probes;
+  check_int "rounds" ss.Stats.rounds ps.Stats.rounds
+
+(* Work done on worker domains lands back in the submitting domain's
+   global accumulator: diffing Stats.global around a parallel chase gives
+   the same totals as around the sequential one. *)
+let test_global_stats_merge () =
+  let harvest jobs =
+    let before = Stats.copy (Stats.global ()) in
+    ignore (Tgd_chase.Chase.restricted ~jobs chain_sigma chain_inst);
+    Stats.diff (Stats.global ()) before
+  in
+  let s = harvest 1 and p = harvest 2 in
+  check_int "fired" s.Stats.fired p.Stats.fired;
+  check_int "delta_facts" s.Stats.delta_facts p.Stats.delta_facts;
+  check_int "scans" s.Stats.scans p.Stats.scans
+
+(* -- jobs-independence of the Section 9 algorithms (qcheck) ------------- *)
+
+let screening_config =
+  Rewrite.
+    { default_config with
+      minimize = false;
+      caps =
+        Candidates.
+          { max_body_atoms = 1; max_head_atoms = 1; keep_tautologies = false }
+    }
+
+let outcome_sig = function
+  | Rewrite.Rewritable sigma' ->
+    "R:" ^ String.concat ";" (List.map Tgd.to_string sigma')
+  | Rewrite.Not_rewritable { complete; unknown_candidates } ->
+    Printf.sprintf "N:%b:%d" complete unknown_candidates
+  | Rewrite.Unknown msg -> "U:" ^ msg
+
+let arb_sigma cls =
+  QCheck.make
+    ~print:(fun sigma -> String.concat " ; " (List.map Tgd.to_string sigma))
+    (fun st ->
+      Tgd_workload.Gen.random_sigma st chain_schema cls
+        ~size:(1 + Random.State.int st 2))
+
+(* Screening preserves candidate order and the backward check stays
+   sequential, so the whole report — outcome, enumeration and entailment
+   counts — must not depend on [jobs].  Memos are cleared between runs so
+   each one recomputes from scratch. *)
+let prop_jobs_independent name rewrite cls =
+  QCheck.Test.make ~name ~count:12 (arb_sigma cls) (fun sigma ->
+      let run jobs =
+        Tgd_chase.Entailment.clear_memos ();
+        Tgd_chase.Chase.clear_memo ();
+        let r = rewrite ?config:(Some Rewrite.{ screening_config with jobs }) sigma in
+        ( outcome_sig r.Rewrite.outcome,
+          r.Rewrite.candidates_enumerated,
+          r.Rewrite.candidates_entailed )
+      in
+      let base = run 1 in
+      List.for_all (fun jobs -> run jobs = base) [ 2; 4 ])
+
+let prop_g_to_l =
+  prop_jobs_independent "G-to-L independent of jobs ∈ {1,2,4}" Rewrite.g_to_l
+    Tgd_class.Guarded
+
+let prop_fg_to_g =
+  prop_jobs_independent "FG-to-G independent of jobs ∈ {1,2,4}" Rewrite.fg_to_g
+    Tgd_class.Frontier_guarded
+
+let suite =
+  [ case "parallel_map preserves order" test_map_order;
+    case "parallel_filter_map preserves order" test_filter_map_order;
+    case "parallel_find_map first hit" test_find_map_first_hit;
+    case "exception propagation" test_exception_propagation;
+    case "chase stats independent of jobs" test_chase_stats_jobs_independent;
+    case "global stats merged across domains" test_global_stats_merge ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_g_to_l; prop_fg_to_g ]
