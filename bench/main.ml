@@ -14,6 +14,7 @@ open Tgd_syntax
 open Tgd_instance
 open Tgd_core
 open Tgd_workload
+module Budget = Tgd_engine.Budget
 
 let section title = Fmt.pr "@.=== %s ===@." title
 
@@ -41,7 +42,7 @@ let e1 () =
     (fun (name, sigma, n, m) ->
       let o = Ontology.axiomatic (Rewrite.schema_of sigma) sigma in
       let local =
-        match Locality.check_local_up_to Locality.Plain ~n ~m o 2 with
+        match Budget.value (Locality.check_local_up_to Locality.Plain ~n ~m o 2) with
         | Locality.Local_on_tests -> "holds"
         | Locality.Not_local _ -> "FAILS"
       in
@@ -69,7 +70,7 @@ let e2 () =
   List.iter
     (fun (name, s, oracle, n, m) ->
       let o = Ontology.oracle ~name s oracle in
-      let sigma = Characterize.synthesize o ~n ~m in
+      let sigma = Budget.value (Characterize.synthesize o ~n ~m) in
       let verified =
         match Characterize.verify_axiomatization o sigma ~dom_size:2 with
         | None -> "yes"
@@ -110,7 +111,7 @@ let separation_row name variant ~n ~m (sigma, i) =
     | Locality.No_witness _ -> "no"
   in
   let verdict =
-    match Locality.check_local_on variant ~n ~m o [ i ] with
+    match Budget.value (Locality.check_local_on variant ~n ~m o [ i ]) with
     | Locality.Not_local _ -> "NOT local (separation confirmed)"
     | Locality.Local_on_tests -> "no counterexample"
   in
@@ -133,6 +134,11 @@ let rewrite_config body head =
       caps = Candidates.{ max_body_atoms = body; max_head_atoms = head; keep_tautologies = false }
     }
 
+(* The rewriting procedures grew a [?resume] checkpoint parameter; benches
+   never resume, so eta-expand them to the shape the tables expect. *)
+let g_to_l ?config sigma = Rewrite.g_to_l ?config sigma
+let fg_to_g ?config sigma = Rewrite.fg_to_g ?config sigma
+
 (* Wall clock, not [Sys.time]: CPU time would add worker-domain time up and
    hide any parallel speedup. *)
 let time_it f =
@@ -149,7 +155,9 @@ let rewrite_table name algo inputs =
   row "%-26s %-6s %-10s %-10s %-28s %-8s@." name "k" "enum" "entailed" "outcome" "time(s)";
   List.iter
     (fun (label, k, sigma, config) ->
-      let report, dt = time_it (fun () -> algo ?config:(Some config) sigma) in
+      let report, dt =
+        time_it (fun () -> Budget.value (algo ?config:(Some config) sigma))
+      in
       let outcome =
         match report.Rewrite.outcome with
         | Rewrite.Rewritable s -> Printf.sprintf "rewritable (%d tgds)" (List.length s)
@@ -164,7 +172,7 @@ let rewrite_table name algo inputs =
 
 let e6 () =
   section "E6  Theorem 9.1 / Algorithm 1 — Rewrite(GTGD, LTGD)";
-  rewrite_table "G-to-L" Rewrite.g_to_l
+  rewrite_table "G-to-L" g_to_l
     (List.concat_map
        (fun k ->
          [ (Printf.sprintf "rewritable(%d)" k, k, Families.guarded_rewritable k,
@@ -175,7 +183,7 @@ let e6 () =
 
 let e7 () =
   section "E7  Theorem 9.2 / Algorithm 2 — Rewrite(FGTGD, GTGD)";
-  rewrite_table "FG-to-G" Rewrite.fg_to_g
+  rewrite_table "FG-to-G" fg_to_g
     [ ("rewritable(1)", 1, Families.fg_rewritable 1, rewrite_config 2 1);
       ("unrewritable(1)", 1, Families.fg_unrewritable 1, rewrite_config 8 8);
       (* k = 2 doubles the schema; a definitive answer would need an
@@ -189,7 +197,8 @@ let e6_scaling () =
   List.iter
     (fun (name, sigma) ->
       let report, dt =
-        time_it (fun () -> Rewrite.g_to_l ~config:(rewrite_config 2 1) sigma)
+        time_it (fun () ->
+            Budget.value (Rewrite.g_to_l ~config:(rewrite_config 2 1) sigma))
       in
       ignore report.Rewrite.outcome;
       row "%-30s %-8d %-10d %-12.3f@." name (List.length sigma / 2)
@@ -269,15 +278,15 @@ let e10 () =
   section "E10  Lemmas 6.3/7.3 — rewritings stay within TGD_{n,m}";
   let check name algo sigma config =
     let n, m = Rewrite.class_bounds sigma in
-    match (algo ?config:(Some config) sigma).Rewrite.outcome with
+    match (Budget.value (algo ?config:(Some config) sigma)).Rewrite.outcome with
     | Rewrite.Rewritable sigma' ->
       let ok = List.for_all (Tgd.in_class_nm ~n ~m) sigma' in
       row "%-26s input (n,m)=(%d,%d): output within bounds: %b@." name n m ok
     | _ -> row "%-26s not rewritable — vacuous@." name
   in
-  check "G-to-L guarded_rewritable" Rewrite.g_to_l (Families.guarded_rewritable 1)
+  check "G-to-L guarded_rewritable" g_to_l (Families.guarded_rewritable 1)
     (rewrite_config 2 1);
-  check "FG-to-G fg_rewritable" Rewrite.fg_to_g (Families.fg_rewritable 1)
+  check "FG-to-G fg_rewritable" fg_to_g (Families.fg_rewritable 1)
     (rewrite_config 2 1)
 
 (* ------------------------------------------------------------------ *)
@@ -472,7 +481,7 @@ let refutation_bench =
     (Staged.stage (fun () ->
          ignore
            (Refutation.entails
-              ~budget:Tgd_chase.Chase.{ max_rounds = 4; max_facts = 50 }
+              ~budget:(Budget.limits ~rounds:4 ~facts:50)
               sigma goal)))
 
 let synthesis_bench =
@@ -638,7 +647,7 @@ let e11 ~reps () =
         List.init reps (fun _ ->
             Tgd_chase.Entailment.clear_memos ();
             Tgd_chase.Chase.clear_memo ();
-            time_it (fun () -> algo ?config:(Some config) sigma))
+            time_it (fun () -> Budget.value (algo ?config:(Some config) sigma)))
       in
       side_of_stats (fst (List.hd runs)).Rewrite.stats
         ~times:(List.map snd runs)
@@ -647,11 +656,11 @@ let e11 ~reps () =
     let eside = run_side config in
     emit "rewrite" name nside eside
   in
-  rewrite_case "g2l unrewritable(1) [9.1]" Rewrite.g_to_l
+  rewrite_case "g2l unrewritable(1) [9.1]" g_to_l
     (Families.guarded_unrewritable 1) (rewrite_config 8 8);
-  rewrite_case "g2l rewritable(2)" Rewrite.g_to_l
+  rewrite_case "g2l rewritable(2)" g_to_l
     (Families.guarded_rewritable 2) (rewrite_config 2 1);
-  rewrite_case "fg2g unrewritable(1) [9.1]" Rewrite.fg_to_g
+  rewrite_case "fg2g unrewritable(1) [9.1]" fg_to_g
     (Families.fg_unrewritable 1) (rewrite_config 8 8);
   let oc = open_out "BENCH_engine.json" in
   Printf.fprintf oc
@@ -688,7 +697,8 @@ let e12 ~reps ~jobs_list () =
             Tgd_chase.Entailment.clear_memos ();
             Tgd_chase.Chase.clear_memo ();
             time_it (fun () ->
-                algo ?config:(Some Rewrite.{ config with jobs }) sigma))
+                Budget.value
+                  (algo ?config:(Some Rewrite.{ config with jobs }) sigma)))
       in
       (fst (List.hd runs), median (List.map snd runs))
     in
@@ -725,13 +735,13 @@ let e12 ~reps ~jobs_list () =
       (Printf.sprintf "    {\"name\": \"%s\", \"runs\": [\n%s\n    ]}" name
          (String.concat ",\n" job_entries))
   in
-  workload "g2l rewritable(2)" Rewrite.g_to_l (Families.guarded_rewritable 2)
+  workload "g2l rewritable(2)" g_to_l (Families.guarded_rewritable 2)
     (rewrite_config 2 1);
-  workload "g2l rewritable_wide(2)" Rewrite.g_to_l
+  workload "g2l rewritable_wide(2)" g_to_l
     (Families.guarded_rewritable_wide 2) (rewrite_config 2 1);
-  workload "g2l unrewritable(1) [9.1]" Rewrite.g_to_l
+  workload "g2l unrewritable(1) [9.1]" g_to_l
     (Families.guarded_unrewritable 1) (rewrite_config 8 8);
-  workload "fg2g unrewritable(1) [9.1]" Rewrite.fg_to_g
+  workload "fg2g unrewritable(1) [9.1]" fg_to_g
     (Families.fg_unrewritable 1) (rewrite_config 8 8);
   let oc = open_out "BENCH_parallel.json" in
   Printf.fprintf oc
@@ -741,6 +751,117 @@ let e12 ~reps ~jobs_list () =
   close_out oc;
   row "@.BENCH_parallel.json written@."
 
+(* ------------------------------------------------------------------ *)
+(* E13 — resource-governance overhead and truncation accuracy           *)
+(*       (BENCH_robust.json)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let e13 ~reps () =
+  section "E13  budget governance: overhead on governed-but-untripped runs";
+  row "(times: median of %d cold repetitions)@." reps;
+  (* a budget whose limits are far out of reach: every check is paid, none
+     trips — the pure cost of governance *)
+  let far_budget () =
+    Budget.make ~rounds:max_int ~facts:max_int ~fuel:max_int ~timeout_s:3600.
+      ()
+  in
+  let overhead_entries = Buffer.create 1024 in
+  let first = ref true in
+  row "%-30s %12s %12s %9s@." "workload" "plain(s)" "governed(s)" "overhead";
+  let overhead_case name plain governed =
+    let cold f =
+      List.init reps (fun _ ->
+          Tgd_chase.Entailment.clear_memos ();
+          Tgd_chase.Chase.clear_memo ();
+          snd (time_it f))
+      |> median
+    in
+    let tp = cold plain in
+    let tg = cold governed in
+    let pct = if tp > 0. then 100. *. (tg -. tp) /. tp else 0. in
+    row "%-30s %12.4f %12.4f %8.1f%%@." name tp tg pct;
+    if not !first then Buffer.add_string overhead_entries ",\n";
+    first := false;
+    Buffer.add_string overhead_entries
+      (Printf.sprintf
+         "    {\"name\": \"%s\", \"plain_s\": %.6f, \"governed_s\": %.6f, \
+          \"overhead_pct\": %.2f}"
+         name tp tg pct)
+  in
+  let chase_workload name sigma db =
+    overhead_case name
+      (fun () -> ignore (Tgd_chase.Chase.restricted sigma db))
+      (fun () ->
+        ignore (Tgd_chase.Chase.restricted ~budget:(far_budget ()) sigma db))
+  in
+  chase_workload "chase tc/clique(6)" Families.transitive_closure
+    (Families.clique 6);
+  chase_workload "chase exist_chain(10)" (Families.existential_chain 10)
+    (chain_db 10 4);
+  let rewrite_workload name algo sigma config =
+    overhead_case name
+      (fun () -> ignore (Budget.value (algo ?config:(Some config) sigma)))
+      (fun () ->
+        ignore
+          (Budget.value
+             (algo
+                ?config:
+                  (Some Rewrite.{ config with budget = far_budget () })
+                sigma)))
+  in
+  rewrite_workload "g2l rewritable(2)" g_to_l
+    (Families.guarded_rewritable 2) (rewrite_config 2 1);
+  rewrite_workload "fg2g unrewritable(1) [9.1]" fg_to_g
+    (Families.fg_unrewritable 1) (rewrite_config 8 8);
+  (* time-to-truncation: a non-terminating chase under a wall-clock
+     deadline; how soon past the deadline does the engine actually stop? *)
+  section "E13  time-to-truncation accuracy (non-terminating chase)";
+  row "%-14s %12s %12s %10s@." "deadline(s)" "stopped(s)" "excess(s)"
+    "truncated";
+  let nonterm = Tgd_parse.Parse.tgds_exn "E(x,y) -> exists z. E(y,z)." in
+  let nonterm_db =
+    let schema = Rewrite.schema_of nonterm in
+    Tgd_instance.Instance.of_facts schema
+      [ Fact.make (Option.get (Schema.find schema "E"))
+          [ Constant.named "a"; Constant.named "b" ] ]
+  in
+  let trunc_entries = Buffer.create 1024 in
+  let first_t = ref true in
+  List.iter
+    (fun deadline ->
+      let budget = Budget.make ~rounds:max_int ~facts:max_int
+          ~timeout_s:deadline ()
+      in
+      let r, elapsed =
+        time_it (fun () ->
+            Tgd_chase.Chase.restricted ~budget nonterm nonterm_db)
+      in
+      let truncated =
+        match r.Tgd_chase.Chase.outcome with
+        | Tgd_chase.Chase.Truncated Budget.Deadline -> true
+        | _ -> false
+      in
+      let excess = elapsed -. deadline in
+      row "%-14.2f %12.4f %12.4f %10b@." deadline elapsed excess truncated;
+      if not !first_t then Buffer.add_string trunc_entries ",\n";
+      first_t := false;
+      Buffer.add_string trunc_entries
+        (Printf.sprintf
+           "    {\"deadline_s\": %.2f, \"stopped_s\": %.6f, \
+            \"excess_s\": %.6f, \"truncated\": %b}"
+           deadline elapsed excess truncated))
+    [ 0.05; 0.1; 0.2 ];
+  let oc = open_out "BENCH_robust.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"governance_overhead\",\n  \"repetitions\": %d,\n\
+    \  \"overhead_target_pct\": 3.0,\n  \"overhead\": [\n%s\n  ],\n\
+    \  \"truncation\": [\n%s\n  ]\n}\n"
+    reps
+    (Buffer.contents overhead_entries)
+    (Buffer.contents trunc_entries);
+  close_out oc;
+  row "@.BENCH_robust.json written@."
+
 let () =
   let has s = Array.exists (String.equal s) Sys.argv in
   let quick = has "quick" in
@@ -748,10 +869,11 @@ let () =
   let jobs_list = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
   Fmt.pr "Reproduction harness — Console, Kolaitis, Pieris: Model-theoretic@.";
   Fmt.pr "Characterizations of Rule-based Ontologies (PODS 2021)@.";
-  if has "engine" || has "parallel" then begin
+  if has "engine" || has "parallel" || has "robust" then begin
     (* just the requested JSON-emitting comparisons *)
     if has "engine" then e11 ~reps ();
     if has "parallel" then e12 ~reps ~jobs_list ();
+    if has "robust" then e13 ~reps ();
     Fmt.pr "@.Done.@."
   end
   else begin
@@ -767,6 +889,7 @@ let () =
     e10 ();
     e11 ~reps ();
     e12 ~reps ~jobs_list ();
+    e13 ~reps ();
     run_benchmarks ();
     Fmt.pr "@.Done.@."
   end

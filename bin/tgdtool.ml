@@ -55,8 +55,34 @@ let max_facts_arg =
     value & opt int 20_000
     & info [ "max-facts" ] ~docv:"N" ~doc:"Chase budget: maximum facts.")
 
-let budget_of rounds max_facts =
-  Tgd_chase.Chase.{ max_rounds = rounds; max_facts }
+let timeout_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:"Wall-clock deadline in seconds.  On expiry the run stops \
+              cooperatively, prints the partial result computed so far, \
+              and exits with code 3.")
+
+let fuel_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:"Total trigger-firing budget for the whole run (shared across \
+              all chases it performs).  Exhaustion truncates like \
+              $(b,--timeout): partial result, exit code 3.")
+
+let budget_of rounds max_facts timeout fuel =
+  Tgd_engine.Budget.make ~rounds ~facts:max_facts ?timeout_s:timeout ?fuel ()
+
+(* Exit code 3 — distinct from 1 (negative verdict) and 2 (undecided) — is
+   reserved for budget truncation across all subcommands. *)
+let truncated_exit =
+  Cmd.Exit.info 3
+    ~doc:"the run was truncated by its resource budget ($(b,--timeout), \
+          $(b,--fuel), $(b,--rounds), $(b,--max-facts), or an injected \
+          fault); the partial results printed are a sound prefix."
+
+let exits = truncated_exit :: Cmd.Exit.defaults
 
 let stats_arg =
   Arg.(
@@ -115,7 +141,8 @@ let chase_cmd =
       & info [ "explain" ] ~docv:"FACT"
           ~doc:"Print the derivation tree of a fact, e.g. \"T(a,c)\".")
   in
-  let run path db_path rounds max_facts oblivious explain stats naive jobs =
+  let run path db_path rounds max_facts timeout fuel oblivious explain stats
+      naive jobs =
     let sigma = parse_tgds_file path in
     let schema = Rewrite.schema_of sigma in
     let p = parse_program_file path in
@@ -127,7 +154,7 @@ let chase_cmd =
       Tgd_instance.Instance.of_facts schema
         (parse_program_file ~schema db_path).Tgd_parse.Parse.facts
     in
-    let budget = budget_of rounds max_facts in
+    let budget = budget_of rounds max_facts timeout fuel in
     match explain with
     | None ->
       let chase =
@@ -138,7 +165,17 @@ let chase_cmd =
       Fmt.pr "%a@.%a@." Tgd_chase.Chase.pp_result r Tgd_instance.Instance.pp
         r.Tgd_chase.Chase.instance;
       if stats then
-        Fmt.pr "%a@." Tgd_engine.Stats.pp r.Tgd_chase.Chase.stats
+        Fmt.pr "%a@." Tgd_engine.Stats.pp r.Tgd_chase.Chase.stats;
+      (match r.Tgd_chase.Chase.outcome with
+      | Tgd_chase.Chase.Truncated reason ->
+        Fmt.pr
+          "truncated (%a): kept %d facts from %d completed rounds, %d \
+           firings@."
+          Tgd_engine.Budget.pp_exhaustion reason
+          (Tgd_instance.Instance.fact_count r.Tgd_chase.Chase.instance)
+          r.Tgd_chase.Chase.rounds r.Tgd_chase.Chase.fired;
+        exit 3
+      | Tgd_chase.Chase.Terminated -> ())
     | Some fact_src ->
       let fact =
         match
@@ -155,10 +192,11 @@ let chase_cmd =
         Fmt.pr "%a is not derivable@." Tgd_syntax.Fact.pp fact;
         exit 1)
   in
-  Cmd.v (Cmd.info "chase" ~doc:"Chase a database with a tgd ontology.")
+  Cmd.v (Cmd.info "chase" ~exits ~doc:"Chase a database with a tgd ontology.")
     Term.(
       const run $ ontology_arg $ db_arg $ budget_arg $ max_facts_arg
-      $ oblivious_arg $ explain_arg $ stats_arg $ naive_arg $ jobs_arg)
+      $ timeout_arg $ fuel_arg $ oblivious_arg $ explain_arg $ stats_arg
+      $ naive_arg $ jobs_arg)
 
 (* ---- entails ---- *)
 
@@ -169,17 +207,21 @@ let entails_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"TGD" ~doc:"Goal tgd, e.g. \"R(x,y) -> T(x).\"")
   in
-  let run path goal rounds max_facts =
+  let run path goal rounds max_facts timeout fuel =
     let sigma = parse_tgds_file path in
     let goal = Tgd_parse.Parse.tgd_exn goal in
     let answer =
-      Tgd_chase.Entailment.entails ~budget:(budget_of rounds max_facts) sigma goal
+      Tgd_chase.Entailment.entails
+        ~budget:(budget_of rounds max_facts timeout fuel)
+        sigma goal
     in
     Fmt.pr "%a@." Tgd_chase.Entailment.pp_answer answer;
     if answer = Tgd_chase.Entailment.Unknown then exit 2
   in
   Cmd.v (Cmd.info "entails" ~doc:"Decide Σ ⊨ σ via freezing and the chase.")
-    Term.(const run $ ontology_arg $ goal_arg $ budget_arg $ max_facts_arg)
+    Term.(
+      const run $ ontology_arg $ goal_arg $ budget_arg $ max_facts_arg
+      $ timeout_arg $ fuel_arg)
 
 (* ---- rewrite ---- *)
 
@@ -206,46 +248,61 @@ let rewrite_cmd =
       value & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the rewriting to a file.")
   in
-  let run direction path body head rounds max_facts out stats naive jobs =
+  let run direction path body head rounds max_facts timeout fuel out stats
+      naive jobs =
     let sigma = parse_tgds_file path in
     let config =
       Rewrite.
         { caps =
             Candidates.
               { max_body_atoms = body; max_head_atoms = head; keep_tautologies = false };
-          budget = budget_of rounds max_facts;
+          budget = budget_of rounds max_facts timeout fuel;
           minimize = true;
           naive;
           memo = not naive;
           jobs
         }
     in
-    let report =
+    let outcome =
       match direction with
       | `G2l -> Rewrite.g_to_l ~config sigma
       | `Fg2g -> Rewrite.fg_to_g ~config sigma
     in
+    let report = Tgd_engine.Budget.value outcome in
     Fmt.pr "n = %d, m = %d; %d candidates enumerated, %d entailed@."
       report.Rewrite.n report.Rewrite.m report.Rewrite.candidates_enumerated
       report.Rewrite.candidates_entailed;
     Fmt.pr "%a@." Rewrite.pp_outcome report.Rewrite.outcome;
     if stats then Fmt.pr "%a@." Tgd_engine.Stats.pp report.Rewrite.stats;
-    match report.Rewrite.outcome with
-    | Rewrite.Rewritable sigma' ->
-      Option.iter
-        (fun path ->
-          Tgd_parse.Print.to_file path (Tgd_parse.Print.tgds sigma' ^ "\n");
-          Fmt.pr "written to %s@." path)
-        out
-    | Rewrite.Not_rewritable _ -> exit 1
-    | Rewrite.Unknown _ -> exit 2
+    match outcome with
+    | Tgd_engine.Budget.Truncated { reason; partial; _ } ->
+      (match partial.Rewrite.checkpoint with
+      | Some cp ->
+        Fmt.pr
+          "truncated (%a): %d candidates screened before the trip; rerun \
+           with a larger budget to resume from there@."
+          Tgd_engine.Budget.pp_exhaustion reason cp.Rewrite.cursor
+      | None ->
+        Fmt.pr "truncated (%a)@." Tgd_engine.Budget.pp_exhaustion reason);
+      exit 3
+    | Tgd_engine.Budget.Complete _ -> (
+      match report.Rewrite.outcome with
+      | Rewrite.Rewritable sigma' ->
+        Option.iter
+          (fun path ->
+            Tgd_parse.Print.to_file path (Tgd_parse.Print.tgds sigma' ^ "\n");
+            Fmt.pr "written to %s@." path)
+          out
+      | Rewrite.Not_rewritable _ -> exit 1
+      | Rewrite.Unknown _ -> exit 2)
   in
   Cmd.v
-    (Cmd.info "rewrite"
+    (Cmd.info "rewrite" ~exits
        ~doc:"Rewrite guarded tgds into linear (g2l) or frontier-guarded into guarded (fg2g).")
     Term.(
       const run $ direction_arg $ file_arg $ body_cap $ head_cap $ budget_arg
-      $ max_facts_arg $ out_arg $ stats_arg $ naive_arg $ jobs_arg)
+      $ max_facts_arg $ timeout_arg $ fuel_arg $ out_arg $ stats_arg
+      $ naive_arg $ jobs_arg)
 
 (* ---- properties ---- *)
 
@@ -293,7 +350,9 @@ let synthesize_cmd =
       Ontology.oracle ~name:"file oracle" schema (fun i ->
           Tgd_instance.Satisfaction.tgds i sigma)
     in
-    let synth = Characterize.synthesize ~minimize:true o ~n ~m in
+    let synth =
+      Tgd_engine.Budget.value (Characterize.synthesize ~minimize:true o ~n ~m)
+    in
     Fmt.pr "synthesized %d tgds:@." (List.length synth);
     List.iter (fun t -> Fmt.pr "  %a@." Tgd.pp t) synth;
     match Characterize.verify_axiomatization o synth ~dom_size:dom with
@@ -355,7 +414,7 @@ let theory_cmd =
       & pos 1 (some file) None
       & info [] ~docv:"DATABASE" ~doc:"File containing facts.")
   in
-  let run path db_path rounds max_facts =
+  let run path db_path rounds max_facts timeout fuel =
     let prog = parse_program_file path in
     let schema =
       Schema.union prog.Tgd_parse.Parse.schema
@@ -372,19 +431,25 @@ let theory_cmd =
           denials = prog.Tgd_parse.Parse.denials
         }
     in
-    let r = Tgd_chase.Theory.chase ~budget:(budget_of rounds max_facts) theory db in
+    let r =
+      Tgd_chase.Theory.chase
+        ~budget:(budget_of rounds max_facts timeout fuel)
+        theory db
+    in
     Fmt.pr "%a (%d tgd firings, %d merges)@." Tgd_chase.Theory.pp_outcome
       r.Tgd_chase.Theory.outcome r.Tgd_chase.Theory.fired r.Tgd_chase.Theory.merges;
     Fmt.pr "%a@." Tgd_instance.Instance.pp r.Tgd_chase.Theory.instance;
     match r.Tgd_chase.Theory.outcome with
     | Tgd_chase.Theory.Model -> ()
     | Tgd_chase.Theory.Failed _ -> exit 1
-    | Tgd_chase.Theory.Out_of_budget -> exit 2
+    | Tgd_chase.Theory.Out_of_budget _ -> exit 3
   in
   Cmd.v
-    (Cmd.info "theory"
+    (Cmd.info "theory" ~exits
        ~doc:"Chase a database with a mixed theory of tgds, egds, and denial constraints.")
-    Term.(const run $ ontology_arg $ db_arg $ budget_arg $ max_facts_arg)
+    Term.(
+      const run $ ontology_arg $ db_arg $ budget_arg $ max_facts_arg
+      $ timeout_arg $ fuel_arg)
 
 (* ---- datalog ---- *)
 
@@ -394,7 +459,14 @@ let datalog_cmd =
       required & pos 1 (some file) None
       & info [] ~docv:"DATABASE" ~doc:"File containing facts.")
   in
-  let run path db_path =
+  let max_facts_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-facts" ] ~docv:"N"
+          ~doc:"Saturation fact cap (the fixpoint is finite; this guards \
+                against misconfiguration).")
+  in
+  let run path db_path max_facts timeout fuel =
     let sigma = parse_tgds_file path in
     let schema =
       Schema.union (Rewrite.schema_of sigma)
@@ -404,14 +476,28 @@ let datalog_cmd =
       Tgd_instance.Instance.of_facts schema
         (parse_program_file ~schema db_path).Tgd_parse.Parse.facts
     in
-    let result, stats = Tgd_chase.Datalog.saturate_with_stats sigma db in
-    Fmt.pr "fixpoint in %d rounds, %d facts derived@." stats.Tgd_chase.Datalog.rounds
-      stats.Tgd_chase.Datalog.derived;
-    Fmt.pr "%a@." Tgd_instance.Instance.pp result
+    let budget =
+      Tgd_engine.Budget.make ~rounds:max_int ~facts:max_facts
+        ?timeout_s:timeout ?fuel ()
+    in
+    match Tgd_chase.Datalog.saturate_with_stats ~budget sigma db with
+    | Tgd_engine.Budget.Complete (result, stats) ->
+      Fmt.pr "fixpoint in %d rounds, %d facts derived@."
+        stats.Tgd_chase.Datalog.rounds stats.Tgd_chase.Datalog.derived;
+      Fmt.pr "%a@." Tgd_instance.Instance.pp result
+    | Tgd_engine.Budget.Truncated { reason; partial = result, stats; _ } ->
+      Fmt.pr "truncated (%a) after %d rounds, %d facts derived@."
+        Tgd_engine.Budget.pp_exhaustion reason stats.Tgd_chase.Datalog.rounds
+        stats.Tgd_chase.Datalog.derived;
+      Fmt.pr "%a@." Tgd_instance.Instance.pp result;
+      exit 3
   in
   Cmd.v
-    (Cmd.info "datalog" ~doc:"Semi-naive saturation of a database under full tgds.")
-    Term.(const run $ ontology_arg $ db_arg)
+    (Cmd.info "datalog" ~exits
+       ~doc:"Semi-naive saturation of a database under full tgds.")
+    Term.(
+      const run $ ontology_arg $ db_arg $ max_facts_arg $ timeout_arg
+      $ fuel_arg)
 
 (* ---- core ---- *)
 
@@ -463,11 +549,13 @@ let refute_cmd =
       & info [ "extra" ] ~docv:"N"
           ~doc:"Fresh elements allowed in countermodels.")
   in
-  let run path goal rounds max_facts extra =
+  let run path goal rounds max_facts timeout fuel extra =
     let sigma = parse_tgds_file path in
     let goal = Tgd_parse.Parse.tgd_exn goal in
     let answer =
-      Refutation.entails ~budget:(budget_of rounds max_facts) ~extra sigma goal
+      Refutation.entails
+        ~budget:(budget_of rounds max_facts timeout fuel)
+        ~extra sigma goal
     in
     Fmt.pr "%a@." Tgd_chase.Entailment.pp_answer answer;
     (match Refutation.countermodel ~extra sigma goal with
@@ -478,7 +566,9 @@ let refute_cmd =
   Cmd.v
     (Cmd.info "refute"
        ~doc:"Decide Σ ⊨ σ with chase + finite-countermodel search.")
-    Term.(const run $ ontology_arg $ goal_arg $ budget_arg $ max_facts_arg $ extra_arg)
+    Term.(
+      const run $ ontology_arg $ goal_arg $ budget_arg $ max_facts_arg
+      $ timeout_arg $ fuel_arg $ extra_arg)
 
 let main =
   Cmd.group

@@ -53,7 +53,7 @@ let run name db_src =
     let core = Retract.core_preserving (Instance.adom db) r.Theory.instance in
     Fmt.pr "universal solution (core): %a@." Instance.pp core;
     Fmt.pr "core is a model of the theory: %b@." (Theory.satisfies core theory)
-  | Theory.Failed _ | Theory.Out_of_budget -> ()
+  | Theory.Failed _ | Theory.Out_of_budget _ -> ()
 
 let () =
   (* clean exchange: the generated manager-null for "sales" merges with the

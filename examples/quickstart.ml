@@ -34,7 +34,7 @@ let () =
   let db = Tgd_parse.Parse.instance_exn ~schema "Person(alice). HasParent(alice,bob)." in
   let result =
     Tgd_chase.Chase.restricted
-      ~budget:Tgd_chase.Chase.{ max_rounds = 3; max_facts = 64 }
+      ~budget:(Tgd_engine.Budget.limits ~rounds:3 ~facts:64)
       sigma db
   in
   Fmt.pr "@.Chase of the database (%a):@.  %a@." Tgd_chase.Chase.pp_result
@@ -44,7 +44,7 @@ let () =
      three-valued: the second goal is not provable within the budget and the
      chase does not terminate on this ontology, so the honest answer is
      "unknown". *)
-  let budget = Tgd_chase.Chase.{ max_rounds = 4; max_facts = 64 } in
+  let budget = Tgd_engine.Budget.limits ~rounds:4 ~facts:64 in
   List.iter
     (fun src ->
       let goal = Tgd_parse.Parse.tgd_exn src in
@@ -58,7 +58,7 @@ let () =
   Fmt.pr "@.Rewrite(GTGD → LTGD) on %a:@."
     Fmt.(list ~sep:(any "; ") Tgd.pp)
     guarded;
-  let report = Rewrite.g_to_l guarded in
+  let report = Tgd_engine.Budget.value (Rewrite.g_to_l guarded) in
   Fmt.pr "  %a@." Rewrite.pp_outcome report.Rewrite.outcome;
   Fmt.pr "  (%d candidates enumerated, %d entailed)@."
     report.Rewrite.candidates_enumerated report.Rewrite.candidates_entailed

@@ -25,7 +25,7 @@ let show_step name sigma report =
 let () =
   (* Stage 1: a frontier-guarded set that happens to be guarded-expressible *)
   let fg = Tgd_workload.Families.fg_rewritable 1 in
-  let report_g = Rewrite.fg_to_g ~config fg in
+  let report_g = Tgd_engine.Budget.value (Rewrite.fg_to_g ~config fg) in
   show_step "Stage 1: FG-to-G (Algorithm 2)" fg report_g;
   let guarded =
     match report_g.Rewrite.outcome with
@@ -41,7 +41,7 @@ let () =
     | Some i -> Fmt.str "DISAGREE on %a" Tgd_instance.Instance.pp i);
 
   (* Stage 2: the guarded output happens to be linear-expressible too *)
-  let report_l = Rewrite.g_to_l ~config guarded in
+  let report_l = Tgd_engine.Budget.value (Rewrite.g_to_l ~config guarded) in
   show_step "Stage 2: G-to-L (Algorithm 1)" guarded report_l;
   (match report_l.Rewrite.outcome with
   | Rewrite.Rewritable linear ->

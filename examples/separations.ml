@@ -24,7 +24,7 @@ let separation name variant ~n ~m sigma i =
   Fmt.pr "Σ %s (%d,%d)-locally embeddable in I?  %a@."
     (Locality.variant_name variant) n m pp_emb emb;
   Fmt.pr "I ⊨ Σ?  %b@." (Satisfaction.tgds i sigma);
-  (match Locality.check_local_on variant ~n ~m o [ i ] with
+  (match Tgd_engine.Budget.value (Locality.check_local_on variant ~n ~m o [ i ]) with
   | Locality.Not_local _ ->
     Fmt.pr "⇒ Σ is NOT %s (%d,%d)-local — no equivalent %s set exists.@."
       (Locality.variant_name variant) n m (Locality.variant_name variant)
@@ -37,8 +37,9 @@ let () =
     ~n:1 ~m:0 sigma_g i_g;
   (* cross-check with Algorithm 1 *)
   let report =
-    Rewrite.g_to_l
-      ~config:
+    Tgd_engine.Budget.value
+    @@ Rewrite.g_to_l
+         ~config:
         Rewrite.
           { default_config with
             caps =
@@ -55,8 +56,9 @@ let () =
   separation "Guarded vs. Frontier-Guarded (Σ_F = R(x), P(y) → T(x))"
     Locality.Guarded ~n:2 ~m:0 sigma_f i_f;
   let report =
-    Rewrite.fg_to_g
-      ~config:
+    Tgd_engine.Budget.value
+    @@ Rewrite.fg_to_g
+         ~config:
         Rewrite.
           { default_config with
             caps =

@@ -32,10 +32,11 @@ let synthesize_and_verify name oracle ~n ~m =
   let o = Ontology.oracle ~name s oracle in
   pp_props o;
   let sigma =
-    Characterize.synthesize ~minimize:true
-      ~candidate_caps:
-        Candidates.{ max_body_atoms = 2; max_head_atoms = 1; keep_tautologies = false }
-      o ~n ~m
+    Tgd_engine.Budget.value
+      (Characterize.synthesize ~minimize:true
+         ~candidate_caps:
+           Candidates.{ max_body_atoms = 2; max_head_atoms = 1; keep_tautologies = false }
+         o ~n ~m)
   in
   Fmt.pr "  synthesized Σ^∃ (%d tgds):@." (List.length sigma);
   List.iter (fun t -> Fmt.pr "    %a@." Tgd.pp t) sigma;

@@ -2,13 +2,13 @@ open Tgd_syntax
 open Tgd_instance
 open Tgd_engine
 
-type budget = { max_rounds : int; max_facts : int }
+type budget = Budget.t
 
-let default_budget = { max_rounds = 64; max_facts = 20_000 }
+let default_budget = Budget.default
 
 type outcome =
   | Terminated
-  | Budget_exhausted
+  | Truncated of Budget.exhaustion
 
 type result = {
   instance : Instance.t;
@@ -58,57 +58,76 @@ let run_naive ~recheck_active ~skip_fired ?(budget = default_budget) ?on_fire
   let current = ref inst in
   let rounds = ref 0 in
   let fired = ref 0 in
-  let out_of_budget = ref false in
+  let trip = ref None in
+  let set_trip r = if !trip = None then trip := Some r in
+  let poll = ref 0 in
   let progressed = ref true in
-  while !progressed && (not !out_of_budget) && !rounds < budget.max_rounds do
-    incr rounds;
-    progressed := false;
-    let before = Instance.fact_count !current in
-    let snapshot = !current in
-    let t0 = Unix.gettimeofday () in
-    List.iter
-      (fun tgd ->
-        if not !out_of_budget then
-          Seq.iter
-            (fun tr ->
-              if not !out_of_budget then begin
-                stats.Stats.scans <- stats.Stats.scans + 1;
-                let skip =
-                  (skip_fired && Hashtbl.mem fired_keys (Trigger.key tr))
-                  || (recheck_active && not (Trigger.is_active tr !current))
-                in
-                if not skip then begin
-                  if skip_fired then Hashtbl.add fired_keys (Trigger.key tr) ();
-                  current := fire ?on_fire null_counter !current tr;
-                  incr fired;
-                  stats.Stats.fired <- stats.Stats.fired + 1;
-                  progressed := true;
-                  if Instance.fact_count !current > budget.max_facts then
-                    out_of_budget := true
-                end
-              end)
-            (* activity is antitone in the instance, so filtering the full
-               snapshot enumeration against the live instance fires exactly
-               the triggers the old double check (active in snapshot, then
-               in current) did, in the same order *)
-            (Trigger.all tgd snapshot))
-      sigma;
-    stats.Stats.fire_time <- stats.Stats.fire_time +. (Unix.gettimeofday () -. t0);
-    stats.Stats.delta_facts <-
-      stats.Stats.delta_facts + (Instance.fact_count !current - before)
-  done;
+  (try
+     while !progressed && !trip = None && !rounds < budget.Budget.max_rounds do
+       (match Budget.check budget with
+       | Some r -> set_trip r
+       | None ->
+         incr rounds;
+         progressed := false;
+         let before = Instance.fact_count !current in
+         let snapshot = !current in
+         let t0 = Unix.gettimeofday () in
+         List.iter
+           (fun tgd ->
+             if !trip = None then
+               Seq.iter
+                 (fun tr ->
+                   if !trip = None then begin
+                     Chaos.step ~site:"chase.naive";
+                     incr poll;
+                     if !poll land 63 = 0 then
+                       Option.iter set_trip (Budget.check budget);
+                     stats.Stats.scans <- stats.Stats.scans + 1;
+                     let skip =
+                       !trip <> None
+                       || (skip_fired && Hashtbl.mem fired_keys (Trigger.key tr))
+                       || (recheck_active && not (Trigger.is_active tr !current))
+                     in
+                     if not skip then begin
+                       match Budget.spend_fuel budget 1 with
+                       | Some r -> set_trip r
+                       | None ->
+                         if skip_fired then
+                           Hashtbl.add fired_keys (Trigger.key tr) ();
+                         current := fire ?on_fire null_counter !current tr;
+                         incr fired;
+                         stats.Stats.fired <- stats.Stats.fired + 1;
+                         progressed := true;
+                         if Instance.fact_count !current > budget.Budget.max_facts
+                         then set_trip Budget.Facts
+                     end
+                   end)
+                 (* activity is antitone in the instance, so filtering the
+                    full snapshot enumeration against the live instance
+                    fires exactly the triggers the old double check (active
+                    in snapshot, then in current) did, in the same order *)
+                 (Trigger.all tgd snapshot))
+           sigma;
+         stats.Stats.fire_time <-
+           stats.Stats.fire_time +. (Unix.gettimeofday () -. t0);
+         stats.Stats.delta_facts <-
+           stats.Stats.delta_facts + (Instance.fact_count !current - before))
+     done
+   with Chaos.Injected site -> set_trip (Budget.Fault site));
   stats.Stats.rounds <- !rounds;
   let outcome =
-    if !out_of_budget then Budget_exhausted
-    else if !progressed then
-      (* the loop stopped because of max_rounds while still making progress *)
-      if !rounds >= budget.max_rounds
-         && List.exists
-              (fun tgd -> not (Seq.is_empty (Trigger.active tgd !current)))
-              sigma
-      then Budget_exhausted
+    match !trip with
+    | Some r -> Truncated r
+    | None ->
+      if !progressed then
+        (* the loop stopped because of max_rounds while still making progress *)
+        if !rounds >= budget.Budget.max_rounds
+           && List.exists
+                (fun tgd -> not (Seq.is_empty (Trigger.active tgd !current)))
+                sigma
+        then Truncated Budget.Rounds
+        else Terminated
       else Terminated
-    else Terminated
   in
   Stats.add ~into:(Stats.global ()) stats;
   { instance = !current; outcome; rounds = !rounds; fired = !fired; stats }
@@ -119,10 +138,7 @@ let run_engine ~mode ?(budget = default_budget) ?on_fire ~jobs sigma inst =
       (fun f tgd hom facts -> f { Trigger.tgd; hom } facts)
       on_fire
   in
-  let go pool =
-    Seminaive.run ~mode ~max_rounds:budget.max_rounds
-      ~max_facts:budget.max_facts ?on_fire ?pool sigma inst
-  in
+  let go pool = Seminaive.run ~mode ~budget ?on_fire ?pool sigma inst in
   let r =
     if jobs <= 1 then go None
     else Pool.with_pool ~jobs (fun p -> go (Some p))
@@ -131,7 +147,7 @@ let run_engine ~mode ?(budget = default_budget) ?on_fire ~jobs sigma inst =
     outcome =
       (match r.Seminaive.outcome with
       | Seminaive.Terminated -> Terminated
-      | Seminaive.Budget_exhausted -> Budget_exhausted);
+      | Seminaive.Truncated reason -> Truncated reason);
     rounds = r.Seminaive.rounds;
     fired = r.Seminaive.fired;
     stats = r.Seminaive.stats
@@ -141,23 +157,42 @@ let run_engine ~mode ?(budget = default_budget) ?on_fire ~jobs sigma inst =
 (* Chase-result cache                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Keyed on everything the result depends on: chase kind, implementation,
-   budget, the canonical theory key, and the (sorted, printed) input facts.
-   Only consulted when the caller opts in with [~memo:true] and passes no
+(* Keyed on everything a {e reproducible} result depends on: chase kind,
+   implementation, the deterministic budget caps ({!Budget.key}), the
+   canonical theory key, and the (sorted, printed) input facts.  Only
+   consulted when the caller opts in with [~memo:true] and passes no
    [on_fire] observer (a cached replay could not invoke it). *)
 let result_memo : result Memo.t = Memo.create ~name:"chase-results" ()
 
 let clear_memo () = Memo.clear result_memo
 
 let chase_key ~kind ~naive ~budget sigma inst =
-  Fmt.str "%s|naive=%b|r%d/f%d|%s|%s" kind naive budget.max_rounds
-    budget.max_facts (Memo.sigma_key sigma)
+  Fmt.str "%s|naive=%b|%s|%s|%s" kind naive (Budget.key budget)
+    (Memo.sigma_key sigma)
     (Instance.fact_list inst |> List.map Fact.to_string
     |> List.sort String.compare |> String.concat ",")
 
+(* A result may be stored only when it is a function of the caps in the
+   key: complete runs and cap-truncated runs qualify; deadline-, memory-,
+   fuel-, cancellation- or fault-truncated runs stopped at a wall-clock
+   accident and must not be replayed.  Lookups stay sound for any budget
+   sharing the caps — a cached deterministic result is exactly what the
+   live-limited run would have produced given enough time. *)
+let deterministic_result r =
+  match r.outcome with
+  | Terminated | Truncated (Budget.Rounds | Budget.Facts) -> true
+  | Truncated _ -> false
+
 let cached ~kind ~naive ~budget ~memo ~has_on_fire sigma inst run =
-  if memo && not has_on_fire then
-    Memo.find_or_add result_memo (chase_key ~kind ~naive ~budget sigma inst) run
+  if memo && not has_on_fire then begin
+    let key = chase_key ~kind ~naive ~budget sigma inst in
+    match Memo.find result_memo key with
+    | Some r -> r
+    | None ->
+      let r = run () in
+      if deterministic_result r then Memo.add result_memo key r;
+      r
+  end
   else run ()
 
 let restricted ?(naive = false) ?(budget = default_budget) ?on_fire
@@ -186,6 +221,7 @@ let pp_result ppf r =
   Fmt.pf ppf "@[<v>outcome: %s; rounds: %d; fired: %d; facts: %d@]"
     (match r.outcome with
     | Terminated -> "terminated"
-    | Budget_exhausted -> "budget-exhausted")
+    | Truncated reason ->
+      "truncated: " ^ Budget.exhaustion_to_string reason)
     r.rounds r.fired
     (Instance.fact_count r.instance)

@@ -17,17 +17,22 @@ open Tgd_syntax
 open Tgd_instance
 open Tgd_engine
 
-type budget = {
-  max_rounds : int;  (** breadth-first rounds of trigger firing *)
-  max_facts : int;   (** hard cap on the number of facts *)
-}
+type budget = Budget.t
+(** The unified governance record ({!Tgd_engine.Budget}): round/fact/fuel
+    caps, optional wall-clock deadline and memory ceiling, cancellation
+    token.  Build with [Budget.make]/[Budget.limits]. *)
 
 val default_budget : budget
-(** [{ max_rounds = 64; max_facts = 20_000 }]. *)
+(** {!Tgd_engine.Budget.default}: 64 rounds, 20_000 facts, nothing else. *)
 
 type outcome =
-  | Terminated       (** no active trigger remains: the result is a model *)
-  | Budget_exhausted (** the budget was hit; the result is a sound prefix *)
+  | Terminated  (** no active trigger remains: the result is a model *)
+  | Truncated of Budget.exhaustion
+      (** a limit tripped; the result is a sound prefix of the chase, and
+          the reason says which limit.  [Rounds]/[Facts] truncations are
+          reproducible; deadline/memory/fuel/cancellation/fault ones stop
+          at a wall-clock accident but still commit a prefix of the same
+          deterministic firing sequence (independent of [jobs]). *)
 
 type result = {
   instance : Instance.t;
@@ -68,5 +73,12 @@ val clear_memo : unit -> unit
 
 val is_model : result -> bool
 (** [outcome = Terminated]. *)
+
+val deterministic_result : result -> bool
+(** Whether the result is a function of the deterministic caps alone —
+    [Terminated] or [Truncated (Rounds | Facts)].  Deadline-, memory-,
+    fuel-, cancellation-, and fault-truncated runs stopped at a wall-clock
+    accident and are not reproducible; caches keyed on {!Budget.key} (which
+    covers only the caps) must store nothing else. *)
 
 val pp_result : result Fmt.t

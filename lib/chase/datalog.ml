@@ -4,6 +4,8 @@ open Tgd_engine
 
 type stats = { rounds : int; derived : int }
 
+let default_budget = Budget.make ~rounds:max_int ~facts:1_000_000 ()
+
 let check_full sigma =
   if
     List.exists
@@ -11,7 +13,7 @@ let check_full sigma =
       sigma
   then invalid_arg "Datalog.saturate: rules must be existential-free"
 
-let saturate_with_stats ?(max_facts = 1_000_000) sigma inst =
+let saturate_with_stats ?(budget = default_budget) sigma inst =
   check_full sigma;
   let schema =
     List.fold_left
@@ -25,18 +27,20 @@ let saturate_with_stats ?(max_facts = 1_000_000) sigma inst =
       ~dom:(Constant.Set.elements (Instance.dom inst))
       schema (Instance.fact_list inst)
   in
-  let r = Seminaive.run ~mode:Seminaive.Restricted ~max_rounds:max_int ~max_facts sigma db in
-  (match r.Seminaive.outcome with
-  | Seminaive.Budget_exhausted -> failwith "Datalog.saturate: max_facts exceeded"
-  | Seminaive.Terminated -> ());
+  let r = Seminaive.run ~mode:Seminaive.Restricted ~budget sigma db in
   let derived =
     Instance.fact_count r.Seminaive.instance - Instance.fact_count db
   in
-  (r.Seminaive.instance, { rounds = r.Seminaive.rounds; derived })
+  let value = (r.Seminaive.instance, { rounds = r.Seminaive.rounds; derived }) in
+  match r.Seminaive.outcome with
+  | Seminaive.Terminated -> Budget.Complete value
+  | Seminaive.Truncated reason ->
+    Budget.Truncated { reason; partial = value; progress = r.Seminaive.stats }
 
-let saturate ?max_facts sigma inst = fst (saturate_with_stats ?max_facts sigma inst)
+let saturate ?budget sigma inst =
+  Budget.map fst (saturate_with_stats ?budget sigma inst)
 
-let entails sigma goal =
+let entails ?budget sigma goal =
   check_full sigma;
   check_full [ goal ];
   let schema =
@@ -46,7 +50,15 @@ let entails sigma goal =
          (goal :: sigma))
   in
   let frozen, db = Entailment.freeze_instance schema (Tgd.body goal) in
-  let saturated = saturate sigma db in
-  match Binding.ground_atoms frozen (Tgd.head goal) with
-  | Some facts -> List.for_all (Instance.mem saturated) facts
-  | None -> false
+  let holds saturated =
+    match Binding.ground_atoms frozen (Tgd.head goal) with
+    | Some facts -> List.for_all (Instance.mem saturated) facts
+    | None -> false
+  in
+  match saturate ?budget sigma db with
+  | Budget.Complete saturated ->
+    (* the fixpoint is complete, so absence refutes *)
+    if holds saturated then Entailment.Proved else Entailment.Disproved
+  | Budget.Truncated { partial; _ } ->
+    (* the prefix is sound: presence proves, absence stays open *)
+    if holds partial then Entailment.Proved else Entailment.Unknown

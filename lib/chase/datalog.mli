@@ -7,25 +7,38 @@
     round, with the remaining atoms resolved against (relation, position,
     constant) hash indexes.
 
+    Resource governance: saturation runs under a {!Tgd_engine.Budget} and
+    returns a typed {!Tgd_engine.Budget.outcome} instead of raising — a
+    truncated saturation still carries the sound prefix computed so far.
+
     Used as the fast path for entailment between full tgds and exposed as an
     ablation against {!Chase} (bench [ablate-datalog]). *)
 
 open Tgd_syntax
 open Tgd_instance
+open Tgd_engine
 
-val saturate : ?max_facts:int -> Tgd.t list -> Instance.t -> Instance.t
-(** Least fixpoint of the rules over the instance.  Raises
-    [Invalid_argument] if some tgd has existential variables, and [Failure]
-    if the fixpoint exceeds [max_facts] (default 1_000_000 — on a finite
-    instance the fixpoint is finite, so this only guards against
-    misconfiguration). *)
+val default_budget : Budget.t
+(** Unlimited rounds, 1_000_000 facts, no deadline.  On a finite instance
+    the fixpoint is finite, so the fact cap only guards against
+    misconfiguration. *)
+
+val saturate :
+  ?budget:Budget.t -> Tgd.t list -> Instance.t -> Instance.t Budget.outcome
+(** Least fixpoint of the rules over the instance.  [Complete] carries the
+    fixpoint; [Truncated] carries the sound partial instance computed when
+    the budget tripped, with the reason and engine counters.  Raises
+    [Invalid_argument] if some tgd has existential variables. *)
 
 type stats = { rounds : int; derived : int }
 
 val saturate_with_stats :
-  ?max_facts:int -> Tgd.t list -> Instance.t -> Instance.t * stats
+  ?budget:Budget.t ->
+  Tgd.t list -> Instance.t -> (Instance.t * stats) Budget.outcome
 
-val entails : Tgd.t list -> Tgd.t -> bool
-(** Decision procedure for entailment between full tgds: freeze the goal
-    body, saturate, check the goal head.  Total and exact (both sides
-    existential-free). *)
+val entails : ?budget:Budget.t -> Tgd.t list -> Tgd.t -> Entailment.answer
+(** Entailment between full tgds: freeze the goal body, saturate, check the
+    goal head.  Exact ([Proved]/[Disproved]) when saturation completes —
+    both sides are existential-free; a truncated saturation still proves
+    positives from its sound prefix but reports [Unknown] instead of
+    [Disproved]. *)

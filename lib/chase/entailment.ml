@@ -86,8 +86,10 @@ let clear_memos () =
 
 let memo_sizes () = (Memo.size memo_answers, Memo.size memo_chases)
 
-let budget_key (b : Chase.budget) =
-  Fmt.str "%d/%d" b.Chase.max_rounds b.Chase.max_facts
+(* Only the deterministic caps participate in cache keys ({!Budget.key}),
+   and only deterministically-truncated chase results (and the answers
+   derived from them) are stored — see {!Chase.deterministic_result}. *)
+let budget_key (b : Chase.budget) = Budget.key b
 
 (* The frozen binding for [s]'s own variables, given the freezing of the
    canonical body and the renaming into canonical variables. *)
@@ -115,17 +117,29 @@ let entails_memo ~naive ~budget sigma s =
   let skey = Memo.sigma_key sigma in
   let bkey = budget_key budget in
   let akey = Fmt.str "%s |- %s @ %s" skey (Memo.tgd_key s) bkey in
-  Memo.find_or_add memo_answers akey (fun () ->
-      let canonical_body, renaming = Memo.body_canonical (Tgd.body s) in
-      let ckey = Fmt.str "%s |> %s @ %s" skey (Memo.body_key (Tgd.body s)) bkey in
-      let frozen_canonical, result =
-        Memo.find_or_add memo_chases ckey (fun () ->
-            let schema = schema_of_body sigma canonical_body in
-            let frozen, db = freeze_instance schema canonical_body in
-            (frozen, Chase.restricted ~naive ~budget sigma db))
-      in
-      let frozen = unrename_frozen renaming frozen_canonical in
-      answer_of ~frozen ~s result)
+  match Memo.find memo_answers akey with
+  | Some a -> a
+  | None ->
+    let canonical_body, renaming = Memo.body_canonical (Tgd.body s) in
+    let ckey = Fmt.str "%s |> %s @ %s" skey (Memo.body_key (Tgd.body s)) bkey in
+    let frozen_canonical, result =
+      match Memo.find memo_chases ckey with
+      | Some cached -> cached
+      | None ->
+        let schema = schema_of_body sigma canonical_body in
+        let frozen, db = freeze_instance schema canonical_body in
+        let r = Chase.restricted ~naive ~budget sigma db in
+        (* a chase cut short by a wall-clock accident (deadline, fuel,
+           memory, cancellation, fault) must not be replayed under the
+           caps-only key; cache hits are deterministic by construction *)
+        if Chase.deterministic_result r then
+          Memo.add memo_chases ckey (frozen, r);
+        (frozen, r)
+    in
+    let frozen = unrename_frozen renaming frozen_canonical in
+    let a = answer_of ~frozen ~s result in
+    if Chase.deterministic_result result then Memo.add memo_answers akey a;
+    a
 
 let entails ?(naive = false) ?(memo = true) ?(budget = Chase.default_budget)
     sigma s =

@@ -1,5 +1,6 @@
 open Tgd_syntax
 open Tgd_instance
+open Tgd_engine
 
 type t = {
   tgds : Tgd.t list;
@@ -24,7 +25,11 @@ type failure =
 type outcome =
   | Model
   | Failed of failure
-  | Out_of_budget
+  | Out_of_budget of {
+      reason : Budget.exhaustion;
+      rounds : int;
+      facts : int;
+    }
 
 type result = {
   instance : Instance.t;
@@ -39,7 +44,9 @@ let pp_outcome ppf = function
     Fmt.pf ppf "failed: egd %a equates rigid %a and %a" Egd.pp e Constant.pp a
       Constant.pp b
   | Failed (Denial_violation d) -> Fmt.pf ppf "failed: denial %a" Denial.pp d
-  | Out_of_budget -> Fmt.string ppf "out of budget"
+  | Out_of_budget { reason; rounds; facts } ->
+    Fmt.pf ppf "out of budget (%a after %d rounds, %d facts)"
+      Budget.pp_exhaustion reason rounds facts
 
 (* Find an egd violation: a body hom with distinct values for lhs/rhs. *)
 let egd_violation inst e =
@@ -94,7 +101,21 @@ let rec chase ?(budget = Chase.default_budget) th inst =
     let current = ref inst in
     let rounds = ref 0 in
     let continue = ref true in
+    let out_of_budget reason =
+      raise
+        (Done
+           ( Out_of_budget
+               { reason;
+                 rounds = !rounds;
+                 facts = Instance.fact_count !current
+               },
+             !current ))
+    in
     while !continue do
+      (* 0. live limits (deadline, memory, fuel, cancellation) *)
+      (match Budget.check budget with
+      | Some reason -> out_of_budget reason
+      | None -> ());
       (* 1. equality saturation *)
       (current :=
          match saturate_egds !current th.egds merges with
@@ -107,22 +128,23 @@ let rec chase ?(budget = Chase.default_budget) th inst =
       | None -> ());
       (* 3. one round of restricted tgd chase *)
       let step =
-        Chase.restricted
-          ~budget:Chase.{ budget with max_rounds = 1 }
-          th.tgds !current
+        Chase.restricted ~budget:(Budget.with_rounds budget 1) th.tgds !current
       in
       fired := !fired + step.Chase.fired;
       incr rounds;
-      if step.Chase.fired = 0 then begin
-        continue := false;
-        current := step.Chase.instance
-      end
+      current := step.Chase.instance;
+      (* a one-round step that trips anything other than its round cap hit a
+         real limit (facts, deadline, fuel, …) — surface it with the
+         progress made so far *)
+      (match step.Chase.outcome with
+      | Chase.Truncated reason when reason <> Budget.Rounds ->
+        out_of_budget reason
+      | Chase.Terminated | Chase.Truncated _ -> ());
+      if step.Chase.fired = 0 then continue := false
       else begin
-        current := step.Chase.instance;
-        if
-          !rounds >= budget.Chase.max_rounds
-          || Instance.fact_count !current > budget.Chase.max_facts
-        then raise (Done (Out_of_budget, !current))
+        if !rounds >= budget.Budget.max_rounds then out_of_budget Budget.Rounds;
+        if Instance.fact_count !current > budget.Budget.max_facts then
+          out_of_budget Budget.Facts
       end
     done;
     (* post-condition: tgds are saturated; egds/denials may have been
@@ -143,8 +165,8 @@ let rec chase ?(budget = Chase.default_budget) th inst =
       let again =
         chase
           ~budget:
-            Chase.
-              { budget with max_rounds = max 1 (budget.max_rounds - !rounds) }
+            (Budget.with_rounds budget
+               (max 1 (budget.Budget.max_rounds - !rounds)))
           th !current
       in
       { again with
@@ -162,6 +184,6 @@ let certain_boolean ?budget th inst atoms =
   | Model ->
     if Satisfaction.boolean_cq r.instance atoms then Entailment.Proved
     else Entailment.Disproved
-  | Out_of_budget ->
+  | Out_of_budget _ ->
     if Satisfaction.boolean_cq r.instance atoms then Entailment.Proved
     else Entailment.Unknown

@@ -14,6 +14,7 @@
 
 open Tgd_syntax
 open Tgd_instance
+open Tgd_engine
 
 type t = {
   tgds : Tgd.t list;
@@ -35,7 +36,11 @@ type failure =
 type outcome =
   | Model          (** chase terminated on a model of the theory *)
   | Failed of failure
-  | Out_of_budget
+  | Out_of_budget of {
+      reason : Budget.exhaustion;  (** which limit tripped *)
+      rounds : int;                (** interleaved rounds consumed *)
+      facts : int;                 (** instance size when the limit hit *)
+    }
 
 type result = {
   instance : Instance.t;

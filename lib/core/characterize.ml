@@ -1,5 +1,9 @@
 open Tgd_syntax
 open Tgd_instance
+module Budget = Tgd_engine.Budget
+module Chaos = Tgd_engine.Chaos
+module Stats = Tgd_engine.Stats
+module Pool = Tgd_engine.Pool
 
 type caps = {
   max_body_atoms : int;
@@ -64,19 +68,73 @@ let edds_e_nm ?(caps = default_caps) schema ~n ~m =
 let holds_in_all_members caps o sat =
   Seq.for_all sat (Ontology.models_up_to o caps.dom_bound)
 
-(* Keep the candidates that pass [valid], sequentially or — [jobs > 1] —
-   on a domain pool, one candidate per task.  The pool preserves input
-   order, so both paths return the same list. *)
-let filter_valid ~jobs valid candidates =
-  let keep c = if valid c then Some c else None in
-  if jobs <= 1 then candidates |> Seq.filter_map keep |> List.of_seq
-  else
-    Tgd_engine.Pool.with_pool ~jobs (fun pool ->
-        Tgd_engine.Pool.parallel_filter_map pool keep candidates)
+let take n seq =
+  let rec go n acc seq =
+    if n = 0 then (List.rev acc, seq)
+    else
+      match seq () with
+      | Seq.Nil -> (List.rev acc, Seq.empty)
+      | Seq.Cons (x, rest) -> go (n - 1) (x :: acc) rest
+  in
+  go n [] seq
 
-let sigma_vee ?(caps = default_caps) ?(jobs = 1) o ~n ~m =
+(* Keep the candidates that pass [valid], sequentially or — [jobs > 1] —
+   on a domain pool.  The pool preserves input order, so both paths return
+   the same list.  Candidates are consumed in batches of [4 × jobs]; the
+   budget is polled at batch boundaries and an interrupted batch is
+   discarded wholesale, so a truncated result is a deterministic prefix of
+   the sequential filter at any [jobs].  Injected faults surface in the
+   trip, never as escaping exceptions. *)
+let filter_valid ~jobs ~budget valid candidates =
+  let keep c = if valid c then Some c else None in
+  let batch_size = max 1 (4 * jobs) in
+  let run pool =
+    let kept_rev = ref [] in
+    let trip = ref None in
+    let rest = ref candidates in
+    let exhausted = ref false in
+    while !trip = None && not !exhausted do
+      match Budget.check budget with
+      | Some r -> trip := Some r
+      | None ->
+        let batch, rest' = take batch_size !rest in
+        if batch = [] then exhausted := true
+        else begin
+          match
+            (match pool with
+            | None -> List.filter_map keep batch
+            | Some pool ->
+              Pool.parallel_filter_map pool keep (List.to_seq batch))
+          with
+          | results ->
+            (match Budget.check budget with
+            | Some r -> trip := Some r
+            | None ->
+              kept_rev := List.rev_append results !kept_rev;
+              rest := rest')
+          | exception Chaos.Injected site -> trip := Some (Budget.Fault site)
+        end
+    done;
+    (!trip, List.rev !kept_rev)
+  in
+  if jobs <= 1 then run None
+  else Pool.with_pool ~jobs (fun p -> run (Some p))
+
+let governed ~jobs ~budget valid candidates =
+  let before = Stats.copy (Stats.global ()) in
+  match filter_valid ~jobs ~budget valid candidates with
+  | None, kept -> Budget.Complete kept
+  | Some reason, kept ->
+    Budget.Truncated
+      { reason;
+        partial = kept;
+        progress = Stats.diff (Stats.copy (Stats.global ())) before
+      }
+
+let sigma_vee ?(caps = default_caps) ?(jobs = 1) ?(budget = Budget.unlimited)
+    o ~n ~m =
   edds_e_nm ~caps (Ontology.schema o) ~n ~m
-  |> filter_valid ~jobs (fun d ->
+  |> governed ~jobs ~budget (fun d ->
          holds_in_all_members caps o (fun i -> Satisfaction.edd i d))
 
 let sigma_exists_eq sigma_vee =
@@ -93,14 +151,20 @@ let sigma_exists_eq sigma_vee =
 let sigma_exists deps = Dependency.tgds deps
 
 let synthesize ?(caps = default_caps) ?(candidate_caps = Candidates.default_caps)
-    ?(minimize = false) ?(jobs = 1) o ~n ~m =
+    ?(minimize = false) ?(jobs = 1) ?(budget = Budget.unlimited) o ~n ~m =
   let candidate_caps = { candidate_caps with keep_tautologies = false } in
-  let sigma =
+  let outcome =
     Candidates.generic ~caps:candidate_caps (Ontology.schema o) ~n ~m
-    |> filter_valid ~jobs (fun s ->
+    |> governed ~jobs ~budget (fun s ->
            holds_in_all_members caps o (fun i -> Satisfaction.tgd i s))
   in
-  if minimize then Rewrite.minimize sigma else sigma
+  match outcome with
+  | Budget.Complete sigma ->
+    Budget.Complete (if minimize then Rewrite.minimize sigma else sigma)
+  | Budget.Truncated _ ->
+    (* a truncated candidate sweep is already a valid (if incomplete) set;
+       minimizing it would spend more of an exhausted budget *)
+    outcome
 
 let verify_axiomatization o sigma ~dom_size =
   Enumerate.instances_up_to (Ontology.schema o) dom_size
@@ -138,7 +202,9 @@ type classification = {
 }
 
 let classify_oracle ?(caps = default_caps) ?candidate_caps ?config o ~n ~m =
-  let sigma = synthesize ~caps ?candidate_caps ~minimize:true o ~n ~m in
+  let sigma =
+    Budget.value (synthesize ~caps ?candidate_caps ~minimize:true o ~n ~m)
+  in
   match verify_axiomatization o sigma ~dom_size:caps.dom_bound with
   | Some _ -> { axioms = None; diagnosis = None }
   | None ->

@@ -32,10 +32,14 @@ val edds_e_nm : ?caps:caps -> Schema.t -> n:int -> m:int -> Edd.t Seq.t
     existential conjunctions with at most [m] existential variables. *)
 
 val sigma_vee :
-  ?caps:caps -> ?jobs:int -> Ontology.t -> n:int -> m:int -> Edd.t list
+  ?caps:caps -> ?jobs:int -> ?budget:Tgd_engine.Budget.t ->
+  Ontology.t -> n:int -> m:int -> Edd.t list Tgd_engine.Budget.outcome
 (** Step 1.  [jobs > 1] validates candidate edds against the bounded
     members on a domain pool; the result list is identical to the
-    sequential one (order preserved). *)
+    sequential one (order preserved).  [budget] (default
+    {!Tgd_engine.Budget.unlimited}) is polled at candidate-batch
+    boundaries; a truncated sweep returns the valid edds committed so far —
+    a deterministic prefix at any [jobs]. *)
 
 val sigma_exists_eq : Edd.t list -> Dependency.t list
 (** Step 2: the tgds and egds among [Σ^∨]. *)
@@ -45,12 +49,16 @@ val sigma_exists : Dependency.t list -> Tgd.t list
 
 val synthesize :
   ?caps:caps -> ?candidate_caps:Candidates.caps -> ?minimize:bool ->
-  ?jobs:int -> Ontology.t -> n:int -> m:int -> Tgd.t list
+  ?jobs:int -> ?budget:Tgd_engine.Budget.t ->
+  Ontology.t -> n:int -> m:int -> Tgd.t list Tgd_engine.Budget.outcome
 (** Direct route to [Σ^∃]: enumerate [TGD_{n,m}] candidates and keep those
     satisfied by every bounded member of the ontology.  Equivalent to
     [sigma_exists (sigma_exists_eq (sigma_vee …))] but far cheaper (no
     disjunctions), since Steps 2–3 discard everything but the tgds.  With
-    [~minimize:true] redundant members are removed by chase entailment. *)
+    [~minimize:true] redundant members are removed by chase entailment
+    (skipped on a truncated sweep — the partial set is valid but
+    incomplete, and minimization would spend more of an exhausted
+    budget).  [budget] as in {!sigma_vee}. *)
 
 val verify_axiomatization :
   Ontology.t -> Tgd.t list -> dom_size:int -> Instance.t option

@@ -30,7 +30,9 @@ let diagnose ?config ?(dom_size = 2) sigma =
   let n, m = Rewrite.class_bounds sigma in
   let is_guarded = Tgd_class.all_in_class Tgd_class.Guarded sigma in
   let is_fg = Tgd_class.all_in_class Tgd_class.Frontier_guarded sigma in
-  let attempt f = Some (f ?config sigma).Rewrite.outcome in
+  let attempt f =
+    Some (Tgd_engine.Budget.value (f ?config ?resume:None sigma)).Rewrite.outcome
+  in
   let classes =
     [ { cls = Tgd_class.Linear;
         syntactic = Tgd_class.all_in_class Tgd_class.Linear sigma;

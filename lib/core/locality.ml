@@ -1,5 +1,9 @@
 open Tgd_syntax
 open Tgd_instance
+module Budget = Tgd_engine.Budget
+module Chaos = Tgd_engine.Chaos
+module Stats = Tgd_engine.Stats
+module Pool = Tgd_engine.Pool
 
 type variant =
   | Plain
@@ -91,13 +95,15 @@ let witnesses strategy o conf =
 
 (* First element satisfying [pred], sequentially (lazy — later elements are
    never produced) or on a domain pool ([jobs > 1] — the sequence is forced,
-   but a hit lets later chunks exit early). *)
-let find_first ~jobs pred seq =
+   but a hit lets later chunks exit early).  Exceptions propagate (the pool
+   re-raises the first failure at join); [cancel] stops pool workers between
+   items. *)
+let find_first ~jobs ?cancel pred seq =
   let hit x = if pred x then Some x else None in
   if jobs <= 1 then Seq.find_map hit seq
   else
-    Tgd_engine.Pool.with_pool ~jobs (fun pool ->
-        Tgd_engine.Pool.parallel_find_map pool hit seq)
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.parallel_find_map pool ?cancel hit seq)
 
 let locally_embeddable ?(strategy = default_strategy) ?(jobs = 1) variant ~n ~m
     o i =
@@ -125,18 +131,52 @@ let is_counterexample ?strategy variant ~n ~m o i =
   | Embeddable -> true
   | No_witness _ -> false
 
-let check_local_on ?strategy ?(jobs = 1) variant ~n ~m o tests =
-  match
-    find_first ~jobs (is_counterexample ?strategy variant ~n ~m o)
-      (List.to_seq tests)
-  with
-  | None -> Local_on_tests
-  | Some i -> Not_local i
+(* Budget-governed counterexample scan.  The budget is polled between test
+   instances (sequentially via an exception, on the pool via the
+   cancellation token — workers stop between items); the per-instance
+   embeddability check runs to completion, so granularity is one test.  A
+   hit found before the trip is a definitive [Not_local] either way;
+   otherwise a tripped scan is [Truncated] with [Local_on_tests] as the
+   sound partial verdict ("no counterexample among the instances actually
+   tested").  Injected faults ({!Chaos.Injected}) are caught here — they
+   re-raise on this domain at pool join — and surface as [Fault]. *)
+let budgeted_scan ~jobs ~budget pred seq =
+  let before = Stats.copy (Stats.global ()) in
+  let exception Tripped in
+  let guarded x =
+    if Budget.check budget <> None then raise Tripped else pred x
+  in
+  let fault = ref None in
+  let found =
+    try find_first ~jobs ~cancel:(Budget.token budget) guarded seq with
+    | Tripped -> None
+    | Chaos.Injected site ->
+      fault := Some (Budget.Fault site);
+      None
+  in
+  match found with
+  | Some i -> Budget.Complete (Not_local i)
+  | None -> (
+    let trip =
+      match !fault with Some _ as f -> f | None -> Budget.cancelled budget
+    in
+    match trip with
+    | None -> Budget.Complete Local_on_tests
+    | Some reason ->
+      Budget.Truncated
+        { reason;
+          partial = Local_on_tests;
+          progress = Stats.diff (Stats.copy (Stats.global ())) before
+        })
 
-let check_local_up_to ?strategy ?(jobs = 1) variant ~n ~m o k =
-  match
-    find_first ~jobs (is_counterexample ?strategy variant ~n ~m o)
-      (Enumerate.instances_up_to (Ontology.schema o) k)
-  with
-  | None -> Local_on_tests
-  | Some i -> Not_local i
+let check_local_on ?strategy ?(jobs = 1) ?(budget = Budget.unlimited) variant
+    ~n ~m o tests =
+  budgeted_scan ~jobs ~budget
+    (is_counterexample ?strategy variant ~n ~m o)
+    (List.to_seq tests)
+
+let check_local_up_to ?strategy ?(jobs = 1) ?(budget = Budget.unlimited)
+    variant ~n ~m o k =
+  budgeted_scan ~jobs ~budget
+    (is_counterexample ?strategy variant ~n ~m o)
+    (Enumerate.instances_up_to (Ontology.schema o) k)

@@ -73,16 +73,24 @@ type locality_verdict =
           is not (n,m)-local in the given variant *)
 
 val check_local_on :
-  ?strategy:strategy -> ?jobs:int -> variant -> n:int -> m:int -> Ontology.t ->
-  Instance.t list -> locality_verdict
+  ?strategy:strategy -> ?jobs:int -> ?budget:Tgd_engine.Budget.t ->
+  variant -> n:int -> m:int -> Ontology.t ->
+  Instance.t list -> locality_verdict Tgd_engine.Budget.outcome
 (** [jobs > 1] screens test instances on a domain pool, one instance per
     task (the per-instance embeddability check stays sequential); the
     verdict — and which counterexample is reported — is identical to the
-    sequential scan's. *)
+    sequential scan's.
+
+    The scan polls [budget] (default {!Tgd_engine.Budget.unlimited}, which
+    never trips) between test instances.  A counterexample found before the
+    trip is [Complete (Not_local i)] — definitive regardless of the budget;
+    a tripped scan with no hit is [Truncated] with [Local_on_tests] as the
+    sound partial verdict over the instances actually tested. *)
 
 val check_local_up_to :
-  ?strategy:strategy -> ?jobs:int -> variant -> n:int -> m:int -> Ontology.t ->
-  int -> locality_verdict
-(** All instances with canonical domains of size [≤ k] as tests.  [jobs] as
-    in {!check_local_on}, but note [jobs > 1] forces the whole instance
-    enumeration up front. *)
+  ?strategy:strategy -> ?jobs:int -> ?budget:Tgd_engine.Budget.t ->
+  variant -> n:int -> m:int -> Ontology.t ->
+  int -> locality_verdict Tgd_engine.Budget.outcome
+(** All instances with canonical domains of size [≤ k] as tests.  [jobs] and
+    [budget] as in {!check_local_on}, but note [jobs > 1] forces the whole
+    instance enumeration up front. *)

@@ -3,6 +3,8 @@ open Tgd_instance
 module Entailment = Tgd_chase.Entailment
 module Stats = Tgd_engine.Stats
 module Pool = Tgd_engine.Pool
+module Budget = Tgd_engine.Budget
+module Chaos = Tgd_engine.Chaos
 
 type config = {
   caps : Candidates.caps;
@@ -39,12 +41,18 @@ let pp_outcome ppf = function
        else Printf.sprintf ", %d undecided candidates" unknown_candidates)
   | Unknown why -> Fmt.pf ppf "unknown: %s" why
 
+type checkpoint = {
+  cursor : int;
+  screened_prefix : (Tgd.t * Entailment.answer) list;
+}
+
 type report = {
   outcome : outcome;
   n : int;
   m : int;
   candidates_enumerated : int;
   candidates_entailed : int;
+  checkpoint : checkpoint option;
   stats : Stats.t;
 }
 
@@ -73,11 +81,28 @@ let minimize_set ?naive ?memo budget sigma' =
       | Entailment.Disproved | Entailment.Unknown -> kept)
     by_size by_size
 
-let rewrite_into ?(config = default_config) enumerate ~complete sigma =
+(* First [n] items of [seq] as a list, plus the remainder. *)
+let take n seq =
+  let rec go n acc seq =
+    if n = 0 then (List.rev acc, seq)
+    else
+      match seq () with
+      | Seq.Nil -> (List.rev acc, Seq.empty)
+      | Seq.Cons (x, rest) -> go (n - 1) (x :: acc) rest
+  in
+  go n [] seq
+
+let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
   let naive = config.naive and memo = config.memo in
+  let budget = config.budget in
   let before = Stats.copy (Stats.global ()) in
   let schema = schema_of sigma in
   let n, m = class_bounds sigma in
+  let start, prefix =
+    match resume with
+    | Some cp -> (cp.cursor, cp.screened_prefix)
+    | None -> (0, [])
+  in
   (* Forward screening: each candidate's Σ ⊨ σ check is independent, so
      with [jobs > 1] the candidates are screened on a domain pool.  The
      pool preserves input order and merges worker counters back here, so
@@ -85,19 +110,55 @@ let rewrite_into ?(config = default_config) enumerate ~complete sigma =
      sequential path's; only memo hit/miss splits may differ when workers
      race to compute one entry.  The backward Σ' ⊨ Σ check and greedy
      minimization stay sequential — both consume the previous answer
-     before choosing the next query, so there is nothing to fan out. *)
+     before choosing the next query, so there is nothing to fan out.
+
+     Screening commits per {e batch}: the budget is checked before and
+     after each batch, and a batch during which a live limit tripped (or a
+     fault was injected) is discarded wholesale — its answers may have been
+     computed against an already-cancelled budget.  The checkpoint cursor
+     therefore always points at a batch boundary, and a resumed run
+     re-screens from exactly there, so resume ∘ truncate = unbudgeted. *)
   let screen candidate =
-    Entailment.entails ~naive ~memo ~budget:config.budget sigma candidate
+    Entailment.entails ~naive ~memo ~budget sigma candidate
   in
-  let screened =
-    let candidates = enumerate config.caps schema ~n ~m in
-    if config.jobs <= 1 then
-      candidates |> Seq.map (fun c -> (c, screen c)) |> List.of_seq
-    else
-      Pool.with_pool ~jobs:config.jobs (fun pool ->
-          Pool.parallel_map pool (fun c -> (c, screen c)) candidates)
+  let batch_size = max 1 (4 * config.jobs) in
+  let run pool =
+    let screened_rev = ref (List.rev prefix) in
+    let cursor = ref start in
+    let trip = ref None in
+    let rest = ref (Seq.drop start (enumerate config.caps schema ~n ~m)) in
+    let exhausted = ref false in
+    while !trip = None && not !exhausted do
+      match Budget.check budget with
+      | Some r -> trip := Some r
+      | None ->
+        let batch, rest' = take batch_size !rest in
+        if batch = [] then exhausted := true
+        else begin
+          match
+            (match pool with
+            | None -> List.map (fun c -> (c, screen c)) batch
+            | Some pool ->
+              Pool.parallel_map pool
+                (fun c -> (c, screen c))
+                (List.to_seq batch))
+          with
+          | results ->
+            (match Budget.check budget with
+            | Some r -> trip := Some r (* discard the polluted batch *)
+            | None ->
+              screened_rev := List.rev_append results !screened_rev;
+              cursor := !cursor + List.length batch;
+              rest := rest')
+          | exception Chaos.Injected site -> trip := Some (Budget.Fault site)
+        end
+    done;
+    (!trip, List.rev !screened_rev, !cursor)
   in
-  let enumerated = List.length screened in
+  let trip, screened, cursor =
+    if config.jobs <= 1 then run None
+    else Pool.with_pool ~jobs:config.jobs (fun p -> run (Some p))
+  in
   let unknown = ref 0 in
   let entailed =
     List.filter_map
@@ -110,46 +171,73 @@ let rewrite_into ?(config = default_config) enumerate ~complete sigma =
         | Entailment.Disproved -> None)
       screened
   in
-  let backward =
-    Entailment.entails_set ~naive ~memo ~budget:config.budget entailed sigma
+  let mk_report outcome checkpoint =
+    { outcome;
+      n;
+      m;
+      candidates_enumerated = cursor;
+      candidates_entailed = List.length entailed;
+      checkpoint;
+      stats = Stats.diff (Stats.copy (Stats.global ())) before
+    }
   in
-  let outcome =
-    match backward with
-    | Entailment.Proved ->
-      let sigma' =
-        if config.minimize then minimize_set ~naive ~memo config.budget entailed
-        else entailed
+  let truncated ~phase reason =
+    let partial =
+      mk_report
+        (Unknown
+           (Fmt.str "truncated during %s: %a" phase Budget.pp_exhaustion reason))
+        (Some { cursor; screened_prefix = screened })
+    in
+    Budget.Truncated { reason; partial; progress = partial.stats }
+  in
+  match trip with
+  | Some reason -> truncated ~phase:"candidate screening" reason
+  | None -> (
+    let backward = Entailment.entails_set ~naive ~memo ~budget entailed sigma in
+    match Budget.check budget with
+    | Some reason -> truncated ~phase:"the backward Σ' ⊨ Σ check" reason
+    | None -> (
+      let outcome =
+        match backward with
+        | Entailment.Proved ->
+          let sigma' =
+            if config.minimize then minimize_set ~naive ~memo budget entailed
+            else entailed
+          in
+          Rewritable sigma'
+        | Entailment.Disproved ->
+          Not_rewritable
+            { complete = complete config.caps schema ~n ~m && !unknown = 0;
+              unknown_candidates = !unknown
+            }
+        | Entailment.Unknown ->
+          Unknown "chase budget exhausted while checking Σ' ⊨ Σ"
       in
-      Rewritable sigma'
-    | Entailment.Disproved ->
-      Not_rewritable
-        { complete = complete config.caps schema ~n ~m && !unknown = 0;
-          unknown_candidates = !unknown
-        }
-    | Entailment.Unknown ->
-      Unknown "chase budget exhausted while checking Σ' ⊨ Σ"
-  in
-  { outcome;
-    n;
-    m;
-    candidates_enumerated = enumerated;
-    candidates_entailed = List.length entailed;
-    stats = Stats.diff (Stats.copy (Stats.global ())) before
-  }
+      match Budget.check budget with
+      | Some reason ->
+        (* minimization tripped: entailment answers of [Unknown] kept
+           redundant members, so the set is correct but possibly larger
+           than the unbudgeted run's — report it as truncated with the
+           full checkpoint so a resume recomputes the tail phases *)
+        let partial =
+          mk_report outcome (Some { cursor; screened_prefix = screened })
+        in
+        Budget.Truncated { reason; partial; progress = partial.stats }
+      | None -> Budget.Complete (mk_report outcome None)))
 
-let g_to_l ?config sigma =
+let g_to_l ?config ?resume sigma =
   if not (Tgd_class.all_in_class Tgd_class.Guarded sigma) then
     invalid_arg "Rewrite.g_to_l: input must be a set of guarded tgds";
-  rewrite_into ?config
+  rewrite_into ?config ?resume
     (fun caps schema ~n ~m -> Candidates.linear ~caps schema ~n ~m)
     ~complete:(fun caps schema ~n ~m ->
       Candidates.linear_complete caps schema ~n ~m)
     sigma
 
-let fg_to_g ?config sigma =
+let fg_to_g ?config ?resume sigma =
   if not (Tgd_class.all_in_class Tgd_class.Frontier_guarded sigma) then
     invalid_arg "Rewrite.fg_to_g: input must be frontier-guarded tgds";
-  rewrite_into ?config
+  rewrite_into ?config ?resume
     (fun caps schema ~n ~m -> Candidates.guarded ~caps schema ~n ~m)
     ~complete:(fun caps schema ~n ~m ->
       Candidates.guarded_complete caps schema ~n ~m)
@@ -163,15 +251,15 @@ let verify_equivalence_bounded sigma sigma' ~dom_size =
   |> fun seq ->
   match seq () with Seq.Nil -> None | Seq.Cons (i, _) -> Some i
 
-let to_frontier_guarded ?config sigma =
-  rewrite_into ?config
+let to_frontier_guarded ?config ?resume sigma =
+  rewrite_into ?config ?resume
     (fun caps schema ~n ~m -> Candidates.frontier_guarded ~caps schema ~n ~m)
     ~complete:(fun caps schema ~n ~m ->
       Candidates.generic_complete caps schema ~n ~m)
     sigma
 
-let to_full ?config sigma =
-  rewrite_into ?config
+let to_full ?config ?resume sigma =
+  rewrite_into ?config ?resume
     (fun caps schema ~n ~m:_ -> Candidates.full ~caps schema ~n)
     ~complete:(fun caps schema ~n ~m:_ ->
       Candidates.generic_complete caps schema ~n ~m:0)

@@ -11,10 +11,18 @@
     entailment is chase-based and three-valued, and the candidate space may
     be capped (see {!Candidates.caps}).  A [Not_rewritable] verdict is
     definitive exactly when [complete] is true and no candidate or backward
-    check came back unknown — on the paper's own examples both hold. *)
+    check came back unknown — on the paper's own examples both hold.
+
+    Resource governance: every procedure runs under the config's
+    {!Tgd_engine.Budget} and returns a {!Tgd_engine.Budget.outcome}.  A
+    truncated run carries a {!checkpoint} — the candidate cursor plus the
+    answers screened so far — and passing it back as [?resume] continues
+    the enumeration from the cursor instead of restarting, so
+    [resume ∘ truncate] converges to the unbudgeted result. *)
 
 open Tgd_syntax
 open Tgd_instance
+open Tgd_engine
 
 type config = {
   caps : Candidates.caps;
@@ -38,12 +46,23 @@ type outcome =
 
 val pp_outcome : outcome Fmt.t
 
+type checkpoint = {
+  cursor : int;
+      (** candidates consumed from the enumeration — always a batch
+          boundary, so resuming re-screens nothing twice *)
+  screened_prefix : (Tgd.t * Tgd_chase.Entailment.answer) list;
+      (** the (candidate, answer) pairs already committed, in enumeration
+          order *)
+}
+
 type report = {
   outcome : outcome;
   n : int;
   m : int;
   candidates_enumerated : int;
   candidates_entailed : int;
+  checkpoint : checkpoint option;
+      (** [Some] exactly on truncated reports: where to resume *)
   stats : Tgd_engine.Stats.t;
       (** engine work attributed to this rewrite: index probes, triggers
           scanned/fired, memo hit rate (diff of {!Tgd_engine.Stats.global}
@@ -54,20 +73,32 @@ val schema_of : Tgd.t list -> Schema.t
 val class_bounds : Tgd.t list -> int * int
 (** [(n, m)]: maximum universal / existential variable counts over the set. *)
 
-val g_to_l : ?config:config -> Tgd.t list -> report
+val g_to_l :
+  ?config:config -> ?resume:checkpoint -> Tgd.t list -> report Budget.outcome
 (** Algorithm 1.  Raises [Invalid_argument] when the input is not a set of
     guarded tgds. *)
 
-val fg_to_g : ?config:config -> Tgd.t list -> report
+val fg_to_g :
+  ?config:config -> ?resume:checkpoint -> Tgd.t list -> report Budget.outcome
 (** Algorithm 2.  Raises [Invalid_argument] when the input is not a set of
     frontier-guarded tgds. *)
 
 val rewrite_into :
-  ?config:config -> (Candidates.caps -> Schema.t -> n:int -> m:int -> Tgd.t Seq.t) ->
+  ?config:config -> ?resume:checkpoint ->
+  (Candidates.caps -> Schema.t -> n:int -> m:int -> Tgd.t Seq.t) ->
   complete:(Candidates.caps -> Schema.t -> n:int -> m:int -> bool) ->
-  Tgd.t list -> report
+  Tgd.t list -> report Budget.outcome
 (** The generic engine behind both algorithms; exposed for ablations and for
-    rewriting into other classes. *)
+    rewriting into other classes.
+
+    Screening commits per batch of [4 × jobs] candidates: the budget is
+    checked at every batch boundary, a batch in flight when a live limit
+    trips (or a {!Tgd_engine.Chaos} fault fires) is discarded wholesale,
+    and the checkpoint cursor points at the last committed boundary — so
+    partial results are identical at any [jobs].  A trip during the
+    backward check or minimization also reports [Truncated], with the full
+    screening checkpoint, since answers influenced by an already-cancelled
+    budget must not be trusted. *)
 
 val verify_equivalence_bounded :
   Tgd.t list -> Tgd.t list -> dom_size:int -> Instance.t option
@@ -75,13 +106,15 @@ val verify_equivalence_bounded :
     of size [≤ dom_size]; [Some] is a countermodel distinguishing the two
     sets. *)
 
-val to_frontier_guarded : ?config:config -> Tgd.t list -> report
+val to_frontier_guarded :
+  ?config:config -> ?resume:checkpoint -> Tgd.t list -> report Budget.outcome
 (** Rewrite an arbitrary finite set of tgds into frontier-guarded ones when
     possible — the Zhang-et-al. direction the paper's related work cites;
     built on the same generic engine with {!Candidates.frontier_guarded}
     candidates. *)
 
-val to_full : ?config:config -> Tgd.t list -> report
+val to_full :
+  ?config:config -> ?resume:checkpoint -> Tgd.t list -> report Budget.outcome
 (** Rewrite into existential-free (full) tgds when possible
     (cf. Corollary 5.1: the target class is [TGD_{n,0}]). *)
 

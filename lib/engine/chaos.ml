@@ -1,0 +1,47 @@
+type config = {
+  seed : int;
+  delay_p : float;
+  delay_s : float;
+  alloc_p : float;
+  alloc_words : int;
+  raise_p : float;
+}
+
+let default_config =
+  { seed = 0;
+    delay_p = 0.;
+    delay_s = 1e-3;
+    alloc_p = 0.;
+    alloc_words = 65_536;
+    raise_p = 0.
+  }
+
+exception Injected of string
+
+let state : config option Atomic.t = Atomic.make None
+let shots = Atomic.make 0
+
+let install cfg = Atomic.set state (Some cfg)
+let uninstall () = Atomic.set state None
+let active () = Atomic.get state <> None
+
+let with_config cfg f =
+  install cfg;
+  Fun.protect ~finally:uninstall f
+
+(* Uniform draw in [0,1) from a pure hash — no shared RNG state, so
+   concurrent sites never contend or skew each other's streams. *)
+let draw seed site shot salt =
+  let h = Hashtbl.hash (seed, site, shot, salt) in
+  float_of_int (h land 0x3FFFFFF) /. float_of_int 0x4000000
+
+let step ~site =
+  match Atomic.get state with
+  | None -> ()
+  | Some cfg ->
+    let shot = Atomic.fetch_and_add shots 1 in
+    if draw cfg.seed site shot 0 < cfg.delay_p then Unix.sleepf cfg.delay_s;
+    if draw cfg.seed site shot 1 < cfg.alloc_p then
+      ignore (Sys.opaque_identity (Array.make cfg.alloc_words 0));
+    if draw cfg.seed site shot 2 < cfg.raise_p then
+      raise (Injected (Printf.sprintf "%s#%d" site shot))

@@ -1,0 +1,45 @@
+(** Fault injection for robustness testing.
+
+    When a configuration is installed, {!step} probabilistically injects
+    delays, allocation spikes, and exceptions at the engine's instrumented
+    sites — chase trigger firings ([chase.fire], [chase.naive]) and pool
+    chunks ([pool.chunk]).  With no configuration installed (the default),
+    {!step} is a single atomic read and injects nothing; production code
+    never pays more than that.
+
+    Draws are a pure hash of (seed, site, shot number), so a given seed
+    replays the same fault schedule per shot; shot numbers are taken from
+    one process-wide counter and therefore interleave nondeterministically
+    across domains — the suites assert {e typed-outcome} invariants, never
+    which exact shot fired.
+
+    Injected exceptions carry the distinguished {!Injected} exception; the
+    engine's run boundaries catch it and surface a typed
+    [Truncated (Fault site)] outcome ({!Budget.outcome}) instead of letting
+    it escape. *)
+
+type config = {
+  seed : int;
+  delay_p : float;      (** probability of sleeping [delay_s] at a site *)
+  delay_s : float;
+  alloc_p : float;      (** probability of a transient allocation spike *)
+  alloc_words : int;
+  raise_p : float;      (** probability of raising {!Injected} *)
+}
+
+val default_config : config
+(** All probabilities 0; [delay_s = 1e-3], [alloc_words = 65_536]. *)
+
+exception Injected of string
+(** The payload names the site and shot, e.g. ["chase.fire#42"]. *)
+
+val install : config -> unit
+val uninstall : unit -> unit
+val active : unit -> bool
+
+val with_config : config -> (unit -> 'a) -> 'a
+(** [install], run, always [uninstall] (also on exceptions). *)
+
+val step : site:string -> unit
+(** Possibly inject at [site].  No-op when nothing is installed.
+    @raise Injected when the raise draw fires. *)

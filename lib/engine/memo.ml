@@ -69,6 +69,12 @@ let find_or_add m key compute =
     Mutex.unlock sh.lock;
     v
 
+let add m key v =
+  let sh = shard_of m key in
+  Mutex.lock sh.lock;
+  if not (Hashtbl.mem sh.table key) then Hashtbl.replace sh.table key v;
+  Mutex.unlock sh.lock
+
 let find m key =
   let sh = shard_of m key in
   Mutex.lock sh.lock;

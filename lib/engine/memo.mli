@@ -43,6 +43,12 @@ val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
 val find : 'a t -> string -> 'a option
 (** Lookup without computing; counts a hit or a miss. *)
 
+val add : 'a t -> string -> 'a -> unit
+(** Store without computing or counting; an existing entry wins (same
+    last-writer-loses rule as racing [find_or_add] computes).  Paired with
+    {!find} by callers that cache conditionally — e.g. only results whose
+    truncation is deterministic (see {!Budget}). *)
+
 val clear : 'a t -> unit
 val size : 'a t -> int
 

@@ -92,10 +92,17 @@ let join_batch batch =
   match batch.failure with Some e -> raise e | None -> ()
 
 (* Wrap [body], which processes one chunk, with stats harvesting and batch
-   completion signalling. *)
+   completion signalling.  [Chaos.step] sits inside the try: an injected
+   fault is recorded as the batch failure and re-raised at the join, the
+   same path any chunk exception takes — the batch still drains. *)
 let chunk_task batch body () =
   let before = Stats.copy (Stats.global ()) in
-  let outcome = try Ok (body ()) with e -> Error e in
+  let outcome =
+    try
+      Chaos.step ~site:"pool.chunk";
+      Ok (body ())
+    with e -> Error e
+  in
   let delta = Stats.diff (Stats.copy (Stats.global ())) before in
   Mutex.lock batch.bmutex;
   Stats.add ~into:batch.acc delta;
@@ -131,24 +138,35 @@ let run_chunked pool ?chunk ~n body =
   submit pool tasks;
   join_batch batch
 
-let parallel_filter_map pool ?chunk f seq =
+(* Between-item cancellation poll: one atomic read per item.  A tripped
+   token makes every worker abandon the rest of its chunk; the batch still
+   drains and joins normally, so a cancelled call returns (with whatever
+   items were processed) instead of hanging. *)
+let stopped cancel =
+  match cancel with
+  | Some c -> Budget.Cancel.is_cancelled c
+  | None -> false
+
+let parallel_filter_map pool ?chunk ?cancel f seq =
   let items = Array.of_seq seq in
   let n = Array.length items in
   if n = 0 then []
   else begin
     let slots = Array.make n None in
     run_chunked pool ?chunk ~n (fun ~lo ~hi ->
-        for i = lo to hi - 1 do
-          slots.(i) <- f items.(i)
+        let i = ref lo in
+        while !i < hi && not (stopped cancel) do
+          slots.(!i) <- f items.(!i);
+          incr i
         done);
     (* slots writes happen-before the join via the batch mutex *)
     Array.to_seq slots |> Seq.filter_map Fun.id |> List.of_seq
   end
 
-let parallel_map pool ?chunk f seq =
-  parallel_filter_map pool ?chunk (fun x -> Some (f x)) seq
+let parallel_map pool ?chunk ?cancel f seq =
+  parallel_filter_map pool ?chunk ?cancel (fun x -> Some (f x)) seq
 
-let parallel_find_map pool ?chunk f seq =
+let parallel_find_map pool ?chunk ?cancel f seq =
   let items = Array.of_seq seq in
   let n = Array.length items in
   if n = 0 then None
@@ -167,7 +185,7 @@ let parallel_find_map pool ?chunk f seq =
         let i = ref lo in
         let stop = ref false in
         while (not !stop) && !i < hi do
-          if Atomic.get best < !i then stop := true
+          if Atomic.get best < !i || stopped cancel then stop := true
           else begin
             (match f items.(!i) with
             | Some _ as hit ->

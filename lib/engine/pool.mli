@@ -27,6 +27,22 @@
     {b Exceptions.}  If a chunk raises, the batch still drains, and the
     first recorded exception is re-raised in the submitting domain.
 
+    {b Cancellation.}  Every batch operation accepts a {!Budget.Cancel.t}
+    token, polled between items (one atomic read).  Once the token trips —
+    typically because a worker's budget check hit a deadline — every worker
+    abandons the remainder of its chunk, the batch drains, and the call
+    returns with only the items processed before the trip.  Skipped items
+    are simply absent from a [parallel_filter_map]/[parallel_map] result
+    (not necessarily a contiguous prefix: chunks interleave), so callers
+    treat any result obtained under a tripped token as partial and decide
+    their own commit granularity — the chase drops the interrupted round,
+    the rewriting sweep drops the interrupted batch.
+
+    {b Fault injection.}  Each chunk passes a {!Chaos.step} site
+    ([pool.chunk]); an injected exception travels the normal failure path
+    (batch drains, re-raised at the join), so the chaos suite can assert
+    that no pool ever hangs or swallows a fault.
+
     Items are processed on worker domains: the closures passed in must not
     touch non-atomic shared mutable state (the engine's own shared
     structures — {!Memo} shards, {!Stats} — are already safe). *)
@@ -45,15 +61,21 @@ val shutdown : t -> unit
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [create], run, and always [shutdown] (also on exceptions). *)
 
-val parallel_filter_map : t -> ?chunk:int -> ('a -> 'b option) -> 'a Seq.t -> 'b list
+val parallel_filter_map :
+  t -> ?chunk:int -> ?cancel:Budget.Cancel.t -> ('a -> 'b option) -> 'a Seq.t -> 'b list
 (** Order-preserving parallel [Seq.filter_map .. |> List.of_seq].  The
     input sequence is forced on the submitting domain; [chunk] items are
     processed per queue claim (default: a size balancing queue traffic
-    against load balance). *)
+    against load balance).  With [cancel], items are skipped once the
+    token trips (see the cancellation note above). *)
 
-val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a Seq.t -> 'b list
-(** Order-preserving parallel [List.map]. *)
+val parallel_map :
+  t -> ?chunk:int -> ?cancel:Budget.Cancel.t -> ('a -> 'b) -> 'a Seq.t -> 'b list
+(** Order-preserving parallel [List.map] (shorter when cancelled). *)
 
-val parallel_find_map : t -> ?chunk:int -> ('a -> 'b option) -> 'a Seq.t -> 'b option
+val parallel_find_map :
+  t -> ?chunk:int -> ?cancel:Budget.Cancel.t -> ('a -> 'b option) -> 'a Seq.t -> 'b option
 (** First hit in input order, with early exit: once a hit at index [i] is
-    known, items after [i] are skipped without calling [f]. *)
+    known, items after [i] are skipped without calling [f].  A hit found
+    before a [cancel] trip is still returned; [None] under a tripped token
+    means the search was abandoned, not exhausted. *)

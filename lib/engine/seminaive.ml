@@ -7,7 +7,7 @@ type mode =
 
 type outcome =
   | Terminated
-  | Budget_exhausted
+  | Truncated of Budget.exhaustion
 
 type result = {
   instance : Instance.t;
@@ -128,17 +128,21 @@ let trigger_key tgd hom =
 
 (* The match phase of a round decomposes into independent tasks — one per
    tgd in round 1, one per (tgd, pivot position) afterwards.  Each task is
-   a function of the stats record its probes/scans should land in and an
-   index view wired to it; executing the tasks in order and concatenating
+   a function of an abort poll (budget/cancellation — a task that observes
+   a trip returns early, its partial trigger list is discarded with the
+   round), the stats record its probes/scans should land in, and an index
+   view wired to it; executing the tasks in order and concatenating
    reproduces the sequential trigger list exactly, which is what lets the
    pool run them on worker domains without changing any observable. *)
-type match_task = Stats.t -> Fact_index.t -> (Tgd.t * Binding.t) list
+type match_task =
+  abort:(unit -> bool) -> Stats.t -> Fact_index.t -> (Tgd.t * Binding.t) list
 
 (* Round 1: every body homomorphism into the input facts (stamp 0). *)
 let initial_tasks sigma : match_task list =
   List.map
-    (fun tgd stats idx ->
+    (fun tgd ~abort stats idx ->
       solve idx Binding.empty (goals_up_to 0 (Tgd.body tgd))
+      |> Seq.take_while (fun _ -> not (abort ()))
       |> Seq.map (fun h ->
              stats.Stats.scans <- stats.Stats.scans + 1;
              (tgd, h))
@@ -161,9 +165,11 @@ let delta_tasks sigma ~round ~delta_by_rel : match_task list =
              | None -> None
              | Some delta_facts ->
                Some
-                 (fun stats idx ->
+                 (fun ~abort stats idx ->
                    List.concat_map
                      (fun f ->
+                       if abort () then []
+                       else
                        match Hom.match_atom Binding.empty pivot f with
                        | None -> []
                        | Some partial ->
@@ -179,6 +185,7 @@ let delta_tasks sigma ~round ~delta_by_rel : match_task list =
                                       } ]))
                          in
                          solve idx partial goals
+                         |> Seq.take_while (fun _ -> not (abort ()))
                          |> Seq.map (fun h ->
                                 stats.Stats.scans <- stats.Stats.scans + 1;
                                 (tgd, h))
@@ -201,8 +208,19 @@ let some_active_trigger stats idx sigma =
 (* Saturation loop                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run ~mode ?(max_rounds = 64) ?(max_facts = 20_000)
-    ?(on_fire = fun _ _ _ -> ()) ?pool sigma inst =
+(* Per-task abort poll: cheap token read per call, full budget check
+   (clock, memory, fuel) every 256th — the full check is the one that
+   actually trips the token on a deadline, so one long-running match task
+   cannot outlive the budget by more than a stride. *)
+let make_abort budget =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    if !n land 255 = 0 then Budget.check budget <> None
+    else Budget.cancelled budget <> None
+
+let run ~mode ?(budget = Budget.default) ?(on_fire = fun _ _ _ -> ()) ?pool
+    sigma inst =
   let stats = Stats.create () in
   let idx = Fact_index.create ~stats () in
   (* Run one match task against a private stats record and an index view
@@ -211,14 +229,20 @@ let run ~mode ?(max_rounds = 64) ?(max_facts = 20_000)
      sequential totals. *)
   let exec_task task =
     let ts = Stats.create () in
-    let view = Fact_index.with_stats idx ts in
-    (task ts view, ts)
+    if Budget.cancelled budget <> None then ([], ts)
+    else begin
+      ignore (Budget.check budget);
+      let view = Fact_index.with_stats idx ts in
+      (task ~abort:(make_abort budget) ts view, ts)
+    end
   in
   let run_tasks tasks =
     let results =
       match pool with
       | None -> List.map exec_task tasks
-      | Some p -> Pool.parallel_map p exec_task (List.to_seq tasks)
+      | Some p ->
+        Pool.parallel_map p ~cancel:(Budget.token budget) exec_task
+          (List.to_seq tasks)
     in
     List.iter (fun (_, ts) -> Stats.add ~into:stats ts) results;
     List.concat_map fst results
@@ -231,85 +255,122 @@ let run ~mode ?(max_rounds = 64) ?(max_facts = 20_000)
   let delta = ref initial_facts in
   let round = ref 0 in
   let fired = ref 0 in
-  let out_of_budget = ref false in
+  let trip = ref None in
+  let set_trip r = if !trip = None then trip := Some r in
+  let fire_poll = ref 0 in
   let first = ref true in
-  while (!first || !delta <> []) && (not !out_of_budget) && !round < max_rounds do
-    first := false;
-    incr round;
-    let t0 = Unix.gettimeofday () in
-    let triggers =
-      if !round = 1 then run_tasks (initial_tasks sigma)
-      else begin
-        let delta_by_rel : (Relation.t, Fact.t list) Hashtbl.t =
-          Hashtbl.create 16
-        in
-        List.iter
-          (fun f ->
-            let r = Fact.rel f in
-            let prev =
-              Option.value ~default:[] (Hashtbl.find_opt delta_by_rel r)
-            in
-            Hashtbl.replace delta_by_rel r (prev @ [ f ]))
-          !delta;
-        run_tasks (delta_tasks sigma ~round:!round ~delta_by_rel)
-      end
-    in
-    let t1 = Unix.gettimeofday () in
-    stats.Stats.match_time <- stats.Stats.match_time +. (t1 -. t0);
-    let next_delta = ref [] in
-    (try
-       List.iter
-         (fun (tgd, hom) ->
-           let fire_it =
-             match mode with
-             | Oblivious ->
-               let key = trigger_key tgd hom in
-               if Hashtbl.mem fired_keys key then false
-               else begin
-                 Hashtbl.add fired_keys key ();
-                 true
-               end
-             | Restricted -> is_active idx tgd hom
-           in
-           if fire_it then begin
-             let h =
-               Variable.Set.fold
-                 (fun z acc ->
-                   incr null_counter;
-                   Binding.add z (Constant.null !null_counter) acc)
-                 (Tgd.existential_vars tgd)
-                 hom
+  (try
+     while
+       (!first || !delta <> [])
+       && !trip = None
+       && !round < budget.Budget.max_rounds
+     do
+       first := false;
+       match Budget.check budget with
+       | Some r -> set_trip r
+       | None ->
+         incr round;
+         let t0 = Unix.gettimeofday () in
+         let triggers =
+           if !round = 1 then run_tasks (initial_tasks sigma)
+           else begin
+             let delta_by_rel : (Relation.t, Fact.t list) Hashtbl.t =
+               Hashtbl.create 16
              in
-             match Binding.ground_atoms h (Tgd.head tgd) with
-             | None -> assert false (* body ∪ existential vars cover the head *)
-             | Some facts ->
-               on_fire tgd hom facts;
-               incr fired;
-               stats.Stats.fired <- stats.Stats.fired + 1;
-               List.iter
-                 (fun f ->
-                   if Fact_index.add idx ~round:!round f then begin
-                     current := Instance.add_fact !current f;
-                     next_delta := f :: !next_delta
-                   end)
-                 facts;
-               if Instance.fact_count !current > max_facts then begin
-                 out_of_budget := true;
-                 raise Exit
-               end
-           end)
-         triggers
-     with Exit -> ());
-    stats.Stats.fire_time <- stats.Stats.fire_time +. (Unix.gettimeofday () -. t1);
-    delta := List.rev !next_delta;
-    stats.Stats.delta_facts <- stats.Stats.delta_facts + List.length !delta
-  done;
+             List.iter
+               (fun f ->
+                 let r = Fact.rel f in
+                 let prev =
+                   Option.value ~default:[] (Hashtbl.find_opt delta_by_rel r)
+                 in
+                 Hashtbl.replace delta_by_rel r (prev @ [ f ]))
+               !delta;
+             run_tasks (delta_tasks sigma ~round:!round ~delta_by_rel)
+           end
+         in
+         let t1 = Unix.gettimeofday () in
+         stats.Stats.match_time <- stats.Stats.match_time +. (t1 -. t0);
+         (* A trip during matching may have cut the trigger list anywhere
+            (including mid-task under the pool), so the whole round is
+            dropped: the partial result is always the instance as of the
+            last fully committed round — one deterministic prefix,
+            whatever [jobs] was. *)
+         (match Budget.cancelled budget with
+         | Some r -> set_trip r
+         | None ->
+           let next_delta = ref [] in
+           (try
+              List.iter
+                (fun (tgd, hom) ->
+                  Chaos.step ~site:"chase.fire";
+                  incr fire_poll;
+                  if !fire_poll land 15 = 0 then (
+                    match Budget.check budget with
+                    | Some r ->
+                      set_trip r;
+                      raise Exit
+                    | None -> ());
+                  let fire_it =
+                    match mode with
+                    | Oblivious ->
+                      let key = trigger_key tgd hom in
+                      if Hashtbl.mem fired_keys key then false
+                      else begin
+                        Hashtbl.add fired_keys key ();
+                        true
+                      end
+                    | Restricted -> is_active idx tgd hom
+                  in
+                  if fire_it then begin
+                    (match Budget.spend_fuel budget 1 with
+                    | Some r ->
+                      set_trip r;
+                      raise Exit
+                    | None -> ());
+                    let h =
+                      Variable.Set.fold
+                        (fun z acc ->
+                          incr null_counter;
+                          Binding.add z (Constant.null !null_counter) acc)
+                        (Tgd.existential_vars tgd)
+                        hom
+                    in
+                    match Binding.ground_atoms h (Tgd.head tgd) with
+                    | None ->
+                      assert false (* body ∪ existential vars cover the head *)
+                    | Some facts ->
+                      on_fire tgd hom facts;
+                      incr fired;
+                      stats.Stats.fired <- stats.Stats.fired + 1;
+                      List.iter
+                        (fun f ->
+                          if Fact_index.add idx ~round:!round f then begin
+                            current := Instance.add_fact !current f;
+                            next_delta := f :: !next_delta
+                          end)
+                        facts;
+                      if Instance.fact_count !current > budget.Budget.max_facts
+                      then begin
+                        set_trip Budget.Facts;
+                        raise Exit
+                      end
+                  end)
+                triggers
+            with Exit -> ());
+           stats.Stats.fire_time <-
+             stats.Stats.fire_time +. (Unix.gettimeofday () -. t1);
+           delta := List.rev !next_delta;
+           stats.Stats.delta_facts <- stats.Stats.delta_facts + List.length !delta)
+     done
+   with Chaos.Injected site -> set_trip (Budget.Fault site));
   stats.Stats.rounds <- !round;
   let outcome =
-    if !out_of_budget then Budget_exhausted
-    else if !delta = [] then Terminated
-    else if some_active_trigger stats idx sigma then Budget_exhausted
-    else Terminated
+    match !trip with
+    | Some r -> Truncated r
+    | None ->
+      if !delta = [] then Terminated
+      else if some_active_trigger stats idx sigma then Truncated Budget.Rounds
+      else Terminated
   in
   Stats.add ~into:(Stats.global ()) stats;
   { instance = !current; outcome; rounds = !round; fired = !fired; stats }

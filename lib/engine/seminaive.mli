@@ -29,7 +29,7 @@ type mode =
 
 type outcome =
   | Terminated
-  | Budget_exhausted
+  | Truncated of Budget.exhaustion
 
 type result = {
   instance : Instance.t;
@@ -41,20 +41,30 @@ type result = {
 
 val run :
   mode:mode ->
-  ?max_rounds:int ->
-  ?max_facts:int ->
+  ?budget:Budget.t ->
   ?on_fire:(Tgd.t -> Binding.t -> Fact.t list -> unit) ->
   ?pool:Pool.t ->
   Tgd.t list ->
   Instance.t ->
   result
-(** [run ~mode sigma inst] saturates [inst] under [sigma].  Defaults match
-    [Chase.default_budget]: [max_rounds = 64], [max_facts = 20_000].
-    [on_fire] observes every fired trigger — the tgd, its body homomorphism
-    ({e before} null invention, as in [Chase]), and the grounded head facts
-    (new or not).  When [pool] is given, each round's match phase runs its
-    per-(tgd, pivot) tasks on the pool's worker domains; results and all
-    counters are merged in task order, so the outcome, trigger order, and
-    stats totals are identical to the sequential run.  The fire phase is
-    always sequential.  The result's [stats] are also folded into the
-    calling domain's {!Stats.global} accumulator. *)
+(** [run ~mode sigma inst] saturates [inst] under [sigma] within [budget]
+    (default {!Budget.default}).  [on_fire] observes every fired trigger —
+    the tgd, its body homomorphism ({e before} null invention, as in
+    [Chase]), and the grounded head facts (new or not).  When [pool] is
+    given, each round's match phase runs its per-(tgd, pivot) tasks on the
+    pool's worker domains; results and all counters are merged in task
+    order, so the outcome, trigger order, and stats totals are identical to
+    the sequential run.  The fire phase is always sequential.
+
+    Budget checks are cooperative: the full check (clock, memory, fuel)
+    runs at every round boundary, every 16th trigger of the fire phase, and
+    strided inside match tasks; the cancellation token is polled per match
+    item.  The truncation commit rule keeps partial results deterministic
+    across [jobs]: a trip during the {e match} phase discards that round's
+    triggers entirely (the partial instance is the last fully committed
+    round), while a trip during the always-sequential {e fire} phase keeps
+    the facts fired so far — in both cases the partial instance is a prefix
+    of the same deterministic chase sequence.  Injected faults
+    ({!Chaos.Injected}) are caught at this boundary and surface as
+    [Truncated (Fault site)].  The result's [stats] are also folded into
+    the calling domain's {!Stats.global} accumulator. *)

@@ -260,7 +260,7 @@ let prop_theory_chase_sound =
       match r.Tgd_chase.Theory.outcome with
       | Tgd_chase.Theory.Model -> Tgd_chase.Theory.satisfies r.Tgd_chase.Theory.instance th
       | Tgd_chase.Theory.Failed _ -> true (* rigid clash on random data is fine *)
-      | Tgd_chase.Theory.Out_of_budget -> true)
+      | Tgd_chase.Theory.Out_of_budget _ -> true)
 
 (* refutation never contradicts the chase *)
 let prop_refutation_consistent =

@@ -1,0 +1,318 @@
+(* Unified resource governance (Tgd_engine.Budget): typed truncation of the
+   chase, theory chase and Section 9 sweeps; deadline/fuel/cancellation
+   trips; checkpoint/resume of the rewriting enumerators. *)
+
+open Tgd_instance
+open Tgd_core
+open Helpers
+module Budget = Tgd_engine.Budget
+module Chase = Tgd_chase.Chase
+module Theory = Tgd_chase.Theory
+
+let s_e = schema [ ("E", 2) ]
+let nonterm = [ tgd "E(x,y) -> exists z. E(y,z)." ]
+let db = inst ~schema:s_e "E(a,b)."
+
+(* -- budget primitives -------------------------------------------------- *)
+
+let test_check_order_and_token () =
+  let b = Budget.make ~fuel:1 () in
+  check_bool "fresh budget passes" true (Budget.check b = None);
+  check_bool "token untripped" true (Budget.cancelled b = None);
+  check_bool "fuel spend ok" true (Budget.spend_fuel b 1 = None);
+  check_bool "tank dry" true (Budget.spend_fuel b 1 = Some Budget.Fuel);
+  (* a live-limit trip cancels the embedded token for pool workers *)
+  check_bool "token tripped" true (Budget.cancelled b = Some Budget.Fuel);
+  check_bool "check reports it" true (Budget.check b = Some Budget.Fuel)
+
+let test_cancel_write_once () =
+  let c = Budget.Cancel.create () in
+  Budget.Cancel.cancel ~reason:Budget.Deadline c;
+  Budget.Cancel.cancel ~reason:Budget.Memory c;
+  check_bool "first reason sticks" true
+    (Budget.Cancel.reason c = Some Budget.Deadline)
+
+let test_with_rounds_shares_fuel () =
+  (* retuning the round cap must keep the same fuel tank and token — the
+     Theory loop depends on its one-round inner budgets drawing from the
+     outer allowance *)
+  let b = Budget.make ~fuel:2 () in
+  let b1 = Budget.with_rounds b 1 in
+  check_bool "spend via copy" true (Budget.spend_fuel b1 2 = None);
+  check_bool "original sees empty tank" true
+    (Budget.spend_fuel b 1 = Some Budget.Fuel);
+  check_bool "copy's token tripped too" true
+    (Budget.cancelled b1 = Some Budget.Fuel)
+
+let test_key_covers_caps_only () =
+  check_bool "same caps, same key" true
+    (Budget.key (Budget.limits ~rounds:4 ~facts:50)
+    = Budget.key (Budget.make ~rounds:4 ~facts:50 ~fuel:1 ~timeout_s:0.01 ()));
+  check_bool "different caps differ" true
+    (Budget.key (Budget.limits ~rounds:4 ~facts:50)
+    <> Budget.key (Budget.limits ~rounds:5 ~facts:50))
+
+(* -- chase under live limits ------------------------------------------- *)
+
+let deadline_case ~naive () =
+  let budget = Budget.make ~rounds:max_int ~facts:max_int ~timeout_s:0.05 () in
+  let r = Chase.restricted ~naive ~budget nonterm db in
+  (match r.Chase.outcome with
+  | Chase.Truncated Budget.Deadline -> ()
+  | Chase.Truncated other ->
+    Alcotest.failf "wrong reason: %a" Budget.pp_exhaustion other
+  | Chase.Terminated -> Alcotest.fail "a non-terminating chase terminated");
+  (* the partial is a usable, sound prefix *)
+  check_bool "nonempty partial" true (Instance.fact_count r.Chase.instance >= 1);
+  check_bool "contains input" true (Instance.subset db r.Chase.instance);
+  check_bool "prefix folds into a model fixing the input" true
+    (Tgd_instance.Hom.embeds_fixing (Instance.adom db) r.Chase.instance
+       (inst ~schema:s_e "E(a,b). E(b,b)."))
+
+let test_deadline_engine () = deadline_case ~naive:false ()
+let test_deadline_naive () = deadline_case ~naive:true ()
+
+let test_fuel_cap () =
+  let budget = Budget.make ~rounds:max_int ~facts:max_int ~fuel:5 () in
+  let r = Chase.restricted ~budget nonterm db in
+  (match r.Chase.outcome with
+  | Chase.Truncated Budget.Fuel -> ()
+  | _ -> Alcotest.fail "expected a fuel trip");
+  check_bool "fired bounded by the tank" true (r.Chase.fired <= 5)
+
+let test_pre_cancelled () =
+  let cancel = Budget.Cancel.create () in
+  let budget = Budget.make ~rounds:max_int ~facts:max_int ~cancel () in
+  Budget.Cancel.cancel cancel;
+  let r = Chase.restricted ~budget nonterm db in
+  (match r.Chase.outcome with
+  | Chase.Truncated Budget.Cancelled -> ()
+  | _ -> Alcotest.fail "expected a cancellation trip");
+  check_bool "input untouched" true (Instance.subset db r.Chase.instance)
+
+let test_deterministic_result () =
+  let capped = Chase.restricted ~budget:(Budget.limits ~rounds:3 ~facts:1000) nonterm db in
+  check_bool "round trips are deterministic" true
+    (Chase.deterministic_result capped);
+  let timed =
+    Chase.restricted
+      ~budget:(Budget.make ~rounds:max_int ~facts:max_int ~timeout_s:0.05 ())
+      nonterm db
+  in
+  check_bool "deadline trips are not" false (Chase.deterministic_result timed)
+
+(* -- theory chase reports its consumption ------------------------------- *)
+
+let test_theory_out_of_budget () =
+  let th = Theory.of_tgds nonterm in
+  let r = Theory.chase ~budget:(Budget.limits ~rounds:3 ~facts:10_000) th db in
+  match r.Theory.outcome with
+  | Theory.Out_of_budget { reason = Budget.Rounds; rounds; facts } ->
+    check_int "rounds consumed = cap" 3 rounds;
+    check_int "facts reported accurately" facts
+      (Instance.fact_count r.Theory.instance);
+    check_bool "made progress" true (facts > Instance.fact_count db)
+  | _ -> Alcotest.fail "expected Out_of_budget Rounds"
+
+let test_theory_deadline () =
+  let th = Theory.of_tgds nonterm in
+  let budget = Budget.make ~rounds:max_int ~facts:max_int ~timeout_s:0.05 () in
+  let r = Theory.chase ~budget th db in
+  match r.Theory.outcome with
+  | Theory.Out_of_budget { reason = Budget.Deadline; facts; _ } ->
+    check_int "facts match the instance" facts
+      (Instance.fact_count r.Theory.instance)
+  | _ -> Alcotest.fail "expected Out_of_budget Deadline"
+
+(* -- Section 9 sweeps: truncation and checkpoint/resume ------------------ *)
+
+let sep_caps =
+  Candidates.{ max_body_atoms = 8; max_head_atoms = 8; keep_tautologies = false }
+
+let small_caps =
+  Candidates.{ max_body_atoms = 2; max_head_atoms = 1; keep_tautologies = false }
+
+let config_with caps budget = Rewrite.{ default_config with caps; budget }
+
+let clear_memos () =
+  Tgd_chase.Entailment.clear_memos ();
+  Tgd_chase.Chase.clear_memo ()
+
+(* Drive a budgeted rewrite to completion by resuming from each checkpoint
+   with a fresh fuel tank (the tank Atomic is shared between budget copies,
+   so each attempt must build a new budget).  Chase memoization caches the
+   deterministic chases completed inside a discarded batch, so every attempt
+   makes progress and the loop terminates. *)
+let drive ~caps ~fuel algo sigma =
+  let rec go resume attempts =
+    if attempts > 200 then Alcotest.fail "resume loop did not converge";
+    let config = config_with caps (Budget.make ~fuel ()) in
+    match algo ?config:(Some config) ?resume sigma with
+    | Budget.Complete (r : Rewrite.report) -> (r, attempts)
+    | Budget.Truncated { partial; _ } -> (
+      match partial.Rewrite.checkpoint with
+      | Some cp ->
+        check_int "cursor = |screened prefix|" cp.Rewrite.cursor
+          (List.length cp.Rewrite.screened_prefix);
+        go (Some cp) (attempts + 1)
+      | None -> Alcotest.fail "truncated report must carry a checkpoint")
+  in
+  go None 0
+
+let outcome_sig = function
+  | Rewrite.Rewritable s -> "R:" ^ string_of_int (List.length s)
+  | Rewrite.Not_rewritable { complete; unknown_candidates } ->
+    Printf.sprintf "N:%b:%d" complete unknown_candidates
+  | Rewrite.Unknown msg -> "U:" ^ msg
+
+(* Fuel-starved sweeps: the workloads are chosen so screening actually burns
+   fuel (the chases fire triggers), making mid-sweep truncation certain. *)
+let resume_case ~caps ~fuel algo sigma =
+  clear_memos ();
+  let unbudgeted =
+    Budget.value
+      (algo ?config:(Some (config_with caps Chase.default_budget)) ?resume:None
+         sigma)
+  in
+  clear_memos ();
+  let resumed, attempts = drive ~caps ~fuel algo sigma in
+  check_bool "the budgeted run was actually truncated at least once" true
+    (attempts >= 1);
+  Alcotest.check Alcotest.string "resume ∘ truncate = unbudgeted"
+    (outcome_sig unbudgeted.Rewrite.outcome)
+    (outcome_sig resumed.Rewrite.outcome);
+  check_int "same candidates enumerated"
+    unbudgeted.Rewrite.candidates_enumerated
+    resumed.Rewrite.candidates_enumerated
+
+let test_resume_g_to_l () =
+  resume_case ~caps:small_caps ~fuel:12 Rewrite.g_to_l
+    (Tgd_workload.Families.guarded_rewritable 2)
+
+let test_resume_fg_to_g () =
+  resume_case ~caps:small_caps ~fuel:40 Rewrite.fg_to_g
+    (Tgd_workload.Families.fg_rewritable 1)
+
+(* §9.1 separation families: their sweeps fire no triggers, so the live
+   limit exercised here is external cancellation — trip at the first batch
+   boundary, then resume from the checkpoint and match the unbudgeted
+   verdict. *)
+let sep_resume_case algo sigma =
+  clear_memos ();
+  let unbudgeted =
+    Budget.value
+      (algo ?config:(Some (config_with sep_caps Chase.default_budget))
+         ?resume:None sigma)
+  in
+  let cancel = Budget.Cancel.create () in
+  Budget.Cancel.cancel cancel;
+  let cp =
+    match
+      algo ?config:(Some (config_with sep_caps (Budget.make ~cancel ())))
+        ?resume:None sigma
+    with
+    | Budget.Truncated { reason = Budget.Cancelled; partial; _ } ->
+      Option.get partial.Rewrite.checkpoint
+    | Budget.Truncated { reason; _ } ->
+      Alcotest.failf "wrong reason: %a" Budget.pp_exhaustion reason
+    | Budget.Complete _ -> Alcotest.fail "a cancelled sweep cannot complete"
+  in
+  check_int "nothing committed under a dead token" 0 cp.Rewrite.cursor;
+  let resumed =
+    match
+      algo ?config:(Some (config_with sep_caps Chase.default_budget))
+        ?resume:(Some cp) sigma
+    with
+    | Budget.Complete r -> r
+    | Budget.Truncated _ -> Alcotest.fail "unbudgeted resume must complete"
+  in
+  Alcotest.check Alcotest.string "resume ∘ truncate = unbudgeted"
+    (outcome_sig unbudgeted.Rewrite.outcome)
+    (outcome_sig resumed.Rewrite.outcome)
+
+let test_sep_g_to_l_resume () =
+  let sigma_g, _ = Tgd_workload.Families.separation_linear_vs_guarded in
+  sep_resume_case Rewrite.g_to_l sigma_g
+
+let test_sep_fg_to_g_resume () =
+  let sigma_f, _ = Tgd_workload.Families.separation_guarded_vs_fg in
+  sep_resume_case Rewrite.fg_to_g sigma_f
+
+let test_truncation_jobs_independent () =
+  (* a fuel trip inside the screening sweep must surface identically at any
+     [jobs]: typed Truncated, committed prefix only, resumable to the same
+     final outcome *)
+  let sigma = Tgd_workload.Families.fg_rewritable 1 in
+  let run jobs =
+    clear_memos ();
+    let config =
+      Rewrite.{ (config_with small_caps (Budget.make ~fuel:40 ())) with jobs }
+    in
+    match Rewrite.fg_to_g ~config sigma with
+    | Budget.Truncated { reason; partial; _ } ->
+      check_bool "live-limit reason" true
+        (match reason with
+        | Budget.Fuel | Budget.Deadline | Budget.Cancelled -> true
+        | _ -> false);
+      let cp = Option.get partial.Rewrite.checkpoint in
+      check_int "prefix committed whole batches only" cp.Rewrite.cursor
+        (List.length cp.Rewrite.screened_prefix);
+      clear_memos ();
+      let full, _ = drive ~caps:small_caps ~fuel:40 Rewrite.fg_to_g sigma in
+      outcome_sig full.Rewrite.outcome
+    | Budget.Complete _ -> Alcotest.fail "fuel 40 must not finish this sweep"
+  in
+  Alcotest.check Alcotest.string "jobs 1 ≡ jobs 4" (run 1) (run 4)
+
+let test_characterize_truncation () =
+  let o = Ontology.axiomatic s_e [ tgd "E(x,y) -> E(y,x)." ] in
+  let budget = Budget.make ~rounds:max_int ~facts:max_int ~timeout_s:0.0 () in
+  (* an already-expired deadline: the sweep must return an empty (but typed)
+     prefix rather than raising or spinning *)
+  match Characterize.synthesize ~budget o ~n:2 ~m:0 with
+  | Budget.Truncated { reason = Budget.Deadline; partial; _ } ->
+    check_bool "partial is a list" true (List.length partial >= 0)
+  | Budget.Truncated { reason; _ } ->
+    Alcotest.failf "wrong reason: %a" Budget.pp_exhaustion reason
+  | Budget.Complete _ -> Alcotest.fail "expired deadline must truncate"
+
+let test_locality_budgeted () =
+  let o = Ontology.axiomatic s_e [ tgd "E(x,y) -> E(y,x)." ] in
+  (match
+     Locality.check_local_up_to
+       ~budget:(Budget.make ~rounds:max_int ~facts:max_int ~timeout_s:0.0 ())
+       Locality.Plain ~n:2 ~m:0 o 2
+   with
+  | Budget.Truncated { reason = Budget.Deadline; partial = Locality.Local_on_tests; _ }
+    ->
+    ()
+  | Budget.Truncated _ -> Alcotest.fail "wrong truncation shape"
+  | Budget.Complete _ -> Alcotest.fail "expired deadline must truncate");
+  (* and an unconstrained budget still completes with the old verdict *)
+  match Locality.check_local_up_to Locality.Plain ~n:2 ~m:0 o 2 with
+  | Budget.Complete Locality.Local_on_tests -> ()
+  | _ -> Alcotest.fail "symmetric closure is (2,0)-local on dom ≤ 2"
+
+let suite =
+  [ case "check order and token trip" test_check_order_and_token;
+    case "cancellation is write-once" test_cancel_write_once;
+    case "with_rounds shares fuel and token" test_with_rounds_shares_fuel;
+    case "cache key covers caps only" test_key_covers_caps_only;
+    case "deadline truncates the engine chase" test_deadline_engine;
+    case "deadline truncates the naive chase" test_deadline_naive;
+    case "fuel cap truncates" test_fuel_cap;
+    case "pre-cancelled token" test_pre_cancelled;
+    case "deterministic_result classification" test_deterministic_result;
+    case "theory chase reports rounds/facts" test_theory_out_of_budget;
+    case "theory chase under a deadline" test_theory_deadline;
+    slow_case "resume ∘ truncate = unbudgeted (G-to-L, fuel)"
+      test_resume_g_to_l;
+    slow_case "resume ∘ truncate = unbudgeted (FG-to-G, fuel)"
+      test_resume_fg_to_g;
+    case "cancel + resume on §9.1 Σ_G" test_sep_g_to_l_resume;
+    case "cancel + resume on §9.1 Σ_F" test_sep_fg_to_g_resume;
+    slow_case "truncation semantics independent of jobs"
+      test_truncation_jobs_independent;
+    case "synthesis sweep truncates" test_characterize_truncation;
+    case "locality scan truncates" test_locality_budgeted
+  ]

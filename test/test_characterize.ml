@@ -24,7 +24,7 @@ let test_sigma_vee_soundness () =
   (* every edd in Σ^∨ holds in every bounded member, by construction; spot
      check against a fresh enumeration *)
   let o = Ontology.axiomatic s_p [ tgd "P(x) -> Q(x)." ] in
-  let vee = Characterize.sigma_vee ~caps o ~n:1 ~m:0 in
+  let vee = Tgd_engine.Budget.value (Characterize.sigma_vee ~caps o ~n:1 ~m:0) in
   check_bool "contains the axiom as an edd" true
     (List.exists
        (fun d ->
@@ -40,7 +40,7 @@ let test_sigma_vee_soundness () =
 
 let test_steps_2_3 () =
   let o = Ontology.axiomatic s_p [ tgd "P(x) -> Q(x)." ] in
-  let vee = Characterize.sigma_vee ~caps o ~n:1 ~m:0 in
+  let vee = Tgd_engine.Budget.value (Characterize.sigma_vee ~caps o ~n:1 ~m:0) in
   let deps = Characterize.sigma_exists_eq vee in
   let sigma = Characterize.sigma_exists deps in
   check_bool "Σ^∃ ⊆ Σ^{∃,=} as tgds" true
@@ -63,7 +63,7 @@ let test_synthesize_recovers_axioms () =
         Ontology.oracle ~name:"oracle-of-models" s (fun i ->
             Tgd_instance.Satisfaction.tgds i sigma)
       in
-      let synth = Characterize.synthesize ~candidate_caps o ~n ~m in
+      let synth = Tgd_engine.Budget.value (Characterize.synthesize ~candidate_caps o ~n ~m) in
       check_bool "non-empty synthesis" true (synth <> []);
       match Characterize.verify_axiomatization o synth ~dom_size:2 with
       | None -> ()
@@ -77,7 +77,7 @@ let test_synthesize_detects_non_tgd_ontology () =
      is a model of any tgd set satisfied by some instance with no
      E-implications).  Synthesis must fail verification. *)
   let o = Ontology.oracle ~name:"nonempty" s_e (fun i -> not (Tgd_instance.Instance.is_empty i)) in
-  let synth = Characterize.synthesize ~candidate_caps o ~n:2 ~m:1 in
+  let synth = Tgd_engine.Budget.value (Characterize.synthesize ~candidate_caps o ~n:2 ~m:1) in
   check_bool "cannot axiomatize non-tgd ontology" true
     (Characterize.verify_axiomatization o synth ~dom_size:2 <> None)
 
@@ -94,7 +94,7 @@ let test_egds_in_sigma_vee () =
   in
   let o = Ontology.oracle ~name:"functional" s_e functional in
   let caps2 = Characterize.{ caps with max_body_atoms = 2; dom_bound = 2 } in
-  let vee = Characterize.sigma_vee ~caps:caps2 o ~n:3 ~m:0 in
+  let vee = Tgd_engine.Budget.value (Characterize.sigma_vee ~caps:caps2 o ~n:3 ~m:0) in
   let deps = Characterize.sigma_exists_eq vee in
   check_bool "some egd found" true (Dependency.egds deps <> [])
 
@@ -104,9 +104,9 @@ let test_pipeline_agrees_with_synthesis () =
   let o = Ontology.axiomatic s_p [ tgd "P(x) -> Q(x)." ] in
   let pipeline =
     Characterize.sigma_exists
-      (Characterize.sigma_exists_eq (Characterize.sigma_vee ~caps o ~n:1 ~m:0))
+      (Characterize.sigma_exists_eq (Tgd_engine.Budget.value (Characterize.sigma_vee ~caps o ~n:1 ~m:0)))
   in
-  let direct = Characterize.synthesize ~candidate_caps o ~n:1 ~m:0 in
+  let direct = Tgd_engine.Budget.value (Characterize.synthesize ~candidate_caps o ~n:1 ~m:0) in
   check_bool "pipeline verified" true
     (Characterize.verify_axiomatization o pipeline ~dom_size:2 = None);
   check_bool "mutually equivalent" true

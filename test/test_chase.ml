@@ -2,8 +2,12 @@ open Tgd_syntax
 open Tgd_instance
 open Tgd_chase
 open Helpers
+module Budget = Tgd_engine.Budget
 
 let s = schema [ ("E", 2); ("P", 1); ("T", 1) ]
+
+let truncated r =
+  match r.Chase.outcome with Chase.Truncated _ -> true | Chase.Terminated -> false
 
 let test_full_tgd_chase () =
   let sigma = [ tgd "E(x,y), E(y,z) -> E(x,z)." ] in
@@ -45,7 +49,7 @@ let test_oblivious_fires_anyway () =
 let test_nonterminating_hits_budget () =
   let sigma = [ tgd "E(x,y) -> exists z. E(y,z)." ] in
   let i = inst ~schema:s "E(a,b)." in
-  let budget = Chase.{ max_rounds = 10; max_facts = 1000 } in
+  let budget = Budget.limits ~rounds:10 ~facts:1000 in
   let r = Chase.restricted ~budget sigma i in
   check_bool "not terminated" false (Chase.is_model r);
   check_bool "grew" true (Instance.fact_count r.Chase.instance > 5)
@@ -53,15 +57,16 @@ let test_nonterminating_hits_budget () =
 let test_budget_max_facts () =
   let sigma = [ tgd "P(x) -> exists z,w. E(x,z), E(x,w)." ] in
   let i = inst ~schema:s "P(a). P(b). P(c)." in
-  let budget = Chase.{ max_rounds = 100; max_facts = 4 } in
+  let budget = Budget.limits ~rounds:100 ~facts:4 in
   let r = Chase.restricted ~budget sigma i in
-  check_bool "budget exhausted" true (r.Chase.outcome = Chase.Budget_exhausted)
+  check_bool "budget exhausted" true
+    (r.Chase.outcome = Chase.Truncated Budget.Facts)
 
 let test_sound_prefix () =
   (* every chase prefix maps into every model extending the input *)
   let sigma = [ tgd "E(x,y) -> exists z. E(y,z)." ] in
   let i = inst ~schema:s "E(a,b)." in
-  let budget = Chase.{ max_rounds = 5; max_facts = 1000 } in
+  let budget = Budget.limits ~rounds:5 ~facts:1000 in
   let r = Chase.restricted ~budget sigma i in
   let model = inst ~schema:s "E(a,b). E(b,b)." in
   check_bool "model sanity" true (Satisfaction.tgds model sigma);
@@ -97,8 +102,8 @@ let test_recursive_existential_diverges () =
   in
   check_bool "not weakly acyclic" false (Weak_acyclicity.is_weakly_acyclic sigma);
   let i = inst ~schema:s "P(a)." in
-  let r = Chase.restricted ~budget:Chase.{ max_rounds = 6; max_facts = 500 } sigma i in
-  check_bool "budget exhausted" true (r.Chase.outcome = Chase.Budget_exhausted)
+  let r = Chase.restricted ~budget:(Budget.limits ~rounds:6 ~facts:500) sigma i in
+  check_bool "budget exhausted" true (truncated r)
 
 let test_dl_lite_family_chase () =
   let sigma = Tgd_workload.Families.dl_lite_roles 3 in

@@ -46,7 +46,7 @@ let test_lower_bound_precision () =
   let dbe = inst ~schema:se "E(a,b)." in
   let q = Cq.make [ v "x" ] [ Atom.of_vars (Relation.make "E" 2) [ v "x"; v "y" ] ] in
   let answers, precision =
-    Cq.certain_answers ~budget:Chase.{ max_rounds = 4; max_facts = 50 } looping dbe q
+    Cq.certain_answers ~budget:(Tgd_engine.Budget.limits ~rounds:4 ~facts:50) looping dbe q
   in
   check_bool "lower bound flagged" true (precision = `Lower_bound);
   check_bool "a is certain" true (List.mem [ c "a" ] answers)

@@ -2,6 +2,7 @@ open Tgd_syntax
 open Tgd_instance
 open Tgd_chase
 open Helpers
+module Budget = Tgd_engine.Budget
 
 let s = schema [ ("E", 2); ("T", 2); ("P", 1) ]
 
@@ -12,8 +13,10 @@ let chain n =
     (String.concat " "
        (List.init n (fun i -> Printf.sprintf "E(c%d,c%d)." i (i + 1))))
 
+let saturate ?budget sigma i = Budget.value (Datalog.saturate ?budget sigma i)
+
 let test_transitive_closure () =
-  let result = Datalog.saturate tc (chain 4) in
+  let result = saturate tc (chain 4) in
   (* 4 edges → T has 4+3+2+1 = 10 pairs *)
   check_int "closure size" 10
     (Fact.Set.cardinal (Instance.facts_of result (Relation.make "T" 2)));
@@ -28,7 +31,7 @@ let test_agrees_with_chase () =
           Tgd_workload.Gen.random_full_tgd st s ~n:3 ~body_atoms:2 ~head_atoms:2)
     in
     let i = Tgd_workload.Gen.random_instance st s ~dom_size:3 ~density:0.3 in
-    let datalog = Datalog.saturate sigma i in
+    let datalog = saturate sigma i in
     let chase = (Chase.restricted sigma i).Chase.instance in
     check_bool "same fixpoint" true (Instance.equal_facts datalog chase)
   done
@@ -40,22 +43,29 @@ let test_rejects_existentials () =
       ignore (Datalog.saturate [ tgd "P(x) -> exists z. E(x,z)." ] (chain 1)))
 
 let test_max_facts_guard () =
-  match Datalog.saturate ~max_facts:3 tc (chain 4) with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected the max_facts guard to trip"
+  (* the fact cap no longer raises: it surfaces as a typed truncation whose
+     partial instance is a sound prefix of the fixpoint *)
+  match Datalog.saturate ~budget:(Budget.limits ~rounds:max_int ~facts:3) tc (chain 4) with
+  | Budget.Truncated { reason = Budget.Facts; partial; _ } ->
+    check_bool "partial is sound" true
+      (Instance.subset partial (saturate tc (chain 4)))
+  | Budget.Truncated { reason; _ } ->
+    Alcotest.failf "wrong truncation reason: %a" Budget.pp_exhaustion reason
+  | Budget.Complete _ -> Alcotest.fail "expected the fact cap to trip"
 
 let test_stats () =
-  let _, stats = Datalog.saturate_with_stats tc (chain 4) in
+  let _, stats = Budget.value (Datalog.saturate_with_stats tc (chain 4)) in
   (* the longest path has length 4: derivations stratify over ~4 rounds *)
   check_bool "rounds bounded by path length + 1" true
     (stats.Datalog.rounds >= 4 && stats.Datalog.rounds <= 6);
   check_int "derived" 10 stats.Datalog.derived
 
 let test_entails () =
+  let proved g = Datalog.entails tc g = Entailment.Proved in
   check_bool "chain entailment" true
-    (Datalog.entails tc (tgd "E(x,y), E(y,z), E(z,w) -> T(x,w)."));
-  check_bool "no reverse" false (Datalog.entails tc (tgd "T(x,y) -> E(x,y)."));
-  check_bool "self" true (Datalog.entails tc (tgd "E(x,y) -> T(x,y)."));
+    (proved (tgd "E(x,y), E(y,z), E(z,w) -> T(x,w)."));
+  check_bool "no reverse" false (proved (tgd "T(x,y) -> E(x,y)."));
+  check_bool "self" true (proved (tgd "E(x,y) -> T(x,y)."));
   (* agreement with the chase-based engine *)
   let goals =
     [ tgd "E(x,y), E(y,z) -> T(x,z)."; tgd "T(x,y) -> T(y,x).";
@@ -66,23 +76,23 @@ let test_entails () =
       let expected =
         Entailment.entails tc g = Entailment.Proved
       in
-      check_bool (Tgd.to_string g) expected (Datalog.entails tc g))
+      check_bool (Tgd.to_string g) expected (proved g))
     goals
 
 let test_multi_atom_heads () =
   let sigma = [ tgd "P(x) -> E(x,x), T(x,x)." ] in
-  let result = Datalog.saturate sigma (inst ~schema:s "P(a).") in
+  let result = saturate sigma (inst ~schema:s "P(a).") in
   check_int "both facts" 3 (Instance.fact_count result)
 
 let test_empty_instance () =
-  let result = Datalog.saturate tc (Instance.empty s) in
+  let result = saturate tc (Instance.empty s) in
   check_bool "stays empty" true (Instance.is_empty result)
 
 let suite =
   [ case "transitive closure" test_transitive_closure;
     case "agrees with the chase (random)" test_agrees_with_chase;
     case "rejects existentials" test_rejects_existentials;
-    case "max_facts guard" test_max_facts_guard;
+    case "max_facts guard (typed truncation)" test_max_facts_guard;
     case "stats" test_stats;
     case "entailment" test_entails;
     case "multi-atom heads" test_multi_atom_heads;

@@ -155,7 +155,7 @@ let test_differential_budget () =
   (* diverging chase: both paths must report exhaustion *)
   let sigma = [ tgd "E(x,y) -> exists z. E(y,z)." ] in
   let db = inst ~schema:s "E(a,b)." in
-  let budget = Chase.{ max_rounds = 5; max_facts = 20_000 } in
+  let budget = Tgd_engine.Budget.limits ~rounds:5 ~facts:20_000 in
   let e = Chase.restricted ~budget sigma db in
   let n = Chase.restricted ~naive:true ~budget sigma db in
   check_bool "engine exhausted" false (Chase.is_model e);

@@ -27,7 +27,7 @@ let test_existential_entailment () =
      not yet visible and the chase is not finished, so the answer is open *)
   check_answer "unfold twice" Entailment.Unknown
     (Entailment.entails
-       ~budget:Chase.{ max_rounds = 1; max_facts = 100 }
+       ~budget:(Tgd_engine.Budget.limits ~rounds:1 ~facts:100)
        sigma
        (tgd "P(x) -> exists z,w. E(x,z), E(z,w)."))
 
@@ -35,7 +35,7 @@ let test_existential_entailment_proved () =
   let sigma = [ tgd "P(x) -> exists z. E(x,z), P(z)." ] in
   check_answer "unfold twice (enough budget)" Entailment.Proved
     (Entailment.entails
-       ~budget:Chase.{ max_rounds = 3; max_facts = 100 }
+       ~budget:(Tgd_engine.Budget.limits ~rounds:3 ~facts:100)
        sigma
        (tgd "P(x) -> exists z,w. E(x,z), E(z,w)."))
 
@@ -70,7 +70,7 @@ let test_unknown_on_nonterminating () =
      prove it — three-valued honesty *)
   check_answer "unknown" Entailment.Unknown
     (Entailment.entails
-       ~budget:Chase.{ max_rounds = 8; max_facts = 200 }
+       ~budget:(Tgd_engine.Budget.limits ~rounds:8 ~facts:200)
        sigma
        (tgd "E(x,y) -> F(x,y)."))
 

@@ -31,7 +31,7 @@ let test_separation_not_plain_embeddable () =
     (embeddable (Locality.locally_embeddable Locality.Plain ~n:2 ~m:0 o_g i_sep))
 
 let test_separation_verdict () =
-  match Locality.check_local_on Locality.Linear ~n:1 ~m:0 o_g [ i_sep ] with
+  match Tgd_engine.Budget.value (Locality.check_local_on Locality.Linear ~n:1 ~m:0 o_g [ i_sep ]) with
   | Locality.Not_local witness ->
     check_bool "witness is I" true (Instance.equal_facts witness i_sep)
   | Locality.Local_on_tests -> Alcotest.fail "Σ_G must not be linear (1,0)-local"
@@ -45,7 +45,7 @@ let test_separation_guarded () =
   check_bool "guardedly embeddable" true
     (embeddable (Locality.locally_embeddable Locality.Guarded ~n:2 ~m:0 o_f i_sep_f));
   check_bool "I not member" false (Ontology.mem o_f i_sep_f);
-  match Locality.check_local_on Locality.Guarded ~n:2 ~m:0 o_f [ i_sep_f ] with
+  match Tgd_engine.Budget.value (Locality.check_local_on Locality.Guarded ~n:2 ~m:0 o_f [ i_sep_f ]) with
   | Locality.Not_local _ -> ()
   | Locality.Local_on_tests -> Alcotest.fail "Σ_F must not be guarded (2,0)-local"
 
@@ -66,7 +66,7 @@ let test_lemma_3_6_bounded () =
   in
   List.iter
     (fun (o, n, m) ->
-      match Locality.check_local_up_to Locality.Plain ~n ~m o 2 with
+      match Tgd_engine.Budget.value (Locality.check_local_up_to Locality.Plain ~n ~m o 2) with
       | Locality.Local_on_tests -> ()
       | Locality.Not_local i ->
         Alcotest.failf "Lemma 3.6 violated on %a" Instance.pp i)
@@ -94,7 +94,8 @@ let test_lemma_8_3_bounded () =
   (* Σ_F is frontier-guarded, so no instance may be fr-guardedly embeddable
      without being a member (checked exhaustively on dom ≤ 2) *)
   match
-    Locality.check_local_up_to Locality.Frontier_guarded ~n:2 ~m:0 o_f 2
+    Tgd_engine.Budget.value
+      (Locality.check_local_up_to Locality.Frontier_guarded ~n:2 ~m:0 o_f 2)
   with
   | Locality.Local_on_tests -> ()
   | Locality.Not_local i ->

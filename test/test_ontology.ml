@@ -50,7 +50,7 @@ let test_chase_witness () =
   in
   check_bool "budget-limited witness" true
     (Ontology.chase_witness
-       ~budget:Tgd_chase.Chase.{ max_rounds = 3; max_facts = 10 }
+       ~budget:(Tgd_engine.Budget.limits ~rounds:3 ~facts:10)
        o_inf k
     = None)
 

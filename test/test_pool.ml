@@ -139,11 +139,13 @@ let prop_jobs_independent name rewrite cls =
       List.for_all (fun jobs -> run jobs = base) [ 2; 4 ])
 
 let prop_g_to_l =
-  prop_jobs_independent "G-to-L independent of jobs ∈ {1,2,4}" Rewrite.g_to_l
+  prop_jobs_independent "G-to-L independent of jobs ∈ {1,2,4}"
+    (fun ?config sigma -> Budget.value (Rewrite.g_to_l ?config sigma))
     Tgd_class.Guarded
 
 let prop_fg_to_g =
-  prop_jobs_independent "FG-to-G independent of jobs ∈ {1,2,4}" Rewrite.fg_to_g
+  prop_jobs_independent "FG-to-G independent of jobs ∈ {1,2,4}"
+    (fun ?config sigma -> Budget.value (Rewrite.fg_to_g ?config sigma))
     Tgd_class.Frontier_guarded
 
 let suite =

@@ -3,7 +3,7 @@ open Tgd_core
 open Helpers
 
 let looping = [ tgd "E(x,y) -> exists z. E(y,z)." ]
-let tiny = Tgd_chase.Chase.{ max_rounds = 4; max_facts = 50 }
+let tiny = Tgd_engine.Budget.limits ~rounds:4 ~facts:50
 
 let test_upgrades_unknown () =
   let goal = tgd "E(x,y) -> F(x,y)." in

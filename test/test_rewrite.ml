@@ -11,6 +11,15 @@ let exhaustive_config =
           { max_body_atoms = 10; max_head_atoms = 10; keep_tautologies = false }
     }
 
+(* these tests run unbudgeted, so unwrap the Budget.outcome eagerly *)
+module R = Rewrite
+let g_to_l ?config sigma = Tgd_engine.Budget.value (R.g_to_l ?config sigma)
+let fg_to_g ?config sigma = Tgd_engine.Budget.value (R.fg_to_g ?config sigma)
+
+let to_frontier_guarded ?config sigma =
+  Tgd_engine.Budget.value (R.to_frontier_guarded ?config sigma)
+
+let to_full ?config sigma = Tgd_engine.Budget.value (R.to_full ?config sigma)
 let is_rewritable = function Rewrite.Rewritable _ -> true | _ -> false
 
 let definitive_no = function
@@ -28,12 +37,12 @@ let test_class_bounds () =
 let test_g_to_l_separation () =
   (* Section 9.1: Σ_G = {R(x), P(x) → T(x)} has no linear rewriting *)
   let sigma_g, _ = Tgd_workload.Families.separation_linear_vs_guarded in
-  let report = Rewrite.g_to_l ~config:exhaustive_config sigma_g in
+  let report = g_to_l ~config:exhaustive_config sigma_g in
   check_bool "not rewritable" true (definitive_no report.Rewrite.outcome)
 
 let test_g_to_l_positive () =
   let sigma = Tgd_workload.Families.guarded_rewritable 1 in
-  let report = Rewrite.g_to_l ~config:exhaustive_config sigma in
+  let report = g_to_l ~config:exhaustive_config sigma in
   match report.Rewrite.outcome with
   | Rewrite.Rewritable sigma' ->
     check_bool "all linear" true (Tgd_class.all_in_class Tgd_class.Linear sigma');
@@ -54,7 +63,7 @@ let test_g_to_l_positive () =
 let test_g_to_l_already_linear () =
   (* a linear input rewrites to (something equivalent to) itself *)
   let sigma = [ tgd "E(x,y) -> exists z. E(y,z)." ] in
-  let report = Rewrite.g_to_l ~config:exhaustive_config sigma in
+  let report = g_to_l ~config:exhaustive_config sigma in
   match report.Rewrite.outcome with
   | Rewrite.Rewritable sigma' ->
     check_answer "equivalent" Tgd_chase.Entailment.Proved
@@ -65,11 +74,11 @@ let test_g_to_l_input_validation () =
   Alcotest.check_raises "guarded input required"
     (Invalid_argument "Rewrite.g_to_l: input must be a set of guarded tgds")
     (fun () ->
-      ignore (Rewrite.g_to_l [ tgd "E(x,y), E(y,z) -> E(x,z)." ]))
+      ignore (g_to_l [ tgd "E(x,y), E(y,z) -> E(x,z)." ]))
 
 let test_fg_to_g_separation () =
   let sigma_f, _ = Tgd_workload.Families.separation_guarded_vs_fg in
-  let report = Rewrite.fg_to_g ~config:exhaustive_config sigma_f in
+  let report = fg_to_g ~config:exhaustive_config sigma_f in
   check_bool "not rewritable" true (definitive_no report.Rewrite.outcome)
 
 let test_fg_to_g_positive () =
@@ -84,7 +93,7 @@ let test_fg_to_g_positive () =
       }
   in
   let sigma = Tgd_workload.Families.fg_rewritable 1 in
-  let report = Rewrite.fg_to_g ~config sigma in
+  let report = fg_to_g ~config sigma in
   match report.Rewrite.outcome with
   | Rewrite.Rewritable sigma' ->
     check_bool "all guarded" true (Tgd_class.all_in_class Tgd_class.Guarded sigma');
@@ -96,13 +105,13 @@ let test_fg_to_g_validation () =
   Alcotest.check_raises "fg input required"
     (Invalid_argument "Rewrite.fg_to_g: input must be frontier-guarded tgds")
     (fun () ->
-      ignore (Rewrite.fg_to_g [ tgd "E(x,y), E(y,z) -> E(x,z)." ]))
+      ignore (fg_to_g [ tgd "E(x,y), E(y,z) -> E(x,z)." ]))
 
 let test_minimization () =
   let sigma = Tgd_workload.Families.guarded_rewritable 1 in
-  let mini = Rewrite.g_to_l ~config:exhaustive_config sigma in
+  let mini = g_to_l ~config:exhaustive_config sigma in
   let maxi =
-    Rewrite.g_to_l ~config:Rewrite.{ exhaustive_config with minimize = false } sigma
+    g_to_l ~config:Rewrite.{ exhaustive_config with minimize = false } sigma
   in
   match mini.Rewrite.outcome, maxi.Rewrite.outcome with
   | Rewrite.Rewritable small, Rewrite.Rewritable large ->
@@ -113,7 +122,7 @@ let test_minimization () =
 
 let test_report_counters () =
   let sigma = Tgd_workload.Families.guarded_rewritable 1 in
-  let report = Rewrite.g_to_l ~config:exhaustive_config sigma in
+  let report = g_to_l ~config:exhaustive_config sigma in
   check_bool "enumerated some" true (report.Rewrite.candidates_enumerated > 0);
   check_bool "entailed ≤ enumerated" true
     (report.Rewrite.candidates_entailed <= report.Rewrite.candidates_enumerated);
@@ -140,7 +149,7 @@ let test_to_frontier_guarded () =
   (* an already frontier-guarded (but non-guarded) input is re-found in the
      candidate space *)
   let fg_input = [ tgd "E(x,y), F(y,z) -> G(x,y)." ] in
-  let report = Rewrite.to_frontier_guarded ~config:small_caps_config fg_input in
+  let report = to_frontier_guarded ~config:small_caps_config fg_input in
   (match report.Rewrite.outcome with
   | Rewrite.Rewritable sigma' ->
     check_bool "all fg" true
@@ -150,7 +159,7 @@ let test_to_frontier_guarded () =
   | other -> Alcotest.failf "expected rewritable, got %a" Rewrite.pp_outcome other);
   (* transitive closure has no fg rewriting among the capped candidates *)
   let report =
-    Rewrite.to_frontier_guarded ~config:small_caps_config
+    to_frontier_guarded ~config:small_caps_config
       Tgd_workload.Families.transitive_closure
   in
   (match report.Rewrite.outcome with
@@ -161,7 +170,7 @@ let test_to_frontier_guarded () =
 let test_to_full () =
   (* an existential tgd whose witness is forced by a companion full tgd *)
   let sigma = tgds "P(x) -> exists z. E(x,z).\nP(x) -> E(x,x)." in
-  let report = Rewrite.to_full ~config:exhaustive_config sigma in
+  let report = to_full ~config:exhaustive_config sigma in
   (match report.Rewrite.outcome with
   | Rewrite.Rewritable sigma' ->
     check_bool "all full" true (Tgd_class.all_in_class Tgd_class.Full sigma');
@@ -170,7 +179,7 @@ let test_to_full () =
   | other -> Alcotest.failf "expected rewritable, got %a" Rewrite.pp_outcome other);
   (* a genuinely existential ontology is not full-expressible *)
   let succ = [ tgd "P(x) -> exists z. E(x,z)." ] in
-  let report = Rewrite.to_full ~config:exhaustive_config succ in
+  let report = to_full ~config:exhaustive_config succ in
   match report.Rewrite.outcome with
   | Rewrite.Not_rewritable { complete; _ } -> check_bool "definitive" true complete
   | other -> Alcotest.failf "expected not rewritable, got %a" Rewrite.pp_outcome other

@@ -84,15 +84,16 @@ let test_wide_family () =
     (Tgd_syntax.Schema.max_arity (Tgd_core.Rewrite.schema_of sigma));
   (* still linear-rewritable *)
   match
-    (Tgd_core.Rewrite.g_to_l
-       ~config:
-         Tgd_core.Rewrite.
-           { default_config with
-             caps =
-               Tgd_core.Candidates.
-                 { max_body_atoms = 2; max_head_atoms = 1; keep_tautologies = false }
-           }
-       sigma)
+    (Tgd_engine.Budget.value
+       (Tgd_core.Rewrite.g_to_l
+          ~config:
+            Tgd_core.Rewrite.
+              { default_config with
+                caps =
+                  Tgd_core.Candidates.
+                    { max_body_atoms = 2; max_head_atoms = 1; keep_tautologies = false }
+              }
+          sigma))
       .Tgd_core.Rewrite.outcome
   with
   | Tgd_core.Rewrite.Rewritable _ -> ()
