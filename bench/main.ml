@@ -862,6 +862,177 @@ let e13 ~reps () =
   close_out oc;
   row "@.BENCH_robust.json written@."
 
+(* ------------------------------------------------------------------ *)
+(* E14 — static analysis: candidate prefiltering, promotion, overhead    *)
+(*       (BENCH_analysis.json)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e14 ~reps () =
+  section "E14  static analysis: candidate-space reduction on rewriting";
+  row "(times: median of %d cold repetitions)@." reps;
+  row "%-28s %-8s %10s %10s %10s %10s %10s@." "workload" "analyze" "enum"
+    "screened" "skipped" "entailed" "time(s)";
+  let entries = Buffer.create 1024 in
+  let first = ref true in
+  let emit_entry str =
+    if not !first then Buffer.add_string entries ",\n";
+    first := false;
+    Buffer.add_string entries str
+  in
+  let rewrite_case name algo sigma config =
+    let run_side analyze =
+      let runs =
+        List.init reps (fun _ ->
+            Tgd_chase.Entailment.clear_memos ();
+            Tgd_chase.Chase.clear_memo ();
+            time_it (fun () ->
+                Budget.value
+                  (algo ?config:(Some Rewrite.{ config with analyze }) sigma)))
+      in
+      (fst (List.hd runs), median (List.map snd runs))
+    in
+    let off, t_off = run_side false in
+    let on, t_on = run_side true in
+    let line (r : Rewrite.report) analyze t =
+      row "%-28s %-8b %10d %10d %10d %10d %10.4f@." name analyze
+        r.Rewrite.candidates_enumerated
+        (r.Rewrite.candidates_enumerated - r.Rewrite.candidates_skipped)
+        r.Rewrite.candidates_skipped r.Rewrite.candidates_entailed t
+    in
+    line off false t_off;
+    line on true t_on;
+    (* the prefilter must never change the verdict, only the work *)
+    assert (
+      match (off.Rewrite.outcome, on.Rewrite.outcome) with
+      | Rewrite.Rewritable a, Rewrite.Rewritable b ->
+        List.length a = List.length b
+      | Rewrite.Not_rewritable _, Rewrite.Not_rewritable _ -> true
+      | _ -> false);
+    emit_entry
+      (Printf.sprintf
+         "    {\"kind\": \"rewrite\", \"name\": \"%s\", \
+          \"enumerated\": %d, \"skipped_off\": %d, \"skipped_on\": %d, \
+          \"chased_off\": %d, \"chased_on\": %d, \
+          \"time_off_s\": %.6f, \"time_on_s\": %.6f}"
+         name off.Rewrite.candidates_enumerated
+         off.Rewrite.candidates_skipped on.Rewrite.candidates_skipped
+         (off.Rewrite.candidates_enumerated - off.Rewrite.candidates_skipped)
+         (on.Rewrite.candidates_enumerated - on.Rewrite.candidates_skipped)
+         t_off t_on)
+  in
+  rewrite_case "g2l unrewritable(1) [9.1]" g_to_l
+    (Families.guarded_unrewritable 1) (rewrite_config 8 8);
+  rewrite_case "g2l rewritable(2)" g_to_l (Families.guarded_rewritable 2)
+    (rewrite_config 2 1);
+  rewrite_case "fg2g unrewritable(1) [9.1]" fg_to_g
+    (Families.fg_unrewritable 1) (rewrite_config 8 8);
+  rewrite_case "fg2g rewritable(1)" fg_to_g (Families.fg_rewritable 1)
+    (rewrite_config 2 1);
+
+  section "E14  certificate promotion: chase rounds recovered";
+  row "%-28s %-10s %-24s %8s@." "workload" "analyze" "outcome" "rounds";
+  let promo_entries = Buffer.create 1024 in
+  let first_p = ref true in
+  let promo_case name sigma db cap =
+    let budget = Budget.limits ~rounds:cap ~facts:1_000_000 in
+    let run analyze =
+      Tgd_chase.Chase.clear_memo ();
+      Tgd_chase.Chase.restricted ~budget ~analyze sigma db
+    in
+    let off = run false in
+    let on = run true in
+    let show (r : Tgd_chase.Chase.result) analyze =
+      row "%-28s %-10b %-24s %8d@." name analyze
+        (match r.Tgd_chase.Chase.outcome with
+        | Tgd_chase.Chase.Terminated -> "model"
+        | Tgd_chase.Chase.Truncated e ->
+          Fmt.str "truncated (%a)" Budget.pp_exhaustion e)
+        r.Tgd_chase.Chase.rounds
+    in
+    show off false;
+    show on true;
+    if not !first_p then Buffer.add_string promo_entries ",\n";
+    first_p := false;
+    Buffer.add_string promo_entries
+      (Printf.sprintf
+         "    {\"name\": \"%s\", \"round_cap\": %d, \
+          \"model_off\": %b, \"model_on\": %b, \
+          \"rounds_off\": %d, \"rounds_on\": %d}"
+         name cap
+         (Tgd_chase.Chase.is_model off)
+         (Tgd_chase.Chase.is_model on)
+         off.Tgd_chase.Chase.rounds on.Tgd_chase.Chase.rounds)
+  in
+  promo_case "exist_chain(10), cap 2" (Families.existential_chain 10)
+    (chain_db 10 4) 2;
+  promo_case "dl_lite(6), cap 2" (Families.dl_lite_roles 6)
+    (let sigma = Families.dl_lite_roles 6 in
+     let schema = Rewrite.schema_of sigma in
+     Tgd_instance.Instance.of_facts schema
+       [ Fact.make (Option.get (Schema.find schema "A0"))
+           [ Constant.named "a" ] ])
+    2;
+
+  section "E14  analysis overhead: ~analyze:true vs false, same workload";
+  row "%-28s %12s %12s %9s@." "workload" "off(s)" "on(s)" "overhead";
+  let ov_entries = Buffer.create 1024 in
+  let first_o = ref true in
+  (* the front-end cost an engine run actually pays: a memoized certificate
+     check (and, for rewriting, the relation-level prefilter).  Workloads
+     where no promotion fires, so both sides do the same chase work. *)
+  let overhead_case name work =
+    let side analyze =
+      List.init reps (fun _ ->
+          Tgd_chase.Entailment.clear_memos ();
+          Tgd_chase.Chase.clear_memo ();
+          snd (time_it (fun () -> work ~analyze)))
+      |> median
+    in
+    let t_off = side false in
+    let t_on = side true in
+    let pct = if t_off > 0. then 100. *. (t_on -. t_off) /. t_off else 0. in
+    row "%-28s %12.4f %12.4f %8.2f%%@." name t_off t_on pct;
+    if not !first_o then Buffer.add_string ov_entries ",\n";
+    first_o := false;
+    Buffer.add_string ov_entries
+      (Printf.sprintf
+         "    {\"name\": \"%s\", \"off_s\": %.6f, \
+          \"on_s\": %.6f, \"overhead_pct\": %.3f}"
+         name t_off t_on pct)
+  in
+  overhead_case "chase tc/clique(7)" (fun ~analyze ->
+      ignore
+        (Tgd_chase.Chase.restricted ~analyze Families.transitive_closure
+           (Families.clique 7)));
+  overhead_case "chase exist_chain(10)" (fun ~analyze ->
+      ignore
+        (Tgd_chase.Chase.restricted ~analyze
+           (Families.existential_chain 10) (chain_db 10 4)));
+  overhead_case "g2l rewritable(2)" (fun ~analyze ->
+      ignore
+        (Budget.value
+           (g_to_l
+              ?config:(Some Rewrite.{ (rewrite_config 2 1) with analyze })
+              (Families.guarded_rewritable 2))));
+  overhead_case "fg2g unrewritable(1) [9.1]" (fun ~analyze ->
+      ignore
+        (Budget.value
+           (fg_to_g
+              ?config:(Some Rewrite.{ (rewrite_config 8 8) with analyze })
+              (Families.fg_unrewritable 1))));
+
+  let oc = open_out "BENCH_analysis.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"static_analysis\",\n  \"repetitions\": %d,\n\
+    \  \"overhead_target_pct\": 5.0,\n  \"rewrite\": [\n%s\n  ],\n\
+    \  \"promotion\": [\n%s\n  ],\n  \"overhead\": [\n%s\n  ]\n}\n"
+    reps
+    (Buffer.contents entries)
+    (Buffer.contents promo_entries)
+    (Buffer.contents ov_entries);
+  close_out oc;
+  row "@.BENCH_analysis.json written@."
+
 let () =
   let has s = Array.exists (String.equal s) Sys.argv in
   let quick = has "quick" in
@@ -869,11 +1040,13 @@ let () =
   let jobs_list = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
   Fmt.pr "Reproduction harness — Console, Kolaitis, Pieris: Model-theoretic@.";
   Fmt.pr "Characterizations of Rule-based Ontologies (PODS 2021)@.";
-  if has "engine" || has "parallel" || has "robust" then begin
+  if has "engine" || has "parallel" || has "robust" || has "analysis"
+  then begin
     (* just the requested JSON-emitting comparisons *)
     if has "engine" then e11 ~reps ();
     if has "parallel" then e12 ~reps ~jobs_list ();
     if has "robust" then e13 ~reps ();
+    if has "analysis" then e14 ~reps ();
     Fmt.pr "@.Done.@."
   end
   else begin

@@ -14,7 +14,9 @@
      datalog     semi-naive saturation for full tgds
      core        core (minimal retract) of an instance file
      acyclic     GYO α-acyclicity of each rule body
-     refute      entailment with finite-countermodel search *)
+     refute      entailment with finite-countermodel search
+     analyze     static analysis: termination certificates, dependency
+                 graph, rule lints; exit 0 clean / 1 warnings / 2 errors *)
 
 open Tgd_syntax
 open Tgd_core
@@ -97,6 +99,12 @@ let naive_arg =
         ~doc:"Use the snapshot-rescan reference chase instead of the \
               semi-naive engine.")
 
+let no_analyze_arg =
+  Arg.(
+    value & flag
+    & info [ "no-analyze" ]
+        ~doc:"Disable the static-analysis front-end: no               termination-certificate promotion of round-truncated chases               and no candidate prefiltering.")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -117,8 +125,9 @@ let classify_cmd =
           (Tgd_class.classify t) (Tgd.n_universal t) (Tgd.m_existential t))
       tgds;
     let n, m = Rewrite.class_bounds tgds in
-    Fmt.pr "@.Σ ∈ TGD_{%d,%d}; weakly acyclic: %b@." n m
-      (Tgd_chase.Weak_acyclicity.is_weakly_acyclic tgds)
+    Fmt.pr "@.Σ ∈ TGD_{%d,%d}; termination certificate: %a@." n m
+      Fmt.(option ~none:(any "none") Tgd_analysis.Termination.pp_cert)
+      (Tgd_analysis.Termination.certificate tgds)
   in
   Cmd.v (Cmd.info "classify" ~doc:"Classify tgds into full/linear/guarded/frontier-guarded.")
     Term.(const run $ ontology_arg)
@@ -142,7 +151,7 @@ let chase_cmd =
           ~doc:"Print the derivation tree of a fact, e.g. \"T(a,c)\".")
   in
   let run path db_path rounds max_facts timeout fuel oblivious explain stats
-      naive jobs =
+      naive jobs no_analyze =
     let sigma = parse_tgds_file path in
     let schema = Rewrite.schema_of sigma in
     let p = parse_program_file path in
@@ -161,7 +170,7 @@ let chase_cmd =
         if oblivious then Tgd_chase.Chase.oblivious ?on_fire:None
         else Tgd_chase.Chase.restricted ?on_fire:None
       in
-      let r = chase ~naive ~budget ~jobs sigma db in
+      let r = chase ~naive ~budget ~jobs ~analyze:(not no_analyze) sigma db in
       Fmt.pr "%a@.%a@." Tgd_chase.Chase.pp_result r Tgd_instance.Instance.pp
         r.Tgd_chase.Chase.instance;
       if stats then
@@ -196,7 +205,7 @@ let chase_cmd =
     Term.(
       const run $ ontology_arg $ db_arg $ budget_arg $ max_facts_arg
       $ timeout_arg $ fuel_arg $ oblivious_arg $ explain_arg $ stats_arg
-      $ naive_arg $ jobs_arg)
+      $ naive_arg $ jobs_arg $ no_analyze_arg)
 
 (* ---- entails ---- *)
 
@@ -249,7 +258,7 @@ let rewrite_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the rewriting to a file.")
   in
   let run direction path body head rounds max_facts timeout fuel out stats
-      naive jobs =
+      naive jobs no_analyze =
     let sigma = parse_tgds_file path in
     let config =
       Rewrite.
@@ -260,7 +269,8 @@ let rewrite_cmd =
           minimize = true;
           naive;
           memo = not naive;
-          jobs
+          jobs;
+          analyze = not no_analyze
         }
     in
     let outcome =
@@ -269,9 +279,10 @@ let rewrite_cmd =
       | `Fg2g -> Rewrite.fg_to_g ~config sigma
     in
     let report = Tgd_engine.Budget.value outcome in
-    Fmt.pr "n = %d, m = %d; %d candidates enumerated, %d entailed@."
+    Fmt.pr "n = %d, m = %d; %d candidates enumerated, %d entailed, %d \
+            prefiltered@."
       report.Rewrite.n report.Rewrite.m report.Rewrite.candidates_enumerated
-      report.Rewrite.candidates_entailed;
+      report.Rewrite.candidates_entailed report.Rewrite.candidates_skipped;
     Fmt.pr "%a@." Rewrite.pp_outcome report.Rewrite.outcome;
     if stats then Fmt.pr "%a@." Tgd_engine.Stats.pp report.Rewrite.stats;
     match outcome with
@@ -302,7 +313,7 @@ let rewrite_cmd =
     Term.(
       const run $ direction_arg $ file_arg $ body_cap $ head_cap $ budget_arg
       $ max_facts_arg $ timeout_arg $ fuel_arg $ out_arg $ stats_arg
-      $ naive_arg $ jobs_arg)
+      $ naive_arg $ jobs_arg $ no_analyze_arg)
 
 (* ---- properties ---- *)
 
@@ -570,12 +581,57 @@ let refute_cmd =
       const run $ ontology_arg $ goal_arg $ budget_arg $ max_facts_arg
       $ timeout_arg $ fuel_arg $ extra_arg)
 
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as a single JSON object.")
+  in
+  let deep_arg =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:"Also run the chase-backed subsumption lint (is each rule \
+                entailed by the others?).  Costs one entailment check per \
+                rule.")
+  in
+  let analyze_exits =
+    Cmd.Exit.info 1 ~doc:"warning-severity diagnostics were reported."
+    :: Cmd.Exit.info 2 ~doc:"error-severity diagnostics were reported."
+    :: Cmd.Exit.defaults
+  in
+  let run path json deep =
+    let prog = parse_program_file path in
+    let tgds = prog.Tgd_parse.Parse.tgds in
+    let oracle =
+      if deep then
+        Some
+          (fun rest s ->
+            Tgd_chase.Entailment.entails rest s = Tgd_chase.Entailment.Proved)
+      else None
+    in
+    let report = Tgd_analysis.Analyze.run ?oracle tgds in
+    if json then print_endline (Tgd_analysis.Analyze.to_json report)
+    else Fmt.pr "%a@." Tgd_analysis.Analyze.pp report;
+    let code = Tgd_analysis.Analyze.exit_code report in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~exits:analyze_exits
+       ~doc:"Static analysis of a rule set: predicate dependency graph, \
+             chase-termination certificates (weak/joint acyclicity with \
+             cycle witnesses), and rule lints.  Exit code 0 when clean, 1 \
+             with warnings, 2 with errors.")
+    Term.(const run $ ontology_arg $ json_arg $ deep_arg)
+
 let main =
   Cmd.group
     (Cmd.info "tgdtool" ~version:"1.0.0"
        ~doc:"Model-theoretic characterizations of rule-based ontologies (PODS'21) — toolkit.")
     [ classify_cmd; chase_cmd; entails_cmd; rewrite_cmd; properties_cmd;
       synthesize_cmd; count_cmd; diagnose_cmd; theory_cmd; datalog_cmd;
-      core_cmd; acyclic_cmd; refute_cmd ]
+      core_cmd; acyclic_cmd; refute_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,124 @@
+open Tgd_syntax
+
+type report = {
+  n_rules : int;
+  strategy : Strategy.t;
+  wa_witness : Termination.wa_witness option;
+  ja_witness : Termination.ja_witness option;
+  sccs : Relation.t list list;
+  strata_depth : int;
+  dead_rules : int list;
+  diagnostics : Diagnostic.t list;
+}
+
+let reachability_diagnostics sigma dead =
+  let dead_diags =
+    List.map
+      (fun i ->
+        Diagnostic.make ~rule:i Diagnostic.Warning ~code:"dead-rule"
+          (Fmt.str
+             "%a can never fire when databases populate only extensional \
+              relations: a body relation is neither extensional nor derivable"
+             Tgd.pp (List.nth sigma i)))
+      dead
+  in
+  let underived =
+    Relation.Set.elements (Depgraph.underived sigma)
+    |> List.map (fun r ->
+           Diagnostic.make Diagnostic.Info ~code:"underived-predicate"
+             (Fmt.str "%s is never derivable from the extensional relations"
+                (Relation.name r)))
+  in
+  let unconsumed =
+    Relation.Set.elements (Depgraph.unconsumed sigma)
+    |> List.map (fun r ->
+           Diagnostic.make Diagnostic.Info ~code:"unconsumed-predicate"
+             (Fmt.str "%s is derived but never used in any rule body"
+                (Relation.name r)))
+  in
+
+  dead_diags @ underived @ unconsumed
+
+let termination_diagnostics strategy wa_witness =
+  match strategy.Strategy.cert with
+  | Some _ -> []
+  | None ->
+    let detail =
+      match wa_witness with
+      | Some w -> Fmt.str " (%a)" Termination.pp_wa_witness w
+      | None -> ""
+    in
+    [ Diagnostic.make Diagnostic.Warning ~code:"no-termination-certificate"
+        ("chase termination could not be certified; budgeted results stay \
+          truncated" ^ detail)
+    ]
+
+let run ?oracle sigma =
+  let g = Depgraph.make sigma in
+  let strategy = Strategy.decide sigma in
+  let wa_witness = Termination.weak_acyclicity_witness sigma in
+  let ja_witness = Termination.jointly_acyclic_witness sigma in
+  let sccs = Depgraph.sccs g in
+  let strata = Depgraph.strata g in
+  let strata_depth =
+    Relation.Map.fold (fun _ l acc -> max acc (l + 1)) strata 0
+  in
+  let dead = Depgraph.dead_rules sigma in
+  let diagnostics =
+    Diagnostic.sort
+      (Lint.all ?oracle sigma
+      @ reachability_diagnostics sigma dead
+      @ termination_diagnostics strategy wa_witness)
+  in
+  { n_rules = List.length sigma;
+    strategy;
+    wa_witness;
+    ja_witness;
+    sccs;
+    strata_depth;
+    dead_rules = dead;
+    diagnostics
+  }
+
+let exit_code r = Diagnostic.exit_code r.diagnostics
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>rules: %d@,%a@,sccs: %d (strata depth %d)@," r.n_rules
+    Strategy.pp r.strategy (List.length r.sccs) r.strata_depth;
+  (match r.strategy.Strategy.cert, r.wa_witness with
+  | None, Some w -> Fmt.pf ppf "not weakly acyclic: %a@," Termination.pp_wa_witness w
+  | _ -> ());
+  (match r.strategy.Strategy.cert, r.ja_witness with
+  | None, Some w -> Fmt.pf ppf "not jointly acyclic: %a@," Termination.pp_ja_witness w
+  | _ -> ());
+  if r.diagnostics = [] then Fmt.pf ppf "no diagnostics@]"
+  else
+    Fmt.pf ppf "%a@]"
+      Fmt.(list ~sep:cut Diagnostic.pp)
+      r.diagnostics
+
+let to_json r =
+  let buf = Buffer.create 512 in
+  let classes =
+    r.strategy.Strategy.common_classes
+    |> List.map (fun c -> "\"" ^ Tgd_class.cls_name c ^ "\"")
+    |> String.concat ","
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"rules\":%d,\"engine\":\"%s\",\"certificate\":%s,\"classes\":[%s],\"sccs\":%d,\"strata_depth\":%d,\"dead_rules\":[%s],\"exit_code\":%d,\"diagnostics\":["
+       r.n_rules
+       (Strategy.engine_name r.strategy.Strategy.engine)
+       (match r.strategy.Strategy.cert with
+       | Some c -> "\"" ^ Termination.cert_name c ^ "\""
+       | None -> "null")
+       classes (List.length r.sccs) r.strata_depth
+       (String.concat "," (List.map string_of_int r.dead_rules))
+       (exit_code r));
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Diagnostic.to_json d))
+    r.diagnostics;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

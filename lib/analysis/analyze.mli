@@ -1,0 +1,36 @@
+(** The multi-pass analysis driver.
+
+    [run sigma] executes every static pass — dependency graph, termination
+    certificates, rule lints, strategy selection — and returns one report.
+    The optional [oracle] enables the (chase-backed, hence comparatively
+    expensive) subsumption lint; callers above the chase layer inject
+    [fun rest s -> Entailment.entails rest s = Proved]. *)
+
+open Tgd_syntax
+
+type report = {
+  n_rules : int;
+  strategy : Strategy.t;
+  wa_witness : Termination.wa_witness option;
+      (** present exactly when the set is not weakly acyclic *)
+  ja_witness : Termination.ja_witness option;
+      (** present exactly when the set is not jointly acyclic *)
+  sccs : Relation.t list list;
+  strata_depth : int;
+  dead_rules : int list;
+  diagnostics : Diagnostic.t list;  (** sorted, most severe first *)
+}
+
+val run : ?oracle:(Tgd.t list -> Tgd.t -> bool) -> Tgd.t list -> report
+
+val exit_code : report -> int
+(** [Diagnostic.exit_code] of the report's diagnostics: 0 clean, 1 warnings,
+    2 errors. *)
+
+val pp : report Fmt.t
+(** Human-readable multi-line rendering (the [tgdtool analyze] text
+    output). *)
+
+val to_json : report -> string
+(** Single-line JSON object with the summary fields and the diagnostics
+    array; stable key order. *)

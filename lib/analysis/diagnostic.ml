@@ -1,0 +1,80 @@
+type severity =
+  | Error
+  | Warning
+  | Info
+  | Hint
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  rule : int option;
+}
+
+let make ?rule severity ~code message = { severity; code; message; rule }
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+  | Hint -> "hint"
+
+let severity_rank = function
+  | Error -> 0
+  | Warning -> 1
+  | Info -> 2
+  | Hint -> 3
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c =
+        Option.compare Int.compare a.rule b.rule
+      in
+      if c <> 0 then c else String.compare a.message b.message
+
+let sort ds = List.sort compare ds
+
+let exit_code ds =
+  if List.exists (fun d -> d.severity = Error) ds then 2
+  else if List.exists (fun d -> d.severity = Warning) ds then 1
+  else 0
+
+let pp_severity ppf s = Fmt.string ppf (severity_name s)
+
+let pp ppf d =
+  Fmt.pf ppf "%a[%s]%a %s" pp_severity d.severity d.code
+    Fmt.(option (fun ppf i -> Fmt.pf ppf " rule %d:" i))
+    d.rule d.message
+
+(* Minimal JSON string escaping: the diagnostics only carry printed tgds and
+   relation names, but a rule name could in principle contain anything. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let rule =
+    match d.rule with
+    | Some i -> Printf.sprintf ",\"rule\":%d" i
+    | None -> ""
+  in
+  Printf.sprintf "{\"severity\":\"%s\",\"code\":\"%s\",\"message\":\"%s\"%s}"
+    (severity_name d.severity) (json_escape d.code) (json_escape d.message)
+    rule

@@ -1,0 +1,156 @@
+open Tgd_syntax
+open Tgd_instance
+
+let canonical_key s = Tgd.to_string (Canonical.tgd s)
+
+let duplicates sigma =
+  let seen = Hashtbl.create 16 in
+  List.concat
+    (List.mapi
+       (fun i s ->
+         let key = canonical_key s in
+         match Hashtbl.find_opt seen key with
+         | Some j ->
+           [ Diagnostic.make ~rule:i Diagnostic.Warning ~code:"duplicate-rule"
+               (Fmt.str "%a duplicates rule %d up to renaming" Tgd.pp s j)
+           ]
+         | None ->
+           Hashtbl.add seen key i;
+           [])
+       sigma)
+
+(* A head that maps homomorphically into the body (fixing the frontier)
+   already holds wherever the body does; the rule can never add anything. *)
+let tautological s =
+  let body = Tgd.body s in
+  body <> []
+  &&
+  let schema = Schema.make (List.map Atom.rel (body @ Tgd.head s)) in
+  let frozen =
+    Variable.Set.fold
+      (fun v acc ->
+        Binding.add v (Constant.named ("~taut." ^ Variable.name v)) acc)
+      (Tgd.universal_vars s) Binding.empty
+  in
+  let facts =
+    List.map
+      (fun a ->
+        match Binding.ground_atom frozen a with
+        | Some f -> f
+        | None -> assert false (* body variables are all frozen *))
+      body
+  in
+  let inst = Instance.of_facts schema facts in
+  let partial = Binding.restrict (Tgd.frontier s) frozen in
+  Hom.exists_hom ~partial (Tgd.head s) inst
+
+let tautological_heads sigma =
+  List.concat
+    (List.mapi
+       (fun i s ->
+         if tautological s then
+           [ Diagnostic.make ~rule:i Diagnostic.Error ~code:"tautological-head"
+               (Fmt.str "%a: head follows from the body alone; the rule can never derive anything"
+                  Tgd.pp s)
+           ]
+         else [])
+       sigma)
+
+let occurrences s v =
+  List.fold_left
+    (fun acc a ->
+      Array.fold_left
+        (fun acc t ->
+          match t with
+          | Term.Var w when Variable.equal v w -> acc + 1
+          | Term.Var _ | Term.Const _ -> acc)
+        acc (Atom.args_arr a))
+    0
+    (Tgd.body s @ Tgd.head s)
+
+let unused_universals sigma =
+  List.concat
+    (List.mapi
+       (fun i s ->
+         let lonely =
+           Variable.Set.filter (fun v -> occurrences s v = 1)
+             (Tgd.universal_vars s)
+         in
+         if Variable.Set.is_empty lonely then []
+         else
+           [ Diagnostic.make ~rule:i Diagnostic.Info ~code:"unused-universal"
+               (Fmt.str "%a: universal variable%s %a occur%s only once"
+                  Tgd.pp s
+                  (if Variable.Set.cardinal lonely > 1 then "s" else "")
+                  Fmt.(list ~sep:(any ", ") Variable.pp)
+                  (Variable.Set.elements lonely)
+                  (if Variable.Set.cardinal lonely > 1 then "" else "s"))
+           ])
+       sigma)
+
+let class_downgrades sigma =
+  List.concat
+    (List.mapi
+       (fun i s ->
+         if Tgd_class.is_frontier_guarded s && not (Tgd_class.is_guarded s)
+         then begin
+           (* the frontier guard exists; report what it fails to cover *)
+           let guard_vars =
+             match Tgd_class.frontier_guard s with
+             | Some a -> Atom.vars a
+             | None -> Variable.Set.empty
+           in
+           let missing =
+             Variable.Set.elements
+               (Variable.Set.diff (Tgd.universal_vars s) guard_vars)
+           in
+           [ Diagnostic.make ~rule:i Diagnostic.Hint ~code:"almost-guarded"
+               (Fmt.str
+                  "%a: frontier-guarded but not guarded — no body atom covers %a"
+                  Tgd.pp s
+                  Fmt.(list ~sep:(any ", ") Variable.pp)
+                  missing)
+           ]
+         end
+         else if
+           Tgd_class.is_guarded s
+           && (not (Tgd_class.is_linear s))
+           && List.length (Tgd.body s) = 2
+         then
+           [ Diagnostic.make ~rule:i Diagnostic.Hint ~code:"almost-linear"
+               (Fmt.str "%a: guarded with a two-atom body — one join away from linear"
+                  Tgd.pp s)
+           ]
+         else [])
+       sigma)
+
+let subsumed ~oracle sigma =
+  let arr = Array.of_list sigma in
+  let key = Array.map canonical_key arr in
+  List.concat
+    (List.mapi
+       (fun i s ->
+         let copies =
+           Array.fold_left
+             (fun n k -> if String.equal k key.(i) then n + 1 else n)
+             0 key
+         in
+         let duplicate = copies > 1 in
+         if duplicate then []
+         else
+           let rest =
+             List.filteri (fun j _ -> j <> i) sigma
+           in
+           if rest <> [] && oracle rest s then
+             [ Diagnostic.make ~rule:i Diagnostic.Warning ~code:"subsumed-rule"
+                 (Fmt.str "%a is entailed by the other rules" Tgd.pp s)
+             ]
+           else [])
+       sigma)
+
+let all ?oracle sigma =
+  duplicates sigma @ tautological_heads sigma @ unused_universals sigma
+  @ class_downgrades sigma
+  @ (match oracle with
+    | Some oracle -> subsumed ~oracle sigma
+    | None -> [])

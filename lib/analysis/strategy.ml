@@ -1,0 +1,49 @@
+open Tgd_syntax
+
+type engine =
+  | Datalog_saturation
+  | Chase_to_completion
+  | Budgeted_chase
+
+type t = {
+  engine : engine;
+  cert : Termination.cert option;
+  common_classes : Tgd_class.cls list;
+}
+
+let common_classes sigma =
+  List.filter
+    (fun c -> Tgd_class.all_in_class c sigma)
+    [ Tgd_class.Linear; Tgd_class.Guarded; Tgd_class.Frontier_guarded;
+      Tgd_class.Full ]
+
+let decide sigma =
+  let cert = Termination.certificate sigma in
+  let classes = common_classes sigma in
+  let engine =
+    if List.mem Tgd_class.Full classes then Datalog_saturation
+    else
+      match cert with
+      | Some _ -> Chase_to_completion
+      | None -> Budgeted_chase
+  in
+  { engine; cert; common_classes = classes }
+
+let may_promote t =
+  match t.engine with
+  | Datalog_saturation | Chase_to_completion -> true
+  | Budgeted_chase -> false
+
+let engine_name = function
+  | Datalog_saturation -> "datalog-saturation"
+  | Chase_to_completion -> "chase-to-completion"
+  | Budgeted_chase -> "budgeted-chase"
+
+let pp_engine ppf e = Fmt.string ppf (engine_name e)
+
+let pp ppf t =
+  Fmt.pf ppf "engine: %a; certificate: %a; classes: %a" pp_engine t.engine
+    Fmt.(option ~none:(any "none") Termination.pp_cert)
+    t.cert
+    Fmt.(list ~sep:(any ", ") Tgd_class.pp_cls)
+    t.common_classes

@@ -1,0 +1,37 @@
+(** Analysis-driven engine strategy.
+
+    The analyzer's verdicts translate into concrete engine behavior:
+
+    - a set of {e full} tgds is plain Datalog — saturate, no nulls, no
+      termination question;
+    - a certified-terminating set may chase to completion: round budgets
+      are advisory and a [Truncated Rounds] outcome is promoted by
+      re-running without the round cap ({!Chase.restricted} with
+      [~analyze:true] does this automatically);
+    - anything else chases under the caller's budget and keeps the typed
+      [Truncated] outcome. *)
+
+open Tgd_syntax
+
+type engine =
+  | Datalog_saturation   (** all rules full: finite saturation, no nulls *)
+  | Chase_to_completion  (** termination certificate: run the chase out *)
+  | Budgeted_chase       (** no certificate: trust the budget, keep [Truncated] *)
+
+type t = {
+  engine : engine;
+  cert : Termination.cert option;
+  common_classes : Tgd_class.cls list;
+      (** classes every rule belongs to, most restrictive first *)
+}
+
+val decide : Tgd.t list -> t
+
+val may_promote : t -> bool
+(** May a round-capped [Truncated] be promoted to a definite result by
+    re-running uncapped?  True exactly for {!Datalog_saturation} and
+    {!Chase_to_completion}. *)
+
+val engine_name : engine -> string
+val pp_engine : engine Fmt.t
+val pp : t Fmt.t

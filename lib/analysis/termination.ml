@@ -1,0 +1,258 @@
+open Tgd_syntax
+
+type position = Relation.t * int
+
+type edge = { source : position; target : position; special : bool }
+
+let position_compare (r1, i1) (r2, i2) =
+  let c = Relation.compare r1 r2 in
+  if c <> 0 then c else Int.compare i1 i2
+
+let pos_equal p q = position_compare p q = 0
+let pos_mem p l = List.exists (pos_equal p) l
+let pos_subset a b = List.for_all (fun p -> pos_mem p b) a
+
+let pos_union a b =
+  List.fold_left (fun acc p -> if pos_mem p acc then acc else p :: acc) a b
+
+let positions_of_var atoms v =
+  List.concat_map
+    (fun a ->
+      Atom.args_arr a
+      |> Array.to_list
+      |> List.mapi (fun i t -> (i, t))
+      |> List.filter_map (fun (i, t) ->
+             match t with
+             | Term.Var w when Variable.equal v w -> Some (Atom.rel a, i)
+             | Term.Var _ | Term.Const _ -> None))
+    atoms
+
+let dependency_graph sigma =
+  List.concat_map
+    (fun tgd ->
+      let body = Tgd.body tgd in
+      let head = Tgd.head tgd in
+      let frontier = Tgd.frontier tgd in
+      let existentials = Tgd.existential_vars tgd in
+      let ex_positions =
+        Variable.Set.fold
+          (fun z acc -> positions_of_var head z @ acc)
+          existentials []
+      in
+      Variable.Set.fold
+        (fun x acc ->
+          let sources = positions_of_var body x in
+          let regular_targets = positions_of_var head x in
+          let edges_for src =
+            List.map
+              (fun tgt -> { source = src; target = tgt; special = false })
+              regular_targets
+            @ List.map
+                (fun tgt -> { source = src; target = tgt; special = true })
+                ex_positions
+          in
+          List.concat_map edges_for sources @ acc)
+        frontier [])
+    sigma
+
+(* ------------------------------------------------------------------ *)
+(* Weak acyclicity with cycle witnesses                                *)
+(* ------------------------------------------------------------------ *)
+
+type wa_witness = {
+  cycle : position list;
+  special_edge : position * position;
+}
+
+(* A simple path from [src] to [dst] along the edge list, as a position
+   list including both endpoints; [None] when unreachable. *)
+let find_path edges src dst =
+  let succ p =
+    List.filter_map
+      (fun e -> if pos_equal e.source p then Some e.target else None)
+      edges
+  in
+  let visited = ref [] in
+  let rec dfs p =
+    if pos_mem p !visited then None
+    else begin
+      visited := p :: !visited;
+      if pos_equal p dst then Some [ p ]
+      else
+        List.fold_left
+          (fun acc q ->
+            match acc with
+            | Some _ -> acc
+            | None -> Option.map (fun path -> p :: path) (dfs q))
+          None (succ p)
+    end
+  in
+  dfs src
+
+let weak_acyclicity_witness sigma =
+  let edges = dependency_graph sigma in
+  let specials = List.filter (fun e -> e.special) edges in
+  List.fold_left
+    (fun acc e ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match find_path edges e.target e.source with
+        | None -> None
+        | Some path ->
+          (* path = target … source; the special edge source → target closes
+             the cycle, so the cycle is source :: path minus its last node *)
+          let cycle =
+            match List.rev path with
+            | _last :: rev_prefix -> e.source :: List.rev rev_prefix
+            | [] -> assert false
+          in
+          Some { cycle; special_edge = (e.source, e.target) }))
+    None specials
+
+let is_weakly_acyclic sigma = weak_acyclicity_witness sigma = None
+
+(* ------------------------------------------------------------------ *)
+(* Joint acyclicity (Krötzsch–Rudolph, IJCAI 2011)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Mov(y): every position a null invented for the existential variable [y]
+   can reach.  Seeded with y's head positions; closed under "some rule has a
+   frontier variable x whose body positions all lie in the set — then the
+   null can sit at x, so x's head positions are reachable too". *)
+let mov_of sigma head_positions =
+  let current = ref head_positions in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun s ->
+        Variable.Set.iter
+          (fun x ->
+            let bpos = positions_of_var (Tgd.body s) x in
+            if pos_subset bpos !current then begin
+              let u = pos_union !current (positions_of_var (Tgd.head s) x) in
+              if List.length u > List.length !current then begin
+                current := u;
+                changed := true
+              end
+            end)
+          (Tgd.frontier s))
+      sigma
+  done;
+  !current
+
+let ex_nodes sigma =
+  List.concat
+    (List.mapi
+       (fun i s ->
+         List.map
+           (fun y -> (i, y))
+           (Variable.Set.elements (Tgd.existential_vars s)))
+       sigma)
+
+let movement sigma ~rule y =
+  let s = List.nth sigma rule in
+  List.sort position_compare
+    (mov_of sigma (positions_of_var (Tgd.head s) y))
+
+type ja_witness = { variables : (int * Variable.t) list }
+
+let node_equal (i, y) (j, z) = i = j && Variable.equal y z
+
+let jointly_acyclic_witness sigma =
+  let rules = Array.of_list sigma in
+  let nodes = ex_nodes sigma in
+  let movs =
+    List.map
+      (fun (i, y) ->
+        ((i, y), mov_of sigma (positions_of_var (Tgd.head rules.(i)) y)))
+      nodes
+  in
+  let mov n =
+    match List.find_opt (fun (m, _) -> node_equal m n) movs with
+    | Some (_, v) -> v
+    | None -> []
+  in
+  let succs n =
+    let m = mov n in
+    List.filter
+      (fun (j, _) ->
+        let r = rules.(j) in
+        Variable.Set.exists
+          (fun x -> pos_subset (positions_of_var (Tgd.body r) x) m)
+          (Tgd.frontier r))
+      nodes
+  in
+  (* DFS cycle detection over the existential-variable graph; gray nodes are
+     on the current stack, so meeting one yields the cycle. *)
+  let gray = ref [] and black = ref [] in
+  let rec dfs stack n =
+    if List.exists (node_equal n) !black then None
+    else if List.exists (node_equal n) !gray then begin
+      (* the cycle is the stack suffix from the previous visit of [n] *)
+      let rec suffix = function
+        | [] -> []
+        | m :: rest -> if node_equal m n then [ m ] else m :: suffix rest
+      in
+      Some (List.rev (suffix stack))
+    end
+    else begin
+      gray := n :: !gray;
+      let r =
+        List.fold_left
+          (fun acc m ->
+            match acc with Some _ -> acc | None -> dfs (m :: stack) m)
+          None (succs n)
+      in
+      (match r with
+      | Some _ -> ()
+      | None ->
+        gray := List.filter (fun m -> not (node_equal m n)) !gray;
+        black := n :: !black);
+      r
+    end
+  in
+  List.fold_left
+    (fun acc n ->
+      match acc with Some _ -> acc | None -> dfs [ n ] n)
+    None nodes
+  |> Option.map (fun cycle -> { variables = cycle })
+
+let is_jointly_acyclic sigma = jointly_acyclic_witness sigma = None
+
+(* ------------------------------------------------------------------ *)
+(* Certificates                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type cert =
+  | Weakly_acyclic
+  | Jointly_acyclic
+
+let certificate sigma =
+  if sigma = [] then Some Weakly_acyclic
+  else if is_weakly_acyclic sigma then Some Weakly_acyclic
+  else if is_jointly_acyclic sigma then Some Jointly_acyclic
+  else None
+
+let cert_name = function
+  | Weakly_acyclic -> "weakly-acyclic"
+  | Jointly_acyclic -> "jointly-acyclic"
+
+let pp_cert ppf c = Fmt.string ppf (cert_name c)
+
+let pp_position ppf (r, i) = Fmt.pf ppf "%s[%d]" (Relation.name r) i
+
+let pp_wa_witness ppf w =
+  let src, tgt = w.special_edge in
+  Fmt.pf ppf "special edge %a ~> %a on cycle %a" pp_position src pp_position
+    tgt
+    Fmt.(list ~sep:(any " -> ") pp_position)
+    (w.cycle @ [ List.hd w.cycle ])
+
+let pp_ja_witness ppf w =
+  Fmt.pf ppf "existential cycle %a"
+    Fmt.(
+      list ~sep:(any " ~> ") (fun ppf (i, y) ->
+          Fmt.pf ppf "%a(rule %d)" Variable.pp y i))
+    w.variables

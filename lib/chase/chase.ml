@@ -195,25 +195,66 @@ let cached ~kind ~naive ~budget ~memo ~has_on_fire sigma inst run =
   end
   else run ()
 
+(* ------------------------------------------------------------------ *)
+(* Analysis-driven promotion                                           *)
+(*                                                                     *)
+(* A termination certificate (weak or joint acyclicity) guarantees the *)
+(* chase finishes on every instance, so a round cap on a certified set *)
+(* is advisory: when it trips, re-running with the cap lifted turns    *)
+(* the [Truncated Rounds] into a definite result.  Only the round cap  *)
+(* is lifted — fact caps, deadlines, fuel and cancellation are memory/ *)
+(* wall-clock guards the certificate says nothing about.  The rerun    *)
+(* goes through the same [cached] wrapper with the lifted budget, so   *)
+(* every cache entry stays keyed by the caps that produced it.         *)
+(* ------------------------------------------------------------------ *)
+
+let cert_memo : bool Memo.t = Memo.create ~name:"termination-certs" ()
+
+let certified_terminating sigma =
+  let key = Memo.sigma_key sigma in
+  match Memo.find cert_memo key with
+  | Some b -> b
+  | None ->
+    let b = Tgd_analysis.Termination.certificate sigma <> None in
+    Memo.add cert_memo key b;
+    b
+
+let with_promotion ~analyze ~budget ~rerun sigma r =
+  match r.outcome with
+  | Truncated Budget.Rounds
+    when analyze
+         && budget.Budget.max_rounds < max_int
+         && certified_terminating sigma ->
+    rerun (Budget.with_rounds budget max_int)
+  | _ -> r
+
 let restricted ?(naive = false) ?(budget = default_budget) ?on_fire
-    ?(jobs = 1) ?(memo = false) sigma inst =
-  cached ~kind:"restricted" ~naive ~budget ~memo
-    ~has_on_fire:(Option.is_some on_fire) sigma inst (fun () ->
-      if naive then
-        run_naive ~recheck_active:true ~skip_fired:false ~budget ?on_fire sigma
-          inst
-      else
-        run_engine ~mode:Seminaive.Restricted ~budget ?on_fire ~jobs sigma inst)
+    ?(jobs = 1) ?(memo = false) ?(analyze = true) sigma inst =
+  let go budget =
+    cached ~kind:"restricted" ~naive ~budget ~memo
+      ~has_on_fire:(Option.is_some on_fire) sigma inst (fun () ->
+        if naive then
+          run_naive ~recheck_active:true ~skip_fired:false ~budget ?on_fire
+            sigma inst
+        else
+          run_engine ~mode:Seminaive.Restricted ~budget ?on_fire ~jobs sigma
+            inst)
+  in
+  with_promotion ~analyze ~budget ~rerun:go sigma (go budget)
 
 let oblivious ?(naive = false) ?(budget = default_budget) ?on_fire ?(jobs = 1)
-    ?(memo = false) sigma inst =
-  cached ~kind:"oblivious" ~naive ~budget ~memo
-    ~has_on_fire:(Option.is_some on_fire) sigma inst (fun () ->
-      if naive then
-        run_naive ~recheck_active:false ~skip_fired:true ~budget ?on_fire sigma
-          inst
-      else
-        run_engine ~mode:Seminaive.Oblivious ~budget ?on_fire ~jobs sigma inst)
+    ?(memo = false) ?(analyze = true) sigma inst =
+  let go budget =
+    cached ~kind:"oblivious" ~naive ~budget ~memo
+      ~has_on_fire:(Option.is_some on_fire) sigma inst (fun () ->
+        if naive then
+          run_naive ~recheck_active:false ~skip_fired:true ~budget ?on_fire
+            sigma inst
+        else
+          run_engine ~mode:Seminaive.Oblivious ~budget ?on_fire ~jobs sigma
+            inst)
+  in
+  with_promotion ~analyze ~budget ~rerun:go sigma (go budget)
 
 let is_model r = r.outcome = Terminated
 

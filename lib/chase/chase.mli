@@ -45,7 +45,7 @@ type result = {
 val restricted :
   ?naive:bool ->
   ?budget:budget -> ?on_fire:(Trigger.t -> Fact.t list -> unit) ->
-  ?jobs:int -> ?memo:bool ->
+  ?jobs:int -> ?memo:bool -> ?analyze:bool ->
   Tgd.t list -> Instance.t -> result
 (** Breadth-first restricted chase.  When [outcome = Terminated] the
     instance is a universal model of [(facts(D), Σ)].  [on_fire] observes
@@ -58,15 +58,23 @@ val restricted :
     (ignored on the naive path).  [memo:true] consults a process-wide
     result cache keyed on (kind, implementation, budget, canonical theory,
     input facts) — only when no [on_fire] observer is passed, since a
-    cached replay could not invoke it. *)
+    cached replay could not invoke it.
+
+    [analyze] (default [true]) promotes a [Truncated Rounds] outcome on a
+    rule set carrying a termination certificate
+    ({!Tgd_analysis.Termination.certificate}) by re-running with the round
+    cap lifted: the certificate guarantees the rerun finishes (or trips a
+    {e different} limit, which is then reported honestly).  Fact caps,
+    deadlines, fuel and cancellation are never overridden.  Pass
+    [~analyze:false] to keep the raw budgeted behavior. *)
 
 val oblivious :
   ?naive:bool ->
   ?budget:budget -> ?on_fire:(Trigger.t -> Fact.t list -> unit) ->
-  ?jobs:int -> ?memo:bool ->
+  ?jobs:int -> ?memo:bool -> ?analyze:bool ->
   Tgd.t list -> Instance.t -> result
-(** Oblivious (naive) chase: every trigger fires exactly once.  [jobs] and
-    [memo] as in {!restricted}. *)
+(** Oblivious (naive) chase: every trigger fires exactly once.  [jobs],
+    [memo] and [analyze] as in {!restricted}. *)
 
 val clear_memo : unit -> unit
 (** Drop every entry of the [~memo:true] result cache. *)

@@ -107,13 +107,13 @@ let answer_of ~frozen ~s (result : Chase.result) =
   else if Chase.is_model result then Disproved
   else Unknown
 
-let entails_plain ~naive ~budget sigma s =
+let entails_plain ~naive ~budget ~analyze sigma s =
   let schema = schema_of_tgds sigma s in
   let frozen, db = freeze_instance schema (Tgd.body s) in
-  let result = Chase.restricted ~naive ~budget sigma db in
+  let result = Chase.restricted ~naive ~budget ~analyze sigma db in
   answer_of ~frozen ~s result
 
-let entails_memo ~naive ~budget sigma s =
+let entails_memo ~naive ~budget ~analyze sigma s =
   let skey = Memo.sigma_key sigma in
   let bkey = budget_key budget in
   let akey = Fmt.str "%s |- %s @ %s" skey (Memo.tgd_key s) bkey in
@@ -128,7 +128,7 @@ let entails_memo ~naive ~budget sigma s =
       | None ->
         let schema = schema_of_body sigma canonical_body in
         let frozen, db = freeze_instance schema canonical_body in
-        let r = Chase.restricted ~naive ~budget sigma db in
+        let r = Chase.restricted ~naive ~budget ~analyze sigma db in
         (* a chase cut short by a wall-clock accident (deadline, fuel,
            memory, cancellation, fault) must not be replayed under the
            caps-only key; cache hits are deterministic by construction *)
@@ -142,9 +142,9 @@ let entails_memo ~naive ~budget sigma s =
     a
 
 let entails ?(naive = false) ?(memo = true) ?(budget = Chase.default_budget)
-    sigma s =
-  if memo then entails_memo ~naive ~budget sigma s
-  else entails_plain ~naive ~budget sigma s
+    ?(analyze = true) sigma s =
+  if memo then entails_memo ~naive ~budget ~analyze sigma s
+  else entails_plain ~naive ~budget ~analyze sigma s
 
 let combine answers =
   List.fold_left
@@ -155,19 +155,19 @@ let combine answers =
       | Proved, Proved -> Proved)
     Proved answers
 
-let entails_set ?naive ?memo ?budget sigma sigma' =
-  combine (List.map (entails ?naive ?memo ?budget sigma) sigma')
+let entails_set ?naive ?memo ?budget ?analyze sigma sigma' =
+  combine (List.map (entails ?naive ?memo ?budget ?analyze sigma) sigma')
 
-let equivalent ?naive ?memo ?budget sigma sigma' =
+let equivalent ?naive ?memo ?budget ?analyze sigma sigma' =
   combine
-    [ entails_set ?naive ?memo ?budget sigma sigma';
-      entails_set ?naive ?memo ?budget sigma' sigma
+    [ entails_set ?naive ?memo ?budget ?analyze sigma sigma';
+      entails_set ?naive ?memo ?budget ?analyze sigma' sigma
     ]
 
 let entails_egd _sigma e =
   if Egd.is_trivial e then Proved else Disproved
 
-let entailed_subset ?naive ?memo ?budget sigma candidates =
+let entailed_subset ?naive ?memo ?budget ?analyze sigma candidates =
   List.partition
-    (fun s -> entails ?naive ?memo ?budget sigma s = Proved)
+    (fun s -> entails ?naive ?memo ?budget ?analyze sigma s = Proved)
     candidates

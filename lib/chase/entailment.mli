@@ -27,7 +27,7 @@ val freeze_instance : Schema.t -> Atom.t list -> Binding.t * Instance.t
 (** The database [D_φ] together with the freezing assignment. *)
 
 val entails :
-  ?naive:bool -> ?memo:bool -> ?budget:Chase.budget ->
+  ?naive:bool -> ?memo:bool -> ?budget:Chase.budget -> ?analyze:bool ->
   Tgd.t list -> Tgd.t -> answer
 (** [entails sigma s] — does [Σ ⊨ σ]?
 
@@ -40,7 +40,15 @@ val entails :
     misses are counted in {!Tgd_engine.Stats.global}.
 
     [~naive:true] routes the underlying chases through the snapshot-rescan
-    reference loop instead of the semi-naive engine. *)
+    reference loop instead of the semi-naive engine.
+
+    [analyze] (default [true]) is forwarded to {!Chase.restricted}: on rule
+    sets carrying a termination certificate a round-capped chase is re-run
+    uncapped, so answers that would have been [Unknown] only because of the
+    round budget become definite.  The caches do not key on [analyze] — a
+    promoted entry can only {e improve} an answer ([Unknown] → definite),
+    never change a definite one, so sharing entries across both settings is
+    sound. *)
 
 val clear_memos : unit -> unit
 (** Drop both entailment caches (e.g. between benchmark runs). *)
@@ -49,13 +57,13 @@ val memo_sizes : unit -> int * int
 (** [(answer entries, cached chases)]. *)
 
 val entails_set :
-  ?naive:bool -> ?memo:bool -> ?budget:Chase.budget ->
+  ?naive:bool -> ?memo:bool -> ?budget:Chase.budget -> ?analyze:bool ->
   Tgd.t list -> Tgd.t list -> answer
 (** Conjunction over the right-hand set: [Proved] if all are proved,
     [Disproved] if some is disproved, otherwise [Unknown]. *)
 
 val equivalent :
-  ?naive:bool -> ?memo:bool -> ?budget:Chase.budget ->
+  ?naive:bool -> ?memo:bool -> ?budget:Chase.budget -> ?analyze:bool ->
   Tgd.t list -> Tgd.t list -> answer
 (** Logical equivalence [Σ ≡ Σ'] (mutual entailment). *)
 
@@ -64,7 +72,7 @@ val entails_egd : Tgd.t list -> Egd.t -> answer
     tgds cannot force equalities.  Definite. *)
 
 val entailed_subset :
-  ?naive:bool -> ?memo:bool -> ?budget:Chase.budget ->
+  ?naive:bool -> ?memo:bool -> ?budget:Chase.budget -> ?analyze:bool ->
   Tgd.t list -> Tgd.t list -> Tgd.t list * Tgd.t list
 (** [entailed_subset sigma candidates] partitions the candidates into those
     provably entailed by [sigma] and the rest (disproved or unknown). *)

@@ -8,10 +8,29 @@ type t = {
   denials : Denial.t list;
 }
 
-let of_tgds tgds = { tgds; egds = []; denials = [] }
+(* Keep-first deduplication up to variable renaming: a duplicate rule adds
+   nothing to any chase or sweep but costs a full screening pass in the
+   Algorithm 1/2 rewrites, so it is dropped at construction.  The surviving
+   rule keeps its original spelling (no canonicalization of the output). *)
+let dedup_tgds tgds =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun t ->
+      let key = Tgd.to_string (Canonical.tgd t) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    tgds
+
+let of_tgds tgds = { tgds = dedup_tgds tgds; egds = []; denials = [] }
 
 let of_dependencies deps =
-  { tgds = Dependency.tgds deps; egds = Dependency.egds deps; denials = [] }
+  { tgds = dedup_tgds (Dependency.tgds deps);
+    egds = Dependency.egds deps;
+    denials = []
+  }
 
 let satisfies i th =
   Satisfaction.tgds i th.tgds

@@ -23,8 +23,14 @@ type t = {
 }
 
 val of_tgds : Tgd.t list -> t
+(** Duplicate tgds (syntactically equal up to variable renaming, per
+    {!Canonical.equal_up_to_renaming}) are dropped keep-first, so they never
+    reach the chase or the rewriting sweeps.  Surviving rules keep their
+    original spelling and order. *)
+
 val of_dependencies : Dependency.t list -> t
-(** Denial-free theory from a mixed tgd/egd list (Step 2's [Σ^{∃,=}]). *)
+(** Denial-free theory from a mixed tgd/egd list (Step 2's [Σ^{∃,=}]);
+    tgds are deduplicated as in {!of_tgds}. *)
 
 val satisfies : Instance.t -> t -> bool
 

@@ -1,78 +1,16 @@
-open Tgd_syntax
+(* Deprecated alias: the pass moved to {!Tgd_analysis.Termination}, which
+   adds cycle witnesses and the strictly stronger joint-acyclicity check.
+   Kept so existing callers keep compiling; new code should use the
+   analysis library directly. *)
 
-type position = Relation.t * int
+type position = Tgd_analysis.Termination.position
 
-type edge = { source : position; target : position; special : bool }
+type edge = Tgd_analysis.Termination.edge = {
+  source : position;
+  target : position;
+  special : bool;
+}
 
-let positions_of_var atoms v =
-  List.concat_map
-    (fun a ->
-      Atom.args_arr a
-      |> Array.to_list
-      |> List.mapi (fun i t -> (i, t))
-      |> List.filter_map (fun (i, t) ->
-             match t with
-             | Term.Var w when Variable.equal v w -> Some (Atom.rel a, i)
-             | Term.Var _ | Term.Const _ -> None))
-    atoms
-
-let dependency_graph sigma =
-  List.concat_map
-    (fun tgd ->
-      let body = Tgd.body tgd in
-      let head = Tgd.head tgd in
-      let frontier = Tgd.frontier tgd in
-      let existentials = Tgd.existential_vars tgd in
-      let ex_positions =
-        Variable.Set.fold
-          (fun z acc -> positions_of_var head z @ acc)
-          existentials []
-      in
-      Variable.Set.fold
-        (fun x acc ->
-          let sources = positions_of_var body x in
-          let regular_targets = positions_of_var head x in
-          let edges_for src =
-            List.map
-              (fun tgt -> { source = src; target = tgt; special = false })
-              regular_targets
-            @ List.map
-                (fun tgt -> { source = src; target = tgt; special = true })
-                ex_positions
-          in
-          List.concat_map edges_for sources @ acc)
-        frontier [])
-    sigma
-
-let position_compare (r1, i1) (r2, i2) =
-  let c = Relation.compare r1 r2 in
-  if c <> 0 then c else Int.compare i1 i2
-
-(* A set of tgds is weakly acyclic iff no special edge lies on a cycle, i.e.
-   iff no special edge has its endpoints in the same strongly connected
-   component.  With the small graphs at hand, reachability by DFS per special
-   edge is simplest. *)
-let is_weakly_acyclic sigma =
-  let edges = dependency_graph sigma in
-  let succ p =
-    List.filter_map
-      (fun e -> if position_compare e.source p = 0 then Some e.target else None)
-      edges
-  in
-  let reaches src dst =
-    let visited = ref [] in
-    let rec dfs p =
-      if List.exists (fun q -> position_compare p q = 0) !visited then false
-      else begin
-        visited := p :: !visited;
-        position_compare p dst = 0 || List.exists dfs (succ p)
-      end
-    in
-    dfs src
-  in
-  not
-    (List.exists
-       (fun e -> e.special && reaches e.target e.source)
-       edges)
-
-let pp_position ppf (r, i) = Fmt.pf ppf "%s[%d]" (Relation.name r) i
+let dependency_graph = Tgd_analysis.Termination.dependency_graph
+let is_weakly_acyclic = Tgd_analysis.Termination.is_weakly_acyclic
+let pp_position = Tgd_analysis.Termination.pp_position

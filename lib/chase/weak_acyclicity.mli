@@ -1,15 +1,26 @@
 (** Weak acyclicity of a set of tgds (Fagin–Kolaitis–Miller–Popa).
 
-    Weak acyclicity guarantees termination of the restricted chase in
-    polynomially many rounds; {!Entailment} uses it to promote
-    budget-exhausted answers to definite ones where possible. *)
+    @deprecated This module is a thin alias kept for compatibility; the
+    pass lives in {!Tgd_analysis.Termination}, which also produces cycle
+    witnesses, the strictly stronger joint-acyclicity check, and the
+    combined {!Tgd_analysis.Termination.certificate}.
+
+    Weak acyclicity is {e sufficient, but not necessary}, for termination
+    of the restricted chase (in polynomially many rounds); a rule set
+    without the certificate may still terminate on every instance —
+    termination itself is undecidable.  {!Chase} and {!Entailment} use the
+    certificate to promote budget-truncated answers to definite ones. *)
 
 open Tgd_syntax
 
-type position = Relation.t * int
+type position = Tgd_analysis.Termination.position
 (** [(R, i)] — the [i]-th position (0-based) of relation [R]. *)
 
-type edge = { source : position; target : position; special : bool }
+type edge = Tgd_analysis.Termination.edge = {
+  source : position;
+  target : position;
+  special : bool;
+}
 
 val dependency_graph : Tgd.t list -> edge list
 (** Regular edges propagate a universal variable from a body position to a

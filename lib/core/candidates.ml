@@ -65,12 +65,10 @@ let used_vars atoms =
     Variable.Set.empty atoms
   |> Variable.Set.elements
 
-(* Σ = [] makes the chase trivial, so memoizing would only pollute the
-   entailment caches (and their hit-rate stats) with throwaway entries. *)
-let is_tautology s =
-  match Tgd_chase.Entailment.entails ~memo:false [] s with
-  | Tgd_chase.Entailment.Proved -> true
-  | Tgd_chase.Entailment.Disproved | Tgd_chase.Entailment.Unknown -> false
+(* Entailment by the empty theory needs no chase at all: the static
+   head-into-body homomorphism check decides it ({!Tgd_analysis.Lint}),
+   and keeps the enumerators off the entailment caches entirely. *)
+let is_tautology = Tgd_analysis.Lint.tautological
 
 let dedup_canonical seq =
   let seen = ref Tgd.Set.empty in

@@ -199,6 +199,7 @@ let ftgd_profile_holds p =
 type classification = {
   axioms : Tgd.t list option;
   diagnosis : Expressibility.report option;
+  analysis : Tgd_analysis.Analyze.report option;
 }
 
 let classify_oracle ?(caps = default_caps) ?candidate_caps ?config o ~n ~m =
@@ -206,8 +207,9 @@ let classify_oracle ?(caps = default_caps) ?candidate_caps ?config o ~n ~m =
     Budget.value (synthesize ~caps ?candidate_caps ~minimize:true o ~n ~m)
   in
   match verify_axiomatization o sigma ~dom_size:caps.dom_bound with
-  | Some _ -> { axioms = None; diagnosis = None }
+  | Some _ -> { axioms = None; diagnosis = None; analysis = None }
   | None ->
     { axioms = Some sigma;
-      diagnosis = Some (Expressibility.diagnose ?config ~dom_size:caps.dom_bound sigma)
+      diagnosis = Some (Expressibility.diagnose ?config ~dom_size:caps.dom_bound sigma);
+      analysis = Some (Tgd_analysis.Analyze.run sigma)
     }

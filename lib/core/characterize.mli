@@ -91,6 +91,10 @@ type classification = {
           bounded universe *)
   diagnosis : Expressibility.report option;
       (** class-lattice analysis of the recovered axioms *)
+  analysis : Tgd_analysis.Analyze.report option;
+      (** static analysis of the recovered axioms: termination certificate,
+          dependency-graph reachability, rule lints
+          ({!Tgd_analysis.Analyze.run}) *)
 }
 
 val classify_oracle :

@@ -19,6 +19,7 @@ type report = {
   n : int;
   m : int;
   weakly_acyclic : bool;
+  termination_cert : Tgd_analysis.Termination.cert option;
   classes : class_status list;
   profile : profile;
   dom_size : int;
@@ -65,7 +66,8 @@ let diagnose ?config ?(dom_size = 2) sigma =
   { sigma;
     n;
     m;
-    weakly_acyclic = Tgd_chase.Weak_acyclicity.is_weakly_acyclic sigma;
+    weakly_acyclic = Tgd_analysis.Termination.is_weakly_acyclic sigma;
+    termination_cert = Tgd_analysis.Termination.certificate sigma;
     classes;
     profile;
     dom_size
@@ -82,8 +84,9 @@ let pp_semantic ppf = function
   | Some (Rewrite.Unknown why) -> Fmt.pf ppf "unknown (%s)" why
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>Σ ∈ TGD_{%d,%d}; weakly acyclic: %b@," r.n r.m
-    r.weakly_acyclic;
+  Fmt.pf ppf "@[<v>Σ ∈ TGD_{%d,%d}; termination certificate: %a@," r.n r.m
+    Fmt.(option ~none:(any "none") Tgd_analysis.Termination.pp_cert)
+    r.termination_cert;
   List.iter
     (fun cs ->
       Fmt.pf ppf "%-18s syntactic: %-5b semantic: %a@,"

@@ -31,6 +31,9 @@ type report = {
   n : int;
   m : int;
   weakly_acyclic : bool;
+  termination_cert : Tgd_analysis.Termination.cert option;
+      (** strongest static termination certificate, [None] if uncertified;
+          [Some Weakly_acyclic] iff [weakly_acyclic] *)
   classes : class_status list;
   profile : profile;       (** bounded checks, dom ≤ [dom_size] *)
   dom_size : int;

@@ -13,6 +13,7 @@ type config = {
   naive : bool;
   memo : bool;
   jobs : int;
+  analyze : bool;
 }
 
 let default_config =
@@ -21,7 +22,8 @@ let default_config =
     minimize = true;
     naive = false;
     memo = true;
-    jobs = 1
+    jobs = 1;
+    analyze = true
   }
 
 type outcome =
@@ -52,6 +54,7 @@ type report = {
   m : int;
   candidates_enumerated : int;
   candidates_entailed : int;
+  candidates_skipped : int;
   checkpoint : checkpoint option;
   stats : Stats.t;
 }
@@ -69,14 +72,14 @@ let class_bounds sigma =
 
 (* Greedy minimization: drop a member when the remainder still entails it.
    Larger members are tried first so the surviving set is small. *)
-let minimize_set ?naive ?memo budget sigma' =
+let minimize_set ?naive ?memo ?analyze budget sigma' =
   let by_size =
     List.sort (fun a b -> Int.compare (Tgd.size b) (Tgd.size a)) sigma'
   in
   List.fold_left
     (fun kept s ->
       let rest = List.filter (fun t -> not (Tgd.equal t s)) kept in
-      match Entailment.entails ?naive ?memo ~budget rest s with
+      match Entailment.entails ?naive ?memo ?analyze ~budget rest s with
       | Entailment.Proved -> rest
       | Entailment.Disproved | Entailment.Unknown -> kept)
     by_size by_size
@@ -94,6 +97,7 @@ let take n seq =
 
 let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
   let naive = config.naive and memo = config.memo in
+  let analyze = config.analyze in
   let budget = config.budget in
   let before = Stats.copy (Stats.global ()) in
   let schema = schema_of sigma in
@@ -118,8 +122,37 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
      computed against an already-cancelled budget.  The checkpoint cursor
      therefore always points at a batch boundary, and a resumed run
      re-screens from exactly there, so resume ∘ truncate = unbudgeted. *)
+  (* Analysis prefilter: a candidate whose head mentions a relation outside
+     the relation-level derivability closure of its body relations is
+     definitely not entailed — the chase of the frozen body can only derive
+     facts over that closure (see {!Tgd_analysis.Depgraph.derivable}) — so
+     it is answered [Disproved] without chasing.  The answer is recorded in
+     the screened prefix like any other, keeping checkpoints and resume
+     byte-compatible; the counter is atomic because pool workers screen
+     concurrently. *)
+  let skipped = Atomic.make 0 in
+  let prefilter =
+    if not config.analyze then fun _ -> false
+    else begin
+      let g = Tgd_analysis.Depgraph.make sigma in
+      let rels atoms =
+        List.fold_left
+          (fun acc a -> Relation.Set.add (Atom.rel a) acc)
+          Relation.Set.empty atoms
+      in
+      fun candidate ->
+        let reachable =
+          Tgd_analysis.Depgraph.close g (rels (Tgd.body candidate))
+        in
+        not (Relation.Set.subset (rels (Tgd.head candidate)) reachable)
+    end
+  in
   let screen candidate =
-    Entailment.entails ~naive ~memo ~budget sigma candidate
+    if prefilter candidate then begin
+      Atomic.incr skipped;
+      Entailment.Disproved
+    end
+    else Entailment.entails ~naive ~memo ~budget ~analyze sigma candidate
   in
   let batch_size = max 1 (4 * config.jobs) in
   let run pool =
@@ -177,6 +210,7 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
       m;
       candidates_enumerated = cursor;
       candidates_entailed = List.length entailed;
+      candidates_skipped = Atomic.get skipped;
       checkpoint;
       stats = Stats.diff (Stats.copy (Stats.global ())) before
     }
@@ -193,7 +227,9 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
   match trip with
   | Some reason -> truncated ~phase:"candidate screening" reason
   | None -> (
-    let backward = Entailment.entails_set ~naive ~memo ~budget entailed sigma in
+    let backward =
+      Entailment.entails_set ~naive ~memo ~budget ~analyze entailed sigma
+    in
     match Budget.check budget with
     | Some reason -> truncated ~phase:"the backward Σ' ⊨ Σ check" reason
     | None -> (
@@ -201,7 +237,8 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
         match backward with
         | Entailment.Proved ->
           let sigma' =
-            if config.minimize then minimize_set ~naive ~memo budget entailed
+            if config.minimize then
+              minimize_set ~naive ~memo ~analyze budget entailed
             else entailed
           in
           Rewritable sigma'

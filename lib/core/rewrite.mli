@@ -35,6 +35,14 @@ type config = {
           default) bypasses the pool entirely.  Outcomes are independent
           of [jobs]: screening preserves candidate order, and the backward
           [Σ' ⊨ Σ] check and minimization are always sequential. *)
+  analyze : bool;
+      (** run the static-analysis prefilter (default): candidates whose
+          head mentions a relation outside the relation-level derivability
+          closure of their body ({!Tgd_analysis.Depgraph}) are answered
+          [Disproved] without chasing, and the chases that do run inherit
+          certificate-based promotion ({!Tgd_chase.Chase.restricted}).
+          The outcome is unchanged either way — the prefilter only skips
+          work the chase would have rejected. *)
 }
 
 val default_config : config
@@ -61,6 +69,9 @@ type report = {
   m : int;
   candidates_enumerated : int;
   candidates_entailed : int;
+  candidates_skipped : int;
+      (** candidates rejected by the analysis prefilter during this run
+          (without a chase); always [0] with [analyze = false] *)
   checkpoint : checkpoint option;
       (** [Some] exactly on truncated reports: where to resume *)
   stats : Tgd_engine.Stats.t;

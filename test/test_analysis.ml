@@ -1,0 +1,402 @@
+(* The static-analysis subsystem: dependency graph, termination
+   certificates (with verified witnesses), lints, strategy, and the
+   promotion of round-truncated chases under a certificate. *)
+
+open Tgd_syntax
+open Tgd_analysis
+open Helpers
+
+let rel n a = Relation.make n a
+
+(* ---- dependency graph ---- *)
+
+let test_depgraph_basic () =
+  let sigma = tgds "E(x,y) -> P(x). P(x) -> exists z. Q(x,z)." in
+  let g = Depgraph.make sigma in
+  check_int "three relations" 3 (Relation.Set.cardinal (Depgraph.relations g));
+  check_bool "E is edb" true (Relation.Set.mem (rel "E" 2) (Depgraph.edb g));
+  check_bool "P not edb" false (Relation.Set.mem (rel "P" 1) (Depgraph.edb g));
+  let d = Depgraph.derivable sigma ~from:(Depgraph.edb g) in
+  check_bool "Q derivable from edb" true (Relation.Set.mem (rel "Q" 2) d);
+  check_int "no dead rules" 0 (List.length (Depgraph.dead_rules sigma))
+
+let test_depgraph_dead_rule () =
+  (* Ghost/1 appears only in rule 1's body and in no head: rule 1 can never
+     fire from an instance over the extensional relations derivable story —
+     wait, Ghost IS extensional (no head occurrence), so it can be
+     populated.  A genuinely dead rule needs a body relation that is
+     intensional yet underivable: Loop feeds only itself. *)
+  let sigma =
+    tgds "E(x,y) -> P(x). Loop(x), E(x,y) -> Loop(y). P(x), Loop(x) -> Bad(x)."
+  in
+  (* Loop occurs in a head, so it is intensional; but its only rule needs
+     Loop in the body, so nothing ever derives it from the edb {E}. *)
+  check_bool "Loop underived" true
+    (Relation.Set.mem (rel "Loop" 1) (Depgraph.underived sigma));
+  (match Depgraph.dead_rules sigma with
+  | [ 1; 2 ] -> ()
+  | l ->
+    Alcotest.failf "expected dead rules [1;2], got [%s]"
+      (String.concat ";" (List.map string_of_int l)))
+
+let test_depgraph_sccs_strata () =
+  let sigma = tgds "A(x) -> B(x). B(x) -> A(x). B(x) -> C(x)." in
+  let g = Depgraph.make sigma in
+  let comps = Depgraph.sccs g in
+  check_int "two sccs" 2 (List.length comps);
+  (* callees-first: {A,B} precedes {C} *)
+  (match comps with
+  | [ ab; [ c ] ] ->
+    check_int "A,B together" 2 (List.length ab);
+    check_bool "C alone" true (Relation.equal c (rel "C" 1))
+  | _ -> Alcotest.fail "unexpected scc shape");
+  let strata = Depgraph.strata g in
+  let lvl r = Relation.Map.find (rel r 1) strata in
+  check_bool "A,B same stratum" true (lvl "A" = lvl "B");
+  check_bool "C above" true (lvl "C" > lvl "A");
+  check_bool "A,B recursive" true
+    (Relation.Set.mem (rel "A" 1) (Depgraph.recursive g));
+  check_bool "C not recursive" false
+    (Relation.Set.mem (rel "C" 1) (Depgraph.recursive g))
+
+let test_depgraph_empty_body_fires () =
+  let sigma = [ tgd "-> exists z. Seed(z)."; tgd "Seed(x) -> P(x)." ] in
+  let d = Depgraph.derivable sigma ~from:Relation.Set.empty in
+  check_bool "Seed fires unconditionally" true
+    (Relation.Set.mem (rel "Seed" 1) d);
+  check_bool "P follows" true (Relation.Set.mem (rel "P" 1) d)
+
+(* ---- termination certificates ---- *)
+
+let test_certificates () =
+  let wa = tgds "P(x) -> exists z. E(x,z). E(x,y) -> Q(y)." in
+  check_bool "wa" true (Termination.is_weakly_acyclic wa);
+  Alcotest.(check (option (of_pp Termination.pp_cert)))
+    "wa cert" (Some Termination.Weakly_acyclic) (Termination.certificate wa);
+  (* JA but not WA: the special edge A[0] → A[1] lies on a cycle of the
+     position graph, but the null invented for z never reaches position 0
+     of A in rule bodies jointly *)
+  let ja = tgds "A(x,y), A(y,x) -> exists z. A(x,z)." in
+  check_bool "not wa" false (Termination.is_weakly_acyclic ja);
+  check_bool "ja" true (Termination.is_jointly_acyclic ja);
+  Alcotest.(check (option (of_pp Termination.pp_cert)))
+    "ja cert" (Some Termination.Jointly_acyclic) (Termination.certificate ja);
+  (* neither *)
+  let none = tgds "E(x,y) -> exists z. E(y,z)." in
+  check_bool "no cert" true (Termination.certificate none = None);
+  Alcotest.(check (option (of_pp Termination.pp_cert)))
+    "empty set is wa" (Some Termination.Weakly_acyclic)
+    (Termination.certificate [])
+
+let edge_exists edges src tgt =
+  List.exists
+    (fun e ->
+      e.Termination.source = src && e.Termination.target = tgt)
+    edges
+
+let test_wa_witness_is_real () =
+  (* the witness cycle must consist of actual consecutive edges of the
+     dependency graph, and its special edge must be special *)
+  let check_witness sigma =
+    match Termination.weak_acyclicity_witness sigma with
+    | None -> Alcotest.fail "expected a witness"
+    | Some w ->
+      let edges = Termination.dependency_graph sigma in
+      let n = List.length w.Termination.cycle in
+      check_bool "non-empty cycle" true (n > 0);
+      List.iteri
+        (fun i p ->
+          let q = List.nth w.Termination.cycle ((i + 1) mod n) in
+          check_bool "consecutive edge" true (edge_exists edges p q))
+        w.Termination.cycle;
+      let s, t = w.Termination.special_edge in
+      check_bool "special edge on cycle" true
+        (List.exists
+           (fun e ->
+             e.Termination.source = s && e.Termination.target = t
+             && e.Termination.special)
+           edges)
+  in
+  check_witness (tgds "E(x,y) -> exists z. E(y,z).");
+  check_witness
+    (tgds "E(x,y) -> exists z. F(y,z). F(x,y) -> exists z. E(y,z).");
+  check_witness (tgds "P(x) -> exists z. E(x,z), P(z).")
+
+let test_ja_witness_is_real () =
+  let sigma = tgds "E(x,y) -> exists z. E(y,z)." in
+  match Termination.jointly_acyclic_witness sigma with
+  | None -> Alcotest.fail "expected a ja witness"
+  | Some w ->
+    check_bool "non-empty" true (w.Termination.variables <> []);
+    (* each variable in the cycle is an existential of its rule *)
+    List.iter
+      (fun (i, y) ->
+        let s = List.nth sigma i in
+        check_bool "existential of its rule" true
+          (Variable.Set.mem y (Tgd.existential_vars s)))
+      w.Termination.variables
+
+let test_movement () =
+  let sigma = tgds "P(x) -> exists z. E(x,z). E(x,y) -> Q(y)." in
+  let mov = Termination.movement sigma ~rule:0 (v "z") in
+  check_bool "z lands in E[1]" true (List.mem (rel "E" 2, 1) mov);
+  check_bool "z moves to Q[0]" true (List.mem (rel "Q" 1, 0) mov);
+  check_bool "z never reaches E[0]" false (List.mem (rel "E" 2, 0) mov)
+
+let test_wa_implies_ja () =
+  (* WA ⇒ JA on random workload rule sets *)
+  let st = Tgd_workload.Gen.rng 11 in
+  let schema = Tgd_workload.Gen.random_schema st ~relations:3 ~max_arity:2 in
+  for _ = 1 to 40 do
+    let sigma =
+      List.init 3 (fun _ ->
+          Tgd_workload.Gen.random_tgd st schema ~n:3 ~m:1 ~body_atoms:2
+            ~head_atoms:1)
+    in
+    if Termination.is_weakly_acyclic sigma then
+      check_bool "wa implies ja" true (Termination.is_jointly_acyclic sigma)
+  done
+
+let test_certificate_families () =
+  (* certificates agree with known ground truth on the §9.1 families *)
+  let certified sigma = Termination.certificate sigma <> None in
+  check_bool "linear_chain" true (certified (Tgd_workload.Families.linear_chain 5));
+  check_bool "existential_chain" true
+    (certified (Tgd_workload.Families.existential_chain 5));
+  check_bool "transitive_closure" true
+    (certified Tgd_workload.Families.transitive_closure);
+  check_bool "guarded_rewritable" true
+    (certified (Tgd_workload.Families.guarded_rewritable 3));
+  check_bool "fg_rewritable" true
+    (certified (Tgd_workload.Families.fg_rewritable 3));
+  check_bool "dl_lite_roles" true
+    (certified (Tgd_workload.Families.dl_lite_roles 4))
+
+let test_certified_chase_terminates () =
+  (* the point of a certificate: the unbudgeted chase reaches a model *)
+  let run sigma =
+    let schema = Tgd_core.Rewrite.schema_of sigma in
+    let i =
+      Tgd_workload.Gen.random_instance (Tgd_workload.Gen.rng 5) schema
+        ~dom_size:3 ~density:0.5
+    in
+    let r = Tgd_chase.Chase.restricted sigma i in
+    check_bool "model" true (Tgd_chase.Chase.is_model r)
+  in
+  run (tgds "A(x,y), A(y,x) -> exists z. A(x,z).");
+  run (Tgd_workload.Families.existential_chain 4);
+  run (Tgd_workload.Families.dl_lite_roles 3)
+
+let qcheck_certified_terminates =
+  (* certified ⇒ the unbudgeted restricted chase terminates.  Termination of
+     a non-terminating chase would hang the test, so give certified sets a
+     generous fact budget and require a Terminated outcome within it. *)
+  QCheck.Test.make ~count:60 ~name:"certificate implies chase termination"
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (s1, s2) ->
+      let st = Tgd_workload.Gen.rng (1 + s1 + (1000 * s2)) in
+      let schema =
+        Tgd_workload.Gen.random_schema st ~relations:3 ~max_arity:2
+      in
+      let sigma =
+        List.init 3 (fun _ ->
+            Tgd_workload.Gen.random_tgd st schema ~n:3 ~m:1 ~body_atoms:2
+              ~head_atoms:1)
+      in
+      match Termination.certificate sigma with
+      | None -> QCheck.assume_fail ()
+      | Some _ ->
+        let i =
+          Tgd_workload.Gen.random_instance st schema ~dom_size:2 ~density:0.5
+        in
+        let budget =
+          Tgd_engine.Budget.limits ~rounds:max_int ~facts:200_000
+        in
+        let r = Tgd_chase.Chase.restricted ~budget ~analyze:false sigma i in
+        Tgd_chase.Chase.is_model r)
+
+(* ---- lints ---- *)
+
+let test_lint_duplicates () =
+  let sigma = tgds "E(x,y) -> P(x). E(u,w) -> P(u). E(x,y) -> P(y)." in
+  match Lint.duplicates sigma with
+  | [ d ] ->
+    check_bool "warning" true (d.Diagnostic.severity = Diagnostic.Warning);
+    Alcotest.(check string) "code" "duplicate-rule" d.Diagnostic.code;
+    Alcotest.(check (option int)) "rule 1 flagged" (Some 1) d.Diagnostic.rule
+  | l -> Alcotest.failf "expected one duplicate, got %d" (List.length l)
+
+let test_lint_tautology () =
+  check_bool "projection tautology" true
+    (Lint.tautological (tgd "E(x,y) -> exists z. E(x,z)."));
+  check_bool "reflexive head not tautological" false
+    (Lint.tautological (tgd "E(x,y) -> E(y,x)."));
+  check_bool "copy rule tautological" true
+    (Lint.tautological (tgd "E(x,y) -> E(x,y)."));
+  check_bool "new relation not tautological" false
+    (Lint.tautological (tgd "E(x,y) -> P(x)."));
+  check_bool "empty body never tautological" false
+    (Lint.tautological (tgd "-> exists z. P(z)."))
+
+let test_lint_unused_universals () =
+  match Lint.unused_universals (tgds "E(x,y) -> P(x).") with
+  | [ d ] ->
+    check_bool "info" true (d.Diagnostic.severity = Diagnostic.Info);
+    check_bool "mentions y" true
+      (String.length d.Diagnostic.message > 0
+      && String.contains d.Diagnostic.message 'y')
+  | l -> Alcotest.failf "expected one lint, got %d" (List.length l)
+
+let test_lint_class_downgrades () =
+  (* frontier-guarded, not guarded: z escapes every guard *)
+  let almost = tgds "R(x,y), S(y,z) -> T(x,y)." in
+  check_bool "almost-guarded hint" true
+    (List.exists
+       (fun d -> d.Diagnostic.code = "almost-guarded")
+       (Lint.class_downgrades almost));
+  let linear = tgds "R(x,y) -> T(x)." in
+  check_int "linear rule clean" 0 (List.length (Lint.class_downgrades linear))
+
+let test_lint_subsumed () =
+  let oracle rest s =
+    Tgd_chase.Entailment.(entails rest s = Proved)
+  in
+  let sigma =
+    tgds "E(x,y) -> P(x). E(x,y) -> P(x), Q(y). Q(x) -> R(x)."
+  in
+  (match Lint.subsumed ~oracle sigma with
+  | [ d ] -> Alcotest.(check (option int)) "rule 0 subsumed" (Some 0) d.Diagnostic.rule
+  | l -> Alcotest.failf "expected one subsumption, got %d" (List.length l));
+  (* exact duplicates are left to the duplicate lint *)
+  let dup = tgds "E(x,y) -> P(x). E(u,w) -> P(u)." in
+  check_int "duplicates skipped" 0 (List.length (Lint.subsumed ~oracle dup))
+
+(* ---- strategy ---- *)
+
+let test_strategy () =
+  let full = Tgd_workload.Families.linear_chain 3 in
+  let s = Strategy.decide full in
+  check_bool "full -> datalog" true (s.Strategy.engine = Strategy.Datalog_saturation);
+  check_bool "promotable" true (Strategy.may_promote s);
+  let wa = tgds "P(x) -> exists z. E(x,z)." in
+  let s = Strategy.decide wa in
+  check_bool "certified -> completion" true
+    (s.Strategy.engine = Strategy.Chase_to_completion);
+  let none = tgds "E(x,y) -> exists z. E(y,z)." in
+  let s = Strategy.decide none in
+  check_bool "uncertified -> budgeted" true
+    (s.Strategy.engine = Strategy.Budgeted_chase);
+  check_bool "not promotable" false (Strategy.may_promote s)
+
+(* ---- promotion through the chase front-end ---- *)
+
+let test_promotion () =
+  let sigma = Tgd_workload.Families.existential_chain 6 in
+  let schema = Tgd_core.Rewrite.schema_of sigma in
+  let i =
+    Tgd_workload.Gen.random_instance (Tgd_workload.Gen.rng 2) schema
+      ~dom_size:3 ~density:0.6
+  in
+  let budget = Tgd_engine.Budget.limits ~rounds:1 ~facts:100_000 in
+  let plain = Tgd_chase.Chase.restricted ~budget ~analyze:false sigma i in
+  check_bool "truncated without analysis" true
+    (plain.Tgd_chase.Chase.outcome
+    = Tgd_chase.Chase.Truncated Tgd_engine.Budget.Rounds);
+  let promoted = Tgd_chase.Chase.restricted ~budget sigma i in
+  check_bool "promoted to a model" true (Tgd_chase.Chase.is_model promoted);
+  (* an uncertified set keeps its typed truncation even with analysis on *)
+  let bad = tgds "E(x,y) -> exists z. E(y,z)." in
+  let bad_schema = Tgd_core.Rewrite.schema_of bad in
+  let bi = inst ~schema:bad_schema "E(a,b)." in
+  let r = Tgd_chase.Chase.restricted ~budget bad bi in
+  check_bool "still truncated" true
+    (r.Tgd_chase.Chase.outcome
+    = Tgd_chase.Chase.Truncated Tgd_engine.Budget.Rounds)
+
+let test_promotion_never_lifts_fact_caps () =
+  (* certificate or not, a Facts truncation is the caller's memory guard and
+     must survive analysis *)
+  let sigma = Tgd_workload.Families.existential_chain 8 in
+  let schema = Tgd_core.Rewrite.schema_of sigma in
+  (* a single seed fact forces eight derivations, well past the cap *)
+  let i = inst ~schema "E0(a,b)." in
+  let budget = Tgd_engine.Budget.limits ~rounds:1000 ~facts:3 in
+  let r = Tgd_chase.Chase.restricted ~budget sigma i in
+  check_bool "facts cap kept" true
+    (r.Tgd_chase.Chase.outcome
+    = Tgd_chase.Chase.Truncated Tgd_engine.Budget.Facts)
+
+(* ---- the driver ---- *)
+
+let test_analyze_report () =
+  let sigma =
+    tgds "E(x,y) -> P(x). E(u,w) -> P(u). E(x,y) -> exists z. E(x,z)."
+  in
+  let r = Analyze.run sigma in
+  check_int "rules" 3 r.Analyze.n_rules;
+  check_int "exit 2: tautological head is an error" 2 (Analyze.exit_code r);
+  check_bool "duplicate reported" true
+    (List.exists
+       (fun d -> d.Diagnostic.code = "duplicate-rule")
+       r.Analyze.diagnostics);
+  check_bool "tautology reported" true
+    (List.exists
+       (fun d -> d.Diagnostic.code = "tautological-head")
+       r.Analyze.diagnostics);
+  (* sorted most severe first *)
+  let ranks =
+    List.map (fun d -> Diagnostic.severity_rank d.Diagnostic.severity)
+      r.Analyze.diagnostics
+  in
+  check_bool "sorted" true (List.sort compare ranks = ranks)
+
+let test_analyze_clean_and_json () =
+  (* transitive closure: E occurs in a head, so under the closed Datalog
+     convention nothing populates it — flagged, but only as a warning *)
+  let tc = Analyze.run (tgds "E(x,y), E(y,z) -> E(x,z).") in
+  check_int "dead-rule is a warning" 1 (Analyze.exit_code tc);
+  check_bool "dead-rule reported" true
+    (List.exists
+       (fun d -> d.Diagnostic.code = "dead-rule")
+       tc.Analyze.diagnostics);
+  let r = Analyze.run (tgds "E(x,y) -> P(x). P(x), E(x,y) -> Q(y).") in
+  check_int "clean" 0 (Analyze.exit_code r);
+  let j = Analyze.to_json r in
+  check_bool "json has exit_code" true
+    (let needle = "\"exit_code\":0" in
+     let rec find i =
+       i + String.length needle <= String.length j
+       && (String.sub j i (String.length needle) = needle || find (i + 1))
+     in
+     find 0);
+  (* witness path: non-wa set reports its cycle *)
+  let r2 = Analyze.run (tgds "E(x,y) -> exists z. E(y,z).") in
+  check_bool "wa witness present" true (r2.Analyze.wa_witness <> None);
+  check_int "warning exit" 1 (Analyze.exit_code r2)
+
+let suite =
+  [ case "depgraph: edb/derivable/dead" test_depgraph_basic;
+    case "depgraph: underivable body kills rules" test_depgraph_dead_rule;
+    case "depgraph: sccs and strata" test_depgraph_sccs_strata;
+    case "depgraph: empty bodies fire" test_depgraph_empty_body_fires;
+    case "termination: certificates" test_certificates;
+    case "termination: wa witness is a real cycle" test_wa_witness_is_real;
+    case "termination: ja witness is real" test_ja_witness_is_real;
+    case "termination: movement sets" test_movement;
+    case "termination: wa implies ja" test_wa_implies_ja;
+    case "termination: certificates on §9.1 families" test_certificate_families;
+    slow_case "termination: certified chase terminates"
+      test_certified_chase_terminates;
+    QCheck_alcotest.to_alcotest qcheck_certified_terminates;
+    case "lint: duplicates" test_lint_duplicates;
+    case "lint: tautological heads" test_lint_tautology;
+    case "lint: unused universals" test_lint_unused_universals;
+    case "lint: class downgrades" test_lint_class_downgrades;
+    slow_case "lint: subsumption" test_lint_subsumed;
+    case "strategy: engine selection" test_strategy;
+    case "chase: certificate promotes round truncation" test_promotion;
+    case "chase: promotion never lifts fact caps"
+      test_promotion_never_lifts_fact_caps;
+    case "analyze: report and exit codes" test_analyze_report;
+    case "analyze: clean set and json" test_analyze_clean_and_json
+  ]

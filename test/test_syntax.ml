@@ -211,6 +211,57 @@ let test_class_inclusions () =
         check_bool "G ⊆ FG" true (Tgd_class.is_frontier_guarded s))
     sample
 
+let test_classes_empty_body () =
+  (* an empty body has at most one atom, vacuously guards everything, and
+     so sits in Linear, Guarded, and Frontier-guarded at once *)
+  let seed = tgd "-> exists z. P(z)." in
+  check_bool "empty body linear" true (Tgd_class.is_linear seed);
+  check_bool "empty body guarded" true (Tgd_class.is_guarded seed);
+  check_bool "empty body fg" true (Tgd_class.is_frontier_guarded seed);
+  check_bool "empty body not full (existential head)" false
+    (Tgd_class.is_full seed);
+  check_bool "guard atom absent" true (Tgd_class.guard seed = None);
+  (* two-atom existential seed: still empty-bodied, still all three *)
+  let pair = tgd "-> exists z. P(z), Q(z)." in
+  check_bool "pair seed linear" true (Tgd_class.is_linear pair);
+  check_bool "pair seed guarded" true (Tgd_class.is_guarded pair);
+  check_bool "pair seed fg" true (Tgd_class.is_frontier_guarded pair)
+
+let test_classify_ordering () =
+  (* classify lists the nested classes most restrictive first:
+     Linear before Guarded before Frontier_guarded; Full orthogonal, last *)
+  let pos c l =
+    let rec go i = function
+      | [] -> None
+      | x :: r -> if x = c then Some i else go (i + 1) r
+    in
+    go 0 l
+  in
+  let check_order s =
+    let cs = Tgd_class.classify s in
+    (match (pos Tgd_class.Linear cs, pos Tgd_class.Guarded cs) with
+    | Some i, Some j -> check_bool "L before G" true (i < j)
+    | Some _, None -> Alcotest.fail "linear but not guarded"
+    | _ -> ());
+    (match (pos Tgd_class.Guarded cs, pos Tgd_class.Frontier_guarded cs) with
+    | Some i, Some j -> check_bool "G before FG" true (i < j)
+    | Some _, None -> Alcotest.fail "guarded but not fg"
+    | _ -> ());
+    match pos Tgd_class.Full cs with
+    | Some i -> check_int "Full last" (List.length cs - 1) i
+    | None -> ()
+  in
+  List.iter check_order
+    [ tgd "-> exists z. P(z)."; tgd "R(x,y) -> T(x).";
+      tgd "R(x,y), P(x) -> T(x)."; tgd "R(x,y), S(y,z) -> T(x,y).";
+      tgd "E(x,y), E(y,z) -> E(x,z)."; tgd "R(x) -> exists z. S(x,z)." ];
+  (* a linear full rule carries all four labels in order *)
+  Alcotest.(check (list (of_pp Tgd_class.pp_cls)))
+    "all four, ordered"
+    [ Tgd_class.Linear; Tgd_class.Guarded; Tgd_class.Frontier_guarded;
+      Tgd_class.Full ]
+    (Tgd_class.classify (tgd "R(x,y) -> T(x)."))
+
 let test_guard_extraction () =
   let s = tgd "R(x,y), P(x) -> T(x)." in
   (match Tgd_class.guard s with
@@ -271,6 +322,8 @@ let suite =
     case "tgd refresh" test_tgd_refresh;
     case "classes" test_classes;
     case "class inclusions" test_class_inclusions;
+    case "classes: empty bodies" test_classes_empty_body;
+    case "classify ordering" test_classify_ordering;
     case "guard extraction" test_guard_extraction;
     case "egd" test_egd;
     case "edd" test_edd;

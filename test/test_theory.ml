@@ -140,6 +140,24 @@ let test_egd_merge_prefers_rigid () =
        (fun x -> not (Constant.is_null x))
        (Instance.adom r.Theory.instance))
 
+let test_dedup_renamed () =
+  (* of_tgds drops later rules that are equal to an earlier one up to
+     variable renaming, keeping the first spelling *)
+  let a = tgd "Emp(x,d) -> Dept(d)." in
+  let b = tgd "Emp(u,w) -> Dept(w)." in
+  let c' = tgd "Emp(x,d) -> exists m. Mgr(d,m)." in
+  let th = Theory.of_tgds [ a; b; c'; a ] in
+  check_int "two survivors" 2 (List.length th.Theory.tgds);
+  check_tgd "first spelling kept" a (List.nth th.Theory.tgds 0);
+  check_tgd "distinct rule kept" c' (List.nth th.Theory.tgds 1);
+  (* of_dependencies dedupes the tgd part the same way *)
+  let th2 =
+    Theory.of_dependencies
+      [ Dependency.Tgd a; Dependency.Tgd b; Dependency.Egd key_egd ]
+  in
+  check_int "tgds deduped" 1 (List.length th2.Theory.tgds);
+  check_int "egds kept" 1 (List.length th2.Theory.egds)
+
 let suite =
   [ case "satisfies" test_satisfies;
     case "chase merges nulls" test_chase_merges_nulls;
@@ -149,5 +167,6 @@ let suite =
     case "denial after tgd round" test_denial_triggered_by_tgds;
     case "certain answers (mixed, ex falso)" test_certain_boolean_mixed;
     case "of_dependencies" test_of_dependencies;
-    case "merge prefers rigid constants" test_egd_merge_prefers_rigid
+    case "merge prefers rigid constants" test_egd_merge_prefers_rigid;
+    case "duplicate tgds dropped up to renaming" test_dedup_renamed
   ]
