@@ -1033,6 +1033,194 @@ let e14 ~reps () =
   close_out oc;
   row "@.BENCH_analysis.json written@."
 
+(* ------------------------------------------------------------------ *)
+(* E15 — crash recovery: checkpoint write overhead, resume-vs-cold,     *)
+(*       request completion under injected faults (BENCH_recover.json)  *)
+(* ------------------------------------------------------------------ *)
+
+let e15 ~reps () =
+  let module Snapshot = Tgd_engine.Snapshot in
+  let module Chaos = Tgd_engine.Chaos in
+  let module Stats = Tgd_engine.Stats in
+  section "E15  crash recovery: checkpoint overhead, resume-vs-cold, faulty serve";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tgd_bench_recover_%d" (Unix.getpid ()))
+  in
+  (* an unrewritable input, so the candidate space is swept to the end —
+     ~5k candidates / ~1.3k screening batches, i.e. many checkpoint
+     opportunities.  Memoization is off so each candidate costs a real
+     chase and the relative overhead numbers are stable. *)
+  let sigma = Families.fg_unrewritable 3 in
+  let base_config = { (rewrite_config 3 2) with Rewrite.memo = false } in
+  let cold f =
+    List.init reps (fun _ ->
+        Tgd_chase.Entailment.clear_memos ();
+        Tgd_chase.Chase.clear_memo ();
+        snd (time_it f))
+    |> median
+  in
+  (* -- checkpoint write overhead at several cadences ------------------ *)
+  row "(times: median of %d cold repetitions)@." reps;
+  row "%-22s %12s %12s %10s@." "cadence" "time(s)" "snapshots" "overhead";
+  let ov_entries = Buffer.create 1024 in
+  let store name = Rewrite.snapshot_store ~dir ~name in
+  let run_with checkpoint checkpoint_every =
+    ignore
+      (Budget.value
+         (Rewrite.fg_to_g
+            ~config:{ base_config with Rewrite.checkpoint; checkpoint_every }
+            sigma))
+  in
+  let baseline = cold (fun () -> run_with None 1) in
+  row "%-22s %12.4f %12d %10s@." "none" baseline 0 "-";
+  Buffer.add_string ov_entries
+    (Printf.sprintf
+       "    {\"every\": null, \"time_s\": %.6f, \"snapshots\": 0, \
+        \"overhead_pct\": 0.0}" baseline);
+  List.iter
+    (fun every ->
+      let st = store (Printf.sprintf "e15-every%d" every) in
+      let snaps0 = (Stats.global ()).Stats.snapshots in
+      let t = cold (fun () -> run_with (Some st) every) in
+      Snapshot.remove st;
+      let snaps =
+        ((Stats.global ()).Stats.snapshots - snaps0) / reps
+      in
+      let pct =
+        if baseline > 0. then 100. *. (t -. baseline) /. baseline else 0.
+      in
+      row "%-22s %12.4f %12d %9.1f%%@."
+        (Printf.sprintf "every %d batches" every)
+        t snaps pct;
+      Buffer.add_string ov_entries
+        (Printf.sprintf
+           ",\n    {\"every\": %d, \"time_s\": %.6f, \"snapshots\": %d, \
+            \"overhead_pct\": %.2f}"
+           every t snaps pct))
+    [ 1; 4; 16 ];
+  (* -- resume-vs-cold ------------------------------------------------- *)
+  section "E15  resume-vs-cold (fuel-truncated sweep, then resume)";
+  Tgd_chase.Entailment.clear_memos ();
+  Tgd_chase.Chase.clear_memo ();
+  let full_report, cold_s =
+    time_it (fun () -> Budget.value (Rewrite.fg_to_g ~config:base_config sigma))
+  in
+  let st = store "e15-resume" in
+  (* pick a fuel that truncates partway through the sweep *)
+  let truncated_run fuel =
+    Tgd_chase.Entailment.clear_memos ();
+    Tgd_chase.Chase.clear_memo ();
+    let config =
+      { base_config with
+        Rewrite.budget = Budget.make ~fuel ();
+        checkpoint = Some st;
+        checkpoint_every = 1
+      }
+    in
+    time_it (fun () -> Rewrite.fg_to_g ~config sigma)
+  in
+  let rec find_fuel = function
+    | [] -> None
+    | fuel :: rest -> (
+      Snapshot.remove st;
+      match truncated_run fuel with
+      | Budget.Truncated _, dt -> Some (fuel, dt)
+      | Budget.Complete _, _ -> find_fuel rest)
+  in
+  let resume_entry =
+    match find_fuel [ 50; 200; 800; 3_200; 12_800 ] with
+    | None ->
+      row "sweep too small to truncate: resume not measured@.";
+      Printf.sprintf
+        "  \"resume\": {\"cold_s\": %.6f, \"measured\": false}" cold_s
+    | Some (fuel, truncated_s) ->
+      let resumed =
+        match Snapshot.load st with
+        | Snapshot.Resumed cp -> cp
+        | _ -> failwith "E15: truncated sweep left no loadable checkpoint"
+      in
+      Tgd_chase.Entailment.clear_memos ();
+      Tgd_chase.Chase.clear_memo ();
+      let resumed_report, resume_s =
+        time_it (fun () ->
+            Budget.value
+              (Rewrite.fg_to_g ~config:base_config ~resume:resumed sigma))
+      in
+      Snapshot.remove st;
+      let agree = resumed_report.Rewrite.outcome = full_report.Rewrite.outcome in
+      row "%-22s %12s %12s %12s %8s@." "" "cold(s)" "trunc(s)" "resume(s)"
+        "agree";
+      row "%-22s %12.4f %12.4f %12.4f %8b@."
+        (Printf.sprintf "fuel %d" fuel)
+        cold_s truncated_s resume_s agree;
+      Printf.sprintf
+        "  \"resume\": {\"measured\": true, \"fuel\": %d, \"cold_s\": %.6f, \
+         \"truncated_s\": %.6f, \"resume_s\": %.6f, \
+         \"resumed_equals_cold\": %b}"
+        fuel cold_s truncated_s resume_s agree
+  in
+  (* -- request completion under injected faults ----------------------- *)
+  section "E15  serve: requests completed under faults, retries 0 vs 3";
+  let module Server = Tgd_serve.Server in
+  let module Json = Tgd_serve.Json in
+  let requests = 200 in
+  let request i =
+    Result.get_ok
+      (Json.of_string
+         (Printf.sprintf
+            "{\"id\": %d, \"op\": \"entail\", \
+             \"tgds\": \"E(x,y) -> S(y).\", \
+             \"goal\": \"E(x,y), E(y,z) -> S(z).\"}"
+            i))
+  in
+  let serve_entries = Buffer.create 1024 in
+  let first = ref true in
+  row "%-10s %-8s %10s %10s %12s@." "raise_p" "retries" "ok" "fault"
+    "time(s)";
+  List.iter
+    (fun (raise_p, retries) ->
+      let config =
+        { Server.default_config with
+          Server.retries;
+          backoff_base_s = 1e-4
+        }
+      in
+      let ok = ref 0 and fault = ref 0 in
+      let _, dt =
+        time_it (fun () ->
+            Chaos.with_config
+              { Chaos.default_config with Chaos.seed = 17; raise_p }
+              (fun () ->
+                for i = 1 to requests do
+                  let resp = Server.handle config (request i) in
+                  match Json.member "ok" resp with
+                  | Some (Json.Bool true) -> incr ok
+                  | _ -> incr fault
+                done))
+      in
+      row "%-10.2f %-8d %10d %10d %12.4f@." raise_p retries !ok !fault dt;
+      if not !first then Buffer.add_string serve_entries ",\n";
+      first := false;
+      Buffer.add_string serve_entries
+        (Printf.sprintf
+           "    {\"raise_p\": %.2f, \"retries\": %d, \"requests\": %d, \
+            \"ok\": %d, \"fault\": %d, \"time_s\": %.6f}"
+           raise_p retries requests !ok !fault dt))
+    [ (0.05, 0); (0.05, 3); (0.2, 0); (0.2, 3) ];
+  let oc = open_out "BENCH_recover.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"crash_recovery\",\n  \"repetitions\": %d,\n\
+    \  \"checkpoint_overhead\": [\n%s\n  ],\n%s,\n\
+    \  \"serve_under_faults\": [\n%s\n  ]\n}\n"
+    reps
+    (Buffer.contents ov_entries)
+    resume_entry
+    (Buffer.contents serve_entries);
+  close_out oc;
+  row "@.BENCH_recover.json written@."
+
 let () =
   let has s = Array.exists (String.equal s) Sys.argv in
   let quick = has "quick" in
@@ -1041,12 +1229,14 @@ let () =
   Fmt.pr "Reproduction harness — Console, Kolaitis, Pieris: Model-theoretic@.";
   Fmt.pr "Characterizations of Rule-based Ontologies (PODS 2021)@.";
   if has "engine" || has "parallel" || has "robust" || has "analysis"
+     || has "recover"
   then begin
     (* just the requested JSON-emitting comparisons *)
     if has "engine" then e11 ~reps ();
     if has "parallel" then e12 ~reps ~jobs_list ();
     if has "robust" then e13 ~reps ();
     if has "analysis" then e14 ~reps ();
+    if has "recover" then e15 ~reps ();
     Fmt.pr "@.Done.@."
   end
   else begin

@@ -77,14 +77,56 @@ let budget_of rounds max_facts timeout fuel =
   Tgd_engine.Budget.make ~rounds ~facts:max_facts ?timeout_s:timeout ?fuel ()
 
 (* Exit code 3 — distinct from 1 (negative verdict) and 2 (undecided) — is
-   reserved for budget truncation across all subcommands. *)
+   reserved for budget truncation across all subcommands; 4 for a durable
+   checkpoint that exists but fails validation. *)
 let truncated_exit =
   Cmd.Exit.info 3
     ~doc:"the run was truncated by its resource budget ($(b,--timeout), \
           $(b,--fuel), $(b,--rounds), $(b,--max-facts), or an injected \
           fault); the partial results printed are a sound prefix."
 
-let exits = truncated_exit :: Cmd.Exit.defaults
+let rejected_exit =
+  Cmd.Exit.info 4
+    ~doc:"a durable checkpoint exists under $(b,--checkpoint-dir) but was \
+          rejected (bad magic/header, checksum mismatch, truncated payload \
+          — with no intact backup generation).  Nothing was resumed or \
+          overwritten; delete the $(i,.snap) files to start fresh."
+
+let exits = truncated_exit :: rejected_exit :: Cmd.Exit.defaults
+
+let checkpoint_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:"Persist progress snapshots under $(docv) and resume from them \
+              on restart (a notice goes to stderr; stdout stays \
+              byte-comparable with an uninterrupted run).  The snapshot is \
+              removed when the run completes.  A corrupt snapshot aborts \
+              with exit code 4 instead of silently restarting.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Snapshot cadence: committed screening batches between saves \
+              for $(b,rewrite) (default 1), chase rounds per slice for \
+              $(b,chase) (default 8).")
+
+(* Shared load-or-die: [Fresh] starts over, [Resumed] announces on stderr,
+   [Rejected] prints every diagnosis and exits 4 — corruption must never
+   silently masquerade as a fresh start. *)
+let load_checkpoint store =
+  match Tgd_engine.Snapshot.load store with
+  | Tgd_engine.Snapshot.Fresh -> None
+  | Tgd_engine.Snapshot.Resumed v ->
+    Fmt.epr "resuming from checkpoint %s@." (Tgd_engine.Snapshot.path store);
+    Some v
+  | Tgd_engine.Snapshot.Rejected errors ->
+    List.iter
+      (fun e ->
+        Fmt.epr "checkpoint rejected: %a@." Tgd_engine.Snapshot.pp_error e)
+      errors;
+    exit 4
 
 let stats_arg =
   Arg.(
@@ -151,7 +193,7 @@ let chase_cmd =
           ~doc:"Print the derivation tree of a fact, e.g. \"T(a,c)\".")
   in
   let run path db_path rounds max_facts timeout fuel oblivious explain stats
-      naive jobs no_analyze =
+      naive jobs no_analyze checkpoint_dir checkpoint_every =
     let sigma = parse_tgds_file path in
     let schema = Rewrite.schema_of sigma in
     let p = parse_program_file path in
@@ -166,11 +208,24 @@ let chase_cmd =
     let budget = budget_of rounds max_facts timeout fuel in
     match explain with
     | None ->
-      let chase =
-        if oblivious then Tgd_chase.Chase.oblivious ?on_fire:None
-        else Tgd_chase.Chase.restricted ?on_fire:None
+      let r =
+        match checkpoint_dir with
+        | Some dir ->
+          if oblivious || naive then
+            Fmt.failwith
+              "--checkpoint-dir supports the default restricted engine \
+               chase only";
+          let store = Tgd_chase.Chase.snapshot_store ~dir ~name:"chase" in
+          let resume = load_checkpoint store in
+          Tgd_chase.Chase.restricted_resumable ~budget ~jobs
+            ?every:checkpoint_every ~store ?resume sigma db
+        | None ->
+          let chase =
+            if oblivious then Tgd_chase.Chase.oblivious ?on_fire:None
+            else Tgd_chase.Chase.restricted ?on_fire:None
+          in
+          chase ~naive ~budget ~jobs ~analyze:(not no_analyze) sigma db
       in
-      let r = chase ~naive ~budget ~jobs ~analyze:(not no_analyze) sigma db in
       Fmt.pr "%a@.%a@." Tgd_chase.Chase.pp_result r Tgd_instance.Instance.pp
         r.Tgd_chase.Chase.instance;
       if stats then
@@ -205,7 +260,8 @@ let chase_cmd =
     Term.(
       const run $ ontology_arg $ db_arg $ budget_arg $ max_facts_arg
       $ timeout_arg $ fuel_arg $ oblivious_arg $ explain_arg $ stats_arg
-      $ naive_arg $ jobs_arg $ no_analyze_arg)
+      $ naive_arg $ jobs_arg $ no_analyze_arg $ checkpoint_dir_arg
+      $ checkpoint_every_arg)
 
 (* ---- entails ---- *)
 
@@ -258,8 +314,19 @@ let rewrite_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the rewriting to a file.")
   in
   let run direction path body head rounds max_facts timeout fuel out stats
-      naive jobs no_analyze =
+      naive jobs no_analyze checkpoint_dir checkpoint_every =
     let sigma = parse_tgds_file path in
+    let store =
+      Option.map
+        (fun dir ->
+          Rewrite.snapshot_store ~dir
+            ~name:
+              (match direction with
+              | `G2l -> "rewrite-g2l"
+              | `Fg2g -> "rewrite-fg2g"))
+        checkpoint_dir
+    in
+    let resume = Option.bind store load_checkpoint in
     let config =
       Rewrite.
         { caps =
@@ -270,13 +337,15 @@ let rewrite_cmd =
           naive;
           memo = not naive;
           jobs;
-          analyze = not no_analyze
+          analyze = not no_analyze;
+          checkpoint = store;
+          checkpoint_every = Option.value checkpoint_every ~default:1
         }
     in
     let outcome =
       match direction with
-      | `G2l -> Rewrite.g_to_l ~config sigma
-      | `Fg2g -> Rewrite.fg_to_g ~config sigma
+      | `G2l -> Rewrite.g_to_l ~config ?resume sigma
+      | `Fg2g -> Rewrite.fg_to_g ~config ?resume sigma
     in
     let report = Tgd_engine.Budget.value outcome in
     Fmt.pr "n = %d, m = %d; %d candidates enumerated, %d entailed, %d \
@@ -313,7 +382,8 @@ let rewrite_cmd =
     Term.(
       const run $ direction_arg $ file_arg $ body_cap $ head_cap $ budget_arg
       $ max_facts_arg $ timeout_arg $ fuel_arg $ out_arg $ stats_arg
-      $ naive_arg $ jobs_arg $ no_analyze_arg)
+      $ naive_arg $ jobs_arg $ no_analyze_arg $ checkpoint_dir_arg
+      $ checkpoint_every_arg)
 
 (* ---- properties ---- *)
 
@@ -626,12 +696,82 @@ let analyze_cmd =
              with warnings, 2 with errors.")
     Term.(const run $ ontology_arg $ json_arg $ deep_arg)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let retries_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry attempts for a request hit by a transient injected \
+                fault before answering with the $(b,fault) error code.")
+  in
+  let queue_limit_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:"Queued requests beyond which new ones are shed immediately \
+                with the $(b,overloaded) error code.")
+  in
+  let chaos_raise_p_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "chaos-raise-p" ] ~docv:"P"
+          ~doc:"Install fault injection: probability of an injected \
+                exception at each instrumented engine site (for robustness \
+                testing; see also $(b,--chaos-seed)).")
+  in
+  let chaos_delay_p_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "chaos-delay-p" ] ~docv:"P"
+          ~doc:"Fault injection: probability of a 1ms delay per site step.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:"Seed for the deterministic fault-injection schedule.")
+  in
+  let run rounds max_facts timeout retries queue_limit chaos_raise_p
+      chaos_delay_p chaos_seed =
+    if chaos_raise_p > 0. || chaos_delay_p > 0. then
+      Tgd_engine.Chaos.install
+        { Tgd_engine.Chaos.default_config with
+          seed = chaos_seed;
+          raise_p = chaos_raise_p;
+          delay_p = chaos_delay_p
+        };
+    let config =
+      { Tgd_serve.Server.default_config with
+        rounds;
+        max_facts;
+        timeout_s = timeout;
+        retries;
+        queue_limit
+      }
+    in
+    exit (Tgd_serve.Server.serve ~config stdin stdout)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:"Serve classify/chase/entail/rewrite/analyze requests over \
+             line-delimited JSON on stdin/stdout.  Every accepted request \
+             gets exactly one terminal response; transient injected faults \
+             are retried with backoff; requests beyond $(b,--queue-limit) \
+             are shed with a structured $(b,overloaded) error; SIGINT and \
+             SIGTERM drain queued requests before exiting.")
+    Term.(
+      const run $ budget_arg $ max_facts_arg $ timeout_arg $ retries_arg
+      $ queue_limit_arg $ chaos_raise_p_arg $ chaos_delay_p_arg
+      $ chaos_seed_arg)
+
 let main =
   Cmd.group
     (Cmd.info "tgdtool" ~version:"1.0.0"
        ~doc:"Model-theoretic characterizations of rule-based ontologies (PODS'21) — toolkit.")
     [ classify_cmd; chase_cmd; entails_cmd; rewrite_cmd; properties_cmd;
       synthesize_cmd; count_cmd; diagnose_cmd; theory_cmd; datalog_cmd;
-      core_cmd; acyclic_cmd; refute_cmd; analyze_cmd ]
+      core_cmd; acyclic_cmd; refute_cmd; analyze_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -256,6 +256,80 @@ let oblivious ?(naive = false) ?(budget = default_budget) ?on_fire ?(jobs = 1)
   in
   with_promotion ~analyze ~budget ~rerun:go sigma (go budget)
 
+(* ------------------------------------------------------------------ *)
+(* Durable checkpoints                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type checkpoint = {
+  chk_instance : Instance.t;
+  chk_rounds : int;
+  chk_fired : int;
+}
+
+let snapshot_kind = "chase-state"
+
+let snapshot_store ~dir ~name =
+  Snapshot.create ~dir ~name ~kind:snapshot_kind ()
+
+(* Checkpointed restricted chase: run in slices of [every] rounds and
+   persist the committed instance at each slice boundary, so a killed run
+   resumes from the last boundary instead of refiring from the input.
+   [Budget.with_rounds] shares the fuel tank, deadline and cancellation
+   token across slices, so the overall governance is that of [budget]; the
+   per-slice round cap is the only retuned knob.
+
+   Resumed runs re-derive the same saturation (the committed prefix is
+   sound, and restricted firing is idempotent on satisfied triggers), but
+   the semi-naive engine restarts each slice with the full instance as its
+   delta, so round numbering and fresh-null naming may differ from the
+   uninterrupted run — the result is identical up to null renaming
+   (isomorphism), which is all the chase ever promises.  Certificate-based
+   promotion is disabled: lifting the round cap would defeat slicing. *)
+let restricted_resumable ?(budget = default_budget) ?(jobs = 1) ?(every = 8)
+    ~store ?resume sigma inst =
+  if every < 1 then
+    invalid_arg "Chase.restricted_resumable: every must be >= 1";
+  let acc = Stats.create () in
+  let rec go inst rounds_done fired_done =
+    let slice = min every (budget.Budget.max_rounds - rounds_done) in
+    let r =
+      restricted ~budget:(Budget.with_rounds budget slice) ~jobs
+        ~analyze:false sigma inst
+    in
+    Stats.add ~into:acc r.stats;
+    let rounds_done = rounds_done + r.rounds in
+    let fired_done = fired_done + r.fired in
+    let save () =
+      Snapshot.save store
+        { chk_instance = r.instance;
+          chk_rounds = rounds_done;
+          chk_fired = fired_done
+        }
+    in
+    let finish outcome =
+      { instance = r.instance;
+        outcome;
+        rounds = rounds_done;
+        fired = fired_done;
+        stats = acc
+      }
+    in
+    match r.outcome with
+    | Terminated ->
+      Snapshot.remove store;
+      finish Terminated
+    | Truncated Budget.Rounds when rounds_done < budget.Budget.max_rounds ->
+      (* only the slice cap tripped: persist and keep going *)
+      save ();
+      go r.instance rounds_done fired_done
+    | Truncated reason ->
+      save ();
+      finish (Truncated reason)
+  in
+  match resume with
+  | Some cp -> go cp.chk_instance cp.chk_rounds cp.chk_fired
+  | None -> go inst 0 0
+
 let is_model r = r.outcome = Terminated
 
 let pp_result ppf r =

@@ -79,6 +79,41 @@ val oblivious :
 val clear_memo : unit -> unit
 (** Drop every entry of the [~memo:true] result cache. *)
 
+type checkpoint = {
+  chk_instance : Instance.t;  (** committed saturation prefix *)
+  chk_rounds : int;           (** rounds completed across all slices *)
+  chk_fired : int;
+}
+(** On-disk chase state, persisted through {!Tgd_engine.Snapshot}. *)
+
+val snapshot_kind : string
+(** The {!Tgd_engine.Snapshot} kind tag for chase checkpoints
+    (["chase-state"]). *)
+
+val snapshot_store : dir:string -> name:string -> Tgd_engine.Snapshot.store
+(** A store of {!snapshot_kind} under [dir] — the shape callers pass to
+    {!restricted_resumable} and feed to [Snapshot.load] to decide between
+    [?resume] and a fresh start (a corrupt snapshot surfaces there as
+    [Rejected], which callers must treat as an error, not a fresh run). *)
+
+val restricted_resumable :
+  ?budget:budget ->
+  ?jobs:int ->
+  ?every:int ->
+  store:Tgd_engine.Snapshot.store ->
+  ?resume:checkpoint ->
+  Tgd.t list -> Instance.t -> result
+(** {!restricted}, in slices of [every] rounds (default 8), persisting the
+    committed instance to [store] at every slice boundary and on any
+    truncation — so a killed run resumes from the last boundary via
+    [?resume] instead of refiring from the input.  The snapshot is removed
+    when the chase terminates.  The budget's fuel, deadline and
+    cancellation govern the whole run across slices; promotion
+    ([analyze]) and [memo] are disabled.  A resumed run reaches the same
+    saturation up to null renaming (round/firing counters may differ —
+    the engine restarts each slice with the full committed instance as
+    its delta). *)
+
 val is_model : result -> bool
 (** [outcome = Terminated]. *)
 

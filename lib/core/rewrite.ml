@@ -5,6 +5,7 @@ module Stats = Tgd_engine.Stats
 module Pool = Tgd_engine.Pool
 module Budget = Tgd_engine.Budget
 module Chaos = Tgd_engine.Chaos
+module Snapshot = Tgd_engine.Snapshot
 
 type config = {
   caps : Candidates.caps;
@@ -14,6 +15,8 @@ type config = {
   memo : bool;
   jobs : int;
   analyze : bool;
+  checkpoint : Snapshot.store option;
+  checkpoint_every : int;
 }
 
 let default_config =
@@ -23,8 +26,15 @@ let default_config =
     naive = false;
     memo = true;
     jobs = 1;
-    analyze = true
+    analyze = true;
+    checkpoint = None;
+    checkpoint_every = 1
   }
+
+let snapshot_kind = "rewrite-sweep"
+
+let snapshot_store ~dir ~name =
+  Snapshot.create ~dir ~name ~kind:snapshot_kind ()
 
 type outcome =
   | Rewritable of Tgd.t list
@@ -155,12 +165,23 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
     else Entailment.entails ~naive ~memo ~budget ~analyze sigma candidate
   in
   let batch_size = max 1 (4 * config.jobs) in
+  (* Durable checkpoints ride the same batch boundaries the in-memory
+     checkpoint uses: the persisted cursor always points at a committed
+     boundary, so a process killed mid-batch resumes exactly where an
+     in-process truncation would have.  [persist] runs on the submitting
+     domain only — workers never touch the store. *)
+  let persist cp =
+    match config.checkpoint with
+    | None -> ()
+    | Some store -> Snapshot.save store cp
+  in
   let run pool =
     let screened_rev = ref (List.rev prefix) in
     let cursor = ref start in
     let trip = ref None in
     let rest = ref (Seq.drop start (enumerate config.caps schema ~n ~m)) in
     let exhausted = ref false in
+    let since_save = ref 0 in
     while !trip = None && not !exhausted do
       match Budget.check budget with
       | Some r -> trip := Some r
@@ -182,7 +203,18 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
             | None ->
               screened_rev := List.rev_append results !screened_rev;
               cursor := !cursor + List.length batch;
-              rest := rest')
+              rest := rest';
+              incr since_save;
+              if
+                Option.is_some config.checkpoint
+                && !since_save >= config.checkpoint_every
+              then begin
+                since_save := 0;
+                persist
+                  { cursor = !cursor;
+                    screened_prefix = List.rev !screened_rev
+                  }
+              end)
           | exception Chaos.Injected site -> trip := Some (Budget.Fault site)
         end
     done;
@@ -216,11 +248,13 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
     }
   in
   let truncated ~phase reason =
+    let cp = { cursor; screened_prefix = screened } in
+    persist cp;
     let partial =
       mk_report
         (Unknown
            (Fmt.str "truncated during %s: %a" phase Budget.pp_exhaustion reason))
-        (Some { cursor; screened_prefix = screened })
+        (Some cp)
     in
     Budget.Truncated { reason; partial; progress = partial.stats }
   in
@@ -256,11 +290,15 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
            redundant members, so the set is correct but possibly larger
            than the unbudgeted run's — report it as truncated with the
            full checkpoint so a resume recomputes the tail phases *)
-        let partial =
-          mk_report outcome (Some { cursor; screened_prefix = screened })
-        in
+        let cp = { cursor; screened_prefix = screened } in
+        persist cp;
+        let partial = mk_report outcome (Some cp) in
         Budget.Truncated { reason; partial; progress = partial.stats }
-      | None -> Budget.Complete (mk_report outcome None)))
+      | None ->
+        (match config.checkpoint with
+        | Some store -> Snapshot.remove store
+        | None -> ());
+        Budget.Complete (mk_report outcome None)))
 
 let g_to_l ?config ?resume sigma =
   if not (Tgd_class.all_in_class Tgd_class.Guarded sigma) then

@@ -43,9 +43,28 @@ type config = {
           certificate-based promotion ({!Tgd_chase.Chase.restricted}).
           The outcome is unchanged either way — the prefilter only skips
           work the chase would have rejected. *)
+  checkpoint : Tgd_engine.Snapshot.store option;
+      (** persist the screening checkpoint to this store at batch
+          boundaries, on truncation, and remove it on completion — so a
+          killed sweep resumes from disk.  [None] (default): no
+          persistence.  Load the store yourself and pass the value as
+          [?resume]; a [Rejected] load is an error to surface, not a
+          fresh start. *)
+  checkpoint_every : int;
+      (** committed batches between durable saves (default 1 = every
+          batch).  Larger values trade re-screening after a crash for
+          less write amplification. *)
 }
 
 val default_config : config
+
+val snapshot_kind : string
+(** The {!Tgd_engine.Snapshot} kind tag for sweep checkpoints
+    (["rewrite-sweep"]). *)
+
+val snapshot_store : dir:string -> name:string -> Tgd_engine.Snapshot.store
+(** A store of {!snapshot_kind} under [dir], suitable for
+    [config.checkpoint] and for [Snapshot.load] before resuming. *)
 
 type outcome =
   | Rewritable of Tgd.t list

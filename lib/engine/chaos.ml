@@ -19,9 +19,49 @@ let default_config =
 exception Injected of string
 
 let state : config option Atomic.t = Atomic.make None
-let shots = Atomic.make 0
 
-let install cfg = Atomic.set state (Some cfg)
+(* Per-site shot counters.  A draw is a pure hash of
+   (seed, site, site-local shot number), so the fault schedule of a site is
+   a function of how many times {e that site} stepped — not of what any
+   other site did.  [install] resets the counters, so two runs under the
+   same config replay the identical schedule (exactly, on a single domain;
+   per-site as a set under [jobs > 1], where the counter increments
+   interleave across workers).  Creation and increment are serialized by
+   one mutex: chaos is only ever active in the robustness suites, where the
+   fairness of a lock beats the cleverness of a lock-free map. *)
+let sites : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let sites_mutex = Mutex.create ()
+
+let next_shot site =
+  Mutex.lock sites_mutex;
+  let counter =
+    match Hashtbl.find_opt sites site with
+    | Some c -> c
+    | None ->
+      let c = ref 0 in
+      Hashtbl.add sites site c;
+      c
+  in
+  let shot = !counter in
+  incr counter;
+  Mutex.unlock sites_mutex;
+  shot
+
+let shot_count ~site =
+  Mutex.lock sites_mutex;
+  let n = match Hashtbl.find_opt sites site with Some c -> !c | None -> 0 in
+  Mutex.unlock sites_mutex;
+  n
+
+let reset_shots () =
+  Mutex.lock sites_mutex;
+  Hashtbl.reset sites;
+  Mutex.unlock sites_mutex
+
+let install cfg =
+  reset_shots ();
+  Atomic.set state (Some cfg)
+
 let uninstall () = Atomic.set state None
 let active () = Atomic.get state <> None
 
@@ -39,7 +79,7 @@ let step ~site =
   match Atomic.get state with
   | None -> ()
   | Some cfg ->
-    let shot = Atomic.fetch_and_add shots 1 in
+    let shot = next_shot site in
     if draw cfg.seed site shot 0 < cfg.delay_p then Unix.sleepf cfg.delay_s;
     if draw cfg.seed site shot 1 < cfg.alloc_p then
       ignore (Sys.opaque_identity (Array.make cfg.alloc_words 0));

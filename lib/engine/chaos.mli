@@ -2,16 +2,23 @@
 
     When a configuration is installed, {!step} probabilistically injects
     delays, allocation spikes, and exceptions at the engine's instrumented
-    sites — chase trigger firings ([chase.fire], [chase.naive]) and pool
-    chunks ([pool.chunk]).  With no configuration installed (the default),
-    {!step} is a single atomic read and injects nothing; production code
-    never pays more than that.
+    sites — chase trigger firings ([chase.fire], [chase.naive]), pool
+    chunks ([pool.chunk]), pool workers ([pool.worker] — an injection
+    there kills the worker domain, exercising the {!Supervisor}), and the
+    serve loop ([serve.request]).  With no configuration installed (the
+    default), {!step} is a single atomic read and injects nothing;
+    production code never pays more than that.
 
-    Draws are a pure hash of (seed, site, shot number), so a given seed
-    replays the same fault schedule per shot; shot numbers are taken from
-    one process-wide counter and therefore interleave nondeterministically
-    across domains — the suites assert {e typed-outcome} invariants, never
-    which exact shot fired.
+    {b Determinism.}  Draws are a pure hash of (seed, site, shot number),
+    where the shot number counts the steps of {e that site alone} — one
+    site's schedule is independent of how often other sites step.
+    {!install} resets all counters, so a single-domain run under a given
+    config replays an identical fault schedule every time (the property
+    the deterministic-replay tests assert).  With [jobs > 1] the per-site
+    counter increments interleave nondeterministically across worker
+    domains, so the {e set} of firing shots per site is deterministic but
+    their attribution to work items is not — the suites assert
+    {e typed-outcome} invariants there, never which exact item faulted.
 
     Injected exceptions carry the distinguished {!Injected} exception; the
     engine's run boundaries catch it and surface a typed
@@ -31,9 +38,13 @@ val default_config : config
 (** All probabilities 0; [delay_s = 1e-3], [alloc_words = 65_536]. *)
 
 exception Injected of string
-(** The payload names the site and shot, e.g. ["chase.fire#42"]. *)
+(** The payload names the site and its site-local shot, e.g.
+    ["chase.fire#42"]. *)
 
 val install : config -> unit
+(** Install [cfg] and reset every per-site shot counter, so schedules
+    replay from shot 0. *)
+
 val uninstall : unit -> unit
 val active : unit -> bool
 
@@ -43,3 +54,7 @@ val with_config : config -> (unit -> 'a) -> 'a
 val step : site:string -> unit
 (** Possibly inject at [site].  No-op when nothing is installed.
     @raise Injected when the raise draw fires. *)
+
+val shot_count : site:string -> int
+(** Steps taken at [site] since the last {!install} — how far that site's
+    deterministic stream has advanced. *)

@@ -1,64 +1,202 @@
-(* A chunk-claiming domain pool built on Domain + Mutex/Condition only.
+(* A supervised chunk-claiming domain pool built on Domain + Mutex/Condition.
 
-   Workers block on [nonempty] and claim chunk tasks from a shared queue —
+   Workers block on [nonempty] and claim chunk execs from a shared queue —
    dynamic claiming is what balances load when per-item cost varies by
    orders of magnitude (a candidate whose chase terminates in one round vs
-   one that exhausts the budget).  Each chunk task snapshots the worker
-   domain's [Stats.global] before running and folds the delta into the
-   batch accumulator, which the submitting domain merges into its own
-   global when the batch joins — so counter attribution is exact and
-   race-free without a single atomic counter in the hot path. *)
+   one that exhausts the budget).  Each chunk snapshots the worker domain's
+   [Stats.global] before running and folds the delta into the batch
+   accumulator, which the submitting domain merges into its own global when
+   the batch joins — so counter attribution is exact and race-free without
+   a single atomic counter in the hot path.
 
-type task = unit -> unit
+   Supervision.  A monitor domain ticks the {!Supervisor} state machine:
+   a worker that dies after claiming a chunk (simulated by [Chaos.step] at
+   site [pool.worker]) requeues its untouched chunk and returns, and the
+   monitor spawns a replacement after capped exponential backoff — the
+   batch completes with the correct result despite the deaths.  A worker
+   busy longer than the (opt-in) wedge timeout is presumed stuck: its
+   in-flight chunk is abandoned with [Chaos.Injected "pool.wedged#<slot>"]
+   (failing the batch through the normal typed-fault path) and the slot is
+   respawned under a fresh generation; the stale domain recognises its
+   generation on wake-up and exits without touching anything.  Once total
+   respawns exhaust the policy's budget the circuit breaker trips: the
+   monitor rescue-drains whatever is queued (running it inline, so no join
+   can hang waiting for workers that will not come back) and subsequent
+   batches execute sequentially in the submitting domain.
+
+   Exactly-once chunks.  Both the worker's completion and the monitor's
+   abandonment commit through one compare-and-set per exec, so a chunk
+   decrements its batch exactly once — a stale worker that finishes after
+   its chunk was abandoned simply loses the race and discards.
+
+   Shutdown joins only domains the supervisor vouches for: live workers
+   (they exit on [closing]) and self-died workers (already returned).
+   Wedged zombies are skipped — they exit on their own when they wake up
+   stale, and the process does not wait for them. *)
+
+type exec = {
+  run : unit -> unit;       (* chunk body + exactly-once commit *)
+  abandon : exn -> unit;    (* exactly-once failure commit, no body *)
+}
 
 type t = {
   jobs : int;
   mutex : Mutex.t;
   nonempty : Condition.t;
-  queue : task Queue.t;
+  queue : exec Queue.t;
+  sup : Supervisor.t;
+  current : exec option array;           (* per slot: exec in flight *)
+  domains : unit Domain.t option array;  (* per slot: current-gen handle *)
+  joinable : bool array;                 (* false = wedged zombie, skip *)
+  mutable reported_restarts : int;       (* folded into Stats so far *)
   mutable closing : bool;
-  mutable workers : unit Domain.t list;
+  mutable shut : bool;
+  mutable monitor : unit Domain.t option;
 }
 
-let rec worker_loop pool =
+let now () = Unix.gettimeofday ()
+
+let rec worker_loop pool slot gen =
   Mutex.lock pool.mutex;
-  while Queue.is_empty pool.queue && not pool.closing do
+  while
+    Queue.is_empty pool.queue
+    && (not pool.closing)
+    && Supervisor.generation pool.sup slot = gen
+  do
     Condition.wait pool.nonempty pool.mutex
   done;
-  if Queue.is_empty pool.queue && pool.closing then Mutex.unlock pool.mutex
+  if Supervisor.generation pool.sup slot <> gen || Queue.is_empty pool.queue
+  then Mutex.unlock pool.mutex (* stale or closing: exit *)
   else begin
-    let task = Queue.pop pool.queue in
+    let exec = Queue.pop pool.queue in
+    Supervisor.note_busy pool.sup slot ~now:(now ());
+    pool.current.(slot) <- Some exec;
     Mutex.unlock pool.mutex;
-    task ();
-    worker_loop pool
+    match Chaos.step ~site:"pool.worker" with
+    | () ->
+      exec.run ();
+      Mutex.lock pool.mutex;
+      let live = Supervisor.generation pool.sup slot = gen in
+      if live then begin
+        pool.current.(slot) <- None;
+        Supervisor.note_idle pool.sup slot
+      end;
+      Mutex.unlock pool.mutex;
+      (* a stale worker was wedge-abandoned while running: its commit lost
+         the CAS above, and the slot now belongs to a newer generation *)
+      if live then worker_loop pool slot gen
+    | exception Chaos.Injected _ ->
+      (* simulated worker crash after claiming: the body never ran, so
+         requeue the untouched exec for a surviving or respawned worker,
+         record the death, and let the domain return (joinable) *)
+      Mutex.lock pool.mutex;
+      if Supervisor.generation pool.sup slot = gen then begin
+        pool.current.(slot) <- None;
+        Queue.push exec pool.queue;
+        Condition.broadcast pool.nonempty;
+        Supervisor.note_death pool.sup slot ~now:(now ())
+      end;
+      Mutex.unlock pool.mutex
   end
 
-let create ~jobs =
+let rec monitor_loop pool =
+  Unix.sleepf (Supervisor.policy pool.sup).Supervisor.tick_s;
+  Mutex.lock pool.mutex;
+  if pool.closing then Mutex.unlock pool.mutex
+  else begin
+    let actions = Supervisor.decide pool.sup ~now:(now ()) in
+    List.iter
+      (fun action ->
+        match (action : Supervisor.action) with
+        | Abandon slot -> (
+          match pool.current.(slot) with
+          | None -> () (* raced: the worker finished before this tick *)
+          | Some exec ->
+            pool.current.(slot) <- None;
+            pool.joinable.(slot) <- false; (* zombie: exits stale, unjoined *)
+            pool.domains.(slot) <- None;
+            Supervisor.note_wedged pool.sup slot ~now:(now ());
+            exec.abandon
+              (Chaos.Injected (Printf.sprintf "pool.wedged#%d" slot)))
+        | Respawn slot ->
+          (* reap the dead worker's returned domain, then replace it *)
+          (match pool.domains.(slot) with
+          | Some d when pool.joinable.(slot) -> Domain.join d
+          | _ -> ());
+          let gen = Supervisor.note_spawned pool.sup slot in
+          pool.joinable.(slot) <- true;
+          pool.domains.(slot) <-
+            Some (Domain.spawn (fun () -> worker_loop pool slot gen))
+        | Trip_breaker -> Supervisor.trip pool.sup)
+      actions;
+    let rescued = ref [] in
+    if Supervisor.tripped pool.sup then
+      (* degraded mode: pull queued chunks and run them here, sequentially,
+         so no join waits on workers that will not come back *)
+      while not (Queue.is_empty pool.queue) do
+        rescued := Queue.pop pool.queue :: !rescued
+      done;
+    Mutex.unlock pool.mutex;
+    List.iter (fun exec -> exec.run ()) (List.rev !rescued);
+    monitor_loop pool
+  end
+
+let create ?(policy = Supervisor.default_policy) ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let pool =
     { jobs;
       mutex = Mutex.create ();
       nonempty = Condition.create ();
       queue = Queue.create ();
+      sup = Supervisor.create policy ~slots:jobs;
+      current = Array.make jobs None;
+      domains = Array.make jobs None;
+      joinable = Array.make jobs true;
+      reported_restarts = 0;
       closing = false;
-      workers = []
+      shut = false;
+      monitor = None
     }
   in
-  pool.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  for slot = 0 to jobs - 1 do
+    pool.domains.(slot) <- Some (Domain.spawn (fun () -> worker_loop pool slot 0))
+  done;
+  pool.monitor <- Some (Domain.spawn (fun () -> monitor_loop pool));
   pool
 
 let jobs pool = pool.jobs
 
+let health pool =
+  Mutex.lock pool.mutex;
+  let h = Supervisor.health pool.sup in
+  Mutex.unlock pool.mutex;
+  h
+
 let shutdown pool =
   Mutex.lock pool.mutex;
-  pool.closing <- true;
-  Condition.broadcast pool.nonempty;
-  Mutex.unlock pool.mutex;
-  List.iter Domain.join pool.workers;
-  pool.workers <- []
+  if pool.shut then Mutex.unlock pool.mutex
+  else begin
+    pool.shut <- true;
+    pool.closing <- true;
+    Condition.broadcast pool.nonempty;
+    (* join only domains that will return: live workers exit on [closing],
+       self-died workers already returned; wedged zombies are skipped *)
+    let to_join =
+      List.filter_map Fun.id
+        (List.mapi
+           (fun slot d -> if pool.joinable.(slot) then d else None)
+           (Array.to_list pool.domains))
+    in
+    let monitor = pool.monitor in
+    pool.monitor <- None;
+    Array.fill pool.domains 0 (Array.length pool.domains) None;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join to_join;
+    Option.iter Domain.join monitor
+  end
 
-let with_pool ~jobs f =
-  let pool = create ~jobs in
+let with_pool ?policy ~jobs f =
+  let pool = create ?policy ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
 (* ------------------------------------------------------------------ *)
@@ -68,20 +206,20 @@ let with_pool ~jobs f =
 type batch = {
   bmutex : Mutex.t;
   finished : Condition.t;
-  mutable remaining : int;  (* chunk tasks not yet completed *)
+  mutable remaining : int;  (* chunk execs not yet committed *)
   mutable failure : exn option;
   acc : Stats.t;            (* worker Stats.global deltas, merged on join *)
 }
 
 let default_chunk ~jobs n = max 1 (min 32 (n / (8 * jobs)))
 
-let submit pool tasks =
+let submit pool execs =
   Mutex.lock pool.mutex;
-  List.iter (fun t -> Queue.push t pool.queue) tasks;
+  List.iter (fun e -> Queue.push e pool.queue) execs;
   Condition.broadcast pool.nonempty;
   Mutex.unlock pool.mutex
 
-let join_batch batch =
+let join_batch pool batch =
   Mutex.lock batch.bmutex;
   while batch.remaining > 0 do
     Condition.wait batch.finished batch.bmutex
@@ -89,29 +227,57 @@ let join_batch batch =
   Mutex.unlock batch.bmutex;
   (* fold the workers' counters into the submitting domain's accumulator *)
   Stats.add ~into:(Stats.global ()) batch.acc;
+  (* and surface supervision activity since the last join *)
+  Mutex.lock pool.mutex;
+  let h = Supervisor.health pool.sup in
+  let fresh = h.Supervisor.restarts - pool.reported_restarts in
+  pool.reported_restarts <- h.Supervisor.restarts;
+  Mutex.unlock pool.mutex;
+  if fresh > 0 then begin
+    let g = Stats.global () in
+    g.Stats.restarts <- g.Stats.restarts + fresh
+  end;
   match batch.failure with Some e -> raise e | None -> ()
 
-(* Wrap [body], which processes one chunk, with stats harvesting and batch
-   completion signalling.  [Chaos.step] sits inside the try: an injected
-   fault is recorded as the batch failure and re-raised at the join, the
-   same path any chunk exception takes — the batch still drains. *)
-let chunk_task batch body () =
-  let before = Stats.copy (Stats.global ()) in
-  let outcome =
-    try
-      Chaos.step ~site:"pool.chunk";
-      Ok (body ())
-    with e -> Error e
+(* Wrap [body], which processes one chunk, as an exec whose completion —
+   worker success, worker-caught exception, or monitor abandonment —
+   commits exactly once through [committed].  [Chaos.step] at [pool.chunk]
+   sits inside the try: an injected fault there is recorded as the batch
+   failure and re-raised at the join, the same path any chunk exception
+   takes — the batch still drains. *)
+let make_exec batch body =
+  let committed = Atomic.make false in
+  let commit outcome delta =
+    if Atomic.compare_and_set committed false true then begin
+      Mutex.lock batch.bmutex;
+      Stats.add ~into:batch.acc delta;
+      (match outcome with
+      | Ok () -> ()
+      | Error e -> if batch.failure = None then batch.failure <- Some e);
+      batch.remaining <- batch.remaining - 1;
+      if batch.remaining = 0 then Condition.broadcast batch.finished;
+      Mutex.unlock batch.bmutex
+    end
   in
-  let delta = Stats.diff (Stats.copy (Stats.global ())) before in
-  Mutex.lock batch.bmutex;
-  Stats.add ~into:batch.acc delta;
-  (match outcome with
-  | Ok () -> ()
-  | Error e -> if batch.failure = None then batch.failure <- Some e);
-  batch.remaining <- batch.remaining - 1;
-  if batch.remaining = 0 then Condition.broadcast batch.finished;
-  Mutex.unlock batch.bmutex
+  let run () =
+    let before = Stats.copy (Stats.global ()) in
+    let outcome =
+      try
+        Chaos.step ~site:"pool.chunk";
+        Ok (body ())
+      with e -> Error e
+    in
+    let delta = Stats.diff (Stats.copy (Stats.global ())) before in
+    commit outcome delta
+  in
+  let abandon e = commit (Error e) (Stats.create ()) in
+  { run; abandon }
+
+let degraded pool =
+  Mutex.lock pool.mutex;
+  let d = Supervisor.tripped pool.sup in
+  Mutex.unlock pool.mutex;
+  d
 
 let run_chunked pool ?chunk ~n body =
   let chunk =
@@ -121,22 +287,31 @@ let run_chunked pool ?chunk ~n body =
     | None -> default_chunk ~jobs:pool.jobs n
   in
   let nchunks = (n + chunk - 1) / chunk in
-  let batch =
-    { bmutex = Mutex.create ();
-      finished = Condition.create ();
-      remaining = nchunks;
-      failure = None;
-      acc = Stats.create ()
-    }
-  in
-  let tasks =
-    List.init nchunks (fun ci ->
-        let lo = ci * chunk in
-        let hi = min n (lo + chunk) in
-        chunk_task batch (fun () -> body ~lo ~hi))
-  in
-  submit pool tasks;
-  join_batch batch
+  if degraded pool then
+    (* breaker tripped: sequential fallback in the submitting domain *)
+    for ci = 0 to nchunks - 1 do
+      let lo = ci * chunk in
+      let hi = min n (lo + chunk) in
+      body ~lo ~hi
+    done
+  else begin
+    let batch =
+      { bmutex = Mutex.create ();
+        finished = Condition.create ();
+        remaining = nchunks;
+        failure = None;
+        acc = Stats.create ()
+      }
+    in
+    let execs =
+      List.init nchunks (fun ci ->
+          let lo = ci * chunk in
+          let hi = min n (lo + chunk) in
+          make_exec batch (fun () -> body ~lo ~hi))
+    in
+    submit pool execs;
+    join_batch pool batch
+  end
 
 (* Between-item cancellation poll: one atomic read per item.  A tripped
    token makes every worker abandon the rest of its chunk; the batch still

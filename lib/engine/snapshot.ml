@@ -1,0 +1,230 @@
+(* Durable checkpoints: a small self-describing container around a
+   marshalled payload.
+
+   Layout of a snapshot file — a plain-text header (debuggable with `head`)
+   followed by the binary payload:
+
+     TGDSNAP1\n
+     kind <kind>\n
+     version <int>\n
+     length <payload bytes>\n
+     md5 <hex digest of payload>\n
+     \n
+     <payload>
+
+   Writes are atomic: the full file goes to `<path>.tmp`, which is then
+   renamed over `<path>` (rename is atomic on POSIX), after the previous
+   good snapshot was rotated to `<path>.prev`.  A crash at any instant
+   therefore leaves either the new snapshot, the old one, or the old one
+   plus a stale tmp file — never a half-written current file.  Loads verify
+   the digest before unmarshalling, fall back to the `.prev` rotation when
+   the current file is damaged, and reject (typed, never a crash or silent
+   garbage) when no intact generation remains. *)
+
+type store = {
+  dir : string;
+  name : string;
+  kind : string;
+  version : int;
+  keep_backup : bool;
+}
+
+let magic = "TGDSNAP1"
+
+let create ?(version = 1) ?(keep_backup = true) ~dir ~name ~kind () =
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> ()
+      | _ -> invalid_arg "Snapshot.create: name must be a plain file stem")
+    name;
+  { dir; name; kind; version; keep_backup }
+
+let path store = Filename.concat store.dir (store.name ^ ".snap")
+let backup_path store = path store ^ ".prev"
+let tmp_path store = path store ^ ".tmp"
+let kind store = store.kind
+
+type error =
+  | Io_error of { path : string; message : string }
+  | Bad_magic of { path : string }
+  | Bad_header of { path : string; message : string }
+  | Kind_mismatch of { path : string; expected : string; found : string }
+  | Version_mismatch of { path : string; expected : int; found : int }
+  | Truncated_payload of { path : string; expected : int; found : int }
+  | Checksum_mismatch of { path : string }
+  | Unmarshal_failure of { path : string; message : string }
+
+let error_path = function
+  | Io_error { path; _ }
+  | Bad_magic { path }
+  | Bad_header { path; _ }
+  | Kind_mismatch { path; _ }
+  | Version_mismatch { path; _ }
+  | Truncated_payload { path; _ }
+  | Checksum_mismatch { path }
+  | Unmarshal_failure { path; _ } -> path
+
+let pp_error ppf = function
+  | Io_error { path; message } -> Fmt.pf ppf "%s: %s" path message
+  | Bad_magic { path } -> Fmt.pf ppf "%s: not a snapshot file (bad magic)" path
+  | Bad_header { path; message } ->
+    Fmt.pf ppf "%s: malformed header (%s)" path message
+  | Kind_mismatch { path; expected; found } ->
+    Fmt.pf ppf "%s: snapshot of kind %S, expected %S" path found expected
+  | Version_mismatch { path; expected; found } ->
+    Fmt.pf ppf "%s: snapshot format version %d, expected %d" path found
+      expected
+  | Truncated_payload { path; expected; found } ->
+    Fmt.pf ppf "%s: truncated payload (%d of %d bytes)" path found expected
+  | Checksum_mismatch { path } ->
+    Fmt.pf ppf "%s: payload checksum mismatch (corrupted)" path
+  | Unmarshal_failure { path; message } ->
+    Fmt.pf ppf "%s: payload does not unmarshal (%s)" path message
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+type 'a load =
+  | Resumed of 'a
+  | Fresh
+  | Rejected of error list
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> () (* lost a race: fine *)
+  end
+
+let save store value =
+  mkdir_p store.dir;
+  let payload = Marshal.to_string value [] in
+  let digest = Digest.to_hex (Digest.string payload) in
+  let tmp = tmp_path store in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "%s\nkind %s\nversion %d\nlength %d\nmd5 %s\n\n"
+        magic store.kind store.version (String.length payload) digest;
+      output_string oc payload;
+      flush oc);
+  let current = path store in
+  if store.keep_backup && Sys.file_exists current then
+    Sys.rename current (backup_path store);
+  Sys.rename tmp current;
+  let g = Stats.global () in
+  g.Stats.snapshots <- g.Stats.snapshots + 1
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* One header line: everything up to the next '\n' starting at [!pos]. *)
+let next_line src pos =
+  match String.index_from_opt src !pos '\n' with
+  | None -> None
+  | Some nl ->
+    let line = String.sub src !pos (nl - !pos) in
+    pos := nl + 1;
+    Some line
+
+let field p expect line =
+  match String.index_opt line ' ' with
+  | Some i when String.sub line 0 i = expect ->
+    Ok (String.sub line (i + 1) (String.length line - i - 1))
+  | _ ->
+    Error (Bad_header { path = p; message = "expected `" ^ expect ^ " ...`" })
+
+let int_field p expect line =
+  Result.bind (field p expect line) (fun s ->
+      match int_of_string_opt s with
+      | Some n -> Ok n
+      | None ->
+        Error (Bad_header { path = p; message = expect ^ " is not an int" }))
+
+let load_file store p : ('a, error) result =
+  match read_file p with
+  | exception Sys_error m -> Error (Io_error { path = p; message = m })
+  | src ->
+    let pos = ref 0 in
+    let ( let* ) = Result.bind in
+    let line msg =
+      match next_line src pos with
+      | Some l -> Ok l
+      | None -> Error (Bad_header { path = p; message = "missing " ^ msg })
+    in
+    let* first = line "magic" in
+    if first <> magic then Error (Bad_magic { path = p })
+    else
+      let* kind_line = line "kind" in
+      let* found_kind = field p "kind" kind_line in
+      if found_kind <> store.kind then
+        Error
+          (Kind_mismatch { path = p; expected = store.kind; found = found_kind })
+      else
+        let* version_line = line "version" in
+        let* found_version = int_field p "version" version_line in
+        if found_version <> store.version then
+          Error
+            (Version_mismatch
+               { path = p; expected = store.version; found = found_version })
+        else
+          let* length_line = line "length" in
+          let* length = int_field p "length" length_line in
+          let* md5_line = line "md5" in
+          let* digest = field p "md5" md5_line in
+          let* blank = line "blank separator" in
+          if blank <> "" then
+            Error (Bad_header { path = p; message = "missing blank separator" })
+          else begin
+            let available = String.length src - !pos in
+            if available <> length then
+              Error
+                (Truncated_payload
+                   { path = p; expected = length; found = available })
+            else
+              let payload = String.sub src !pos length in
+              if Digest.to_hex (Digest.string payload) <> digest then
+                Error (Checksum_mismatch { path = p })
+              else
+                (* digest verified, so the bytes are exactly what [save]
+                   wrote; the [kind] tag is what guarantees the marshalled
+                   type matches — a mismatch there was already rejected *)
+                match Marshal.from_string payload 0 with
+                | v -> Ok v
+                | exception (Failure m | Invalid_argument m) ->
+                  Error (Unmarshal_failure { path = p; message = m })
+          end
+
+let load store =
+  let current = path store and backup = backup_path store in
+  match (Sys.file_exists current, Sys.file_exists backup) with
+  | false, false -> Fresh
+  | has_current, has_backup -> (
+    let primary = if has_current then Some (load_file store current) else None in
+    match primary with
+    | Some (Ok v) -> Resumed v
+    | Some (Error e) when not has_backup -> Rejected [ e ]
+    | _ -> (
+      (* current damaged or missing: fall back to the last good rotation *)
+      let first_error = match primary with Some (Error e) -> [ e ] | _ -> [] in
+      match load_file store backup with
+      | Ok v -> Resumed v
+      | Error e -> Rejected (first_error @ [ e ])))
+
+let remove store =
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ path store; backup_path store; tmp_path store ]

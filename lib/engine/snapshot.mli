@@ -1,0 +1,79 @@
+(** Durable, checksummed, atomically-written checkpoints.
+
+    A {!store} names one checkpoint slot on disk: [dir/name.snap] plus a
+    [.snap.prev] rotation of the previous good generation.  {!save}
+    marshals a value under a plain-text header (magic, kind tag, format
+    version, payload length, MD5 digest), writes the whole file to a [.tmp]
+    sibling, and renames it into place — so a crash at any instant leaves
+    either the new snapshot or the old one, never a torn file.  {!load}
+    verifies the header and digest {e before} unmarshalling, falls back to
+    the [.prev] generation when the current file is damaged, and returns a
+    typed outcome: corruption is {!Rejected} with a diagnosis, never a
+    crash or silently wrong state.
+
+    The [kind] tag is the type-safety story: [Marshal] is untyped, so a
+    store must only ever be created with one ['a] per [kind] string.  Keep
+    kinds distinct per payload type (e.g. ["chase-state"],
+    ["rewrite-sweep"]) and bump [version] when the payload type changes —
+    stale snapshots are then rejected instead of misread.
+
+    Payloads must not contain closures or custom blocks; chase instances
+    and rewrite checkpoints are plain data and marshal cleanly.
+
+    Each successful {!save} increments [Stats.(global ()).snapshots]. *)
+
+type store
+
+val create :
+  ?version:int ->
+  ?keep_backup:bool ->
+  dir:string ->
+  name:string ->
+  kind:string ->
+  unit ->
+  store
+(** [version] defaults to 1; bump it when the marshalled type changes.
+    [keep_backup] (default true) rotates the previous snapshot to
+    [.snap.prev] before each save, giving {!load} a fallback generation.
+    @raise Invalid_argument if [name] contains path separators or other
+    non-filename characters. *)
+
+val path : store -> string
+(** The primary snapshot file, [dir/name.snap]. *)
+
+val backup_path : store -> string
+val kind : store -> string
+
+type error =
+  | Io_error of { path : string; message : string }
+  | Bad_magic of { path : string }
+  | Bad_header of { path : string; message : string }
+  | Kind_mismatch of { path : string; expected : string; found : string }
+  | Version_mismatch of { path : string; expected : int; found : int }
+  | Truncated_payload of { path : string; expected : int; found : int }
+  | Checksum_mismatch of { path : string }
+  | Unmarshal_failure of { path : string; message : string }
+
+val error_path : error -> string
+val pp_error : error Fmt.t
+val error_to_string : error -> string
+
+type 'a load =
+  | Resumed of 'a  (** an intact snapshot was found and decoded *)
+  | Fresh  (** no snapshot exists — start from scratch *)
+  | Rejected of error list
+      (** snapshot file(s) exist but none is intact; the list diagnoses
+          each generation tried (current first, then backup) *)
+
+val save : store -> 'a -> unit
+(** Atomically replace the snapshot with [v] (creating [dir] as needed),
+    rotating the previous generation to the backup first. *)
+
+val load : store -> 'a load
+(** Try the current generation, then the backup.  Never raises on
+    corrupted input. *)
+
+val remove : store -> unit
+(** Delete the snapshot, its backup, and any stale temp file.  Call when
+    the checkpointed computation completes, so a later run starts
+    {!Fresh}. *)

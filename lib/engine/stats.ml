@@ -6,6 +6,8 @@ type t = {
   mutable delta_facts : int;
   mutable memo_hits : int;
   mutable memo_misses : int;
+  mutable restarts : int;
+  mutable snapshots : int;
   mutable match_time : float;
   mutable fire_time : float;
 }
@@ -18,6 +20,8 @@ let create () =
     delta_facts = 0;
     memo_hits = 0;
     memo_misses = 0;
+    restarts = 0;
+    snapshots = 0;
     match_time = 0.;
     fire_time = 0.
   }
@@ -30,6 +34,8 @@ let reset s =
   s.delta_facts <- 0;
   s.memo_hits <- 0;
   s.memo_misses <- 0;
+  s.restarts <- 0;
+  s.snapshots <- 0;
   s.match_time <- 0.;
   s.fire_time <- 0.
 
@@ -43,6 +49,8 @@ let add ~into s =
   into.delta_facts <- into.delta_facts + s.delta_facts;
   into.memo_hits <- into.memo_hits + s.memo_hits;
   into.memo_misses <- into.memo_misses + s.memo_misses;
+  into.restarts <- into.restarts + s.restarts;
+  into.snapshots <- into.snapshots + s.snapshots;
   into.match_time <- into.match_time +. s.match_time;
   into.fire_time <- into.fire_time +. s.fire_time
 
@@ -54,6 +62,8 @@ let diff a b =
     delta_facts = a.delta_facts - b.delta_facts;
     memo_hits = a.memo_hits - b.memo_hits;
     memo_misses = a.memo_misses - b.memo_misses;
+    restarts = a.restarts - b.restarts;
+    snapshots = a.snapshots - b.snapshots;
     match_time = a.match_time -. b.match_time;
     fire_time = a.fire_time -. b.fire_time
   }
@@ -76,6 +86,7 @@ let pp ppf s =
   Fmt.pf ppf
     "@[<v>probes: %d; scans: %d; fired: %d; rounds: %d; delta facts: %d@,\
      memo: %d hits / %d misses (%.0f%% hit rate)@,\
+     recovery: %d worker restarts, %d snapshots written@,\
      time: %.4fs match + %.4fs fire@]"
     s.probes s.scans s.fired s.rounds s.delta_facts s.memo_hits s.memo_misses
-    (100. *. hit_rate s) s.match_time s.fire_time
+    (100. *. hit_rate s) s.restarts s.snapshots s.match_time s.fire_time

@@ -25,6 +25,8 @@ type t = {
   mutable delta_facts : int; (** total size of all deltas (new facts) *)
   mutable memo_hits : int;
   mutable memo_misses : int;
+  mutable restarts : int;    (** pool worker domains respawned ({!Supervisor}) *)
+  mutable snapshots : int;   (** on-disk checkpoints written ({!Snapshot}) *)
   mutable match_time : float; (** seconds spent enumerating triggers *)
   mutable fire_time : float;  (** seconds spent checking/firing/inserting *)
 }

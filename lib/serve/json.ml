@@ -1,0 +1,289 @@
+(* Minimal JSON codec for the serve protocol.  The toolchain deliberately
+   has no external JSON dependency, and the protocol needs only scalars,
+   arrays and objects — a few hundred lines of recursive descent is the
+   whole cost of owning the format. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_escaped b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec add b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f ->
+    if not (Float.is_finite f) then Buffer.add_string b "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string b (Printf.sprintf "%.1f" f)
+    else Buffer.add_string b (Printf.sprintf "%.12g" f)
+  | String s -> add_escaped b s
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        add b x)
+      items;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        add_escaped b k;
+        Buffer.add_char b ':';
+        add b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  add b v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Err of string * int
+
+let of_string src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let fail msg = raise (Err (msg, !pos)) in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match src.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && src.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    let len = String.length lit in
+    if !pos + len <= n && String.sub src !pos len = lit then begin
+      pos := !pos + len;
+      v
+    end
+    else fail "invalid literal"
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match src.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "invalid \\u escape"
+      in
+      v := (!v * 16) + d;
+      incr pos
+    done;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match src.[!pos] with
+        | '"' ->
+          incr pos;
+          Buffer.contents b
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail "unterminated escape";
+          (match src.[!pos] with
+          | '"' -> Buffer.add_char b '"'; incr pos
+          | '\\' -> Buffer.add_char b '\\'; incr pos
+          | '/' -> Buffer.add_char b '/'; incr pos
+          | 'b' -> Buffer.add_char b '\b'; incr pos
+          | 'f' -> Buffer.add_char b '\012'; incr pos
+          | 'n' -> Buffer.add_char b '\n'; incr pos
+          | 'r' -> Buffer.add_char b '\r'; incr pos
+          | 't' -> Buffer.add_char b '\t'; incr pos
+          | 'u' ->
+            incr pos;
+            let c1 = hex4 () in
+            let code =
+              (* a high surrogate must pair with a following \u low one *)
+              if
+                c1 >= 0xD800 && c1 <= 0xDBFF
+                && !pos + 1 < n
+                && src.[!pos] = '\\'
+                && src.[!pos + 1] = 'u'
+              then begin
+                pos := !pos + 2;
+                let c2 = hex4 () in
+                if c2 >= 0xDC00 && c2 <= 0xDFFF then
+                  0x10000 + ((c1 - 0xD800) lsl 10) + (c2 - 0xDC00)
+                else fail "invalid low surrogate"
+              end
+              else c1
+            in
+            (match Uchar.of_int code with
+            | u -> Buffer.add_utf_8_uchar b u
+            | exception Invalid_argument _ -> fail "invalid unicode escape")
+          | _ -> fail "invalid escape");
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char src.[!pos] do
+      incr pos
+    done;
+    let text = String.sub src start (!pos - start) in
+    let integral =
+      not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text)
+    in
+    if integral then
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+        (* out of native range: keep the value as a float *)
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "invalid number")
+    else
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "invalid number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' -> parse_obj ()
+    | Some '[' -> parse_list ()
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      incr pos;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec go () =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos; go ()
+        | Some '}' -> incr pos
+        | _ -> fail "expected ',' or '}'"
+      in
+      go ();
+      Obj (List.rev !fields)
+    end
+  and parse_list () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      incr pos;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec go () =
+        let v = parse_value () in
+        items := v :: !items;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos; go ()
+        | Some ']' -> incr pos
+        | _ -> fail "expected ',' or ']'"
+      in
+      go ();
+      List (List.rev !items)
+    end
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing characters after value";
+    v
+  with
+  | v -> Ok v
+  | exception Err (msg, p) -> Error (Printf.sprintf "%s at offset %d" msg p)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let as_string = function String s -> Some s | _ -> None
+let as_bool = function Bool b -> Some b | _ -> None
+
+let as_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f && Float.abs f <= 2. ** 52. ->
+    Some (int_of_float f)
+  | _ -> None
+
+let as_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let as_list = function List l -> Some l | _ -> None

@@ -1,0 +1,44 @@
+(** Minimal JSON codec for the serve protocol.
+
+    The container ships no external JSON library, and the line-delimited
+    protocol of {!Server} needs only scalars, arrays and objects — so the
+    codec is owned here: a strict recursive-descent parser (string escapes
+    incl. [\uXXXX] and surrogate pairs; no trailing garbage) and a printer
+    emitting compact one-line documents, suitable for NDJSON framing.
+
+    Printer notes: non-finite floats become [null] (JSON has no [NaN]);
+    object fields print in construction order; strings are escaped
+    minimally ([\n], [\t], quotes, backslash, other control characters as
+    [\u00XX]) and other bytes pass through verbatim, so UTF-8 payloads
+    survive a round trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering (no newlines for any input). *)
+
+val of_string : string -> (t, string) result
+(** Parse exactly one JSON value (plus surrounding whitespace).  [Error]
+    carries a message with a byte offset.  Integer literals outside the
+    native [int] range fall back to [Float]. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val as_string : t -> string option
+val as_bool : t -> bool option
+
+val as_int : t -> int option
+(** [Int], or [Float] with an exact integral value. *)
+
+val as_float : t -> float option
+(** [Float] or widened [Int]. *)
+
+val as_list : t -> t list option

@@ -1,0 +1,375 @@
+open Tgd_syntax
+open Tgd_instance
+module Budget = Tgd_engine.Budget
+module Chaos = Tgd_engine.Chaos
+module Chase = Tgd_chase.Chase
+module Entailment = Tgd_chase.Entailment
+module Rewrite = Tgd_core.Rewrite
+module Candidates = Tgd_core.Candidates
+module Parse = Tgd_parse.Parse
+
+type config = {
+  rounds : int;
+  max_facts : int;
+  timeout_s : float option;
+  retries : int;
+  backoff_base_s : float;
+  queue_limit : int;
+}
+
+let default_config =
+  { rounds = 64;
+    max_facts = 20_000;
+    timeout_s = None;
+    retries = 3;
+    backoff_base_s = 0.01;
+    queue_limit = 64
+  }
+
+(* A request that failed for a reason retrying can fix: an injected fault
+   (directly, or surfaced as a typed [Fault] truncation by an engine run).
+   Deterministic failures — bad input, genuine budget exhaustion — must
+   never retry: they would fail identically [retries] more times. *)
+exception Transient of string
+
+exception Bad_request of string
+
+(* ---- request plumbing -------------------------------------------- *)
+
+let get field req =
+  match Json.member field req with
+  | Some v -> v
+  | None -> raise (Bad_request (Printf.sprintf "missing %S" field))
+
+let get_string field req =
+  match Json.as_string (get field req) with
+  | Some s -> s
+  | None -> raise (Bad_request (Printf.sprintf "%S must be a string" field))
+
+let get_int_opt field req =
+  match Json.member field req with
+  | None -> None
+  | Some v -> (
+    match Json.as_int v with
+    | Some i -> Some i
+    | None -> raise (Bad_request (Printf.sprintf "%S must be an integer" field)))
+
+let parse_tgds src =
+  match Parse.tgds src with
+  | Ok tgds -> tgds
+  | Error e -> raise (Bad_request (Fmt.str "tgds: %a" Parse.pp_error e))
+
+let budget_of config req =
+  let rounds = Option.value (get_int_opt "rounds" req) ~default:config.rounds in
+  let facts =
+    Option.value (get_int_opt "max_facts" req) ~default:config.max_facts
+  in
+  Budget.make ~rounds ~facts ?timeout_s:config.timeout_s ()
+
+let tgd_string t = Fmt.str "%a" Tgd.pp t
+
+(* ---- operations --------------------------------------------------- *)
+
+let classify_op req =
+  let sigma = parse_tgds (get_string "tgds" req) in
+  let n, m = Rewrite.class_bounds sigma in
+  Json.Obj
+    [ ( "tgds",
+        Json.List
+          (List.map
+             (fun t ->
+               Json.Obj
+                 [ ("tgd", Json.String (tgd_string t));
+                   ( "classes",
+                     Json.List
+                       (List.map
+                          (fun c ->
+                            Json.String (Fmt.str "%a" Tgd_class.pp_cls c))
+                          (Tgd_class.classify t)) );
+                   ("n", Json.Int (Tgd.n_universal t));
+                   ("m", Json.Int (Tgd.m_existential t))
+                 ])
+             sigma) );
+      ("n", Json.Int n);
+      ("m", Json.Int m)
+    ]
+
+let instance_of_request ~sigma req =
+  let src = get_string "facts" req in
+  match Parse.program src with
+  | Error e -> raise (Bad_request (Fmt.str "facts: %a" Parse.pp_error e))
+  | Ok p ->
+    let schema = Schema.union (Rewrite.schema_of sigma) p.Parse.schema in
+    Instance.of_facts schema p.Parse.facts
+
+let chase_op config req =
+  let sigma = parse_tgds (get_string "tgds" req) in
+  let db = instance_of_request ~sigma req in
+  let budget = budget_of config req in
+  let r = Chase.restricted ~budget sigma db in
+  (match r.Chase.outcome with
+  | Chase.Truncated (Budget.Fault site) -> raise (Transient site)
+  | _ -> ());
+  let outcome, reason =
+    match r.Chase.outcome with
+    | Chase.Terminated -> ("terminated", None)
+    | Chase.Truncated reason ->
+      ("truncated", Some (Budget.exhaustion_to_string reason))
+  in
+  Json.Obj
+    (List.concat
+       [ [ ("outcome", Json.String outcome) ];
+         (match reason with
+         | Some r -> [ ("reason", Json.String r) ]
+         | None -> []);
+         [ ("rounds", Json.Int r.Chase.rounds);
+           ("fired", Json.Int r.Chase.fired);
+           ("fact_count", Json.Int (Instance.fact_count r.Chase.instance));
+           ( "facts",
+             Json.List
+               (Instance.fact_list r.Chase.instance
+               |> List.map Fact.to_string
+               |> List.sort String.compare
+               |> List.map (fun f -> Json.String f)) )
+         ]
+       ])
+
+let entail_op config req =
+  let sigma = parse_tgds (get_string "tgds" req) in
+  let goal =
+    let src = get_string "goal" req in
+    try Parse.tgd_exn src
+    with Failure msg -> raise (Bad_request ("goal: " ^ msg))
+  in
+  let budget = budget_of config req in
+  let answer = Entailment.entails ~budget sigma goal in
+  Json.Obj
+    [ ( "answer",
+        Json.String
+          (match answer with
+          | Entailment.Proved -> "proved"
+          | Entailment.Disproved -> "disproved"
+          | Entailment.Unknown -> "unknown") )
+    ]
+
+let rewrite_op config req =
+  let sigma = parse_tgds (get_string "tgds" req) in
+  let direction = get_string "direction" req in
+  let caps =
+    Candidates.
+      { max_body_atoms =
+          Option.value (get_int_opt "max_body_atoms" req) ~default:2;
+        max_head_atoms =
+          Option.value (get_int_opt "max_head_atoms" req) ~default:2;
+        keep_tautologies = false
+      }
+  in
+  let rconfig =
+    { Rewrite.default_config with
+      caps;
+      budget = budget_of config req
+    }
+  in
+  let run =
+    match direction with
+    | "g2l" -> Rewrite.g_to_l
+    | "fg2g" -> Rewrite.fg_to_g
+    | d ->
+      raise
+        (Bad_request
+           (Printf.sprintf "unknown direction %S (expected g2l or fg2g)" d))
+  in
+  let outcome =
+    try run ~config:rconfig sigma
+    with Invalid_argument msg -> raise (Bad_request msg)
+  in
+  (match outcome with
+  | Budget.Truncated { reason = Budget.Fault site; _ } ->
+    raise (Transient site)
+  | _ -> ());
+  let report_fields (report : Rewrite.report) =
+    [ ("candidates_enumerated", Json.Int report.Rewrite.candidates_enumerated);
+      ("candidates_entailed", Json.Int report.Rewrite.candidates_entailed)
+    ]
+  in
+  let outcome_fields (o : Rewrite.outcome) =
+    match o with
+    | Rewrite.Rewritable sigma' ->
+      [ ("outcome", Json.String "rewritable");
+        ("tgds", Json.List (List.map (fun t -> Json.String (tgd_string t)) sigma'))
+      ]
+    | Rewrite.Not_rewritable { complete; unknown_candidates } ->
+      [ ("outcome", Json.String "not_rewritable");
+        ("complete", Json.Bool complete);
+        ("unknown_candidates", Json.Int unknown_candidates)
+      ]
+    | Rewrite.Unknown why ->
+      [ ("outcome", Json.String "unknown"); ("reason", Json.String why) ]
+  in
+  match outcome with
+  | Budget.Complete report ->
+    Json.Obj (outcome_fields report.Rewrite.outcome @ report_fields report)
+  | Budget.Truncated { reason; partial; _ } ->
+    Json.Obj
+      (("truncated", Json.String (Budget.exhaustion_to_string reason))
+      :: outcome_fields partial.Rewrite.outcome
+      @ report_fields partial)
+
+let analyze_op req =
+  let sigma = parse_tgds (get_string "tgds" req) in
+  let report = Tgd_analysis.Analyze.run sigma in
+  match Json.of_string (Tgd_analysis.Analyze.to_json report) with
+  | Ok j -> j
+  | Error msg -> failwith ("analyze report did not round-trip: " ^ msg)
+
+let dispatch config op req =
+  match op with
+  | "classify" -> classify_op req
+  | "chase" -> chase_op config req
+  | "entail" -> entail_op config req
+  | "rewrite" -> rewrite_op config req
+  | "analyze" -> analyze_op req
+  | op -> raise (Bad_request (Printf.sprintf "unknown op %S" op))
+
+(* ---- responses ----------------------------------------------------- *)
+
+let ok id result =
+  Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ]
+
+let error id code message =
+  Json.Obj
+    [ ("id", id);
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          [ ("code", Json.String code); ("message", Json.String message) ] )
+    ]
+
+let request_id req = Option.value (Json.member "id" req) ~default:Json.Null
+
+let handle config req =
+  let id = request_id req in
+  match Json.member "op" req with
+  | None -> error id "bad_request" "missing \"op\""
+  | Some op_j -> (
+    match Json.as_string op_j with
+    | None -> error id "bad_request" "\"op\" must be a string"
+    | Some op ->
+      (* Retry ladder: transient faults (the [serve.request] chaos site, or
+         a typed [Fault] truncation out of an engine run) get up to
+         [retries] fresh attempts with exponential backoff; everything
+         else is deterministic and answers immediately.  Every path ends
+         in a terminal response — the loop cannot raise. *)
+      let rec attempt k =
+        match
+          Chaos.step ~site:"serve.request";
+          dispatch config op req
+        with
+        | result -> ok id result
+        | exception Bad_request msg -> error id "bad_request" msg
+        | exception Chaos.Injected site -> retry k site
+        | exception Transient site -> retry k site
+        | exception e -> error id "internal" (Printexc.to_string e)
+      and retry k site =
+        if k >= config.retries then
+          error id "fault"
+            (Printf.sprintf "injected fault at %s after %d attempts" site
+               (k + 1))
+        else begin
+          Unix.sleepf (config.backoff_base_s *. (2. ** float_of_int k));
+          attempt (k + 1)
+        end
+      in
+      attempt 0)
+
+(* ---- the serve loop ------------------------------------------------ *)
+
+let serve ?(config = default_config) ?(signals = true) ic oc =
+  let draining = Atomic.make false in
+  if signals then begin
+    let handler = Sys.Signal_handle (fun _ -> Atomic.set draining true) in
+    Sys.set_signal Sys.sigterm handler;
+    Sys.set_signal Sys.sigint handler
+  end;
+  let qmutex = Mutex.create () in
+  let queue : string Queue.t = Queue.create () in
+  let eof = Atomic.make false in
+  let out_mutex = Mutex.create () in
+  let respond json =
+    Mutex.lock out_mutex;
+    output_string oc (Json.to_string json);
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock out_mutex
+  in
+  let line_id line =
+    match Json.of_string line with Ok req -> request_id req | Error _ -> Json.Null
+  in
+  (* Reader domain: stdin is a blocking stream, so a dedicated domain
+     feeds the queue while the main domain works.  Load shedding happens
+     at the enqueue edge — a request over the depth limit is answered
+     [overloaded] immediately, never silently dropped — and requests
+     arriving after a drain signal are answered [shutting_down]. *)
+  let reader =
+    Domain.spawn (fun () ->
+        let rec go () =
+          match input_line ic with
+          | line ->
+            if String.trim line = "" then go ()
+            else if Atomic.get draining then begin
+              respond
+                (error (line_id line) "shutting_down"
+                   "server is draining; request not accepted");
+              go ()
+            end
+            else begin
+              let shed =
+                Mutex.lock qmutex;
+                let shed = Queue.length queue >= config.queue_limit in
+                if not shed then Queue.push line queue;
+                Mutex.unlock qmutex;
+                shed
+              in
+              if shed then
+                respond
+                  (error (line_id line) "overloaded"
+                     (Printf.sprintf "request queue is full (limit %d)"
+                        config.queue_limit));
+              go ()
+            end
+          | exception End_of_file -> Atomic.set eof true
+          | exception Sys_error _ -> Atomic.set eof true
+        in
+        go ())
+  in
+  let rec main () =
+    let item =
+      Mutex.lock qmutex;
+      let it = if Queue.is_empty queue then None else Some (Queue.pop queue) in
+      Mutex.unlock qmutex;
+      it
+    in
+    match item with
+    | Some line ->
+      (match Json.of_string line with
+      | Ok req -> respond (handle config req)
+      | Error msg ->
+        respond (error Json.Null "bad_request" ("invalid JSON: " ^ msg)));
+      main ()
+    | None ->
+      (* drain contract: exit only once the queue is empty, so every
+         request accepted before EOF/SIGTERM got its terminal response *)
+      if Atomic.get eof || Atomic.get draining then 0
+      else begin
+        (* the stdlib has no timed condition wait; a coarse sleep-poll on
+           the idle path costs nothing measurable at request granularity *)
+        Unix.sleepf 0.02;
+        main ()
+      end
+  in
+  let code = main () in
+  (* after EOF the reader has returned and can be reaped; after a drain
+     signal it may still be blocked on [input_line] — leave it to die with
+     the process rather than hang the shutdown on a read *)
+  if Atomic.get eof then Domain.join reader;
+  code

@@ -120,6 +120,57 @@ let test_uninstall_restores_quiet () =
   let r = Chase.restricted sigma_tc chain in
   check_bool "no residual faults" true (Chase.is_model r)
 
+(* -- per-site shot streams are deterministic and independent ------------ *)
+
+let firing_shots cfg site n =
+  Chaos.install cfg;
+  let out = ref [] in
+  for shot = 0 to n - 1 do
+    match Chaos.step ~site with
+    | () -> ()
+    | exception Chaos.Injected _ -> out := shot :: !out
+  done;
+  Chaos.uninstall ();
+  List.rev !out
+
+let test_site_streams_replay () =
+  let cfg = { Chaos.default_config with Chaos.seed = 42; raise_p = 0.3 } in
+  let a = firing_shots cfg "chase.fire" 200 in
+  check_bool "the stream fires somewhere at p = 0.3" true (a <> []);
+  check_bool "install resets the schedule: identical replay" true
+    (firing_shots cfg "chase.fire" 200 = a);
+  (* independence: interleaving steps of other sites must not shift this
+     site's stream — shot numbers are per site, not global *)
+  Chaos.install cfg;
+  let interleaved = ref [] in
+  for shot = 0 to 199 do
+    (try Chaos.step ~site:"pool.worker" with Chaos.Injected _ -> ());
+    (try Chaos.step ~site:"serve.request" with Chaos.Injected _ -> ());
+    match Chaos.step ~site:"chase.fire" with
+    | () -> ()
+    | exception Chaos.Injected _ -> interleaved := shot :: !interleaved
+  done;
+  Chaos.uninstall ();
+  check_bool "stream unchanged under interleaving" true
+    (List.rev !interleaved = a);
+  (* distinct sites see distinct schedules under the same seed *)
+  check_bool "sites are decorrelated" true
+    (firing_shots cfg "pool.worker" 200 <> a);
+  (* and the shot counter is observable for test mining *)
+  Chaos.install cfg;
+  (try Chaos.step ~site:"chase.fire" with Chaos.Injected _ -> ());
+  (try Chaos.step ~site:"chase.fire" with Chaos.Injected _ -> ());
+  check_int "shot_count advances per site" 2
+    (Chaos.shot_count ~site:"chase.fire");
+  check_int "other sites unaffected" 0 (Chaos.shot_count ~site:"pool.chunk");
+  Chaos.uninstall ()
+
+let test_seed_changes_schedule () =
+  let cfg seed = { Chaos.default_config with Chaos.seed; raise_p = 0.3 } in
+  check_bool "different seeds, different schedules" true
+    (firing_shots (cfg 1) "chase.fire" 200
+    <> firing_shots (cfg 2) "chase.fire" 200)
+
 (* -- qcheck: arbitrary fault schedules never break the typed contract --- *)
 
 let arb_chaos_config =
@@ -179,7 +230,9 @@ let suite =
     case "pool drains and re-raises" test_pool_drains_and_reraises;
     case "rewrite sweep fault is a typed trip" test_rewrite_fault_typed;
     case "delays and allocs preserve results" test_perturbation_preserves_results;
-    case "uninstall restores quiet" test_uninstall_restores_quiet
+    case "uninstall restores quiet" test_uninstall_restores_quiet;
+    case "per-site streams replay deterministically" test_site_streams_replay;
+    case "seed changes the schedule" test_seed_changes_schedule
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_chaos_chase_typed; prop_chaos_pool_drains ]

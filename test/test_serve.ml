@@ -1,0 +1,295 @@
+(* The serve layer: the JSON codec round-trips, every op dispatches to a
+   well-formed terminal response, malformed input is a [bad_request] (never
+   an escaped exception), transient injected faults retry and then surface
+   as the [fault] code, and the IO loop answers every accepted line exactly
+   once — shedding with [overloaded] beyond the queue limit. *)
+
+open Tgd_engine
+open Helpers
+module Json = Tgd_serve.Json
+module Server = Tgd_serve.Server
+
+let req src =
+  match Json.of_string src with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "bad test request %s: %s" src m
+
+let handle ?(config = Server.default_config) src =
+  Server.handle config (req src)
+
+let get_ok resp =
+  match Json.member "ok" resp with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "response without ok: %s" (Json.to_string resp)
+
+let error_code resp =
+  match Option.bind (Json.member "error" resp) (Json.member "code") with
+  | Some (Json.String c) -> c
+  | _ -> Alcotest.failf "no error code in %s" (Json.to_string resp)
+
+let result_field name resp =
+  match Option.bind (Json.member "result" resp) (Json.member name) with
+  | Some v -> v
+  | None -> Alcotest.failf "no result.%s in %s" name (Json.to_string resp)
+
+(* -- the JSON codec ------------------------------------------------------ *)
+
+let test_json_parse_basics () =
+  (match Json.of_string {| {"a": [1, -2.5, true, null], "b": "x\ny"} |} with
+  | Ok
+      (Json.Obj
+        [ ( "a",
+            Json.List
+              [ Json.Int 1; Json.Float f; Json.Bool true; Json.Null ] );
+          ("b", Json.String "x\ny")
+        ])
+    when f = -2.5 -> ()
+  | Ok j -> Alcotest.failf "misparsed: %s" (Json.to_string j)
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  (match Json.of_string {| "snow\u2603man \ud83d\ude00" |} with
+  | Ok (Json.String s) ->
+    check_bool "unicode escapes incl. surrogate pair" true
+      (s = "snow\xe2\x98\x83man \xf0\x9f\x98\x80")
+  | _ -> Alcotest.fail "unicode escape parse failed");
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" bad)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{'a':1}" ]
+
+let gen_json : Json.t QCheck.Gen.t =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let scalar =
+          oneof
+            [ return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun i -> Json.Int i) small_signed_int;
+              map (fun f -> Json.Float (Float.of_int f /. 8.)) small_signed_int;
+              map (fun s -> Json.String s) (small_string ~gen:printable)
+            ]
+        in
+        if n <= 0 then scalar
+        else
+          oneof
+            [ scalar;
+              map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2)));
+              map
+                (fun kvs -> Json.Obj kvs)
+                (list_size (int_bound 4)
+                   (pair (small_string ~gen:printable) (self (n / 2))))
+            ]))
+
+(* printing may render floats and duplicate-keyed objects non-uniquely, so
+   the property is print-parse-print stability, not structural equality *)
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"to_string ∘ of_string stabilizes" ~count:200
+    (QCheck.make ~print:Json.to_string gen_json)
+    (fun j ->
+      match Json.of_string (Json.to_string j) with
+      | Error _ -> false
+      | Ok j' -> Json.to_string j' = Json.to_string (Result.get_ok (Json.of_string (Json.to_string j'))))
+
+(* -- dispatch: one well-formed terminal response per request ------------- *)
+
+let test_classify_op () =
+  let resp = handle {| {"id": 7, "op": "classify",
+                        "tgds": "E(x,y) -> exists z. E(y,z)."} |} in
+  check_bool "ok" true (get_ok resp);
+  check_bool "id echoed" true (Json.member "id" resp = Some (Json.Int 7));
+  check_bool "bounds" true
+    (result_field "n" resp = Json.Int 2 && result_field "m" resp = Json.Int 1)
+
+let test_chase_op () =
+  let resp = handle {| {"id": 1, "op": "chase",
+                        "tgds": "E(x,y) -> S(y).",
+                        "facts": "E(a,b). E(b,c)."} |} in
+  check_bool "ok" true (get_ok resp);
+  check_bool "terminated" true
+    (result_field "outcome" resp = Json.String "terminated");
+  check_bool "fact count" true (result_field "fact_count" resp = Json.Int 4)
+
+let test_chase_op_truncates () =
+  (* fact caps are never promoted away by a termination certificate, so
+     this truncation is deterministic *)
+  let resp = handle {| {"id": 1, "op": "chase", "max_facts": 5,
+                        "tgds": "E(x,y), E(y,z) -> E(x,z).",
+                        "facts": "E(a,b). E(b,c). E(c,d). E(d,e)."} |} in
+  check_bool "ok (truncation is a result, not an error)" true (get_ok resp);
+  check_bool "truncated" true
+    (result_field "outcome" resp = Json.String "truncated")
+
+let test_entail_op () =
+  let proved = handle {| {"id": 2, "op": "entail",
+                          "tgds": "E(x,y) -> S(y).",
+                          "goal": "E(x,y), E(y,z) -> S(z)."} |} in
+  check_bool "proved" true (result_field "answer" proved = Json.String "proved");
+  let disproved = handle {| {"id": 3, "op": "entail",
+                             "tgds": "E(x,y) -> S(y).",
+                             "goal": "S(x) -> E(x,x)."} |} in
+  check_bool "disproved" true
+    (result_field "answer" disproved = Json.String "disproved")
+
+let test_rewrite_op () =
+  let resp = handle {| {"id": 4, "op": "rewrite", "direction": "g2l",
+                        "tgds": "E(x,y) -> exists z. E(y,z)."} |} in
+  check_bool "ok" true (get_ok resp);
+  check_bool "rewritable" true
+    (result_field "outcome" resp = Json.String "rewritable");
+  let bad = handle {| {"id": 5, "op": "rewrite", "direction": "sideways",
+                       "tgds": "E(x,y) -> S(y)."} |} in
+  check_bool "unknown direction is bad_request" true
+    ((not (get_ok bad)) && error_code bad = "bad_request")
+
+let test_analyze_op () =
+  let resp = handle {| {"id": 6, "op": "analyze",
+                        "tgds": "E(x,y) -> S(y)."} |} in
+  check_bool "ok" true (get_ok resp);
+  match result_field "certificate" resp with
+  | Json.String _ -> ()
+  | j -> Alcotest.failf "unexpected certificate %s" (Json.to_string j)
+
+let test_bad_requests () =
+  List.iter
+    (fun (label, src) ->
+      let resp = handle src in
+      check_bool (label ^ " not ok") false (get_ok resp);
+      check_bool (label ^ " coded") true (error_code resp = "bad_request"))
+    [ ("missing op", {| {"id": 1} |});
+      ("non-string op", {| {"id": 1, "op": 3} |});
+      ("unknown op", {| {"id": 1, "op": "fly"} |});
+      ("missing tgds", {| {"id": 1, "op": "classify"} |});
+      ("unparsable tgds", {| {"id": 1, "op": "classify", "tgds": "E(x"} |});
+      ("non-string field", {| {"id": 1, "op": "classify", "tgds": 9} |});
+      ("bad goal", {| {"id": 1, "op": "entail",
+                       "tgds": "E(x,y) -> S(y).", "goal": "E(x"} |});
+      ("bad facts", {| {"id": 1, "op": "chase",
+                        "tgds": "E(x,y) -> S(y).", "facts": "E(a"} |})
+    ]
+
+(* -- fault handling: retries, then a typed fault response ---------------- *)
+
+let test_fault_exhausts_retries () =
+  let config = { Server.default_config with Server.retries = 2;
+                 backoff_base_s = 1e-4 } in
+  let resp =
+    Chaos.with_config { Chaos.default_config with Chaos.raise_p = 1.0 }
+      (fun () ->
+        Server.handle config (req {| {"id": 9, "op": "classify",
+                                      "tgds": "E(x,y) -> S(y)."} |}))
+  in
+  check_bool "not ok" false (get_ok resp);
+  check_bool "fault code" true (error_code resp = "fault");
+  check_bool "id still echoed" true (Json.member "id" resp = Some (Json.Int 9))
+
+let test_fault_then_retry_succeeds () =
+  (* raise_p = 1 but only the first attempts draw faults once the config
+     is swapped for a quiet one mid-flight is hard to stage; instead run
+     many requests at p = 0.5 and require every response to be terminal,
+     with both outcomes observed *)
+  let config = { Server.default_config with Server.retries = 6;
+                 backoff_base_s = 1e-5 } in
+  let oks = ref 0 and faults = ref 0 in
+  Chaos.with_config { Chaos.default_config with Chaos.seed = 3; raise_p = 0.5 }
+    (fun () ->
+      for i = 1 to 30 do
+        let resp =
+          Server.handle config
+            (req (Printf.sprintf
+                    {| {"id": %d, "op": "classify", "tgds": "E(x,y) -> S(y)."} |}
+                    i))
+        in
+        if get_ok resp then incr oks else incr faults
+      done);
+  check_int "every request answered" 30 (!oks + !faults);
+  (* p = 0.5 over 7 attempts each: all-fault for any single request has
+     probability 2^-7; some ok must appear over 30 requests *)
+  check_bool "retries rescued some requests" true (!oks > 0)
+
+(* -- the IO loop --------------------------------------------------------- *)
+
+let with_serve ?config lines =
+  let in_path = Filename.temp_file "serve_in" ".ndjson" in
+  let out_path = Filename.temp_file "serve_out" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove in_path; Sys.remove out_path)
+    (fun () ->
+      let oc = open_out in_path in
+      List.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+      close_out oc;
+      let ic = open_in in_path in
+      let out = open_out out_path in
+      let code =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic; close_out_noerr out)
+          (fun () -> Server.serve ?config ~signals:false ic out)
+      in
+      let ic = open_in out_path in
+      let rec read acc =
+        match input_line ic with
+        | l -> read (req l :: acc)
+        | exception End_of_file -> close_in ic; List.rev acc
+      in
+      (code, read []))
+
+let test_serve_loop_answers_everything () =
+  let code, resps =
+    with_serve
+      [ {| {"id": 1, "op": "classify", "tgds": "E(x,y) -> S(y)."} |};
+        "this is not json";
+        {| {"id": 2, "op": "entail", "tgds": "E(x,y) -> S(y).", "goal": "E(x,y) -> S(y)."} |};
+        "";
+        {| {"id": 3, "op": "nope"} |}
+      ]
+  in
+  check_int "exit code" 0 code;
+  (* blank lines are skipped; everything else gets a terminal response *)
+  check_int "one response per non-blank line" 4 (List.length resps);
+  check_bool "in order" true
+    (List.map (fun r -> Json.member "id" r) resps
+    = [ Some (Json.Int 1); Some Json.Null; Some (Json.Int 2);
+        Some (Json.Int 3) ])
+
+let test_serve_loop_sheds_overload () =
+  (* a 50ms injected delay per request lets the reader outrun the handler:
+     with queue depth 2 most of the 12 requests must shed — but all 12 get
+     a terminal response *)
+  let lines =
+    List.init 12 (fun i ->
+        Printf.sprintf
+          {| {"id": %d, "op": "classify", "tgds": "E(x,y) -> S(y)."} |} i)
+  in
+  let config = { Server.default_config with Server.queue_limit = 2 } in
+  let code, resps =
+    Chaos.with_config
+      { Chaos.default_config with Chaos.delay_p = 1.0; delay_s = 0.05 }
+      (fun () -> with_serve ~config lines)
+  in
+  check_int "exit code" 0 code;
+  check_int "all requests answered" 12 (List.length resps);
+  let shed =
+    List.length
+      (List.filter
+         (fun r -> (not (get_ok r)) && error_code r = "overloaded")
+         resps)
+  in
+  check_bool "some requests were shed" true (shed > 0);
+  check_bool "some requests were served" true (shed < 12)
+
+let suite =
+  [ case "json parses and rejects" test_json_parse_basics;
+    QCheck_alcotest.to_alcotest prop_json_roundtrip;
+    case "classify op" test_classify_op;
+    case "chase op" test_chase_op;
+    case "chase op truncates honestly" test_chase_op_truncates;
+    case "entail op" test_entail_op;
+    case "rewrite op" test_rewrite_op;
+    case "analyze op" test_analyze_op;
+    case "malformed requests are bad_request" test_bad_requests;
+    case "faults exhaust retries into a typed response"
+      test_fault_exhausts_retries;
+    case "retries rescue transient faults" test_fault_then_retry_succeeds;
+    case "serve loop answers every line" test_serve_loop_answers_everything;
+    slow_case "serve loop sheds overload" test_serve_loop_sheds_overload
+  ]

@@ -1,0 +1,227 @@
+(* Durable checkpoints (Tgd_engine.Snapshot): save ∘ load is the identity
+   on the engine's real payload shapes, every corruption mode is Rejected
+   with a diagnosis (never a crash, never silently wrong state), and the
+   backup generation rescues a damaged current file. *)
+
+open Tgd_syntax
+open Tgd_instance
+open Tgd_engine
+open Helpers
+module Chase = Tgd_chase.Chase
+module Entailment = Tgd_chase.Entailment
+module Rewrite = Tgd_core.Rewrite
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "tgd_snap_test_%d_%d" (Unix.getpid ()) !dir_counter)
+
+let with_store ?version ?keep_backup ?(kind = "test-payload") f =
+  let dir = fresh_dir () in
+  let store = Snapshot.create ?version ?keep_backup ~dir ~name:"t" ~kind () in
+  Fun.protect ~finally:(fun () -> Snapshot.remove store) (fun () -> f dir store)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* -- the basic contract ------------------------------------------------- *)
+
+let test_fresh_then_roundtrip () =
+  with_store (fun _dir store ->
+      (match Snapshot.load store with
+      | Snapshot.Fresh -> ()
+      | _ -> Alcotest.fail "no file yet: expected Fresh");
+      Snapshot.save store (42, "hello");
+      (match Snapshot.load store with
+      | Snapshot.Resumed (42, "hello") -> ()
+      | _ -> Alcotest.fail "expected Resumed (42, \"hello\")");
+      Snapshot.remove store;
+      match Snapshot.load store with
+      | Snapshot.Fresh -> ()
+      | _ -> Alcotest.fail "after remove: expected Fresh")
+
+let test_save_counts_in_stats () =
+  with_store (fun _dir store ->
+      let before = (Stats.global ()).Stats.snapshots in
+      Snapshot.save store [ 1; 2; 3 ];
+      Snapshot.save store [ 4; 5; 6 ];
+      check_bool "two snapshots counted" true
+        ((Stats.global ()).Stats.snapshots >= before + 2))
+
+let test_kind_and_version_mismatch () =
+  with_store ~kind:"chase-state" (fun dir store ->
+      Snapshot.save store 1;
+      let other = Snapshot.create ~dir ~name:"t" ~kind:"rewrite-sweep" () in
+      (match Snapshot.load other with
+      | Snapshot.Rejected (Snapshot.Kind_mismatch _ :: _) -> ()
+      | _ -> Alcotest.fail "expected Kind_mismatch rejection");
+      let v2 =
+        Snapshot.create ~version:2 ~dir ~name:"t" ~kind:"chase-state" ()
+      in
+      match Snapshot.load v2 with
+      | Snapshot.Rejected (Snapshot.Version_mismatch _ :: _) -> ()
+      | _ -> Alcotest.fail "expected Version_mismatch rejection")
+
+(* -- corruption modes --------------------------------------------------- *)
+
+let test_truncated_file_rejected () =
+  with_store ~keep_backup:false (fun _dir store ->
+      Snapshot.save store (Array.init 100 string_of_int);
+      let full = read_file (Snapshot.path store) in
+      (* cut the payload short at several depths, incl. inside the header *)
+      [ String.length full - 7; String.length full / 2; 30; 9 ]
+      |> List.iter (fun keep ->
+             write_file (Snapshot.path store) (String.sub full 0 keep);
+             match Snapshot.load store with
+             | Snapshot.Rejected _ -> ()
+             | Snapshot.Resumed _ ->
+               Alcotest.failf "truncated to %d bytes: must not resume" keep
+             | Snapshot.Fresh ->
+               Alcotest.failf "truncated to %d bytes: must not look fresh"
+                 keep))
+
+let test_bit_flip_rejected () =
+  with_store ~keep_backup:false (fun _dir store ->
+      Snapshot.save store (List.init 50 (fun i -> (i, float_of_int i)));
+      let full = read_file (Snapshot.path store) in
+      (* flip one bit in the marshalled payload: digest must catch it *)
+      let body_start = String.length full - 20 in
+      let corrupted = Bytes.of_string full in
+      Bytes.set corrupted body_start
+        (Char.chr (Char.code (Bytes.get corrupted body_start) lxor 0x40));
+      write_file (Snapshot.path store) (Bytes.to_string corrupted);
+      match Snapshot.load store with
+      | Snapshot.Rejected errors ->
+        check_bool "diagnosed as checksum mismatch" true
+          (List.exists
+             (function Snapshot.Checksum_mismatch _ -> true | _ -> false)
+             errors)
+      | _ -> Alcotest.fail "bit flip must reject")
+
+let test_garbage_magic_rejected () =
+  with_store ~keep_backup:false (fun _dir store ->
+      Snapshot.save store "x";
+      write_file (Snapshot.path store) "not a snapshot at all\n";
+      match Snapshot.load store with
+      | Snapshot.Rejected (Snapshot.Bad_magic _ :: _) -> ()
+      | _ -> Alcotest.fail "expected Bad_magic rejection")
+
+let test_backup_rescues_corrupt_current () =
+  with_store (fun _dir store ->
+      Snapshot.save store "generation-1";
+      Snapshot.save store "generation-2";
+      (* current holds gen-2, backup holds gen-1; smash current *)
+      write_file (Snapshot.path store) "garbage";
+      match Snapshot.load store with
+      | Snapshot.Resumed "generation-1" -> ()
+      | Snapshot.Resumed _ -> Alcotest.fail "wrong generation resumed"
+      | _ -> Alcotest.fail "backup generation must rescue the load")
+
+let test_both_generations_corrupt () =
+  with_store (fun _dir store ->
+      Snapshot.save store "a";
+      Snapshot.save store "b";
+      write_file (Snapshot.path store) "garbage";
+      write_file (Snapshot.backup_path store) "more garbage";
+      match Snapshot.load store with
+      | Snapshot.Rejected errors ->
+        check_int "one diagnosis per generation" 2 (List.length errors)
+      | _ -> Alcotest.fail "expected Rejected with both diagnoses")
+
+(* -- qcheck: round-trip on the engine's real payload shapes ------------- *)
+
+let s2 = schema [ ("E", 2); ("P", 1) ]
+
+let gen_instance : Instance.t QCheck.Gen.t =
+ fun st ->
+  Tgd_workload.Gen.random_instance st s2
+    ~dom_size:(1 + Random.State.int st 4)
+    ~density:(Random.State.float st 0.8)
+
+let gen_chase_checkpoint : Chase.checkpoint QCheck.Gen.t =
+ fun st ->
+  { Chase.chk_instance = gen_instance st;
+    chk_rounds = Random.State.int st 100;
+    chk_fired = Random.State.int st 1000
+  }
+
+let gen_sweep_checkpoint : Rewrite.checkpoint QCheck.Gen.t =
+ fun st ->
+  let n = Random.State.int st 20 in
+  let answers =
+    [| Entailment.Proved; Entailment.Disproved; Entailment.Unknown |]
+  in
+  { Rewrite.cursor = n;
+    screened_prefix =
+      List.init n (fun _ ->
+          ( Tgd_workload.Gen.random_full_tgd st s2 ~n:3 ~body_atoms:2
+              ~head_atoms:1,
+            answers.(Random.State.int st 3) ))
+  }
+
+let prop_chase_checkpoint_roundtrip =
+  QCheck.Test.make ~name:"save ∘ load = id on chase checkpoints" ~count:30
+    (QCheck.make gen_chase_checkpoint)
+    (fun cp ->
+      with_store ~kind:Chase.snapshot_kind (fun _dir store ->
+          Snapshot.save store cp;
+          match Snapshot.load store with
+          | Snapshot.Resumed cp' ->
+            Instance.equal cp.Chase.chk_instance cp'.Chase.chk_instance
+            && cp.Chase.chk_rounds = cp'.Chase.chk_rounds
+            && cp.Chase.chk_fired = cp'.Chase.chk_fired
+          | _ -> false))
+
+let prop_sweep_checkpoint_roundtrip =
+  QCheck.Test.make ~name:"save ∘ load = id on sweep checkpoints" ~count:30
+    (QCheck.make gen_sweep_checkpoint)
+    (fun cp ->
+      with_store ~kind:Rewrite.snapshot_kind (fun _dir store ->
+          Snapshot.save store cp;
+          match Snapshot.load store with
+          | Snapshot.Resumed cp' ->
+            cp.Rewrite.cursor = cp'.Rewrite.cursor
+            && List.for_all2
+                 (fun (t, a) (t', a') -> Tgd.equal t t' && a = a')
+                 cp.Rewrite.screened_prefix cp'.Rewrite.screened_prefix
+          | _ -> false))
+
+let prop_truncation_never_crashes =
+  QCheck.Test.make ~name:"any prefix of a snapshot file loads without raising"
+    ~count:60
+    QCheck.(make Gen.(int_bound 400))
+    (fun keep ->
+      with_store ~keep_backup:false (fun _dir store ->
+          Snapshot.save store (String.make 200 'x');
+          let full = read_file (Snapshot.path store) in
+          let keep = min keep (String.length full) in
+          write_file (Snapshot.path store) (String.sub full 0 keep);
+          match Snapshot.load store with
+          | Snapshot.Resumed v -> keep = String.length full && v = String.make 200 'x'
+          | Snapshot.Rejected _ -> keep < String.length full
+          | Snapshot.Fresh -> false))
+
+let suite =
+  [ case "fresh, round-trip, remove" test_fresh_then_roundtrip;
+    case "saves counted in stats" test_save_counts_in_stats;
+    case "kind and version mismatches reject" test_kind_and_version_mismatch;
+    case "truncated file rejects" test_truncated_file_rejected;
+    case "bit flip rejects with checksum diagnosis" test_bit_flip_rejected;
+    case "garbage magic rejects" test_garbage_magic_rejected;
+    case "backup rescues corrupt current" test_backup_rescues_corrupt_current;
+    case "both generations corrupt" test_both_generations_corrupt;
+    QCheck_alcotest.to_alcotest prop_chase_checkpoint_roundtrip;
+    QCheck_alcotest.to_alcotest prop_sweep_checkpoint_roundtrip;
+    QCheck_alcotest.to_alcotest prop_truncation_never_crashes
+  ]

@@ -1,0 +1,221 @@
+(* Worker supervision: the pure state machine (Tgd_engine.Supervisor)
+   under synthetic clocks — backoff ladder, breaker, wedge abandonment —
+   and the live pool surviving worker deaths injected at the
+   [pool.worker] chaos site: batches still complete with correct
+   results, shutdown never hangs, and the health/stats counters agree
+   with what happened. *)
+
+open Tgd_engine
+open Helpers
+
+let policy =
+  { Supervisor.max_restarts = 3;
+    backoff_base_s = 1.0;
+    backoff_cap_s = 4.0;
+    wedge_timeout_s = Some 10.0;
+    tick_s = 1e-3
+  }
+
+(* -- the state machine under a synthetic clock --------------------------- *)
+
+let test_backoff_ladder () =
+  let sup = Supervisor.create policy ~slots:2 in
+  check_int "all alive at start" 2 (Supervisor.health sup).Supervisor.alive;
+  check_bool "nothing to do" true (Supervisor.decide sup ~now:0. = []);
+  Supervisor.note_death sup 0 ~now:0.;
+  check_int "one alive" 1 (Supervisor.health sup).Supervisor.alive;
+  (* first backoff is base = 1s: no respawn before it expires *)
+  check_bool "respawn not yet due" true (Supervisor.decide sup ~now:0.5 = []);
+  (match Supervisor.decide sup ~now:1.0 with
+  | [ Supervisor.Respawn 0 ] -> ()
+  | _ -> Alcotest.fail "expected Respawn 0 once the backoff expired");
+  let gen = Supervisor.note_spawned sup 0 in
+  check_int "generation bumped" 1 gen;
+  check_int "generation readable" 1 (Supervisor.generation sup 0);
+  check_bool "acted: nothing left to do" true
+    (Supervisor.decide sup ~now:1.0 = []);
+  (* second death on the same slot doubles the backoff *)
+  Supervisor.note_death sup 0 ~now:2.0;
+  check_bool "2s backoff pending" true (Supervisor.decide sup ~now:3.5 = []);
+  (match Supervisor.decide sup ~now:4.1 with
+  | [ Supervisor.Respawn 0 ] -> ()
+  | _ -> Alcotest.fail "expected the doubled backoff to expire at 4s");
+  ignore (Supervisor.note_spawned sup 0);
+  (* third death: backoff would be 4s (cap); the cap binds from here on *)
+  Supervisor.note_death sup 0 ~now:5.0;
+  check_bool "capped backoff pending" true (Supervisor.decide sup ~now:8.9 = []);
+  match Supervisor.decide sup ~now:9.0 with
+  | [ Supervisor.Respawn 0 ] -> ()
+  | _ -> Alcotest.fail "expected capped backoff to expire at 9s"
+
+let test_breaker_trips_after_budget () =
+  let sup = Supervisor.create policy ~slots:1 in
+  (* burn the whole restart budget *)
+  let now = ref 0. in
+  for _ = 1 to policy.Supervisor.max_restarts do
+    Supervisor.note_death sup 0 ~now:!now;
+    now := !now +. 100.;
+    (match Supervisor.decide sup ~now:!now with
+    | [ Supervisor.Respawn 0 ] -> ignore (Supervisor.note_spawned sup 0)
+    | _ -> Alcotest.fail "expected a respawn within budget")
+  done;
+  check_int "restart budget consumed" policy.Supervisor.max_restarts
+    (Supervisor.health sup).Supervisor.restarts;
+  (* one more death: the decision is to trip, not to respawn *)
+  Supervisor.note_death sup 0 ~now:!now;
+  (match Supervisor.decide sup ~now:(!now +. 100.) with
+  | [ Supervisor.Trip_breaker ] -> Supervisor.trip sup
+  | _ -> Alcotest.fail "expected Trip_breaker after the budget");
+  check_bool "tripped" true (Supervisor.tripped sup);
+  check_bool "health reports it" true
+    (Supervisor.health sup).Supervisor.breaker_tripped;
+  (* tripped: no more respawns, ever *)
+  check_bool "no respawns post-trip" true
+    (Supervisor.decide sup ~now:(!now +. 1000.) = [])
+
+let test_wedge_abandon () =
+  let sup = Supervisor.create policy ~slots:2 in
+  Supervisor.note_busy sup 1 ~now:0.;
+  check_bool "busy within timeout" true (Supervisor.decide sup ~now:5. = []);
+  (match Supervisor.decide sup ~now:11. with
+  | [ Supervisor.Abandon 1 ] -> ()
+  | _ -> Alcotest.fail "expected Abandon for the wedged slot");
+  Supervisor.note_wedged sup 1 ~now:11.;
+  let h = Supervisor.health sup in
+  check_int "wedge counted" 1 h.Supervisor.wedged;
+  check_int "wedge is also a death" 1 h.Supervisor.deaths;
+  (* abandons must keep flowing after the breaker trips (joins depend
+     on wedged chunks failing), respawns must not *)
+  Supervisor.trip sup;
+  Supervisor.note_busy sup 0 ~now:20.;
+  match Supervisor.decide sup ~now:40. with
+  | [ Supervisor.Abandon 0 ] -> ()
+  | _ -> Alcotest.fail "expected Abandon even with the breaker tripped"
+
+let test_busy_then_idle_never_wedges () =
+  let sup = Supervisor.create policy ~slots:1 in
+  Supervisor.note_busy sup 0 ~now:0.;
+  Supervisor.note_idle sup 0;
+  check_bool "idle slot never wedges" true (Supervisor.decide sup ~now:100. = [])
+
+(* -- the live pool under injected worker deaths -------------------------- *)
+
+let kill_workers ?(seed = 6) p =
+  { Chaos.default_config with Chaos.seed; raise_p = p }
+
+let test_batch_survives_worker_deaths () =
+  (* seed 6 @ raise_p 0.3 is mined so that the [pool.chunk] stream stays
+     clean for this batch's 6 chunks while the [pool.worker] stream kills
+     3 workers mid-claim — so the only faults exercised are deaths, and
+     the requeue-on-death path must deliver a complete, ordered result *)
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let input = List.init 48 Fun.id in
+      let expected = List.map (fun x -> (3 * x) + 1) input in
+      let result =
+        Chaos.with_config (kill_workers 0.3) (fun () ->
+            Pool.parallel_map pool ~chunk:8
+              (fun x -> (3 * x) + 1)
+              (List.to_seq input))
+      in
+      check_bool "all items present and in order despite deaths" true
+        (result = expected);
+      (* respawns happen on monitor ticks; give it a beat before reading *)
+      Unix.sleepf 0.05;
+      let h = Pool.health pool in
+      check_bool "deaths were observed" true (h.Supervisor.deaths >= 1);
+      check_bool "deaths led to restarts" true (h.Supervisor.restarts >= 1);
+      check_bool "breaker untouched" false h.Supervisor.breaker_tripped;
+      (* chaos off again: the pool keeps working *)
+      check_bool "pool reusable after the storm" true
+        (Pool.parallel_map pool (fun x -> x * x) (Seq.init 20 Fun.id)
+        = List.init 20 (fun x -> x * x)))
+
+let test_certain_death_trips_breaker_no_hang () =
+  (* raise_p = 1.0: every worker dies on its first claim, so the restart
+     budget burns down, the breaker trips, and the monitor rescue-drains
+     the queue inline — where the chunk-site fault fires and fails the
+     batch with a typed Injected.  The contract here is liveness plus
+     degradation: the join returns (no hang), the breaker is tripped,
+     and the pool still answers batches sequentially afterwards. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      (match
+         Chaos.with_config (kill_workers 1.0) (fun () ->
+             Pool.parallel_map pool ~chunk:8 string_of_int
+               (Seq.init 64 Fun.id))
+       with
+      | _ -> Alcotest.fail "certain chunk faults cannot succeed"
+      | exception Chaos.Injected _ -> ());
+      let h = Pool.health pool in
+      check_bool "breaker tripped" true h.Supervisor.breaker_tripped;
+      check_bool "restart budget was exhausted" true
+        (h.Supervisor.restarts >= Supervisor.default_policy.Supervisor.max_restarts);
+      (* degraded mode: later batches run sequentially, still correctly *)
+      check_bool "degraded batch correct" true
+        (Pool.parallel_map pool (fun x -> x + 1) (Seq.init 10 Fun.id)
+        = List.init 10 (fun x -> x + 1)))
+
+let test_restarts_surface_in_global_stats () =
+  let before = (Stats.global ()).Stats.restarts in
+  Pool.with_pool ~jobs:3 (fun pool ->
+      ignore
+        (Chaos.with_config (kill_workers 0.3) (fun () ->
+             Pool.parallel_map pool ~chunk:8 succ (Seq.init 48 Fun.id)));
+      (* restarts are folded into Stats at batch joins; wait for the
+         monitor to respawn the dead workers, then join a clean batch *)
+      Unix.sleepf 0.05;
+      ignore (Pool.parallel_map pool succ (Seq.init 4 Fun.id)));
+  check_bool "Stats.global restarts advanced" true
+    ((Stats.global ()).Stats.restarts > before)
+
+let test_shutdown_after_deaths_no_hang () =
+  (* exercised repeatedly across fault schedules: create, kill workers,
+     shut down.  Batches may fail (typed) — with_pool returning at all is
+     the assertion; the alcotest timeout is the hang detector. *)
+  for seed = 0 to 4 do
+    Pool.with_pool ~jobs:3 (fun pool ->
+        try
+          ignore
+            (Chaos.with_config
+               { Chaos.default_config with Chaos.seed; raise_p = 0.7 }
+               (fun () ->
+                 Pool.parallel_map pool ~chunk:1 succ (Seq.init 30 Fun.id)))
+        with Chaos.Injected _ -> ())
+  done
+
+let test_wedged_worker_abandons_chunk () =
+  let wedge_policy =
+    { Supervisor.default_policy with
+      Supervisor.wedge_timeout_s = Some 0.05;
+      tick_s = 5e-3
+    }
+  in
+  Pool.with_pool ~policy:wedge_policy ~jobs:2 (fun pool ->
+      match
+        Pool.parallel_map pool ~chunk:1
+          (fun x ->
+            if x = 3 then Unix.sleepf 1.0;
+            x)
+          (Seq.init 8 Fun.id)
+      with
+      | _ -> Alcotest.fail "wedged chunk must fail the batch"
+      | exception Chaos.Injected site ->
+        check_bool "fault names the wedge" true
+          (String.length site >= 11 && String.sub site 0 11 = "pool.wedged");
+        check_bool "wedge counted" true
+          ((Pool.health pool).Supervisor.wedged >= 1))
+
+let suite =
+  [ case "backoff ladder under a synthetic clock" test_backoff_ladder;
+    case "breaker trips when the restart budget is gone"
+      test_breaker_trips_after_budget;
+    case "wedged slots are abandoned" test_wedge_abandon;
+    case "idle slots never wedge" test_busy_then_idle_never_wedges;
+    case "batches survive random worker deaths"
+      test_batch_survives_worker_deaths;
+    case "certain death trips the breaker without hanging"
+      test_certain_death_trips_breaker_no_hang;
+    case "restarts surface in Stats.global" test_restarts_surface_in_global_stats;
+    case "shutdown after deaths never hangs" test_shutdown_after_deaths_no_hang;
+    slow_case "wedged worker abandons its chunk"
+      test_wedged_worker_abandons_chunk
+  ]
