@@ -1177,8 +1177,8 @@ let e15 ~reps () =
   in
   let serve_entries = Buffer.create 1024 in
   let first = ref true in
-  row "%-10s %-8s %10s %10s %12s@." "raise_p" "retries" "ok" "fault"
-    "time(s)";
+  row "%-10s %-8s %10s %10s %12s %10s %10s@." "raise_p" "retries" "ok"
+    "fault" "time(s)" "p50(ms)" "p99(ms)";
   List.iter
     (fun (raise_p, retries) ->
       let config =
@@ -1188,26 +1188,33 @@ let e15 ~reps () =
         }
       in
       let ok = ref 0 and fault = ref 0 in
+      let lat = Array.make requests 0. in
       let _, dt =
         time_it (fun () ->
             Chaos.with_config
               { Chaos.default_config with Chaos.seed = 17; raise_p }
               (fun () ->
                 for i = 1 to requests do
+                  let t0 = Unix.gettimeofday () in
                   let resp = Server.handle config (request i) in
+                  lat.(i - 1) <- Unix.gettimeofday () -. t0;
                   match Json.member "ok" resp with
                   | Some (Json.Bool true) -> incr ok
                   | _ -> incr fault
                 done))
       in
-      row "%-10.2f %-8d %10d %10d %12.4f@." raise_p retries !ok !fault dt;
+      let p50 = 1000. *. Tgd_net.Loadgen.percentile lat 50.
+      and p99 = 1000. *. Tgd_net.Loadgen.percentile lat 99. in
+      row "%-10.2f %-8d %10d %10d %12.4f %10.3f %10.3f@." raise_p retries
+        !ok !fault dt p50 p99;
       if not !first then Buffer.add_string serve_entries ",\n";
       first := false;
       Buffer.add_string serve_entries
         (Printf.sprintf
            "    {\"raise_p\": %.2f, \"retries\": %d, \"requests\": %d, \
-            \"ok\": %d, \"fault\": %d, \"time_s\": %.6f}"
-           raise_p retries requests !ok !fault dt))
+            \"ok\": %d, \"fault\": %d, \"time_s\": %.6f, \
+            \"p50_ms\": %.4f, \"p99_ms\": %.4f}"
+           raise_p retries requests !ok !fault dt p50 p99))
     [ (0.05, 0); (0.05, 3); (0.2, 0); (0.2, 3) ];
   let oc = open_out "BENCH_recover.json" in
   Printf.fprintf oc
@@ -1221,6 +1228,144 @@ let e15 ~reps () =
   close_out oc;
   row "@.BENCH_recover.json written@."
 
+(* ------------------------------------------------------------------ *)
+(* E16: concurrent serving — socket throughput, warm-vs-cold cache,   *)
+(* throughput under injected faults.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e16 ~quick () =
+  let module Transport = Tgd_net.Transport in
+  let module Dispatcher = Tgd_net.Dispatcher in
+  let module Loadgen = Tgd_net.Loadgen in
+  let module Warm = Tgd_net.Warm in
+  let module Chaos = Tgd_engine.Chaos in
+  section "E16  serving: socket throughput, warm-vs-cold cache, chaos";
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tgd_bench_serve_%d.sock" (Unix.getpid ()))
+  in
+  let addr = Transport.Unix_sock sock in
+  let config workers =
+    { Transport.default_config with
+      Transport.dispatcher =
+        { Dispatcher.default_config with Dispatcher.workers };
+      max_connections = 128
+    }
+  in
+  let with_server ?(workers = 4) f =
+    let t = Transport.start (config workers) addr in
+    Fun.protect ~finally:(fun () -> ignore (Transport.stop t)) (fun () -> f t)
+  in
+  Warm.configure ~cache_bytes:(Some (64 * 1024 * 1024));
+  (* -- sustained throughput by connection count ----------------------- *)
+  let per_conn = if quick then 20 else 50 in
+  let ks = [ 1; 4; 16; 64 ] in
+  row "(entail workload, %d requests per connection, 4 workers)@." per_conn;
+  row "%-6s %10s %10s %10s %12s %10s %10s@." "K" "ok" "errors" "malformed"
+    "req/s" "p50(ms)" "p99(ms)";
+  let tp_entries = Buffer.create 1024 in
+  List.iteri
+    (fun idx k ->
+      Warm.reset ();
+      let r =
+        with_server (fun _ ->
+            Loadgen.run addr ~connections:k ~requests:per_conn
+              (Loadgen.entail_workload ~distinct:8 ()))
+      in
+      row "%-6d %10d %10d %10d %12.1f %10.3f %10.3f@." k r.Loadgen.ok
+        r.Loadgen.errors r.Loadgen.malformed (Loadgen.throughput r)
+        (1000. *. Loadgen.percentile r.Loadgen.latencies_s 50.)
+        (1000. *. Loadgen.percentile r.Loadgen.latencies_s 99.);
+      if idx > 0 then Buffer.add_string tp_entries ",\n";
+      Buffer.add_string tp_entries
+        (Printf.sprintf
+           "    {\"connections\": %d, \"requests\": %d, \"ok\": %d, \
+            \"errors\": %d, \"malformed\": %d, \"req_per_s\": %.1f, \
+            \"p50_ms\": %.4f, \"p99_ms\": %.4f}"
+           k r.Loadgen.requests r.Loadgen.ok r.Loadgen.errors
+           r.Loadgen.malformed (Loadgen.throughput r)
+           (1000. *. Loadgen.percentile r.Loadgen.latencies_s 50.)
+           (1000. *. Loadgen.percentile r.Loadgen.latencies_s 99.)))
+    ks;
+  (* -- warm vs cold cache --------------------------------------------- *)
+  section "E16  warm-vs-cold: same requests, empty vs populated caches";
+  let wc_conns = 4 and wc_per_conn = if quick then 25 else 60 in
+  let workload = Loadgen.entail_workload ~distinct:12 () in
+  let cold, warm =
+    with_server (fun _ ->
+        Warm.reset ();
+        let cold =
+          Loadgen.run addr ~connections:wc_conns ~requests:wc_per_conn
+            workload
+        in
+        let warm =
+          Loadgen.run addr ~connections:wc_conns ~requests:wc_per_conn
+            workload
+        in
+        (cold, warm))
+  in
+  let cache = Warm.counters () in
+  row "%-6s %12s %12s@." "" "cold req/s" "warm req/s";
+  row "%-6s %12.1f %12.1f   (cache: %d hits / %d misses)@." ""
+    (Loadgen.throughput cold) (Loadgen.throughput warm)
+    cache.Tgd_engine.Memo.hits cache.Tgd_engine.Memo.misses;
+  let wc_entry =
+    Printf.sprintf
+      "  \"warm_vs_cold\": {\"connections\": %d, \"requests\": %d, \
+       \"cold_req_per_s\": %.1f, \"warm_req_per_s\": %.1f, \
+       \"cold_p50_ms\": %.4f, \"warm_p50_ms\": %.4f, \
+       \"cache_hits\": %d, \"cache_misses\": %d, \"evictions\": %d}"
+      wc_conns cold.Loadgen.requests (Loadgen.throughput cold)
+      (Loadgen.throughput warm)
+      (1000. *. Loadgen.percentile cold.Loadgen.latencies_s 50.)
+      (1000. *. Loadgen.percentile warm.Loadgen.latencies_s 50.)
+      cache.Tgd_engine.Memo.hits cache.Tgd_engine.Memo.misses
+      cache.Tgd_engine.Memo.evicted
+  in
+  (* -- throughput under injected faults ------------------------------- *)
+  section "E16  chaos: throughput as fault probability rises";
+  let chaos_conns = 8 and chaos_per_conn = if quick then 15 else 30 in
+  row "%-10s %10s %10s %10s %12s@." "raise_p" "ok" "errors" "malformed"
+    "req/s";
+  let chaos_entries = Buffer.create 1024 in
+  List.iteri
+    (fun idx raise_p ->
+      Warm.reset ();
+      (* a fresh server per row: sustained faults can trip the pool's
+         circuit breaker, and a tripped breaker must not bleed into the
+         next row's numbers *)
+      let r =
+        with_server (fun _ ->
+            Chaos.with_config
+              { Chaos.default_config with Chaos.seed = 17; raise_p }
+              (fun () ->
+                Loadgen.run addr ~connections:chaos_conns
+                  ~requests:chaos_per_conn
+                  (Loadgen.entail_workload ~distinct:8 ())))
+      in
+      row "%-10.2f %10d %10d %10d %12.1f@." raise_p r.Loadgen.ok
+        r.Loadgen.errors r.Loadgen.malformed (Loadgen.throughput r);
+      if idx > 0 then Buffer.add_string chaos_entries ",\n";
+      Buffer.add_string chaos_entries
+        (Printf.sprintf
+           "    {\"raise_p\": %.2f, \"connections\": %d, \"requests\": %d, \
+            \"ok\": %d, \"errors\": %d, \"malformed\": %d, \
+            \"req_per_s\": %.1f}"
+           raise_p chaos_conns r.Loadgen.requests r.Loadgen.ok
+           r.Loadgen.errors r.Loadgen.malformed (Loadgen.throughput r)))
+    [ 0.0; 0.05; 0.2 ];
+  Warm.configure ~cache_bytes:None;
+  (try Unix.unlink sock with Unix.Unix_error (_, _, _) -> ());
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"serve\",\n  \"throughput\": [\n%s\n  ],\n%s,\n\
+    \  \"chaos\": [\n%s\n  ]\n}\n"
+    (Buffer.contents tp_entries) wc_entry
+    (Buffer.contents chaos_entries);
+  close_out oc;
+  row "@.BENCH_serve.json written@."
+
 let () =
   let has s = Array.exists (String.equal s) Sys.argv in
   let quick = has "quick" in
@@ -1229,7 +1374,7 @@ let () =
   Fmt.pr "Reproduction harness — Console, Kolaitis, Pieris: Model-theoretic@.";
   Fmt.pr "Characterizations of Rule-based Ontologies (PODS 2021)@.";
   if has "engine" || has "parallel" || has "robust" || has "analysis"
-     || has "recover"
+     || has "recover" || has "serve"
   then begin
     (* just the requested JSON-emitting comparisons *)
     if has "engine" then e11 ~reps ();
@@ -1237,6 +1382,7 @@ let () =
     if has "robust" then e13 ~reps ();
     if has "analysis" then e14 ~reps ();
     if has "recover" then e15 ~reps ();
+    if has "serve" then e16 ~quick ();
     Fmt.pr "@.Done.@."
   end
   else begin

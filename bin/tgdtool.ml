@@ -733,8 +733,67 @@ let serve_cmd =
       & info [ "chaos-seed" ] ~docv:"SEED"
           ~doc:"Seed for the deterministic fault-injection schedule.")
   in
+  let socket_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv) instead of \
+                serving stdin/stdout.  Concurrent connections share the \
+                warm entailment and chase caches and a pool of \
+                $(b,--workers) supervised worker domains.")
+  in
+  let tcp_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Listen on a TCP socket (same concurrent serving mode as \
+                $(b,--socket)).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains executing requests in socket mode.")
+  in
+  let max_connections_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Concurrent connections served; extra connections get one \
+                $(b,overloaded) response and are closed.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close connections idle longer than $(docv).")
+  in
+  let cache_bytes_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cache-bytes" ] ~docv:"BYTES"
+          ~doc:"Ceiling on the shared warm caches (entailment memo + \
+                chase-result cache) with LRU eviction; unlimited by \
+                default.")
+  in
+  let max_line_bytes_arg =
+    Arg.(
+      value
+      & opt int Tgd_serve.Json.default_max_line_bytes
+      & info [ "max-line-bytes" ] ~docv:"BYTES"
+          ~doc:"Request lines longer than $(docv) are answered with the \
+                $(b,request_too_large) error code instead of buffered.")
+  in
+  let drain_grace_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:"On SIGINT/SIGTERM, patience for in-flight connections to \
+                finish before they are cut.")
+  in
   let run rounds max_facts timeout retries queue_limit chaos_raise_p
-      chaos_delay_p chaos_seed =
+      chaos_delay_p chaos_seed socket tcp workers max_connections
+      idle_timeout cache_bytes max_line_bytes drain_grace =
     if chaos_raise_p > 0. || chaos_delay_p > 0. then
       Tgd_engine.Chaos.install
         { Tgd_engine.Chaos.default_config with
@@ -748,23 +807,171 @@ let serve_cmd =
         max_facts;
         timeout_s = timeout;
         retries;
-        queue_limit
+        queue_limit;
+        max_line_bytes
       }
     in
-    exit (Tgd_serve.Server.serve ~config stdin stdout)
+    let addr =
+      match (socket, tcp) with
+      | Some _, Some _ ->
+        Fmt.epr "tgdtool serve: --socket and --tcp are exclusive@.";
+        exit 2
+      | Some path, None -> Some (Tgd_net.Transport.Unix_sock path)
+      | None, Some hostport -> (
+        match String.rindex_opt hostport ':' with
+        | Some i -> (
+          let host = String.sub hostport 0 i
+          and port = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+          match int_of_string_opt port with
+          | Some p -> Some (Tgd_net.Transport.Tcp ((if host = "" then "127.0.0.1" else host), p))
+          | None ->
+            Fmt.epr "tgdtool serve: --tcp expects HOST:PORT@.";
+            exit 2)
+        | None ->
+          Fmt.epr "tgdtool serve: --tcp expects HOST:PORT@.";
+          exit 2)
+      | None, None -> None
+    in
+    match addr with
+    | None -> exit (Tgd_serve.Server.serve ~config stdin stdout)
+    | Some addr ->
+      Tgd_net.Warm.configure ~cache_bytes;
+      let tconfig =
+        { Tgd_net.Transport.dispatcher =
+            { Tgd_net.Dispatcher.server = config;
+              workers;
+              admission = Tgd_net.Admission.default_config ~queue_limit
+            };
+          max_connections;
+          idle_timeout_s = idle_timeout;
+          drain_grace_s = drain_grace
+        }
+      in
+      exit (Tgd_net.Transport.serve tconfig addr)
   in
   Cmd.v
     (Cmd.info "serve" ~exits
        ~doc:"Serve classify/chase/entail/rewrite/analyze requests over \
-             line-delimited JSON on stdin/stdout.  Every accepted request \
-             gets exactly one terminal response; transient injected faults \
-             are retried with backoff; requests beyond $(b,--queue-limit) \
-             are shed with a structured $(b,overloaded) error; SIGINT and \
-             SIGTERM drain queued requests before exiting.")
+             line-delimited JSON — on stdin/stdout by default, or \
+             concurrently on a Unix/TCP socket with $(b,--socket) or \
+             $(b,--tcp).  Every accepted request gets exactly one terminal \
+             response; transient injected faults are retried with backoff; \
+             requests beyond $(b,--queue-limit) (earlier, when predicted \
+             expensive by static analysis) are shed with a structured \
+             $(b,overloaded) error; SIGINT and SIGTERM drain in-flight \
+             work before exiting.")
     Term.(
       const run $ budget_arg $ max_facts_arg $ timeout_arg $ retries_arg
       $ queue_limit_arg $ chaos_raise_p_arg $ chaos_delay_p_arg
-      $ chaos_seed_arg)
+      $ chaos_seed_arg $ socket_arg $ tcp_arg $ workers_arg
+      $ max_connections_arg $ idle_timeout_arg $ cache_bytes_arg
+      $ max_line_bytes_arg $ drain_grace_arg)
+
+(* ---- loadgen ---- *)
+
+let loadgen_cmd =
+  let socket_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Connect to a Unix-domain socket server at $(docv).")
+  in
+  let tcp_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect to a TCP server.")
+  in
+  let connections_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "connections" ] ~docv:"K"
+          ~doc:"Concurrent client connections.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per connection.")
+  in
+  let op_arg =
+    Arg.(
+      value & opt string "entail"
+      & info [ "op" ] ~docv:"OP"
+          ~doc:"Workload: $(b,entail), $(b,classify), or $(b,mixed).")
+  in
+  let distinct_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "distinct" ] ~docv:"D"
+          ~doc:"Distinct request shapes cycled through (repeats warm the \
+                server's caches).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the summary as a JSON object.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Exit 1 if any response was malformed (protocol-shape \
+                violation) — used by the CI smoke job.")
+  in
+  let run socket tcp connections requests op distinct json check =
+    let addr =
+      match (socket, tcp) with
+      | Some path, None -> Tgd_net.Transport.Unix_sock path
+      | None, Some hostport -> (
+        match String.rindex_opt hostport ':' with
+        | Some i -> (
+          let host = String.sub hostport 0 i
+          and port =
+            String.sub hostport (i + 1) (String.length hostport - i - 1)
+          in
+          match int_of_string_opt port with
+          | Some p ->
+            Tgd_net.Transport.Tcp
+              ((if host = "" then "127.0.0.1" else host), p)
+          | None ->
+            Fmt.epr "tgdtool loadgen: --tcp expects HOST:PORT@.";
+            exit 2)
+        | None ->
+          Fmt.epr "tgdtool loadgen: --tcp expects HOST:PORT@.";
+          exit 2)
+      | _ ->
+        Fmt.epr "tgdtool loadgen: exactly one of --socket/--tcp required@.";
+        exit 2
+    in
+    let workload =
+      match Tgd_net.Loadgen.workload_of_name ~distinct op with
+      | Some w -> w
+      | None ->
+        Fmt.epr "tgdtool loadgen: unknown --op %S@." op;
+        exit 2
+    in
+    let r = Tgd_net.Loadgen.run addr ~connections ~requests workload in
+    if json then
+      print_endline (Tgd_serve.Json.to_string (Tgd_net.Loadgen.result_json r))
+    else
+      Fmt.pr
+        "%d connections x %d requests: %d ok, %d errors, %d malformed in \
+         %.2fs (%.1f req/s, p50 %.2fms, p99 %.2fms)@."
+        r.Tgd_net.Loadgen.connections requests r.Tgd_net.Loadgen.ok
+        r.Tgd_net.Loadgen.errors r.Tgd_net.Loadgen.malformed
+        r.Tgd_net.Loadgen.elapsed_s
+        (Tgd_net.Loadgen.throughput r)
+        (1000. *. Tgd_net.Loadgen.percentile r.Tgd_net.Loadgen.latencies_s 50.)
+        (1000. *. Tgd_net.Loadgen.percentile r.Tgd_net.Loadgen.latencies_s 99.);
+    if check && r.Tgd_net.Loadgen.malformed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen" ~exits
+       ~doc:"Drive a running $(b,tgdtool serve --socket/--tcp) server with \
+             concurrent closed-loop clients and report throughput and \
+             latency percentiles.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ connections_arg $ requests_arg
+      $ op_arg $ distinct_arg $ json_arg $ check_arg)
 
 let main =
   Cmd.group
@@ -772,6 +979,7 @@ let main =
        ~doc:"Model-theoretic characterizations of rule-based ontologies (PODS'21) — toolkit.")
     [ classify_cmd; chase_cmd; entails_cmd; rewrite_cmd; properties_cmd;
       synthesize_cmd; count_cmd; diagnose_cmd; theory_cmd; datalog_cmd;
-      core_cmd; acyclic_cmd; refute_cmd; analyze_cmd; serve_cmd ]
+      core_cmd; acyclic_cmd; refute_cmd; analyze_cmd; serve_cmd;
+      loadgen_cmd ]
 
 let () = exit (Cmd.eval main)

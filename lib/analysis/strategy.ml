@@ -34,6 +34,34 @@ let may_promote t =
   | Datalog_saturation | Chase_to_completion -> true
   | Budgeted_chase -> false
 
+type cost =
+  | Cheap
+  | Moderate
+  | Expensive
+
+(* Per-request admission control keys off this: a certified-terminating
+   (or plain Datalog) set does bounded chase work per request, an
+   uncertified set may burn its whole budget before answering.  [Cheap]
+   is reserved for requests that never chase at all (classify/analyze) —
+   the serving layer assigns it without consulting a strategy. *)
+let predicted_cost t =
+  match t.engine with
+  | Datalog_saturation | Chase_to_completion -> Moderate
+  | Budgeted_chase -> Expensive
+
+let max_cost a b =
+  match (a, b) with
+  | Expensive, _ | _, Expensive -> Expensive
+  | Moderate, _ | _, Moderate -> Moderate
+  | Cheap, Cheap -> Cheap
+
+let cost_name = function
+  | Cheap -> "cheap"
+  | Moderate -> "moderate"
+  | Expensive -> "expensive"
+
+let pp_cost ppf c = Fmt.string ppf (cost_name c)
+
 let engine_name = function
   | Datalog_saturation -> "datalog-saturation"
   | Chase_to_completion -> "chase-to-completion"

@@ -32,6 +32,22 @@ val may_promote : t -> bool
     re-running uncapped?  True exactly for {!Datalog_saturation} and
     {!Chase_to_completion}. *)
 
+type cost =
+  | Cheap      (** no chase at all (static ops like classify/analyze) *)
+  | Moderate   (** chase work bounded by a termination certificate *)
+  | Expensive  (** uncertified: may burn its entire budget *)
+(** Predicted per-request cost class, for admission control in the
+    serving layer. *)
+
+val predicted_cost : t -> cost
+(** [Moderate] for {!Datalog_saturation} and {!Chase_to_completion} (the
+    chase is provably finite), [Expensive] for {!Budgeted_chase}.  Never
+    [Cheap]: a strategy is only consulted for requests that chase. *)
+
+val max_cost : cost -> cost -> cost
+val cost_name : cost -> string
+val pp_cost : cost Fmt.t
+
 val engine_name : engine -> string
 val pp_engine : engine Fmt.t
 val pp : t Fmt.t

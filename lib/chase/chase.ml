@@ -166,6 +166,10 @@ let result_memo : result Memo.t = Memo.create ~name:"chase-results" ()
 
 let clear_memo () = Memo.clear result_memo
 
+let set_memo_limit ~bytes = Memo.set_limit result_memo ~bytes
+
+let memo_counters () = Memo.counters result_memo
+
 let chase_key ~kind ~naive ~budget sigma inst =
   Fmt.str "%s|naive=%b|%s|%s|%s" kind naive (Budget.key budget)
     (Memo.sigma_key sigma)

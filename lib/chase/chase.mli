@@ -79,6 +79,14 @@ val oblivious :
 val clear_memo : unit -> unit
 (** Drop every entry of the [~memo:true] result cache. *)
 
+val set_memo_limit : bytes:int option -> unit
+(** Install (or remove) a byte ceiling with LRU eviction on the
+    [~memo:true] result cache ({!Tgd_engine.Memo.set_limit}); changing the
+    limit clears the cache. *)
+
+val memo_counters : unit -> Tgd_engine.Memo.counters
+(** Hit/miss/entry/byte/eviction counters of the result cache. *)
+
 type checkpoint = {
   chk_instance : Instance.t;  (** committed saturation prefix *)
   chk_rounds : int;           (** rounds completed across all slices *)

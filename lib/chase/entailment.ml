@@ -86,6 +86,21 @@ let clear_memos () =
 
 let memo_sizes () = (Memo.size memo_answers, Memo.size memo_chases)
 
+(* Server-scope cache governance: answers are a few words each, cached
+   chases dominate the footprint, so an overall ceiling gives the answer
+   table an eighth and the chase table the rest. *)
+let set_cache_limit ~bytes =
+  match bytes with
+  | None ->
+    Memo.set_limit memo_answers ~bytes:None;
+    Memo.set_limit memo_chases ~bytes:None
+  | Some b ->
+    Memo.set_limit memo_answers ~bytes:(Some (max 4096 (b / 8)));
+    Memo.set_limit memo_chases ~bytes:(Some (max 4096 (b - (b / 8))))
+
+let cache_counters () =
+  Memo.combine_counters (Memo.counters memo_answers) (Memo.counters memo_chases)
+
 (* Only the deterministic caps participate in cache keys ({!Budget.key}),
    and only deterministically-truncated chase results (and the answers
    derived from them) are stored — see {!Chase.deterministic_result}. *)

@@ -56,6 +56,16 @@ val clear_memos : unit -> unit
 val memo_sizes : unit -> int * int
 (** [(answer entries, cached chases)]. *)
 
+val set_cache_limit : bytes:int option -> unit
+(** Install (or remove) an overall byte ceiling across both entailment
+    caches with LRU eviction ({!Tgd_engine.Memo.set_limit}): an eighth for
+    the answer table, the rest for the chase table, whose entries dominate
+    the footprint.  Changing the limit clears both tables. *)
+
+val cache_counters : unit -> Tgd_engine.Memo.counters
+(** Combined hit/miss/entry/byte/eviction counters of both caches — the
+    warm-state numbers the serving layer reports. *)
+
 val entails_set :
   ?naive:bool -> ?memo:bool -> ?budget:Chase.budget -> ?analyze:bool ->
   Tgd.t list -> Tgd.t list -> answer

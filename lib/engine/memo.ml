@@ -9,10 +9,23 @@ open Tgd_syntax
 
 let shard_count = 16
 
+(* Entries carry an approximate byte footprint (0 while no ceiling is
+   installed — weighing is then skipped entirely) and the shard clock value
+   of their last access, which is all the LRU eviction sweep needs. *)
+type 'a entry = {
+  value : 'a;
+  mutable tick : int;
+  entry_bytes : int;
+}
+
 type 'a shard = {
-  table : (string, 'a) Hashtbl.t;
+  table : (string, 'a entry) Hashtbl.t;
   lock : Mutex.t;
   shard_stats : Stats.t;
+  mutable clock : int;
+  mutable bytes : int;
+  mutable evictions : int;
+  mutable limit : int option;  (* per-shard byte ceiling *)
 }
 
 type 'a t = {
@@ -25,7 +38,11 @@ let create ?(name = "memo") () =
       Array.init shard_count (fun _ ->
           { table = Hashtbl.create 64;
             lock = Mutex.create ();
-            shard_stats = Stats.create ()
+            shard_stats = Stats.create ();
+            clock = 0;
+            bytes = 0;
+            evictions = 0;
+            limit = None
           });
     memo_name = name
   }
@@ -46,14 +63,60 @@ let miss sh =
   let g = Stats.global () in
   g.Stats.memo_misses <- g.Stats.memo_misses + 1
 
+let touch sh e =
+  sh.clock <- sh.clock + 1;
+  e.tick <- sh.clock
+
+(* LRU sweep, under the shard lock: drop least-recently-touched entries
+   until the shard is back under 7/8 of its ceiling (the hysteresis keeps
+   the sweep off the per-insert fast path).  The newest entry — maximal
+   tick, so last in the sorted order — always survives, even when it alone
+   exceeds the ceiling: an oversized result still serves the request that
+   computed it. *)
+let evict_lru sh =
+  match sh.limit with
+  | None -> ()
+  | Some limit when sh.bytes <= limit -> ()
+  | Some limit ->
+    let target = limit - (limit / 8) in
+    let entries =
+      Hashtbl.fold (fun k e acc -> (k, e) :: acc) sh.table []
+      |> List.sort (fun (_, a) (_, b) -> compare a.tick b.tick)
+    in
+    List.iter
+      (fun (k, e) ->
+        if sh.bytes > target && Hashtbl.length sh.table > 1 then begin
+          Hashtbl.remove sh.table k;
+          sh.bytes <- sh.bytes - e.entry_bytes;
+          sh.evictions <- sh.evictions + 1
+        end)
+      entries
+
+(* Weighing traverses the value ([Obj.reachable_words]); shared substructure
+   is counted once per entry, overestimating the true marginal footprint —
+   which only makes eviction fire earlier, never lets the table run away. *)
+let weigh key v =
+  (8 * Obj.reachable_words (Obj.repr v)) + String.length key + 64
+
+(* Under the shard lock; an existing entry wins (same rule as before). *)
+let store sh key v =
+  if not (Hashtbl.mem sh.table key) then begin
+    let entry_bytes = match sh.limit with None -> 0 | Some _ -> weigh key v in
+    sh.clock <- sh.clock + 1;
+    Hashtbl.replace sh.table key { value = v; tick = sh.clock; entry_bytes };
+    sh.bytes <- sh.bytes + entry_bytes;
+    evict_lru sh
+  end
+
 let find_or_add m key compute =
   let sh = shard_of m key in
   Mutex.lock sh.lock;
   match Hashtbl.find_opt sh.table key with
-  | Some v ->
+  | Some e ->
     hit sh;
+    touch sh e;
     Mutex.unlock sh.lock;
-    v
+    e.value
   | None ->
     miss sh;
     Mutex.unlock sh.lock;
@@ -61,9 +124,12 @@ let find_or_add m key compute =
     Mutex.lock sh.lock;
     let v =
       match Hashtbl.find_opt sh.table key with
-      | Some winner -> winner (* a concurrent compute beat us; use its value *)
+      | Some winner ->
+        (* a concurrent compute beat us; use its value *)
+        touch sh winner;
+        winner.value
       | None ->
-        Hashtbl.replace sh.table key v;
+        store sh key v;
         v
     in
     Mutex.unlock sh.lock;
@@ -72,7 +138,7 @@ let find_or_add m key compute =
 let add m key v =
   let sh = shard_of m key in
   Mutex.lock sh.lock;
-  if not (Hashtbl.mem sh.table key) then Hashtbl.replace sh.table key v;
+  store sh key v;
   Mutex.unlock sh.lock
 
 let find m key =
@@ -80,9 +146,10 @@ let find m key =
   Mutex.lock sh.lock;
   let r =
     match Hashtbl.find_opt sh.table key with
-    | Some v ->
+    | Some e ->
       hit sh;
-      Some v
+      touch sh e;
+      Some e.value
     | None ->
       miss sh;
       None
@@ -95,6 +162,23 @@ let clear m =
     (fun sh ->
       Mutex.lock sh.lock;
       Hashtbl.reset sh.table;
+      sh.bytes <- 0;
+      Mutex.unlock sh.lock)
+    m.shards
+
+let set_limit m ~bytes =
+  let per_shard =
+    Option.map (fun b -> max 4096 (b / shard_count)) bytes
+  in
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.lock;
+      (* footprints of entries stored under the previous regime are stale
+         (unweighed, or weighed against a ceiling being removed), so a
+         limit change restarts the table from empty, fully accounted *)
+      Hashtbl.reset sh.table;
+      sh.bytes <- 0;
+      sh.limit <- per_shard;
       Mutex.unlock sh.lock)
     m.shards
 
@@ -107,6 +191,24 @@ let size m =
       acc + n)
     0 m.shards
 
+let approx_bytes m =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.lock;
+      let b = sh.bytes in
+      Mutex.unlock sh.lock;
+      acc + b)
+    0 m.shards
+
+let evictions m =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.lock;
+      let e = sh.evictions in
+      Mutex.unlock sh.lock;
+      acc + e)
+    0 m.shards
+
 let stats m =
   let total = Stats.create () in
   Array.iter
@@ -117,6 +219,37 @@ let stats m =
       Stats.add ~into:total copy)
     m.shards;
   total
+
+(* ------------------------------------------------------------------ *)
+(* Aggregated counters (for surfacing cache state in serve responses)  *)
+(* ------------------------------------------------------------------ *)
+
+type counters = {
+  hits : int;
+  misses : int;
+  entries : int;
+  bytes : int;
+  evicted : int;
+}
+
+let zero_counters = { hits = 0; misses = 0; entries = 0; bytes = 0; evicted = 0 }
+
+let combine_counters a b =
+  { hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    entries = a.entries + b.entries;
+    bytes = a.bytes + b.bytes;
+    evicted = a.evicted + b.evicted
+  }
+
+let counters m =
+  let s = stats m in
+  { hits = s.Stats.memo_hits;
+    misses = s.Stats.memo_misses;
+    entries = size m;
+    bytes = approx_bytes m;
+    evicted = evictions m
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Key builders                                                        *)

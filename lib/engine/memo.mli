@@ -52,8 +52,39 @@ val add : 'a t -> string -> 'a -> unit
 val clear : 'a t -> unit
 val size : 'a t -> int
 
+val set_limit : 'a t -> bytes:int option -> unit
+(** Install (or with [None] remove) an approximate byte ceiling on the
+    table, split evenly across shards (at least 4 KiB per shard).  With a
+    ceiling installed, every insert weighs its value
+    ([Obj.reachable_words], so shared substructure is {e over}counted —
+    eviction can only fire early, never late) and a shard over its share
+    evicts least-recently-used entries down to 7/8 of it; the newest entry
+    always survives.  Changing the limit resets the table: footprints
+    recorded under the previous regime would be stale. *)
+
+val approx_bytes : 'a t -> int
+(** Accounted footprint of the live entries; 0 while no ceiling is
+    installed (weighing is skipped entirely on the unlimited path). *)
+
+val evictions : 'a t -> int
+(** Entries dropped by the LRU sweep since creation / last limit change. *)
+
 val stats : 'a t -> Stats.t
 (** Snapshot of the table's hit/miss counters, merged across shards. *)
+
+type counters = {
+  hits : int;
+  misses : int;
+  entries : int;
+  bytes : int;    (** accounted footprint; 0 without a ceiling *)
+  evicted : int;
+}
+(** Flat summary of one table's cache state, cheap to surface in a serve
+    response. *)
+
+val zero_counters : counters
+val combine_counters : counters -> counters -> counters
+val counters : 'a t -> counters
 
 val exact_limit : int
 (** Maximum atom count (body + head for tgds) for exact canonical keys. *)

@@ -1,0 +1,81 @@
+(* Cost-based admission control.
+
+   Load shedding at the queue edge (PR 5's [--queue-limit]) treats every
+   request the same; but the static analyzer can predict, before any chase
+   runs, roughly how much a request will cost: a certified-terminating
+   rule set does bounded work per entailment, an uncertified one may burn
+   its entire budget, and a rewrite sweep's candidate space is a counting
+   formula of the schema (Section 9.2).  So admission is graded: cheap
+   requests are admitted until the queue is actually full, while requests
+   predicted expensive are shed earlier, at [expensive_at], keeping the
+   queue's headroom for traffic that will finish quickly.
+
+   Prediction must itself be cheap.  Parsing the rule set and running
+   {!Tgd_analysis.Strategy.decide} is linear-ish in the rule text —
+   microseconds against the milliseconds-to-seconds of the chase work it
+   gates — and a request whose tgds do not parse is admitted as [Cheap]:
+   it will fail fast with [bad_request] inside the handler anyway. *)
+
+module Json = Tgd_serve.Json
+module Strategy = Tgd_analysis.Strategy
+
+type config = {
+  queue_limit : int;
+  expensive_at : int;
+  candidate_space_cap : float;
+}
+
+let default_config ~queue_limit =
+  { queue_limit;
+    expensive_at = max 1 (queue_limit / 2);
+    candidate_space_cap = 1e6
+  }
+
+type decision =
+  | Admit of Strategy.cost
+  | Shed of Strategy.cost
+
+let tgds_of req =
+  match Option.bind (Json.member "tgds" req) Json.as_string with
+  | None -> None
+  | Some src -> (
+    match Tgd_parse.Parse.tgds src with Ok tgds -> Some tgds | Error _ -> None)
+
+let chase_cost req =
+  match tgds_of req with
+  | None -> Strategy.Cheap (* unparsable: fails fast as bad_request *)
+  | Some sigma -> Strategy.predicted_cost (Strategy.decide sigma)
+
+(* A rewrite request enumerates a candidate space bounded by the Section
+   9.2 counting formulas; past [candidate_space_cap] candidates the sweep
+   is expensive no matter what the termination certificate says. *)
+let rewrite_cost config req =
+  match tgds_of req with
+  | None -> Strategy.Cheap
+  | Some sigma ->
+    let base =
+      Strategy.max_cost Strategy.Moderate
+        (Strategy.predicted_cost (Strategy.decide sigma))
+    in
+    let schema = Tgd_core.Rewrite.schema_of sigma in
+    let n, m = Tgd_core.Rewrite.class_bounds sigma in
+    let bound =
+      Tgd_core.Bigint.to_float
+        (Tgd_core.Counting.guarded_candidates_bound schema ~n ~m)
+    in
+    if bound > config.candidate_space_cap then Strategy.Expensive else base
+
+let predict config req =
+  match Option.bind (Json.member "op" req) Json.as_string with
+  | Some ("classify" | "analyze" | "stats") -> Strategy.Cheap
+  | Some ("chase" | "entail") -> chase_cost req
+  | Some "rewrite" -> rewrite_cost config req
+  | _ -> Strategy.Cheap (* unknown op: fails fast as bad_request *)
+
+let decide config ~queue_depth req =
+  let cost = predict config req in
+  if queue_depth >= config.queue_limit then Shed cost
+  else
+    match cost with
+    | Strategy.Expensive when queue_depth >= config.expensive_at -> Shed cost
+    | _ -> Admit cost

@@ -1,0 +1,32 @@
+(** Cost-based admission control for the serving subsystem.
+
+    Every request is assigned a predicted cost class before any engine
+    work runs, from static evidence only: the op (classify/analyze never
+    chase), the rule set's termination certificate
+    ({!Tgd_analysis.Strategy.predicted_cost}), and — for rewrite — the
+    Section 9.2 candidate-space bound.  Requests predicted [Expensive]
+    are shed once the queue reaches [expensive_at] (half the limit by
+    default); everything is shed at [queue_limit].  Shedding produces a
+    typed [overloaded] response upstream, never a silent drop. *)
+
+type config = {
+  queue_limit : int;        (** absolute depth at which everything sheds *)
+  expensive_at : int;       (** depth at which [Expensive] requests shed *)
+  candidate_space_cap : float;
+      (** rewrite candidate-space bound (Section 9.2 counting formula)
+          above which the request is classed [Expensive] regardless of
+          certificate *)
+}
+
+val default_config : queue_limit:int -> config
+(** [expensive_at = queue_limit / 2], candidate-space cap [1e6]. *)
+
+val predict : config -> Tgd_serve.Json.t -> Tgd_analysis.Strategy.cost
+(** Static cost prediction; total — malformed requests predict [Cheap]
+    (they fail fast as [bad_request] inside the handler). *)
+
+type decision =
+  | Admit of Tgd_analysis.Strategy.cost
+  | Shed of Tgd_analysis.Strategy.cost
+
+val decide : config -> queue_depth:int -> Tgd_serve.Json.t -> decision

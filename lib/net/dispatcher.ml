@@ -1,0 +1,158 @@
+(* Request dispatcher: N connections, M supervised workers.
+
+   Connection sessions (systhreads, {!Transport}) call {!handle}
+   concurrently; each admitted request is executed as a one-item batch on
+   the shared {!Tgd_engine.Pool} of supervised domains.  That reuses the
+   whole PR-5 fault ladder for free: a worker killed mid-request
+   ([pool.worker] chaos site) is respawned by the supervisor and the
+   request requeued; a fault surfacing at the batch join ([pool.chunk])
+   is retried here with the same backoff schedule {!Tgd_serve.Server}
+   uses for [serve.request], and only after [retries] attempts becomes a
+   typed [fault] response.  [Server.handle] itself is total, so the only
+   exceptions that can reach the join are injected ones.
+
+   Admission runs before any engine work ({!Admission}): past the queue
+   limit — or past [expensive_at] for requests whose static cost
+   prediction says [Expensive] — the dispatcher answers a typed
+   [overloaded] error carrying the predicted cost and observed depth, so
+   clients can tell shed-because-full from shed-because-you're-pricey.
+
+   Cache counters are deliberately NOT part of normal responses: equal
+   requests must produce byte-identical responses on every connection
+   (the qcheck property relies on it), and hit counters are global
+   mutable state.  They are surfaced through the [stats] op, or per
+   request when the client opts in with ["cache_stats": true]. *)
+
+module Json = Tgd_serve.Json
+module Server = Tgd_serve.Server
+module Pool = Tgd_engine.Pool
+module Chaos = Tgd_engine.Chaos
+
+type config = {
+  server : Server.config;
+  workers : int;
+  admission : Admission.config;
+}
+
+let default_config =
+  let server = Server.default_config in
+  { server;
+    workers = 4;
+    admission = Admission.default_config ~queue_limit:server.Server.queue_limit
+  }
+
+type t = {
+  config : config;
+  pool : Pool.t;
+  depth : int Atomic.t;
+  served : int Atomic.t;
+  shed : int Atomic.t;
+}
+
+let create config =
+  { config;
+    pool = Pool.create ~jobs:(max 1 config.workers) ();
+    depth = Atomic.make 0;
+    served = Atomic.make 0;
+    shed = Atomic.make 0
+  }
+
+let shutdown t = Pool.shutdown t.pool
+
+let queue_depth t = Atomic.get t.depth
+
+let stats_json t =
+  let h = Pool.health t.pool in
+  Json.Obj
+    [ ("requests_served", Json.Int (Atomic.get t.served));
+      ("requests_shed", Json.Int (Atomic.get t.shed));
+      ("queue_depth", Json.Int (Atomic.get t.depth));
+      ("workers", Json.Int (Pool.jobs t.pool));
+      ( "pool",
+        Json.Obj
+          [ ("alive", Json.Int h.Tgd_engine.Supervisor.alive);
+            ("deaths", Json.Int h.Tgd_engine.Supervisor.deaths);
+            ("restarts", Json.Int h.Tgd_engine.Supervisor.restarts);
+            ("wedged", Json.Int h.Tgd_engine.Supervisor.wedged);
+            ( "breaker_tripped",
+              Json.Bool h.Tgd_engine.Supervisor.breaker_tripped )
+          ] );
+      ("cache", Warm.counters_json (Warm.counters ()))
+    ]
+
+let overloaded t ~cost ~depth req =
+  let id = Server.request_id req in
+  Json.Obj
+    [ ("id", id);
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          [ ("code", Json.String "overloaded");
+            ( "message",
+              Json.String
+                (Printf.sprintf "queue depth %d at limit %d" depth
+                   t.config.admission.Admission.queue_limit) );
+            ( "predicted_cost",
+              Json.String (Tgd_analysis.Strategy.cost_name cost) );
+            ("queue_depth", Json.Int depth)
+          ] )
+    ]
+
+(* One request as a one-item batch on the worker pool.  [Server.handle]
+   is total, so an exception at the join is pool-level fault injection;
+   retry it on the server's schedule before conceding a [fault]. *)
+let run_on_pool t req =
+  let cfg = t.config.server in
+  let rec attempt k =
+    match
+      Pool.parallel_map t.pool ~chunk:1 (Server.handle cfg) (Seq.return req)
+    with
+    | [ resp ] -> resp
+    | _ ->
+      Server.error (Server.request_id req) "internal"
+        "worker pool returned no response"
+    | exception Chaos.Injected site when k < cfg.Server.retries ->
+      ignore site;
+      Unix.sleepf (cfg.Server.backoff_base_s *. (2. ** float_of_int k));
+      attempt (k + 1)
+    | exception Chaos.Injected site ->
+      Server.error (Server.request_id req) "fault"
+        (Printf.sprintf "injected fault at %s persisted after %d retries"
+           site cfg.Server.retries)
+    | exception exn ->
+      Server.error (Server.request_id req) "internal" (Printexc.to_string exn)
+  in
+  attempt 0
+
+let with_cache_stats req resp =
+  let wants =
+    match Json.member "cache_stats" req with Some (Json.Bool b) -> b | _ -> false
+  in
+  if not wants then resp
+  else
+    match resp with
+    | Json.Obj fields ->
+      Json.Obj (fields @ [ ("cache", Warm.counters_json (Warm.counters ())) ])
+    | other -> other
+
+let handle t req =
+  match Json.member "op" req with
+  | Some (Json.String "stats") ->
+    Json.Obj
+      [ ("id", Server.request_id req);
+        ("ok", Json.Bool true);
+        ("result", stats_json t)
+      ]
+  | _ -> (
+    let depth = Atomic.fetch_and_add t.depth 1 in
+    Fun.protect
+      ~finally:(fun () -> ignore (Atomic.fetch_and_add t.depth (-1)))
+      (fun () ->
+        match Admission.decide t.config.admission ~queue_depth:depth req with
+        | Admission.Shed cost ->
+          ignore (Atomic.fetch_and_add t.shed 1);
+          overloaded t ~cost ~depth req
+        | Admission.Admit _ ->
+          let resp = run_on_pool t req in
+          ignore (Atomic.fetch_and_add t.served 1);
+          with_cache_stats req resp))

@@ -1,0 +1,39 @@
+(** Concurrent request dispatcher over the supervised worker pool.
+
+    N connection sessions call {!handle} concurrently; admitted requests
+    run as one-item batches on a shared {!Tgd_engine.Pool} of [workers]
+    domains, inheriting the PR-5 supervision ladder (worker respawn,
+    requeue, circuit breaker, typed faults).  {!Admission} sheds requests
+    ahead of the pool with typed [overloaded] responses carrying the
+    predicted cost class.  A [stats] op reports served/shed counts, pool
+    health, and warm-cache counters; normal responses stay byte-identical
+    across connections unless the client opts in with
+    ["cache_stats": true]. *)
+
+type config = {
+  server : Tgd_serve.Server.config;  (** per-request budgets and retries *)
+  workers : int;                     (** worker domains in the pool *)
+  admission : Admission.config;
+}
+
+val default_config : config
+(** [Server.default_config], 4 workers, admission at the server's queue
+    limit. *)
+
+type t
+
+val create : config -> t
+(** Spawn the worker pool.  Pair with {!shutdown}. *)
+
+val handle : t -> Tgd_serve.Json.t -> Tgd_serve.Json.t
+(** One parsed request to its terminal response.  Total: never raises.
+    Safe to call from any number of threads or domains concurrently. *)
+
+val queue_depth : t -> int
+(** Requests currently between admission and response. *)
+
+val stats_json : t -> Tgd_serve.Json.t
+(** The [stats] op's result object (also usable for logging). *)
+
+val shutdown : t -> unit
+(** Stop and join the worker pool.  Idempotent. *)

@@ -1,0 +1,207 @@
+(* Closed-loop load generator for the socket server.
+
+   K client threads each open one connection and issue [requests]
+   requests back-to-back: send a line, block for the response line,
+   record the latency.  Closed-loop means offered load adapts to the
+   server — the generator measures sustained throughput and latency
+   under full pipelines rather than building an unbounded backlog.
+
+   Every response line is checked for protocol shape (parses as JSON,
+   echoes an [id], has an ["ok"] bool); anything else counts as
+   [malformed] — the CI smoke job fails on a single one.  [ok = false]
+   responses (overloaded, fault, …) are counted as [errors], not
+   malformed: shedding under load is the protocol working. *)
+
+module Json = Tgd_serve.Json
+
+type result = {
+  connections : int;
+  requests : int;  (** total sent across all connections *)
+  ok : int;
+  errors : int;    (** well-formed [ok = false] responses *)
+  malformed : int; (** unparsable or protocol-shape-violating lines *)
+  elapsed_s : float;
+  latencies_s : float array;  (** one entry per request, unordered *)
+}
+
+let percentile lat p =
+  let n = Array.length lat in
+  if n = 0 then 0.
+  else begin
+    let sorted = Array.copy lat in
+    Array.sort compare sorted;
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank)
+    and hi = int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+  end
+
+(* Retry the connect briefly: CI starts the server and the clients
+   concurrently, and the socket file appears a beat after exec. *)
+let connect ?(attempts = 50) addr =
+  let sockaddr, domain =
+    match addr with
+    | Transport.Unix_sock path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Transport.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
+      in
+      (Unix.ADDR_INET (inet, port), Unix.PF_INET)
+  in
+  let rec go k =
+    let fd = Unix.socket domain SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> fd
+    | exception Unix.Unix_error (_, _, _) when k < attempts ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      Thread.delay 0.1;
+      go (k + 1)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      raise e
+  in
+  go 0
+
+type tally = {
+  mutable t_ok : int;
+  mutable t_errors : int;
+  mutable t_malformed : int;
+  mutable t_lat : float list;
+}
+
+let well_formed resp =
+  match resp with
+  | Json.Obj fields ->
+    List.mem_assoc "id" fields
+    && (match List.assoc_opt "ok" fields with
+       | Some (Json.Bool _) -> true
+       | _ -> false)
+  | _ -> false
+
+let client addr ~requests workload tid =
+  let tally = { t_ok = 0; t_errors = 0; t_malformed = 0; t_lat = [] } in
+  let fd = connect addr in
+  let ic = Unix.in_channel_of_descr fd
+  and oc = Unix.out_channel_of_descr fd in
+  (try
+     for i = 0 to requests - 1 do
+       let req = workload ((tid * requests) + i) in
+       let t0 = Unix.gettimeofday () in
+       output_string oc (Json.to_string req);
+       output_char oc '\n';
+       flush oc;
+       match input_line ic with
+       | exception End_of_file -> tally.t_malformed <- tally.t_malformed + 1
+       | line -> (
+         tally.t_lat <- (Unix.gettimeofday () -. t0) :: tally.t_lat;
+         match Json.of_string line with
+         | Error _ -> tally.t_malformed <- tally.t_malformed + 1
+         | Ok resp when not (well_formed resp) ->
+           tally.t_malformed <- tally.t_malformed + 1
+         | Ok resp -> (
+           match Json.member "ok" resp with
+           | Some (Json.Bool true) -> tally.t_ok <- tally.t_ok + 1
+           | _ -> tally.t_errors <- tally.t_errors + 1))
+     done
+   with Sys_error _ | Unix.Unix_error (_, _, _) ->
+     tally.t_malformed <- tally.t_malformed + 1);
+  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+  tally
+
+(* [Thread.join] discards the closure's result, so each client parks
+   its tally in a per-thread cell for the joiner to collect. *)
+let run addr ~connections ~requests workload =
+  let t0 = Unix.gettimeofday () in
+  let cells = Array.make (max 1 connections) None in
+  let threads =
+    List.init connections (fun tid ->
+        Thread.create
+          (fun () -> cells.(tid) <- Some (client addr ~requests workload tid))
+          ())
+  in
+  List.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let ok = ref 0 and errors = ref 0 and malformed = ref 0 and lat = ref [] in
+  Array.iter
+    (function
+      | None -> incr malformed (* thread died before reporting *)
+      | Some t ->
+        ok := !ok + t.t_ok;
+        errors := !errors + t.t_errors;
+        malformed := !malformed + t.t_malformed;
+        lat := List.rev_append t.t_lat !lat)
+    cells;
+  { connections;
+    requests = connections * requests;
+    ok = !ok;
+    errors = !errors;
+    malformed = !malformed;
+    elapsed_s;
+    latencies_s = Array.of_list !lat
+  }
+
+let throughput r =
+  if r.elapsed_s <= 0. then 0. else float_of_int r.ok /. r.elapsed_s
+
+(* Workloads.  The entailment chain is the paper's bread-and-butter
+   shape: sigma closes E-paths into S then T, and goal [i] asks whether
+   a length-k E-chain forces T at its end — k varies with [distinct] so
+   a warm cache sees repeats while a cold one keeps computing. *)
+let chain_sigma = "E(x,y) -> S(y). S(x) -> T(x)."
+
+let chain_goal k =
+  let buf = Buffer.create 64 in
+  for j = 0 to k - 1 do
+    if j > 0 then Buffer.add_string buf ", ";
+    Buffer.add_string buf (Printf.sprintf "E(x%d, x%d)" j (j + 1))
+  done;
+  Buffer.add_string buf (Printf.sprintf " -> T(x%d)." k);
+  Buffer.contents buf
+
+let entail_workload ?(distinct = 8) () i =
+  let k = 2 + (i mod max 1 distinct) in
+  Json.Obj
+    [ ("id", Json.Int i);
+      ("op", Json.String "entail");
+      ("tgds", Json.String chain_sigma);
+      ("goal", Json.String (chain_goal k))
+    ]
+
+let classify_workload ?(distinct = 8) () i =
+  let k = 1 + (i mod max 1 distinct) in
+  let tgds =
+    Printf.sprintf "E(x,y) -> S(y). S(x) -> T(x). %s" (chain_goal k)
+  in
+  Json.Obj
+    [ ("id", Json.Int i);
+      ("op", Json.String "classify");
+      ("tgds", Json.String tgds)
+    ]
+
+let mixed_workload ?(distinct = 8) () i =
+  if i mod 3 = 0 then classify_workload ~distinct () i
+  else entail_workload ~distinct () i
+
+let workload_of_name ?distinct name =
+  match name with
+  | "entail" -> Some (entail_workload ?distinct ())
+  | "classify" -> Some (classify_workload ?distinct ())
+  | "mixed" -> Some (mixed_workload ?distinct ())
+  | _ -> None
+
+let result_json r =
+  Json.Obj
+    [ ("connections", Json.Int r.connections);
+      ("requests", Json.Int r.requests);
+      ("ok", Json.Int r.ok);
+      ("errors", Json.Int r.errors);
+      ("malformed", Json.Int r.malformed);
+      ("elapsed_s", Json.Float r.elapsed_s);
+      ("req_per_s", Json.Float (throughput r));
+      ("p50_ms", Json.Float (1000. *. percentile r.latencies_s 50.));
+      ("p99_ms", Json.Float (1000. *. percentile r.latencies_s 99.))
+    ]

@@ -1,0 +1,52 @@
+(** Closed-loop load generator for the socket server.
+
+    [run addr ~connections ~requests workload] opens [connections]
+    concurrent client connections, each issuing [requests] requests
+    back-to-back (send, block for the response, record latency), and
+    aggregates the outcome.  Responses are validated for protocol shape;
+    violations count as [malformed] while well-formed error responses
+    (shedding, faults) count as [errors].  Backs [tgdtool loadgen] and
+    the E16 serving benchmark. *)
+
+type result = {
+  connections : int;
+  requests : int;  (** total sent across all connections *)
+  ok : int;
+  errors : int;    (** well-formed [ok = false] responses *)
+  malformed : int; (** unparsable or protocol-shape-violating lines *)
+  elapsed_s : float;
+  latencies_s : float array;  (** one entry per answered request *)
+}
+
+val run :
+  Transport.addr ->
+  connections:int ->
+  requests:int ->
+  (int -> Tgd_serve.Json.t) ->
+  result
+(** The workload function maps a globally unique request index to a
+    request object (it should carry an ["id"]). *)
+
+val connect : ?attempts:int -> Transport.addr -> Unix.file_descr
+(** Client connect with brief retries (default 50 × 100 ms) to absorb
+    the server's startup race in CI. *)
+
+val percentile : float array -> float -> float
+(** [percentile lat p] with linear interpolation; 0 on empty input. *)
+
+val throughput : result -> float
+(** Successful requests per second of wall clock. *)
+
+val entail_workload : ?distinct:int -> unit -> int -> Tgd_serve.Json.t
+(** Entailment requests over a fixed transitive-ish sigma with
+    [distinct] different chain-length goals — repeats warm the cache. *)
+
+val classify_workload : ?distinct:int -> unit -> int -> Tgd_serve.Json.t
+val mixed_workload : ?distinct:int -> unit -> int -> Tgd_serve.Json.t
+
+val workload_of_name :
+  ?distinct:int -> string -> (int -> Tgd_serve.Json.t) option
+(** ["entail"], ["classify"], ["mixed"]. *)
+
+val result_json : result -> Tgd_serve.Json.t
+(** Summary object with req/s and p50/p99 millisecond latencies. *)

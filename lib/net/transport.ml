@@ -1,0 +1,245 @@
+(* Socket transport: accept loop, framed NDJSON sessions, graceful drain.
+
+   Concurrency model: the engine's parallelism lives in the dispatcher's
+   domain pool; connections only need to block on IO, so each session is
+   a systhread ([threads.posix]) — blocking reads release the runtime
+   lock, and a thousand mostly-idle connections cost a stack each, not a
+   domain each.  The accept loop is itself a thread that polls a
+   [select] with a short timeout so it can notice the draining flag
+   without a wakeup pipe.
+
+   Framing is the same NDJSON protocol as the stdio loop, read through
+   {!Tgd_serve.Json.read_line_bounded}: oversized lines are consumed and
+   answered with [request_too_large], CRLF and trailing partial lines
+   are tolerated.  Idle connections are bounded with [SO_RCVTIMEO]; the
+   timeout surfaces as a [Sys_error] from the channel read and closes
+   the session.
+
+   Graceful drain (SIGINT/SIGTERM or {!drain}): the accept loop exits,
+   the listener closes, and every in-flight connection is woken with
+   [shutdown SHUTDOWN_RECEIVE] — a blocked reader sees end-of-file, a
+   session mid-request finishes writing its response first.  Sessions
+   still open after [drain_grace_s] are cut with [SHUTDOWN_ALL].  Only
+   then is the worker pool shut down, so no admitted request loses its
+   worker. *)
+
+module Json = Tgd_serve.Json
+module Server = Tgd_serve.Server
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let pp_addr ppf = function
+  | Unix_sock path -> Fmt.pf ppf "unix:%s" path
+  | Tcp (host, port) -> Fmt.pf ppf "tcp:%s:%d" host port
+
+type config = {
+  dispatcher : Dispatcher.config;
+  max_connections : int;
+  idle_timeout_s : float option;
+  drain_grace_s : float;
+}
+
+let default_config =
+  { dispatcher = Dispatcher.default_config;
+    max_connections = 64;
+    idle_timeout_s = None;
+    drain_grace_s = 5.0
+  }
+
+type t = {
+  config : config;
+  addr : addr;
+  dispatcher : Dispatcher.t;
+  listener : Unix.file_descr;
+  draining : bool Atomic.t;
+  mu : Mutex.t;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable sessions : Thread.t list;
+  mutable next_conn : int;
+  mutable accept_thread : Thread.t option;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let register t fd =
+  locked t (fun () ->
+      let id = t.next_conn in
+      t.next_conn <- id + 1;
+      Hashtbl.replace t.conns id fd;
+      id)
+
+let deregister t id = locked t (fun () -> Hashtbl.remove t.conns id)
+let live_conns t = locked t (fun () -> Hashtbl.length t.conns)
+
+let send oc resp =
+  output_string oc (Json.to_string resp);
+  output_char oc '\n';
+  flush oc
+
+(* Answer lines until end-of-input, drain, or a connection error.  Every
+   parsed line gets exactly one terminal response; transport-level errors
+   (peer gone, idle timeout) just end the session. *)
+let session t fd =
+  let cfg = t.config.dispatcher.Dispatcher.server in
+  let ic = Unix.in_channel_of_descr fd
+  and oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    if Atomic.get t.draining then ()
+    else
+      match
+        Json.read_line_bounded ~max_bytes:cfg.Server.max_line_bytes ic
+      with
+      | Json.Eof -> ()
+      | Json.Oversized n ->
+        send oc
+          (Server.error Json.Null "request_too_large"
+             (Printf.sprintf "request line of %d bytes exceeds limit %d" n
+                cfg.Server.max_line_bytes));
+        loop ()
+      | Json.Line line ->
+        let line = String.trim line in
+        if line = "" then loop ()
+        else begin
+          (match Json.of_string line with
+          | Error msg -> send oc (Server.error Json.Null "bad_request" msg)
+          | Ok req -> send oc (Dispatcher.handle t.dispatcher req));
+          loop ()
+        end
+  in
+  (try loop () with
+  | Sys_error _ | End_of_file | Unix.Unix_error (_, _, _) -> ());
+  (try flush oc with Sys_error _ | Unix.Unix_error (_, _, _) -> ());
+  try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+let reject_over_limit fd =
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     send oc
+       (Server.error Json.Null "overloaded" "connection limit reached")
+   with Sys_error _ | Unix.Unix_error (_, _, _) -> ());
+  try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.draining then ()
+    else begin
+      (match Unix.select [ t.listener ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.listener with
+        | exception Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK), _, _) ->
+          ()
+        | fd, _peer ->
+          if Atomic.get t.draining || live_conns t >= t.config.max_connections
+          then reject_over_limit fd
+          else begin
+            (match t.config.idle_timeout_s with
+            | Some s when s > 0. -> (
+              try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+              with Unix.Unix_error (_, _, _) -> ())
+            | _ -> ());
+            let id = register t fd in
+            let th =
+              Thread.create
+                (fun () ->
+                  Fun.protect
+                    ~finally:(fun () -> deregister t id)
+                    (fun () -> session t fd))
+                ()
+            in
+            locked t (fun () -> t.sessions <- th :: t.sessions)
+          end)
+      | exception Unix.Unix_error (EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let bind_listener addr =
+  match addr with
+  | Unix_sock path ->
+    (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    Unix.bind fd (ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | Tcp (host, port) ->
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.setsockopt fd SO_REUSEADDR true;
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
+    in
+    Unix.bind fd (ADDR_INET (inet, port));
+    Unix.listen fd 64;
+    fd
+
+let start config addr =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let t =
+    { config;
+      addr;
+      dispatcher = Dispatcher.create config.dispatcher;
+      listener = bind_listener addr;
+      draining = Atomic.make false;
+      mu = Mutex.create ();
+      conns = Hashtbl.create 16;
+      sessions = [];
+      next_conn = 0;
+      accept_thread = None
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let drain t = Atomic.set t.draining true
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (try Unix.close t.listener with Unix.Unix_error (_, _, _) -> ());
+  (match t.addr with
+  | Unix_sock path -> (
+    try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+  | Tcp _ -> ());
+  (* Wake readers blocked on quiet connections: they see end-of-file and
+     fall out of their session loop; writes in flight still complete. *)
+  let shutdown_conns mode =
+    let fds = locked t (fun () -> Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns []) in
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd mode with Unix.Unix_error (_, _, _) -> ())
+      fds
+  in
+  shutdown_conns Unix.SHUTDOWN_RECEIVE;
+  let deadline = Unix.gettimeofday () +. t.config.drain_grace_s in
+  let rec poll () =
+    if live_conns t > 0 && Unix.gettimeofday () < deadline then begin
+      Thread.delay 0.02;
+      poll ()
+    end
+  in
+  poll ();
+  if live_conns t > 0 then shutdown_conns Unix.SHUTDOWN_ALL;
+  let sessions = locked t (fun () -> t.sessions) in
+  List.iter Thread.join sessions;
+  Dispatcher.shutdown t.dispatcher;
+  0
+
+let stop t =
+  drain t;
+  wait t
+
+let dispatcher t = t.dispatcher
+
+let serve ?(signals = true) config addr =
+  let t = start config addr in
+  if signals then begin
+    let handler = Sys.Signal_handle (fun _ -> drain t) in
+    Sys.set_signal Sys.sigint handler;
+    Sys.set_signal Sys.sigterm handler
+  end;
+  wait t

@@ -1,0 +1,54 @@
+(** Socket transport for the serving subsystem.
+
+    Listens on a Unix-domain or TCP socket and speaks the same NDJSON
+    protocol as the stdio loop: one request object per line, one
+    terminal response per request, on that connection, in order.  Each
+    connection is served by a lightweight systhread; engine work runs on
+    the dispatcher's shared domain pool.  Connections beyond
+    [max_connections] receive one [overloaded] line and are closed;
+    idle connections are closed after [idle_timeout_s].
+
+    {b Drain.} {!drain} (or SIGINT/SIGTERM under {!serve}) stops
+    accepting, wakes blocked readers, lets in-flight requests finish
+    writing their responses, and cuts stragglers after [drain_grace_s];
+    only then is the worker pool shut down. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val pp_addr : addr Fmt.t
+
+type config = {
+  dispatcher : Dispatcher.config;
+  max_connections : int;        (** concurrent connections served *)
+  idle_timeout_s : float option;(** close connections quiet this long *)
+  drain_grace_s : float;        (** drain patience before cutting *)
+}
+
+val default_config : config
+(** Dispatcher defaults, 64 connections, no idle timeout, 5 s grace. *)
+
+type t
+
+val start : config -> addr -> t
+(** Bind, listen, and serve in background threads.  A pre-existing Unix
+    socket path is unlinked first.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val drain : t -> unit
+(** Begin graceful shutdown; returns immediately. *)
+
+val wait : t -> int
+(** Block until the server has fully drained (accept loop joined,
+    sessions closed, pool shut down); returns the process exit code
+    (0).  Call {!drain} first, or rely on {!serve}'s signal handlers. *)
+
+val stop : t -> int
+(** [drain] then [wait]. *)
+
+val dispatcher : t -> Dispatcher.t
+(** The server's dispatcher (for stats or embedding). *)
+
+val serve : ?signals:bool -> config -> addr -> int
+(** [start], optionally (default) install SIGINT/SIGTERM drain handlers,
+    then {!wait}.  The blocking entry point behind
+    [tgdtool serve --socket]. *)

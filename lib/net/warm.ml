@@ -1,0 +1,43 @@
+(* Cross-request warm state.
+
+   The caches that make repeated classify/entail/rewrite traffic cheap —
+   the two-level entailment memo and the chase-result cache — are
+   process-wide already ({!Tgd_chase.Entailment}, {!Tgd_chase.Chase}).
+   This module is the server-scope view over them: one switch that
+   installs an overall byte ceiling with LRU eviction across all three
+   tables, and one set of counters the dispatcher surfaces in [stats]
+   responses (and, opt-in, per request).  The split gives the entailment
+   side half the ceiling and the chase-result cache the other half; each
+   table enforces its share independently, so one hot workload cannot
+   evict the other side's entire working set. *)
+
+module Memo = Tgd_engine.Memo
+module Json = Tgd_serve.Json
+
+let configure ~cache_bytes =
+  match cache_bytes with
+  | None ->
+    Tgd_chase.Entailment.set_cache_limit ~bytes:None;
+    Tgd_chase.Chase.set_memo_limit ~bytes:None
+  | Some b ->
+    let half = max 8192 (b / 2) in
+    Tgd_chase.Entailment.set_cache_limit ~bytes:(Some half);
+    Tgd_chase.Chase.set_memo_limit ~bytes:(Some (max 8192 (b - half)))
+
+let reset () =
+  Tgd_chase.Entailment.clear_memos ();
+  Tgd_chase.Chase.clear_memo ()
+
+let counters () =
+  Memo.combine_counters
+    (Tgd_chase.Entailment.cache_counters ())
+    (Tgd_chase.Chase.memo_counters ())
+
+let counters_json (c : Memo.counters) =
+  Json.Obj
+    [ ("hits", Json.Int c.Memo.hits);
+      ("misses", Json.Int c.Memo.misses);
+      ("entries", Json.Int c.Memo.entries);
+      ("approx_bytes", Json.Int c.Memo.bytes);
+      ("evictions", Json.Int c.Memo.evicted)
+    ]

@@ -265,6 +265,48 @@ let of_string src =
   | exception Err (msg, p) -> Error (Printf.sprintf "%s at offset %d" msg p)
 
 (* ------------------------------------------------------------------ *)
+(* NDJSON line framing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type line =
+  | Line of string
+  | Oversized of int
+  | Eof
+
+let default_max_line_bytes = 1 lsl 20
+
+(* Bounded replacement for [input_line]: CRLF framing is tolerated (one
+   trailing '\r' before the newline is stripped), a trailing partial line
+   at EOF is returned as a [Line] (the next read reports [Eof]), and a
+   line longer than [max_bytes] stops buffering, keeps consuming up to the
+   next newline so the stream stays framed, and reports [Oversized] with
+   the total length consumed — the caller answers with a typed
+   [request_too_large] error instead of buffering without bound. *)
+let read_line_bounded ?(max_bytes = default_max_line_bytes) ic =
+  let b = Buffer.create 256 in
+  let overflow = ref 0 in
+  let finish () =
+    if !overflow > 0 then Oversized (Buffer.length b + !overflow)
+    else begin
+      let s = Buffer.contents b in
+      let n = String.length s in
+      Line (if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s)
+    end
+  in
+  let rec go () =
+    match input_char ic with
+    | '\n' -> finish ()
+    | c ->
+      if !overflow > 0 then incr overflow
+      else if Buffer.length b >= max_bytes then overflow := 1
+      else Buffer.add_char b c;
+      go ()
+    | exception End_of_file ->
+      if Buffer.length b = 0 && !overflow = 0 then Eof else finish ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
 (* Accessors                                                           *)
 (* ------------------------------------------------------------------ *)
 

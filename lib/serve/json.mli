@@ -29,6 +29,23 @@ val of_string : string -> (t, string) result
     carries a message with a byte offset.  Integer literals outside the
     native [int] range fall back to [Float]. *)
 
+type line =
+  | Line of string      (** one logical line, CR/LF framing stripped *)
+  | Oversized of int    (** line over the cap; payload discarded, total
+                            bytes consumed reported *)
+  | Eof
+
+val default_max_line_bytes : int
+(** 1 MiB. *)
+
+val read_line_bounded : ?max_bytes:int -> in_channel -> line
+(** Bounded NDJSON framing: like [input_line] but CRLF-tolerant (one
+    trailing ['\r'] is stripped), a trailing partial line at EOF is still
+    returned as a [Line] (the next call reports [Eof]), and a line longer
+    than [max_bytes] is consumed to its newline {e without} being buffered
+    — [Oversized] carries the total length, so the caller can answer with
+    a typed [request_too_large] error and keep the stream framed. *)
+
 val member : string -> t -> t option
 (** Field of an [Obj]; [None] on missing field or non-object. *)
 

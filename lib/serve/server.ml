@@ -15,6 +15,7 @@ type config = {
   retries : int;
   backoff_base_s : float;
   queue_limit : int;
+  max_line_bytes : int;
 }
 
 let default_config =
@@ -23,7 +24,8 @@ let default_config =
     timeout_s = None;
     retries = 3;
     backoff_base_s = 0.01;
-    queue_limit = 64
+    queue_limit = 64;
+    max_line_bytes = Json.default_max_line_bytes
   }
 
 (* A request that failed for a reason retrying can fix: an injected fault
@@ -313,8 +315,18 @@ let serve ?(config = default_config) ?(signals = true) ic oc =
   let reader =
     Domain.spawn (fun () ->
         let rec go () =
-          match input_line ic with
-          | line ->
+          match Json.read_line_bounded ~max_bytes:config.max_line_bytes ic with
+          | Json.Eof -> Atomic.set eof true
+          | Json.Oversized n ->
+            (* the id was discarded with the payload; still answer, so the
+               client sees exactly one terminal response for the line *)
+            respond
+              (error Json.Null "request_too_large"
+                 (Printf.sprintf
+                    "request line of %d bytes exceeds the %d byte limit" n
+                    config.max_line_bytes));
+            go ()
+          | Json.Line line ->
             if String.trim line = "" then go ()
             else if Atomic.get draining then begin
               respond
@@ -337,7 +349,6 @@ let serve ?(config = default_config) ?(signals = true) ic oc =
                         config.queue_limit));
               go ()
             end
-          | exception End_of_file -> Atomic.set eof true
           | exception Sys_error _ -> Atomic.set eof true
         in
         go ())

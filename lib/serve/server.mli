@@ -8,7 +8,7 @@
     [{"id": …, "ok": true, "result": …}] or
     [{"id": …, "ok": false, "error": {"code": …, "message": …}}] with
     codes [bad_request], [overloaded], [fault], [internal],
-    [shutting_down].
+    [shutting_down], [request_too_large].
 
     {b Robustness contract.}  Every accepted request gets exactly one
     terminal response, in request order; no input — malformed JSON,
@@ -28,11 +28,22 @@ type config = {
   retries : int;      (** retry attempts after a transient fault *)
   backoff_base_s : float;    (** first retry delay; doubles per attempt *)
   queue_limit : int;  (** queued requests beyond which new ones shed *)
+  max_line_bytes : int;
+      (** request lines longer than this are answered with a typed
+          [request_too_large] error instead of buffered without bound *)
 }
 
 val default_config : config
 (** 64 rounds, 20_000 facts, no deadline, 3 retries, 10 ms base backoff,
-    queue limit 64. *)
+    queue limit 64, 1 MiB line cap. *)
+
+val request_id : Json.t -> Json.t
+(** The request's [id] field, or [Null] — echoed in every response.
+    Exposed for transports layered over {!handle}. *)
+
+val error : Json.t -> string -> string -> Json.t
+(** [error id code message] — a terminal error response in the protocol's
+    shape.  Exposed for transports layered over {!handle}. *)
 
 val handle : config -> Json.t -> Json.t
 (** Process one parsed request to its terminal response.  Total: never

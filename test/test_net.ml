@@ -1,0 +1,354 @@
+(* The network serving subsystem: admission predicts and sheds, the
+   dispatcher answers every request exactly once from any number of
+   threads, the socket transport round-trips the NDJSON protocol and
+   drains gracefully, the shared warm caches stay within their byte
+   ceiling, and — the properties — concurrent connections issuing the
+   same requests read byte-identical responses while the server-scope
+   hit counters only ever climb. *)
+
+open Helpers
+module Json = Tgd_serve.Json
+module Server = Tgd_serve.Server
+module Memo = Tgd_engine.Memo
+module Chaos = Tgd_engine.Chaos
+module Strategy = Tgd_analysis.Strategy
+module Admission = Tgd_net.Admission
+module Dispatcher = Tgd_net.Dispatcher
+module Transport = Tgd_net.Transport
+module Loadgen = Tgd_net.Loadgen
+module Warm = Tgd_net.Warm
+
+let req src =
+  match Json.of_string src with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "bad test request %s: %s" src m
+
+let get_ok resp =
+  match Json.member "ok" resp with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "response without ok: %s" (Json.to_string resp)
+
+let error_code resp =
+  match Option.bind (Json.member "error" resp) (Json.member "code") with
+  | Some (Json.String c) -> c
+  | _ -> Alcotest.failf "no error code in %s" (Json.to_string resp)
+
+(* -- warm cache byte ceiling --------------------------------------------- *)
+
+let test_memo_byte_ceiling () =
+  let m : string Memo.t = Memo.create ~name:"test-lru" () in
+  Memo.set_limit m ~bytes:(Some 16_384);
+  (* 16_384 requested, but each shard floors at 4 KiB: the effective
+     ceiling is shard_count * 4096.  Insert well past it. *)
+  let effective = Memo.shard_count * 4096 in
+  let payload i = String.make 2048 (Char.chr (65 + (i mod 26))) in
+  for i = 0 to 199 do
+    ignore (Memo.find_or_add m (Printf.sprintf "key-%d" i) (fun () -> payload i))
+  done;
+  check_bool "evictions happened" true (Memo.evictions m > 0);
+  check_bool "footprint bounded"
+    true
+    (Memo.approx_bytes m <= effective);
+  check_bool "table still serves" true
+    (Memo.find_or_add m "key-fresh" (fun () -> "v") = "v");
+  (* removing the limit resets accounting *)
+  Memo.set_limit m ~bytes:None;
+  check_int "unlimited tables do not weigh" 0 (Memo.approx_bytes m)
+
+(* -- admission ----------------------------------------------------------- *)
+
+let terminating = {| {"id":1,"op":"entail","tgds":"E(x,y) -> S(y).","goal":"E(x,y) -> S(y)."} |}
+let uncertified = {| {"id":1,"op":"entail","tgds":"E(x,y) -> E(y,z).","goal":"E(x,y) -> S(y)."} |}
+
+let test_admission_predicts () =
+  let config = Admission.default_config ~queue_limit:8 in
+  let cost src = Admission.predict config (req src) in
+  check_bool "classify is cheap" true
+    (cost {| {"id":1,"op":"classify","tgds":"E(x,y) -> S(y)."} |}
+    = Strategy.Cheap);
+  check_bool "certified entailment is moderate" true
+    (cost terminating = Strategy.Moderate);
+  check_bool "uncertified entailment is expensive" true
+    (cost uncertified = Strategy.Expensive);
+  check_bool "unparsable rules fail fast, predicted cheap" true
+    (cost {| {"id":1,"op":"entail","tgds":"not rules"} |} = Strategy.Cheap)
+
+let test_admission_sheds_by_cost () =
+  let config = Admission.default_config ~queue_limit:8 in
+  let decide depth src =
+    Admission.decide config ~queue_depth:depth (req src)
+  in
+  (match decide 0 uncertified with
+  | Admission.Admit Strategy.Expensive -> ()
+  | _ -> Alcotest.fail "empty queue admits even expensive work");
+  (match decide config.Admission.expensive_at uncertified with
+  | Admission.Shed Strategy.Expensive -> ()
+  | _ -> Alcotest.fail "expensive work sheds at the early threshold");
+  (match decide config.Admission.expensive_at terminating with
+  | Admission.Admit _ -> ()
+  | _ -> Alcotest.fail "moderate work rides past the early threshold");
+  match decide config.Admission.queue_limit terminating with
+  | Admission.Shed _ -> ()
+  | _ -> Alcotest.fail "everything sheds at the hard limit"
+
+(* -- dispatcher ---------------------------------------------------------- *)
+
+let with_dispatcher ?(workers = 2) ?admission f =
+  let admission =
+    Option.value admission
+      ~default:(Admission.default_config ~queue_limit:16)
+  in
+  let d =
+    Dispatcher.create
+      { Dispatcher.server = Server.default_config; workers; admission }
+  in
+  Fun.protect ~finally:(fun () -> Dispatcher.shutdown d) (fun () -> f d)
+
+let test_dispatcher_serves_and_reports () =
+  with_dispatcher (fun d ->
+      let resp = Dispatcher.handle d (req terminating) in
+      check_bool "entail served" true (get_ok resp);
+      let stats = Dispatcher.handle d (req {| {"id":9,"op":"stats"} |}) in
+      check_bool "stats op ok" true (get_ok stats);
+      match Option.bind (Json.member "result" stats) (Json.member "requests_served") with
+      | Some (Json.Int n) -> check_bool "served counted" true (n >= 1)
+      | _ -> Alcotest.fail "stats without requests_served")
+
+let test_dispatcher_sheds_with_typed_overload () =
+  let admission =
+    { (Admission.default_config ~queue_limit:0) with Admission.queue_limit = 0 }
+  in
+  with_dispatcher ~admission (fun d ->
+      let resp = Dispatcher.handle d (req terminating) in
+      check_bool "shed" true (not (get_ok resp));
+      check_bool "typed overloaded" true (error_code resp = "overloaded");
+      match
+        Option.bind (Json.member "error" resp) (Json.member "predicted_cost")
+      with
+      | Some (Json.String _) -> ()
+      | _ -> Alcotest.fail "overload response without predicted_cost")
+
+let test_dispatcher_total_under_faults () =
+  with_dispatcher (fun d ->
+      Chaos.with_config
+        { Chaos.default_config with Chaos.seed = 23; raise_p = 0.3 }
+        (fun () ->
+          let ok = ref 0 and fault = ref 0 in
+          for i = 1 to 25 do
+            let resp =
+              Dispatcher.handle d
+                (req
+                   (Printf.sprintf
+                      {| {"id":%d,"op":"entail","tgds":"E(x,y) -> S(y).","goal":"E(x,y) -> S(y)."} |}
+                      i))
+            in
+            match Json.member "ok" resp with
+            | Some (Json.Bool true) -> incr ok
+            | Some (Json.Bool false) -> incr fault
+            | _ -> Alcotest.failf "malformed: %s" (Json.to_string resp)
+          done;
+          check_int "every request answered" 25 (!ok + !fault);
+          check_bool "retries rescue most" true (!ok > 0)))
+
+(* -- socket transport ---------------------------------------------------- *)
+
+let fresh_sock () =
+  let path =
+    Filename.temp_file "tgd_test_net" ".sock"
+  in
+  Sys.remove path;
+  path
+
+let with_server ?(server = Server.default_config) ?(max_connections = 16)
+    ?(workers = 2) f =
+  let sock = fresh_sock () in
+  let addr = Transport.Unix_sock sock in
+  let t =
+    Transport.start
+      { Transport.dispatcher =
+          { Dispatcher.server;
+            workers;
+            admission =
+              Admission.default_config
+                ~queue_limit:server.Server.queue_limit
+          };
+        max_connections;
+        idle_timeout_s = None;
+        drain_grace_s = 2.0
+      }
+      addr
+  in
+  let stopped = ref false in
+  let stop () =
+    if not !stopped then begin
+      stopped := true;
+      check_int "drain exits 0" 0 (Transport.stop t)
+    end
+  in
+  Fun.protect ~finally:stop (fun () -> f addr);
+  check_bool "socket unlinked after drain" false (Sys.file_exists sock)
+
+(* One raw client connection: send each line, read one response per line. *)
+let talk addr lines =
+  let fd = Loadgen.connect ~attempts:20 addr in
+  let ic = Unix.in_channel_of_descr fd
+  and oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.map
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          input_line ic)
+        lines)
+
+let test_socket_round_trip () =
+  with_server (fun addr ->
+      let r =
+        Loadgen.run addr ~connections:2 ~requests:6
+          (Loadgen.entail_workload ~distinct:3 ())
+      in
+      check_int "no protocol violations" 0 r.Loadgen.malformed;
+      check_int "all served" 12 r.Loadgen.ok)
+
+let test_socket_oversized_line () =
+  let server = { Server.default_config with Server.max_line_bytes = 256 } in
+  with_server ~server (fun addr ->
+      let big =
+        Printf.sprintf {| {"id":1,"op":"classify","tgds":"%s"} |}
+          (String.make 400 'x')
+      in
+      match
+        talk addr
+          [ big; {| {"id":2,"op":"classify","tgds":"E(x,y) -> S(y)."} |} ]
+      with
+      | [ r1; r2 ] ->
+        check_bool "typed request_too_large" true
+          (error_code (req r1) = "request_too_large");
+        check_bool "session survives oversized line" true (get_ok (req r2))
+      | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs))
+
+let test_socket_connection_limit () =
+  with_server ~max_connections:1 (fun addr ->
+      let fd1 = Loadgen.connect addr in
+      let ic1 = Unix.in_channel_of_descr fd1
+      and oc1 = Unix.out_channel_of_descr fd1 in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd1 with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* complete one request so the first session is registered *)
+          output_string oc1
+            {| {"id":1,"op":"classify","tgds":"E(x,y) -> S(y)."} |};
+          output_char oc1 '\n';
+          flush oc1;
+          check_bool "first connection served" true
+            (get_ok (req (input_line ic1)));
+          (* the second connection gets one overloaded line, then EOF *)
+          let fd2 = Loadgen.connect addr in
+          let ic2 = Unix.in_channel_of_descr fd2 in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd2 with Unix.Unix_error _ -> ())
+            (fun () ->
+              check_bool "over-limit connection refused with a typed line"
+                true
+                (error_code (req (input_line ic2)) = "overloaded");
+              match input_line ic2 with
+              | _ -> Alcotest.fail "over-limit connection not closed"
+              | exception End_of_file -> ())))
+
+(* -- properties ---------------------------------------------------------- *)
+
+(* Request scripts drawn from the deterministic ops (never [stats], whose
+   payload legitimately varies between calls). *)
+let gen_script : string list QCheck.Gen.t =
+  QCheck.Gen.(
+    let gen_line =
+      oneof
+        [ map
+            (fun k ->
+              let goal = Buffer.create 64 in
+              for j = 0 to k do
+                if j > 0 then Buffer.add_string goal ", ";
+                Buffer.add_string goal
+                  (Printf.sprintf "E(x%d, x%d)" j (j + 1))
+              done;
+              Printf.sprintf
+                {| {"id":%d,"op":"entail","tgds":"E(x,y) -> S(y). S(x) -> T(x).","goal":"%s -> T(x%d)."} |}
+                k (Buffer.contents goal) (k + 1))
+            (int_range 1 4);
+          map
+            (fun k ->
+              Printf.sprintf
+                {| {"id":%d,"op":"classify","tgds":"E(x,y) -> S(y)."} |} k)
+            (int_range 1 4);
+          return {| not json at all |}
+        ]
+    in
+    list_size (int_range 1 6) gen_line)
+
+let arb_script =
+  QCheck.make ~print:(String.concat "\n") gen_script
+
+(* C connections replay the same script concurrently; the byte streams
+   they read back must be identical.  This is what licenses sharing the
+   warm caches across connections at all: no per-connection state leaks
+   into responses. *)
+let prop_identical_responses =
+  QCheck.Test.make ~count:12 ~name:"concurrent connections read identical bytes"
+    arb_script
+    (fun script ->
+      let out = Array.make 3 [] in
+      with_server (fun addr ->
+          let threads =
+            List.init 3 (fun i ->
+                Thread.create (fun () -> out.(i) <- talk addr script) ())
+          in
+          List.iter Thread.join threads);
+      out.(0) = out.(1) && out.(1) = out.(2))
+
+let hits_of resp =
+  match
+    Option.bind (Json.member "cache" resp) (Json.member "hits")
+  with
+  | Some (Json.Int n) -> n
+  | _ -> Alcotest.failf "no cache.hits in %s" (Json.to_string resp)
+
+let test_hit_counters_monotone () =
+  Warm.reset ();
+  with_server (fun addr ->
+      let line =
+        {| {"id":7,"op":"entail","tgds":"E(x,y) -> S(y). S(x) -> T(x).","goal":"E(x0, x1), E(x1, x2) -> T(x2).","cache_stats":true} |}
+      in
+      let responses = talk addr (List.init 8 (fun _ -> line)) in
+      let hits = List.map (fun r -> hits_of (req r)) responses in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      check_bool "hit counter never decreases" true (monotone hits);
+      check_bool "repeats actually hit" true
+        (List.nth hits 7 > List.hd hits))
+
+let suite =
+  [ case "memo byte ceiling evicts LRU" test_memo_byte_ceiling;
+    case "admission predicts cost from static analysis"
+      test_admission_predicts;
+    case "admission sheds expensive work early" test_admission_sheds_by_cost;
+    case "dispatcher serves and reports stats"
+      test_dispatcher_serves_and_reports;
+    case "dispatcher sheds with typed overload"
+      test_dispatcher_sheds_with_typed_overload;
+    slow_case "dispatcher total under injected faults"
+      test_dispatcher_total_under_faults;
+    slow_case "socket round trip" test_socket_round_trip;
+    case "oversized line over socket" test_socket_oversized_line;
+    case "connection limit refuses with typed line"
+      test_socket_connection_limit;
+    QCheck_alcotest.to_alcotest ~long:true prop_identical_responses;
+    slow_case "server-scope hit counters monotone"
+      test_hit_counters_monotone
+  ]

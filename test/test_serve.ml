@@ -277,8 +277,72 @@ let test_serve_loop_sheds_overload () =
   check_bool "some requests were shed" true (shed > 0);
   check_bool "some requests were served" true (shed < 12)
 
+(* -- bounded NDJSON line reader ------------------------------------------ *)
+
+let read_all ?max_bytes content =
+  let path = Filename.temp_file "serve_lines" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc content;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match Json.read_line_bounded ?max_bytes ic with
+            | Json.Eof -> List.rev acc
+            | frame -> go (frame :: acc)
+          in
+          go []))
+
+let test_read_line_bounded () =
+  (* CRLF endings are stripped; a trailing partial line still arrives *)
+  (match read_all "a\r\nbb\nccc" with
+  | [ Json.Line "a"; Json.Line "bb"; Json.Line "ccc" ] -> ()
+  | frames -> Alcotest.failf "unexpected frames (%d)" (List.length frames));
+  (* empty input is immediately Eof; lone newline is one empty line *)
+  check_int "empty input" 0 (List.length (read_all ""));
+  (match read_all "\n" with
+  | [ Json.Line "" ] -> ()
+  | _ -> Alcotest.fail "lone newline should be one empty line");
+  (* an over-cap line is consumed (not buffered) and reported with its
+     length; the following line is still readable *)
+  (match read_all ~max_bytes:8 "0123456789abcdef\nshort\n" with
+  | [ Json.Oversized 16; Json.Line "short" ] -> ()
+  | [ Json.Oversized n; _ ] -> Alcotest.failf "oversized length %d" n
+  | _ -> Alcotest.fail "oversized line not isolated");
+  (* a line exactly at the cap passes *)
+  match read_all ~max_bytes:5 "12345\n123456\n" with
+  | [ Json.Line "12345"; Json.Oversized 6 ] -> ()
+  | _ -> Alcotest.fail "cap boundary misjudged"
+
+let test_serve_rejects_oversized_line () =
+  let config = { Server.default_config with Server.max_line_bytes = 128 } in
+  let big =
+    Printf.sprintf {| {"id": 1, "op": "classify", "tgds": "%s"} |}
+      (String.make 200 'x')
+  in
+  let code, resps =
+    with_serve ~config
+      [ big; {| {"id": 2, "op": "classify", "tgds": "E(x,y) -> S(y)."} |} ]
+  in
+  check_int "exit code" 0 code;
+  check_int "both lines answered" 2 (List.length resps);
+  match resps with
+  | [ r1; r2 ] ->
+    check_bool "oversized is typed" true
+      ((not (get_ok r1)) && error_code r1 = "request_too_large");
+    check_bool "loop survives to serve the next line" true (get_ok r2)
+  | _ -> Alcotest.fail "expected two responses"
+
 let suite =
   [ case "json parses and rejects" test_json_parse_basics;
+    case "bounded line reader: crlf, partials, oversized"
+      test_read_line_bounded;
+    case "serve rejects oversized lines" test_serve_rejects_oversized_line;
     QCheck_alcotest.to_alcotest prop_json_roundtrip;
     case "classify op" test_classify_op;
     case "chase op" test_chase_op;
