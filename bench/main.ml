@@ -674,10 +674,16 @@ let e11 ~reps () =
 (* E12 — parallel candidate screening (BENCH_parallel.json)             *)
 (* ------------------------------------------------------------------ *)
 
-let e12 ~reps ~jobs_list () =
+let e12 ~reps ~quick () =
   section "E12  Section 9 rewriting — candidate screening over worker domains";
   let cores = Domain.recommended_domain_count () in
-  row "(cores available: %d; times: median of %d cold repetitions)@." cores reps;
+  (* the full honesty ladder: rows whose jobs exceed the machine's cores are
+     reported as skipped, never timed — a 1-core box oversubscribing 4
+     domains would "measure" scheduler noise and call it a speedup curve *)
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  row "(cores available: %d; times: median of %d cold repetitions; jobs \
+       beyond the core count are skipped, not timed)@."
+    cores reps;
   row "%-28s %5s %10s %8s %-18s %9s@." "workload" "jobs" "time(s)" "speedup"
     "outcome" "identical";
   let entries = Buffer.create 1024 in
@@ -702,32 +708,43 @@ let e12 ~reps ~jobs_list () =
       in
       (fst (List.hd runs), median (List.map snd runs))
     in
-    let results = List.map (fun jobs -> (jobs, run jobs)) jobs_list in
-    let base_r, base_t =
-      match results with
-      | (1, rt) :: _ -> rt
-      | _ -> snd (List.hd results)
-    in
+    (* jobs = 1 always runs — it is the baseline every speedup divides by *)
+    let base_r, base_t = run 1 in
     let job_entries =
       List.map
-        (fun (jobs, ((r : Rewrite.report), t)) ->
-          let identical =
-            outcome_sig r = outcome_sig base_r
-            && r.Rewrite.candidates_enumerated
-               = base_r.Rewrite.candidates_enumerated
-            && r.Rewrite.candidates_entailed
-               = base_r.Rewrite.candidates_entailed
-          in
-          let speedup = if t > 0. then base_t /. t else 1. in
-          row "%-28s %5d %10.4f %7.2fx %-18s %9b@." name jobs t speedup
-            (outcome_sig r) identical;
-          Printf.sprintf
-            "      {\"jobs\": %d, \"time_s\": %.6f, \"speedup\": %.3f, \
-             \"outcome\": \"%s\", \"candidates_enumerated\": %d, \
-             \"candidates_entailed\": %d, \"identical\": %b}"
-            jobs t speedup (outcome_sig r) r.Rewrite.candidates_enumerated
-            r.Rewrite.candidates_entailed identical)
-        results
+        (fun jobs ->
+          if jobs > 1 && cores < jobs then begin
+            row "%-28s %5d %10s %8s %-18s@." name jobs "-" "-"
+              (Printf.sprintf "skipped (%d cores)" cores);
+            Printf.sprintf
+              "      {\"jobs\": %d, \"cores\": %d, \
+               \"skipped_insufficient_cores\": true}"
+              jobs cores
+          end
+          else begin
+            let (r : Rewrite.report), t =
+              if jobs = 1 then (base_r, base_t) else run jobs
+            in
+            let identical =
+              outcome_sig r = outcome_sig base_r
+              && r.Rewrite.candidates_enumerated
+                 = base_r.Rewrite.candidates_enumerated
+              && r.Rewrite.candidates_entailed
+                 = base_r.Rewrite.candidates_entailed
+            in
+            let speedup = if t > 0. then base_t /. t else 1. in
+            row "%-28s %5d %10.4f %7.2fx %-18s %9b@." name jobs t speedup
+              (outcome_sig r) identical;
+            Printf.sprintf
+              "      {\"jobs\": %d, \"cores\": %d, \"time_s\": %.6f, \
+               \"speedup\": %.3f, \"outcome\": \"%s\", \
+               \"candidates_enumerated\": %d, \"candidates_entailed\": %d, \
+               \"identical\": %b}"
+              jobs cores t speedup (outcome_sig r)
+              r.Rewrite.candidates_enumerated r.Rewrite.candidates_entailed
+              identical
+          end)
+        jobs_list
     in
     if not !first_entry then Buffer.add_string entries ",\n";
     first_entry := false;
@@ -743,6 +760,16 @@ let e12 ~reps ~jobs_list () =
     (Families.guarded_unrewritable 1) (rewrite_config 8 8);
   workload "fg2g unrewritable(1) [9.1]" fg_to_g
     (Families.fg_unrewritable 1) (rewrite_config 8 8);
+  (* the scalable rows: hundreds of rules, candidate spaces in the 10⁴–10⁵
+     range — enough per-sweep work for chunked dispatch to amortise.
+     [minimize = false] keeps the row a pure screening measurement (greedy
+     minimisation is sequential and would dilute the curve). *)
+  let layered_copies, layered_depth = if quick then (4, 2) else (6, 2) in
+  workload
+    (Printf.sprintf "g2l layered(%dx%d)" layered_copies layered_depth)
+    g_to_l
+    (Families.layered ~copies:layered_copies ~depth:layered_depth)
+    { (rewrite_config 2 1) with minimize = false };
   let oc = open_out "BENCH_parallel.json" in
   Printf.fprintf oc
     "{\n  \"benchmark\": \"parallel_screening\",\n  \"cores\": %d,\n\
@@ -1370,7 +1397,7 @@ let () =
   let has s = Array.exists (String.equal s) Sys.argv in
   let quick = has "quick" in
   let reps = if quick then 3 else 5 in
-  let jobs_list = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  
   Fmt.pr "Reproduction harness — Console, Kolaitis, Pieris: Model-theoretic@.";
   Fmt.pr "Characterizations of Rule-based Ontologies (PODS 2021)@.";
   if has "engine" || has "parallel" || has "robust" || has "analysis"
@@ -1378,7 +1405,7 @@ let () =
   then begin
     (* just the requested JSON-emitting comparisons *)
     if has "engine" then e11 ~reps ();
-    if has "parallel" then e12 ~reps ~jobs_list ();
+    if has "parallel" then e12 ~reps ~quick ();
     if has "robust" then e13 ~reps ();
     if has "analysis" then e14 ~reps ();
     if has "recover" then e15 ~reps ();
@@ -1397,7 +1424,7 @@ let () =
     e9 ();
     e10 ();
     e11 ~reps ();
-    e12 ~reps ~jobs_list ();
+    e12 ~reps ~quick ();
     e13 ~reps ();
     run_benchmarks ();
     Fmt.pr "@.Done.@."

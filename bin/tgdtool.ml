@@ -155,6 +155,16 @@ let jobs_arg =
               default) stays on the sequential path.  Results are \
               independent of N.")
 
+let chunk_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:"Items per pool claim for parallel screening/matching.  By \
+              default the chunk is sized from the analysis strategy: \
+              certified-terminating sets pack many cheap items per claim, \
+              uncertified sets get small chunks for load balance.  Results \
+              are independent of N.")
+
 (* ---- classify ---- *)
 
 let classify_cmd =
@@ -193,7 +203,7 @@ let chase_cmd =
           ~doc:"Print the derivation tree of a fact, e.g. \"T(a,c)\".")
   in
   let run path db_path rounds max_facts timeout fuel oblivious explain stats
-      naive jobs no_analyze checkpoint_dir checkpoint_every =
+      naive jobs chunk no_analyze checkpoint_dir checkpoint_every =
     let sigma = parse_tgds_file path in
     let schema = Rewrite.schema_of sigma in
     let p = parse_program_file path in
@@ -224,7 +234,7 @@ let chase_cmd =
             if oblivious then Tgd_chase.Chase.oblivious ?on_fire:None
             else Tgd_chase.Chase.restricted ?on_fire:None
           in
-          chase ~naive ~budget ~jobs ~analyze:(not no_analyze) sigma db
+          chase ~naive ~budget ~jobs ?chunk ~analyze:(not no_analyze) sigma db
       in
       Fmt.pr "%a@.%a@." Tgd_chase.Chase.pp_result r Tgd_instance.Instance.pp
         r.Tgd_chase.Chase.instance;
@@ -260,7 +270,7 @@ let chase_cmd =
     Term.(
       const run $ ontology_arg $ db_arg $ budget_arg $ max_facts_arg
       $ timeout_arg $ fuel_arg $ oblivious_arg $ explain_arg $ stats_arg
-      $ naive_arg $ jobs_arg $ no_analyze_arg $ checkpoint_dir_arg
+      $ naive_arg $ jobs_arg $ chunk_arg $ no_analyze_arg $ checkpoint_dir_arg
       $ checkpoint_every_arg)
 
 (* ---- entails ---- *)
@@ -314,7 +324,7 @@ let rewrite_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the rewriting to a file.")
   in
   let run direction path body head rounds max_facts timeout fuel out stats
-      naive jobs no_analyze checkpoint_dir checkpoint_every =
+      naive jobs chunk no_analyze checkpoint_dir checkpoint_every =
     let sigma = parse_tgds_file path in
     let store =
       Option.map
@@ -337,6 +347,7 @@ let rewrite_cmd =
           naive;
           memo = not naive;
           jobs;
+          chunk;
           analyze = not no_analyze;
           checkpoint = store;
           checkpoint_every = Option.value checkpoint_every ~default:1
@@ -382,7 +393,7 @@ let rewrite_cmd =
     Term.(
       const run $ direction_arg $ file_arg $ body_cap $ head_cap $ budget_arg
       $ max_facts_arg $ timeout_arg $ fuel_arg $ out_arg $ stats_arg
-      $ naive_arg $ jobs_arg $ no_analyze_arg $ checkpoint_dir_arg
+      $ naive_arg $ jobs_arg $ chunk_arg $ no_analyze_arg $ checkpoint_dir_arg
       $ checkpoint_every_arg)
 
 (* ---- properties ---- *)
@@ -896,7 +907,9 @@ let loadgen_cmd =
     Arg.(
       value & opt string "entail"
       & info [ "op" ] ~docv:"OP"
-          ~doc:"Workload: $(b,entail), $(b,classify), or $(b,mixed).")
+          ~doc:"Workload: $(b,entail), $(b,classify), $(b,mixed), \
+                $(b,rewrite) (g2l sweeps — see $(b,--ontology)), or \
+                $(b,batch) (chunked multi-request submissions).")
   in
   let distinct_arg =
     Arg.(
@@ -904,6 +917,20 @@ let loadgen_cmd =
       & info [ "distinct" ] ~docv:"D"
           ~doc:"Distinct request shapes cycled through (repeats warm the \
                 server's caches).")
+  in
+  let ontology_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "ontology" ] ~docv:"FILE"
+          ~doc:"For $(b,--op rewrite): the ontology each request screens \
+                (e.g. a generated data/gen_*.dlp fixture).  Default: a \
+                small built-in layered set.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"B"
+          ~doc:"For $(b,--op batch): sub-requests per submission.")
   in
   let json_arg =
     Arg.(
@@ -917,7 +944,8 @@ let loadgen_cmd =
           ~doc:"Exit 1 if any response was malformed (protocol-shape \
                 violation) — used by the CI smoke job.")
   in
-  let run socket tcp connections requests op distinct json check =
+  let run socket tcp connections requests op distinct ontology batch json
+      check =
     let addr =
       match (socket, tcp) with
       | Some path, None -> Tgd_net.Transport.Unix_sock path
@@ -942,8 +970,17 @@ let loadgen_cmd =
         Fmt.epr "tgdtool loadgen: exactly one of --socket/--tcp required@.";
         exit 2
     in
+    let tgds =
+      Option.map
+        (fun path ->
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic)))
+        ontology
+    in
     let workload =
-      match Tgd_net.Loadgen.workload_of_name ~distinct op with
+      match Tgd_net.Loadgen.workload_of_name ~distinct ?tgds ~batch op with
       | Some w -> w
       | None ->
         Fmt.epr "tgdtool loadgen: unknown --op %S@." op;
@@ -971,7 +1008,90 @@ let loadgen_cmd =
              latency percentiles.")
     Term.(
       const run $ socket_arg $ tcp_arg $ connections_arg $ requests_arg
-      $ op_arg $ distinct_arg $ json_arg $ check_arg)
+      $ op_arg $ distinct_arg $ ontology_arg $ batch_arg $ json_arg
+      $ check_arg)
+
+(* ---- workload ---- *)
+
+let workload_cmd =
+  let family_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("layered", `Layered); ("layered-exist", `Layered_exist) ]))
+          None
+      & info [] ~docv:"FAMILY"
+          ~doc:
+            "$(b,layered) (guarded full rules, plain Datalog) or \
+             $(b,layered-exist) (adds one existential sink rule per copy).")
+  in
+  let copies_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "copies" ] ~docv:"K" ~doc:"Independent gadget copies.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "depth" ] ~docv:"D" ~doc:"Layers per copy (3 rules each).")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the ontology here.")
+  in
+  let facts_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "facts" ] ~docv:"FILE"
+          ~doc:"Also write a seed database (chase workload) to $(docv).")
+  in
+  let chain_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "chain" ] ~docv:"N"
+          ~doc:"Seed facts per copy in the $(b,--facts) database.")
+  in
+  let run family copies depth out facts chain =
+    let module Families = Tgd_workload.Families in
+    let sigma =
+      match family with
+      | `Layered -> Families.layered ~copies ~depth
+      | `Layered_exist -> Families.layered_existential ~copies ~depth
+    in
+    Tgd_parse.Print.to_file out (Tgd_parse.Print.tgds sigma ^ "\n");
+    let schema = Rewrite.schema_of sigma in
+    let n, m = Rewrite.class_bounds sigma in
+    let bound =
+      Tgd_core.Counting.guarded_candidates_bound schema ~n ~m
+    in
+    Fmt.pr "%s: %d rules over %d relations (9.2 candidate bound %s)@." out
+      (List.length sigma)
+      (List.length (Schema.relations schema))
+      (Tgd_core.Bigint.to_string bound);
+    Option.iter
+      (fun path ->
+        let inst = Families.layered_instance ~copies ~depth ~chain in
+        let lines =
+          Tgd_instance.Instance.fact_list inst
+          |> List.map Tgd_parse.Print.fact
+        in
+        Tgd_parse.Print.to_file path (String.concat "\n" lines ^ "\n");
+        Fmt.pr "%s: %d seed facts@." path
+          (Tgd_instance.Instance.fact_count inst))
+      facts
+  in
+  Cmd.v
+    (Cmd.info "workload" ~exits
+       ~doc:"Generate a scalable benchmark ontology (and optional seed \
+             database) in surface syntax — the fixtures under data/gen_*.dlp \
+             come from here.")
+    Term.(
+      const run $ family_arg $ copies_arg $ depth_arg $ out_arg $ facts_arg
+      $ chain_arg)
 
 let main =
   Cmd.group
@@ -980,6 +1100,6 @@ let main =
     [ classify_cmd; chase_cmd; entails_cmd; rewrite_cmd; properties_cmd;
       synthesize_cmd; count_cmd; diagnose_cmd; theory_cmd; datalog_cmd;
       core_cmd; acyclic_cmd; refute_cmd; analyze_cmd; serve_cmd;
-      loadgen_cmd ]
+      loadgen_cmd; workload_cmd ]
 
 let () = exit (Cmd.eval main)

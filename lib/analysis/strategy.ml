@@ -49,11 +49,48 @@ let predicted_cost t =
   | Datalog_saturation | Chase_to_completion -> Moderate
   | Budgeted_chase -> Expensive
 
+(* Relative cost of screening one rewrite candidate: a termination
+   certificate (or plain Datalog) bounds each candidate's chase to a
+   handful of rounds, while an uncertified candidate may burn its whole
+   per-candidate budget — two orders of magnitude apart in practice. *)
+let cost_weight = function
+  | Cheap | Moderate -> 1
+  | Expensive -> 64
+
+let item_weight t = cost_weight (predicted_cost t)
+
+(* A chunk should carry about this much weight: enough work to amortize
+   one queue claim (mutex + condition wake-up) into noise. *)
+let chunk_weight_target = 256
+
+let screen_chunk t ~jobs ~n =
+  if n <= 0 then 1
+  else begin
+    (* certified items are cheap, so pack many per claim; uncertified
+       items are heavy and high-variance, so keep chunks small and let
+       dynamic claiming balance the load — but never fewer than ~4 chunks
+       per worker, or there is nothing left to steal *)
+    let by_dispatch = max 1 (chunk_weight_target / item_weight t) in
+    let by_balance = max 1 (n / (4 * max 1 jobs)) in
+    max 1 (min by_dispatch by_balance)
+  end
+
 let max_cost a b =
   match (a, b) with
   | Expensive, _ | _, Expensive -> Expensive
   | Moderate, _ | _, Moderate -> Moderate
   | Cheap, Cheap -> Cheap
+
+let sweep_cost t ~cap ~candidates =
+  let base = max_cost Moderate (predicted_cost t) in
+  (* Measure the sweep in weight units and calibrate [cap] to weight-64
+     (uncertified) items: an uncertified space past [cap] candidates is
+     expensive, while a certified sweep — 1/64 the per-item work — admits
+     a proportionally larger space before shedding.  This is what keeps
+     large *certified* workloads on the warm path instead of spuriously
+     classifying them [Expensive] on raw candidate count. *)
+  let weighted = candidates *. (float_of_int (item_weight t) /. 64.) in
+  if weighted > cap then Expensive else base
 
 let cost_name = function
   | Cheap -> "cheap"

@@ -44,6 +44,37 @@ val predicted_cost : t -> cost
     chase is provably finite), [Expensive] for {!Budgeted_chase}.  Never
     [Cheap]: a strategy is only consulted for requests that chase. *)
 
+val cost_weight : cost -> int
+(** Relative per-item weight of a cost class: [1] for [Cheap]/[Moderate],
+    [64] for [Expensive].  The common currency between the screening
+    chunker here and the serving layer's batch chunker. *)
+
+val item_weight : t -> int
+(** Relative cost of screening one rewrite candidate: [1] when the chase
+    per candidate is provably bounded ({!Datalog_saturation},
+    {!Chase_to_completion}), [64] when uncertified ({!Budgeted_chase}) —
+    each candidate may burn its whole per-candidate budget.
+    [item_weight t = cost_weight (predicted_cost t)]. *)
+
+val chunk_weight_target : int
+(** Weight a pool chunk should carry — enough to amortize one queue
+    claim into noise.  [chunk ≈ chunk_weight_target / per-item weight]. *)
+
+val screen_chunk : t -> jobs:int -> n:int -> int
+(** Cost-sized chunk for a screening sweep of [n] candidates on a
+    [jobs]-worker pool: certified items pack many per queue claim (to
+    amortize dispatch), uncertified items get small chunks (dynamic
+    claiming balances their high variance), and the result never drops
+    below ~4 chunks per worker so work-stealing has something to steal.
+    Always ≥ 1; pass it as [?chunk] to the {!Pool} batch operations. *)
+
+val sweep_cost : t -> cap:float -> candidates:float -> cost
+(** Admission cost of a candidate sweep: the candidate count weighted by
+    {!item_weight} (calibrated so [cap] bounds an {e uncertified} space).
+    A certified sweep admits a 64× larger space before turning
+    [Expensive], keeping large certified workloads on the warm path;
+    otherwise the result is {!predicted_cost} (at least [Moderate]). *)
+
 val max_cost : cost -> cost -> cost
 val cost_name : cost -> string
 val pp_cost : cost Fmt.t

@@ -132,16 +132,18 @@ let run_naive ~recheck_active ~skip_fired ?(budget = default_budget) ?on_fire
   Stats.add ~into:(Stats.global ()) stats;
   { instance = !current; outcome; rounds = !rounds; fired = !fired; stats }
 
-let run_engine ~mode ?(budget = default_budget) ?on_fire ~jobs sigma inst =
+let run_engine ~mode ?(budget = default_budget) ?on_fire ~jobs ?chunk sigma
+    inst =
   let on_fire =
     Option.map
       (fun f tgd hom facts -> f { Trigger.tgd; hom } facts)
       on_fire
   in
-  let go pool = Seminaive.run ~mode ~budget ?on_fire ?pool sigma inst in
+  (* warm pool: saturation rounds (and repeated chases — screening runs
+     thousands) reuse live domains instead of re-spawning per call *)
   let r =
-    if jobs <= 1 then go None
-    else Pool.with_pool ~jobs (fun p -> go (Some p))
+    Pool.with_warm ~jobs (fun pool ->
+        Seminaive.run ~mode ~budget ?on_fire ?pool ?chunk sigma inst)
   in
   { instance = r.Seminaive.instance;
     outcome =
@@ -233,7 +235,7 @@ let with_promotion ~analyze ~budget ~rerun sigma r =
   | _ -> r
 
 let restricted ?(naive = false) ?(budget = default_budget) ?on_fire
-    ?(jobs = 1) ?(memo = false) ?(analyze = true) sigma inst =
+    ?(jobs = 1) ?chunk ?(memo = false) ?(analyze = true) sigma inst =
   let go budget =
     cached ~kind:"restricted" ~naive ~budget ~memo
       ~has_on_fire:(Option.is_some on_fire) sigma inst (fun () ->
@@ -241,13 +243,13 @@ let restricted ?(naive = false) ?(budget = default_budget) ?on_fire
           run_naive ~recheck_active:true ~skip_fired:false ~budget ?on_fire
             sigma inst
         else
-          run_engine ~mode:Seminaive.Restricted ~budget ?on_fire ~jobs sigma
-            inst)
+          run_engine ~mode:Seminaive.Restricted ~budget ?on_fire ~jobs ?chunk
+            sigma inst)
   in
   with_promotion ~analyze ~budget ~rerun:go sigma (go budget)
 
 let oblivious ?(naive = false) ?(budget = default_budget) ?on_fire ?(jobs = 1)
-    ?(memo = false) ?(analyze = true) sigma inst =
+    ?chunk ?(memo = false) ?(analyze = true) sigma inst =
   let go budget =
     cached ~kind:"oblivious" ~naive ~budget ~memo
       ~has_on_fire:(Option.is_some on_fire) sigma inst (fun () ->
@@ -255,8 +257,8 @@ let oblivious ?(naive = false) ?(budget = default_budget) ?on_fire ?(jobs = 1)
           run_naive ~recheck_active:false ~skip_fired:true ~budget ?on_fire
             sigma inst
         else
-          run_engine ~mode:Seminaive.Oblivious ~budget ?on_fire ~jobs sigma
-            inst)
+          run_engine ~mode:Seminaive.Oblivious ~budget ?on_fire ~jobs ?chunk
+            sigma inst)
   in
   with_promotion ~analyze ~budget ~rerun:go sigma (go budget)
 

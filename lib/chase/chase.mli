@@ -45,17 +45,20 @@ type result = {
 val restricted :
   ?naive:bool ->
   ?budget:budget -> ?on_fire:(Trigger.t -> Fact.t list -> unit) ->
-  ?jobs:int -> ?memo:bool -> ?analyze:bool ->
+  ?jobs:int -> ?chunk:int -> ?memo:bool -> ?analyze:bool ->
   Tgd.t list -> Instance.t -> result
 (** Breadth-first restricted chase.  When [outcome = Terminated] the
     instance is a universal model of [(facts(D), Σ)].  [on_fire] observes
     every fired trigger together with the grounded head facts (new or
     not) — the hook behind {!Provenance}.
 
-    [jobs > 1] runs each round's match phase on a domain pool
-    ({!Tgd_engine.Pool}); results are merged deterministically, so the
-    outcome is identical to [jobs = 1], which bypasses the pool entirely
-    (ignored on the naive path).  [memo:true] consults a process-wide
+    [jobs > 1] runs each round's match phase on a warm domain pool
+    ({!Tgd_engine.Pool.with_warm} — live across rounds and across calls);
+    results are merged deterministically, so the outcome is identical to
+    [jobs = 1], which bypasses the pool entirely (ignored on the naive
+    path).  [chunk] fixes the match tasks per pool claim (default: sized
+    by the pool); the outcome is independent of it.  [memo:true] consults
+    a process-wide
     result cache keyed on (kind, implementation, budget, canonical theory,
     input facts) — only when no [on_fire] observer is passed, since a
     cached replay could not invoke it.
@@ -71,10 +74,10 @@ val restricted :
 val oblivious :
   ?naive:bool ->
   ?budget:budget -> ?on_fire:(Trigger.t -> Fact.t list -> unit) ->
-  ?jobs:int -> ?memo:bool -> ?analyze:bool ->
+  ?jobs:int -> ?chunk:int -> ?memo:bool -> ?analyze:bool ->
   Tgd.t list -> Instance.t -> result
 (** Oblivious (naive) chase: every trigger fires exactly once.  [jobs],
-    [memo] and [analyze] as in {!restricted}. *)
+    [chunk], [memo] and [analyze] as in {!restricted}. *)
 
 val clear_memo : unit -> unit
 (** Drop every entry of the [~memo:true] result cache. *)

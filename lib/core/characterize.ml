@@ -117,8 +117,7 @@ let filter_valid ~jobs ~budget valid candidates =
     done;
     (!trip, List.rev !kept_rev)
   in
-  if jobs <= 1 then run None
-  else Pool.with_pool ~jobs (fun p -> run (Some p))
+  Pool.with_warm ~jobs run
 
 let governed ~jobs ~budget valid candidates =
   let before = Stats.copy (Stats.global ()) in

@@ -100,10 +100,9 @@ let witnesses strategy o conf =
    items. *)
 let find_first ~jobs ?cancel pred seq =
   let hit x = if pred x then Some x else None in
-  if jobs <= 1 then Seq.find_map hit seq
-  else
-    Pool.with_pool ~jobs (fun pool ->
-        Pool.parallel_find_map pool ?cancel hit seq)
+  Pool.with_warm ~jobs (function
+    | None -> Seq.find_map hit seq
+    | Some pool -> Pool.parallel_find_map pool ?cancel hit seq)
 
 let locally_embeddable ?(strategy = default_strategy) ?(jobs = 1) variant ~n ~m
     o i =

@@ -14,6 +14,7 @@ type config = {
   naive : bool;
   memo : bool;
   jobs : int;
+  chunk : int option;
   analyze : bool;
   checkpoint : Snapshot.store option;
   checkpoint_every : int;
@@ -26,6 +27,7 @@ let default_config =
     naive = false;
     memo = true;
     jobs = 1;
+    chunk = None;
     analyze = true;
     checkpoint = None;
     checkpoint_every = 1
@@ -164,7 +166,20 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
     end
     else Entailment.entails ~naive ~memo ~budget ~analyze sigma candidate
   in
-  let batch_size = max 1 (4 * config.jobs) in
+  (* Cost-sized chunking: the analysis strategy predicts the per-candidate
+     screening cost (a termination certificate bounds each chase), and
+     {!Tgd_analysis.Strategy.screen_chunk} turns that into how many
+     candidates one pool claim should carry — many when certified-cheap,
+     few when uncertified-heavy.  [config.chunk] overrides the prediction
+     (the [--chunk] knob).  Each committed batch holds ~4 chunks per
+     worker so dynamic claiming has slack to rebalance. *)
+  let strat = Tgd_analysis.Strategy.decide sigma in
+  let chunk_for ~items =
+    match config.chunk with
+    | Some c -> max 1 c
+    | None -> Tgd_analysis.Strategy.screen_chunk strat ~jobs:config.jobs ~n:items
+  in
+  let batch_size = max 1 (4 * config.jobs * chunk_for ~items:max_int) in
   (* Durable checkpoints ride the same batch boundaries the in-memory
      checkpoint uses: the persisted cursor always points at a committed
      boundary, so a process killed mid-batch resumes exactly where an
@@ -194,6 +209,7 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
             | None -> List.map (fun c -> (c, screen c)) batch
             | Some pool ->
               Pool.parallel_map pool
+                ~chunk:(chunk_for ~items:(List.length batch))
                 (fun c -> (c, screen c))
                 (List.to_seq batch))
           with
@@ -220,10 +236,10 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
     done;
     (!trip, List.rev !screened_rev, !cursor)
   in
-  let trip, screened, cursor =
-    if config.jobs <= 1 then run None
-    else Pool.with_pool ~jobs:config.jobs (fun p -> run (Some p))
-  in
+  (* Warm pool: borrowed from the process-wide registry so repeated sweeps
+     (benches, serving) never pay domain spawns per call; [with_warm]
+     hands back [None] — the sequential path — when [jobs <= 1]. *)
+  let trip, screened, cursor = Pool.with_warm ~jobs:config.jobs run in
   let unknown = ref 0 in
   let entailed =
     List.filter_map

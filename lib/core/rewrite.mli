@@ -32,9 +32,18 @@ type config = {
   memo : bool;      (** cache entailment answers and chases (default) *)
   jobs : int;
       (** worker domains screening candidates in parallel; [1] (the
-          default) bypasses the pool entirely.  Outcomes are independent
-          of [jobs]: screening preserves candidate order, and the backward
+          default) bypasses the pool entirely.  Pools are borrowed from
+          the warm registry ({!Tgd_engine.Pool.with_warm}), so repeated
+          sweeps pay no domain spawns.  Outcomes are independent of
+          [jobs]: screening preserves candidate order, and the backward
           [Σ' ⊨ Σ] check and minimization are always sequential. *)
+  chunk : int option;
+      (** candidates per pool claim.  [None] (the default) sizes chunks
+          from the analysis strategy
+          ({!Tgd_analysis.Strategy.screen_chunk}): certified-terminating
+          sets pack many cheap candidates per claim, uncertified sets get
+          small chunks for load balance.  Outcomes are independent of
+          [chunk]. *)
   analyze : bool;
       (** run the static-analysis prefilter (default): candidates whose
           head mentions a relation outside the relation-level derivability
@@ -121,7 +130,7 @@ val rewrite_into :
 (** The generic engine behind both algorithms; exposed for ablations and for
     rewriting into other classes.
 
-    Screening commits per batch of [4 × jobs] candidates: the budget is
+    Screening commits per batch of [4 × jobs × chunk] candidates: the budget is
     checked at every batch boundary, a batch in flight when a live limit
     trips (or a {!Tgd_engine.Chaos} fault fires) is discarded wholesale,
     and the checkpoint cursor points at the last committed boundary — so

@@ -37,6 +37,16 @@
 type exec = {
   run : unit -> unit;       (* chunk body + exactly-once commit *)
   abandon : exn -> unit;    (* exactly-once failure commit, no body *)
+  owner : int;              (* slot the round-robin split aimed this chunk at *)
+  steal : unit -> unit;     (* claimed off its intended slot: count it *)
+}
+
+type counters = {
+  batches : int;
+  chunks : int;
+  chunks_stolen : int;
+  chunk_items : int;
+  merge_time_s : float;
 }
 
 type t = {
@@ -49,12 +59,25 @@ type t = {
   domains : unit Domain.t option array;  (* per slot: current-gen handle *)
   joinable : bool array;                 (* false = wedged zombie, skip *)
   mutable reported_restarts : int;       (* folded into Stats so far *)
+  (* cumulative chunk accounting, guarded by [mutex]; surfaced by the
+     serving layer's [stats] op via {!counters} *)
+  mutable c_batches : int;
+  mutable c_chunks : int;
+  mutable c_stolen : int;
+  mutable c_items : int;
+  mutable c_merge_s : float;
   mutable closing : bool;
   mutable shut : bool;
   mutable monitor : unit Domain.t option;
 }
 
 let now () = Unix.gettimeofday ()
+
+(* True on pool worker domains: a nested batch operation started from
+   inside a chunk must not submit to (and join on) the pool that is
+   running it — {!with_warm} checks this and degrades to the sequential
+   path instead of deadlocking. *)
+let on_worker_key = Domain.DLS.new_key (fun () -> false)
 
 let rec worker_loop pool slot gen =
   Mutex.lock pool.mutex;
@@ -72,6 +95,7 @@ let rec worker_loop pool slot gen =
     Supervisor.note_busy pool.sup slot ~now:(now ());
     pool.current.(slot) <- Some exec;
     Mutex.unlock pool.mutex;
+    if exec.owner >= 0 && exec.owner <> slot then exec.steal ();
     match Chaos.step ~site:"pool.worker" with
     | () ->
       exec.run ();
@@ -126,7 +150,10 @@ let rec monitor_loop pool =
           let gen = Supervisor.note_spawned pool.sup slot in
           pool.joinable.(slot) <- true;
           pool.domains.(slot) <-
-            Some (Domain.spawn (fun () -> worker_loop pool slot gen))
+            Some
+              (Domain.spawn (fun () ->
+                   Domain.DLS.set on_worker_key true;
+                   worker_loop pool slot gen))
         | Trip_breaker -> Supervisor.trip pool.sup)
       actions;
     let rescued = ref [] in
@@ -153,13 +180,22 @@ let create ?(policy = Supervisor.default_policy) ~jobs () =
       domains = Array.make jobs None;
       joinable = Array.make jobs true;
       reported_restarts = 0;
+      c_batches = 0;
+      c_chunks = 0;
+      c_stolen = 0;
+      c_items = 0;
+      c_merge_s = 0.;
       closing = false;
       shut = false;
       monitor = None
     }
   in
   for slot = 0 to jobs - 1 do
-    pool.domains.(slot) <- Some (Domain.spawn (fun () -> worker_loop pool slot 0))
+    pool.domains.(slot) <-
+      Some
+        (Domain.spawn (fun () ->
+             Domain.DLS.set on_worker_key true;
+             worker_loop pool slot 0))
   done;
   pool.monitor <- Some (Domain.spawn (fun () -> monitor_loop pool));
   pool
@@ -209,6 +245,9 @@ type batch = {
   mutable remaining : int;  (* chunk execs not yet committed *)
   mutable failure : exn option;
   acc : Stats.t;            (* worker Stats.global deltas, merged on join *)
+  stolen : int Atomic.t;    (* chunks claimed off their intended slot *)
+  nchunks : int;
+  nitems : int;
 }
 
 let default_chunk ~jobs n = max 1 (min 32 (n / (8 * jobs)))
@@ -225,19 +264,42 @@ let join_batch pool batch =
     Condition.wait batch.finished batch.bmutex
   done;
   Mutex.unlock batch.bmutex;
+  let t0 = now () in
   (* fold the workers' counters into the submitting domain's accumulator *)
-  Stats.add ~into:(Stats.global ()) batch.acc;
+  let g = Stats.global () in
+  Stats.add ~into:g batch.acc;
+  let stolen = Atomic.get batch.stolen in
+  g.Stats.chunks <- g.Stats.chunks + batch.nchunks;
+  g.Stats.chunks_stolen <- g.Stats.chunks_stolen + stolen;
+  g.Stats.chunk_items <- g.Stats.chunk_items + batch.nitems;
   (* and surface supervision activity since the last join *)
   Mutex.lock pool.mutex;
   let h = Supervisor.health pool.sup in
   let fresh = h.Supervisor.restarts - pool.reported_restarts in
   pool.reported_restarts <- h.Supervisor.restarts;
+  let merge_s = now () -. t0 in
+  pool.c_batches <- pool.c_batches + 1;
+  pool.c_chunks <- pool.c_chunks + batch.nchunks;
+  pool.c_stolen <- pool.c_stolen + stolen;
+  pool.c_items <- pool.c_items + batch.nitems;
+  pool.c_merge_s <- pool.c_merge_s +. merge_s;
   Mutex.unlock pool.mutex;
-  if fresh > 0 then begin
-    let g = Stats.global () in
-    g.Stats.restarts <- g.Stats.restarts + fresh
-  end;
+  g.Stats.merge_time <- g.Stats.merge_time +. merge_s;
+  if fresh > 0 then g.Stats.restarts <- g.Stats.restarts + fresh;
   match batch.failure with Some e -> raise e | None -> ()
+
+let counters pool =
+  Mutex.lock pool.mutex;
+  let c =
+    { batches = pool.c_batches;
+      chunks = pool.c_chunks;
+      chunks_stolen = pool.c_stolen;
+      chunk_items = pool.c_items;
+      merge_time_s = pool.c_merge_s
+    }
+  in
+  Mutex.unlock pool.mutex;
+  c
 
 (* Wrap [body], which processes one chunk, as an exec whose completion —
    worker success, worker-caught exception, or monitor abandonment —
@@ -245,7 +307,7 @@ let join_batch pool batch =
    sits inside the try: an injected fault there is recorded as the batch
    failure and re-raised at the join, the same path any chunk exception
    takes — the batch still drains. *)
-let make_exec batch body =
+let make_exec batch ~owner body =
   let committed = Atomic.make false in
   let commit outcome delta =
     if Atomic.compare_and_set committed false true then begin
@@ -271,7 +333,7 @@ let make_exec batch body =
     commit outcome delta
   in
   let abandon e = commit (Error e) (Stats.create ()) in
-  { run; abandon }
+  { run; abandon; owner; steal = (fun () -> Atomic.incr batch.stolen) }
 
 let degraded pool =
   Mutex.lock pool.mutex;
@@ -300,14 +362,21 @@ let run_chunked pool ?chunk ~n body =
         finished = Condition.create ();
         remaining = nchunks;
         failure = None;
-        acc = Stats.create ()
+        acc = Stats.create ();
+        stolen = Atomic.make 0;
+        nchunks;
+        nitems = n
       }
     in
     let execs =
+      (* A steal is a chunk claimed off the slot a static round-robin split
+         would have given it — dynamic claiming rebalancing the load.  A
+         single-chunk batch has no intended placement, so it never counts. *)
       List.init nchunks (fun ci ->
           let lo = ci * chunk in
           let hi = min n (lo + chunk) in
-          make_exec batch (fun () -> body ~lo ~hi))
+          let owner = if nchunks = 1 then -1 else ci mod pool.jobs in
+          make_exec batch ~owner (fun () -> body ~lo ~hi))
     in
     submit pool execs;
     join_batch pool batch
@@ -340,6 +409,61 @@ let parallel_filter_map pool ?chunk ?cancel f seq =
 
 let parallel_map pool ?chunk ?cancel f seq =
   parallel_filter_map pool ?chunk ?cancel (fun x -> Some (f x)) seq
+
+(* ------------------------------------------------------------------ *)
+(* Warm pools                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Spawning a domain costs hundreds of microseconds — re-spawning a pool
+   per engine phase (one chase, one screening sweep) used to swamp the
+   work it parallelised.  [warm ~jobs] keeps one pool per jobs count alive
+   across calls; callers borrow it and must NOT shut it down.  A pool
+   whose circuit breaker tripped is retired (it would run everything
+   sequentially forever) and replaced by a fresh one; retired pools are
+   drained at exit together with the registry. *)
+
+let warm_mutex = Mutex.create ()
+let warm_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let warm_retired : t list ref = ref []
+let warm_installed = ref false
+
+let warm_shutdown () =
+  Mutex.lock warm_mutex;
+  let pools = Hashtbl.fold (fun _ p acc -> p :: acc) warm_pools !warm_retired in
+  Hashtbl.reset warm_pools;
+  warm_retired := [];
+  Mutex.unlock warm_mutex;
+  List.iter shutdown pools
+
+let warm ?policy ~jobs () =
+  Mutex.lock warm_mutex;
+  if not !warm_installed then begin
+    warm_installed := true;
+    at_exit warm_shutdown
+  end;
+  let p =
+    match Hashtbl.find_opt warm_pools jobs with
+    | Some p when not (degraded p) -> p
+    | prev ->
+      (* tripped (or absent): retire and respawn.  The retired pool may
+         still be borrowed by a concurrent caller, so it is only drained
+         at exit, never shut down mid-flight. *)
+      Option.iter (fun p -> warm_retired := p :: !warm_retired) prev;
+      let p = create ?policy ~jobs () in
+      Hashtbl.replace warm_pools jobs p;
+      p
+  in
+  Mutex.unlock warm_mutex;
+  p
+
+let with_warm ?policy ~jobs f =
+  if jobs <= 1 || Domain.DLS.get on_worker_key then f None
+  else if Chaos.active () then
+    (* fault-injection runs keep their own ephemeral pool: chaos must be
+       able to kill workers and trip breakers without poisoning the warm
+       registry shared by every later call *)
+    with_pool ?policy ~jobs (fun p -> f (Some p))
+  else f (Some (warm ?policy ~jobs ()))
 
 let parallel_find_map pool ?chunk ?cancel f seq =
   let items = Array.of_seq seq in

@@ -90,6 +90,43 @@ val shutdown : t -> unit
 val with_pool : ?policy:Supervisor.policy -> jobs:int -> (t -> 'a) -> 'a
 (** [create], run, and always [shutdown] (also on exceptions). *)
 
+val warm : ?policy:Supervisor.policy -> jobs:int -> unit -> t
+(** A process-wide pool kept alive across calls, one per [jobs] count.
+    Spawning a domain costs hundreds of microseconds, so re-creating a
+    pool per engine phase used to dominate the work it parallelised;
+    [warm] amortises the spawn over the whole process.  The returned pool
+    is {e borrowed}: callers must not [shutdown] it.  A warm pool whose
+    circuit breaker has tripped is transparently replaced by a fresh one
+    on the next call (the retired pool is drained at exit).  All warm
+    pools are shut down by an [at_exit] hook, or eagerly via
+    {!warm_shutdown}. *)
+
+val warm_shutdown : unit -> unit
+(** Shut down every warm pool (including retired ones) and empty the
+    registry.  Safe to call repeatedly; subsequent {!warm} calls spawn
+    fresh pools. *)
+
+val with_warm : ?policy:Supervisor.policy -> jobs:int -> (t option -> 'a) -> 'a
+(** The standard engine entry point: run [f] with [Some pool] borrowed
+    from the warm registry, or [None] when parallelism is unavailable —
+    [jobs <= 1], or the calling domain is itself a pool worker (nested
+    submission would deadlock on the shared queue).  When {!Chaos.active}
+    the call falls back to an ephemeral {!with_pool} so fault injection
+    can kill workers and trip breakers without poisoning the shared warm
+    registry. *)
+
+type counters = {
+  batches : int;        (** batch operations joined on this pool *)
+  chunks : int;         (** chunks submitted across all batches *)
+  chunks_stolen : int;  (** chunks claimed off their intended slot *)
+  chunk_items : int;    (** total items carried by submitted chunks *)
+  merge_time_s : float; (** seconds spent in batch-join merges *)
+}
+
+val counters : t -> counters
+(** Cumulative chunk-level counters since pool creation (folded at each
+    batch join, so a snapshot taken between batches is exact). *)
+
 val parallel_filter_map :
   t -> ?chunk:int -> ?cancel:Budget.Cancel.t -> ('a -> 'b option) -> 'a Seq.t -> 'b list
 (** Order-preserving parallel [Seq.filter_map .. |> List.of_seq].  The

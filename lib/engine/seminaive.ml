@@ -220,7 +220,7 @@ let make_abort budget =
     else Budget.cancelled budget <> None
 
 let run ~mode ?(budget = Budget.default) ?(on_fire = fun _ _ _ -> ()) ?pool
-    sigma inst =
+    ?chunk sigma inst =
   let stats = Stats.create () in
   let idx = Fact_index.create ~stats () in
   (* Run one match task against a private stats record and an index view
@@ -241,7 +241,7 @@ let run ~mode ?(budget = Budget.default) ?(on_fire = fun _ _ _ -> ()) ?pool
       match pool with
       | None -> List.map exec_task tasks
       | Some p ->
-        Pool.parallel_map p ~cancel:(Budget.token budget) exec_task
+        Pool.parallel_map p ?chunk ~cancel:(Budget.token budget) exec_task
           (List.to_seq tasks)
     in
     List.iter (fun (_, ts) -> Stats.add ~into:stats ts) results;
@@ -249,10 +249,13 @@ let run ~mode ?(budget = Budget.default) ?(on_fire = fun _ _ _ -> ()) ?pool
   in
   let initial_facts = Instance.fact_list inst in
   List.iter (fun f -> ignore (Fact_index.add idx ~round:0 f)) initial_facts;
+  (* barrier 0: the input facts become the base layer before any match *)
+  ignore (Fact_index.commit idx);
   let current = ref inst in
   let null_counter = ref (max_null inst) in
   let fired_keys : (string, unit) Hashtbl.t = Hashtbl.create 256 in
   let delta = ref initial_facts in
+  let delta_by_rel = ref (Hashtbl.create 0) in
   let round = ref 0 in
   let fired = ref 0 in
   let trip = ref None in
@@ -273,20 +276,11 @@ let run ~mode ?(budget = Budget.default) ?(on_fire = fun _ _ _ -> ()) ?pool
          let t0 = Unix.gettimeofday () in
          let triggers =
            if !round = 1 then run_tasks (initial_tasks sigma)
-           else begin
-             let delta_by_rel : (Relation.t, Fact.t list) Hashtbl.t =
-               Hashtbl.create 16
-             in
-             List.iter
-               (fun f ->
-                 let r = Fact.rel f in
-                 let prev =
-                   Option.value ~default:[] (Hashtbl.find_opt delta_by_rel r)
-                 in
-                 Hashtbl.replace delta_by_rel r (prev @ [ f ]))
-               !delta;
-             run_tasks (delta_tasks sigma ~round:!round ~delta_by_rel)
-           end
+           else
+             (* the previous round's barrier commit already grouped its
+                delta per relation — no per-round rebuild *)
+             run_tasks
+               (delta_tasks sigma ~round:!round ~delta_by_rel:!delta_by_rel)
          in
          let t1 = Unix.gettimeofday () in
          stats.Stats.match_time <- stats.Stats.match_time +. (t1 -. t0);
@@ -298,7 +292,6 @@ let run ~mode ?(budget = Budget.default) ?(on_fire = fun _ _ _ -> ()) ?pool
          (match Budget.cancelled budget with
          | Some r -> set_trip r
          | None ->
-           let next_delta = ref [] in
            (try
               List.iter
                 (fun (tgd, hom) ->
@@ -344,10 +337,8 @@ let run ~mode ?(budget = Budget.default) ?(on_fire = fun _ _ _ -> ()) ?pool
                       stats.Stats.fired <- stats.Stats.fired + 1;
                       List.iter
                         (fun f ->
-                          if Fact_index.add idx ~round:!round f then begin
-                            current := Instance.add_fact !current f;
-                            next_delta := f :: !next_delta
-                          end)
+                          if Fact_index.add idx ~round:!round f then
+                            current := Instance.add_fact !current f)
                         facts;
                       if Instance.fact_count !current > budget.Budget.max_facts
                       then begin
@@ -357,9 +348,16 @@ let run ~mode ?(budget = Budget.default) ?(on_fire = fun _ _ _ -> ()) ?pool
                   end)
                 triggers
             with Exit -> ());
-           stats.Stats.fire_time <-
-             stats.Stats.fire_time +. (Unix.gettimeofday () -. t1);
-           delta := List.rev !next_delta;
+           let t2 = Unix.gettimeofday () in
+           stats.Stats.fire_time <- stats.Stats.fire_time +. (t2 -. t1);
+           (* round barrier: fold this round's delta layer into the base
+              in insertion order; the returned grouping feeds the next
+              round's pivot tasks directly *)
+           let dflat, dby_rel = Fact_index.commit idx in
+           stats.Stats.merge_time <-
+             stats.Stats.merge_time +. (Unix.gettimeofday () -. t2);
+           delta := dflat;
+           delta_by_rel := dby_rel;
            stats.Stats.delta_facts <- stats.Stats.delta_facts + List.length !delta)
      done
    with Chaos.Injected site -> set_trip (Budget.Fault site));

@@ -44,6 +44,7 @@ val run :
   ?budget:Budget.t ->
   ?on_fire:(Tgd.t -> Binding.t -> Fact.t list -> unit) ->
   ?pool:Pool.t ->
+  ?chunk:int ->
   Tgd.t list ->
   Instance.t ->
   result
@@ -52,9 +53,12 @@ val run :
     the tgd, its body homomorphism ({e before} null invention, as in
     [Chase]), and the grounded head facts (new or not).  When [pool] is
     given, each round's match phase runs its per-(tgd, pivot) tasks on the
-    pool's worker domains; results and all counters are merged in task
+    pool's worker domains ([chunk] tasks per claim, see
+    {!Pool.parallel_map}); results and all counters are merged in task
     order, so the outcome, trigger order, and stats totals are identical to
-    the sequential run.  The fire phase is always sequential.
+    the sequential run.  The fire phase is always sequential; each round
+    ends with a {!Fact_index.commit} barrier merging the round's delta into
+    the base layer (timed in [Stats.merge_time]).
 
     Budget checks are cooperative: the full check (clock, memory, fuel)
     runs at every round boundary, every 16th trigger of the fire phase, and

@@ -8,8 +8,12 @@ type t = {
   mutable memo_misses : int;
   mutable restarts : int;
   mutable snapshots : int;
+  mutable chunks : int;
+  mutable chunks_stolen : int;
+  mutable chunk_items : int;
   mutable match_time : float;
   mutable fire_time : float;
+  mutable merge_time : float;
 }
 
 let create () =
@@ -22,8 +26,12 @@ let create () =
     memo_misses = 0;
     restarts = 0;
     snapshots = 0;
+    chunks = 0;
+    chunks_stolen = 0;
+    chunk_items = 0;
     match_time = 0.;
-    fire_time = 0.
+    fire_time = 0.;
+    merge_time = 0.
   }
 
 let reset s =
@@ -36,8 +44,12 @@ let reset s =
   s.memo_misses <- 0;
   s.restarts <- 0;
   s.snapshots <- 0;
+  s.chunks <- 0;
+  s.chunks_stolen <- 0;
+  s.chunk_items <- 0;
   s.match_time <- 0.;
-  s.fire_time <- 0.
+  s.fire_time <- 0.;
+  s.merge_time <- 0.
 
 let copy s = { s with probes = s.probes }
 
@@ -51,8 +63,12 @@ let add ~into s =
   into.memo_misses <- into.memo_misses + s.memo_misses;
   into.restarts <- into.restarts + s.restarts;
   into.snapshots <- into.snapshots + s.snapshots;
+  into.chunks <- into.chunks + s.chunks;
+  into.chunks_stolen <- into.chunks_stolen + s.chunks_stolen;
+  into.chunk_items <- into.chunk_items + s.chunk_items;
   into.match_time <- into.match_time +. s.match_time;
-  into.fire_time <- into.fire_time +. s.fire_time
+  into.fire_time <- into.fire_time +. s.fire_time;
+  into.merge_time <- into.merge_time +. s.merge_time
 
 let diff a b =
   { probes = a.probes - b.probes;
@@ -64,8 +80,12 @@ let diff a b =
     memo_misses = a.memo_misses - b.memo_misses;
     restarts = a.restarts - b.restarts;
     snapshots = a.snapshots - b.snapshots;
+    chunks = a.chunks - b.chunks;
+    chunks_stolen = a.chunks_stolen - b.chunks_stolen;
+    chunk_items = a.chunk_items - b.chunk_items;
     match_time = a.match_time -. b.match_time;
-    fire_time = a.fire_time -. b.fire_time
+    fire_time = a.fire_time -. b.fire_time;
+    merge_time = a.merge_time -. b.merge_time
   }
 
 (* One accumulator per domain: engine runs and memo accesses on a worker
@@ -80,13 +100,18 @@ let hit_rate s =
   let total = s.memo_hits + s.memo_misses in
   if total = 0 then 0. else float_of_int s.memo_hits /. float_of_int total
 
+let mean_chunk_items s =
+  if s.chunks = 0 then 0. else float_of_int s.chunk_items /. float_of_int s.chunks
+
 let total_time s = s.match_time +. s.fire_time
 
 let pp ppf s =
   Fmt.pf ppf
     "@[<v>probes: %d; scans: %d; fired: %d; rounds: %d; delta facts: %d@,\
      memo: %d hits / %d misses (%.0f%% hit rate)@,\
+     pool: %d chunks (%d stolen, mean %.1f items/chunk)@,\
      recovery: %d worker restarts, %d snapshots written@,\
-     time: %.4fs match + %.4fs fire@]"
+     time: %.4fs match + %.4fs fire + %.4fs barrier merge@]"
     s.probes s.scans s.fired s.rounds s.delta_facts s.memo_hits s.memo_misses
-    (100. *. hit_rate s) s.restarts s.snapshots s.match_time s.fire_time
+    (100. *. hit_rate s) s.chunks s.chunks_stolen (mean_chunk_items s)
+    s.restarts s.snapshots s.match_time s.fire_time s.merge_time

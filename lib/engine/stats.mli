@@ -27,8 +27,13 @@ type t = {
   mutable memo_misses : int;
   mutable restarts : int;    (** pool worker domains respawned ({!Supervisor}) *)
   mutable snapshots : int;   (** on-disk checkpoints written ({!Snapshot}) *)
+  mutable chunks : int;        (** chunks submitted to the {!Pool} *)
+  mutable chunks_stolen : int; (** chunks claimed off their intended slot *)
+  mutable chunk_items : int;   (** items carried by submitted chunks *)
   mutable match_time : float; (** seconds spent enumerating triggers *)
   mutable fire_time : float;  (** seconds spent checking/firing/inserting *)
+  mutable merge_time : float; (** seconds in round-barrier merges (batch
+                                  joins, {!Fact_index} delta commits) *)
 }
 
 val create : unit -> t
@@ -52,6 +57,10 @@ val global : unit -> t
 
 val hit_rate : t -> float
 (** [memo_hits / (memo_hits + memo_misses)]; 0 when no lookup happened. *)
+
+val mean_chunk_items : t -> float
+(** [chunk_items / chunks] — the mean cost-sized batch granularity actually
+    submitted; 0 when no parallel batch ran. *)
 
 val total_time : t -> float
 

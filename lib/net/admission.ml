@@ -46,30 +46,75 @@ let chase_cost req =
   | None -> Strategy.Cheap (* unparsable: fails fast as bad_request *)
   | Some sigma -> Strategy.predicted_cost (Strategy.decide sigma)
 
-(* A rewrite request enumerates a candidate space bounded by the Section
-   9.2 counting formulas; past [candidate_space_cap] candidates the sweep
-   is expensive no matter what the termination certificate says. *)
+(* A rewrite request screens a candidate space the handler enumerates
+   under its atom caps — NOT the uncapped Section 9.2 bound, which is
+   astronomical for any real schema and would shed every rewrite as
+   [Expensive].  The estimate below counts what the sweep will actually
+   enumerate: bodies are single atoms for a linear target (g2l) or
+   atom subsets up to the body cap (fg2g), heads are atom subsets up to
+   the head cap, over the exact per-variable atom counts of Section 9.2.
+   {!Strategy.sweep_cost} then weights that space by the same per-item
+   cost the screening chunker ({!Strategy.screen_chunk}) uses — keeping
+   the admission verdict consistent with what the warm pool will pay,
+   instead of shedding large certified workloads on raw candidate
+   count. *)
+let subsets_up_to cap atoms =
+  (* Σ_{j=1..cap} C(atoms, j), computed in float — cap is 1 or 2 in
+     practice, and the estimate only feeds a three-way cost verdict *)
+  let rec go j acc term =
+    if j > cap || term <= 0. then acc
+    else
+      let term = term *. (atoms -. float_of_int (j - 1)) /. float_of_int j in
+      go (j + 1) (acc +. term) term
+  in
+  go 1 0. 1.
+
 let rewrite_cost config req =
   match tgds_of req with
   | None -> Strategy.Cheap
   | Some sigma ->
-    let base =
-      Strategy.max_cost Strategy.Moderate
-        (Strategy.predicted_cost (Strategy.decide sigma))
-    in
+    let strat = Strategy.decide sigma in
     let schema = Tgd_core.Rewrite.schema_of sigma in
     let n, m = Tgd_core.Rewrite.class_bounds sigma in
-    let bound =
-      Tgd_core.Bigint.to_float
-        (Tgd_core.Counting.guarded_candidates_bound schema ~n ~m)
+    let cap_of key default =
+      match Option.bind (Json.member key req) Json.as_int with
+      | Some v when v > 0 -> v
+      | _ -> default
     in
-    if bound > config.candidate_space_cap then Strategy.Expensive else base
+    let body_cap = cap_of "max_body_atoms" 2 in
+    let head_cap = cap_of "max_head_atoms" 2 in
+    let body_atoms =
+      float_of_int (Tgd_core.Counting.exact_atom_count schema ~vars:n)
+    in
+    let head_atoms =
+      float_of_int (Tgd_core.Counting.exact_atom_count schema ~vars:(n + m))
+    in
+    let linear_target =
+      match Option.bind (Json.member "direction" req) Json.as_string with
+      | Some "g2l" -> true
+      | _ -> false
+    in
+    let bodies =
+      if linear_target then body_atoms else subsets_up_to body_cap body_atoms
+    in
+    let heads = subsets_up_to head_cap head_atoms in
+    Strategy.sweep_cost strat ~cap:config.candidate_space_cap
+      ~candidates:(bodies *. heads)
 
-let predict config req =
+let rec predict config req =
   match Option.bind (Json.member "op" req) Json.as_string with
   | Some ("classify" | "analyze" | "stats") -> Strategy.Cheap
   | Some ("chase" | "entail") -> chase_cost req
   | Some "rewrite" -> rewrite_cost config req
+  | Some "batch" -> (
+    (* a batch costs what its dearest member costs — one Expensive
+       sub-request makes the whole submission sheddable early *)
+    match Option.bind (Json.member "requests" req) Json.as_list with
+    | None | Some [] -> Strategy.Cheap
+    | Some subs ->
+      List.fold_left
+        (fun acc sub -> Strategy.max_cost acc (predict config sub))
+        Strategy.Cheap subs)
   | _ -> Strategy.Cheap (* unknown op: fails fast as bad_request *)
 
 let decide config ~queue_depth req =

@@ -63,6 +63,7 @@ let queue_depth t = Atomic.get t.depth
 
 let stats_json t =
   let h = Pool.health t.pool in
+  let c = Pool.counters t.pool in
   Json.Obj
     [ ("requests_served", Json.Int (Atomic.get t.served));
       ("requests_shed", Json.Int (Atomic.get t.shed));
@@ -75,7 +76,12 @@ let stats_json t =
             ("restarts", Json.Int h.Tgd_engine.Supervisor.restarts);
             ("wedged", Json.Int h.Tgd_engine.Supervisor.wedged);
             ( "breaker_tripped",
-              Json.Bool h.Tgd_engine.Supervisor.breaker_tripped )
+              Json.Bool h.Tgd_engine.Supervisor.breaker_tripped );
+            ("batches", Json.Int c.Pool.batches);
+            ("chunks", Json.Int c.Pool.chunks);
+            ("chunks_stolen", Json.Int c.Pool.chunks_stolen);
+            ("chunk_items", Json.Int c.Pool.chunk_items);
+            ("merge_time_s", Json.Float c.Pool.merge_time_s)
           ] );
       ("cache", Warm.counters_json (Warm.counters ()))
     ]
@@ -124,6 +130,72 @@ let run_on_pool t req =
   in
   attempt 0
 
+(* A [batch] request carries sub-requests that run as ONE chunked pool
+   batch — the same cost-sized submission path the rewrite screener uses.
+   The chunk packs sub-requests to {!Tgd_analysis.Strategy.chunk_weight_target}
+   using the admission cost model ([cost_weight] of each sub-request's
+   prediction), floored at ~4 chunks per worker so stealing has slack.
+   Responses keep submission order (the pool preserves input order), so a
+   batch of [k] requests is byte-identical to [k] sequential requests. *)
+let batch_chunk t reqs =
+  let module Strategy = Tgd_analysis.Strategy in
+  let n = List.length reqs in
+  if n = 0 then 1
+  else begin
+    let weight =
+      List.fold_left
+        (fun acc r ->
+          acc + Strategy.cost_weight (Admission.predict t.config.admission r))
+        0 reqs
+    in
+    let mean_weight = max 1 (weight / n) in
+    let by_dispatch = max 1 (Strategy.chunk_weight_target / mean_weight) in
+    let by_balance = max 1 (n / (4 * max 1 (Pool.jobs t.pool))) in
+    max 1 (min by_dispatch by_balance)
+  end
+
+let run_batch t reqs =
+  let cfg = t.config.server in
+  let chunk = batch_chunk t reqs in
+  let rec attempt k =
+    match
+      Pool.parallel_map t.pool ~chunk (Server.handle cfg) (List.to_seq reqs)
+    with
+    | resps -> resps
+    | exception Chaos.Injected site when k < cfg.Server.retries ->
+      ignore site;
+      Unix.sleepf (cfg.Server.backoff_base_s *. (2. ** float_of_int k));
+      attempt (k + 1)
+    | exception Chaos.Injected site ->
+      List.map
+        (fun req ->
+          Server.error (Server.request_id req) "fault"
+            (Printf.sprintf "injected fault at %s persisted after %d retries"
+               site cfg.Server.retries))
+        reqs
+    | exception exn ->
+      List.map
+        (fun req ->
+          Server.error (Server.request_id req) "internal"
+            (Printexc.to_string exn))
+        reqs
+  in
+  attempt 0
+
+let batch_response t req =
+  match Json.member "requests" req with
+  | Some (Json.List subs) ->
+    let resps = run_batch t subs in
+    ignore (Atomic.fetch_and_add t.served (List.length subs));
+    Json.Obj
+      [ ("id", Server.request_id req);
+        ("ok", Json.Bool true);
+        ("result", Json.Obj [ ("responses", Json.List resps) ])
+      ]
+  | _ ->
+    Server.error (Server.request_id req) "bad_request"
+      "\"batch\" needs a \"requests\" array"
+
 let with_cache_stats req resp =
   let wants =
     match Json.member "cache_stats" req with Some (Json.Bool b) -> b | _ -> false
@@ -152,7 +224,10 @@ let handle t req =
         | Admission.Shed cost ->
           ignore (Atomic.fetch_and_add t.shed 1);
           overloaded t ~cost ~depth req
-        | Admission.Admit _ ->
-          let resp = run_on_pool t req in
-          ignore (Atomic.fetch_and_add t.served 1);
-          with_cache_stats req resp))
+        | Admission.Admit _ -> (
+          match Json.member "op" req with
+          | Some (Json.String "batch") -> batch_response t req
+          | _ ->
+            let resp = run_on_pool t req in
+            ignore (Atomic.fetch_and_add t.served 1);
+            with_cache_stats req resp)))

@@ -5,10 +5,20 @@
     domains, inheriting the PR-5 supervision ladder (worker respawn,
     requeue, circuit breaker, typed faults).  {!Admission} sheds requests
     ahead of the pool with typed [overloaded] responses carrying the
-    predicted cost class.  A [stats] op reports served/shed counts, pool
-    health, and warm-cache counters; normal responses stay byte-identical
-    across connections unless the client opts in with
-    ["cache_stats": true]. *)
+    predicted cost class.
+
+    A [batch] op ([{"op": "batch", "requests": [...]}]) runs its
+    sub-requests as one chunked pool batch — the same cost-sized
+    submission path the rewrite screener uses, with the chunk packed to
+    {!Tgd_analysis.Strategy.chunk_weight_target} from each sub-request's
+    predicted cost.  Responses preserve submission order, so a batch of
+    [k] requests returns exactly the [k] responses sequential submission
+    would.  Admission predicts a batch at its dearest member's cost.
+
+    A [stats] op reports served/shed counts, pool health, chunk counters
+    (chunks submitted/stolen, items, barrier merge time), and warm-cache
+    counters; normal responses stay byte-identical across connections
+    unless the client opts in with ["cache_stats": true]. *)
 
 type config = {
   server : Tgd_serve.Server.config;  (** per-request budgets and retries *)

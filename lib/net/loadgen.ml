@@ -186,11 +186,48 @@ let mixed_workload ?(distinct = 8) () i =
   if i mod 3 = 0 then classify_workload ~distinct () i
   else entail_workload ~distinct () i
 
-let workload_of_name ?distinct name =
+(* Rewrite sweeps against a real (typically generated, large) ontology:
+   every request screens the same candidate space, so the run checks the
+   admission path end-to-end — a spurious [overloaded] shed on a
+   certified fixture shows up as [errors] > 0.  Single-atom heads keep
+   the space at its Section 9.2 floor; the default sigma is a small
+   layered ontology so the op works without a fixture on hand. *)
+let default_rewrite_sigma =
+  "R0L0(x,y) -> R0L1(y,x). R0L0(x,y) -> P0L0(x). \
+   R0L0(x,y), P0L0(x) -> T0L0(x). \
+   R1L0(x,y) -> R1L1(y,x). R1L0(x,y) -> P1L0(x). \
+   R1L0(x,y), P1L0(x) -> T1L0(x)."
+
+let rewrite_workload ?tgds () i =
+  let src = Option.value tgds ~default:default_rewrite_sigma in
+  Json.Obj
+    [ ("id", Json.Int i);
+      ("op", Json.String "rewrite");
+      ("direction", Json.String "g2l");
+      ("tgds", Json.String src);
+      ("max_head_atoms", Json.Int 1)
+    ]
+
+(* Batches of [batch] mixed sub-requests per submission — drives the
+   dispatcher's chunked batch path instead of one-item pool batches. *)
+let batch_workload ?(distinct = 8) ?(batch = 8) () i =
+  let subs =
+    List.init (max 1 batch) (fun j ->
+        mixed_workload ~distinct () ((i * max 1 batch) + j))
+  in
+  Json.Obj
+    [ ("id", Json.Int i);
+      ("op", Json.String "batch");
+      ("requests", Json.List subs)
+    ]
+
+let workload_of_name ?distinct ?tgds ?batch name =
   match name with
   | "entail" -> Some (entail_workload ?distinct ())
   | "classify" -> Some (classify_workload ?distinct ())
   | "mixed" -> Some (mixed_workload ?distinct ())
+  | "rewrite" -> Some (rewrite_workload ?tgds ())
+  | "batch" -> Some (batch_workload ?distinct ?batch ())
   | _ -> None
 
 let result_json r =

@@ -44,9 +44,25 @@ val entail_workload : ?distinct:int -> unit -> int -> Tgd_serve.Json.t
 val classify_workload : ?distinct:int -> unit -> int -> Tgd_serve.Json.t
 val mixed_workload : ?distinct:int -> unit -> int -> Tgd_serve.Json.t
 
+val rewrite_workload : ?tgds:string -> unit -> int -> Tgd_serve.Json.t
+(** [g2l] rewrite sweeps over [tgds] (surface syntax; default: a small
+    layered ontology).  Every request screens the same candidate space,
+    end-to-end checking that cost-based admission keeps certified
+    fixtures on the warm path — a spurious [overloaded] shed counts as
+    an error in the result. *)
+
+val batch_workload :
+  ?distinct:int -> ?batch:int -> unit -> int -> Tgd_serve.Json.t
+(** [batch] (default 8) mixed sub-requests per submission, exercising
+    the dispatcher's chunked batch path. *)
+
 val workload_of_name :
-  ?distinct:int -> string -> (int -> Tgd_serve.Json.t) option
-(** ["entail"], ["classify"], ["mixed"]. *)
+  ?distinct:int ->
+  ?tgds:string ->
+  ?batch:int ->
+  string ->
+  (int -> Tgd_serve.Json.t) option
+(** ["entail"], ["classify"], ["mixed"], ["rewrite"], ["batch"]. *)
 
 val result_json : result -> Tgd_serve.Json.t
 (** Summary object with req/s and p50/p99 millisecond latencies. *)

@@ -169,6 +169,76 @@ let grid w h =
   in
   Instance.of_facts e2_schema (right @ down)
 
+(* ------------------------------------------------------------------ *)
+(* Scalable layered ontologies — the parallel-screening workloads.     *)
+(*                                                                     *)
+(* [copies] independent gadgets, each a depth-bounded layer chain      *)
+(*                                                                     *)
+(*   RcLl(x,y) -> RcL(l+1)(y,x)     (forward, flipping the pair)       *)
+(*   RcLl(x,y) -> PcLl(x)           (projection)                       *)
+(*   RcLl(x,y), PcLl(x) -> TcLl(x)  (guarded join; rewritable)         *)
+(*                                                                     *)
+(* Every rule is full and guarded, so the set is plain Datalog —       *)
+(* certified terminating, [Strategy.predicted_cost = Moderate] — and   *)
+(* the schema carries 4·copies·depth + copies relations, putting the   *)
+(* Section 9.2 candidate space in the 10⁴–10⁵ range at a few dozen     *)
+(* copies: per-candidate screening is cheap, so only cost-sized        *)
+(* chunking makes the sweep parallelise.  Copies are independent       *)
+(* (no cross-copy derivations), which keeps the entailed set — and     *)
+(* hence the backward check — proportional to [copies], not quadratic. *)
+(* ------------------------------------------------------------------ *)
+
+let layer_rel name ci l arity =
+  Relation.make (Printf.sprintf "%s%dL%d" name ci l) arity
+
+let layered ~copies ~depth =
+  List.concat
+    (List.init copies (fun ci ->
+         List.concat
+           (List.init depth (fun l ->
+                let r = layer_rel "R" ci l 2 in
+                let r' = layer_rel "R" ci (l + 1) 2 in
+                let p = layer_rel "P" ci l 1 in
+                let t = layer_rel "T" ci l 1 in
+                [ Tgd.make
+                    ~body:[ Atom.of_vars r [ x; y ] ]
+                    ~head:[ Atom.of_vars r' [ y; x ] ];
+                  Tgd.make
+                    ~body:[ Atom.of_vars r [ x; y ] ]
+                    ~head:[ Atom.of_vars p [ x ] ];
+                  Tgd.make
+                    ~body:[ Atom.of_vars r [ x; y ]; Atom.of_vars p [ x ] ]
+                    ~head:[ Atom.of_vars t [ x ] ]
+                ]))))
+
+let layered_existential ~copies ~depth =
+  layered ~copies ~depth
+  @ List.init copies (fun ci ->
+        let r = layer_rel "R" ci depth 2 in
+        let e = layer_rel "E" ci depth 2 in
+        (* z is existential: still weakly acyclic (E never occurs in a
+           body), but the set is no longer full — exercising the
+           Chase_to_completion strategy and m = 1 candidate spaces *)
+        Tgd.make ~body:[ Atom.of_vars r [ x; y ] ] ~head:[ Atom.of_vars e [ x; z ] ])
+
+let schema_of_tgds sigma =
+  Schema.make
+    (List.concat_map
+       (fun s -> List.map Atom.rel (Tgd.body s @ Tgd.head s))
+       sigma)
+
+let layered_instance ~copies ~depth ~chain =
+  let schema = schema_of_tgds (layered_existential ~copies ~depth) in
+  (* named constants so the instance prints in surface syntax (fixtures) *)
+  let a =
+    Array.init (chain + 1) (fun j -> Constant.named (Printf.sprintf "a%d" j))
+  in
+  Instance.of_facts schema
+    (List.concat
+       (List.init copies (fun ci ->
+            let r0 = layer_rel "R" ci 0 2 in
+            List.init chain (fun j -> Fact.make r0 [ a.(j); a.(j + 1) ]))))
+
 let guarded_rewritable_wide k =
   List.concat
     (List.init k (fun i ->

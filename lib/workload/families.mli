@@ -73,3 +73,25 @@ val cycle : int -> Tgd_instance.Instance.t
 val guarded_rewritable_wide : int -> Tgd.t list
 (** Like {!guarded_rewritable} but each copy uses a ternary guard
     [R_i(x,y,z)] — stresses candidate enumeration at arity 3. *)
+
+val layered : copies:int -> depth:int -> Tgd.t list
+(** The scalable parallel-screening workload: [copies] independent
+    depth-bounded gadgets of
+    [{RcLl(x,y) → RcL(l+1)(y,x);  RcLl(x,y) → PcLl(x);
+      RcLl(x,y), PcLl(x) → TcLl(x)}] — [3·copies·depth] guarded full
+    rules (plain Datalog: certified terminating, predicted [Moderate])
+    over enough relations to put the §9.2 candidate space in the
+    10⁴–10⁵ range at a few dozen copies.  Copies are independent, so the
+    entailed set grows linearly in [copies]. *)
+
+val layered_existential : copies:int -> depth:int -> Tgd.t list
+(** {!layered} plus one existential sink rule per copy
+    ([RcLd(x,y) → ∃z. EcLd(x,z)]): still weakly acyclic, but no longer
+    full — the [Chase_to_completion] strategy with [m = 1] candidate
+    spaces. *)
+
+val layered_instance : copies:int -> depth:int -> chain:int -> Tgd_instance.Instance.t
+(** Seed facts [RcL0(a_j, a_{j+1})] ([j < chain], per copy) over the
+    {!layered_existential} schema: saturation propagates every seed
+    through all [depth] layers, giving the match phase
+    [O(copies·depth)] independent pivot tasks per round. *)

@@ -49,6 +49,49 @@ let test_index_round_bounds () =
   check_int "rel_size ignores bounds" 3 (Fact_index.rel_size idx e);
   check_int "selectivity estimate" 3 (Fact_index.bucket_size idx e ~pos:0 (c "a"))
 
+(* The round barrier: [commit] must replay delta entries in exact
+   insertion order — the flat delta, the per-relation groups, and the
+   merged base buckets all read as if the facts had been inserted into a
+   single-layer index sequentially. *)
+let test_index_commit_insertion_order () =
+  let fs =
+    [ fact "E" [ "a"; "b" ]; fact "P" [ "a" ]; fact "E" [ "a"; "c" ];
+      fact "T" [ "b" ]; fact "E" [ "b"; "c" ]; fact "P" [ "b" ] ]
+  in
+  let facts_equal xs ys =
+    List.length xs = List.length ys && List.for_all2 Fact.equal xs ys
+  in
+  let idx = Fact_index.create () in
+  List.iter (fun f -> ignore (Fact_index.add idx ~round:0 f)) fs;
+  let flat, by_rel = Fact_index.commit idx in
+  check_bool "flat delta in insertion order" true (facts_equal flat fs);
+  check_bool "E group in insertion order" true
+    (facts_equal
+       (Hashtbl.find by_rel (rel "E"))
+       [ fact "E" [ "a"; "b" ]; fact "E" [ "a"; "c" ]; fact "E" [ "b"; "c" ] ]);
+  check_bool "P group in insertion order" true
+    (facts_equal (Hashtbl.find by_rel (rel "P"))
+       [ fact "P" [ "a" ]; fact "P" [ "b" ] ]);
+  (* merged buckets = a never-committed index fed the same sequence *)
+  let seq_idx = Fact_index.create () in
+  List.iter (fun f -> ignore (Fact_index.add seq_idx ~round:0 f)) fs;
+  let all i r = List.of_seq (Fact_index.all i (rel r)) in
+  check_bool "merged E bucket = sequential" true
+    (facts_equal (all idx "E") (all seq_idx "E"));
+  (* the next round's facts land in a fresh delta; lookups read base
+     entries first, then pending ones, preserving global insertion order *)
+  ignore (Fact_index.add idx ~round:1 (fact "E" [ "c"; "d" ]));
+  check_bool "pending fact visible before commit" true
+    (Fact_index.mem idx (fact "E" [ "c"; "d" ]));
+  check_bool "base-then-delta preserves order" true
+    (facts_equal (all idx "E")
+       [ fact "E" [ "a"; "b" ]; fact "E" [ "a"; "c" ]; fact "E" [ "b"; "c" ];
+         fact "E" [ "c"; "d" ] ]);
+  let flat2, _ = Fact_index.commit idx in
+  check_bool "second commit carries only the new round" true
+    (facts_equal flat2 [ fact "E" [ "c"; "d" ] ]);
+  check_int "count spans both layers" 7 (Fact_index.fact_count idx)
+
 let test_index_counts_probes () =
   let stats = Stats.create () in
   let idx = Fact_index.create ~stats () in
@@ -268,6 +311,8 @@ let prop_differential_mixed_qcheck =
 let suite =
   [ case "fact index: add and positional lookup" test_index_add_lookup;
     case "fact index: round-stamped snapshots" test_index_round_bounds;
+    case "fact index: commit replays insertion order"
+      test_index_commit_insertion_order;
     case "fact index: probe accounting" test_index_counts_probes;
     case "memo: find_or_add caches and counts" test_memo_find_or_add;
     case "memo: tgd keys collapse renamings" test_memo_tgd_key_renaming;

@@ -91,6 +91,41 @@ let test_admission_sheds_by_cost () =
   | Admission.Shed _ -> ()
   | _ -> Alcotest.fail "everything sheds at the hard limit"
 
+(* The rewrite estimate must track the chunk costing's capped candidate
+   enumeration, not the astronomical Section 9.2 bound: a certified
+   layered ontology stays Moderate (admitted on the warm path), so a
+   loadgen sweep over it never sees a spurious shed. *)
+let layered_rewrite =
+  {| {"id":1,"op":"rewrite","direction":"g2l","max_head_atoms":1,
+      "tgds":"R0L0(x,y) -> R0L1(y,x). R0L0(x,y) -> P0L0(x). R0L0(x,y), P0L0(x) -> T0L0(x). R1L0(x,y) -> R1L1(y,x). R1L0(x,y) -> P1L0(x). R1L0(x,y), P1L0(x) -> T1L0(x)."} |}
+
+let test_admission_rewrite_capped_estimate () =
+  let config = Admission.default_config ~queue_limit:8 in
+  check_bool "certified layered rewrite is moderate, not expensive" true
+    (Admission.predict config (req layered_rewrite) = Strategy.Moderate);
+  match Admission.decide config ~queue_depth:0 (req layered_rewrite) with
+  | Admission.Admit _ -> ()
+  | _ -> Alcotest.fail "certified layered rewrite must be admitted"
+
+(* A batch costs what its priciest member costs. *)
+let test_admission_batch_max_of_members () =
+  let config = Admission.default_config ~queue_limit:8 in
+  let batch subs =
+    Json.Obj
+      [ ("id", Json.Int 1);
+        ("op", Json.String "batch");
+        ("requests", Json.List (List.map req subs))
+      ]
+  in
+  check_bool "batch of moderate is moderate" true
+    (Admission.predict config (batch [ terminating; terminating ])
+    = Strategy.Moderate);
+  check_bool "one expensive member makes the batch expensive" true
+    (Admission.predict config (batch [ terminating; uncertified ])
+    = Strategy.Expensive);
+  check_bool "empty batch is cheap" true
+    (Admission.predict config (batch []) = Strategy.Cheap)
+
 (* -- dispatcher ---------------------------------------------------------- *)
 
 let with_dispatcher ?(workers = 2) ?admission f =
@@ -127,6 +162,53 @@ let test_dispatcher_sheds_with_typed_overload () =
       with
       | Some (Json.String _) -> ()
       | _ -> Alcotest.fail "overload response without predicted_cost")
+
+(* A batch of k sub-requests answers exactly like k sequential
+   submissions: same sub-responses, byte for byte, in submission order —
+   chunked parallel dispatch is invisible to the client. *)
+let test_dispatcher_batch_matches_sequential () =
+  with_dispatcher (fun d ->
+      let subs =
+        List.init 6 (fun i ->
+            req
+              (Printf.sprintf
+                 {| {"id":%d,"op":"entail","tgds":"E(x,y) -> S(y).","goal":"E(x,y) -> S(y)."} |}
+                 i))
+      in
+      let individual =
+        List.map (fun s -> Json.to_string (Dispatcher.handle d s)) subs
+      in
+      let batch =
+        Dispatcher.handle d
+          (Json.Obj
+             [ ("id", Json.Int 99);
+               ("op", Json.String "batch");
+               ("requests", Json.List subs)
+             ])
+      in
+      check_bool "batch ok" true (get_ok batch);
+      (match Json.member "id" batch with
+      | Some (Json.Int 99) -> ()
+      | _ -> Alcotest.fail "batch response must echo the batch id");
+      match Option.bind (Json.member "result" batch) (Json.member "responses") with
+      | Some (Json.List resps) ->
+        check_int "one response per sub-request" (List.length subs)
+          (List.length resps);
+        List.iteri
+          (fun i r ->
+            check_bool
+              (Printf.sprintf "sub-response %d byte-identical" i)
+              true
+              (Json.to_string r = List.nth individual i))
+          resps
+      | _ -> Alcotest.fail "batch response without responses list")
+
+let test_dispatcher_batch_rejects_malformed () =
+  with_dispatcher (fun d ->
+      let resp =
+        Dispatcher.handle d (req {| {"id":1,"op":"batch","requests":"nope"} |})
+      in
+      check_bool "malformed batch refused" true (not (get_ok resp)))
 
 let test_dispatcher_total_under_faults () =
   with_dispatcher (fun d ->
@@ -338,10 +420,18 @@ let suite =
     case "admission predicts cost from static analysis"
       test_admission_predicts;
     case "admission sheds expensive work early" test_admission_sheds_by_cost;
+    case "admission rewrite estimate stays capped"
+      test_admission_rewrite_capped_estimate;
+    case "admission batch costs its priciest member"
+      test_admission_batch_max_of_members;
     case "dispatcher serves and reports stats"
       test_dispatcher_serves_and_reports;
     case "dispatcher sheds with typed overload"
       test_dispatcher_sheds_with_typed_overload;
+    case "dispatcher batch matches sequential submissions"
+      test_dispatcher_batch_matches_sequential;
+    case "dispatcher rejects malformed batch"
+      test_dispatcher_batch_rejects_malformed;
     slow_case "dispatcher total under injected faults"
       test_dispatcher_total_under_faults;
     slow_case "socket round trip" test_socket_round_trip;

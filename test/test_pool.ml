@@ -148,11 +148,106 @@ let prop_fg_to_g =
     (fun ?config sigma -> Budget.value (Rewrite.fg_to_g ?config sigma))
     Tgd_class.Frontier_guarded
 
+(* -- chunk-size independence (qcheck) ----------------------------------- *)
+
+(* Cost-sized chunking is a dispatch detail: forcing any explicit chunk
+   must leave the whole report — outcome, enumeration and entailment
+   counts — byte-identical to the strategy-sized sequential run, at every
+   jobs setting. *)
+let prop_chunk_independent name rewrite cls =
+  QCheck.Test.make ~name ~count:6 (arb_sigma cls) (fun sigma ->
+      let run ~jobs ~chunk =
+        Tgd_chase.Entailment.clear_memos ();
+        Tgd_chase.Chase.clear_memo ();
+        let r =
+          rewrite
+            ?config:(Some Rewrite.{ screening_config with jobs; chunk })
+            sigma
+        in
+        ( outcome_sig r.Rewrite.outcome,
+          r.Rewrite.candidates_enumerated,
+          r.Rewrite.candidates_entailed )
+      in
+      let base = run ~jobs:1 ~chunk:None in
+      List.for_all
+        (fun jobs ->
+          List.for_all
+            (fun chunk -> run ~jobs ~chunk:(Some chunk) = base)
+            [ 1; 4; 64 ])
+        [ 1; 2; 4 ])
+
+let prop_g_to_l_chunk =
+  prop_chunk_independent "G-to-L independent of chunk ∈ {1,4,64} × jobs"
+    (fun ?config sigma -> Budget.value (Rewrite.g_to_l ?config sigma))
+    Tgd_class.Guarded
+
+(* The chase's match phase goes through the same chunked dispatch; the
+   saturation and its counters must not move either. *)
+let prop_chase_chunk_independent =
+  let arb_full =
+    QCheck.make
+      ~print:(fun sigma -> String.concat " ; " (List.map Tgd.to_string sigma))
+      (fun st ->
+        Tgd_workload.Gen.random_sigma st chain_schema Tgd_class.Full
+          ~size:(1 + Random.State.int st 2))
+  in
+  QCheck.Test.make ~name:"chase independent of chunk ∈ {1,4,64} × jobs"
+    ~count:6 arb_full (fun sigma ->
+      let run ~jobs ~chunk =
+        Tgd_chase.Chase.restricted ~jobs ?chunk sigma chain_inst
+      in
+      let base = run ~jobs:1 ~chunk:None in
+      List.for_all
+        (fun jobs ->
+          List.for_all
+            (fun chunk ->
+              let r = run ~jobs ~chunk:(Some chunk) in
+              Instance.equal base.Tgd_chase.Chase.instance
+                r.Tgd_chase.Chase.instance
+              && base.Tgd_chase.Chase.stats.Stats.fired
+                 = r.Tgd_chase.Chase.stats.Stats.fired
+              && base.Tgd_chase.Chase.stats.Stats.delta_facts
+                 = r.Tgd_chase.Chase.stats.Stats.delta_facts
+              && base.Tgd_chase.Chase.stats.Stats.rounds
+                 = r.Tgd_chase.Chase.stats.Stats.rounds)
+            [ 1; 4; 64 ])
+        [ 1; 2; 4 ])
+
+(* -- warm pool registry ------------------------------------------------- *)
+
+let test_warm_pool_reuse () =
+  let first =
+    Pool.with_warm ~jobs:2 (function
+      | None -> Alcotest.fail "with_warm ~jobs:2 must hand out a pool"
+      | Some p -> p)
+  in
+  Pool.with_warm ~jobs:2 (function
+    | None -> Alcotest.fail "expected a warm pool"
+    | Some p2 -> check_bool "same warm pool on reuse" true (first == p2));
+  Pool.with_warm ~jobs:1 (fun p ->
+      check_bool "jobs=1 stays sequential" true (p = None))
+
+let test_warm_pool_runs_work () =
+  Pool.with_warm ~jobs:2 (function
+    | None -> Alcotest.fail "expected a warm pool"
+    | Some pool ->
+      let input = List.init 100 Fun.id in
+      check_bool "warm pool computes" true
+        (Pool.parallel_map pool ~chunk:8 (fun x -> x + 1) (List.to_seq input)
+        = List.map (fun x -> x + 1) input);
+      let c = Pool.counters pool in
+      check_bool "chunk counters accumulate" true
+        (c.Pool.batches >= 1 && c.Pool.chunks >= 1 && c.Pool.chunk_items >= 100))
+
 let suite =
   [ case "parallel_map preserves order" test_map_order;
     case "parallel_filter_map preserves order" test_filter_map_order;
     case "parallel_find_map first hit" test_find_map_first_hit;
     case "exception propagation" test_exception_propagation;
     case "chase stats independent of jobs" test_chase_stats_jobs_independent;
-    case "global stats merged across domains" test_global_stats_merge ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_g_to_l; prop_fg_to_g ]
+    case "global stats merged across domains" test_global_stats_merge;
+    case "warm pool reused across borrows" test_warm_pool_reuse;
+    case "warm pool runs chunked work" test_warm_pool_runs_work ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_g_to_l; prop_fg_to_g; prop_g_to_l_chunk;
+        prop_chase_chunk_independent ]

@@ -99,6 +99,45 @@ let test_wide_family () =
   | Tgd_core.Rewrite.Rewritable _ -> ()
   | _ -> Alcotest.fail "wide family must be rewritable"
 
+let test_layered_family () =
+  let copies = 3 and depth = 2 in
+  let sigma = Families.layered ~copies ~depth in
+  check_int "3·copies·depth rules" (3 * copies * depth) (List.length sigma);
+  check_bool "layered is guarded full Datalog" true
+    (Tgd_class.all_in_class Tgd_class.Guarded sigma
+    && List.for_all Tgd_class.is_full sigma);
+  let exist = Families.layered_existential ~copies ~depth in
+  check_int "one existential sink per copy"
+    ((3 * copies * depth) + copies)
+    (List.length exist);
+  check_bool "existential variant is not full" false
+    (List.for_all Tgd_class.is_full exist);
+  (* copies are independent: the schema grows linearly, never shares
+     relations across copies *)
+  let rels sg =
+    Tgd_syntax.Schema.size (Tgd_core.Rewrite.schema_of sg)
+  in
+  check_int "relations scale linearly" (2 * rels sigma)
+    (rels (Families.layered ~copies:(2 * copies) ~depth))
+
+let test_layered_instance_saturates () =
+  let copies = 2 and depth = 2 and chain = 4 in
+  let inst = Families.layered_instance ~copies ~depth ~chain in
+  check_int "one seed chain edge per copy" (copies * chain)
+    (Instance.fact_count inst);
+  let r =
+    Tgd_chase.Chase.restricted
+      (Families.layered_existential ~copies ~depth)
+      inst
+  in
+  check_bool "layered chase terminates" true
+    (r.Tgd_chase.Chase.outcome = Tgd_chase.Chase.Terminated);
+  (* every seed propagates through all layers: each copy's top-layer R
+     relation carries the full chain *)
+  check_bool "saturation reaches the top layer" true
+    (Instance.fact_count r.Tgd_chase.Chase.instance
+    > copies * chain * depth)
+
 let test_family_equivalences () =
   (* the documented ground truth of the rewritable family *)
   check_answer "guarded_rewritable ≡ expected" Tgd_chase.Entailment.Proved
@@ -124,6 +163,8 @@ let suite =
     case "family sizes" test_families_sizes;
     case "structured instances" test_structured_instances;
     case "wide family" test_wide_family;
+    case "layered family shape" test_layered_family;
+    case "layered instance saturates" test_layered_instance_saturates;
     case "family equivalences" test_family_equivalences;
     case "separations as documented" test_separations_are_as_documented
   ]
