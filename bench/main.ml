@@ -1067,6 +1067,7 @@ let e14 ~reps () =
 
 let e15 ~reps () =
   let module Snapshot = Tgd_engine.Snapshot in
+  let module Delta_log = Tgd_engine.Delta_log in
   let module Chaos = Tgd_engine.Chaos in
   let module Stats = Tgd_engine.Stats in
   section "E15  crash recovery: checkpoint overhead, resume-vs-cold, faulty serve";
@@ -1110,7 +1111,7 @@ let e15 ~reps () =
     (fun every ->
       let st = store (Printf.sprintf "e15-every%d" every) in
       let snaps0 = (Stats.global ()).Stats.snapshots in
-      let t = cold (fun () -> run_with (Some st) every) in
+      let t = cold (fun () -> run_with (Some (Rewrite.Full st)) every) in
       Snapshot.remove st;
       let snaps =
         ((Stats.global ()).Stats.snapshots - snaps0) / reps
@@ -1127,6 +1128,38 @@ let e15 ~reps () =
             \"overhead_pct\": %.2f}"
            every t snaps pct))
     [ 1; 4; 16 ];
+  (* -- incremental delta chain at the same cadences -------------------- *)
+  section "E15  delta-chain overhead (same sweep, incremental sink)";
+  row "%-22s %12s %12s %10s@." "cadence" "time(s)" "deltas" "overhead";
+  let delta_entries = Buffer.create 1024 in
+  let first_delta = ref true in
+  List.iter
+    (fun every ->
+      let cfg =
+        Rewrite.log_config ~dir ~name:(Printf.sprintf "e15-delta%d" every) ()
+      in
+      let recs0 = (Stats.global ()).Stats.delta_records in
+      let t =
+        cold (fun () ->
+            Delta_log.remove cfg;
+            run_with (Some (Rewrite.Incremental (Rewrite.start_log cfg))) every)
+      in
+      Delta_log.remove cfg;
+      let recs = ((Stats.global ()).Stats.delta_records - recs0) / reps in
+      let pct =
+        if baseline > 0. then 100. *. (t -. baseline) /. baseline else 0.
+      in
+      row "%-22s %12.4f %12d %9.1f%%@."
+        (Printf.sprintf "every %d batches" every)
+        t recs pct;
+      if not !first_delta then Buffer.add_string delta_entries ",\n";
+      first_delta := false;
+      Buffer.add_string delta_entries
+        (Printf.sprintf
+           "    {\"every\": %d, \"time_s\": %.6f, \"delta_records\": %d, \
+            \"overhead_pct\": %.2f}"
+           every t recs pct))
+    [ 1; 4; 16 ];
   (* -- resume-vs-cold ------------------------------------------------- *)
   section "E15  resume-vs-cold (fuel-truncated sweep, then resume)";
   Tgd_chase.Entailment.clear_memos ();
@@ -1134,15 +1167,16 @@ let e15 ~reps () =
   let full_report, cold_s =
     time_it (fun () -> Budget.value (Rewrite.fg_to_g ~config:base_config sigma))
   in
-  let st = store "e15-resume" in
-  (* pick a fuel that truncates partway through the sweep *)
+  let log_cfg = Rewrite.log_config ~dir ~name:"e15-resume" () in
+  (* pick a fuel that truncates partway through the sweep; the truncated
+     run checkpoints through the incremental delta chain *)
   let truncated_run fuel =
     Tgd_chase.Entailment.clear_memos ();
     Tgd_chase.Chase.clear_memo ();
     let config =
       { base_config with
         Rewrite.budget = Budget.make ~fuel ();
-        checkpoint = Some st;
+        checkpoint = Some (Rewrite.Incremental (Rewrite.start_log log_cfg));
         checkpoint_every = 1
       }
     in
@@ -1151,7 +1185,7 @@ let e15 ~reps () =
   let rec find_fuel = function
     | [] -> None
     | fuel :: rest -> (
-      Snapshot.remove st;
+      Delta_log.remove log_cfg;
       match truncated_run fuel with
       | Budget.Truncated _, dt -> Some (fuel, dt)
       | Budget.Complete _, _ -> find_fuel rest)
@@ -1164,8 +1198,8 @@ let e15 ~reps () =
         "  \"resume\": {\"cold_s\": %.6f, \"measured\": false}" cold_s
     | Some (fuel, truncated_s) ->
       let resumed =
-        match Snapshot.load st with
-        | Snapshot.Resumed cp -> cp
+        match Rewrite.load_log log_cfg with
+        | Ok (Some r) -> r.Rewrite.rz_checkpoint
         | _ -> failwith "E15: truncated sweep left no loadable checkpoint"
       in
       Tgd_chase.Entailment.clear_memos ();
@@ -1175,7 +1209,7 @@ let e15 ~reps () =
             Budget.value
               (Rewrite.fg_to_g ~config:base_config ~resume:resumed sigma))
       in
-      Snapshot.remove st;
+      Delta_log.remove log_cfg;
       let agree = resumed_report.Rewrite.outcome = full_report.Rewrite.outcome in
       row "%-22s %12s %12s %12s %8s@." "" "cold(s)" "trunc(s)" "resume(s)"
         "agree";
@@ -1246,10 +1280,12 @@ let e15 ~reps () =
   let oc = open_out "BENCH_recover.json" in
   Printf.fprintf oc
     "{\n  \"benchmark\": \"crash_recovery\",\n  \"repetitions\": %d,\n\
-    \  \"checkpoint_overhead\": [\n%s\n  ],\n%s,\n\
+    \  \"checkpoint_overhead\": [\n%s\n  ],\n\
+    \  \"delta_overhead\": [\n%s\n  ],\n%s,\n\
     \  \"serve_under_faults\": [\n%s\n  ]\n}\n"
     reps
     (Buffer.contents ov_entries)
+    (Buffer.contents delta_entries)
     resume_entry
     (Buffer.contents serve_entries);
   close_out oc;

@@ -87,10 +87,13 @@ let truncated_exit =
 
 let rejected_exit =
   Cmd.Exit.info 4
-    ~doc:"a durable checkpoint exists under $(b,--checkpoint-dir) but was \
-          rejected (bad magic/header, checksum mismatch, truncated payload \
-          — with no intact backup generation).  Nothing was resumed or \
-          overwritten; delete the $(i,.snap) files to start fresh."
+    ~doc:"a durable checkpoint exists under $(b,--checkpoint-dir) but no \
+          generation yields a verifiable base (bad magic/header, checksum \
+          mismatch — on every retained generation).  Nothing was resumed \
+          or overwritten; run $(b,tgdtool checkpoint inspect) to see the \
+          damage, or delete the chain's files to start fresh.  Mere \
+          delta-chain damage never exits 4: the run resumes from the last \
+          verifiable prefix with a warning."
 
 let exits = truncated_exit :: rejected_exit :: Cmd.Exit.defaults
 
@@ -98,34 +101,55 @@ let checkpoint_dir_arg =
   Arg.(
     value & opt (some string) None
     & info [ "checkpoint-dir" ] ~docv:"DIR"
-        ~doc:"Persist progress snapshots under $(docv) and resume from them \
-              on restart (a notice goes to stderr; stdout stays \
-              byte-comparable with an uninterrupted run).  The snapshot is \
-              removed when the run completes.  A corrupt snapshot aborts \
-              with exit code 4 instead of silently restarting.")
+        ~doc:"Persist progress under $(docv) as an incremental delta chain \
+              (full base + per-barrier delta records, compacted \
+              generationally) and resume from it on restart (a notice goes \
+              to stderr; stdout stays byte-comparable with an \
+              uninterrupted run).  The chain is removed when the run \
+              completes.  A torn final record is dropped silently; \
+              mid-chain corruption resumes from the last verifiable prefix \
+              with a warning; a chain with no verifiable base aborts with \
+              exit code 4 instead of silently restarting.")
 
 let checkpoint_every_arg =
   Arg.(
     value & opt (some int) None
     & info [ "checkpoint-every" ] ~docv:"N"
-        ~doc:"Snapshot cadence: committed screening batches between saves \
-              for $(b,rewrite) (default 1), chase rounds per slice for \
-              $(b,chase) (default 8).")
+        ~doc:"Checkpoint cadence: committed screening batches between delta \
+              records for $(b,rewrite) (default 1), committed chase rounds \
+              per delta record for $(b,chase) (default 8).")
 
-(* Shared load-or-die: [Fresh] starts over, [Resumed] announces on stderr,
-   [Rejected] prints every diagnosis and exits 4 — corruption must never
-   silently masquerade as a fresh start. *)
-let load_checkpoint store =
-  match Tgd_engine.Snapshot.load store with
-  | Tgd_engine.Snapshot.Fresh -> None
-  | Tgd_engine.Snapshot.Resumed v ->
-    Fmt.epr "resuming from checkpoint %s@." (Tgd_engine.Snapshot.path store);
-    Some v
-  | Tgd_engine.Snapshot.Rejected errors ->
-    List.iter
-      (fun e ->
-        Fmt.epr "checkpoint rejected: %a@." Tgd_engine.Snapshot.pp_error e)
-      errors;
+let checkpoint_keep_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "checkpoint-keep" ] ~docv:"N"
+        ~doc:"Checkpoint generations retained after compaction (default 2); \
+              older generations are deleted atomically when the chain is \
+              folded into a fresh base.")
+
+let checkpoint_fsync_arg =
+  Arg.(
+    value & flag
+    & info [ "checkpoint-fsync" ]
+        ~doc:"fsync the checkpoint files at every barrier (base writes, \
+              delta appends, pointer switches).  Off by default: surviving \
+              kill -9 needs no fsync, only power loss does.")
+
+(* Shared load-or-die for incremental chains.  [Ok None] starts fresh,
+   [Ok (Some r)] announces the resume on stderr (plus one warning line per
+   degradation — a mid-chain corruption resumes from the verified prefix
+   instead of failing), [Error] prints every diagnosis and exits 4 —
+   a chain with no verifiable base must never silently masquerade as a
+   fresh start. *)
+let load_delta_log ~path ~warnings_of load cfg =
+  match load cfg with
+  | Ok None -> None
+  | Ok (Some r) ->
+    Fmt.epr "resuming from checkpoint %s@." path;
+    List.iter (fun w -> Fmt.epr "checkpoint warning: %s@." w) (warnings_of r);
+    Some r
+  | Error messages ->
+    List.iter (fun m -> Fmt.epr "checkpoint rejected: %s@." m) messages;
     exit 4
 
 let stats_arg =
@@ -203,7 +227,8 @@ let chase_cmd =
           ~doc:"Print the derivation tree of a fact, e.g. \"T(a,c)\".")
   in
   let run path db_path rounds max_facts timeout fuel oblivious explain stats
-      naive jobs chunk no_analyze checkpoint_dir checkpoint_every =
+      naive jobs chunk no_analyze checkpoint_dir checkpoint_every
+      checkpoint_keep checkpoint_fsync =
     let sigma = parse_tgds_file path in
     let schema = Rewrite.schema_of sigma in
     let p = parse_program_file path in
@@ -225,10 +250,18 @@ let chase_cmd =
             Fmt.failwith
               "--checkpoint-dir supports the default restricted engine \
                chase only";
-          let store = Tgd_chase.Chase.snapshot_store ~dir ~name:"chase" in
-          let resume = load_checkpoint store in
-          Tgd_chase.Chase.restricted_resumable ~budget ~jobs
-            ?every:checkpoint_every ~store ?resume sigma db
+          let log =
+            Tgd_chase.Chase.log_config ~keep:checkpoint_keep
+              ~fsync:checkpoint_fsync ~dir ~name:"chase" ()
+          in
+          let resume =
+            load_delta_log
+              ~path:(Tgd_engine.Delta_log.current_path log)
+              ~warnings_of:(fun r -> r.Tgd_chase.Chase.rz_warnings)
+              Tgd_chase.Chase.load_log log
+          in
+          Tgd_chase.Chase.restricted_resumable ~budget ~jobs ?chunk
+            ?every:checkpoint_every ~log ?resume sigma db
         | None ->
           let chase =
             if oblivious then Tgd_chase.Chase.oblivious ?on_fire:None
@@ -271,7 +304,7 @@ let chase_cmd =
       const run $ ontology_arg $ db_arg $ budget_arg $ max_facts_arg
       $ timeout_arg $ fuel_arg $ oblivious_arg $ explain_arg $ stats_arg
       $ naive_arg $ jobs_arg $ chunk_arg $ no_analyze_arg $ checkpoint_dir_arg
-      $ checkpoint_every_arg)
+      $ checkpoint_every_arg $ checkpoint_keep_arg $ checkpoint_fsync_arg)
 
 (* ---- entails ---- *)
 
@@ -324,19 +357,38 @@ let rewrite_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the rewriting to a file.")
   in
   let run direction path body head rounds max_facts timeout fuel out stats
-      naive jobs chunk no_analyze checkpoint_dir checkpoint_every =
+      naive jobs chunk no_analyze checkpoint_dir checkpoint_every
+      checkpoint_keep checkpoint_fsync =
     let sigma = parse_tgds_file path in
-    let store =
+    let log =
       Option.map
         (fun dir ->
-          Rewrite.snapshot_store ~dir
+          Rewrite.log_config ~keep:checkpoint_keep ~fsync:checkpoint_fsync
+            ~dir
             ~name:
               (match direction with
               | `G2l -> "rewrite-g2l"
-              | `Fg2g -> "rewrite-fg2g"))
+              | `Fg2g -> "rewrite-fg2g")
+            ())
         checkpoint_dir
     in
-    let resume = Option.bind store load_checkpoint in
+    let resumed =
+      Option.bind log (fun cfg ->
+          load_delta_log
+            ~path:(Tgd_engine.Delta_log.current_path cfg)
+            ~warnings_of:(fun r -> r.Rewrite.rz_warnings)
+            Rewrite.load_log cfg)
+    in
+    let sink =
+      Option.map
+        (fun cfg ->
+          Rewrite.Incremental
+            (match resumed with
+            | Some r -> Rewrite.resume_log cfg r
+            | None -> Rewrite.start_log cfg))
+        log
+    in
+    let resume = Option.map (fun r -> r.Rewrite.rz_checkpoint) resumed in
     let config =
       Rewrite.
         { caps =
@@ -349,7 +401,7 @@ let rewrite_cmd =
           jobs;
           chunk;
           analyze = not no_analyze;
-          checkpoint = store;
+          checkpoint = sink;
           checkpoint_every = Option.value checkpoint_every ~default:1
         }
     in
@@ -394,7 +446,7 @@ let rewrite_cmd =
       const run $ direction_arg $ file_arg $ body_cap $ head_cap $ budget_arg
       $ max_facts_arg $ timeout_arg $ fuel_arg $ out_arg $ stats_arg
       $ naive_arg $ jobs_arg $ chunk_arg $ no_analyze_arg $ checkpoint_dir_arg
-      $ checkpoint_every_arg)
+      $ checkpoint_every_arg $ checkpoint_keep_arg $ checkpoint_fsync_arg)
 
 (* ---- properties ---- *)
 
@@ -707,6 +759,92 @@ let analyze_cmd =
              with warnings, 2 with errors.")
     Term.(const run $ ontology_arg $ json_arg $ deep_arg)
 
+(* ---- checkpoint ---- *)
+
+let checkpoint_cmd =
+  let module D = Tgd_engine.Delta_log in
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:"Directory holding delta-checkpoint chains (the value passed \
+                as $(b,--checkpoint-dir)).")
+  in
+  let inspect_exits =
+    Cmd.Exit.info 1
+      ~doc:"at least one chain carries corruption (a bad base, an \
+            unreadable pointer with no intact generation, or a CRC-invalid \
+            mid-chain record).  A torn final record — the normal kill -9 \
+            signature — does not count."
+    :: Cmd.Exit.defaults
+  in
+  let run dir =
+    let names = D.scan ~dir in
+    if names = [] then Fmt.pr "no checkpoint chains under %s@." dir
+    else begin
+      let corrupt = ref false in
+      List.iter
+        (fun name ->
+          let pointer, gens = D.inspect ~dir ~name in
+          Fmt.pr "%s:@." name;
+          (match pointer with
+          | Some (kind, version, g) ->
+            Fmt.pr "  current: generation %d (kind %s, version %d)@." g kind
+              version
+          | None -> Fmt.pr "  current: no readable pointer@.");
+          List.iter
+            (fun g ->
+              Fmt.pr "  generation %d%s@." g.D.g_generation
+                (if g.D.g_current then " (current)" else "");
+              (match g.D.g_base_status with
+              | `Ok ->
+                Fmt.pr "    base  %s: %d bytes, crc ok@." g.D.g_base_path
+                  g.D.g_base_bytes
+              | `Missing ->
+                corrupt := true;
+                Fmt.pr "    base  %s: MISSING@." g.D.g_base_path
+              | `Bad why ->
+                corrupt := true;
+                Fmt.pr "    base  %s: BAD (%s)@." g.D.g_base_path why);
+              Fmt.pr "    log   %s: %d records, %d bytes@." g.D.g_log_path
+                (List.length g.D.g_records)
+                g.D.g_log_bytes;
+              List.iter
+                (fun r ->
+                  match r.D.r_status with
+                  | `Ok ->
+                    Fmt.pr "      record %d at %d: %d bytes, crc ok@."
+                      r.D.r_index r.D.r_offset r.D.r_bytes
+                  | `Torn ->
+                    Fmt.pr
+                      "      record %d at %d: torn tail (%d bytes, dropped \
+                       on resume)@."
+                      r.D.r_index r.D.r_offset r.D.r_bytes
+                  | `Corrupt why ->
+                    corrupt := true;
+                    Fmt.pr "      record %d at %d: CORRUPT (%s)@." r.D.r_index
+                      r.D.r_offset why)
+                g.D.g_records)
+            gens)
+        names;
+      if !corrupt then exit 1
+    end
+  in
+  let inspect_cmd =
+    Cmd.v
+      (Cmd.info "inspect" ~exits:inspect_exits
+         ~doc:"Print every chain under $(i,DIR): base and delta-chain \
+               lengths, byte sizes, and per-record CRC status.  Exit 0 when \
+               everything verifies (a torn tail is fine), 1 when any record \
+               or base is corrupt.")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "checkpoint"
+       ~doc:"Inspect durable delta-checkpoint chains ($(b,--checkpoint-dir)).")
+    [ inspect_cmd ]
+
 (* ---- serve ---- *)
 
 let serve_cmd =
@@ -804,7 +942,8 @@ let serve_cmd =
   in
   let run rounds max_facts timeout retries queue_limit chaos_raise_p
       chaos_delay_p chaos_seed socket tcp workers max_connections
-      idle_timeout cache_bytes max_line_bytes drain_grace =
+      idle_timeout cache_bytes max_line_bytes drain_grace checkpoint_dir
+      checkpoint_every =
     if chaos_raise_p > 0. || chaos_delay_p > 0. then
       Tgd_engine.Chaos.install
         { Tgd_engine.Chaos.default_config with
@@ -819,7 +958,12 @@ let serve_cmd =
         timeout_s = timeout;
         retries;
         queue_limit;
-        max_line_bytes
+        max_line_bytes;
+        checkpoint_dir;
+        checkpoint_every =
+          Option.value checkpoint_every
+            ~default:Tgd_serve.Server.default_config.Tgd_serve.Server
+                     .checkpoint_every
       }
     in
     let addr =
@@ -876,7 +1020,8 @@ let serve_cmd =
       $ queue_limit_arg $ chaos_raise_p_arg $ chaos_delay_p_arg
       $ chaos_seed_arg $ socket_arg $ tcp_arg $ workers_arg
       $ max_connections_arg $ idle_timeout_arg $ cache_bytes_arg
-      $ max_line_bytes_arg $ drain_grace_arg)
+      $ max_line_bytes_arg $ drain_grace_arg $ checkpoint_dir_arg
+      $ checkpoint_every_arg)
 
 (* ---- loadgen ---- *)
 
@@ -1099,7 +1244,7 @@ let main =
        ~doc:"Model-theoretic characterizations of rule-based ontologies (PODS'21) — toolkit.")
     [ classify_cmd; chase_cmd; entails_cmd; rewrite_cmd; properties_cmd;
       synthesize_cmd; count_cmd; diagnose_cmd; theory_cmd; datalog_cmd;
-      core_cmd; acyclic_cmd; refute_cmd; analyze_cmd; serve_cmd;
-      loadgen_cmd; workload_cmd ]
+      core_cmd; acyclic_cmd; refute_cmd; analyze_cmd; checkpoint_cmd;
+      serve_cmd; loadgen_cmd; workload_cmd ]
 
 let () = exit (Cmd.eval main)

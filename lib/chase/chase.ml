@@ -277,64 +277,187 @@ let snapshot_kind = "chase-state"
 let snapshot_store ~dir ~name =
   Snapshot.create ~dir ~name ~kind:snapshot_kind ()
 
-(* Checkpointed restricted chase: run in slices of [every] rounds and
-   persist the committed instance at each slice boundary, so a killed run
-   resumes from the last boundary instead of refiring from the input.
-   [Budget.with_rounds] shares the fuel tank, deadline and cancellation
-   token across slices, so the overall governance is that of [budget]; the
-   per-slice round cap is the only retuned knob.
+(* --- incremental delta checkpoints ------------------------------------ *)
 
-   Resumed runs re-derive the same saturation (the committed prefix is
-   sound, and restricted firing is idempotent on satisfied triggers), but
-   the semi-naive engine restarts each slice with the full instance as its
-   delta, so round numbering and fresh-null naming may differ from the
-   uninterrupted run — the result is identical up to null renaming
+let log_kind = "chase-delta"
+
+let log_config ?keep ?fsync ~dir ~name () =
+  Delta_log.config ?keep ?fsync ~dir ~name ~kind:log_kind ()
+
+(* Base payload: the full committed state (instance, rounds, fired).
+   Delta payload: the spans added since the previous record — rounds,
+   firings, and the new facts in commit order, relations encoded as indices
+   into the base schema.  Folding base + deltas in order reconstructs the
+   exact instance (facts carry their literal nulls, and every fresh null
+   lands in an added fact, so [Seminaive.max_null] restores the null
+   counter too). *)
+let encode_base cp =
+  let buf = Buffer.create 4096 in
+  Codec.write_instance buf cp.chk_instance;
+  Wire.write_varint buf cp.chk_rounds;
+  Wire.write_varint buf cp.chk_fired;
+  Buffer.contents buf
+
+let encode_delta w ~rounds ~fired facts =
+  let buf = Buffer.create 256 in
+  Wire.write_varint buf rounds;
+  Wire.write_varint buf fired;
+  Codec.write_facts w buf facts;
+  Buffer.contents buf
+
+let decode_chain (chain : Delta_log.chain) =
+  let r = Wire.reader chain.Delta_log.base in
+  let inst = Codec.read_instance r in
+  let rounds = Wire.read_varint r in
+  let fired = Wire.read_varint r in
+  let rr = Codec.rel_reader (Instance.schema inst) in
+  List.fold_left
+    (fun cp payload ->
+      let r = Wire.reader payload in
+      let dr = Wire.read_varint r in
+      let df = Wire.read_varint r in
+      let facts = Codec.read_facts rr r in
+      { chk_instance = List.fold_left Instance.add_fact cp.chk_instance facts;
+        chk_rounds = cp.chk_rounds + dr;
+        chk_fired = cp.chk_fired + df
+      })
+    { chk_instance = inst; chk_rounds = rounds; chk_fired = fired }
+    chain.Delta_log.deltas
+
+type resumed = {
+  rz_checkpoint : checkpoint;
+  rz_chain : Delta_log.chain;
+  rz_warnings : string list;
+}
+
+let load_log cfg =
+  match Delta_log.load cfg with
+  | Delta_log.Fresh -> Ok None
+  | Delta_log.Rejected errs -> Error (List.map Delta_log.error_to_string errs)
+  | Delta_log.Resumed chain | Delta_log.Resumed_partial chain -> (
+    match decode_chain chain with
+    | cp ->
+      Ok
+        (Some
+           { rz_checkpoint = cp;
+             rz_chain = chain;
+             rz_warnings = chain.Delta_log.warnings
+           })
+    | exception (Wire.Corrupt m | Invalid_argument m) ->
+      (* CRC-valid bytes that do not decode: a format bug or a stale kind,
+         never a partial write — reject rather than guess *)
+      Error
+        [ Printf.sprintf "%s: undecodable checkpoint payload (%s)"
+            cfg.Delta_log.name m
+        ])
+
+(* Checkpointed restricted chase, rebuilt on the delta log: one engine run
+   whose round-barrier commits ({!Seminaive.run}'s [on_commit]) accumulate
+   into an append-only chain — a record every [every] committed rounds, a
+   compaction folding the chain into a fresh base every [compact_every]
+   records.  Appending a delta costs the bytes of that round's new facts,
+   not the whole instance, which is what makes fine-grained [every]
+   affordable (the old implementation re-seeded the engine per slice and
+   marshalled the full state each boundary).
+
+   A resumed run replays base + deltas to the exact committed state (same
+   facts, same literal nulls) and continues the saturation from there; the
+   engine's delta stratification restarts at the checkpoint, so round
+   numbering and fresh-null naming after the resume point may differ from
+   the uninterrupted run — the result is identical up to null renaming
    (isomorphism), which is all the chase ever promises.  Certificate-based
-   promotion is disabled: lifting the round cap would defeat slicing. *)
-let restricted_resumable ?(budget = default_budget) ?(jobs = 1) ?(every = 8)
-    ~store ?resume sigma inst =
+   promotion and memoisation are disabled, as before. *)
+let restricted_resumable ?(budget = default_budget) ?(jobs = 1) ?chunk
+    ?(every = 8) ?(compact_every = 64) ~log ?resume sigma inst =
   if every < 1 then
     invalid_arg "Chase.restricted_resumable: every must be >= 1";
-  let acc = Stats.create () in
-  let rec go inst rounds_done fired_done =
-    let slice = min every (budget.Budget.max_rounds - rounds_done) in
-    let r =
-      restricted ~budget:(Budget.with_rounds budget slice) ~jobs
-        ~analyze:false sigma inst
-    in
-    Stats.add ~into:acc r.stats;
-    let rounds_done = rounds_done + r.rounds in
-    let fired_done = fired_done + r.fired in
-    let save () =
-      Snapshot.save store
-        { chk_instance = r.instance;
-          chk_rounds = rounds_done;
-          chk_fired = fired_done
-        }
-    in
-    let finish outcome =
-      { instance = r.instance;
-        outcome;
-        rounds = rounds_done;
-        fired = fired_done;
-        stats = acc
-      }
-    in
-    match r.outcome with
-    | Terminated ->
-      Snapshot.remove store;
-      finish Terminated
-    | Truncated Budget.Rounds when rounds_done < budget.Budget.max_rounds ->
-      (* only the slice cap tripped: persist and keep going *)
-      save ();
-      go r.instance rounds_done fired_done
-    | Truncated reason ->
-      save ();
-      finish (Truncated reason)
+  if compact_every < 1 then
+    invalid_arg "Chase.restricted_resumable: compact_every must be >= 1";
+  let base_cp, handle =
+    match resume with
+    | Some r -> (r.rz_checkpoint, Delta_log.resume log r.rz_chain)
+    | None ->
+      let cp = { chk_instance = inst; chk_rounds = 0; chk_fired = 0 } in
+      (cp, Delta_log.start log ~base:(encode_base cp))
   in
-  match resume with
-  | Some cp -> go cp.chk_instance cp.chk_rounds cp.chk_fired
-  | None -> go inst 0 0
+  let rounds0 = base_cp.chk_rounds and fired0 = base_cp.chk_fired in
+  let start_inst = base_cp.chk_instance in
+  let w = Codec.rel_writer (Instance.schema start_inst) in
+  (* the state the log encodes so far: base + every appended record *)
+  let mirror = ref start_inst in
+  let mirror_rounds = ref rounds0 in
+  let mirror_fired = ref fired0 in
+  let fired_live = ref 0 in
+  let pending = ref [] (* committed rounds not yet appended, newest first *) in
+  let pending_rounds = ref 0 in
+  let flush ~rounds ~fired =
+    let facts = List.concat (List.rev !pending) in
+    let rounds_span = rounds0 + rounds - !mirror_rounds in
+    let fired_span = fired0 + fired - !mirror_fired in
+    if rounds_span > 0 || fired_span > 0 || facts <> [] then begin
+      Delta_log.append handle
+        (encode_delta w ~rounds:rounds_span ~fired:fired_span facts);
+      mirror := List.fold_left Instance.add_fact !mirror facts;
+      mirror_rounds := !mirror_rounds + rounds_span;
+      mirror_fired := !mirror_fired + fired_span;
+      pending := [];
+      pending_rounds := 0;
+      if Delta_log.delta_count handle >= compact_every then
+        Delta_log.compact handle
+          ~base:
+            (encode_base
+               { chk_instance = !mirror;
+                 chk_rounds = !mirror_rounds;
+                 chk_fired = !mirror_fired
+               })
+    end
+  in
+  let on_commit ~round dflat =
+    pending := dflat :: !pending;
+    incr pending_rounds;
+    if !pending_rounds >= every then flush ~rounds:round ~fired:!fired_live
+  in
+  let on_fire _ _ _ = incr fired_live in
+  let eff_budget =
+    Budget.with_rounds budget (max 0 (budget.Budget.max_rounds - rounds0))
+  in
+  let r =
+    Pool.with_warm ~jobs (fun pool ->
+        Seminaive.run ~mode:Seminaive.Restricted ~budget:eff_budget ~on_fire
+          ~on_commit ?pool ?chunk sigma start_inst)
+  in
+  let outcome =
+    match r.Seminaive.outcome with
+    | Seminaive.Terminated -> Terminated
+    | Seminaive.Truncated reason -> Truncated reason
+  in
+  (match outcome with
+  | Terminated ->
+    Delta_log.close handle;
+    Delta_log.remove log
+  | Truncated reason ->
+    (* sync the chain to the exact result state before handing back *)
+    flush ~rounds:r.Seminaive.rounds ~fired:r.Seminaive.fired;
+    (match reason with
+    | Budget.Fault _ ->
+      (* an injected fault skips the round's barrier, so the engine may
+         have kept fire-phase facts no commit reported — diff them in *)
+      let missing =
+        Fact.Set.elements
+          (Fact.Set.diff
+             (Instance.facts r.Seminaive.instance)
+             (Instance.facts !mirror))
+      in
+      if missing <> [] then
+        Delta_log.append handle (encode_delta w ~rounds:0 ~fired:0 missing)
+    | _ -> ());
+    Delta_log.close handle);
+  { instance = r.Seminaive.instance;
+    outcome;
+    rounds = rounds0 + r.Seminaive.rounds;
+    fired = fired0 + r.Seminaive.fired;
+    stats = r.Seminaive.stats
+  }
 
 let is_model r = r.outcome = Terminated
 

@@ -98,32 +98,68 @@ type checkpoint = {
 (** On-disk chase state, persisted through {!Tgd_engine.Snapshot}. *)
 
 val snapshot_kind : string
-(** The {!Tgd_engine.Snapshot} kind tag for chase checkpoints
-    (["chase-state"]). *)
+(** The {!Tgd_engine.Snapshot} kind tag for legacy full-state chase
+    checkpoints (["chase-state"]).  Kept as the [Marshal] baseline the
+    benches compare the delta chain against. *)
 
 val snapshot_store : dir:string -> name:string -> Tgd_engine.Snapshot.store
-(** A store of {!snapshot_kind} under [dir] — the shape callers pass to
-    {!restricted_resumable} and feed to [Snapshot.load] to decide between
-    [?resume] and a fresh start (a corrupt snapshot surfaces there as
-    [Rejected], which callers must treat as an error, not a fresh run). *)
+(** A full-state store of {!snapshot_kind} under [dir] (legacy path). *)
+
+val log_kind : string
+(** The {!Tgd_engine.Delta_log} kind tag for incremental chase checkpoints
+    (["chase-delta"]). *)
+
+val log_config :
+  ?keep:int ->
+  ?fsync:bool ->
+  dir:string ->
+  name:string ->
+  unit ->
+  Delta_log.config
+(** An incremental checkpoint log of {!log_kind} under [dir]: a full base
+    snapshot plus per-barrier delta records, compacted generationally
+    ([keep] retained, default 2).  [fsync] syncs every barrier (default
+    off — kill -9 does not need it). *)
+
+type resumed = {
+  rz_checkpoint : checkpoint;  (** base + verified deltas, replayed *)
+  rz_chain : Delta_log.chain;  (** where appends continue *)
+  rz_warnings : string list;
+      (** non-empty = degraded resume: records were lost to mid-chain
+          corruption or a generation fallback (callers should surface
+          these, then continue) *)
+}
+
+val load_log :
+  Delta_log.config -> (resumed option, string list) Stdlib.result
+(** Load and replay an incremental checkpoint chain.  [Ok None] — nothing
+    on disk, start fresh.  [Ok (Some r)] — resume from [r]; a torn final
+    record (the expected kill -9 signature) is dropped silently, while
+    mid-chain corruption surfaces in [rz_warnings] with the resume taken
+    from the last verifiable prefix.  [Error] — no generation yields a
+    verifiable base: surface the diagnoses, don't silently restart. *)
 
 val restricted_resumable :
   ?budget:budget ->
   ?jobs:int ->
+  ?chunk:int ->
   ?every:int ->
-  store:Tgd_engine.Snapshot.store ->
-  ?resume:checkpoint ->
+  ?compact_every:int ->
+  log:Delta_log.config ->
+  ?resume:resumed ->
   Tgd.t list -> Instance.t -> result
-(** {!restricted}, in slices of [every] rounds (default 8), persisting the
-    committed instance to [store] at every slice boundary and on any
-    truncation — so a killed run resumes from the last boundary via
-    [?resume] instead of refiring from the input.  The snapshot is removed
-    when the chase terminates.  The budget's fuel, deadline and
-    cancellation govern the whole run across slices; promotion
-    ([analyze]) and [memo] are disabled.  A resumed run reaches the same
-    saturation up to null renaming (round/firing counters may differ —
-    the engine restarts each slice with the full committed instance as
-    its delta). *)
+(** {!restricted} with incremental durable checkpoints: one engine run
+    whose round-barrier commits append delta records to [log] — one record
+    every [every] committed rounds (default 8; [every = 1] is affordable,
+    records cost only that span's new facts), folded into a fresh base
+    generation every [compact_every] records (default 64).  The log is
+    removed when the chase terminates; on truncation the chain is synced
+    to the exact returned state, so a killed or budget-tripped run resumes
+    from [load_log] via [?resume] instead of refiring from the input.
+    The budget governs the whole run across resumes ([rounds] counts
+    cumulatively); promotion ([analyze]) and [memo] are disabled.  A
+    resumed run reaches the same saturation up to null renaming (the
+    engine's delta stratification restarts at the checkpoint). *)
 
 val is_model : result -> bool
 (** [outcome = Terminated]. *)

@@ -6,6 +6,13 @@ module Pool = Tgd_engine.Pool
 module Budget = Tgd_engine.Budget
 module Chaos = Tgd_engine.Chaos
 module Snapshot = Tgd_engine.Snapshot
+module Delta_log = Tgd_engine.Delta_log
+module Wire = Tgd_engine.Wire
+module Codec = Tgd_engine.Codec
+
+type checkpoint_sink =
+  | Full of Snapshot.store
+  | Incremental of Delta_log.t
 
 type config = {
   caps : Candidates.caps;
@@ -16,7 +23,7 @@ type config = {
   jobs : int;
   chunk : int option;
   analyze : bool;
-  checkpoint : Snapshot.store option;
+  checkpoint : checkpoint_sink option;
   checkpoint_every : int;
 }
 
@@ -37,6 +44,11 @@ let snapshot_kind = "rewrite-sweep"
 
 let snapshot_store ~dir ~name =
   Snapshot.create ~dir ~name ~kind:snapshot_kind ()
+
+let log_kind = "rewrite-delta"
+
+let log_config ?keep ?fsync ~dir ~name () =
+  Delta_log.config ?keep ?fsync ~dir ~name ~kind:log_kind ()
 
 type outcome =
   | Rewritable of Tgd.t list
@@ -59,6 +71,90 @@ type checkpoint = {
   cursor : int;
   screened_prefix : (Tgd.t * Entailment.answer) list;
 }
+
+(* --- incremental checkpoint codec ------------------------------------- *)
+
+(* Base and delta records share one shape: the cursor {e after} the carried
+   entries, then the entries themselves ((tgd, answer) pairs, structurally
+   encoded — no [Marshal]).  A base carries the whole screened prefix, a
+   delta only the entries committed since the previous record; folding
+   base + deltas in order reconstructs the checkpoint exactly. *)
+let encode_entries ~cursor entries =
+  let buf = Buffer.create 512 in
+  Wire.write_varint buf cursor;
+  Wire.write_varint buf (List.length entries);
+  List.iter
+    (fun (tgd, answer) ->
+      Codec.write_tgd buf tgd;
+      Wire.write_varint buf
+        (match answer with
+        | Entailment.Proved -> 0
+        | Entailment.Disproved -> 1
+        | Entailment.Unknown -> 2))
+    entries;
+  Buffer.contents buf
+
+let decode_entries payload =
+  let r = Wire.reader payload in
+  let cursor = Wire.read_varint r in
+  let n = Wire.read_varint r in
+  let entries =
+    List.init n (fun _ ->
+        let tgd = Codec.read_tgd r in
+        let answer =
+          match Wire.read_varint r with
+          | 0 -> Entailment.Proved
+          | 1 -> Entailment.Disproved
+          | 2 -> Entailment.Unknown
+          | t -> raise (Wire.Corrupt (Printf.sprintf "bad answer tag %d" t))
+        in
+        (tgd, answer))
+  in
+  (cursor, entries)
+
+let decode_chain (chain : Delta_log.chain) =
+  let cursor0, base_entries = decode_entries chain.Delta_log.base in
+  let cursor, entries_rev =
+    List.fold_left
+      (fun (_, acc) payload ->
+        let cursor, es = decode_entries payload in
+        (cursor, List.rev_append es acc))
+      (cursor0, List.rev base_entries)
+      chain.Delta_log.deltas
+  in
+  { cursor; screened_prefix = List.rev entries_rev }
+
+type resumed = {
+  rz_checkpoint : checkpoint;
+  rz_chain : Delta_log.chain;
+  rz_warnings : string list;
+}
+
+let load_log cfg =
+  match Delta_log.load cfg with
+  | Delta_log.Fresh -> Ok None
+  | Delta_log.Rejected errs -> Error (List.map Delta_log.error_to_string errs)
+  | Delta_log.Resumed chain | Delta_log.Resumed_partial chain -> (
+    match decode_chain chain with
+    | cp ->
+      Ok
+        (Some
+           { rz_checkpoint = cp;
+             rz_chain = chain;
+             rz_warnings = chain.Delta_log.warnings
+           })
+    | exception (Wire.Corrupt m | Invalid_argument m) ->
+      Error
+        [ Printf.sprintf "%s: undecodable checkpoint payload (%s)"
+            cfg.Delta_log.name m
+        ])
+
+let start_log cfg = Delta_log.start cfg ~base:(encode_entries ~cursor:0 [])
+let resume_log cfg r = Delta_log.resume cfg r.rz_chain
+
+(* Delta records between compactions; past this the chain is folded into a
+   fresh base so replay work and retained bytes stay bounded. *)
+let compact_threshold = 64
 
 type report = {
   outcome : outcome;
@@ -159,6 +255,10 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
         not (Relation.Set.subset (rels (Tgd.head candidate)) reachable)
     end
   in
+  (* A resumed prefix replays recorded answers without re-screening, so its
+     prefilter hits must be re-derived here — otherwise the skipped counter
+     would depend on where the previous run stopped. *)
+  List.iter (fun (c, _) -> if prefilter c then Atomic.incr skipped) prefix;
   let screen candidate =
     if prefilter candidate then begin
       Atomic.incr skipped;
@@ -185,10 +285,22 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
      boundary, so a process killed mid-batch resumes exactly where an
      in-process truncation would have.  [persist] runs on the submitting
      domain only — workers never touch the store. *)
+  let persisted = ref (List.length prefix) in
   let persist cp =
     match config.checkpoint with
     | None -> ()
-    | Some store -> Snapshot.save store cp
+    | Some (Full store) -> Snapshot.save store cp
+    | Some (Incremental t) ->
+      (* append only the entries committed since the last record — the
+         write cost is the batch, not the whole prefix *)
+      let fresh =
+        List.filteri (fun i _ -> i >= !persisted) cp.screened_prefix
+      in
+      Delta_log.append t (encode_entries ~cursor:cp.cursor fresh);
+      persisted := List.length cp.screened_prefix;
+      if Delta_log.delta_count t >= compact_threshold then
+        Delta_log.compact t
+          ~base:(encode_entries ~cursor:cp.cursor cp.screened_prefix)
   in
   let run pool =
     let screened_rev = ref (List.rev prefix) in
@@ -312,7 +424,10 @@ let rewrite_into ?(config = default_config) ?resume enumerate ~complete sigma =
         Budget.Truncated { reason; partial; progress = partial.stats }
       | None ->
         (match config.checkpoint with
-        | Some store -> Snapshot.remove store
+        | Some (Full store) -> Snapshot.remove store
+        | Some (Incremental t) ->
+          Delta_log.close t;
+          Delta_log.remove (Delta_log.config_of t)
         | None -> ());
         Budget.Complete (mk_report outcome None)))
 

@@ -24,6 +24,14 @@ open Tgd_syntax
 open Tgd_instance
 open Tgd_engine
 
+type checkpoint_sink =
+  | Full of Tgd_engine.Snapshot.store
+      (** legacy: marshal the whole checkpoint each save (the baseline the
+          benches compare against) *)
+  | Incremental of Tgd_engine.Delta_log.t
+      (** append only the entries committed since the last save to a delta
+          chain, compacted generationally — the affordable path *)
+
 type config = {
   caps : Candidates.caps;
   budget : Tgd_chase.Chase.budget;
@@ -52,13 +60,14 @@ type config = {
           certificate-based promotion ({!Tgd_chase.Chase.restricted}).
           The outcome is unchanged either way — the prefilter only skips
           work the chase would have rejected. *)
-  checkpoint : Tgd_engine.Snapshot.store option;
-      (** persist the screening checkpoint to this store at batch
+  checkpoint : checkpoint_sink option;
+      (** persist the screening checkpoint through this sink at batch
           boundaries, on truncation, and remove it on completion — so a
           killed sweep resumes from disk.  [None] (default): no
-          persistence.  Load the store yourself and pass the value as
-          [?resume]; a [Rejected] load is an error to surface, not a
-          fresh start. *)
+          persistence.  Load the state yourself ({!load_log} for
+          {!Incremental}, [Snapshot.load] for {!Full}) and pass it as
+          [?resume]; a rejected load is an error to surface, not a fresh
+          start. *)
   checkpoint_every : int;
       (** committed batches between durable saves (default 1 = every
           batch).  Larger values trade re-screening after a crash for
@@ -72,8 +81,8 @@ val snapshot_kind : string
     (["rewrite-sweep"]). *)
 
 val snapshot_store : dir:string -> name:string -> Tgd_engine.Snapshot.store
-(** A store of {!snapshot_kind} under [dir], suitable for
-    [config.checkpoint] and for [Snapshot.load] before resuming. *)
+(** A full-state store of {!snapshot_kind} under [dir], for the legacy
+    {!Full} sink. *)
 
 type outcome =
   | Rewritable of Tgd.t list
@@ -90,6 +99,44 @@ type checkpoint = {
       (** the (candidate, answer) pairs already committed, in enumeration
           order *)
 }
+
+val log_kind : string
+(** The {!Tgd_engine.Delta_log} kind tag for incremental sweep checkpoints
+    (["rewrite-delta"]). *)
+
+val log_config :
+  ?keep:int ->
+  ?fsync:bool ->
+  dir:string ->
+  name:string ->
+  unit ->
+  Tgd_engine.Delta_log.config
+(** An incremental checkpoint log of {!log_kind} under [dir] ([keep]
+    generations retained after compaction, default 2; [fsync] syncs every
+    barrier, default off). *)
+
+type resumed = {
+  rz_checkpoint : checkpoint;  (** base + verified deltas, replayed *)
+  rz_chain : Tgd_engine.Delta_log.chain;
+  rz_warnings : string list;
+      (** non-empty = degraded resume (mid-chain corruption or generation
+          fallback): surface, then continue from the verified prefix *)
+}
+
+val load_log :
+  Tgd_engine.Delta_log.config -> (resumed option, string list) Stdlib.result
+(** Load and replay an incremental sweep chain.  [Ok None] — nothing on
+    disk; [Ok (Some r)] — resume from [r] (a torn final record is dropped
+    silently, mid-chain damage lands in [rz_warnings]); [Error] — no
+    generation verifies. *)
+
+val start_log : Tgd_engine.Delta_log.config -> Tgd_engine.Delta_log.t
+(** Open a fresh chain (empty base) for a sweep starting from scratch. *)
+
+val resume_log :
+  Tgd_engine.Delta_log.config -> resumed -> Tgd_engine.Delta_log.t
+(** Reopen a loaded chain for appending (truncating any unverified
+    suffix); pair with [?resume:r.rz_checkpoint]. *)
 
 type report = {
   outcome : outcome;

@@ -1,0 +1,54 @@
+(** Structural binary codecs for checkpoint payloads.
+
+    Hand-rolled encoders/decoders over {!Wire} for the syntax and instance
+    types that checkpoints persist — no [Marshal] anywhere, so payloads are
+    compact, versionable, and safe to decode from untrusted bytes: every
+    decoder raises {!Wire.Corrupt} (or [Invalid_argument] from a smart
+    constructor) on malformed input rather than crashing or fabricating
+    values, and CRC framing upstream ({!Delta_log}) makes either outcome a
+    typed rejection.
+
+    Encodings are deterministic: instances serialize their facts in
+    [Instance.fact_list] (sorted) order, so equal states encode to equal
+    bytes. *)
+
+open Tgd_syntax
+open Tgd_instance
+
+val write_constant : Buffer.t -> Constant.t -> unit
+val read_constant : Wire.reader -> Constant.t
+
+val write_relation : Buffer.t -> Relation.t -> unit
+val read_relation : Wire.reader -> Relation.t
+
+val write_schema : Buffer.t -> Schema.t -> unit
+val read_schema : Wire.reader -> Schema.t
+
+(** {1 Facts relative to a schema}
+
+    Fact records reference their relation as a varint index into the
+    schema's sorted relation list (one or two bytes instead of the name),
+    falling back to an inline (name, arity) pair for relations outside it. *)
+
+type rel_writer
+type rel_reader
+
+val rel_writer : Schema.t -> rel_writer
+val rel_reader : Schema.t -> rel_reader
+
+val write_fact : rel_writer -> Buffer.t -> Fact.t -> unit
+val read_fact : rel_reader -> Wire.reader -> Fact.t
+
+val write_facts : rel_writer -> Buffer.t -> Fact.t list -> unit
+val read_facts : rel_reader -> Wire.reader -> Fact.t list
+
+val write_instance : Buffer.t -> Instance.t -> unit
+(** Schema, then the full domain (which may exceed the active domain), then
+    the facts in sorted order. *)
+
+val read_instance : Wire.reader -> Instance.t
+(** Inverse of {!write_instance}; facts over inline relations extend the
+    decoded schema, so replay never rejects a fact the encoder accepted. *)
+
+val write_tgd : Buffer.t -> Tgd.t -> unit
+val read_tgd : Wire.reader -> Tgd.t

@@ -219,8 +219,8 @@ let make_abort budget =
     if !n land 255 = 0 then Budget.check budget <> None
     else Budget.cancelled budget <> None
 
-let run ~mode ?(budget = Budget.default) ?(on_fire = fun _ _ _ -> ()) ?pool
-    ?chunk sigma inst =
+let run ~mode ?(budget = Budget.default) ?(on_fire = fun _ _ _ -> ())
+    ?(on_commit = fun ~round:_ _ -> ()) ?pool ?chunk sigma inst =
   let stats = Stats.create () in
   let idx = Fact_index.create ~stats () in
   (* Run one match task against a private stats record and an index view
@@ -356,6 +356,7 @@ let run ~mode ?(budget = Budget.default) ?(on_fire = fun _ _ _ -> ()) ?pool
            let dflat, dby_rel = Fact_index.commit idx in
            stats.Stats.merge_time <-
              stats.Stats.merge_time +. (Unix.gettimeofday () -. t2);
+           on_commit ~round:!round dflat;
            delta := dflat;
            delta_by_rel := dby_rel;
            stats.Stats.delta_facts <- stats.Stats.delta_facts + List.length !delta)

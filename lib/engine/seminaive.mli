@@ -43,6 +43,7 @@ val run :
   mode:mode ->
   ?budget:Budget.t ->
   ?on_fire:(Tgd.t -> Binding.t -> Fact.t list -> unit) ->
+  ?on_commit:(round:int -> Fact.t list -> unit) ->
   ?pool:Pool.t ->
   ?chunk:int ->
   Tgd.t list ->
@@ -51,7 +52,14 @@ val run :
 (** [run ~mode sigma inst] saturates [inst] under [sigma] within [budget]
     (default {!Budget.default}).  [on_fire] observes every fired trigger —
     the tgd, its body homomorphism ({e before} null invention, as in
-    [Chase]), and the grounded head facts (new or not).  When [pool] is
+    [Chase]), and the grounded head facts (new or not).  [on_commit]
+    observes every round barrier that commits: the round number and the
+    flat delta {!Fact_index.commit} returned (exactly the facts added to
+    the instance this round, in insertion order — deterministic across
+    [jobs]/[chunk]); rounds discarded by a match-phase trip or an injected
+    fault are {e not} reported, matching the truncation commit rule below.
+    This is the hook incremental checkpoints ({!Delta_log}) are written
+    from.  When [pool] is
     given, each round's match phase runs its per-(tgd, pivot) tasks on the
     pool's worker domains ([chunk] tasks per claim, see
     {!Pool.parallel_map}); results and all counters are merged in task

@@ -26,7 +26,9 @@ type t = {
   mutable memo_hits : int;
   mutable memo_misses : int;
   mutable restarts : int;    (** pool worker domains respawned ({!Supervisor}) *)
-  mutable snapshots : int;   (** on-disk checkpoints written ({!Snapshot}) *)
+  mutable snapshots : int;   (** full base snapshots written ({!Snapshot}, {!Delta_log}) *)
+  mutable delta_records : int; (** incremental delta records appended ({!Delta_log}) *)
+  mutable compactions : int;   (** delta chains folded into a fresh base *)
   mutable chunks : int;        (** chunks submitted to the {!Pool} *)
   mutable chunks_stolen : int; (** chunks claimed off their intended slot *)
   mutable chunk_items : int;   (** items carried by submitted chunks *)

@@ -16,6 +16,8 @@ type config = {
   backoff_base_s : float;
   queue_limit : int;
   max_line_bytes : int;
+  checkpoint_dir : string option;
+  checkpoint_every : int;
 }
 
 let default_config =
@@ -25,7 +27,9 @@ let default_config =
     retries = 3;
     backoff_base_s = 0.01;
     queue_limit = 64;
-    max_line_bytes = Json.default_max_line_bytes
+    max_line_bytes = Json.default_max_line_bytes;
+    checkpoint_dir = None;
+    checkpoint_every = 8
   }
 
 (* A request that failed for a reason retrying can fix: an injected fault
@@ -105,10 +109,54 @@ let instance_of_request ~sigma req =
     Instance.of_facts schema p.Parse.facts
 
 let chase_op config req =
-  let sigma = parse_tgds (get_string "tgds" req) in
+  let tgds_src = get_string "tgds" req in
+  let sigma = parse_tgds tgds_src in
   let db = instance_of_request ~sigma req in
   let budget = budget_of config req in
-  let r = Chase.restricted ~budget sigma db in
+  let r =
+    match config.checkpoint_dir with
+    | None -> Chase.restricted ~budget sigma db
+    | Some dir ->
+      (* Durable mid-request progress: the chain is keyed on the request
+         content, so the retry ladder (and a restarted server receiving
+         the same request again) resumes the chase instead of refiring it
+         from the input.  The chain is kept only across transient-fault
+         retries; any terminal response removes it. *)
+      let name =
+        "req-"
+        ^ Digest.to_hex
+            (Digest.string (tgds_src ^ "\x00" ^ get_string "facts" req))
+      in
+      let log = Chase.log_config ~dir ~name () in
+      let resume =
+        match Chase.load_log log with
+        | Ok v ->
+          Option.iter
+            (fun r ->
+              List.iter
+                (fun w -> Fmt.epr "serve: checkpoint warning: %s@." w)
+                r.Chase.rz_warnings)
+            v;
+          v
+        | Error _ ->
+          (* self-heal: a request checkpoint with no verifiable base is
+             recoverable state, not client data — drop it and start over *)
+          Tgd_engine.Delta_log.remove log;
+          None
+      in
+      let r =
+        Chase.restricted_resumable ~budget ~every:config.checkpoint_every
+          ~log ?resume sigma db
+      in
+      (match r.Chase.outcome with
+      | Chase.Truncated (Budget.Fault _) -> ()
+      | Chase.Truncated _ ->
+        (* deterministic exhaustion: the truncated response is terminal,
+           so the chain must not leak onto the next identical request *)
+        Tgd_engine.Delta_log.remove log
+      | Chase.Terminated -> ());
+      r
+  in
   (match r.Chase.outcome with
   | Chase.Truncated (Budget.Fault site) -> raise (Transient site)
   | _ -> ());

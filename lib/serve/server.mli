@@ -31,11 +31,24 @@ type config = {
   max_line_bytes : int;
       (** request lines longer than this are answered with a typed
           [request_too_large] error instead of buffered without bound *)
+  checkpoint_dir : string option;
+      (** persist per-request chase progress as incremental delta chains
+          under this directory ({!Tgd_chase.Chase.restricted_resumable}),
+          keyed on the request content — a transient-fault retry (or a
+          restarted server receiving the same request) resumes the chase
+          mid-request instead of refiring from the input.  Terminal
+          responses remove the chain; an unverifiable one is dropped and
+          the request starts over (self-heal — a request checkpoint is
+          recoverable state, not client data).  [None] (default): chases
+          run in memory only. *)
+  checkpoint_every : int;
+      (** committed chase rounds per delta record (default 8); only
+          meaningful with [checkpoint_dir] set *)
 }
 
 val default_config : config
 (** 64 rounds, 20_000 facts, no deadline, 3 retries, 10 ms base backoff,
-    queue limit 64, 1 MiB line cap. *)
+    queue limit 64, 1 MiB line cap, no checkpointing. *)
 
 val request_id : Json.t -> Json.t
 (** The request's [id] field, or [Null] — echoed in every response.
