@@ -151,6 +151,12 @@ let median xs =
   Array.sort Float.compare a;
   a.(Array.length a / 2)
 
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let rewrite_table name algo inputs =
   row "%-26s %-6s %-10s %-10s %-28s %-8s@." name "k" "enum" "entailed" "outcome" "time(s)";
   List.iter
@@ -1048,15 +1054,126 @@ let e14 ~reps () =
               ?config:(Some Rewrite.{ (rewrite_config 8 8) with analyze })
               (Families.fg_unrewritable 1))));
 
+  section "E14  termination lattice: certified sets beyond the WA/JA baseline";
+  let module Lattice = Tgd_analysis.Lattice in
+  let module Termination = Tgd_analysis.Termination in
+  let module Cert = Tgd_analysis.Cert in
+  let module Certcheck = Tgd_analysis.Certcheck in
+  (* tight caps make the whole-set critical chase exhaust while each
+     stratum still certifies — the stratified tier's reason to exist *)
+  let strat_limits = { Lattice.default_limits with Lattice.facts = 6 } in
+  let parse_fixture path =
+    if Sys.file_exists path then
+      match Tgd_parse.Parse.tgds (read_whole_file path) with
+      | Ok sigma when sigma <> [] -> Some sigma
+      | Ok _ | Error _ -> None
+    else None
+  in
+  let named =
+    [ ("tc (full)", Families.transitive_closure, None, true);
+      ("exist_chain(6)", Families.existential_chain 6, None, true);
+      ( "ja_swap",
+        Tgd_parse.Parse.tgds_exn "A(x,y), A(y,x) -> exists z. A(x,z).",
+        None,
+        true );
+      ( "msa_wins",
+        Tgd_parse.Parse.tgds_exn
+          "S(x) -> exists z. T(x,z). T(x,y) -> T(y,x). T(y,y) -> S(y).",
+        None,
+        true );
+      ( "strat_pair (tight budget)",
+        Tgd_parse.Parse.tgds_exn
+          "S1(x) -> exists z. T1(x,z). T1(x,y) -> T1(y,x). T1(y,y) -> S1(y). \
+           S2(x) -> exists z. T2(x,z). T2(x,y) -> T2(y,x). T2(y,y) -> S2(y).",
+        Some strat_limits,
+        true );
+      ( "divergent",
+        Tgd_parse.Parse.tgds_exn "E(x,y) -> exists z. E(y,z).",
+        None,
+        false )
+    ]
+    @ List.filter_map
+        (fun path ->
+          Option.map
+            (fun sigma -> (Filename.basename path, sigma, None, true))
+            (parse_fixture path))
+        [ "data/gen_layered_6x2.dlp";
+          "data/gen_layered_16x4.dlp";
+          "data/gen_layered_exist_8x3.dlp"
+        ]
+  in
+  row "%-28s %-10s %-26s %-8s %10s@." "fixture" "baseline" "lattice notion"
+    "checker" "time(s)";
+  let lat_entries = Buffer.create 1024 in
+  let first_l = ref true in
+  let n_baseline = ref 0
+  and n_lattice = ref 0
+  and n_lattice_only = ref 0
+  and checker_fail = ref 0
+  and mis_baseline = ref 0
+  and mis_lattice = ref 0 in
+  List.iter
+    (fun (name, sigma, limits, terminating) ->
+      let baseline = Termination.certificate sigma <> None in
+      let cls, t =
+        time_it (fun () -> Lattice.classify ?limits sigma)
+      in
+      let notion =
+        match cls with
+        | Some (n, _) -> Termination.cert_name n
+        | None -> "none"
+      in
+      let checker =
+        match cls with
+        | None -> "n/a"
+        | Some (_, cert) -> (
+          match Certcheck.verify sigma (Cert.to_string sigma cert) with
+          | Ok _ -> "pass"
+          | Error _ ->
+            incr checker_fail;
+            "FAIL")
+      in
+      let certified = cls <> None in
+      if baseline then incr n_baseline;
+      if certified then incr n_lattice;
+      if certified && not baseline then incr n_lattice_only;
+      (* admission misclassification: a terminating set labeled Expensive
+         (or a diverging one labeled Moderate) sends the request down the
+         wrong path *)
+      if terminating <> baseline then incr mis_baseline;
+      if terminating <> certified then incr mis_lattice;
+      row "%-28s %-10b %-26s %-8s %10.4f@." name baseline notion checker t;
+      if not !first_l then Buffer.add_string lat_entries ",\n";
+      first_l := false;
+      Buffer.add_string lat_entries
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"terminating\": %b, \
+            \"baseline_certified\": %b, \"lattice_certified\": %b, \
+            \"notion\": \"%s\", \"checker_pass\": %b, \"time_s\": %.6f}"
+           name terminating baseline certified notion
+           (checker <> "FAIL") t))
+    named;
+  row "certified: baseline %d, lattice %d (lattice-only %d); admission \
+       misclassified: baseline %d, lattice %d@."
+    !n_baseline !n_lattice !n_lattice_only !mis_baseline !mis_lattice;
+
   let oc = open_out "BENCH_analysis.json" in
   Printf.fprintf oc
     "{\n  \"benchmark\": \"static_analysis\",\n  \"repetitions\": %d,\n\
     \  \"overhead_target_pct\": 5.0,\n  \"rewrite\": [\n%s\n  ],\n\
-    \  \"promotion\": [\n%s\n  ],\n  \"overhead\": [\n%s\n  ]\n}\n"
+    \  \"promotion\": [\n%s\n  ],\n  \"overhead\": [\n%s\n  ],\n\
+    \  \"lattice\": [\n%s\n  ],\n\
+    \  \"lattice_summary\": {\"baseline_certified\": %d, \
+     \"lattice_certified\": %d, \"lattice_only\": %d, \
+     \"checker_failures\": %d, \"misclassified_baseline\": %d, \
+     \"misclassified_lattice\": %d}\n}\n"
     reps
     (Buffer.contents entries)
     (Buffer.contents promo_entries)
-    (Buffer.contents ov_entries);
+    (Buffer.contents ov_entries)
+    (Buffer.contents lat_entries)
+    !n_baseline !n_lattice !n_lattice_only !checker_fail !mis_baseline
+    !mis_lattice;
   close_out oc;
   row "@.BENCH_analysis.json written@."
 

@@ -735,7 +735,23 @@ let analyze_cmd =
     :: Cmd.Exit.info 2 ~doc:"error-severity diagnostics were reported."
     :: Cmd.Exit.defaults
   in
-  let run path json deep =
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Print every termination-lattice notion's verdict with its \
+                refutation, not just the strongest certificate.")
+  in
+  let emit_cert_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-cert" ] ~docv:"FILE"
+          ~doc:"Write the proof-carrying termination certificate (tgdcert \
+                v1) to $(docv); verify it independently with $(b,tgdtool \
+                certcheck).  Fails when the set did not certify.")
+  in
+  let run path json deep explain emit_cert =
     let prog = parse_program_file path in
     let tgds = prog.Tgd_parse.Parse.tgds in
     let oracle =
@@ -747,17 +763,72 @@ let analyze_cmd =
     in
     let report = Tgd_analysis.Analyze.run ?oracle tgds in
     if json then print_endline (Tgd_analysis.Analyze.to_json report)
-    else Fmt.pr "%a@." Tgd_analysis.Analyze.pp report;
+    else begin
+      Fmt.pr "%a@." Tgd_analysis.Analyze.pp report;
+      if explain then Fmt.pr "%a@." Tgd_analysis.Analyze.pp_explain report
+    end;
+    (match emit_cert with
+    | None -> ()
+    | Some file -> (
+      match Tgd_analysis.Analyze.certificate report with
+      | Some cert ->
+        Tgd_analysis.Cert.to_file file tgds cert;
+        Fmt.epr "certificate written to %s@." file
+      | None ->
+        Fmt.epr "no certificate to emit: the set did not certify@.";
+        exit 2));
     let code = Tgd_analysis.Analyze.exit_code report in
     if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "analyze" ~exits:analyze_exits
        ~doc:"Static analysis of a rule set: predicate dependency graph, \
-             chase-termination certificates (weak/joint acyclicity with \
-             cycle witnesses), and rule lints.  Exit code 0 when clean, 1 \
-             with warnings, 2 with errors.")
-    Term.(const run $ ontology_arg $ json_arg $ deep_arg)
+             the chase-termination lattice (weak/joint/super-weak \
+             acyclicity, critical-instance MSA/MFA, stratified \
+             composition — with witnesses), and rule lints.  Exit code 0 \
+             when clean, 1 with warnings, 2 with errors.")
+    Term.(
+      const run $ ontology_arg $ json_arg $ deep_arg $ explain_arg
+      $ emit_cert_arg)
+
+(* ---- certcheck ---- *)
+
+let certcheck_cmd =
+  let cert_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CERT" ~doc:"Certificate file (tgdcert v1).")
+  in
+  let certcheck_exits =
+    Cmd.Exit.info 2
+      ~doc:"the certificate was rejected: malformed, bound to a different \
+            rule set, or its witness fails verification."
+    :: Cmd.Exit.defaults
+  in
+  let run path cert_path =
+    let sigma = parse_tgds_file path in
+    let ic = open_in_bin cert_path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Tgd_analysis.Certcheck.verify sigma text with
+    | Ok notion ->
+      Fmt.pr "certificate verified: %a@." Tgd_analysis.Termination.pp_cert
+        notion
+    | Error reason ->
+      Fmt.epr "certificate rejected: %s@." reason;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "certcheck" ~exits:certcheck_exits
+       ~doc:"Independently verify a proof-carrying termination certificate \
+             (written by $(b,tgdtool analyze --emit-cert)) against a rule \
+             set.  The checker shares no verification code with the \
+             analysis that produced the certificate.")
+    Term.(const run $ ontology_arg $ cert_arg)
 
 (* ---- checkpoint ---- *)
 
@@ -1244,7 +1315,7 @@ let main =
        ~doc:"Model-theoretic characterizations of rule-based ontologies (PODS'21) — toolkit.")
     [ classify_cmd; chase_cmd; entails_cmd; rewrite_cmd; properties_cmd;
       synthesize_cmd; count_cmd; diagnose_cmd; theory_cmd; datalog_cmd;
-      core_cmd; acyclic_cmd; refute_cmd; analyze_cmd; checkpoint_cmd;
-      serve_cmd; loadgen_cmd; workload_cmd ]
+      core_cmd; acyclic_cmd; refute_cmd; analyze_cmd; certcheck_cmd;
+      checkpoint_cmd; serve_cmd; loadgen_cmd; workload_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -82,4 +82,4 @@ let () =
 
   (* the ontology is weakly acyclic, so all of the above is exact *)
   Fmt.pr "@.Weakly acyclic (chase guaranteed to terminate): %b@."
-    (Tgd_chase.Weak_acyclicity.is_weakly_acyclic sigma)
+    (Tgd_analysis.Termination.is_weakly_acyclic sigma)

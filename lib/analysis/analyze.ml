@@ -3,6 +3,7 @@ open Tgd_syntax
 type report = {
   n_rules : int;
   strategy : Strategy.t;
+  lattice : Lattice.profile;
   wa_witness : Termination.wa_witness option;
   ja_witness : Termination.ja_witness option;
   sccs : Relation.t list list;
@@ -49,13 +50,28 @@ let termination_diagnostics strategy wa_witness =
       | None -> ""
     in
     [ Diagnostic.make Diagnostic.Warning ~code:"no-termination-certificate"
-        ("chase termination could not be certified; budgeted results stay \
-          truncated" ^ detail)
+        ("chase termination could not be certified anywhere in the lattice; \
+          budgeted results stay truncated" ^ detail)
     ]
 
 let run ?oracle sigma =
   let g = Depgraph.make sigma in
-  let strategy = Strategy.decide sigma in
+  let lattice = Lattice.profile sigma in
+  (* the strategy consumes the lattice verdict directly rather than
+     re-running the deep classification *)
+  let strategy =
+    let shallow = Strategy.decide sigma in
+    match (shallow.Strategy.cert, lattice.Lattice.certified) with
+    | None, Some (cert, _) ->
+      { shallow with
+        Strategy.cert = Some cert;
+        engine =
+          (match shallow.Strategy.engine with
+          | Strategy.Budgeted_chase -> Strategy.Chase_to_completion
+          | e -> e)
+      }
+    | _ -> shallow
+  in
   let wa_witness = Termination.weak_acyclicity_witness sigma in
   let ja_witness = Termination.jointly_acyclic_witness sigma in
   let sccs = Depgraph.sccs g in
@@ -72,6 +88,7 @@ let run ?oracle sigma =
   in
   { n_rules = List.length sigma;
     strategy;
+    lattice;
     wa_witness;
     ja_witness;
     sccs;
@@ -79,6 +96,8 @@ let run ?oracle sigma =
     dead_rules = dead;
     diagnostics
   }
+
+let certificate r = Option.map snd r.lattice.Lattice.certified
 
 let exit_code r = Diagnostic.exit_code r.diagnostics
 
@@ -97,6 +116,40 @@ let pp ppf r =
       Fmt.(list ~sep:cut Diagnostic.pp)
       r.diagnostics
 
+let pp_explain ppf r =
+  Fmt.pf ppf "@[<v>termination lattice:@,%a" Lattice.pp_profile r.lattice;
+  (match r.lattice.Lattice.strata with
+  | [] | [ _ ] -> ()
+  | strata ->
+    Fmt.pf ppf "@,strata: %a"
+      Fmt.(list ~sep:(any " | ") (list ~sep:(any ",") int))
+      strata);
+  Fmt.pf ppf "@]"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let verdict_json v =
+  match Lattice.verdict_detail v with
+  | None -> Printf.sprintf "{\"verdict\":\"%s\"}" (Lattice.verdict_name v)
+  | Some d ->
+    Printf.sprintf "{\"verdict\":\"%s\",\"detail\":\"%s\"}"
+      (Lattice.verdict_name v) (json_escape d)
+
+(* Schema version 2: version 1 had no [schema_version] key and no
+   [lattice] object; every v1 key keeps its meaning, [certificate] now
+   reports the strongest lattice notion rather than only WA/JA. *)
 let to_json r =
   let buf = Buffer.create 512 in
   let classes =
@@ -104,14 +157,32 @@ let to_json r =
     |> List.map (fun c -> "\"" ^ Tgd_class.cls_name c ^ "\"")
     |> String.concat ","
   in
+  let p = r.lattice in
+  let strata_json =
+    p.Lattice.strata
+    |> List.map (fun s ->
+           "[" ^ String.concat "," (List.map string_of_int s) ^ "]")
+    |> String.concat ","
+  in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"rules\":%d,\"engine\":\"%s\",\"certificate\":%s,\"classes\":[%s],\"sccs\":%d,\"strata_depth\":%d,\"dead_rules\":[%s],\"exit_code\":%d,\"diagnostics\":["
+       "{\"schema_version\":2,\"rules\":%d,\"engine\":\"%s\",\"certificate\":%s,"
        r.n_rules
        (Strategy.engine_name r.strategy.Strategy.engine)
        (match r.strategy.Strategy.cert with
        | Some c -> "\"" ^ Termination.cert_name c ^ "\""
-       | None -> "null")
+       | None -> "null"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"lattice\":{\"weak\":%s,\"joint\":%s,\"super_weak\":%s,\"msa\":%s,\"mfa\":%s,\"stratified\":%s,\"strata\":[%s]},"
+       (verdict_json p.Lattice.wa) (verdict_json p.Lattice.ja)
+       (verdict_json p.Lattice.swa) (verdict_json p.Lattice.msa)
+       (verdict_json p.Lattice.mfa)
+       (verdict_json p.Lattice.stratification)
+       strata_json);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"classes\":[%s],\"sccs\":%d,\"strata_depth\":%d,\"dead_rules\":[%s],\"exit_code\":%d,\"diagnostics\":["
        classes (List.length r.sccs) r.strata_depth
        (String.concat "," (List.map string_of_int r.dead_rules))
        (exit_code r));

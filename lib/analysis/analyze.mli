@@ -1,9 +1,10 @@
 (** The multi-pass analysis driver.
 
-    [run sigma] executes every static pass — dependency graph, termination
-    certificates, rule lints, strategy selection — and returns one report.
-    The optional [oracle] enables the (chase-backed, hence comparatively
-    expensive) subsumption lint; callers above the chase layer inject
+    [run sigma] executes every static pass — dependency graph, the full
+    termination lattice ({!Lattice.profile}), rule lints, strategy
+    selection — and returns one report.  The optional [oracle] enables
+    the (chase-backed, hence comparatively expensive) subsumption lint;
+    callers above the chase layer inject
     [fun rest s -> Entailment.entails rest s = Proved]. *)
 
 open Tgd_syntax
@@ -11,6 +12,12 @@ open Tgd_syntax
 type report = {
   n_rules : int;
   strategy : Strategy.t;
+      (** the shallow strategy upgraded with the lattice verdict: a set
+          certified only by a chase-based notion still selects
+          {!Strategy.Chase_to_completion} *)
+  lattice : Lattice.profile;
+      (** every lattice notion evaluated independently — the
+          [--explain] view *)
   wa_witness : Termination.wa_witness option;
       (** present exactly when the set is not weakly acyclic *)
   ja_witness : Termination.ja_witness option;
@@ -23,6 +30,10 @@ type report = {
 
 val run : ?oracle:(Tgd.t list -> Tgd.t -> bool) -> Tgd.t list -> report
 
+val certificate : report -> Cert.t option
+(** The proof-carrying certificate behind the lattice verdict, when the
+    set certified — render with {!Cert.to_string} / {!Cert.to_file}. *)
+
 val exit_code : report -> int
 (** [Diagnostic.exit_code] of the report's diagnostics: 0 clean, 1 warnings,
     2 errors. *)
@@ -31,6 +42,12 @@ val pp : report Fmt.t
 (** Human-readable multi-line rendering (the [tgdtool analyze] text
     output). *)
 
+val pp_explain : report Fmt.t
+(** The per-notion lattice verdicts with their refutations — the
+    [tgdtool analyze --explain] addendum. *)
+
 val to_json : report -> string
-(** Single-line JSON object with the summary fields and the diagnostics
-    array; stable key order. *)
+(** Single-line JSON object, [schema_version] 2: the v1 summary fields
+    and diagnostics array plus a [lattice] object with one
+    [{"verdict", "detail"?}] entry per notion and the stratum partition.
+    Stable key order. *)

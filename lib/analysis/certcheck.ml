@@ -1,0 +1,948 @@
+open Tgd_syntax
+
+(* The independent certificate checker.
+
+   Shares exactly two things with the certificate producers: the rule
+   syntax (the rules are the checker's own input, not part of the claim)
+   and the [tgdcert v1] wire format, re-parsed here from scratch.  All
+   verification machinery is deliberately disjoint: where the producers
+   detect cycles with gray/black DFS, the checker uses Kahn's algorithm
+   and Kosaraju condensation; where the place graph unifies with a
+   triangular substitution, the checker substitutes eagerly; model
+   closure is checked with a naive relation-indexed join rather than the
+   semi-naive engine.
+
+   Witnesses are allowed to over-approximate (a bigger claimed graph or
+   movement set only adds constraints), but they must contain everything
+   the checker re-derives, be closed, and still pass the acyclicity
+   check — so a passing certificate is sound even from a dishonest
+   producer. *)
+
+exception Reject of string
+
+let reject fmt = Fmt.kstr (fun s -> raise (Reject s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Wire-format parsing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let int_of tok =
+  match int_of_string_opt tok with
+  | Some i -> i
+  | None -> reject "malformed integer %S" tok
+
+let const_of tok =
+  if String.length tok < 3 || tok.[1] <> ':' then
+    reject "malformed constant token %S" tok
+  else
+    let body = String.sub tok 2 (String.length tok - 2) in
+    match tok.[0] with
+    | 'n' -> Constant.named body
+    | 'i' -> Constant.indexed (int_of body)
+    | 'N' -> Constant.null (int_of body)
+    | _ -> reject "malformed constant token %S" tok
+
+(* [R:3] — split on the last colon so relation names may contain one. *)
+let relpos_of tok =
+  match String.rindex_opt tok ':' with
+  | None -> reject "malformed position token %S" tok
+  | Some i ->
+    ( String.sub tok 0 i,
+      int_of (String.sub tok (i + 1) (String.length tok - i - 1)) )
+
+type parsed =
+  | P_weak of (string * int * string * int * bool) list
+  | P_joint of (int * string * (string * int) list) list
+  | P_superweak of (int * (int * int * int) list) list
+  | P_msa of Fact.t list
+  | P_mfa of Fact.t list * (Constant.t * (int * string * Constant.t list)) list
+  | P_stratified of int list list * parsed list
+
+(* Payload parser over a cursor into the line array; recursive for the
+   stratified sub-blocks, which end at [endsub] (nested) or [end] (top). *)
+let rec parse_payload lines pos =
+  let line () =
+    if !pos >= Array.length lines then reject "truncated certificate"
+    else begin
+      let l = lines.(!pos) in
+      incr pos;
+      l
+    end
+  in
+  let peek () =
+    if !pos >= Array.length lines then None else Some lines.(!pos)
+  in
+  let notion =
+    match split_ws (line ()) with
+    | [ "notion"; n ] -> n
+    | _ -> reject "expected a notion line"
+  in
+  let finished () =
+    match peek () with
+    | None -> true
+    | Some l -> (
+      match split_ws l with
+      | [ "end" ] | [ "endsub" ] | "sub" :: _ -> true
+      | _ -> false)
+  in
+  let fact_of = function
+    | "fact" :: rel :: toks when toks <> [] ->
+      let args = List.map const_of toks in
+      Fact.make (Relation.make rel (List.length args)) args
+    | _ -> reject "malformed fact line"
+  in
+  match notion with
+  | "weak" ->
+    let edges = ref [] in
+    while not (finished ()) do
+      match split_ws (line ()) with
+      | [ "edge"; r1; p1; r2; p2; kind ] ->
+        let special =
+          match kind with
+          | "special" -> true
+          | "regular" -> false
+          | _ -> reject "edge kind must be special|regular, got %S" kind
+        in
+        edges := (r1, int_of p1, r2, int_of p2, special) :: !edges
+      | _ -> reject "malformed weak-acyclicity edge line"
+    done;
+    P_weak (List.rev !edges)
+  | "joint" ->
+    let movs = ref [] in
+    while not (finished ()) do
+      match split_ws (line ()) with
+      | "mov" :: rule :: exvar :: toks ->
+        movs := (int_of rule, exvar, List.map relpos_of toks) :: !movs
+      | _ -> reject "malformed movement line"
+    done;
+    P_joint (List.rev !movs)
+  | "superweak" ->
+    let moves = ref [] in
+    while not (finished ()) do
+      match split_ws (line ()) with
+      | "move" :: rule :: toks ->
+        let place tok =
+          match String.split_on_char ':' tok with
+          | [ r; a; p ] -> (int_of r, int_of a, int_of p)
+          | _ -> reject "malformed place token %S" tok
+        in
+        moves := (int_of rule, List.map place toks) :: !moves
+      | _ -> reject "malformed move line"
+    done;
+    P_superweak (List.rev !moves)
+  | "msa" ->
+    let facts = ref [] in
+    while not (finished ()) do
+      facts := fact_of (split_ws (line ())) :: !facts
+    done;
+    P_msa (List.rev !facts)
+  | "mfa" ->
+    let facts = ref [] and creation = ref [] in
+    while not (finished ()) do
+      match split_ws (line ()) with
+      | "fact" :: _ as l -> facts := fact_of l :: !facts
+      | "null" :: c :: rule :: exvar :: args ->
+        creation :=
+          (const_of c, (int_of rule, exvar, List.map const_of args))
+          :: !creation
+      | _ -> reject "malformed mfa line"
+    done;
+    P_mfa (List.rev !facts, List.rev !creation)
+  | "stratified" ->
+    let strata = ref [] in
+    let more_strata = ref true in
+    while !more_strata do
+      match peek () with
+      | Some l when split_ws l <> [] && List.hd (split_ws l) = "stratum" ->
+        (match split_ws (line ()) with
+        | "stratum" :: toks -> strata := List.map int_of toks :: !strata
+        | _ -> assert false)
+      | _ -> more_strata := false
+    done;
+    let subs = ref [] in
+    let more_subs = ref true in
+    while !more_subs do
+      match peek () with
+      | Some l when split_ws l <> [] && List.hd (split_ws l) = "sub" ->
+        ignore (line ());
+        subs := parse_payload lines pos :: !subs;
+        (match split_ws (line ()) with
+        | [ "endsub" ] -> ()
+        | _ -> reject "sub-certificate not closed by endsub")
+      | _ -> more_subs := false
+    done;
+    P_stratified (List.rev !strata, List.rev !subs)
+  | n -> reject "unknown notion %S" n
+
+let parse text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+    |> Array.of_list
+  in
+  if Array.length lines < 3 then reject "truncated certificate";
+  (match split_ws lines.(0) with
+  | [ "tgdcert"; "v1" ] -> ()
+  | _ -> reject "not a tgdcert v1 file");
+  let n, digest =
+    match split_ws lines.(1) with
+    | [ "rules"; n; d ] -> (int_of n, d)
+    | _ -> reject "missing rules binding line"
+  in
+  let pos = ref 2 in
+  let payload = parse_payload lines pos in
+  (match split_ws lines.(!pos) with
+  | [ "end" ] -> ()
+  | _ -> reject "certificate not closed by end");
+  (n, digest, payload)
+
+(* ------------------------------------------------------------------ *)
+(* Checker-side graph algorithms                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Kahn's topological sort as an acyclicity test over integer nodes. *)
+let kahn_acyclic ~n edges =
+  let indeg = Array.make n 0 in
+  let succs = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      succs.(a) <- b :: succs.(a);
+      indeg.(b) <- indeg.(b) + 1)
+    edges;
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr processed;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      succs.(v)
+  done;
+  !processed = n
+
+(* Kosaraju's SCC numbering: [scc.(v) = scc.(w)] iff [v] and [w] lie on a
+   common cycle (or are equal). *)
+let kosaraju ~n edges =
+  let succs = Array.make n [] and preds = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      succs.(a) <- b :: succs.(a);
+      preds.(b) <- a :: preds.(b))
+    edges;
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec pass1 v =
+    if not visited.(v) then begin
+      visited.(v) <- true;
+      List.iter pass1 succs.(v);
+      order := v :: !order
+    end
+  in
+  for v = 0 to n - 1 do
+    pass1 v
+  done;
+  let comp = Array.make n (-1) in
+  let rec pass2 c v =
+    if comp.(v) = -1 then begin
+      comp.(v) <- c;
+      List.iter (pass2 c) preds.(v)
+    end
+  in
+  let c = ref 0 in
+  List.iter
+    (fun v ->
+      if comp.(v) = -1 then begin
+        pass2 !c v;
+        incr c
+      end)
+    !order;
+  comp
+
+(* ------------------------------------------------------------------ *)
+(* Shared rule views (checker-side)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let var_positions atoms v =
+  List.concat_map
+    (fun a ->
+      Array.to_list (Atom.args_arr a)
+      |> List.mapi (fun i t -> (i, t))
+      |> List.filter_map (fun (i, t) ->
+             match t with
+             | Term.Var w when Variable.equal v w ->
+               Some (Relation.name (Atom.rel a), i)
+             | Term.Var _ | Term.Const _ -> None))
+    atoms
+
+let existentials_of tgd = Variable.Set.elements (Tgd.existential_vars tgd)
+let frontier_of tgd = Variable.Set.elements (Tgd.frontier tgd)
+
+(* ------------------------------------------------------------------ *)
+(* Weak acyclicity                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let derive_wa_edges sigma =
+  List.concat_map
+    (fun tgd ->
+      let ex_pos =
+        List.concat_map (var_positions (Tgd.head tgd)) (existentials_of tgd)
+      in
+      List.concat_map
+        (fun x ->
+          let srcs = var_positions (Tgd.body tgd) x in
+          List.concat_map
+            (fun src ->
+              List.map
+                (fun tgt -> (src, tgt, false))
+                (var_positions (Tgd.head tgd) x)
+              @ List.map (fun tgt -> (src, tgt, true)) ex_pos)
+            srcs)
+        (frontier_of tgd))
+    sigma
+
+let check_weak sigma claimed =
+  let mem (r1, p1) (r2, p2) special =
+    List.exists
+      (fun (cr1, cp1, cr2, cp2, cs) ->
+        cr1 = r1 && cp1 = p1 && cr2 = r2 && cp2 = p2
+        && (cs = special || (cs && not special)))
+      claimed
+    (* a regular edge claimed as special only strengthens the check *)
+  in
+  List.iter
+    (fun (src, tgt, special) ->
+      if not (mem src tgt special) then
+        reject "claimed graph omits the %s edge %s[%d] -> %s[%d]"
+          (if special then "special" else "regular")
+          (fst src) (snd src) (fst tgt) (snd tgt))
+    (derive_wa_edges sigma);
+  (* no special edge inside one strongly connected component *)
+  let nodes = Hashtbl.create 32 in
+  let node (r, p) =
+    let key = Printf.sprintf "%s/%d" r p in
+    match Hashtbl.find_opt nodes key with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length nodes in
+      Hashtbl.add nodes key i;
+      i
+  in
+  let edges =
+    List.map (fun (r1, p1, r2, p2, _) -> (node (r1, p1), node (r2, p2))) claimed
+  in
+  let comp = kosaraju ~n:(Hashtbl.length nodes) edges in
+  List.iter
+    (fun (r1, p1, r2, p2, special) ->
+      if special && comp.(node (r1, p1)) = comp.(node (r2, p2)) then
+        reject "special edge %s[%d] -> %s[%d] lies on a cycle" r1 p1 r2 p2)
+    claimed
+
+(* ------------------------------------------------------------------ *)
+(* Joint acyclicity                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_joint sigma claimed =
+  let rules = Array.of_list sigma in
+  let mov i y =
+    match
+      List.find_opt (fun (r, z, _) -> r = i && z = Variable.name y) claimed
+    with
+    | Some (_, _, m) -> m
+    | None ->
+      reject "movement set for existential %s of rule %d missing"
+        (Variable.name y) i
+  in
+  let subset a b = List.for_all (fun p -> List.mem p b) a in
+  let nodes =
+    List.concat
+      (List.mapi (fun i tgd -> List.map (fun y -> (i, y)) (existentials_of tgd))
+         sigma)
+  in
+  (* seed containment and closure of every claimed set *)
+  List.iter
+    (fun (i, y) ->
+      let m = mov i y in
+      if not (subset (var_positions (Tgd.head rules.(i)) y) m) then
+        reject "Mov(%s) of rule %d misses the variable's own head positions"
+          (Variable.name y) i;
+      Array.iteri
+        (fun j r ->
+          Variable.Set.iter
+            (fun x ->
+              let bpos = var_positions (Tgd.body r) x in
+              if subset bpos m && not (subset (var_positions (Tgd.head r) x) m)
+              then
+                reject
+                  "Mov(%s) of rule %d is not closed under frontier variable \
+                   %s of rule %d"
+                  (Variable.name y) i (Variable.name x) j)
+            (Tgd.frontier r))
+        rules)
+    nodes;
+  (* the induced existential graph, recomputed from the claimed sets *)
+  let idx = List.mapi (fun k n -> (n, k)) nodes in
+  let node_id n =
+    List.assoc_opt n idx |> function Some k -> k | None -> assert false
+  in
+  let edges =
+    List.concat_map
+      (fun (i, y) ->
+        let m = mov i y in
+        List.filter_map
+          (fun (j, z) ->
+            if
+              Variable.Set.exists
+                (fun x -> subset (var_positions (Tgd.body rules.(j)) x) m)
+                (Tgd.frontier rules.(j))
+            then Some (node_id (i, y), node_id (j, z))
+            else None)
+          nodes)
+      nodes
+  in
+  if not (kahn_acyclic ~n:(List.length nodes) edges) then
+    reject "claimed movement sets induce a cyclic existential graph"
+
+(* ------------------------------------------------------------------ *)
+(* Super-weak acyclicity                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Checker-side skolemized terms: eager-substitution unification, unlike
+   the producer's triangular walk/occurs machinery. *)
+type cterm =
+  | CVar of int * string
+  | CFun of string * cterm list
+
+let rec csubst key v t =
+  match t with
+  | CVar (ns, x) -> if (ns, x) = key then v else t
+  | CFun (f, args) -> CFun (f, List.map (csubst key v) args)
+
+let rec coccurs key = function
+  | CVar (ns, x) -> (ns, x) = key
+  | CFun (_, args) -> List.exists (coccurs key) args
+
+let rec cunify eqs =
+  match eqs with
+  | [] -> true
+  | (CVar (n1, x1), CVar (n2, x2)) :: rest when (n1, x1) = (n2, x2) ->
+    cunify rest
+  | (CVar (ns, x), t) :: rest | (t, CVar (ns, x)) :: rest ->
+    (not (coccurs (ns, x) t))
+    && cunify
+         (List.map
+            (fun (a, b) -> (csubst (ns, x) t a, csubst (ns, x) t b))
+            rest)
+  | (CFun (f, a1), CFun (g, a2)) :: rest ->
+    String.equal f g
+    && List.length a1 = List.length a2
+    && cunify (List.combine a1 a2 @ rest)
+
+let sk_head_atom rule_idx tgd atom =
+  let frontier = frontier_of tgd in
+  let ex = Tgd.existential_vars tgd in
+  Array.map
+    (fun t ->
+      match t with
+      | Term.Const c -> CFun ("const:" ^ Constant.to_string c, [])
+      | Term.Var v ->
+        if Variable.Set.mem v ex then
+          CFun
+            ( Printf.sprintf "f%d_%s" rule_idx (Variable.name v),
+              List.map (fun x -> CVar (0, Variable.name x)) frontier )
+        else CVar (0, Variable.name v))
+    (Atom.args_arr atom)
+
+let body_atom_terms atom =
+  Array.map
+    (fun t ->
+      match t with
+      | Term.Const c -> CFun ("const:" ^ Constant.to_string c, [])
+      | Term.Var v -> CVar (1, Variable.name v))
+    (Atom.args_arr atom)
+
+let check_superweak sigma claimed =
+  let rules = Array.of_list sigma in
+  let n = Array.length rules in
+  let body_atoms = Array.map (fun t -> Array.of_list (Tgd.body t)) rules in
+  let head_atoms = Array.map (fun t -> Array.of_list (Tgd.head t)) rules in
+  let head_sk =
+    Array.mapi
+      (fun i t -> Array.map (sk_head_atom i t) head_atoms.(i))
+      rules
+  in
+  let body_sk = Array.map (Array.map body_atom_terms) body_atoms in
+  let valid_head (r, a, p) =
+    r >= 0 && r < n
+    && a >= 0
+    && a < Array.length head_atoms.(r)
+    && p >= 0
+    && p < Atom.arity head_atoms.(r).(a)
+  in
+  let move i =
+    match List.find_opt (fun (r, _) -> r = i) claimed with
+    | Some (_, places) ->
+      List.iter
+        (fun pl ->
+          if not (valid_head pl) then
+            reject "move set of rule %d claims an out-of-range head place" i)
+        places;
+      places
+    | None -> reject "move set for rule %d missing" i
+  in
+  (* does the head place support the body place?  same relation and
+     position, and the skolemized atoms unify *)
+  let supports (hr, ha, hp) (br, ba, bp) =
+    hp = bp
+    && Relation.equal
+         (Atom.rel head_atoms.(hr).(ha))
+         (Atom.rel body_atoms.(br).(ba))
+    && cunify
+         (List.combine
+            (Array.to_list head_sk.(hr).(ha))
+            (Array.to_list body_sk.(br).(ba)))
+  in
+  let places_of atoms rule v =
+    List.concat_map
+      (fun (ai, a) ->
+        Array.to_list (Atom.args_arr a)
+        |> List.mapi (fun p t -> (p, t))
+        |> List.filter_map (fun (p, t) ->
+               match t with
+               | Term.Var w when Variable.equal v w -> Some (rule, ai, p)
+               | Term.Var _ | Term.Const _ -> None))
+      (Array.to_list (Array.mapi (fun ai a -> (ai, a)) atoms))
+  in
+  for i = 0 to n - 1 do
+    let m = move i in
+    (* seed: the existential head places of rule i *)
+    List.iter
+      (fun z ->
+        List.iter
+          (fun pl ->
+            if not (List.mem pl m) then
+              reject
+                "move set of rule %d misses a head place of its existential %s"
+                i (Variable.name z))
+          (places_of head_atoms.(i) i z))
+      (existentials_of rules.(i));
+    (* closure under every rule's universal variables *)
+    for j = 0 to n - 1 do
+      Variable.Set.iter
+        (fun v ->
+          let bp = places_of body_atoms.(j) j v in
+          if
+            bp <> []
+            && List.for_all (fun b -> List.exists (fun h -> supports h b) m) bp
+          then
+            List.iter
+              (fun hp ->
+                if not (List.mem hp m) then
+                  reject
+                    "move set of rule %d is not closed under variable %s of \
+                     rule %d"
+                    i (Variable.name v) j)
+              (places_of head_atoms.(j) j v))
+        (Tgd.universal_vars rules.(j))
+    done
+  done;
+  (* the trigger graph, recomputed from the claimed move sets.  In(σ')
+     holds only the body places of σ''s frontier variables: a null
+     binding a variable that never reaches the head cannot change what
+     the rule produces, so it must not count as a trigger. *)
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    let m = move i in
+    for j = 0 to n - 1 do
+      let body_places =
+        Variable.Set.elements (Tgd.frontier rules.(j))
+        |> List.concat_map (fun v -> places_of body_atoms.(j) j v)
+      in
+      if
+        List.exists
+          (fun b -> List.exists (fun h -> supports h b) m)
+          body_places
+      then edges := (i, j) :: !edges
+    done
+  done;
+  if not (kahn_acyclic ~n !edges) then
+    reject "claimed move sets induce a cyclic trigger graph"
+
+(* ------------------------------------------------------------------ *)
+(* Model checks (MSA / MFA)                                            *)
+(* ------------------------------------------------------------------ *)
+
+module FactSet = Set.Make (Fact)
+
+let fact_index facts =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let key = Relation.name (Fact.rel f) in
+      Hashtbl.replace tbl key (f :: Option.value ~default:[] (Hashtbl.find_opt tbl key)))
+    facts;
+  tbl
+
+let match_atom env atom fact =
+  if Atom.arity atom <> List.length (Fact.tuple fact) then None
+  else
+    let args = Atom.args_arr atom in
+    let tuple = Array.of_list (Fact.tuple fact) in
+    let rec go env i =
+      if i = Array.length args then Some env
+      else
+        match args.(i) with
+        | Term.Const c ->
+          if Constant.equal c tuple.(i) then go env (i + 1) else None
+        | Term.Var v -> (
+          match Variable.Map.find_opt v env with
+          | Some c ->
+            if Constant.equal c tuple.(i) then go env (i + 1) else None
+          | None -> go (Variable.Map.add v tuple.(i) env) (i + 1))
+    in
+    go env 0
+
+(* All bindings of the atom list into the indexed fact set, naive
+   backtracking join. *)
+let rec joins index env = function
+  | [] -> [ env ]
+  | atom :: rest ->
+    let candidates =
+      Option.value ~default:[]
+        (Hashtbl.find_opt index (Relation.name (Atom.rel atom)))
+    in
+    List.concat_map
+      (fun f ->
+        match match_atom env atom f with
+        | Some env' -> joins index env' rest
+        | None -> [])
+      candidates
+
+let ground env atom =
+  Fact.make (Atom.rel atom)
+    (Array.to_list
+       (Array.map
+          (fun t ->
+            match t with
+            | Term.Const c -> c
+            | Term.Var v -> (
+              match Variable.Map.find_opt v env with
+              | Some c -> c
+              | None -> reject "internal: unbound variable when grounding"))
+          (Atom.args_arr atom)))
+
+(* The critical base: every relation of the rules filled with the single
+   indexed constant 0 — re-derived from the format spec, not taken from
+   the instance layer. *)
+let critical_base sigma =
+  let star = Constant.indexed 0 in
+  let rels = Hashtbl.create 16 in
+  List.iter
+    (fun tgd ->
+      List.iter
+        (fun a -> Hashtbl.replace rels (Relation.name (Atom.rel a)) (Atom.rel a))
+        (Tgd.body tgd @ Tgd.head tgd))
+    sigma;
+  Hashtbl.fold
+    (fun _ r acc -> Fact.make r (List.init (Relation.arity r) (fun _ -> star)) :: acc)
+    rels []
+
+let require_facts set facts what =
+  List.iter
+    (fun f ->
+      if not (FactSet.mem f set) then
+        reject "model misses %s fact %s" what (Fact.to_string f))
+    facts
+
+(* ------------------------------------------------------------------ *)
+(* MSA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let msa_d_name = "__msa_D"
+let msa_marker_name i z = Printf.sprintf "__msa_c%d_%s" i (Variable.name z)
+
+let check_msa sigma model =
+  let set = FactSet.of_list model in
+  let index = fact_index model in
+  require_facts set (critical_base sigma) "critical-instance";
+  (* per-rule transformed shape, re-derived from the format spec *)
+  List.iteri
+    (fun i tgd ->
+      let exs = existentials_of tgd in
+      let subst, markers =
+        List.fold_left
+          (fun (subst, markers) z ->
+            let u = Variable.fresh ~prefix:"chk_u" () in
+            let rel = Relation.make (msa_marker_name i z) 1 in
+            ( Variable.Map.add z u subst,
+              (z, u, rel) :: markers ))
+          (Variable.Map.empty, []) exs
+      in
+      (* seeds present *)
+      List.iter
+        (fun (z, _, rel) ->
+          require_facts set
+            [ Fact.make rel [ Constant.named (msa_marker_name i z) ] ]
+            "summarising seed")
+        markers;
+      let body =
+        Tgd.body tgd
+        @ List.map (fun (_, u, rel) -> Atom.make rel [ Term.var u ]) markers
+      in
+      let d_rel = Relation.make msa_d_name 2 in
+      let head =
+        List.map (Atom.rename subst) (Tgd.head tgd)
+        @ List.concat_map
+            (fun (_, u, _) ->
+              List.map
+                (fun x -> Atom.make d_rel [ Term.var x; Term.var u ])
+                (frontier_of tgd))
+            markers
+      in
+      (* closure: every trigger of the summarised rule is satisfied *)
+      List.iter
+        (fun env ->
+          List.iter
+            (fun a ->
+              let f = ground env a in
+              if not (FactSet.mem f set) then
+                reject "model not closed: rule %d derives %s" i
+                  (Fact.to_string f))
+            head)
+        (joins index Variable.Map.empty body))
+    sigma;
+  (* the __msa_D graph must be acyclic *)
+  let nodes = Hashtbl.create 32 in
+  let node c =
+    let key = Constant.to_string c in
+    match Hashtbl.find_opt nodes key with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length nodes in
+      Hashtbl.add nodes key i;
+      i
+  in
+  let edges =
+    List.filter_map
+      (fun f ->
+        if Relation.name (Fact.rel f) = msa_d_name then
+          match Fact.tuple f with
+          | [ a; b ] -> Some (node a, node b)
+          | _ -> reject "malformed %s fact" msa_d_name
+        else None)
+      model
+  in
+  if not (kahn_acyclic ~n:(Hashtbl.length nodes) edges) then
+    reject "the summarised dependency graph has a cycle"
+
+(* ------------------------------------------------------------------ *)
+(* MFA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let check_mfa sigma model creation =
+  let set = FactSet.of_list model in
+  let index = fact_index model in
+  require_facts set (critical_base sigma) "critical-instance";
+  (* the creation map must be injective in both directions *)
+  let by_null = Hashtbl.create 32 in
+  let by_term = Hashtbl.create 32 in
+  List.iter
+    (fun (c, (rule, exvar, args)) ->
+      let ckey = Constant.to_string c in
+      if Hashtbl.mem by_null ckey then
+        reject "null %s has two creation entries" ckey;
+      Hashtbl.add by_null ckey (rule, exvar, args);
+      let tkey =
+        Printf.sprintf "%d/%s/%s" rule exvar
+          (String.concat "," (List.map Constant.to_string args))
+      in
+      if Hashtbl.mem by_term tkey then
+        reject "skolem term %s maps to two nulls" tkey;
+      Hashtbl.add by_term tkey c)
+    creation;
+  (* term acyclicity: no null's skolem symbol occurs in its own
+     ancestry; a cycle among the argument edges is itself a violation *)
+  let state = Hashtbl.create 32 in
+  let rec ancestry c =
+    let key = Constant.to_string c in
+    match Hashtbl.find_opt state key with
+    | Some (`Done pairs) -> pairs
+    | Some `Busy -> reject "skolem term of %s contains itself" key
+    | None -> (
+      match Hashtbl.find_opt by_null key with
+      | None -> (
+        match c with
+        | Constant.Null _ ->
+          reject "null %s appears without a creation entry" key
+        | _ -> [])
+      | Some (rule, exvar, args) ->
+        Hashtbl.replace state key `Busy;
+        let below =
+          List.concat_map ancestry args |> List.sort_uniq compare
+        in
+        if List.mem (rule, exvar) below then
+          reject
+            "cyclic skolem term: rule %d reinvents %s inside its own term"
+            rule exvar;
+        let pairs = List.sort_uniq compare ((rule, exvar) :: below) in
+        Hashtbl.replace state key (`Done pairs);
+        pairs)
+  in
+  List.iter (fun (c, _) -> ignore (ancestry c)) creation;
+  (* every null occurring in the model has a pedigree *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun c ->
+          match c with
+          | Constant.Null _ ->
+            if not (Hashtbl.mem by_null (Constant.to_string c)) then
+              reject "model null %s has no creation entry"
+                (Constant.to_string c)
+          | _ -> ())
+        (Fact.tuple f))
+    model;
+  (* closure under semi-oblivious firing: every body match must find its
+     head in the model, existentials bound through the creation map *)
+  List.iteri
+    (fun i tgd ->
+      let frontier = frontier_of tgd in
+      let exs = existentials_of tgd in
+      List.iter
+        (fun env ->
+          let args =
+            List.map
+              (fun x ->
+                match Variable.Map.find_opt x env with
+                | Some c -> c
+                | None -> assert false)
+              frontier
+          in
+          let env =
+            List.fold_left
+              (fun env z ->
+                let tkey =
+                  Printf.sprintf "%d/%s/%s" i (Variable.name z)
+                    (String.concat ","
+                       (List.map Constant.to_string args))
+                in
+                match Hashtbl.find_opt by_term tkey with
+                | Some c -> Variable.Map.add z c env
+                | None ->
+                  reject
+                    "model not closed: rule %d lacks a null for %s over (%s)"
+                    i (Variable.name z)
+                    (String.concat "," (List.map Constant.to_string args)))
+              env exs
+          in
+          List.iter
+            (fun a ->
+              let f = ground env a in
+              if not (FactSet.mem f set) then
+                reject "model not closed: rule %d derives %s" i
+                  (Fact.to_string f))
+            (Tgd.head tgd))
+        (joins index Variable.Map.empty (Tgd.body tgd)))
+    sigma
+
+(* ------------------------------------------------------------------ *)
+(* Stratified composition                                              *)
+(* ------------------------------------------------------------------ *)
+
+let derive_precedence sigma =
+  let arr = Array.of_list sigma in
+  let n = Array.length arr in
+  let rels atoms =
+    List.sort_uniq String.compare
+      (List.map (fun a -> Relation.name (Atom.rel a)) atoms)
+  in
+  let heads = Array.map (fun t -> rels (Tgd.head t)) arr in
+  let bodies = Array.map (fun t -> rels (Tgd.body t)) arr in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if List.exists (fun r -> List.mem r bodies.(j)) heads.(i) then
+        edges := (i, j) :: !edges
+    done
+  done;
+  !edges
+
+let rec check_payload sigma parsed =
+  let n = List.length sigma in
+  match parsed with
+  | P_weak claimed ->
+    check_weak sigma claimed;
+    Termination.Weakly_acyclic
+  | P_joint claimed ->
+    check_joint sigma claimed;
+    Termination.Jointly_acyclic
+  | P_superweak claimed ->
+    check_superweak sigma claimed;
+    Termination.Super_weakly_acyclic
+  | P_msa model ->
+    check_msa sigma model;
+    Termination.Model_summarising
+  | P_mfa (model, creation) ->
+    check_mfa sigma model creation;
+    Termination.Model_faithful
+  | P_stratified (strata, subs) ->
+    (* the strata partition the rule indices *)
+    let all = List.sort Int.compare (List.concat strata) in
+    if all <> List.init n Fun.id then
+      reject "strata do not partition the %d rule indices" n;
+    if List.length strata < 2 then
+      reject "a stratified certificate needs at least two strata";
+    if List.length subs <> List.length strata then
+      reject "%d strata but %d sub-certificates" (List.length strata)
+        (List.length subs);
+    (* every precedence edge must respect the claimed order *)
+    let stratum_of = Array.make n (-1) in
+    List.iteri
+      (fun k indices -> List.iter (fun i -> stratum_of.(i) <- k) indices)
+      strata;
+    List.iter
+      (fun (i, j) ->
+        if stratum_of.(i) > stratum_of.(j) then
+          reject
+            "precedence edge rule %d -> rule %d runs against the stratum \
+             order"
+            i j)
+      (derive_precedence sigma);
+    let arr = Array.of_list sigma in
+    List.iter2
+      (fun indices sub ->
+        ignore (check_payload (List.map (fun i -> arr.(i)) indices) sub))
+      strata subs;
+    Termination.Stratified
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The digest binds the certificate to the rule set: MD5 over the sorted
+   canonical rule texts, per the format spec. *)
+let own_digest sigma =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n"
+          (List.sort String.compare (List.map Tgd.to_string sigma))))
+
+let verify sigma text =
+  try
+    let n, digest, payload = parse text in
+    if n <> List.length sigma then
+      reject "certificate binds %d rules, got %d" n (List.length sigma);
+    if not (String.equal digest (own_digest sigma)) then
+      reject "certificate digest does not match the rule set";
+    Ok (check_payload sigma payload)
+  with
+  | Reject reason -> Error reason
+  | Invalid_argument s -> Error ("malformed certificate: " ^ s)
+  | Failure s -> Error ("malformed certificate: " ^ s)

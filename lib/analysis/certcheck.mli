@@ -1,0 +1,24 @@
+(** Independent verification of [tgdcert v1] certificates.
+
+    The checker shares only the wire format and the rule syntax with the
+    certificate producers ({!Cert}, {!Lattice}): it re-parses the
+    certificate text from scratch and re-derives every graph and closure
+    with its own algorithms (Kahn / Kosaraju where the producers use
+    DFS, eager-substitution unification where the place graph walks a
+    triangular substitution, a naive relation-indexed join where the
+    chase uses the semi-naive engine).
+
+    Claimed witnesses may over-approximate — a larger graph or movement
+    set only adds constraints — but they must contain everything the
+    checker re-derives, be closed, and still pass the acyclicity check,
+    so [Ok _] is sound even against a dishonest producer. *)
+
+open Tgd_syntax
+
+val verify : Tgd.t list -> string -> (Termination.cert, string) result
+(** [verify sigma text] checks the certificate [text] against the rule
+    set [sigma]: format, rule-count and digest binding, witness
+    containment, closure, and the notion's acyclicity condition.
+    [Ok notion] means the rules provably have a terminating (restricted
+    and Skolem) chase on every instance; [Error reason] pinpoints the
+    first check that failed. *)

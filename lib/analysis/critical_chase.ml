@@ -1,0 +1,322 @@
+open Tgd_syntax
+open Tgd_instance
+open Tgd_engine
+
+(* ------------------------------------------------------------------ *)
+(* Shared scaffolding                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let schema_of sigma =
+  let rels =
+    List.fold_left
+      (fun acc tgd ->
+        List.fold_left
+          (fun acc a -> Relation.Set.add (Atom.rel a) acc)
+          acc
+          (Tgd.body tgd @ Tgd.head tgd))
+      Relation.Set.empty sigma
+  in
+  Schema.make (Relation.Set.elements rels)
+
+let default_budget () = Budget.make ~rounds:128 ~facts:20_000 ~fuel:60_000 ()
+
+(* Index rules by syntactic identity so [on_fire]'s tgd value maps back to
+   its position in the analysed list. *)
+let rule_index sigma =
+  let arr = Array.of_list sigma in
+  fun tgd ->
+    let rec go i =
+      if i >= Array.length arr then invalid_arg "rule_index: unknown rule"
+      else if Tgd.equal arr.(i) tgd then i
+      else go (i + 1)
+    in
+    go 0
+
+let sorted_frontier tgd = Variable.Set.elements (Tgd.frontier tgd)
+
+(* Reserved names for the MSA transformation; a user schema using the
+   [__msa_] prefix would collide, so the analysis refuses it upfront. *)
+let msa_d_rel = Relation.make "__msa_D" 2
+let msa_const_name i z = Printf.sprintf "__msa_c%d_%s" i (Variable.name z)
+let reserved_prefix = "__msa_"
+
+let uses_reserved sigma =
+  List.exists
+    (fun tgd ->
+      List.exists
+        (fun a ->
+          String.length (Relation.name (Atom.rel a))
+          >= String.length reserved_prefix
+          && String.sub (Relation.name (Atom.rel a)) 0
+               (String.length reserved_prefix)
+             = reserved_prefix)
+        (Tgd.body tgd @ Tgd.head tgd))
+    sigma
+
+(* ------------------------------------------------------------------ *)
+(* MFA — model-faithful acyclicity (Cuenca Grau et al., JAIR 2013)     *)
+(* ------------------------------------------------------------------ *)
+
+type creation = { c_rule : int; c_exvar : string; c_args : Constant.t list }
+
+type mfa_witness = {
+  mfa_model : Fact.t list;
+  mfa_creation : (Constant.t * creation) list;
+  mfa_digest : string;
+}
+
+type mfa_refutation = {
+  mfa_cycle_rule : int;
+  mfa_cycle_exvar : string;
+  mfa_depth : int;
+}
+
+type 'w verdict =
+  | Holds of 'w
+  | Fails of string
+  | Unknown of string
+
+module IntSet = Set.Make (Int)
+
+let trace_digest facts creation =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f -> Buffer.add_string buf (Fact.to_string f); Buffer.add_char buf '\n')
+    (List.sort Fact.compare facts);
+  List.iter
+    (fun (c, cr) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s<-%d.%s(%s)\n" (Constant.to_string c) cr.c_rule
+           cr.c_exvar
+           (String.concat "," (List.map Constant.to_string cr.c_args))))
+    (List.sort compare creation);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Run the Skolem (semi-oblivious) chase of the critical instance,
+   tracking which (rule, existential) pairs occur in the ancestry of each
+   invented null.  A null whose creator already occurs among its
+   ancestors is a cyclic Skolem term: the chase cannot be
+   model-faithfully acyclic.  The detection raises {!Seminaive.Halt}, so
+   a refutation costs only the prefix of the chase that exposes it. *)
+let mfa ?budget sigma =
+  match sigma with
+  | [] -> Holds { mfa_model = []; mfa_creation = []; mfa_digest = trace_digest [] [] }
+  | _ ->
+    let budget = match budget with Some b -> b | None -> default_budget () in
+    let idx_of = rule_index sigma in
+    let ids : (int * string, int) Hashtbl.t = Hashtbl.create 16 in
+    let id_of i z =
+      let key = (i, Variable.name z) in
+      match Hashtbl.find_opt ids key with
+      | Some id -> id
+      | None ->
+        let id = Hashtbl.length ids in
+        Hashtbl.add ids key id;
+        id
+    in
+    let anc : (Constant.t, IntSet.t) Hashtbl.t = Hashtbl.create 64 in
+    let creation : (Constant.t, creation) Hashtbl.t = Hashtbl.create 64 in
+    let refutation = ref None in
+    let on_fire tgd hom facts =
+      let i = idx_of tgd in
+      let existentials = Tgd.existential_vars tgd in
+      if not (Variable.Set.is_empty existentials) then begin
+        let args =
+          List.map
+            (fun x ->
+              match Binding.find x hom with
+              | Some c -> c
+              | None -> assert false)
+            (sorted_frontier tgd)
+        in
+        let parent_anc =
+          List.fold_left
+            (fun acc c ->
+              match Hashtbl.find_opt anc c with
+              | Some s -> IntSet.union s acc
+              | None -> acc)
+            IntSet.empty args
+        in
+        (* the null invented for existential [z] is the constant standing
+           where [z] does in the grounded head *)
+        let seen = Hashtbl.create 4 in
+        List.iter2
+          (fun atom fact ->
+            Array.iteri
+              (fun pos t ->
+                match t with
+                | Term.Var z
+                  when Variable.Set.mem z existentials
+                       && not (Hashtbl.mem seen (Variable.name z)) ->
+                  Hashtbl.add seen (Variable.name z) ();
+                  let c = (Fact.tuple_arr fact).(pos) in
+                  if not (Hashtbl.mem creation c) then begin
+                    let id = id_of i z in
+                    if IntSet.mem id parent_anc then begin
+                      refutation :=
+                        Some
+                          { mfa_cycle_rule = i;
+                            mfa_cycle_exvar = Variable.name z;
+                            mfa_depth = IntSet.cardinal parent_anc
+                          };
+                      raise Seminaive.Halt
+                    end;
+                    Hashtbl.add creation c
+                      { c_rule = i; c_exvar = Variable.name z; c_args = args };
+                    Hashtbl.add anc c (IntSet.add id parent_anc)
+                  end
+                | Term.Var _ | Term.Const _ -> ())
+              (Atom.args_arr atom))
+          (Tgd.head tgd) facts
+      end
+    in
+    let inst = Critical.make (schema_of sigma) 1 in
+    let r = Seminaive.run ~mode:Seminaive.Skolem ~budget ~on_fire sigma inst in
+    match (!refutation, r.Seminaive.outcome) with
+    | Some ref_, _ ->
+      Fails
+        (Fmt.str
+           "cyclic skolem term: rule %d reinvents %s inside its own term \
+            (nesting depth %d)"
+           ref_.mfa_cycle_rule ref_.mfa_cycle_exvar ref_.mfa_depth)
+    | None, Seminaive.Terminated ->
+      let model = Instance.fact_list r.Seminaive.instance in
+      let creation_l = Hashtbl.fold (fun c cr acc -> (c, cr) :: acc) creation [] in
+      let creation_l = List.sort compare creation_l in
+      Holds
+        { mfa_model = model;
+          mfa_creation = creation_l;
+          mfa_digest = trace_digest model creation_l
+        }
+    | None, Seminaive.Truncated reason ->
+      Unknown
+        (Fmt.str "critical-instance chase exhausted its budget (%s)"
+           (Budget.exhaustion_to_string reason))
+
+(* ------------------------------------------------------------------ *)
+(* MSA — model-summarising acyclicity                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The summarised program replaces the Skolem term of each existential
+   [z] of rule [i] by one fresh constant [c_{i,z}].  Tgds are
+   constant-free, so the constant is smuggled in through a unary marker
+   relation seeded with exactly that constant:
+
+     B(x̄) -> ∃z. H(x̄, z)
+   becomes
+     B(x̄), __msa_c_i_z(u) -> H(x̄, u), __msa_D(x_1, u), …, __msa_D(x_k, u)
+
+   with one [__msa_D] edge from every frontier value to the summarising
+   constant.  The program is full, so its saturation from the critical
+   instance is finite; the set is MSA when the [__msa_D] graph of the
+   saturation has no cycle through a summarising constant. *)
+
+type msa_witness = { msa_model : Fact.t list; msa_digest : string }
+
+let summarise sigma =
+  List.mapi
+    (fun i tgd ->
+      let existentials = Variable.Set.elements (Tgd.existential_vars tgd) in
+      if existentials = [] then (Tgd.make ~body:(Tgd.body tgd) ~head:(Tgd.head tgd), [])
+      else begin
+        let subst, markers, consts =
+          List.fold_left
+            (fun (subst, markers, consts) z ->
+              let u = Variable.fresh ~prefix:"u" () in
+              let rel = Relation.make (msa_const_name i z) 1 in
+              ( Variable.Map.add z u subst,
+                Atom.make rel [ Term.var u ] :: markers,
+                Fact.make rel [ Constant.named (msa_const_name i z) ] :: consts ))
+            (Variable.Map.empty, [], [])
+            existentials
+        in
+        let frontier = sorted_frontier tgd in
+        let d_edges =
+          List.concat_map
+            (fun z ->
+              let u = Variable.Map.find z subst in
+              List.map
+                (fun x -> Atom.make msa_d_rel [ Term.var x; Term.var u ])
+                frontier)
+            existentials
+        in
+        let head =
+          List.map (Atom.rename subst) (Tgd.head tgd) @ d_edges
+        in
+        (Tgd.make ~body:(Tgd.body tgd @ List.rev markers) ~head, List.rev consts)
+      end)
+    sigma
+
+let find_const_cycle edges =
+  (* [edges]: adjacency among constants; report any cycle. *)
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl a) in
+      Hashtbl.replace tbl a (b :: cur))
+    edges;
+  let state = Hashtbl.create 64 in
+  let cycle = ref None in
+  let rec dfs stack c =
+    match Hashtbl.find_opt state c with
+    | Some `Black -> ()
+    | Some `Gray ->
+      if !cycle = None then begin
+        let rec suffix = function
+          | [] -> []
+          | d :: rest -> if Constant.equal d c then [ d ] else d :: suffix rest
+        in
+        cycle := Some (List.rev (suffix stack))
+      end
+    | None ->
+      Hashtbl.replace state c `Gray;
+      List.iter
+        (fun d -> if !cycle = None then dfs (d :: stack) d)
+        (Option.value ~default:[] (Hashtbl.find_opt tbl c));
+      Hashtbl.replace state c `Black
+  in
+  List.iter (fun (a, _) -> if !cycle = None then dfs [ a ] a) edges;
+  !cycle
+
+let msa ?budget sigma =
+  match sigma with
+  | [] -> Holds { msa_model = []; msa_digest = trace_digest [] [] }
+  | _ when uses_reserved sigma ->
+    Unknown "schema uses the reserved __msa_ prefix"
+  | _ ->
+    let budget = match budget with Some b -> b | None -> default_budget () in
+    let transformed = summarise sigma in
+    let rules = List.map fst transformed in
+    let seeds = List.concat_map snd transformed in
+    let base = Critical.make (schema_of sigma) 1 in
+    let schema' = schema_of rules in
+    let inst =
+      List.fold_left Instance.add_fact
+        (List.fold_left Instance.add_fact (Instance.empty schema')
+           (Instance.fact_list base))
+        seeds
+    in
+    let r = Seminaive.run ~mode:Seminaive.Restricted ~budget rules inst in
+    (match r.Seminaive.outcome with
+    | Seminaive.Truncated reason ->
+      Unknown
+        (Fmt.str "critical-instance saturation exhausted its budget (%s)"
+           (Budget.exhaustion_to_string reason))
+    | Seminaive.Terminated ->
+      let model = Instance.fact_list r.Seminaive.instance in
+      let d_edges =
+        List.filter_map
+          (fun f ->
+            if Relation.equal (Fact.rel f) msa_d_rel then
+              match Fact.tuple f with [ a; b ] -> Some (a, b) | _ -> None
+            else None)
+          model
+      in
+      (match find_const_cycle d_edges with
+      | Some cycle ->
+        Fails
+          (Fmt.str "summarised dependency cycle %a"
+             Fmt.(list ~sep:(any " -> ") Constant.pp)
+             cycle)
+      | None ->
+        Holds { msa_model = model; msa_digest = trace_digest model [] }))

@@ -1,0 +1,229 @@
+open Tgd_syntax
+
+type verdict =
+  | Holds
+  | Fails of string
+  | Unknown of string
+
+let holds = function Holds -> true | Fails _ | Unknown _ -> false
+
+type limits = { rounds : int; facts : int; fuel : int }
+
+let default_limits = { rounds = 128; facts = 20_000; fuel = 60_000 }
+
+let budget_of l =
+  Tgd_engine.Budget.make ~rounds:l.rounds ~facts:l.facts ~fuel:l.fuel ()
+
+type profile = {
+  wa : verdict;
+  ja : verdict;
+  swa : verdict;
+  msa : verdict;
+  mfa : verdict;
+  stratification : verdict;
+  strata : int list list;
+  certified : (Termination.cert * Cert.t) option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-notion verdicts and certificate builders                        *)
+(* ------------------------------------------------------------------ *)
+
+let weak_cert sigma =
+  Cert.Weak
+    { edges =
+        List.map
+          (fun e ->
+            let sr, sp = e.Termination.source in
+            let tr, tp = e.Termination.target in
+            (sr, sp, tr, tp, e.Termination.special))
+          (Termination.dependency_graph sigma)
+    }
+
+let wa_check sigma =
+  match Termination.weak_acyclicity_witness sigma with
+  | None -> (Holds, Some (weak_cert sigma))
+  | Some w -> (Fails (Fmt.str "%a" Termination.pp_wa_witness w), None)
+
+let joint_cert sigma =
+  Cert.Joint
+    { movement =
+        List.concat
+          (List.mapi
+             (fun i tgd ->
+               List.map
+                 (fun y ->
+                   (i, Variable.name y, Termination.movement sigma ~rule:i y))
+                 (Variable.Set.elements (Tgd.existential_vars tgd)))
+             sigma)
+    }
+
+let ja_check sigma =
+  match Termination.jointly_acyclic_witness sigma with
+  | None -> (Holds, Some (joint_cert sigma))
+  | Some w -> (Fails (Fmt.str "%a" Termination.pp_ja_witness w), None)
+
+let swa_check sigma =
+  match Placegraph.analyse sigma with
+  | Ok w ->
+    let moves =
+      List.map
+        (fun (i, places) ->
+          ( i,
+            List.map
+              (fun p ->
+                Placegraph.(p.rule, p.atom, p.pos))
+              places ))
+        w.Placegraph.moves
+    in
+    (Holds, Some (Cert.Super_weak { moves }))
+  | Error r -> (Fails (Fmt.str "%a" Placegraph.pp_refutation r), None)
+
+let msa_check ~limits sigma =
+  match Critical_chase.msa ~budget:(budget_of limits) sigma with
+  | Critical_chase.Holds w ->
+    (Holds, Some (Cert.Model_summarising { model = w.Critical_chase.msa_model }))
+  | Critical_chase.Fails reason -> (Fails reason, None)
+  | Critical_chase.Unknown reason -> (Unknown reason, None)
+
+let mfa_check ~limits sigma =
+  match Critical_chase.mfa ~budget:(budget_of limits) sigma with
+  | Critical_chase.Holds w ->
+    ( Holds,
+      Some
+        (Cert.Model_faithful
+           { model = w.Critical_chase.mfa_model;
+             creation = w.Critical_chase.mfa_creation
+           }) )
+  | Critical_chase.Fails reason -> (Fails reason, None)
+  | Critical_chase.Unknown reason -> (Unknown reason, None)
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Cheap-to-expensive, strongest-certificate-first: the first notion that
+   holds also carries the tightest bounds, so short-circuiting is both
+   the fast path and the right answer. *)
+let classify_flat ~limits sigma =
+  let ( <|> ) acc check =
+    match acc with
+    | Some _ -> acc
+    | None -> (
+      match check () with
+      | Holds, Some cert -> Some (Cert.notion cert, cert)
+      | _ -> None)
+  in
+  None
+  <|> (fun () -> wa_check sigma)
+  <|> (fun () -> ja_check sigma)
+  <|> (fun () -> swa_check sigma)
+  <|> (fun () -> msa_check ~limits sigma)
+  <|> (fun () -> mfa_check ~limits sigma)
+
+(* Per-stratum composition: every stratum must certify on its own (with
+   the same limits, but a fresh budget each).  Sound because the
+   cross-stratum precedence is acyclic: the Skolem chase of the whole set
+   equals the stratum-by-stratum chase, and each stage terminates on
+   arbitrary inputs by its stratum's certificate.  The practical win is
+   divide and conquer — a critical-instance chase that exhausts its
+   budget on the whole set can succeed on each stratum separately. *)
+let stratified_check ~limits sigma strat =
+  if Stratify.is_trivial strat then
+    (Fails "single stratum: stratification cannot refine the analysis", None)
+  else
+    let subs =
+      List.map
+        (fun indices -> classify_flat ~limits (Stratify.rules_of sigma indices))
+        strat.Stratify.strata
+    in
+    if List.for_all Option.is_some subs then
+      ( Holds,
+        Some
+          (Cert.Stratified
+             { strata = strat.Stratify.strata;
+               subs = List.map (fun s -> snd (Option.get s)) subs
+             }) )
+    else
+      (Unknown "some stratum remained uncertified", None)
+
+let classify ?(limits = default_limits) sigma =
+  if sigma = [] then Some (Termination.Weakly_acyclic, Cert.Weak { edges = [] })
+  else
+    match classify_flat ~limits sigma with
+    | Some r -> Some r
+    | None -> (
+      let strat = Stratify.build sigma in
+      match stratified_check ~limits sigma strat with
+      | Holds, Some cert -> Some (Cert.notion cert, cert)
+      | _ -> None)
+
+let profile ?(limits = default_limits) sigma =
+  if sigma = [] then
+    { wa = Holds;
+      ja = Holds;
+      swa = Holds;
+      msa = Holds;
+      mfa = Holds;
+      stratification = Fails "single stratum: stratification cannot refine the analysis";
+      strata = [];
+      certified = Some (Termination.Weakly_acyclic, Cert.Weak { edges = [] })
+    }
+  else begin
+    let wa, wa_cert = wa_check sigma in
+    let ja, ja_cert = ja_check sigma in
+    let swa, swa_cert = swa_check sigma in
+    let msa, msa_cert = msa_check ~limits sigma in
+    let mfa, mfa_cert = mfa_check ~limits sigma in
+    let strat = Stratify.build sigma in
+    let stratification, strat_cert = stratified_check ~limits sigma strat in
+    let certified =
+      List.fold_left
+        (fun acc c ->
+          match (acc, c) with
+          | Some _, _ -> acc
+          | None, Some cert -> Some (Cert.notion cert, cert)
+          | None, None -> None)
+        None
+        [ wa_cert; ja_cert; swa_cert; msa_cert; mfa_cert; strat_cert ]
+    in
+    { wa; ja; swa; msa; mfa; stratification; strata = strat.Stratify.strata;
+      certified }
+  end
+
+(* The cumulative lattice: level [c] is covered when some notion at or
+   below [c]'s rank holds, so the chain WA ⇒ JA ⇒ SWA ⇒ MSA ⇒ MFA holds
+   by construction even where the raw notions are incomparable (JA and
+   SWA, notably). *)
+let covers p c =
+  let raw = [ p.wa; p.ja; p.swa; p.msa; p.mfa; p.stratification ] in
+  let rank = Termination.cert_rank c in
+  List.exists holds
+    (List.filteri (fun i _ -> i <= rank) raw)
+
+let verdict_name = function
+  | Holds -> "holds"
+  | Fails _ -> "fails"
+  | Unknown _ -> "unknown"
+
+let verdict_detail = function Holds -> None | Fails s | Unknown s -> Some s
+
+let pp_verdict ppf v =
+  match v with
+  | Holds -> Fmt.string ppf "holds"
+  | Fails s -> Fmt.pf ppf "fails (%s)" s
+  | Unknown s -> Fmt.pf ppf "unknown (%s)" s
+
+let pp_profile ppf p =
+  Fmt.pf ppf
+    "@[<v>weak acyclicity:            %a@,\
+     joint acyclicity:           %a@,\
+     super-weak acyclicity:      %a@,\
+     model-summarising (MSA):    %a@,\
+     model-faithful (MFA):       %a@,\
+     stratification:             %a@,\
+     certified:                  %a@]"
+    pp_verdict p.wa pp_verdict p.ja pp_verdict p.swa pp_verdict p.msa
+    pp_verdict p.mfa pp_verdict p.stratification
+    Fmt.(option ~none:(any "none") (using (fun (n, _) -> n) Termination.pp_cert))
+    p.certified

@@ -17,8 +17,22 @@ let common_classes sigma =
     [ Tgd_class.Linear; Tgd_class.Guarded; Tgd_class.Frontier_guarded;
       Tgd_class.Full ]
 
-let decide sigma =
-  let cert = Termination.certificate sigma in
+(* The polynomial front of the lattice: weak, joint, then super-weak
+   acyclicity.  No chase runs, so per-request admission can afford this
+   on every decision. *)
+let shallow_certificate sigma =
+  match Termination.certificate sigma with
+  | Some c -> Some c
+  | None ->
+    if Placegraph.is_super_weakly_acyclic sigma then
+      Some Termination.Super_weakly_acyclic
+    else None
+
+let decide ?(deep = false) sigma =
+  let cert =
+    if deep then Option.map fst (Lattice.classify sigma)
+    else shallow_certificate sigma
+  in
   let classes = common_classes sigma in
   let engine =
     if List.mem Tgd_class.Full classes then Datalog_saturation

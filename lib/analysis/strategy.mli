@@ -25,7 +25,14 @@ type t = {
       (** classes every rule belongs to, most restrictive first *)
 }
 
-val decide : Tgd.t list -> t
+val decide : ?deep:bool -> Tgd.t list -> t
+(** Strategy for the rule set.  The default consults only the
+    polynomial front of the termination lattice (weak, joint, super-weak
+    acyclicity) — cheap enough for per-request admission and
+    per-candidate screening.  [~deep:true] runs the full
+    {!Lattice.classify}, including the budgeted critical-instance
+    notions (MSA, MFA) and stratified composition — deterministic, but
+    potentially a chase; reserve it for cached or offline paths. *)
 
 val may_promote : t -> bool
 (** May a round-capped [Truncated] be promoted to a definite result by

@@ -228,6 +228,10 @@ let is_jointly_acyclic sigma = jointly_acyclic_witness sigma = None
 type cert =
   | Weakly_acyclic
   | Jointly_acyclic
+  | Super_weakly_acyclic
+  | Model_summarising
+  | Model_faithful
+  | Stratified
 
 let certificate sigma =
   if sigma = [] then Some Weakly_acyclic
@@ -238,6 +242,21 @@ let certificate sigma =
 let cert_name = function
   | Weakly_acyclic -> "weakly-acyclic"
   | Jointly_acyclic -> "jointly-acyclic"
+  | Super_weakly_acyclic -> "super-weakly-acyclic"
+  | Model_summarising -> "model-summarising-acyclic"
+  | Model_faithful -> "model-faithful-acyclic"
+  | Stratified -> "stratified"
+
+(* Rank in the lattice: lower ranks are cheaper to establish and carry
+   stronger size bounds, so ties between certificates resolve to the
+   smallest rank ("strongest certificate wins"). *)
+let cert_rank = function
+  | Weakly_acyclic -> 0
+  | Jointly_acyclic -> 1
+  | Super_weakly_acyclic -> 2
+  | Model_summarising -> 3
+  | Model_faithful -> 4
+  | Stratified -> 5
 
 let pp_cert ppf c = Fmt.string ppf (cert_name c)
 

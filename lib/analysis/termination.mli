@@ -59,12 +59,24 @@ val movement : Tgd.t list -> rule:int -> Variable.t -> position list
 type cert =
   | Weakly_acyclic
   | Jointly_acyclic
+  | Super_weakly_acyclic  (** Marnette's place-based SWA — see {!Placegraph}. *)
+  | Model_summarising  (** MSA via critical-instance Datalog — {!Critical_chase}. *)
+  | Model_faithful  (** MFA via critical-instance Skolem chase — {!Critical_chase}. *)
+  | Stratified  (** Per-stratum certificates composed — {!Stratify}. *)
 
 val certificate : Tgd.t list -> cert option
-(** The strongest applicable certificate, or [None].  [Some _] implies the
-    unbudgeted chase terminates on every instance. *)
+(** The strongest {e polynomial-time} certificate (weak, then joint
+    acyclicity), or [None].  This is the cheap front of the lattice; the
+    full classification including the place-based and chase-based notions
+    is {!Lattice.classify}.  [Some _] implies the unbudgeted restricted
+    chase terminates on every instance. *)
 
 val cert_name : cert -> string
+
+val cert_rank : cert -> int
+(** Position in the lattice, [0] (weak acyclicity) to [5] (stratified);
+    lower ranks are cheaper to establish and carry tighter bounds. *)
+
 val pp_cert : cert Fmt.t
 val pp_position : position Fmt.t
 val pp_wa_witness : wa_witness Fmt.t

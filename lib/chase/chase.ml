@@ -204,17 +204,25 @@ let cached ~kind ~naive ~budget ~memo ~has_on_fire sigma inst run =
 (* ------------------------------------------------------------------ *)
 (* Analysis-driven promotion                                           *)
 (*                                                                     *)
-(* A termination certificate (weak or joint acyclicity) guarantees the *)
-(* chase finishes on every instance, so a round cap on a certified set *)
-(* is advisory: when it trips, re-running with the cap lifted turns    *)
-(* the [Truncated Rounds] into a definite result.  Only the round cap  *)
-(* is lifted — fact caps, deadlines, fuel and cancellation are memory/ *)
-(* wall-clock guards the certificate says nothing about.  The rerun    *)
-(* goes through the same [cached] wrapper with the lifted budget, so   *)
-(* every cache entry stays keyed by the caps that produced it.         *)
+(* A termination certificate guarantees the chase finishes on every    *)
+(* instance, so a round cap on a certified set is advisory: when it    *)
+(* trips, re-running with the cap lifted turns the [Truncated Rounds]  *)
+(* into a definite result.  Only the round cap is lifted — fact caps,  *)
+(* deadlines, fuel and cancellation are memory/wall-clock guards the   *)
+(* certificate says nothing about.  The rerun goes through the same    *)
+(* [cached] wrapper with the lifted budget, so every cache entry stays *)
+(* keyed by the caps that produced it.                                 *)
+(*                                                                     *)
+(* The restricted chase consults the full termination lattice (SWA,    *)
+(* MSA, MFA, stratification on top of WA/JA): every lattice notion     *)
+(* bounds the Skolem chase, hence the restricted chase too.  The       *)
+(* oblivious chase keeps the WA/JA front only: it fires once per       *)
+(* *universal* binding, so frontier-empty existentials replay beyond   *)
+(* what the Skolem-chase notions bound.                                *)
 (* ------------------------------------------------------------------ *)
 
 let cert_memo : bool Memo.t = Memo.create ~name:"termination-certs" ()
+let lattice_memo : bool Memo.t = Memo.create ~name:"termination-lattice" ()
 
 let certified_terminating sigma =
   let key = Memo.sigma_key sigma in
@@ -225,12 +233,19 @@ let certified_terminating sigma =
     Memo.add cert_memo key b;
     b
 
-let with_promotion ~analyze ~budget ~rerun sigma r =
+let lattice_certified sigma =
+  let key = Memo.sigma_key sigma in
+  match Memo.find lattice_memo key with
+  | Some b -> b
+  | None ->
+    let b = Tgd_analysis.Lattice.classify sigma <> None in
+    Memo.add lattice_memo key b;
+    b
+
+let with_promotion ~certified ~analyze ~budget ~rerun sigma r =
   match r.outcome with
   | Truncated Budget.Rounds
-    when analyze
-         && budget.Budget.max_rounds < max_int
-         && certified_terminating sigma ->
+    when analyze && budget.Budget.max_rounds < max_int && certified sigma ->
     rerun (Budget.with_rounds budget max_int)
   | _ -> r
 
@@ -246,7 +261,8 @@ let restricted ?(naive = false) ?(budget = default_budget) ?on_fire
           run_engine ~mode:Seminaive.Restricted ~budget ?on_fire ~jobs ?chunk
             sigma inst)
   in
-  with_promotion ~analyze ~budget ~rerun:go sigma (go budget)
+  with_promotion ~certified:lattice_certified ~analyze ~budget ~rerun:go sigma
+    (go budget)
 
 let oblivious ?(naive = false) ?(budget = default_budget) ?on_fire ?(jobs = 1)
     ?chunk ?(memo = false) ?(analyze = true) sigma inst =
@@ -260,7 +276,8 @@ let oblivious ?(naive = false) ?(budget = default_budget) ?on_fire ?(jobs = 1)
           run_engine ~mode:Seminaive.Oblivious ~budget ?on_fire ~jobs ?chunk
             sigma inst)
   in
-  with_promotion ~analyze ~budget ~rerun:go sigma (go budget)
+  with_promotion ~certified:certified_terminating ~analyze ~budget ~rerun:go
+    sigma (go budget)
 
 (* ------------------------------------------------------------------ *)
 (* Durable checkpoints                                                 *)

@@ -4,6 +4,9 @@ open Tgd_instance
 type mode =
   | Restricted
   | Oblivious
+  | Skolem
+
+exception Halt
 
 type outcome =
   | Terminated
@@ -121,6 +124,12 @@ let is_active idx tgd hom =
 let trigger_key tgd hom =
   Fmt.str "%a|%a" Tgd.pp tgd Binding.pp
     (Binding.restrict (Tgd.universal_vars tgd) hom)
+
+(* Skolem-chase identification: two triggers agreeing on the frontier
+   produce the same head facts, so they share one key (and one firing). *)
+let skolem_key tgd hom =
+  Fmt.str "%a|%a" Tgd.pp tgd Binding.pp
+    (Binding.restrict (Tgd.frontier tgd) hom)
 
 (* ------------------------------------------------------------------ *)
 (* Trigger enumeration                                                 *)
@@ -305,8 +314,12 @@ let run ~mode ?(budget = Budget.default) ?(on_fire = fun _ _ _ -> ())
                     | None -> ());
                   let fire_it =
                     match mode with
-                    | Oblivious ->
-                      let key = trigger_key tgd hom in
+                    | Oblivious | Skolem ->
+                      let key =
+                        match mode with
+                        | Skolem -> skolem_key tgd hom
+                        | _ -> trigger_key tgd hom
+                      in
                       if Hashtbl.mem fired_keys key then false
                       else begin
                         Hashtbl.add fired_keys key ();
@@ -332,7 +345,10 @@ let run ~mode ?(budget = Budget.default) ?(on_fire = fun _ _ _ -> ())
                     | None ->
                       assert false (* body ∪ existential vars cover the head *)
                     | Some facts ->
-                      on_fire tgd hom facts;
+                      (try on_fire tgd hom facts
+                       with Halt ->
+                         set_trip Budget.Cancelled;
+                         raise Exit);
                       incr fired;
                       stats.Stats.fired <- stats.Stats.fired + 1;
                       List.iter

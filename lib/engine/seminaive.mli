@@ -14,7 +14,14 @@
       immediately before firing (activity is antitone in the instance, so
       skipping re-enumeration of old triggers loses nothing);
     - [Oblivious] fires every trigger exactly once, identified by the same
-      (tgd, universal-variable binding) key as [Trigger.key].
+      (tgd, universal-variable binding) key as [Trigger.key];
+    - [Skolem] is the semi-oblivious chase: triggers are identified by the
+      (tgd, {e frontier} binding) key instead, so two body homomorphisms
+      agreeing on the frontier fire once between them.  The invented nulls
+      then stand in bijection with the Skolem terms
+      [f_{σ,z}(frontier values)] of the Skolemized rule set — this is the
+      mode the critical-instance termination analysis
+      ({!Tgd_analysis}'s MFA pass) drives.
 
     Joins are ordered dynamically by index selectivity: at each step the
     engine matches the pending atom whose tightest (relation, position,
@@ -26,6 +33,16 @@ open Tgd_instance
 type mode =
   | Restricted
   | Oblivious
+  | Skolem
+
+exception Halt
+(** An [on_fire] callback may raise [Halt] to stop the saturation
+    immediately and cooperatively: the facts of the halting trigger are not
+    added, the run returns [Truncated Cancelled] with the instance as of
+    the last committed round plus the facts fired earlier in the current
+    round.  Used by analyses that drive the chase as an instrument and can
+    reach a verdict before saturation (e.g. cyclic-Skolem-term
+    detection). *)
 
 type outcome =
   | Terminated

@@ -2,6 +2,7 @@ open Tgd_syntax
 open Tgd_instance
 module Budget = Tgd_engine.Budget
 module Chaos = Tgd_engine.Chaos
+module Memo = Tgd_engine.Memo
 module Chase = Tgd_chase.Chase
 module Entailment = Tgd_chase.Entailment
 module Rewrite = Tgd_core.Rewrite
@@ -265,10 +266,19 @@ let rewrite_op config req =
       :: outcome_fields partial.Rewrite.outcome
       @ report_fields partial)
 
+(* Analysis is pure in the rule set, and the deep lattice notions may
+   chase the critical instance — worth caching.  Keyed by the canonical
+   ontology digest ([Memo.sigma_key]), so syntactic noise (whitespace,
+   comments) in the request still hits. *)
+let analyze_memo : string Memo.t = Memo.create ~name:"serve-analyze" ()
+
 let analyze_op req =
   let sigma = parse_tgds (get_string "tgds" req) in
-  let report = Tgd_analysis.Analyze.run sigma in
-  match Json.of_string (Tgd_analysis.Analyze.to_json report) with
+  let json =
+    Memo.find_or_add analyze_memo (Memo.sigma_key sigma) (fun () ->
+        Tgd_analysis.Analyze.to_json (Tgd_analysis.Analyze.run sigma))
+  in
+  match Json.of_string json with
   | Ok j -> j
   | Error msg -> failwith ("analyze report did not round-trip: " ^ msg)
 

@@ -58,6 +58,14 @@ val error : Json.t -> string -> string -> Json.t
 (** [error id code message] — a terminal error response in the protocol's
     shape.  Exposed for transports layered over {!handle}. *)
 
+val analyze_memo : string Tgd_engine.Memo.t
+(** The per-process [analyze] report cache, keyed by the canonical
+    ontology digest ({!Tgd_engine.Memo.sigma_key}): analysis is pure in
+    the rule set and the deep lattice notions may chase the critical
+    instance, so repeated requests for the same ontology — under any
+    syntactic presentation — hit.  Exposed for tests and cache
+    introspection. *)
+
 val handle : config -> Json.t -> Json.t
 (** Process one parsed request to its terminal response.  Total: never
     raises, for any input (including injected faults — those either retry

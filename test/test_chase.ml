@@ -100,7 +100,7 @@ let test_recursive_existential_diverges () =
     [ tgd "P(x) -> exists z. E(x,z)."; tgd "E(x,y) -> T(y).";
       tgd "T(x) -> P(x)." ]
   in
-  check_bool "not weakly acyclic" false (Weak_acyclicity.is_weakly_acyclic sigma);
+  check_bool "not weakly acyclic" false (Tgd_analysis.Termination.is_weakly_acyclic sigma);
   let i = inst ~schema:s "P(a)." in
   let r = Chase.restricted ~budget:(Budget.limits ~rounds:6 ~facts:500) sigma i in
   check_bool "budget exhausted" true (truncated r)

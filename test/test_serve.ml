@@ -150,6 +150,23 @@ let test_analyze_op () =
   | Json.String _ -> ()
   | j -> Alcotest.failf "unexpected certificate %s" (Json.to_string j)
 
+let test_analyze_cached () =
+  let module Memo = Tgd_engine.Memo in
+  Memo.clear Server.analyze_memo;
+  let r1 = handle {| {"id": 1, "op": "analyze",
+                      "tgds": "P(x) -> exists z. Q(x,z)."} |} in
+  let misses = (Memo.counters Server.analyze_memo).Memo.misses in
+  (* same ontology under different whitespace: the canonical key hits *)
+  let r2 = handle {| {"id": 2, "op": "analyze",
+                      "tgds": "P(x)  ->  exists z.  Q(x,z)."} |} in
+  check_bool "first request missed" true (misses > 0);
+  check_bool "second request hit" true
+    ((Memo.counters Server.analyze_memo).Memo.hits > 0
+    && (Memo.counters Server.analyze_memo).Memo.misses = misses);
+  check_bool "identical reports" true
+    (Json.to_string (Option.get (Json.member "result" r1))
+    = Json.to_string (Option.get (Json.member "result" r2)))
+
 let test_bad_requests () =
   List.iter
     (fun (label, src) ->
@@ -350,6 +367,7 @@ let suite =
     case "entail op" test_entail_op;
     case "rewrite op" test_rewrite_op;
     case "analyze op" test_analyze_op;
+    case "analyze reports cached by ontology digest" test_analyze_cached;
     case "malformed requests are bad_request" test_bad_requests;
     case "faults exhaust retries into a typed response"
       test_fault_exhausts_retries;

@@ -1,20 +1,21 @@
 open Tgd_chase
 open Helpers
+module Termination = Tgd_analysis.Termination
 
 let test_weakly_acyclic_positive () =
   check_bool "full tgds" true
-    (Weak_acyclicity.is_weakly_acyclic [ tgd "E(x,y), E(y,z) -> E(x,z)." ]);
+    (Termination.is_weakly_acyclic [ tgd "E(x,y), E(y,z) -> E(x,z)." ]);
   check_bool "acyclic existential" true
-    (Weak_acyclicity.is_weakly_acyclic [ tgd "P(x) -> exists z. E(x,z)." ]);
+    (Termination.is_weakly_acyclic [ tgd "P(x) -> exists z. E(x,z)." ]);
   check_bool "chain family" true
-    (Weak_acyclicity.is_weakly_acyclic (Tgd_workload.Families.existential_chain 4));
-  check_bool "empty set" true (Weak_acyclicity.is_weakly_acyclic [])
+    (Termination.is_weakly_acyclic (Tgd_workload.Families.existential_chain 4));
+  check_bool "empty set" true (Termination.is_weakly_acyclic [])
 
 let test_weakly_acyclic_negative () =
   check_bool "self-feeding existential" false
-    (Weak_acyclicity.is_weakly_acyclic [ tgd "E(x,y) -> exists z. E(y,z)." ]);
+    (Termination.is_weakly_acyclic [ tgd "E(x,y) -> exists z. E(y,z)." ]);
   check_bool "two-rule cycle" false
-    (Weak_acyclicity.is_weakly_acyclic
+    (Termination.is_weakly_acyclic
        [ tgd "E(x,y) -> exists z. F(y,z)."; tgd "F(x,y) -> exists z. E(y,z)." ])
 
 let test_full_always_weakly_acyclic () =
@@ -25,20 +26,20 @@ let test_full_always_weakly_acyclic () =
     let s =
       Tgd_workload.Gen.random_full_tgd st schema ~n:3 ~body_atoms:2 ~head_atoms:2
     in
-    check_bool "full is wa" true (Weak_acyclicity.is_weakly_acyclic [ s ])
+    check_bool "full is wa" true (Termination.is_weakly_acyclic [ s ])
   done
 
 let test_graph_edges () =
-  let edges = Weak_acyclicity.dependency_graph [ tgd "P(x) -> exists z. E(x,z)." ] in
-  let special = List.filter (fun e -> e.Weak_acyclicity.special) edges in
-  let regular = List.filter (fun e -> not e.Weak_acyclicity.special) edges in
+  let edges = Termination.dependency_graph [ tgd "P(x) -> exists z. E(x,z)." ] in
+  let special = List.filter (fun e -> e.Termination.special) edges in
+  let regular = List.filter (fun e -> not e.Termination.special) edges in
   check_int "one special edge (P[0] → E[1])" 1 (List.length special);
   check_int "one regular edge (P[0] → E[0])" 1 (List.length regular)
 
 let test_wa_chase_terminates () =
   (* weak acyclicity really does guarantee termination on our chase *)
   let sigma = Tgd_workload.Families.existential_chain 5 in
-  check_bool "wa" true (Weak_acyclicity.is_weakly_acyclic sigma);
+  check_bool "wa" true (Termination.is_weakly_acyclic sigma);
   let schema = Tgd_core.Rewrite.schema_of sigma in
   let i =
     Tgd_workload.Gen.random_instance (Tgd_workload.Gen.rng 3) schema ~dom_size:3
