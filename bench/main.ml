@@ -1419,7 +1419,8 @@ let e16 ~quick () =
   let module Loadgen = Tgd_net.Loadgen in
   let module Warm = Tgd_net.Warm in
   let module Chaos = Tgd_engine.Chaos in
-  section "E16  serving: socket throughput, warm-vs-cold cache, chaos";
+  let module Fleet = Tgd_net.Fleet in
+  let module Supervisor = Tgd_engine.Supervisor in
   let sock =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -1437,7 +1438,134 @@ let e16 ~quick () =
     let t = Transport.start (config workers) addr in
     Fun.protect ~finally:(fun () -> ignore (Transport.stop t)) (fun () -> f t)
   in
+  (* -- fleet: process-isolated shards under kills --------------------- *)
+  (* This block runs before anything in the bench process spawns a
+     domain: OCaml refuses [Unix.fork] forever after the first
+     [Domain.spawn], so the forking fleet rows must come first and the
+     in-process baseline (which spawns a worker-pool domain) after.
+     When the whole suite runs, earlier experiments have already spawned
+     domains — probe fork availability and record the skip honestly
+     instead of crashing ([bench serve] alone always takes this path). *)
+  section "E16  fleet: sharded serving, shard kills, failover";
+  let cores = Domain.recommended_domain_count () in
+  let can_fork =
+    try
+      (match Unix.fork () with
+      | 0 -> Unix._exit 0
+      | pid -> ignore (Unix.waitpid [] pid));
+      true
+    with Failure _ -> false
+  in
+  let fleet_conns = 8 and fleet_per_conn = if quick then 15 else 40 in
+  let fleet_workload = Loadgen.multi_workload ~ontologies:8 ~distinct:4 () in
+  let fleet_rows = Buffer.create 1024 in
+  let fleet_row ~mode ~shards ~kills ~respawns (r : Loadgen.result) =
+    if Buffer.length fleet_rows > 0 then Buffer.add_string fleet_rows ",\n";
+    Buffer.add_string fleet_rows
+      (Printf.sprintf
+         "    {\"mode\": %S, \"shards\": %d, \"kills\": %S, \
+          \"requests\": %d, \"ok\": %d, \"errors\": %d, \"malformed\": %d, \
+          \"reconnects\": %d, \"respawns\": %d, \"req_per_s\": %.1f, \
+          \"p99_ms\": %.4f}"
+         mode shards kills r.Loadgen.requests r.Loadgen.ok r.Loadgen.errors
+         r.Loadgen.malformed r.Loadgen.reconnects respawns
+         (Loadgen.throughput r)
+         (1000. *. Loadgen.percentile r.Loadgen.latencies_s 99.));
+    row "%-8s %-10s %8d %8d %10d %11d %9d %10.1f %10.3f@." mode kills
+      r.Loadgen.ok r.Loadgen.errors r.Loadgen.malformed r.Loadgen.reconnects
+      respawns (Loadgen.throughput r)
+      (1000. *. Loadgen.percentile r.Loadgen.latencies_s 99.)
+  in
+  row "(multi workload: %d ontologies, %d connections x %d requests, \
+       %d cores)@." 8 fleet_conns fleet_per_conn cores;
+  row "%-8s %-10s %8s %8s %10s %11s %9s %10s %10s@." "mode" "kills" "ok"
+    "errors" "malformed" "reconnects" "respawns" "req/s" "p99(ms)";
+  if can_fork then begin
+    let fleet_sock =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tgd_bench_fleet_%d.sock" (Unix.getpid ()))
+    in
+    let fleet_addr = Transport.Unix_sock fleet_sock in
+    let fleet_config =
+      { Fleet.default_config with
+        Fleet.shards = 4;
+        shard = config 2;
+        cache_bytes = Some (32 * 1024 * 1024);
+        beat_s = 0.1;
+        policy =
+          { Supervisor.max_restarts = 1000;
+            backoff_base_s = 0.05;
+            backoff_cap_s = 0.5;
+            wedge_timeout_s = Some 5.0;
+            tick_s = 0.05
+          };
+        retries = 6;
+        backoff_base_s = 0.05
+      }
+    in
+    let with_fleet f =
+      let t = Fleet.start fleet_config fleet_addr in
+      Fun.protect ~finally:(fun () -> ignore (Fleet.stop t)) (fun () -> f t)
+    in
+    let drive t =
+      Loadgen.run ~fault_tolerant:true fleet_addr ~connections:fleet_conns
+        ~requests:fleet_per_conn fleet_workload
+      |> fun r -> (r, Fleet.respawn_count t)
+    in
+    (* a respawn can land just after the last response; give the monitor
+       a moment so the row records the recovery it actually performed *)
+    let await_respawn t =
+      let deadline = Unix.gettimeofday () +. 10. in
+      while Fleet.respawn_count t = 0 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.05
+      done
+    in
+    let r, respawns = with_fleet drive in
+    fleet_row ~mode:"fleet" ~shards:4 ~kills:"none" ~respawns r;
+    let r, respawns =
+      with_fleet (fun t ->
+          let killer =
+            Thread.create
+              (fun () ->
+                Thread.delay 0.3;
+                ignore (Fleet.kill_shard t 0))
+              ()
+          in
+          let r, _ = drive t in
+          Thread.join killer;
+          await_respawn t;
+          (r, Fleet.respawn_count t))
+    in
+    fleet_row ~mode:"fleet" ~shards:4 ~kills:"one" ~respawns r;
+    let r, respawns =
+      with_fleet (fun t ->
+          Chaos.with_config
+            { Chaos.default_config with Chaos.seed = 17; kill_p = 0.04 }
+            (fun () ->
+              let r, _ = drive t in
+              await_respawn t;
+              (r, Fleet.respawn_count t)))
+    in
+    fleet_row ~mode:"fleet" ~shards:4 ~kills:"periodic" ~respawns r
+  end
+  else
+    row "(fleet rows skipped: fork unavailable after domain spawn — run \
+         [bench serve] alone)@.";
   Warm.configure ~cache_bytes:(Some (64 * 1024 * 1024));
+  (* the in-process comparison point: same workload and connection
+     count, one process, a 4-worker domain pool.  On a single-core
+     machine the 4-shard fleet cannot beat this — the JSON carries
+     [cores] so the multi-core CI gate knows when to enforce
+     fleet >= single. *)
+  Warm.reset ();
+  let single =
+    with_server ~workers:4 (fun _ ->
+        Loadgen.run ~fault_tolerant:true addr ~connections:fleet_conns
+          ~requests:fleet_per_conn fleet_workload)
+  in
+  fleet_row ~mode:"single" ~shards:1 ~kills:"none" ~respawns:0 single;
+  section "E16  serving: socket throughput, warm-vs-cold cache, chaos";
   (* -- sustained throughput by connection count ----------------------- *)
   let per_conn = if quick then 20 else 50 in
   let ks = [ 1; 4; 16; 64 ] in
@@ -1539,9 +1667,13 @@ let e16 ~quick () =
   (try Unix.unlink sock with Unix.Unix_error (_, _, _) -> ());
   let oc = open_out "BENCH_serve.json" in
   Printf.fprintf oc
-    "{\n  \"benchmark\": \"serve\",\n  \"throughput\": [\n%s\n  ],\n%s,\n\
+    "{\n  \"benchmark\": \"serve\",\n\
+    \  \"fleet\": {\"cores\": %d, \"fork_available\": %b, \"rows\": [\n\
+     %s\n  ]},\n\
+    \  \"throughput\": [\n%s\n  ],\n%s,\n\
     \  \"chaos\": [\n%s\n  ]\n}\n"
-    (Buffer.contents tp_entries) wc_entry
+    cores can_fork (Buffer.contents fleet_rows) (Buffer.contents tp_entries)
+    wc_entry
     (Buffer.contents chaos_entries);
   close_out oc;
   row "@.BENCH_serve.json written@."

@@ -947,11 +947,31 @@ let serve_cmd =
       & info [ "chaos-delay-p" ] ~docv:"P"
           ~doc:"Fault injection: probability of a 1ms delay per site step.")
   in
+  let chaos_kill_p_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "chaos-kill-p" ] ~docv:"P"
+          ~doc:"Fault injection for $(b,--shards) fleets: probability per \
+                supervisor tick of SIGKILLing a random shard process — the \
+                deterministic shard-kill drill behind the fleet CI job.")
+  in
   let chaos_seed_arg =
     Arg.(
       value & opt int 0
       & info [ "chaos-seed" ] ~docv:"SEED"
           ~doc:"Seed for the deterministic fault-injection schedule.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Serve from $(docv) forked shard processes instead of one: \
+                each shard runs the full socket serve loop with its own \
+                worker domains and warm caches; the parent supervises \
+                (heartbeats, respawn with backoff, degraded mode below \
+                quorum) and routes requests by ontology digest with \
+                transparent failover.  Requires $(b,--socket) or \
+                $(b,--tcp).")
   in
   let socket_arg =
     Arg.(
@@ -1012,15 +1032,16 @@ let serve_cmd =
                 finish before they are cut.")
   in
   let run rounds max_facts timeout retries queue_limit chaos_raise_p
-      chaos_delay_p chaos_seed socket tcp workers max_connections
-      idle_timeout cache_bytes max_line_bytes drain_grace checkpoint_dir
-      checkpoint_every =
-    if chaos_raise_p > 0. || chaos_delay_p > 0. then
+      chaos_delay_p chaos_kill_p chaos_seed shards socket tcp workers
+      max_connections idle_timeout cache_bytes max_line_bytes drain_grace
+      checkpoint_dir checkpoint_every =
+    if chaos_raise_p > 0. || chaos_delay_p > 0. || chaos_kill_p > 0. then
       Tgd_engine.Chaos.install
         { Tgd_engine.Chaos.default_config with
           seed = chaos_seed;
           raise_p = chaos_raise_p;
-          delay_p = chaos_delay_p
+          delay_p = chaos_delay_p;
+          kill_p = chaos_kill_p
         };
     let config =
       { Tgd_serve.Server.default_config with
@@ -1059,9 +1080,13 @@ let serve_cmd =
       | None, None -> None
     in
     match addr with
-    | None -> exit (Tgd_serve.Server.serve ~config stdin stdout)
+    | None ->
+      if shards > 1 then begin
+        Fmt.epr "tgdtool serve: --shards needs --socket or --tcp@.";
+        exit 2
+      end;
+      exit (Tgd_serve.Server.serve ~config stdin stdout)
     | Some addr ->
-      Tgd_net.Warm.configure ~cache_bytes;
       let tconfig =
         { Tgd_net.Transport.dispatcher =
             { Tgd_net.Dispatcher.server = config;
@@ -1073,7 +1098,26 @@ let serve_cmd =
           drain_grace_s = drain_grace
         }
       in
-      exit (Tgd_net.Transport.serve tconfig addr)
+      if shards > 1 then
+        (* the parent is pure supervisor + router: warm caches and worker
+           domains live in the forked shards, configured post-fork *)
+        exit
+          (Tgd_net.Fleet.serve
+             { Tgd_net.Fleet.default_config with
+               shards;
+               shard = tconfig;
+               cache_bytes;
+               max_connections;
+               idle_timeout_s = idle_timeout;
+               drain_grace_s = drain_grace;
+               retries;
+               backoff_base_s = config.Tgd_serve.Server.backoff_base_s
+             }
+             addr)
+      else begin
+        Tgd_net.Warm.configure ~cache_bytes;
+        exit (Tgd_net.Transport.serve tconfig addr)
+      end
   in
   Cmd.v
     (Cmd.info "serve" ~exits
@@ -1085,14 +1129,16 @@ let serve_cmd =
              requests beyond $(b,--queue-limit) (earlier, when predicted \
              expensive by static analysis) are shed with a structured \
              $(b,overloaded) error; SIGINT and SIGTERM drain in-flight \
-             work before exiting.")
+             work before exiting.  With $(b,--shards N) the socket is \
+             served by a supervised fleet of N forked shard processes \
+             with failover (see $(b,tgdtool fleet)).")
     Term.(
       const run $ budget_arg $ max_facts_arg $ timeout_arg $ retries_arg
       $ queue_limit_arg $ chaos_raise_p_arg $ chaos_delay_p_arg
-      $ chaos_seed_arg $ socket_arg $ tcp_arg $ workers_arg
-      $ max_connections_arg $ idle_timeout_arg $ cache_bytes_arg
-      $ max_line_bytes_arg $ drain_grace_arg $ checkpoint_dir_arg
-      $ checkpoint_every_arg)
+      $ chaos_kill_p_arg $ chaos_seed_arg $ shards_arg $ socket_arg
+      $ tcp_arg $ workers_arg $ max_connections_arg $ idle_timeout_arg
+      $ cache_bytes_arg $ max_line_bytes_arg $ drain_grace_arg
+      $ checkpoint_dir_arg $ checkpoint_every_arg)
 
 (* ---- loadgen ---- *)
 
@@ -1124,8 +1170,10 @@ let loadgen_cmd =
       value & opt string "entail"
       & info [ "op" ] ~docv:"OP"
           ~doc:"Workload: $(b,entail), $(b,classify), $(b,mixed), \
-                $(b,rewrite) (g2l sweeps — see $(b,--ontology)), or \
-                $(b,batch) (chunked multi-request submissions).")
+                $(b,rewrite) (g2l sweeps — see $(b,--ontology)), \
+                $(b,batch) (chunked multi-request submissions), or \
+                $(b,multi) (entailment over $(b,--ontologies) distinct \
+                rule sets — spreads across fleet shards).")
   in
   let distinct_arg =
     Arg.(
@@ -1148,6 +1196,22 @@ let loadgen_cmd =
       & info [ "batch" ] ~docv:"B"
           ~doc:"For $(b,--op batch): sub-requests per submission.")
   in
+  let ontologies_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "ontologies" ] ~docv:"K"
+          ~doc:"For $(b,--op multi): distinct rule sets cycled through.")
+  in
+  let fault_tolerant_arg =
+    Arg.(
+      value & flag
+      & info [ "fault-tolerant" ]
+          ~doc:"Reconnect and resend on transport failures (reset, EOF \
+                mid-request) instead of failing, counting them under \
+                $(b,reconnects) — transport recoveries stay distinct from \
+                request-level $(b,errors).  The client side of the fleet \
+                shard-kill drill.")
+  in
   let json_arg =
     Arg.(
       value & flag
@@ -1160,8 +1224,8 @@ let loadgen_cmd =
           ~doc:"Exit 1 if any response was malformed (protocol-shape \
                 violation) — used by the CI smoke job.")
   in
-  let run socket tcp connections requests op distinct ontology batch json
-      check =
+  let run socket tcp connections requests op distinct ontology batch
+      ontologies fault_tolerant json check =
     let addr =
       match (socket, tcp) with
       | Some path, None -> Tgd_net.Transport.Unix_sock path
@@ -1196,22 +1260,26 @@ let loadgen_cmd =
         ontology
     in
     let workload =
-      match Tgd_net.Loadgen.workload_of_name ~distinct ?tgds ~batch op with
+      match
+        Tgd_net.Loadgen.workload_of_name ~distinct ?tgds ~batch ~ontologies op
+      with
       | Some w -> w
       | None ->
         Fmt.epr "tgdtool loadgen: unknown --op %S@." op;
         exit 2
     in
-    let r = Tgd_net.Loadgen.run addr ~connections ~requests workload in
+    let r =
+      Tgd_net.Loadgen.run ~fault_tolerant addr ~connections ~requests workload
+    in
     if json then
       print_endline (Tgd_serve.Json.to_string (Tgd_net.Loadgen.result_json r))
     else
       Fmt.pr
-        "%d connections x %d requests: %d ok, %d errors, %d malformed in \
-         %.2fs (%.1f req/s, p50 %.2fms, p99 %.2fms)@."
+        "%d connections x %d requests: %d ok, %d errors, %d malformed, %d \
+         reconnects in %.2fs (%.1f req/s, p50 %.2fms, p99 %.2fms)@."
         r.Tgd_net.Loadgen.connections requests r.Tgd_net.Loadgen.ok
         r.Tgd_net.Loadgen.errors r.Tgd_net.Loadgen.malformed
-        r.Tgd_net.Loadgen.elapsed_s
+        r.Tgd_net.Loadgen.reconnects r.Tgd_net.Loadgen.elapsed_s
         (Tgd_net.Loadgen.throughput r)
         (1000. *. Tgd_net.Loadgen.percentile r.Tgd_net.Loadgen.latencies_s 50.)
         (1000. *. Tgd_net.Loadgen.percentile r.Tgd_net.Loadgen.latencies_s 99.);
@@ -1224,8 +1292,88 @@ let loadgen_cmd =
              latency percentiles.")
     Term.(
       const run $ socket_arg $ tcp_arg $ connections_arg $ requests_arg
-      $ op_arg $ distinct_arg $ ontology_arg $ batch_arg $ json_arg
-      $ check_arg)
+      $ op_arg $ distinct_arg $ ontology_arg $ batch_arg $ ontologies_arg
+      $ fault_tolerant_arg $ json_arg $ check_arg)
+
+(* ---- fleet ---- *)
+
+let fleet_cmd =
+  let socket_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Connect to a fleet front-end on a Unix-domain socket.")
+  in
+  let tcp_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Connect to a fleet front-end over TCP.")
+  in
+  let run socket tcp =
+    let addr =
+      match (socket, tcp) with
+      | Some path, None -> Tgd_net.Transport.Unix_sock path
+      | None, Some hostport -> (
+        match String.rindex_opt hostport ':' with
+        | Some i -> (
+          let host = String.sub hostport 0 i
+          and port =
+            String.sub hostport (i + 1) (String.length hostport - i - 1)
+          in
+          match int_of_string_opt port with
+          | Some p ->
+            Tgd_net.Transport.Tcp
+              ((if host = "" then "127.0.0.1" else host), p)
+          | None ->
+            Fmt.epr "tgdtool fleet: --tcp expects HOST:PORT@.";
+            exit 2)
+        | None ->
+          Fmt.epr "tgdtool fleet: --tcp expects HOST:PORT@.";
+          exit 2)
+      | _ ->
+        Fmt.epr "tgdtool fleet: exactly one of --socket/--tcp required@.";
+        exit 2
+    in
+    let fd = Tgd_net.Loadgen.connect addr in
+    let ic = Unix.in_channel_of_descr fd
+    and oc = Unix.out_channel_of_descr fd in
+    output_string oc "{\"id\": 0, \"op\": \"fleet_status\"}\n";
+    flush oc;
+    (match input_line ic with
+    | exception End_of_file ->
+      Fmt.epr "tgdtool fleet: server closed without answering@.";
+      exit 1
+    | line -> (
+      match Tgd_serve.Json.of_string line with
+      | Error msg ->
+        Fmt.epr "tgdtool fleet: unparsable response: %s@." msg;
+        exit 1
+      | Ok resp -> (
+        match Tgd_serve.Json.member "result" resp with
+        | Some result ->
+          print_endline (Tgd_serve.Json.to_string result)
+        | None ->
+          (* a plain single-process server answers with an error —
+             surface it verbatim so the caller sees why *)
+          print_endline line;
+          exit 1)));
+    try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+  in
+  let status_cmd =
+    Cmd.v
+      (Cmd.info "status" ~exits
+         ~doc:"Query a running $(b,tgdtool serve --shards N) front-end with \
+               the $(b,fleet_status) op and print the result object: shard \
+               liveness and pids, quorum, degraded/breaker flags, respawn \
+               and chaos-kill counts, and router counters.  Exit 1 when the \
+               server is not a fleet.")
+      Term.(const run $ socket_arg $ tcp_arg)
+  in
+  Cmd.group
+    (Cmd.info "fleet"
+       ~doc:"Inspect a running shard fleet ($(b,tgdtool serve --shards)).")
+    [ status_cmd ]
 
 (* ---- workload ---- *)
 
@@ -1316,6 +1464,6 @@ let main =
     [ classify_cmd; chase_cmd; entails_cmd; rewrite_cmd; properties_cmd;
       synthesize_cmd; count_cmd; diagnose_cmd; theory_cmd; datalog_cmd;
       core_cmd; acyclic_cmd; refute_cmd; analyze_cmd; certcheck_cmd;
-      checkpoint_cmd; serve_cmd; loadgen_cmd; workload_cmd ]
+      checkpoint_cmd; serve_cmd; loadgen_cmd; fleet_cmd; workload_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -5,6 +5,7 @@ type config = {
   alloc_p : float;
   alloc_words : int;
   raise_p : float;
+  kill_p : float;
 }
 
 let default_config =
@@ -13,7 +14,8 @@ let default_config =
     delay_s = 1e-3;
     alloc_p = 0.;
     alloc_words = 65_536;
-    raise_p = 0.
+    raise_p = 0.;
+    kill_p = 0.
   }
 
 exception Injected of string
@@ -85,3 +87,22 @@ let step ~site =
       ignore (Sys.opaque_identity (Array.make cfg.alloc_words 0));
     if draw cfg.seed site shot 2 < cfg.raise_p then
       raise (Injected (Printf.sprintf "%s#%d" site shot))
+
+(* The process-kill family.  Unlike the in-process faults above, chaos
+   cannot kill a shard itself — it has no business holding pids — so the
+   draw only *decides*: the fleet monitor steps this site once per
+   supervision tick and carries out the sentence on the victim index.
+   Same determinism contract as [step]: the kill schedule (which ticks
+   fire, which of [n] victims each picks) is a pure function of
+   (seed, site, tick count). *)
+let kill_shot ~site ~n =
+  match Atomic.get state with
+  | None -> None
+  | Some cfg ->
+    if cfg.kill_p <= 0. || n <= 0 then None
+    else begin
+      let shot = next_shot site in
+      if draw cfg.seed site shot 3 < cfg.kill_p then
+        Some (int_of_float (draw cfg.seed site shot 4 *. float_of_int n))
+      else None
+    end

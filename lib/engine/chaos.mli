@@ -32,6 +32,8 @@ type config = {
   alloc_p : float;      (** probability of a transient allocation spike *)
   alloc_words : int;
   raise_p : float;      (** probability of raising {!Injected} *)
+  kill_p : float;       (** probability per {!kill_shot} that a process-kill
+                            fires (consulted by the shard-fleet monitor) *)
 }
 
 val default_config : config
@@ -58,3 +60,13 @@ val step : site:string -> unit
 val shot_count : site:string -> int
 (** Steps taken at [site] since the last {!install} — how far that site's
     deterministic stream has advanced. *)
+
+val kill_shot : site:string -> n:int -> int option
+(** The process-kill fault family.  Steps [site]'s deterministic stream
+    once and decides whether a kill fires this shot and, if so, which of
+    [n] victims it picks ([Some v] with [0 <= v < n]).  The caller — the
+    shard-fleet supervision loop, once per tick — owns the actual
+    [kill -9]; chaos only supplies the deterministic schedule.  [None]
+    always when no config is installed, [kill_p <= 0], or [n <= 0] (the
+    stream does not advance in those cases either, so enabling kills does
+    not perturb the other families' schedules). *)

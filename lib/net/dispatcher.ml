@@ -44,31 +44,53 @@ let default_config =
 type t = {
   config : config;
   pool : Pool.t;
+  fairq : Fairq.t;
   depth : int Atomic.t;
   served : int Atomic.t;
   shed : int Atomic.t;
+  mutable extra_stats : (string * (unit -> Json.t)) list;
 }
 
 let create config =
+  let workers = max 1 config.workers in
   { config;
-    pool = Pool.create ~jobs:(max 1 config.workers) ();
+    pool = Pool.create ~jobs:workers ();
+    (* the fair queue is the pool's waiting room: as many grants
+       outstanding as there are worker domains, everything else parks in
+       per-connection queues and is granted round-robin *)
+    fairq = Fairq.create ~capacity:workers;
     depth = Atomic.make 0;
     served = Atomic.make 0;
-    shed = Atomic.make 0
+    shed = Atomic.make 0;
+    extra_stats = []
   }
 
 let shutdown t = Pool.shutdown t.pool
 
 let queue_depth t = Atomic.get t.depth
 
+let add_stats t key provider =
+  t.extra_stats <- t.extra_stats @ [ (key, provider) ]
+
 let stats_json t =
   let h = Pool.health t.pool in
   let c = Pool.counters t.pool in
   Json.Obj
-    [ ("requests_served", Json.Int (Atomic.get t.served));
+    ([ ("requests_served", Json.Int (Atomic.get t.served));
       ("requests_shed", Json.Int (Atomic.get t.shed));
       ("queue_depth", Json.Int (Atomic.get t.depth));
       ("workers", Json.Int (Pool.jobs t.pool));
+      ( "fair_queue",
+        Json.Obj
+          [ ("capacity", Json.Int (Fairq.capacity t.fairq));
+            ("in_flight", Json.Int (Fairq.in_flight t.fairq));
+            ("waiting", Json.Int (Fairq.waiting t.fairq));
+            ( "depths",
+              Json.Obj
+                (List.map
+                   (fun (conn, d) -> (string_of_int conn, Json.Int d))
+                   (Fairq.depths t.fairq)) )
+          ] );
       ( "pool",
         Json.Obj
           [ ("alive", Json.Int h.Tgd_engine.Supervisor.alive);
@@ -85,6 +107,7 @@ let stats_json t =
           ] );
       ("cache", Warm.counters_json (Warm.counters ()))
     ]
+    @ List.map (fun (key, provider) -> (key, provider ())) t.extra_stats)
 
 let overloaded t ~cost ~depth req =
   let id = Server.request_id req in
@@ -207,7 +230,7 @@ let with_cache_stats req resp =
       Json.Obj (fields @ [ ("cache", Warm.counters_json (Warm.counters ())) ])
     | other -> other
 
-let handle t req =
+let handle ?(conn = -1) t req =
   match Json.member "op" req with
   | Some (Json.String "stats") ->
     Json.Obj
@@ -224,10 +247,15 @@ let handle t req =
         | Admission.Shed cost ->
           ignore (Atomic.fetch_and_add t.shed 1);
           overloaded t ~cost ~depth req
-        | Admission.Admit _ -> (
-          match Json.member "op" req with
-          | Some (Json.String "batch") -> batch_response t req
-          | _ ->
-            let resp = run_on_pool t req in
-            ignore (Atomic.fetch_and_add t.served 1);
-            with_cache_stats req resp)))
+        | Admission.Admit _ ->
+          (* admitted: wait for a fair-queue slot before touching the
+             pool, so pool entry rotates round-robin across connections
+             instead of first-come-first-served across whoever pipelines
+             hardest *)
+          Fairq.with_slot t.fairq ~conn (fun () ->
+              match Json.member "op" req with
+              | Some (Json.String "batch") -> batch_response t req
+              | _ ->
+                let resp = run_on_pool t req in
+                ignore (Atomic.fetch_and_add t.served 1);
+                with_cache_stats req resp)))

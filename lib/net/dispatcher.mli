@@ -15,10 +15,17 @@
     [k] requests returns exactly the [k] responses sequential submission
     would.  Admission predicts a batch at its dearest member's cost.
 
+    Admitted requests wait for a {!Fairq} slot before entering the pool:
+    per-connection queues granted round-robin, so a connection
+    pipelining requests back-to-back cannot starve the others.  Pass the
+    session's connection id to {!handle} to get a dedicated queue;
+    callers without one (stdio, tests) share a default queue.
+
     A [stats] op reports served/shed counts, pool health, chunk counters
-    (chunks submitted/stolen, items, barrier merge time), and warm-cache
-    counters; normal responses stay byte-identical across connections
-    unless the client opts in with ["cache_stats": true]. *)
+    (chunks submitted/stolen, items, barrier merge time), fair-queue
+    state (per-connection queue depths), and warm-cache counters; normal
+    responses stay byte-identical across connections unless the client
+    opts in with ["cache_stats": true]. *)
 
 type config = {
   server : Tgd_serve.Server.config;  (** per-request budgets and retries *)
@@ -35,9 +42,16 @@ type t
 val create : config -> t
 (** Spawn the worker pool.  Pair with {!shutdown}. *)
 
-val handle : t -> Tgd_serve.Json.t -> Tgd_serve.Json.t
+val handle : ?conn:int -> t -> Tgd_serve.Json.t -> Tgd_serve.Json.t
 (** One parsed request to its terminal response.  Total: never raises.
-    Safe to call from any number of threads or domains concurrently. *)
+    Safe to call from any number of threads or domains concurrently.
+    [conn] names the calling connection's fair queue (default [-1], a
+    queue shared by all anonymous callers). *)
+
+val add_stats : t -> string -> (unit -> Tgd_serve.Json.t) -> unit
+(** Append a provider whose value is included under [key] in every
+    [stats] result — how the transport surfaces session counters that
+    the dispatcher cannot see.  Call before serving traffic. *)
 
 val queue_depth : t -> int
 (** Requests currently between admission and response. *)

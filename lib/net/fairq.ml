@@ -1,0 +1,113 @@
+(* Per-client fair queueing.
+
+   Before this module the dispatcher's waiting room was whatever order
+   session threads happened to hit the worker pool in — effectively one
+   global FIFO, so a connection pipelining requests back-to-back could
+   keep the pool saturated and starve everyone who arrived behind it.
+   Here each connection gets its own queue and grants rotate round-robin
+   across the connections that have waiters: a greedy connection still
+   gets full throughput when it is alone, but the moment a second
+   connection shows up the two alternate, and K connections each see
+   ~1/K of the pool no matter how deep anyone's pipeline is.
+
+   Mechanics: [acquire] parks the calling thread on a per-connection
+   queue as a granted-flag cell; whenever capacity frees up the scheduler
+   pops the head of the next connection's queue in rotation, flips its
+   flag, and broadcasts.  Within one connection order stays FIFO (the
+   NDJSON protocol promises in-order responses per connection, and each
+   session thread is serial anyway).  [capacity] bounds how many grants
+   are outstanding — the dispatcher sizes it to the worker pool, so the
+   queue is exactly the pool's waiting room, reordered. *)
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  capacity : int;
+  queues : (int, bool ref Queue.t) Hashtbl.t;
+  mutable rotation : int list; (* conns with waiters, next-to-grant first *)
+  mutable in_flight : int;
+  mutable waiting : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Fairq.create: capacity must be >= 1";
+  { mu = Mutex.create ();
+    cond = Condition.create ();
+    capacity;
+    queues = Hashtbl.create 16;
+    rotation = [];
+    in_flight = 0;
+    waiting = 0
+  }
+
+let capacity t = t.capacity
+
+(* Grant as long as there is headroom and someone is waiting.  Must be
+   called with [t.mu] held. *)
+let rec grant_locked t =
+  if t.in_flight < t.capacity then
+    match t.rotation with
+    | [] -> ()
+    | conn :: rest ->
+      let q = Hashtbl.find t.queues conn in
+      let granted = Queue.pop q in
+      granted := true;
+      t.in_flight <- t.in_flight + 1;
+      t.waiting <- t.waiting - 1;
+      (if Queue.is_empty q then begin
+         Hashtbl.remove t.queues conn;
+         t.rotation <- rest
+       end
+       else t.rotation <- rest @ [ conn ]);
+      Condition.broadcast t.cond;
+      grant_locked t
+
+let acquire t ~conn =
+  Mutex.lock t.mu;
+  let granted = ref false in
+  let q =
+    match Hashtbl.find_opt t.queues conn with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.queues conn q;
+      t.rotation <- t.rotation @ [ conn ];
+      q
+  in
+  Queue.push granted q;
+  t.waiting <- t.waiting + 1;
+  grant_locked t;
+  while not !granted do
+    Condition.wait t.cond t.mu
+  done;
+  Mutex.unlock t.mu
+
+let release t =
+  Mutex.lock t.mu;
+  t.in_flight <- t.in_flight - 1;
+  grant_locked t;
+  Mutex.unlock t.mu
+
+let with_slot t ~conn f =
+  acquire t ~conn;
+  Fun.protect ~finally:(fun () -> release t) f
+
+let waiting t =
+  Mutex.lock t.mu;
+  let n = t.waiting in
+  Mutex.unlock t.mu;
+  n
+
+let in_flight t =
+  Mutex.lock t.mu;
+  let n = t.in_flight in
+  Mutex.unlock t.mu;
+  n
+
+let depths t =
+  Mutex.lock t.mu;
+  let ds =
+    Hashtbl.fold (fun conn q acc -> (conn, Queue.length q) :: acc) t.queues []
+  in
+  Mutex.unlock t.mu;
+  List.sort (fun (a, _) (b, _) -> compare a b) ds

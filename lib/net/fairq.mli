@@ -1,0 +1,40 @@
+(** Per-client fair queueing for the dispatcher's waiting room.
+
+    Replaces the implicit global FIFO in front of the worker pool with
+    per-connection queues and a round-robin grant rotation: a single
+    connection pipelining requests back-to-back cannot starve the
+    others — with K connections waiting, each is granted ~1/K of the
+    [capacity] slots.  Order within one connection stays FIFO, matching
+    the protocol's in-order-per-connection response contract.
+
+    Threads park in {!acquire} until granted; {!release} frees a slot
+    and wakes the next connection in rotation.  All operations are
+    thread-safe. *)
+
+type t
+
+val create : capacity:int -> t
+(** At most [capacity] grants outstanding at once.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val acquire : t -> conn:int -> unit
+(** Block until a slot is granted to [conn]'s queue, round-robin across
+    connections with waiters. *)
+
+val release : t -> unit
+(** Free a slot and grant the next waiter in rotation. *)
+
+val with_slot : t -> conn:int -> (unit -> 'a) -> 'a
+(** [acquire], run, always [release] (also on exceptions). *)
+
+val waiting : t -> int
+(** Requests currently parked across all connections. *)
+
+val in_flight : t -> int
+(** Slots currently granted. *)
+
+val depths : t -> (int * int) list
+(** Per-connection queue depth (conn id, waiters), connections with an
+    empty queue omitted, sorted by conn id. *)

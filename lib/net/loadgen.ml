@@ -10,7 +10,17 @@
    echoes an [id], has an ["ok"] bool); anything else counts as
    [malformed] — the CI smoke job fails on a single one.  [ok = false]
    responses (overloaded, fault, …) are counted as [errors], not
-   malformed: shedding under load is the protocol working. *)
+   malformed: shedding under load is the protocol working.
+
+   Fault tolerance is opt-in ([~fault_tolerant:true]): a transport
+   failure (connection refused/reset, EOF instead of a response) makes
+   the client reconnect and resend the request it was waiting on,
+   counting a [reconnect] rather than a failure — the fleet drill's
+   client-side half, where shard kills sever router sessions but every
+   request must still complete.  Reconnects are deliberately a separate
+   counter from [errors]: a typed error response is the server refusing
+   work, a reconnect is the transport hiccuping, and conflating them
+   would let a crash-looping server pass a shed-tolerant check. *)
 
 module Json = Tgd_serve.Json
 
@@ -20,6 +30,7 @@ type result = {
   ok : int;
   errors : int;    (** well-formed [ok = false] responses *)
   malformed : int; (** unparsable or protocol-shape-violating lines *)
+  reconnects : int; (** transport-level reconnect+resend recoveries *)
   elapsed_s : float;
   latencies_s : float array;  (** one entry per request, unordered *)
 }
@@ -70,6 +81,7 @@ type tally = {
   mutable t_ok : int;
   mutable t_errors : int;
   mutable t_malformed : int;
+  mutable t_reconnects : int;
   mutable t_lat : float list;
 }
 
@@ -82,50 +94,105 @@ let well_formed resp =
        | _ -> false)
   | _ -> false
 
-let client addr ~requests workload tid =
-  let tally = { t_ok = 0; t_errors = 0; t_malformed = 0; t_lat = [] } in
-  let fd = connect addr in
-  let ic = Unix.in_channel_of_descr fd
-  and oc = Unix.out_channel_of_descr fd in
+(* Per-request reconnect budget in fault-tolerant mode: enough to ride
+   out a shard kill plus its respawn backoff, small enough that a truly
+   dead server still fails the run promptly. *)
+let reconnect_budget = 8
+
+let record tally t0 line =
+  tally.t_lat <- (Unix.gettimeofday () -. t0) :: tally.t_lat;
+  match Json.of_string line with
+  | Error _ -> tally.t_malformed <- tally.t_malformed + 1
+  | Ok resp when not (well_formed resp) ->
+    tally.t_malformed <- tally.t_malformed + 1
+  | Ok resp -> (
+    match Json.member "ok" resp with
+    | Some (Json.Bool true) -> tally.t_ok <- tally.t_ok + 1
+    | _ -> tally.t_errors <- tally.t_errors + 1)
+
+let client ?(fault_tolerant = false) addr ~requests workload tid =
+  let tally =
+    { t_ok = 0; t_errors = 0; t_malformed = 0; t_reconnects = 0; t_lat = [] }
+  in
+  let conn = ref None in
+  let get_conn () =
+    match !conn with
+    | Some c -> c
+    | None ->
+      let fd = connect addr in
+      let c = (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd) in
+      conn := Some c;
+      c
+  in
+  let drop_conn () =
+    match !conn with
+    | None -> ()
+    | Some (fd, _, _) ->
+      conn := None;
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+  in
+  (* The legacy (non-tolerant) path preserves its exact accounting: EOF
+     mid-response counts one malformed and moves on; a send-side
+     transport error counts one malformed and aborts the connection. *)
+  let exception Abort in
+  (* one request: send, block for the line; fault-tolerant mode
+     reconnects and resends on any transport failure *)
+  let rec issue req t0 k =
+    match
+      let _, ic, oc = get_conn () in
+      output_string oc (Json.to_string req);
+      output_char oc '\n';
+      flush oc;
+      input_line ic
+    with
+    | line -> record tally t0 line
+    | exception End_of_file when not fault_tolerant ->
+      tally.t_malformed <- tally.t_malformed + 1
+    | exception (End_of_file | Sys_error _ | Unix.Unix_error (_, _, _)) ->
+      drop_conn ();
+      if not fault_tolerant then begin
+        tally.t_malformed <- tally.t_malformed + 1;
+        raise Abort
+      end
+      else if k < reconnect_budget then begin
+        tally.t_reconnects <- tally.t_reconnects + 1;
+        Thread.delay (0.05 *. float_of_int (k + 1));
+        issue req t0 (k + 1)
+      end
+      else tally.t_malformed <- tally.t_malformed + 1
+  in
   (try
      for i = 0 to requests - 1 do
        let req = workload ((tid * requests) + i) in
-       let t0 = Unix.gettimeofday () in
-       output_string oc (Json.to_string req);
-       output_char oc '\n';
-       flush oc;
-       match input_line ic with
-       | exception End_of_file -> tally.t_malformed <- tally.t_malformed + 1
-       | line -> (
-         tally.t_lat <- (Unix.gettimeofday () -. t0) :: tally.t_lat;
-         match Json.of_string line with
-         | Error _ -> tally.t_malformed <- tally.t_malformed + 1
-         | Ok resp when not (well_formed resp) ->
-           tally.t_malformed <- tally.t_malformed + 1
-         | Ok resp -> (
-           match Json.member "ok" resp with
-           | Some (Json.Bool true) -> tally.t_ok <- tally.t_ok + 1
-           | _ -> tally.t_errors <- tally.t_errors + 1))
+       issue req (Unix.gettimeofday ()) 0
      done
-   with Sys_error _ | Unix.Unix_error (_, _, _) ->
-     tally.t_malformed <- tally.t_malformed + 1);
-  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+   with
+  | Abort -> ()
+  | Sys_error _ | Unix.Unix_error (_, _, _) ->
+    tally.t_malformed <- tally.t_malformed + 1);
+  drop_conn ();
   tally
 
 (* [Thread.join] discards the closure's result, so each client parks
    its tally in a per-thread cell for the joiner to collect. *)
-let run addr ~connections ~requests workload =
+let run ?fault_tolerant addr ~connections ~requests workload =
   let t0 = Unix.gettimeofday () in
   let cells = Array.make (max 1 connections) None in
   let threads =
     List.init connections (fun tid ->
         Thread.create
-          (fun () -> cells.(tid) <- Some (client addr ~requests workload tid))
+          (fun () ->
+            cells.(tid) <-
+              Some (client ?fault_tolerant addr ~requests workload tid))
           ())
   in
   List.iter Thread.join threads;
   let elapsed_s = Unix.gettimeofday () -. t0 in
-  let ok = ref 0 and errors = ref 0 and malformed = ref 0 and lat = ref [] in
+  let ok = ref 0
+  and errors = ref 0
+  and malformed = ref 0
+  and reconnects = ref 0
+  and lat = ref [] in
   Array.iter
     (function
       | None -> incr malformed (* thread died before reporting *)
@@ -133,6 +200,7 @@ let run addr ~connections ~requests workload =
         ok := !ok + t.t_ok;
         errors := !errors + t.t_errors;
         malformed := !malformed + t.t_malformed;
+        reconnects := !reconnects + t.t_reconnects;
         lat := List.rev_append t.t_lat !lat)
     cells;
   { connections;
@@ -140,6 +208,7 @@ let run addr ~connections ~requests workload =
     ok = !ok;
     errors = !errors;
     malformed = !malformed;
+    reconnects = !reconnects;
     elapsed_s;
     latencies_s = Array.of_list !lat
   }
@@ -186,6 +255,34 @@ let mixed_workload ?(distinct = 8) () i =
   if i mod 3 = 0 then classify_workload ~distinct () i
   else entail_workload ~distinct () i
 
+(* [ontologies] renamed copies of the entailment chain: request [i] runs
+   against ontology [i mod ontologies], so the stream spreads over
+   [ontologies] distinct rule sets.  Single-sigma workloads all hash to
+   one shard under the fleet's digest routing (cache affinity working as
+   designed) — this is the workload that actually exercises every shard,
+   and the one the fleet drill and bench use. *)
+let multi_sigma o =
+  Printf.sprintf "E%d(x,y) -> S%d(y). S%d(x) -> T%d(x)." o o o o
+
+let multi_goal o k =
+  let buf = Buffer.create 64 in
+  for j = 0 to k - 1 do
+    if j > 0 then Buffer.add_string buf ", ";
+    Buffer.add_string buf (Printf.sprintf "E%d(x%d, x%d)" o j (j + 1))
+  done;
+  Buffer.add_string buf (Printf.sprintf " -> T%d(x%d)." o k);
+  Buffer.contents buf
+
+let multi_workload ?(ontologies = 8) ?(distinct = 4) () i =
+  let o = i mod max 1 ontologies in
+  let k = 2 + (i mod max 1 distinct) in
+  Json.Obj
+    [ ("id", Json.Int i);
+      ("op", Json.String "entail");
+      ("tgds", Json.String (multi_sigma o));
+      ("goal", Json.String (multi_goal o k))
+    ]
+
 (* Rewrite sweeps against a real (typically generated, large) ontology:
    every request screens the same candidate space, so the run checks the
    admission path end-to-end — a spurious [overloaded] shed on a
@@ -221,13 +318,14 @@ let batch_workload ?(distinct = 8) ?(batch = 8) () i =
       ("requests", Json.List subs)
     ]
 
-let workload_of_name ?distinct ?tgds ?batch name =
+let workload_of_name ?distinct ?tgds ?batch ?ontologies name =
   match name with
   | "entail" -> Some (entail_workload ?distinct ())
   | "classify" -> Some (classify_workload ?distinct ())
   | "mixed" -> Some (mixed_workload ?distinct ())
   | "rewrite" -> Some (rewrite_workload ?tgds ())
   | "batch" -> Some (batch_workload ?distinct ?batch ())
+  | "multi" -> Some (multi_workload ?ontologies ?distinct ())
   | _ -> None
 
 let result_json r =
@@ -237,6 +335,7 @@ let result_json r =
       ("ok", Json.Int r.ok);
       ("errors", Json.Int r.errors);
       ("malformed", Json.Int r.malformed);
+      ("reconnects", Json.Int r.reconnects);
       ("elapsed_s", Json.Float r.elapsed_s);
       ("req_per_s", Json.Float (throughput r));
       ("p50_ms", Json.Float (1000. *. percentile r.latencies_s 50.));

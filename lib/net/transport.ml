@@ -46,6 +46,89 @@ let default_config =
     drain_grace_s = 5.0
   }
 
+(* Why a session ended, as the transport saw it.  [EPIPE]/[ECONNRESET]
+   and the [SO_RCVTIMEO] idle timeout used to vanish into one generic
+   channel-failure bucket; typing them lets the [stats] op answer "are
+   clients going away cleanly, getting reset, or rotting idle?" — three
+   different operational problems. *)
+type session_end =
+  | Client_closed  (* orderly end-of-stream from the peer *)
+  | Peer_reset     (* EPIPE / ECONNRESET / ESHUTDOWN mid-session *)
+  | Idle_timeout   (* SO_RCVTIMEO expired on a quiet connection *)
+  | Drained        (* server-initiated drain ended the session *)
+  | Session_error of string  (* anything else the channel surfaced *)
+
+let session_end_name = function
+  | Client_closed -> "client_closed"
+  | Peer_reset -> "peer_reset"
+  | Idle_timeout -> "idle_timeout"
+  | Drained -> "drained"
+  | Session_error _ -> "error"
+
+(* Channel reads wrap the raw errno two ways: [Unix_error] from
+   unbuffered paths, [Sys_error strerror-text] once stdlib buffering is
+   involved (and EAGAIN from a read timeout as [Sys_blocked_io]).  The
+   string match is regrettable but the only handle [Sys_error] offers. *)
+let classify_session_exn exn =
+  let msg_has msg sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length msg
+      && (String.sub msg i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  match exn with
+  | End_of_file -> Client_closed
+  | Sys_blocked_io -> Idle_timeout
+  | Unix.Unix_error ((EPIPE | ECONNRESET | ESHUTDOWN | ENOTCONN), _, _) ->
+    Peer_reset
+  | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) -> Idle_timeout
+  | Sys_error msg when msg_has msg "Broken pipe" || msg_has msg "Connection reset"
+    -> Peer_reset
+  | Sys_error msg
+    when msg_has msg "Resource temporarily unavailable"
+         || msg_has msg "timed out" || msg_has msg "would block" ->
+    Idle_timeout
+  | Sys_error msg -> Session_error msg
+  | Unix.Unix_error (e, _, _) -> Session_error (Unix.error_message e)
+  | exn -> Session_error (Printexc.to_string exn)
+
+type session_counters = {
+  client_closed : int Atomic.t;
+  peer_reset : int Atomic.t;
+  idle_timeout : int Atomic.t;
+  drained : int Atomic.t;
+  errors : int Atomic.t;
+}
+
+let fresh_session_counters () =
+  { client_closed = Atomic.make 0;
+    peer_reset = Atomic.make 0;
+    idle_timeout = Atomic.make 0;
+    drained = Atomic.make 0;
+    errors = Atomic.make 0
+  }
+
+let count_session_end c = function
+  | Client_closed -> ignore (Atomic.fetch_and_add c.client_closed 1)
+  | Peer_reset -> ignore (Atomic.fetch_and_add c.peer_reset 1)
+  | Idle_timeout -> ignore (Atomic.fetch_and_add c.idle_timeout 1)
+  | Drained -> ignore (Atomic.fetch_and_add c.drained 1)
+  | Session_error _ -> ignore (Atomic.fetch_and_add c.errors 1)
+
+let idle_timeouts c = Atomic.get c.idle_timeout
+let peer_resets c = Atomic.get c.peer_reset
+
+let session_counters_json c =
+  Json.Obj
+    [ ("client_closed", Json.Int (Atomic.get c.client_closed));
+      ("peer_reset", Json.Int (Atomic.get c.peer_reset));
+      ("idle_timeout", Json.Int (Atomic.get c.idle_timeout));
+      ("drained", Json.Int (Atomic.get c.drained));
+      ("errors", Json.Int (Atomic.get c.errors))
+    ]
+
 type t = {
   config : config;
   addr : addr;
@@ -54,6 +137,7 @@ type t = {
   draining : bool Atomic.t;
   mu : Mutex.t;
   conns : (int, Unix.file_descr) Hashtbl.t;
+  session_ends : session_counters;
   mutable sessions : Thread.t list;
   mutable next_conn : int;
   mutable accept_thread : Thread.t option;
@@ -79,19 +163,20 @@ let send oc resp =
   flush oc
 
 (* Answer lines until end-of-input, drain, or a connection error.  Every
-   parsed line gets exactly one terminal response; transport-level errors
-   (peer gone, idle timeout) just end the session. *)
-let session t fd =
+   parsed line gets exactly one terminal response; transport-level
+   session ends (peer gone, reset, idle timeout) are classified and
+   counted, never answered. *)
+let session t conn fd =
   let cfg = t.config.dispatcher.Dispatcher.server in
   let ic = Unix.in_channel_of_descr fd
   and oc = Unix.out_channel_of_descr fd in
   let rec loop () =
-    if Atomic.get t.draining then ()
+    if Atomic.get t.draining then Drained
     else
       match
         Json.read_line_bounded ~max_bytes:cfg.Server.max_line_bytes ic
       with
-      | Json.Eof -> ()
+      | Json.Eof -> if Atomic.get t.draining then Drained else Client_closed
       | Json.Oversized n ->
         send oc
           (Server.error Json.Null "request_too_large"
@@ -104,13 +189,14 @@ let session t fd =
         else begin
           (match Json.of_string line with
           | Error msg -> send oc (Server.error Json.Null "bad_request" msg)
-          | Ok req -> send oc (Dispatcher.handle t.dispatcher req));
+          | Ok req -> send oc (Dispatcher.handle ~conn t.dispatcher req));
           loop ()
         end
   in
-  (try loop () with
-  | Sys_error _ | End_of_file | Unix.Unix_error (_, _, _) -> ());
-  (try flush oc with Sys_error _ | Unix.Unix_error (_, _, _) -> ());
+  let reason = try loop () with exn -> classify_session_exn exn in
+  count_session_end t.session_ends reason;
+  (try flush oc
+   with Sys_error _ | Sys_blocked_io | Unix.Unix_error (_, _, _) -> ());
   try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
 
 let reject_over_limit fd =
@@ -146,7 +232,7 @@ let accept_loop t =
                 (fun () ->
                   Fun.protect
                     ~finally:(fun () -> deregister t id)
-                    (fun () -> session t fd))
+                    (fun () -> session t id fd))
                 ()
             in
             locked t (fun () -> t.sessions <- th :: t.sessions)
@@ -188,11 +274,14 @@ let start config addr =
       draining = Atomic.make false;
       mu = Mutex.create ();
       conns = Hashtbl.create 16;
+      session_ends = fresh_session_counters ();
       sessions = [];
       next_conn = 0;
       accept_thread = None
     }
   in
+  Dispatcher.add_stats t.dispatcher "sessions" (fun () ->
+      session_counters_json t.session_ends);
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t
 
@@ -234,6 +323,7 @@ let stop t =
   wait t
 
 let dispatcher t = t.dispatcher
+let session_ends t = t.session_ends
 
 let serve ?(signals = true) config addr =
   let t = start config addr in

@@ -48,6 +48,35 @@ val stop : t -> int
 val dispatcher : t -> Dispatcher.t
 (** The server's dispatcher (for stats or embedding). *)
 
+(** {2 Session-end classification}
+
+    Why sessions ended, as the transport saw them.  [EPIPE]/[ECONNRESET]
+    map to {!Peer_reset}, the [SO_RCVTIMEO] idle timeout to
+    {!Idle_timeout}, orderly end-of-stream to {!Client_closed}, a
+    server-initiated drain to {!Drained}; anything else keeps its
+    message in {!Session_error}.  Counted per class and surfaced under
+    ["sessions"] in the dispatcher's [stats] op. *)
+
+type session_end =
+  | Client_closed
+  | Peer_reset
+  | Idle_timeout
+  | Drained
+  | Session_error of string
+
+val session_end_name : session_end -> string
+val classify_session_exn : exn -> session_end
+
+type session_counters
+
+val fresh_session_counters : unit -> session_counters
+val count_session_end : session_counters -> session_end -> unit
+val session_ends : t -> session_counters
+val session_counters_json : session_counters -> Tgd_serve.Json.t
+
+val idle_timeouts : session_counters -> int
+val peer_resets : session_counters -> int
+
 val serve : ?signals:bool -> config -> addr -> int
 (** [start], optionally (default) install SIGINT/SIGTERM drain handlers,
     then {!wait}.  The blocking entry point behind

@@ -184,7 +184,8 @@ let arb_chaos_config =
         delay_s = 1e-5;
         alloc_p = Random.State.float st 0.5;
         alloc_words = 4_096;
-        raise_p = Random.State.float st 1.0
+        raise_p = Random.State.float st 1.0;
+        kill_p = 0.
       })
 
 let prop_chaos_chase_typed =

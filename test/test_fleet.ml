@@ -1,0 +1,89 @@
+(* The shard fleet's pure half: rendezvous placement is a stable
+   permutation with minimal movement, and the routing digest keys on the
+   ontology text (folding batches), so equal rule sets share a shard and
+   its warm caches.
+
+   The process-level properties — respawn under kill -9, failover
+   byte-identity, degraded-mode shedding — live in the separate
+   [test_fleet_proc] executable: OCaml's [Unix.fork] is permanently
+   refused once a process has ever spawned a domain, and the shared test
+   binary runs pool and dispatcher suites (which do) before this one. *)
+
+open Helpers
+module Json = Tgd_serve.Json
+module Fleet = Tgd_net.Fleet
+
+let req src =
+  match Json.of_string src with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "bad test request %s: %s" src m
+
+let prop_rank_stable_permutation =
+  QCheck.Test.make ~name:"shard_rank is a stable permutation" ~count:300
+    QCheck.(pair string (int_range 1 12))
+    (fun (digest, shards) ->
+      let rank = Fleet.shard_rank ~shards digest in
+      rank = Fleet.shard_rank ~shards digest
+      && List.sort compare rank = List.init shards Fun.id
+      && Fleet.shard_of_digest ~shards digest = List.hd rank)
+
+(* Rendezvous minimal movement: dropping the highest shard index leaves
+   every other shard's score untouched, so the n-1 ranking is exactly
+   the n ranking with that shard deleted — in particular a digest only
+   changes home shard if its home was the one removed. *)
+let prop_rank_minimal_movement =
+  QCheck.Test.make ~name:"shard_rank moves only the removed shard's keys"
+    ~count:300
+    QCheck.(pair string (int_range 2 12))
+    (fun (digest, shards) ->
+      Fleet.shard_rank ~shards:(shards - 1) digest
+      = List.filter (fun i -> i <> shards - 1)
+          (Fleet.shard_rank ~shards digest))
+
+(* With enough distinct ontologies, every shard of a small fleet owns at
+   least one — the multi-ontology workload really does spread. *)
+let test_multi_workload_spreads () =
+  let homes =
+    List.init 32 (fun i ->
+        Tgd_net.Loadgen.multi_workload ~ontologies:32 ~distinct:1 () i
+        |> Fleet.request_digest
+        |> Fleet.shard_of_digest ~shards:4)
+  in
+  List.iter
+    (fun shard ->
+      check_bool
+        (Printf.sprintf "shard %d owns some ontology" shard)
+        true (List.mem shard homes))
+    [ 0; 1; 2; 3 ]
+
+let test_request_digest_keys_on_tgds () =
+  let entail tgds goal =
+    req
+      (Printf.sprintf
+         {| {"id":1,"op":"entail","tgds":"%s","goal":"%s"} |} tgds goal)
+  in
+  let d1 = Fleet.request_digest (entail "E(x,y) -> S(y)." "E(x,y) -> S(y).")
+  and d2 = Fleet.request_digest (entail "E(x,y) -> S(y)." "S(x) -> S(x).")
+  and d3 = Fleet.request_digest (entail "E(x,y) -> T(y)." "E(x,y) -> S(y).") in
+  check_bool "same ontology, same shard key" true (d1 = d2);
+  check_bool "different ontology, different key" true (d1 <> d3);
+  let batch subs =
+    Json.Obj
+      [ ("id", Json.Int 1);
+        ("op", Json.String "batch");
+        ("requests", Json.List subs)
+      ]
+  in
+  let b1 = batch [ entail "E(x,y) -> S(y)." "g" ]
+  and b2 = batch [ entail "E(x,y) -> T(y)." "g" ] in
+  check_bool "batch folds member ontologies" true
+    (Fleet.request_digest b1 <> Fleet.request_digest b2)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_rank_stable_permutation;
+    QCheck_alcotest.to_alcotest prop_rank_minimal_movement;
+    case "multi-ontology workload spreads across shards"
+      test_multi_workload_spreads;
+    case "request digest keys on the ontology"
+      test_request_digest_keys_on_tgds
+  ]

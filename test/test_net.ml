@@ -342,6 +342,148 @@ let test_socket_connection_limit () =
               | _ -> Alcotest.fail "over-limit connection not closed"
               | exception End_of_file -> ())))
 
+(* -- fair queueing ------------------------------------------------------- *)
+
+(* One slot, three waiters: two from connection 1 queued ahead of one
+   from connection 2.  Round-robin grants alternate connections, so the
+   grant order is conn1, conn2, conn1 — plain FIFO would have served
+   both of connection 1's requests first. *)
+let test_fairq_round_robin () =
+  let module Fairq = Tgd_net.Fairq in
+  let q = Fairq.create ~capacity:1 in
+  (* hold the only slot so subsequent acquires park in order *)
+  Fairq.acquire q ~conn:0;
+  let mu = Mutex.create () in
+  let order = ref [] in
+  let worker conn tag =
+    Thread.create
+      (fun () ->
+        Fairq.with_slot q ~conn (fun () ->
+            Mutex.lock mu;
+            order := tag :: !order;
+            Mutex.unlock mu))
+      ()
+  in
+  (* each waiter must be parked before the next queues, or the arrival
+     order the rotation depends on is racy *)
+  let settle n =
+    let deadline = Unix.gettimeofday () +. 5. in
+    while Fairq.waiting q < n && Unix.gettimeofday () < deadline do
+      Thread.delay 0.01
+    done;
+    check_int "waiter parked" n (Fairq.waiting q)
+  in
+  let t1 = worker 1 "a1" in
+  settle 1;
+  let t2 = worker 1 "a2" in
+  settle 2;
+  let t3 = worker 2 "b1" in
+  settle 3;
+  check_bool "queue depths visible" true
+    (List.assoc_opt 1 (Fairq.depths q) = Some 2
+    && List.assoc_opt 2 (Fairq.depths q) = Some 1);
+  Fairq.release q;
+  List.iter Thread.join [ t1; t2; t3 ];
+  check_bool "grants rotate across connections" true
+    (List.rev !order = [ "a1"; "b1"; "a2" ])
+
+(* -- session-end classification ------------------------------------------ *)
+
+let test_classify_session_exn () =
+  let name e = Transport.session_end_name (Transport.classify_session_exn e) in
+  check_bool "EOF is client_closed" true (name End_of_file = "client_closed");
+  check_bool "EPIPE is peer_reset" true
+    (name (Unix.Unix_error (Unix.EPIPE, "write", "")) = "peer_reset");
+  check_bool "ECONNRESET is peer_reset" true
+    (name (Unix.Unix_error (Unix.ECONNRESET, "read", "")) = "peer_reset");
+  check_bool "channel broken-pipe text is peer_reset" true
+    (name (Sys_error "Broken pipe") = "peer_reset");
+  check_bool "blocked io is idle_timeout" true
+    (name Sys_blocked_io = "idle_timeout");
+  check_bool "EAGAIN is idle_timeout" true
+    (name (Unix.Unix_error (Unix.EAGAIN, "read", "")) = "idle_timeout");
+  check_bool "rcvtimeo channel text is idle_timeout" true
+    (name (Sys_error "Resource temporarily unavailable") = "idle_timeout");
+  check_bool "anything else keeps its message" true
+    (name (Failure "boom") = "error")
+
+(* A server with a short idle timeout: a quiet-but-open connection is
+   closed by the server and counted as idle_timeout; a client that
+   pipelines requests and slams the connection shut without reading is
+   counted as peer_reset.  Counted via the typed accessors, and also
+   surfaced under stats.sessions. *)
+let with_idle_server ?idle_timeout_s f =
+  let sock = fresh_sock () in
+  let t =
+    Transport.start
+      { Transport.dispatcher =
+          { Dispatcher.server = Server.default_config;
+            workers = 2;
+            admission = Admission.default_config ~queue_limit:16
+          };
+        max_connections = 16;
+        idle_timeout_s;
+        drain_grace_s = 2.0
+      }
+      (Transport.Unix_sock sock)
+  in
+  Fun.protect
+    ~finally:(fun () -> check_int "drain exits 0" 0 (Transport.stop t))
+    (fun () -> f t (Transport.Unix_sock sock))
+
+let poll_counter what read =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    if read () > 0 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let test_idle_timeout_counted () =
+  with_idle_server ~idle_timeout_s:0.3 (fun t addr ->
+      let fd = Loadgen.connect addr in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          poll_counter "idle-timeout session end" (fun () ->
+              Transport.idle_timeouts (Transport.session_ends t))))
+
+let test_peer_reset_counted () =
+  with_idle_server (fun t addr ->
+      (* pipeline a few requests and close without reading: the server's
+         response writes hit a closed peer (EPIPE) *)
+      let attempt () =
+        let fd = Loadgen.connect addr in
+        let oc = Unix.out_channel_of_descr fd in
+        for i = 0 to 2 do
+          output_string oc
+            (Printf.sprintf
+               {| {"id":%d,"op":"entail","tgds":"E(x,y) -> S(y). S(x) -> T(x).","goal":"E(x0, x1), E(x1, x2) -> T(x2)."} |}
+               i);
+          output_char oc '\n'
+        done;
+        flush oc;
+        Unix.close fd
+      in
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec drive () =
+        if Transport.peer_resets (Transport.session_ends t) > 0 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "no peer_reset counted"
+        else begin
+          attempt ();
+          Thread.delay 0.1;
+          drive ()
+        end
+      in
+      drive ())
+
 (* -- properties ---------------------------------------------------------- *)
 
 (* Request scripts drawn from the deterministic ops (never [stats], whose
@@ -438,6 +580,14 @@ let suite =
     case "oversized line over socket" test_socket_oversized_line;
     case "connection limit refuses with typed line"
       test_socket_connection_limit;
+    case "fair queue grants round-robin across connections"
+      test_fairq_round_robin;
+    case "session-end exceptions classify by type"
+      test_classify_session_exn;
+    slow_case "idle timeout counted as typed session end"
+      test_idle_timeout_counted;
+    slow_case "peer disconnect counted as peer_reset"
+      test_peer_reset_counted;
     QCheck_alcotest.to_alcotest ~long:true prop_identical_responses;
     slow_case "server-scope hit counters monotone"
       test_hit_counters_monotone
